@@ -1,0 +1,20 @@
+//! The ten state-of-the-art traffic analysis applications of Table 3,
+//! re-implemented on the SuperFE policy interface, plus the §8.3 end-to-end
+//! application study.
+//!
+//! - [`policies`]: the feature extractors of CUMUL, AWF, DF, TF, PeerShark,
+//!   N-BaIoT, MPTD, NPOD, HELAD, and Kitsune as SuperFE policy sources, with
+//!   their feature dimensions and LoC (the Table 3 data).
+//! - [`kitsune`]: three Kitsune feature-extractor variants — the standard
+//!   (exact) definition, the SuperFE pipeline, and an AfterImage-style
+//!   32-bit implementation — and the relative-error comparison of Fig. 10.
+//! - [`study`]: end-to-end pipelines (traffic → SuperFE → detector) for the
+//!   four case-study applications: TF (website fingerprinting), N-BaIoT
+//!   (botnet detection), NPOD (covert-channel detection), and Kitsune
+//!   (intrusion detection).
+
+pub mod kitsune;
+pub mod policies;
+pub mod study;
+
+pub use policies::{all_apps, AppSpec};

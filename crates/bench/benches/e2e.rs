@@ -1,0 +1,53 @@
+//! End-to-end pipeline throughput per application (SuperFE vs the software
+//! baseline — the measured substrate of Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use superfe_apps::policies;
+use superfe_core::{SoftwareExtractor, SuperFe};
+use superfe_trafficgen::Workload;
+
+const PACKETS: usize = 10_000;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let trace = Workload::mawi().packets(PACKETS).seed(11).generate();
+    let apps = [
+        ("tf", policies::TF),
+        ("npod", policies::NPOD),
+        ("kitsune", policies::KITSUNE),
+    ];
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    for (name, src) in apps {
+        g.bench_function(format!("superfe_{name}"), |b| {
+            b.iter_batched(
+                || SuperFe::from_dsl(src).expect("deploys"),
+                |mut fe| {
+                    for p in &trace.records {
+                        fe.push(p);
+                    }
+                    black_box(fe.finish().nic_stats.records)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("software_{name}"), |b| {
+            b.iter_batched(
+                || SoftwareExtractor::from_dsl(src).expect("builds"),
+                |mut sw| {
+                    for p in &trace.records {
+                        sw.push(p);
+                    }
+                    black_box(sw.finish().0.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Microbenchmarks of the streaming reducers vs their naive counterparts
+//! (the per-update costs behind Fig. 15).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use superfe_streaming::{
+    DampedStat, FixedWelford, Histogram, HyperLogLog, NaiveCardinality, NaiveVariance, Reducer,
+    Welford,
+};
+
+fn samples(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 40.0 + ((i * 97) % 1460) as f64).collect()
+}
+
+fn bench_variance(c: &mut Criterion) {
+    let xs = samples(10_000);
+    let mut g = c.benchmark_group("variance");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("welford_streaming", |b| {
+        b.iter_batched(
+            Welford::new,
+            |mut w| {
+                for &x in &xs {
+                    w.update(x);
+                }
+                black_box(w.variance())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("naive_two_pass", |b| {
+        b.iter_batched(
+            NaiveVariance::new,
+            |mut w| {
+                for &x in &xs {
+                    w.update(x);
+                }
+                black_box(w.variance())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fixed_point_div_free", |b| {
+        b.iter_batched(
+            FixedWelford::new,
+            |mut w| {
+                for &x in &xs {
+                    w.update(x);
+                }
+                black_box(w.variance())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cardinality(c: &mut Criterion) {
+    let xs = samples(10_000);
+    let mut g = c.benchmark_group("cardinality");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("hyperloglog_k10", |b| {
+        b.iter_batched(
+            || HyperLogLog::new(10).expect("valid"),
+            |mut h| {
+                for &x in &xs {
+                    h.update(x);
+                }
+                black_box(h.estimate())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("naive_hashset", |b| {
+        b.iter_batched(
+            NaiveCardinality::new,
+            |mut h| {
+                for &x in &xs {
+                    h.update(x);
+                }
+                black_box(h.cardinality())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_distribution_and_damped(c: &mut Criterion) {
+    let xs = samples(10_000);
+    let mut g = c.benchmark_group("update");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("histogram_16_bins", |b| {
+        b.iter_batched(
+            || Histogram::fixed(100.0, 16).expect("valid"),
+            |mut h| {
+                for &x in &xs {
+                    h.update(x);
+                }
+                black_box(h.total())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("damped_stat", |b| {
+        b.iter_batched(
+            || DampedStat::new(0.1),
+            |mut d| {
+                for (i, &x) in xs.iter().enumerate() {
+                    d.update_at(x, i as u64 * 1_000_000);
+                }
+                black_box(d.mean())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variance,
+    bench_cardinality,
+    bench_distribution_and_damped
+);
+criterion_main!(benches);

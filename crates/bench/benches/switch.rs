@@ -1,0 +1,95 @@
+//! FE-Switch throughput: packets through the MGPV cache per second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use superfe_apps::policies;
+use superfe_policy::{compile, dsl};
+use superfe_switch::{CacheMode, FeSwitch, MgpvConfig};
+use superfe_trafficgen::{Workload, WorkloadPreset};
+
+const PACKETS: usize = 20_000;
+
+fn bench_mgpv_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_process");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    for preset in WorkloadPreset::all() {
+        let trace = Workload::preset(preset).packets(PACKETS).seed(3).generate();
+        let compiled = compile(&dsl::parse(policies::KITSUNE).expect("parses")).expect("ok");
+        g.bench_function(format!("kitsune_{}", preset.name()), |b| {
+            b.iter_batched(
+                || FeSwitch::new(compiled.switch.clone()).expect("deploys"),
+                |mut sw| {
+                    for p in &trace.records {
+                        black_box(sw.process(p));
+                    }
+                    sw.stats().msgs_out
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_mgpv_vs_gpv(c: &mut Criterion) {
+    let trace = Workload::mawi().packets(PACKETS).seed(5).generate();
+    let src = "pktstream\n.groupby(socket)\n.reduce(size, [f_mean])\n.collect(socket)\n\
+               .groupby(channel)\n.reduce(size, [f_mean])\n.collect(channel)\n\
+               .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)";
+    let compiled = compile(&dsl::parse(src).expect("parses")).expect("ok");
+    let mut g = c.benchmark_group("cache_architecture");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    for (mode, name) in [(CacheMode::Mgpv, "mgpv"), (CacheMode::Gpv, "gpv_x3")] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    FeSwitch::with_config(compiled.switch.clone(), MgpvConfig::default(), mode)
+                        .expect("deploys")
+                },
+                |mut sw| {
+                    for p in &trace.records {
+                        black_box(sw.process(p));
+                    }
+                    sw.stats().msgs_out
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_parsing(c: &mut Criterion) {
+    let trace = Workload::enterprise().packets(PACKETS).seed(7).generate();
+    let frames: Vec<Vec<u8>> = trace
+        .records
+        .iter()
+        .map(superfe_net::wire::build_frame)
+        .collect();
+    let mut g = c.benchmark_group("parser");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    g.bench_function("parse_frames", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for (rec, f) in trace.records.iter().zip(&frames) {
+                if superfe_net::wire::parse_frame(f, rec.ts_ns, rec.direction).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mgpv_insert,
+    bench_mgpv_vs_gpv,
+    bench_frame_parsing
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the design-choice ablations (beyond the paper's figures).
+
+fn main() {
+    print!("{}", superfe_bench::experiments::ablations::run());
+}

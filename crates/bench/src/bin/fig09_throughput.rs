@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::fig09`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::fig09::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::fig12`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::fig12::run());
+}

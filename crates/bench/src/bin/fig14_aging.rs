@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::fig14`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::fig14::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::fig15`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::fig15::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::fig17`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::fig17::run());
+}

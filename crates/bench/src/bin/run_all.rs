@@ -1,0 +1,5 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::run_all());
+}

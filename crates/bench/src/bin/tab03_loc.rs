@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::tab03`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::tab03::run());
+}

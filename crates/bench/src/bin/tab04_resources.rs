@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact covered by `experiments::tab04`.
+
+fn main() {
+    print!("{}", superfe_bench::experiments::tab04::run());
+}

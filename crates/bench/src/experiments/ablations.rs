@@ -1,0 +1,193 @@
+//! Ablations of SuperFE's individual design choices (beyond the paper's own
+//! figures): what each mechanism buys, measured in isolation.
+//!
+//! 1. **Long-buffer stack** (§5.2): MGPV with vs without long buffers.
+//! 2. **Aging probe rate** (§5.2): how many entries the recirculated probe
+//!    packets inspect per forwarded packet.
+//! 3. **Group-table width** (§6.2): bucket width vs DRAM collision rate.
+//! 4. **Division elimination** (§6.2): the accuracy cost of the compare
+//!    trick in fixed-point Welford.
+
+use superfe_apps::policies;
+use superfe_net::{Granularity, GroupKey};
+use superfe_nic::GroupTable;
+use superfe_policy::{compile, dsl};
+use superfe_streaming::{FixedWelford, Reducer, Welford};
+use superfe_switch::{CacheMode, FeSwitch, MgpvConfig};
+use superfe_trafficgen::Workload;
+
+use crate::util;
+
+/// Packets per ablation run.
+pub const PACKETS: usize = 60_000;
+
+/// Long-buffer ablation: `(config name, rate ratio, byte ratio)`.
+pub fn long_buffer_ablation() -> Vec<(&'static str, f64, f64)> {
+    let compiled = compile(&dsl::parse(policies::NPOD).expect("parses")).expect("compiles");
+    let trace = Workload::mawi().packets(PACKETS).seed(21).generate();
+    [
+        (
+            "short only (no long buffers)",
+            MgpvConfig {
+                long_count: 0,
+                ..MgpvConfig::default()
+            },
+        ),
+        ("short + long stack (default)", MgpvConfig::default()),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        let mut sw =
+            FeSwitch::with_config(compiled.switch.clone(), cfg, CacheMode::Mgpv).expect("deploys");
+        for p in &trace.records {
+            sw.process(p);
+        }
+        sw.flush();
+        let s = sw.stats();
+        (name, s.rate_aggregation_ratio(), s.byte_aggregation_ratio())
+    })
+    .collect()
+}
+
+/// Aging-probe ablation: `(probe rate Hz, buffer efficiency, aging
+/// evictions)`. Probe rate 0 disables the recirculated probes entirely.
+pub fn probe_rate_ablation() -> Vec<(usize, f64, u64)> {
+    let compiled = compile(&dsl::parse(policies::TF).expect("parses")).expect("compiles");
+    let trace = Workload::enterprise().packets(PACKETS).seed(22).generate();
+    [0usize, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .map(|rate| {
+            let cfg = MgpvConfig {
+                probes_per_packet: 0,
+                probe_rate_hz: rate as f64,
+                ..MgpvConfig::default()
+            };
+            let mut sw = FeSwitch::with_config(compiled.switch.clone(), cfg, CacheMode::Mgpv)
+                .expect("deploys");
+            for p in &trace.records {
+                sw.process(p);
+            }
+            sw.flush();
+            let cs = sw.cache_stats();
+            (rate, cs.buffer_efficiency(), cs.evictions[3])
+        })
+        .collect()
+}
+
+/// Group-table width ablation: `(width, collision rate)` with a fixed
+/// bucket-array byte budget (buckets × width constant).
+pub fn table_width_ablation() -> Vec<(usize, f64)> {
+    let trace = Workload::enterprise().packets(PACKETS).seed(23).generate();
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|width| {
+            let buckets = 16_384 / width; // constant total entries
+            let mut table: GroupTable<u64> = GroupTable::new(buckets, width).expect("valid dims");
+            for p in &trace.records {
+                let k: GroupKey = Granularity::Socket.key_of(p);
+                *table.get_or_insert_with(k, k.hash32(), || 0) += 1;
+            }
+            (width, table.stats().collision_rate())
+        })
+        .collect()
+}
+
+/// Division-elimination accuracy: relative mean/variance error of the
+/// division-free fixed-point Welford vs exact, on packet sizes.
+pub fn div_elimination_accuracy() -> (f64, f64) {
+    let trace = Workload::campus().packets(PACKETS).seed(24).generate();
+    let mut exact = Welford::new();
+    let mut fixed = FixedWelford::new();
+    for p in &trace.records {
+        exact.update(p.size as f64);
+        fixed.update(p.size as f64);
+    }
+    let mean_err = (fixed.mean() - exact.mean()).abs() / exact.mean().abs().max(1.0);
+    let var_err = (fixed.variance() - exact.variance()).abs() / exact.variance().max(1.0);
+    (mean_err, var_err)
+}
+
+/// Regenerates the ablation report.
+pub fn run() -> String {
+    let mut out = String::new();
+
+    let rows: Vec<Vec<String>> = long_buffer_ablation()
+        .into_iter()
+        .map(|(name, rate, bytes)| vec![name.to_string(), util::pct(rate), util::pct(bytes)])
+        .collect();
+    out.push_str(&util::table(
+        "Ablation A: long-buffer stack (NPOD on MAWI-like long flows)",
+        &["Configuration", "Rate agg. ratio", "Byte agg. ratio"],
+        &rows,
+    ));
+
+    let rows: Vec<Vec<String>> = probe_rate_ablation()
+        .into_iter()
+        .map(|(p, eff, evictions)| vec![p.to_string(), util::pct(eff), evictions.to_string()])
+        .collect();
+    out.push_str(&util::table(
+        "Ablation B: recirculation probe rate (TF on ENTERPRISE)",
+        &["Probes/s", "Buffer efficiency", "Aging evictions"],
+        &rows,
+    ));
+
+    let rows: Vec<Vec<String>> = table_width_ablation()
+        .into_iter()
+        .map(|(w, rate)| vec![w.to_string(), util::pct(rate)])
+        .collect();
+    out.push_str(&util::table(
+        "Ablation C: NIC group-table width at constant entry budget",
+        &["Width", "DRAM collision rate"],
+        &rows,
+    ));
+
+    let (mean_err, var_err) = div_elimination_accuracy();
+    out.push_str(&format!(
+        "Ablation D: division-free fixed-point Welford accuracy — mean error {}, variance error {}\n",
+        util::pct(mean_err),
+        util::pct(var_err)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_buffers_improve_batching_on_long_flows() {
+        let rows = long_buffer_ablation();
+        let (_, without_rate, _) = rows[0];
+        let (_, with_rate, _) = rows[1];
+        assert!(
+            with_rate < without_rate,
+            "with {with_rate} vs without {without_rate}"
+        );
+    }
+
+    #[test]
+    fn probes_enable_aging() {
+        let rows = probe_rate_ablation();
+        let (r0, eff0, ev0) = rows[0];
+        assert_eq!(r0, 0);
+        assert_eq!(ev0, 0, "no probes, no aging evictions");
+        let (_, eff_fast, ev_fast) = rows[3];
+        assert!(ev_fast > 0);
+        assert!(eff_fast > eff0, "probing raises buffer efficiency");
+    }
+
+    #[test]
+    fn wider_buckets_reduce_collisions() {
+        let rows = table_width_ablation();
+        let first = rows.first().expect("rows").1;
+        let last = rows.last().expect("rows").1;
+        assert!(last <= first, "width 8 ({last}) vs width 1 ({first})");
+    }
+
+    #[test]
+    fn div_elimination_error_is_small() {
+        let (mean_err, var_err) = div_elimination_accuracy();
+        assert!(mean_err < 0.04, "mean error {mean_err}");
+        assert!(var_err < 0.10, "variance error {var_err}");
+    }
+}

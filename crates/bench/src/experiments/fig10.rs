@@ -1,0 +1,48 @@
+//! Figure 10: relative feature-extraction error of SuperFE and the original
+//! (AfterImage-style) Kitsune implementation vs the standard definitions.
+
+use superfe_apps::kitsune::feature_error;
+use superfe_trafficgen::Workload;
+
+use crate::util;
+
+/// Packets in the comparison trace.
+pub const PACKETS: usize = 20_000;
+
+/// Regenerates Figure 10.
+pub fn run() -> String {
+    let trace = Workload::enterprise().packets(PACKETS).seed(6).generate();
+    let rows = feature_error(&trace);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.family.to_string(),
+                format!("{:.4}%", r.superfe * 100.0),
+                format!("{:.4}%", r.afterimage * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = util::table(
+        "Figure 10: relative feature error vs standard definitions (Kitsune features)",
+        &["Feature family", "SuperFE", "Original (AfterImage, f32)"],
+        &table_rows,
+    );
+    let max_sf = rows.iter().map(|r| r.superfe).fold(0.0, f64::max);
+    out.push_str(&format!(
+        "max SuperFE error: {:.4}% (paper bound: < 4%)\n",
+        max_sf * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_lists_families_and_bound() {
+        let r = super::run();
+        assert!(r.contains("weight"));
+        assert!(r.contains("pcc"));
+        assert!(r.contains("paper bound"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 12: MGPV aggregation ratio — switch→NIC traffic as a fraction of
+//! the original traffic, by message rate and by bytes.
+
+use superfe_policy::{compile, dsl};
+use superfe_switch::FeSwitch;
+use superfe_trafficgen::{Workload, WorkloadPreset};
+
+use crate::experiments::study_apps;
+use crate::util;
+
+/// Packets per (app, trace) cell.
+pub const PACKETS: usize = 80_000;
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Application name.
+    pub app: &'static str,
+    /// Trace name.
+    pub trace: &'static str,
+    /// Message-rate aggregation ratio (messages out / packets in).
+    pub rate_ratio: f64,
+    /// Byte aggregation ratio (bytes out / bytes in).
+    pub byte_ratio: f64,
+}
+
+/// Runs the measurement grid.
+pub fn measure() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for preset in WorkloadPreset::all() {
+        let trace = Workload::preset(preset)
+            .packets(PACKETS)
+            .seed(12)
+            .generate();
+        for (app, src) in study_apps() {
+            let compiled = compile(&dsl::parse(src).expect("parses")).expect("compiles");
+            let mut sw = FeSwitch::new(compiled.switch).expect("deploys");
+            for p in &trace.records {
+                sw.process(p);
+            }
+            sw.flush();
+            let s = sw.stats();
+            cells.push(Cell {
+                app,
+                trace: preset.name(),
+                rate_ratio: s.rate_aggregation_ratio(),
+                byte_ratio: s.byte_aggregation_ratio(),
+            });
+        }
+    }
+    cells
+}
+
+/// Regenerates Figure 12.
+pub fn run() -> String {
+    let cells = measure();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.app.to_string(),
+                c.trace.to_string(),
+                util::pct(c.rate_ratio),
+                util::pct(c.byte_ratio),
+            ]
+        })
+        .collect();
+    let mut out = util::table(
+        "Figure 12: MGPV aggregation ratio (lower is better; paper: > 80% reduction)",
+        &["App", "Trace", "Rate ratio", "Byte ratio"],
+        &rows,
+    );
+    let worst = cells.iter().map(|c| c.byte_ratio).fold(0.0, f64::max);
+    out.push_str(&format!("worst byte ratio: {}\n", util::pct(worst)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_exceeds_80_percent_everywhere() {
+        for c in measure() {
+            assert!(
+                c.byte_ratio < 0.2,
+                "{} on {}: byte ratio {}",
+                c.app,
+                c.trace,
+                c.byte_ratio
+            );
+            assert!(
+                c.rate_ratio < 0.2,
+                "{} on {}: rate ratio {}",
+                c.app,
+                c.trace,
+                c.rate_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 13: resource efficiency of MGPV vs the GPV baseline as the number
+//! of grouping granularities grows — MGPV stays ~constant, GPV grows
+//! linearly.
+
+use superfe_core::SuperFeConfig;
+use superfe_policy::dsl;
+use superfe_switch::CacheMode;
+use superfe_trafficgen::Workload;
+
+use crate::util;
+
+/// Packets per run.
+pub const PACKETS: usize = 50_000;
+
+/// Policies with 1, 2, and 3 granularities (TF-, N-BaIoT-, Kitsune-style
+/// grouping requirements).
+pub fn graded_policies() -> Vec<(usize, &'static str)> {
+    vec![
+        (
+            1,
+            "pktstream\n.groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        ),
+        (
+            2,
+            "pktstream\n.groupby(channel)\n.reduce(size, [f_mean])\n.collect(channel)\n\
+             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        ),
+        (
+            3,
+            "pktstream\n.groupby(socket)\n.reduce(size, [f_mean])\n.collect(socket)\n\
+             .groupby(channel)\n.reduce(size, [f_mean])\n.collect(channel)\n\
+             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        ),
+    ]
+}
+
+/// One measured row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Number of granularities.
+    pub granularities: usize,
+    /// Cache mode.
+    pub mode: &'static str,
+    /// Static switch memory in bytes.
+    pub memory_bytes: usize,
+    /// Switch→NIC bytes for the trace.
+    pub link_bytes: u64,
+}
+
+/// Runs the comparison grid.
+pub fn measure() -> Vec<Row> {
+    let trace = Workload::mawi().packets(PACKETS).seed(13).generate();
+    let mut rows = Vec::new();
+    for (k, src) in graded_policies() {
+        for (mode, name) in [(CacheMode::Mgpv, "MGPV"), (CacheMode::Gpv, "GPV")] {
+            let policy = dsl::parse(src).expect("parses");
+            let cfg = SuperFeConfig {
+                mode,
+                ..SuperFeConfig::default()
+            };
+            // Only the switch side matters here.
+            let mut sw = superfe_switch::FeSwitch::with_config(
+                superfe_policy::compile(&policy).expect("compiles").switch,
+                cfg.cache,
+                mode,
+            )
+            .expect("deploys");
+            let memory_bytes = sw.cache_memory_bytes();
+            for p in &trace.records {
+                sw.process(p);
+            }
+            sw.flush();
+            let s = sw.stats();
+            rows.push(Row {
+                granularities: k,
+                mode: name,
+                memory_bytes,
+                link_bytes: s.bytes_out + s.fg_bytes_out,
+            });
+        }
+    }
+    rows
+}
+
+/// Regenerates Figure 13.
+pub fn run() -> String {
+    let rows = measure();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.granularities.to_string(),
+                r.mode.to_string(),
+                util::bytes(r.memory_bytes),
+                util::bytes(r.link_bytes as usize),
+            ]
+        })
+        .collect();
+    util::table(
+        "Figure 13: MGPV vs GPV — switch memory and switch-NIC bandwidth vs #granularities",
+        &["Granularities", "Cache", "Switch memory", "Link bytes"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mgpv_constant_gpv_linear() {
+        let rows = measure();
+        let get = |k: usize, mode: &str| {
+            rows.iter()
+                .find(|r| r.granularities == k && r.mode == mode)
+                .expect("cell present")
+                .clone()
+        };
+        // GPV memory grows ~linearly with granularities.
+        let g1 = get(1, "GPV").memory_bytes as f64;
+        let g3 = get(3, "GPV").memory_bytes as f64;
+        assert!(g3 > 2.5 * g1, "GPV memory {g1} -> {g3}");
+        // MGPV memory stays near-constant (only the FG table is added).
+        let m1 = get(1, "MGPV").memory_bytes as f64;
+        let m3 = get(3, "MGPV").memory_bytes as f64;
+        assert!(m3 < 1.5 * m1, "MGPV memory {m1} -> {m3}");
+        // Same for link bytes.
+        let gl1 = get(1, "GPV").link_bytes as f64;
+        let gl3 = get(3, "GPV").link_bytes as f64;
+        assert!(gl3 > 2.0 * gl1, "GPV link {gl1} -> {gl3}");
+        let ml1 = get(1, "MGPV").link_bytes as f64;
+        let ml3 = get(3, "MGPV").link_bytes as f64;
+        assert!(ml3 < 2.0 * ml1, "MGPV link {ml1} -> {ml3}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Figure 14: the aging mechanism — aggregation ratio and buffer efficiency
+//! as a function of the timeout `T`, per trace.
+
+use superfe_apps::policies;
+use superfe_policy::{compile, dsl};
+use superfe_switch::{CacheMode, FeSwitch, MgpvConfig};
+use superfe_trafficgen::{Workload, WorkloadPreset};
+
+use crate::util;
+
+/// Packets per cell.
+pub const PACKETS: usize = 60_000;
+
+/// Timeout sweep in milliseconds; `None` disables aging.
+pub const T_SWEEP_MS: [Option<u64>; 6] = [Some(1), Some(5), Some(10), Some(50), Some(200), None];
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Timeout in ms (`None` = aging off).
+    pub t_ms: Option<u64>,
+    /// Byte aggregation ratio.
+    pub byte_ratio: f64,
+    /// Message-rate aggregation ratio.
+    pub rate_ratio: f64,
+    /// Buffer efficiency (active flows / occupied entries).
+    pub buffer_efficiency: f64,
+    /// Maximum per-record batching delay in milliseconds.
+    pub max_delay_ms: f64,
+}
+
+/// Runs the sweep with the TF policy (the paper's Fig. 14 configuration).
+pub fn measure() -> Vec<Cell> {
+    let compiled = compile(&dsl::parse(policies::TF).expect("parses")).expect("compiles");
+    let mut cells = Vec::new();
+    for preset in WorkloadPreset::all() {
+        let trace = Workload::preset(preset)
+            .packets(PACKETS)
+            .seed(14)
+            .generate();
+        for t_ms in T_SWEEP_MS {
+            let cfg = MgpvConfig {
+                aging_t_ns: t_ms.map(|ms| ms * 1_000_000),
+                ..MgpvConfig::default()
+            };
+            let mut sw = FeSwitch::with_config(compiled.switch.clone(), cfg, CacheMode::Mgpv)
+                .expect("deploys");
+            for p in &trace.records {
+                sw.process(p);
+            }
+            sw.flush();
+            cells.push(Cell {
+                trace: preset.name(),
+                t_ms,
+                byte_ratio: sw.stats().byte_aggregation_ratio(),
+                rate_ratio: sw.stats().rate_aggregation_ratio(),
+                buffer_efficiency: sw.cache_stats().buffer_efficiency(),
+                max_delay_ms: sw.cache_stats().delay_max_ns as f64 / 1e6,
+            });
+        }
+    }
+    cells
+}
+
+/// Regenerates Figure 14.
+pub fn run() -> String {
+    let cells = measure();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.trace.to_string(),
+                c.t_ms
+                    .map(|t| format!("{t} ms"))
+                    .unwrap_or_else(|| "off".into()),
+                util::pct(c.rate_ratio),
+                util::pct(c.byte_ratio),
+                util::pct(c.buffer_efficiency),
+                format!("{:.1} ms", c.max_delay_ms),
+            ]
+        })
+        .collect();
+    util::table(
+        "Figure 14: aging timeout T vs aggregation ratio and buffer efficiency (TF)",
+        &[
+            "Trace",
+            "T",
+            "Rate agg. ratio",
+            "Byte agg. ratio",
+            "Buffer efficiency",
+            "Max batching delay",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aging_improves_buffer_efficiency() {
+        let cells = measure();
+        for trace in ["MAWI-IXP", "ENTERPRISE", "CAMPUS"] {
+            let with = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms == Some(10))
+                .expect("cell");
+            let without = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms.is_none())
+                .expect("cell");
+            assert!(
+                with.buffer_efficiency >= without.buffer_efficiency,
+                "{trace}: {} vs {}",
+                with.buffer_efficiency,
+                without.buffer_efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn aging_caps_batching_delay() {
+        // The paper: the aging mechanism bounds batching delay at O(10) ms.
+        let cells = measure();
+        for trace in ["MAWI-IXP", "ENTERPRISE", "CAMPUS"] {
+            let with = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms == Some(10))
+                .expect("cell");
+            let without = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms.is_none())
+                .expect("cell");
+            assert!(
+                with.max_delay_ms < without.max_delay_ms,
+                "{trace}: {} vs {}",
+                with.max_delay_ms,
+                without.max_delay_ms
+            );
+            // O(10) ms timeout plus probe-scan lag and arrival gaps.
+            assert!(with.max_delay_ms < 150.0, "{trace}: {}", with.max_delay_ms);
+        }
+    }
+
+    #[test]
+    fn tiny_timeout_hurts_aggregation() {
+        // T=1ms evicts groups constantly, pushing the ratio above T=200ms.
+        let cells = measure();
+        for trace in ["MAWI-IXP", "CAMPUS"] {
+            let tiny = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms == Some(1))
+                .expect("cell");
+            let large = cells
+                .iter()
+                .find(|c| c.trace == trace && c.t_ms == Some(200))
+                .expect("cell");
+            assert!(
+                tiny.rate_ratio >= large.rate_ratio,
+                "{trace}: tiny {} vs large {}",
+                tiny.rate_ratio,
+                large.rate_ratio
+            );
+        }
+    }
+}

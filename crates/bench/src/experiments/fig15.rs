@@ -1,0 +1,129 @@
+//! Figure 15: streaming algorithms vs naive (buffer-everything) algorithms
+//! on the NIC — memory footprint and per-update compute time.
+
+use std::time::Instant;
+
+use superfe_streaming::{
+    Histogram, HyperLogLog, NaiveCardinality, NaiveDistribution, NaiveVariance, Reducer, Welford,
+};
+
+use crate::util;
+
+/// Stream lengths swept (records per group).
+pub const LENGTHS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// One measured row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Stream length.
+    pub n: usize,
+    /// Implementation family.
+    pub family: &'static str,
+    /// Total state bytes at the end of the stream.
+    pub state_bytes: usize,
+    /// Nanoseconds per update (wall clock).
+    pub ns_per_update: f64,
+}
+
+fn drive(reducers: &mut [&mut dyn Reducer], n: usize) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        // A packet-size-like sample stream.
+        let x = 40.0 + ((i * 97) % 1460) as f64;
+        for r in reducers.iter_mut() {
+            r.update(x);
+        }
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Runs the sweep: the Kitsune-representative reducer set (mean/var,
+/// cardinality, distribution) in streaming and naive forms.
+pub fn measure() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &LENGTHS {
+        // Streaming set.
+        let mut w = Welford::new();
+        let mut h = HyperLogLog::new(10).expect("valid k");
+        let mut hist = Histogram::fixed(100.0, 16).expect("valid histogram");
+        let ns = drive(&mut [&mut w, &mut h, &mut hist], n);
+        rows.push(Row {
+            n,
+            family: "streaming",
+            state_bytes: w.state_bytes() + h.state_bytes() + hist.state_bytes(),
+            ns_per_update: ns,
+        });
+
+        // Naive set.
+        let mut nv = NaiveVariance::new();
+        let mut nc = NaiveCardinality::new();
+        let mut nd = NaiveDistribution::new();
+        let ns = drive(&mut [&mut nv, &mut nc, &mut nd], n);
+        // Include the (amortized) cost of one final two-pass/sort evaluation.
+        let start = Instant::now();
+        let _ = nv.finalize();
+        let _ = nd.percentile(0.9);
+        let finalize_ns = start.elapsed().as_nanos() as f64 / n as f64;
+        rows.push(Row {
+            n,
+            family: "naive",
+            state_bytes: nv.state_bytes() + nc.state_bytes() + nd.state_bytes(),
+            ns_per_update: ns + finalize_ns,
+        });
+    }
+    rows
+}
+
+/// Regenerates Figure 15.
+pub fn run() -> String {
+    let rows = measure();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.family.to_string(),
+                util::bytes(r.state_bytes),
+                format!("{} ns", util::f(r.ns_per_update, 1)),
+            ]
+        })
+        .collect();
+    util::table(
+        "Figure 15: streaming vs naive feature computation (per group)",
+        &[
+            "Stream length",
+            "Algorithms",
+            "State memory",
+            "Time / update",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_memory_is_constant_naive_grows() {
+        let rows = measure();
+        let get = |n: usize, fam: &str| {
+            rows.iter()
+                .find(|r| r.n == n && r.family == fam)
+                .expect("row")
+                .clone()
+        };
+        assert_eq!(
+            get(1_000, "streaming").state_bytes,
+            get(1_000_000, "streaming").state_bytes
+        );
+        assert!(
+            get(1_000_000, "naive").state_bytes > 100 * get(1_000, "naive").state_bytes,
+            "naive state must grow with the stream"
+        );
+        // Streaming state is tiny in absolute terms (the paper's point: it
+        // fits on-chip; the naive set exceeds SmartNIC SRAM).
+        assert!(get(1_000_000, "streaming").state_bytes < 4096);
+        assert!(get(1_000_000, "naive").state_bytes > 16_000_000);
+    }
+}

@@ -1,0 +1,52 @@
+//! One submodule per table/figure of the paper's evaluation (§8).
+
+pub mod ablations;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod tab02;
+pub mod tab03;
+pub mod tab04;
+
+/// The four §8.3 case-study applications: `(name, policy source)`.
+pub fn study_apps() -> Vec<(&'static str, &'static str)> {
+    use superfe_apps::policies;
+    vec![
+        ("TF", policies::TF),
+        ("N-BaIoT", policies::NBAIOT),
+        ("NPOD", policies::NPOD),
+        ("Kitsune", policies::KITSUNE),
+    ]
+}
+
+/// Runs every experiment, in paper order, concatenating the reports.
+pub fn run_all() -> String {
+    let sections: Vec<(&str, fn() -> String)> = vec![
+        ("Table 2", tab02::run as fn() -> String),
+        ("Table 3", tab03::run),
+        ("Figure 9", fig09::run),
+        ("Figure 10", fig10::run),
+        ("Figure 11", fig11::run),
+        ("Table 4", tab04::run),
+        ("Figure 12", fig12::run),
+        ("Figure 13", fig13::run),
+        ("Figure 14", fig14::run),
+        ("Figure 15", fig15::run),
+        ("Figure 16", fig16::run),
+        ("Figure 17", fig17::run),
+        ("Ablations", ablations::run),
+    ];
+    let mut out = String::new();
+    for (name, f) in sections {
+        eprintln!("[run_all] {name} ...");
+        out.push_str(&f());
+        out.push('\n');
+    }
+    out
+}

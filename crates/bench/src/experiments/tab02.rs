@@ -1,0 +1,56 @@
+//! Table 2: workload traffic traces — average flow length and packet size.
+
+use superfe_trafficgen::{Workload, WorkloadPreset};
+
+use crate::util;
+
+/// Packets per trace.
+pub const PACKETS: usize = 120_000;
+
+/// Regenerates Table 2 from the synthetic workload presets.
+pub fn run() -> String {
+    let rows: Vec<Vec<String>> = WorkloadPreset::all()
+        .iter()
+        .map(|&preset| {
+            let trace = Workload::preset(preset).packets(PACKETS).seed(2).generate();
+            let s = trace.stats();
+            vec![
+                preset.name().to_string(),
+                format!("{} pkts", s.packets),
+                format!("{}", s.flows),
+                format!(
+                    "{} (paper {})",
+                    util::f(s.avg_flow_len, 1),
+                    util::f(preset.mean_flow_len(), 1)
+                ),
+                format!(
+                    "{} B (paper {} B)",
+                    util::f(s.avg_pkt_size, 0),
+                    util::f(preset.mean_pkt_size(), 0)
+                ),
+            ]
+        })
+        .collect();
+    util::table(
+        "Table 2: workload traffic traces",
+        &[
+            "Trace",
+            "Packets",
+            "Flows",
+            "Avg flow length",
+            "Avg packet size",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_all_traces() {
+        let r = super::run();
+        for t in ["MAWI-IXP", "ENTERPRISE", "CAMPUS"] {
+            assert!(r.contains(t), "{r}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 3: lines of code and feature dimensions of the ten re-implemented
+//! feature extractors.
+
+use superfe_apps::all_apps;
+
+use crate::util;
+
+/// Regenerates Table 3 from the shipped policies.
+pub fn run() -> String {
+    let rows: Vec<Vec<String>> = all_apps()
+        .iter()
+        .map(|app| {
+            vec![
+                app.name.to_string(),
+                app.objective.to_string(),
+                format!("{} (paper {})", app.dim(), app.paper_dim),
+                format!("{} (paper {})", app.loc(), app.paper_loc),
+            ]
+        })
+        .collect();
+    util::table(
+        "Table 3: feature extractors in SuperFE",
+        &[
+            "Application",
+            "Objective",
+            "Feature dimension",
+            "LOC in SuperFE",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_covers_ten_apps() {
+        let r = super::run();
+        for app in [
+            "CUMUL",
+            "AWF",
+            "DF",
+            "TF",
+            "PeerShark",
+            "N-BaIoT",
+            "MPTD",
+            "NPOD",
+            "HELAD",
+            "Kitsune",
+        ] {
+            assert!(r.contains(app), "missing {app}");
+        }
+    }
+}

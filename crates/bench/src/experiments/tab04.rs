@@ -1,0 +1,83 @@
+//! Table 4: hardware resource utilization per application — switch match
+//! tables / stateful ALUs / SRAM, and SmartNIC memory.
+
+use superfe_core::{SuperFe, SuperFeConfig};
+use superfe_nic::{resources as nic_resources, NfpModel};
+use superfe_policy::{compile, dsl};
+use superfe_switch::{resources as switch_resources, MgpvConfig, TofinoBudget};
+use superfe_trafficgen::Workload;
+
+use crate::experiments::study_apps;
+use crate::util;
+
+/// Packets used to estimate live group counts for NIC memory.
+pub const PACKETS: usize = 50_000;
+
+/// Concurrent-group cap per level (half the group-table provisioning,
+/// matching a realistically loaded but not thrashing table).
+pub const MAX_GROUPS: usize = 32_768;
+
+/// Regenerates Table 4.
+pub fn run() -> String {
+    let budget = TofinoBudget::default();
+    let nfp = NfpModel::nfp4000();
+    let cache = MgpvConfig::default();
+    let trace = Workload::enterprise().packets(PACKETS).seed(8).generate();
+
+    let rows: Vec<Vec<String>> = study_apps()
+        .into_iter()
+        .map(|(app, src)| {
+            let compiled = compile(&dsl::parse(src).expect("parses")).expect("compiles");
+            let sw = switch_resources::model(&compiled.switch, &cache);
+            let (t, s, m) = sw.utilization(&budget);
+
+            // NIC memory: group counts measured from a real pipeline run.
+            let mut fe =
+                SuperFe::with_config(&dsl::parse(src).expect("parses"), SuperFeConfig::default())
+                    .expect("deploys");
+            for p in &trace.records {
+                fe.push(p);
+            }
+            let out = fe.finish();
+            // Live groups measured from the sample trace, capped at the
+            // group-table provisioning.
+            let groups: Vec<usize> = out
+                .groups_per_level
+                .iter()
+                .map(|&(_, n)| n.min(MAX_GROUPS))
+                .collect();
+            let nic = nic_resources::model(&compiled.nic, &groups, &nfp);
+
+            vec![
+                app.to_string(),
+                util::pct(t / 100.0),
+                util::pct(s / 100.0),
+                util::pct(m / 100.0),
+                util::pct(nic.utilization_pct() / 100.0),
+            ]
+        })
+        .collect();
+    util::table(
+        "Table 4: hardware resource utilization",
+        &[
+            "App",
+            "Switch tables",
+            "Switch sALUs",
+            "Switch SRAM",
+            "SmartNIC memory",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_has_four_apps() {
+        let r = super::run();
+        for app in ["TF", "N-BaIoT", "NPOD", "Kitsune"] {
+            assert!(r.contains(app), "missing {app}");
+        }
+        assert!(r.contains('%'));
+    }
+}

@@ -1,0 +1,24 @@
+//! The SuperFE evaluation harness: one module per table/figure of §8.
+//!
+//! Every module exposes `run() -> String` producing the table the paper
+//! reports (same rows/series; absolute numbers come from this machine and
+//! the hardware models). The `run_all` binary regenerates everything;
+//! per-experiment binaries (`fig09_throughput`, `tab02_traces`, …) run one.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::tab02`] | Table 2 — workload trace statistics |
+//! | [`experiments::tab03`] | Table 3 — policy LoC / feature dimensions |
+//! | [`experiments::tab04`] | Table 4 — switch & NIC resource utilization |
+//! | [`experiments::fig09`] | Fig. 9 — throughput vs software baselines |
+//! | [`experiments::fig10`] | Fig. 10 — feature extraction error |
+//! | [`experiments::fig11`] | Fig. 11 — Kitsune detection accuracy |
+//! | [`experiments::fig12`] | Fig. 12 — MGPV aggregation ratio |
+//! | [`experiments::fig13`] | Fig. 13 — MGPV vs GPV resource efficiency |
+//! | [`experiments::fig14`] | Fig. 14 — aging-mechanism sweep |
+//! | [`experiments::fig15`] | Fig. 15 — streaming vs naive algorithms |
+//! | [`experiments::fig16`] | Fig. 16 — multi-core scalability |
+//! | [`experiments::fig17`] | Fig. 17 — incremental NIC optimizations |
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,85 @@
+//! Plain-text table rendering shared by the experiment harnesses.
+
+/// Renders an aligned text table with a header row and a rule underneath.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&hdr));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with `prec` decimals.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a byte count in a human unit.
+pub fn bytes(n: usize) -> String {
+    if n >= 1024 * 1024 {
+        format!("{:.2} MiB", n as f64 / (1024.0 * 1024.0))
+    } else if n >= 1024 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            "t",
+            &["a", "bbbb"],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["1".into(), "22222".into()],
+            ],
+        );
+        assert!(s.contains("== t =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows aligned to the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(bytes(100), "100 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert!(bytes(3 * 1024 * 1024).contains("MiB"));
+    }
+}

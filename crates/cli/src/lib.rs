@@ -1,0 +1,508 @@
+//! The `superfe` command-line tool.
+//!
+//! ```text
+//! superfe apps                          # list the built-in Table 3 policies
+//! superfe show <policy>                 # print a policy's source
+//! superfe compile <policy>              # show the switch/NIC split + resources
+//! superfe run <policy> [options]        # extract features from a synthetic trace
+//!
+//! <policy> is a built-in name (kitsune, npod, tf, ...) or a path to a .sfe
+//! policy file in the paper's DSL.
+//!
+//! run options:
+//!   --trace mawi|enterprise|campus      workload preset       [enterprise]
+//!   --packets N                         trace size            [100000]
+//!   --seed S                            RNG seed              [1]
+//!   --csv PATH                          write feature vectors as CSV
+//!   --limit N                           print at most N vectors [5]
+//! ```
+//!
+//! The library half exists so the argument parser and command logic are unit
+//! testable; `main.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+
+use superfe_apps::all_apps;
+use superfe_core::SuperFe;
+use superfe_nic::{resources as nic_resources, solve_placement, CycleModel, NfpModel, OptFlags};
+use superfe_policy::{compile, dsl, Policy};
+use superfe_switch::{resources as switch_resources, MgpvConfig, TofinoBudget};
+use superfe_trafficgen::{Workload, WorkloadPreset};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// List built-in application policies.
+    Apps,
+    /// Print a policy's DSL source.
+    Show {
+        /// Built-in name or file path.
+        policy: String,
+    },
+    /// Compile a policy and print the deployment split.
+    Compile {
+        /// Built-in name or file path.
+        policy: String,
+    },
+    /// Run a policy over a synthetic trace.
+    Run {
+        /// Built-in name or file path.
+        policy: String,
+        /// Workload preset.
+        trace: WorkloadPreset,
+        /// Trace size in packets.
+        packets: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Optional CSV output path.
+        csv: Option<String>,
+        /// Max vectors to print.
+        limit: usize,
+        /// Save the generated trace to this path (SFET format).
+        save_trace: Option<String>,
+        /// Load the trace from this path instead of generating.
+        load_trace: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors surfaced to the user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "apps" => Ok(Command::Apps),
+        "show" | "compile" => {
+            let policy = it
+                .next()
+                .ok_or_else(|| err(format!("usage: superfe {cmd} <policy>")))?
+                .clone();
+            if cmd == "show" {
+                Ok(Command::Show { policy })
+            } else {
+                Ok(Command::Compile { policy })
+            }
+        }
+        "run" => {
+            let policy = it
+                .next()
+                .ok_or_else(|| err("usage: superfe run <policy> [options]"))?
+                .clone();
+            let mut trace = WorkloadPreset::Enterprise;
+            let mut packets = 100_000usize;
+            let mut seed = 1u64;
+            let mut csv = None;
+            let mut limit = 5usize;
+            let mut save_trace = None;
+            let mut load_trace = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--trace" => {
+                        trace = match value()?.as_str() {
+                            "mawi" => WorkloadPreset::MawiIxp,
+                            "enterprise" => WorkloadPreset::Enterprise,
+                            "campus" => WorkloadPreset::Campus,
+                            other => return Err(err(format!("unknown trace '{other}'"))),
+                        }
+                    }
+                    "--packets" => {
+                        packets = value()?
+                            .parse()
+                            .map_err(|_| err("--packets expects an integer"))?
+                    }
+                    "--seed" => {
+                        seed = value()?
+                            .parse()
+                            .map_err(|_| err("--seed expects an integer"))?
+                    }
+                    "--csv" => csv = Some(value()?),
+                    "--save-trace" => save_trace = Some(value()?),
+                    "--load-trace" => load_trace = Some(value()?),
+                    "--limit" => {
+                        limit = value()?
+                            .parse()
+                            .map_err(|_| err("--limit expects an integer"))?
+                    }
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Run {
+                policy,
+                trace,
+                packets,
+                seed,
+                csv,
+                limit,
+                save_trace,
+                load_trace,
+            })
+        }
+        other => Err(err(format!(
+            "unknown command '{other}' (try 'superfe help')"
+        ))),
+    }
+}
+
+/// Resolves a policy argument: built-in app name first, then file path.
+pub fn resolve_policy(name: &str) -> Result<(String, Policy), CliError> {
+    for app in all_apps() {
+        if app.name.eq_ignore_ascii_case(name) {
+            return Ok((app.dsl.to_string(), app.policy()));
+        }
+    }
+    let src = std::fs::read_to_string(name).map_err(|e| {
+        err(format!(
+            "'{name}' is not a built-in policy and reading it as a file failed: {e}"
+        ))
+    })?;
+    let policy = dsl::parse(&src).map_err(|e| err(format!("{name}: {e}")))?;
+    Ok((src, policy))
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "superfe — scalable & flexible feature extraction (EuroSys '25 reproduction)\n\
+     \n\
+     usage:\n\
+     \x20 superfe apps                       list built-in Table 3 policies\n\
+     \x20 superfe show <policy>              print a policy's DSL source\n\
+     \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
+     \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
+     \n\
+     <policy>: built-in name (kitsune, npod, tf, cumul, ...) or a DSL file path\n\
+     \n\
+     run options:\n\
+     \x20 --trace mawi|enterprise|campus     workload preset       [enterprise]\n\
+     \x20 --packets N                        trace size            [100000]\n\
+     \x20 --seed S                           RNG seed              [1]\n\
+     \x20 --csv PATH                         write feature vectors as CSV\n\
+     \x20 --limit N                          vectors to print      [5]\n\
+     \x20 --save-trace PATH                  save the generated trace (SFET)\n\
+     \x20 --load-trace PATH                  replay a saved trace instead\n"
+        .to_string()
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::Apps => {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{:<10} {:<26} {:>4}  {:>4}",
+                "NAME", "OBJECTIVE", "DIM", "LOC"
+            )
+            .expect("write to string");
+            for app in all_apps() {
+                writeln!(
+                    out,
+                    "{:<10} {:<26} {:>4}  {:>4}",
+                    app.name.to_lowercase(),
+                    app.objective,
+                    app.dim(),
+                    app.loc()
+                )
+                .expect("write to string");
+            }
+            Ok(out)
+        }
+        Command::Show { policy } => {
+            let (src, _) = resolve_policy(&policy)?;
+            Ok(src)
+        }
+        Command::Compile { policy } => {
+            let (_, p) = resolve_policy(&policy)?;
+            let compiled = compile(&p).map_err(|e| err(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(out, "== FE-Switch program ==").expect("write");
+            writeln!(
+                out,
+                "filter: {}",
+                compiled
+                    .switch
+                    .filter
+                    .as_ref()
+                    .map(|f| format!("{f:?}"))
+                    .unwrap_or_else(|| "none".into())
+            )
+            .expect("write");
+            let levels: Vec<&str> = compiled.switch.levels.iter().map(|g| g.name()).collect();
+            writeln!(
+                out,
+                "granularity chain (fine → coarse): {}",
+                levels.join(" → ")
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "metadata layout: {:?} ({} B/record), FG table: {}",
+                compiled.switch.metadata,
+                compiled.switch.record_bytes(),
+                if compiled.switch.needs_fg_table() {
+                    "yes"
+                } else {
+                    "no"
+                }
+            )
+            .expect("write");
+            let res = switch_resources::model(&compiled.switch, &MgpvConfig::default());
+            let (t, s, m) = res.utilization(&TofinoBudget::default());
+            writeln!(
+                out,
+                "switch resources: tables {t:.1}%, sALUs {s:.1}%, SRAM {m:.1}%"
+            )
+            .expect("write");
+
+            writeln!(out, "\n== FE-NIC program ==").expect("write");
+            writeln!(
+                out,
+                "feature dimension: {}",
+                compiled.nic.feature_dimension()
+            )
+            .expect("write");
+            let nfp = NfpModel::nfp4000();
+            let states = compiled.nic.states();
+            let placement =
+                solve_placement(&states, &nfp, 1).ok_or_else(|| err("placement failed"))?;
+            for (name, mem) in &placement.assignment {
+                writeln!(out, "  {name:<40} → {}", mem.name()).expect("write");
+            }
+            let model = CycleModel::new(&compiled.nic, &placement, nfp.clone());
+            let e = model.estimate(OptFlags::all_on());
+            writeln!(
+                out,
+                "cycle model: {:.0} cycles/record → {:.1} Gbps at 120 cores (1246 B packets)",
+                e.cycles_per_record,
+                e.gbps(120, &nfp, 1246.0)
+            )
+            .expect("write");
+            let nic_res = nic_resources::model(
+                &compiled.nic,
+                &vec![10_000; compiled.nic.levels.len()],
+                &nfp,
+            );
+            writeln!(
+                out,
+                "NIC memory at 10k groups/level: {:.1}% on-chip",
+                nic_res.utilization_pct()
+            )
+            .expect("write");
+            Ok(out)
+        }
+        Command::Run {
+            policy,
+            trace,
+            packets,
+            seed,
+            csv,
+            limit,
+            save_trace,
+            load_trace,
+        } => {
+            let (_, p) = resolve_policy(&policy)?;
+            let mut fe = SuperFe::new(&p).map_err(|e| err(e.to_string()))?;
+            let t = match &load_trace {
+                Some(path) => superfe_trafficgen::io::load(path)
+                    .map_err(|e| err(format!("loading {path}: {e}")))?,
+                None => Workload::preset(trace)
+                    .packets(packets)
+                    .seed(seed)
+                    .generate(),
+            };
+            if let Some(path) = &save_trace {
+                superfe_trafficgen::io::save(&t, path)
+                    .map_err(|e| err(format!("saving {path}: {e}")))?;
+            }
+            let stats = t.stats();
+            for rec in &t.records {
+                fe.push(rec);
+            }
+            let out = fe.finish();
+            let mut text = String::new();
+            writeln!(
+                text,
+                "trace: {} ({} packets, {} flows, {:.0} B avg)",
+                trace.name(),
+                stats.packets,
+                stats.flows,
+                stats.avg_pkt_size
+            )
+            .expect("write");
+            writeln!(
+                text,
+                "switch: {} msgs out, rate ratio {:.2}%, byte ratio {:.2}%",
+                out.switch_stats.msgs_out,
+                100.0 * out.switch_stats.rate_aggregation_ratio(),
+                100.0 * out.switch_stats.byte_aggregation_ratio()
+            )
+            .expect("write");
+            let vectors = if out.group_vectors.is_empty() {
+                &out.packet_vectors
+            } else {
+                &out.group_vectors
+            };
+            writeln!(text, "feature vectors: {}", vectors.len()).expect("write");
+            for v in vectors.iter().take(limit) {
+                let head: Vec<String> =
+                    v.values.iter().take(8).map(|x| format!("{x:.2}")).collect();
+                let ellipsis = if v.values.len() > 8 { ", ..." } else { "" };
+                writeln!(text, "  {:?} -> [{}{}]", v.key, head.join(", "), ellipsis)
+                    .expect("write");
+            }
+            if let Some(path) = csv {
+                let mut file = String::new();
+                for v in vectors {
+                    let row: Vec<String> = v.values.iter().map(f64::to_string).collect();
+                    file.push_str(&format!("{:?},{}\n", v.key, row.join(",")));
+                }
+                std::fs::write(&path, file).map_err(|e| err(format!("writing {path}: {e}")))?;
+                writeln!(text, "wrote {} vectors to {path}", vectors.len()).expect("write");
+            }
+            Ok(text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        for a in ["", "help", "--help", "-h"] {
+            assert_eq!(parse_args(&args(a)), Ok(Command::Help));
+        }
+    }
+
+    #[test]
+    fn parses_run_options() {
+        let c = parse_args(&args(
+            "run kitsune --trace mawi --packets 5000 --seed 9 --limit 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                policy: "kitsune".into(),
+                trace: WorkloadPreset::MawiIxp,
+                packets: 5000,
+                seed: 9,
+                csv: None,
+                limit: 2,
+                save_trace: None,
+                load_trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("run")).is_err());
+        assert!(parse_args(&args("run x --trace nope")).is_err());
+        assert!(parse_args(&args("run x --packets abc")).is_err());
+        assert!(parse_args(&args("run x --unknown 1")).is_err());
+        assert!(parse_args(&args("compile")).is_err());
+    }
+
+    #[test]
+    fn resolves_builtin_policies() {
+        for name in ["kitsune", "NPOD", "tf", "cumul"] {
+            let (src, p) = resolve_policy(name).unwrap();
+            assert!(!src.is_empty());
+            assert!(!p.ops.is_empty());
+        }
+        assert!(resolve_policy("/no/such/file.sfe").is_err());
+    }
+
+    #[test]
+    fn apps_command_lists_everything() {
+        let out = execute(Command::Apps).unwrap();
+        for app in ["kitsune", "cumul", "peershark"] {
+            assert!(out.contains(app), "{out}");
+        }
+    }
+
+    #[test]
+    fn compile_command_reports_split() {
+        let out = execute(Command::Compile {
+            policy: "kitsune".into(),
+        })
+        .unwrap();
+        assert!(out.contains("FE-Switch"));
+        assert!(out.contains("FE-NIC"));
+        assert!(out.contains("socket → channel → host"));
+        assert!(out.contains("feature dimension: 115"));
+    }
+
+    #[test]
+    fn run_command_small_trace() {
+        let out = execute(Command::Run {
+            policy: "npod".into(),
+            trace: WorkloadPreset::Campus,
+            packets: 3_000,
+            seed: 2,
+            csv: None,
+            limit: 1,
+            save_trace: None,
+            load_trace: None,
+        })
+        .unwrap();
+        assert!(out.contains("feature vectors:"), "{out}");
+        assert!(out.contains("rate ratio"));
+    }
+
+    #[test]
+    fn show_prints_source() {
+        let out = execute(Command::Show {
+            policy: "tf".into(),
+        })
+        .unwrap();
+        assert!(out.contains("pktstream"));
+        assert!(out.contains("f_array{5000}"));
+    }
+
+    #[test]
+    fn file_policies_load() {
+        let dir = std::env::temp_dir().join("superfe_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.sfe");
+        std::fs::write(
+            &path,
+            "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)",
+        )
+        .unwrap();
+        let (_, p) = resolve_policy(path.to_str().unwrap()).unwrap();
+        assert_eq!(p.feature_dimension(), 1);
+    }
+}

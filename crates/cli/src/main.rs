@@ -1,0 +1,17 @@
+//! Entry point of the `superfe` CLI; all logic lives in the library half.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match superfe_cli::parse_args(&args).and_then(superfe_cli::execute) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("superfe: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

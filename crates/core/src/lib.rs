@@ -1,0 +1,48 @@
+//! SuperFE: a scalable and flexible feature extractor for ML-based traffic
+//! analysis (EuroSys '25) — the public facade crate.
+//!
+//! SuperFE extracts ML-ready feature vectors from raw traffic by splitting
+//! the work between a programmable switch (which batches per-packet feature
+//! metadata in an MGPV cache) and SoC SmartNICs (which turn batched metadata
+//! into feature vectors with streaming algorithms). Policies are written in
+//! a small dataflow language; see [`superfe_policy`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use superfe_core::SuperFe;
+//! use superfe_net::PacketRecord;
+//!
+//! // Fig. 3 of the paper: basic statistical features per TCP flow.
+//! let policy = "
+//!     pktstream
+//!     .filter(tcp.exist)
+//!     .groupby(flow)
+//!     .reduce(size, [f_mean, f_var, f_min, f_max])
+//!     .collect(flow)";
+//! let mut fe = SuperFe::from_dsl(policy).unwrap();
+//! for i in 0..100u64 {
+//!     fe.push(&PacketRecord::tcp(i * 1000, 400, 1, 1000, 2, 443));
+//! }
+//! let out = fe.finish();
+//! assert_eq!(out.group_vectors.len(), 1);
+//! assert_eq!(out.group_vectors[0].values[0], 400.0); // mean size
+//! ```
+//!
+//! The crate also provides [`SoftwareExtractor`], the single-server baseline
+//! the paper compares against (same policy semantics, evaluated
+//! packet-at-a-time on the CPU with full-precision timestamps).
+
+pub mod pipeline;
+pub mod software;
+
+pub use pipeline::{Extraction, SuperFe, SuperFeConfig};
+pub use software::SoftwareExtractor;
+
+// Re-export the component crates under predictable names.
+pub use superfe_net as net;
+pub use superfe_nic as nic;
+pub use superfe_policy as policy;
+pub use superfe_streaming as streaming;
+pub use superfe_switch as switch;
+pub use superfe_trafficgen as trafficgen;

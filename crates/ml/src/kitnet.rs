@@ -1,0 +1,302 @@
+//! KitNET: Kitsune's ensemble-of-autoencoders anomaly detector.
+//!
+//! Features are clustered into small groups (max size `m`) by correlation
+//! during a feature-mapping phase; each cluster gets its own autoencoder,
+//! and an output autoencoder scores the vector of per-cluster RMSEs. The
+//! final anomaly score is the output layer's RMSE.
+
+use crate::autoencoder::Autoencoder;
+use crate::norm::MinMaxNorm;
+
+/// Training phases of the online detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Collecting correlation statistics to build the feature map.
+    FeatureMapping,
+    /// Training the autoencoders on (assumed benign) traffic.
+    Training,
+    /// Scoring.
+    Executing,
+}
+
+/// The KitNET detector.
+#[derive(Clone, Debug)]
+pub struct KitNet {
+    m: usize,
+    fm_grace: usize,
+    train_grace: usize,
+    seen: usize,
+    phase: Phase,
+    /// Correlation accumulators (feature-mapping phase).
+    sums: Vec<f64>,
+    sqs: Vec<f64>,
+    prods: Vec<Vec<f64>>,
+    /// Feature clusters (after mapping).
+    clusters: Vec<Vec<usize>>,
+    ensemble: Vec<Autoencoder>,
+    output: Option<Autoencoder>,
+    norm: MinMaxNorm,
+    out_norm: MinMaxNorm,
+    seed: u64,
+    dim: usize,
+}
+
+impl KitNet {
+    /// Creates a detector for `dim`-dimensional features.
+    ///
+    /// `m` is the maximum cluster size (Kitsune's default is 10);
+    /// `fm_grace`/`train_grace` are the instance counts of the
+    /// feature-mapping and training phases.
+    pub fn new(
+        dim: usize,
+        m: usize,
+        fm_grace: usize,
+        train_grace: usize,
+        seed: u64,
+    ) -> Option<Self> {
+        if dim == 0 || m == 0 || fm_grace == 0 || train_grace == 0 {
+            return None;
+        }
+        Some(KitNet {
+            m,
+            fm_grace,
+            train_grace,
+            seen: 0,
+            phase: Phase::FeatureMapping,
+            sums: vec![0.0; dim],
+            sqs: vec![0.0; dim],
+            prods: vec![vec![0.0; dim]; dim],
+            clusters: Vec::new(),
+            ensemble: Vec::new(),
+            output: None,
+            norm: MinMaxNorm::new(),
+            out_norm: MinMaxNorm::new(),
+            seed,
+            dim,
+        })
+    }
+
+    /// Whether the detector has finished training and is scoring.
+    pub fn is_executing(&self) -> bool {
+        self.phase == Phase::Executing
+    }
+
+    /// Number of ensemble clusters (0 before feature mapping completes).
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Processes one feature vector, returning its anomaly score.
+    ///
+    /// Scores are 0 during the feature-mapping and training phases (the
+    /// instance is consumed for statistics/updates), mirroring Kitsune's
+    /// grace-period behaviour. Vectors of the wrong dimension return
+    /// `f64::INFINITY`.
+    pub fn process(&mut self, x: &[f64]) -> f64 {
+        if x.len() != self.dim {
+            return f64::INFINITY;
+        }
+        self.seen += 1;
+        match self.phase {
+            Phase::FeatureMapping => {
+                for i in 0..self.dim {
+                    self.sums[i] += x[i];
+                    self.sqs[i] += x[i] * x[i];
+                    for j in (i + 1)..self.dim {
+                        self.prods[i][j] += x[i] * x[j];
+                    }
+                }
+                self.norm.observe(x);
+                if self.seen >= self.fm_grace {
+                    self.build_map();
+                    self.phase = Phase::Training;
+                }
+                0.0
+            }
+            Phase::Training => {
+                let xn = self.norm.observe_transform(x);
+                let rmses = self.train_ensemble(&xn);
+                let rn = self.out_norm.observe_transform(&rmses);
+                if let Some(out) = &mut self.output {
+                    out.train_step(&rn);
+                }
+                if self.seen >= self.fm_grace + self.train_grace {
+                    self.phase = Phase::Executing;
+                }
+                0.0
+            }
+            Phase::Executing => self.score(x),
+        }
+    }
+
+    /// Scores without updating any state (pure execution).
+    pub fn score(&self, x: &[f64]) -> f64 {
+        if x.len() != self.dim || self.output.is_none() {
+            return f64::INFINITY;
+        }
+        let xn = self.norm.transform(x);
+        let rmses: Vec<f64> = self
+            .clusters
+            .iter()
+            .zip(&self.ensemble)
+            .map(|(c, ae)| {
+                let sub: Vec<f64> = c.iter().map(|&i| xn[i]).collect();
+                ae.rmse(&sub)
+            })
+            .collect();
+        let rn = self.out_norm.transform(&rmses);
+        self.output.as_ref().expect("checked").rmse(&rn)
+    }
+
+    fn train_ensemble(&mut self, xn: &[f64]) -> Vec<f64> {
+        self.clusters
+            .iter()
+            .zip(self.ensemble.iter_mut())
+            .map(|(c, ae)| {
+                let sub: Vec<f64> = c.iter().map(|&i| xn[i]).collect();
+                ae.train_step(&sub)
+            })
+            .collect()
+    }
+
+    /// Agglomerative correlation clustering capped at `m` features per
+    /// cluster (Kitsune's feature mapper, simplified to a greedy pass).
+    fn build_map(&mut self) {
+        let n = self.seen as f64;
+        let dim = self.dim;
+        // Correlation distance between feature pairs.
+        let corr = |i: usize, j: usize, s: &Self| -> f64 {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            let cov = s.prods[a][b] / n - (s.sums[a] / n) * (s.sums[b] / n);
+            let va = (s.sqs[a] / n - (s.sums[a] / n).powi(2)).max(1e-12);
+            let vb = (s.sqs[b] / n - (s.sums[b] / n).powi(2)).max(1e-12);
+            (cov / (va * vb).sqrt()).clamp(-1.0, 1.0)
+        };
+        // Greedy: seed a cluster with the first unassigned feature, then add
+        // the most-correlated remaining features up to m.
+        let mut assigned = vec![false; dim];
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for i in 0..dim {
+            if assigned[i] {
+                continue;
+            }
+            assigned[i] = true;
+            let mut cluster = vec![i];
+            while cluster.len() < self.m {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..dim {
+                    if assigned[j] {
+                        continue;
+                    }
+                    // Mean |corr| to the cluster.
+                    let score: f64 = cluster.iter().map(|&c| corr(c, j, self).abs()).sum::<f64>()
+                        / cluster.len() as f64;
+                    if best.map(|(_, s)| score > s).unwrap_or(true) {
+                        best = Some((j, score));
+                    }
+                }
+                match best {
+                    Some((j, s)) if s > 0.3 => {
+                        assigned[j] = true;
+                        cluster.push(j);
+                    }
+                    _ => break,
+                }
+            }
+            clusters.push(cluster);
+        }
+        self.ensemble = clusters
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                let h = (c.len() * 3 / 4).max(1);
+                Autoencoder::new(c.len(), h, 0.3, self.seed ^ (k as u64 + 1))
+                    .expect("non-empty cluster")
+            })
+            .collect();
+        let h_out = (clusters.len() * 3 / 4).max(1);
+        self.output = Some(
+            Autoencoder::new(clusters.len(), h_out, 0.3, self.seed ^ 0xDEAD)
+                .expect("at least one cluster"),
+        );
+        self.clusters = clusters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_sample(rng: &mut StdRng) -> Vec<f64> {
+        // Two correlated pairs + noise.
+        let a = rng.random::<f64>();
+        let b = rng.random::<f64>();
+        vec![
+            a,
+            a + rng.random::<f64>() * 0.05,
+            b,
+            b + rng.random::<f64>() * 0.05,
+            0.2,
+        ]
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(KitNet::new(0, 10, 100, 100, 1).is_none());
+        assert!(KitNet::new(5, 0, 100, 100, 1).is_none());
+    }
+
+    #[test]
+    fn phases_progress() {
+        let mut k = KitNet::new(5, 3, 50, 50, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..99 {
+            k.process(&normal_sample(&mut rng));
+        }
+        assert!(!k.is_executing());
+        k.process(&normal_sample(&mut rng));
+        assert!(k.is_executing());
+        assert!(k.clusters() >= 1);
+    }
+
+    #[test]
+    fn correlated_features_cluster_together() {
+        let mut k = KitNet::new(5, 3, 200, 10, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..210 {
+            k.process(&normal_sample(&mut rng));
+        }
+        // Features 0,1 correlated; 2,3 correlated. They should share
+        // clusters.
+        let find = |i: usize| k.clusters.iter().position(|c| c.contains(&i)).unwrap();
+        assert_eq!(find(0), find(1));
+        assert_eq!(find(2), find(3));
+    }
+
+    #[test]
+    fn anomalies_score_above_normal() {
+        let mut k = KitNet::new(5, 3, 300, 1500, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1800 {
+            k.process(&normal_sample(&mut rng));
+        }
+        assert!(k.is_executing());
+        let normal_scores: Vec<f64> = (0..100)
+            .map(|_| k.score(&normal_sample(&mut rng)))
+            .collect();
+        // Anomaly: break the correlation structure hard.
+        let anomaly = vec![1.0, 0.0, 0.0, 1.0, 1.0];
+        let a = k.score(&anomaly);
+        let mean_n = normal_scores.iter().sum::<f64>() / normal_scores.len() as f64;
+        assert!(a > mean_n * 2.0, "anomaly {a} vs normal mean {mean_n}");
+    }
+
+    #[test]
+    fn wrong_dim_scores_infinite() {
+        let mut k = KitNet::new(5, 3, 10, 10, 1).unwrap();
+        assert_eq!(k.process(&[0.0; 3]), f64::INFINITY);
+        assert_eq!(k.score(&[0.0; 5]), f64::INFINITY, "not yet trained");
+    }
+}

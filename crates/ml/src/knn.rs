@@ -1,0 +1,123 @@
+//! k-nearest-neighbours classification (CUMUL-style fingerprinting).
+
+/// A k-NN classifier over Euclidean distance.
+#[derive(Clone, Debug)]
+pub struct Knn {
+    k: usize,
+    points: Vec<(Vec<f64>, usize)>,
+}
+
+impl Knn {
+    /// Creates a classifier with `k` neighbours (k ≥ 1).
+    pub fn new(k: usize) -> Option<Self> {
+        if k == 0 {
+            return None;
+        }
+        Some(Knn {
+            k,
+            points: Vec::new(),
+        })
+    }
+
+    /// Adds a labelled training point.
+    pub fn fit_one(&mut self, x: Vec<f64>, label: usize) {
+        self.points.push((x, label));
+    }
+
+    /// Adds many labelled training points.
+    pub fn fit(&mut self, data: impl IntoIterator<Item = (Vec<f64>, usize)>) {
+        self.points.extend(data);
+    }
+
+    /// Number of stored training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the classifier has no training data.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Predicts the label of `x` by majority vote among the `k` nearest
+    /// training points. Returns `None` when untrained.
+    pub fn predict(&self, x: &[f64]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut dists: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .map(|(p, l)| (euclidean2(p, x), *l))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let top = &dists[..self.k.min(dists.len())];
+        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &(_, l) in top {
+            *votes.entry(l).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+            .map(|(l, _)| l)
+    }
+}
+
+/// Squared Euclidean distance, treating missing tail dimensions as zero.
+fn euclidean2(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let x = a.get(i).copied().unwrap_or(0.0);
+            let y = b.get(i).copied().unwrap_or(0.0);
+            (x - y) * (x - y)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(Knn::new(0).is_none());
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let knn = Knn::new(3).unwrap();
+        assert_eq!(knn.predict(&[1.0]), None);
+    }
+
+    #[test]
+    fn classifies_separable_clusters() {
+        let mut knn = Knn::new(3).unwrap();
+        for i in 0..10 {
+            knn.fit_one(vec![0.0 + i as f64 * 0.01, 0.0], 0);
+            knn.fit_one(vec![10.0 + i as f64 * 0.01, 10.0], 1);
+        }
+        assert_eq!(knn.predict(&[0.5, 0.2]), Some(0));
+        assert_eq!(knn.predict(&[9.5, 9.9]), Some(1));
+        assert_eq!(knn.len(), 20);
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let mut knn = Knn::new(3).unwrap();
+        knn.fit(vec![
+            (vec![0.0], 0),
+            (vec![0.1], 0),
+            (vec![0.2], 1),
+            (vec![5.0], 1),
+        ]);
+        assert_eq!(knn.predict(&[0.05]), Some(0));
+    }
+
+    #[test]
+    fn handles_mismatched_dimensions() {
+        let mut knn = Knn::new(1).unwrap();
+        knn.fit_one(vec![1.0, 1.0, 1.0], 7);
+        assert_eq!(knn.predict(&[1.0]), Some(7));
+    }
+}

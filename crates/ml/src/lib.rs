@@ -1,0 +1,31 @@
+//! Behavior detectors for the SuperFE application study (§8.3).
+//!
+//! The paper reuses the original detectors of the four case-study
+//! applications; this crate reimplements faithful, minimal versions so the
+//! end-to-end accuracy experiments run without Python dependencies:
+//!
+//! - [`autoencoder`] / [`kitnet`]: Kitsune's detector — an ensemble of small
+//!   autoencoders over clustered features plus an output autoencoder scoring
+//!   RMSE (used for Kitsune and, standalone, for N-BaIoT).
+//! - [`knn`]: k-nearest-neighbours (CUMUL-style website fingerprinting).
+//! - [`tree`]: a CART decision tree (NPOD's detector).
+//! - [`centroid`]: nearest-centroid classification over embedded sequences
+//!   (the stand-in for TF's triplet network).
+//! - [`norm`]: feature normalization, [`metrics`]: accuracy/precision/
+//!   recall/F1/AUC.
+
+pub mod autoencoder;
+pub mod centroid;
+pub mod kitnet;
+pub mod knn;
+pub mod metrics;
+pub mod norm;
+pub mod tree;
+
+pub use autoencoder::Autoencoder;
+pub use centroid::NearestCentroid;
+pub use kitnet::KitNet;
+pub use knn::Knn;
+pub use metrics::{accuracy, auc, f1_score, precision_recall, Confusion};
+pub use norm::MinMaxNorm;
+pub use tree::DecisionTree;

@@ -1,0 +1,236 @@
+//! A CART decision tree (NPOD's detector).
+
+/// A node of the tree.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A binary-split decision tree trained by recursive Gini minimization.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    max_depth: usize,
+    min_samples: usize,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given depth and minimum-split-size limits.
+    pub fn new(max_depth: usize, min_samples: usize) -> Self {
+        DecisionTree {
+            root: None,
+            max_depth: max_depth.max(1),
+            min_samples: min_samples.max(2),
+        }
+    }
+
+    /// Fits the tree; `data` is `(features, label)` pairs.
+    ///
+    /// Returns `false` (leaving the tree untrained) for empty data or
+    /// inconsistent feature dimensions.
+    pub fn fit(&mut self, data: &[(Vec<f64>, usize)]) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let dim = data[0].0.len();
+        if dim == 0 || data.iter().any(|(x, _)| x.len() != dim) {
+            return false;
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.root = Some(Self::build(data, &idx, self.max_depth, self.min_samples));
+        true
+    }
+
+    /// Predicts a label; `None` when untrained.
+    pub fn predict(&self, x: &[f64]) -> Option<usize> {
+        let mut node = self.root.as_ref()?;
+        loop {
+            match node {
+                Node::Leaf { label } => return Some(*label),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(*feature).copied().unwrap_or(0.0);
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the trained tree (0 when untrained).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map(|r| d(r)).unwrap_or(0)
+    }
+
+    fn majority(data: &[(Vec<f64>, usize)], idx: &[usize]) -> usize {
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &i in idx {
+            *counts.entry(data[i].1).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
+            .map(|(l, _)| l)
+            .unwrap_or(0)
+    }
+
+    fn gini(data: &[(Vec<f64>, usize)], idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &i in idx {
+            *counts.entry(data[i].1).or_insert(0) += 1;
+        }
+        let n = idx.len() as f64;
+        1.0 - counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p
+            })
+            .sum::<f64>()
+    }
+
+    fn build(
+        data: &[(Vec<f64>, usize)],
+        idx: &[usize],
+        depth_left: usize,
+        min_samples: usize,
+    ) -> Node {
+        let base_gini = Self::gini(data, idx);
+        if depth_left == 0 || idx.len() < min_samples || base_gini == 0.0 {
+            return Node::Leaf {
+                label: Self::majority(data, idx),
+            };
+        }
+        let dim = data[0].0.len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+        for f in 0..dim {
+            // Candidate thresholds: midpoints of sorted unique values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| data[i].0[f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| data[i].0[f] <= thr);
+                if l.is_empty() || r.is_empty() {
+                    continue;
+                }
+                let g = (l.len() as f64 * Self::gini(data, &l)
+                    + r.len() as f64 * Self::gini(data, &r))
+                    / idx.len() as f64;
+                if best.map(|(_, _, bg)| g < bg).unwrap_or(true) {
+                    best = Some((f, thr, g));
+                }
+            }
+        }
+        match best {
+            // Zero-gain splits are allowed (CART-style): XOR-like structure
+            // needs a first split that only pays off one level deeper.
+            Some((f, thr, g)) if g <= base_gini + 1e-12 => {
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| data[i].0[f] <= thr);
+                Node::Split {
+                    feature: f,
+                    threshold: thr,
+                    left: Box::new(Self::build(data, &l, depth_left - 1, min_samples)),
+                    right: Box::new(Self::build(data, &r, depth_left - 1, min_samples)),
+                }
+            }
+            _ => Node::Leaf {
+                label: Self::majority(data, idx),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Vec<(Vec<f64>, usize)> {
+        let mut d = Vec::new();
+        for i in 0..20 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let label = ((a as usize) ^ (b as usize)) as usize;
+            d.push((vec![a, b], label));
+        }
+        d
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let t = DecisionTree::new(4, 2);
+        assert_eq!(t.predict(&[1.0]), None);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn fit_rejects_bad_data() {
+        let mut t = DecisionTree::new(4, 2);
+        assert!(!t.fit(&[]));
+        assert!(!t.fit(&[(vec![], 0)]));
+        assert!(!t.fit(&[(vec![1.0], 0), (vec![1.0, 2.0], 1)]));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut t = DecisionTree::new(4, 2);
+        assert!(t.fit(&xor_data()));
+        assert_eq!(t.predict(&[0.0, 0.0]), Some(0));
+        assert_eq!(t.predict(&[1.0, 0.0]), Some(1));
+        assert_eq!(t.predict(&[0.0, 1.0]), Some(1));
+        assert_eq!(t.predict(&[1.0, 1.0]), Some(0));
+        assert!(t.depth() >= 3);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut t = DecisionTree::new(1, 2);
+        t.fit(&xor_data());
+        // Depth 1 cannot express XOR: only a leaf (or a single split).
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_data_yields_leaf() {
+        let mut t = DecisionTree::new(5, 2);
+        t.fit(&[(vec![1.0], 3), (vec![2.0], 3), (vec![3.0], 3)]);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.predict(&[99.0]), Some(3));
+    }
+
+    #[test]
+    fn separable_threshold_found() {
+        let mut t = DecisionTree::new(3, 2);
+        let data: Vec<(Vec<f64>, usize)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (vec![x], (x > 24.5) as usize)
+            })
+            .collect();
+        t.fit(&data);
+        assert_eq!(t.predict(&[3.0]), Some(0));
+        assert_eq!(t.predict(&[40.0]), Some(1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Ingress/egress direction inference.
+
+/// Direction of a packet relative to the monitored network.
+///
+/// Website-fingerprinting and Kitsune-style extractors encode direction as a
+/// `±1` factor (see [`crate::PacketRecord::direction_factor`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Travelling *into* the monitored network (downstream for a client).
+    Ingress,
+    /// Travelling *out of* the monitored network (upstream for a client).
+    Egress,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Ingress => Direction::Egress,
+            Direction::Egress => Direction::Ingress,
+        }
+    }
+}
+
+/// An IPv4 prefix in CIDR form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, masking off host bits.
+    ///
+    /// Returns `None` if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Option<Self> {
+        if len > 32 {
+            return None;
+        }
+        Some(Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        })
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: u32) -> bool {
+        (ip & Self::mask(self.len)) == self.addr
+    }
+}
+
+/// Classifies packets as ingress or egress from a set of internal prefixes.
+///
+/// A packet whose *destination* lies in an internal prefix is ingress; a
+/// packet whose *source* lies in an internal prefix is egress. When both or
+/// neither match, the destination takes precedence (east-west or transit
+/// traffic is treated as ingress), matching how a border switch port would
+/// see the traffic.
+///
+/// # Examples
+///
+/// ```
+/// use superfe_net::{Direction, DirectionResolver};
+///
+/// // 10.0.0.0/8 is "inside".
+/// let r = DirectionResolver::new(vec![(0x0a00_0000, 8)]).unwrap();
+/// assert_eq!(r.classify(0x0102_0304, 0x0a00_0001), Direction::Ingress);
+/// assert_eq!(r.classify(0x0a00_0001, 0x0102_0304), Direction::Egress);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirectionResolver {
+    internal: Vec<Prefix>,
+}
+
+impl DirectionResolver {
+    /// Builds a resolver from `(addr, prefix_len)` pairs.
+    ///
+    /// Returns `None` if any prefix length exceeds 32.
+    pub fn new(prefixes: Vec<(u32, u8)>) -> Option<Self> {
+        let internal = prefixes
+            .into_iter()
+            .map(|(a, l)| Prefix::new(a, l))
+            .collect::<Option<Vec<_>>>()?;
+        Some(DirectionResolver { internal })
+    }
+
+    /// Whether `ip` belongs to the monitored (internal) network.
+    pub fn is_internal(&self, ip: u32) -> bool {
+        self.internal.iter().any(|p| p.contains(ip))
+    }
+
+    /// Classifies a packet by its source and destination addresses.
+    pub fn classify(&self, src_ip: u32, dst_ip: u32) -> Direction {
+        if self.is_internal(dst_ip) {
+            Direction::Ingress
+        } else if self.is_internal(src_ip) {
+            Direction::Egress
+        } else {
+            Direction::Ingress
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(0xc0a8_0101, 24).unwrap();
+        assert!(p.contains(0xc0a8_01ff));
+        assert!(!p.contains(0xc0a8_02ff));
+    }
+
+    #[test]
+    fn prefix_len_zero_matches_everything() {
+        let p = Prefix::new(0, 0).unwrap();
+        assert!(p.contains(0));
+        assert!(p.contains(u32::MAX));
+    }
+
+    #[test]
+    fn prefix_rejects_bad_len() {
+        assert!(Prefix::new(0, 33).is_none());
+    }
+
+    #[test]
+    fn resolver_dst_takes_precedence() {
+        // Both inside: treated as ingress.
+        let r = DirectionResolver::new(vec![(0x0a00_0000, 8)]).unwrap();
+        assert_eq!(r.classify(0x0a00_0001, 0x0a00_0002), Direction::Ingress);
+    }
+
+    #[test]
+    fn resolver_neither_defaults_ingress() {
+        let r = DirectionResolver::new(vec![(0x0a00_0000, 8)]).unwrap();
+        assert_eq!(r.classify(1, 2), Direction::Ingress);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Direction::Ingress.flip().flip(), Direction::Ingress);
+        assert_eq!(Direction::Egress.flip(), Direction::Ingress);
+    }
+}

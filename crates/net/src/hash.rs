@@ -1,0 +1,104 @@
+//! Deterministic 32-bit hashing shared by the switch and the SmartNIC.
+//!
+//! Tofino pipelines compute CRC-based hashes in hardware; SuperFE ships the
+//! 32-bit hash of the group key from the switch to the NIC alongside each
+//! evicted MGPV so that the NIC never recomputes it (§6.2, "computational
+//! cycle optimization"). Both simulators therefore have to agree on the hash
+//! function bit-for-bit, which this module provides.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`.
+///
+/// This is the same polynomial Tofino exposes as `crc32`; the implementation
+/// is the canonical table-free bitwise form, which is plenty fast for
+/// simulation purposes and has no lookup-table initialization to get wrong.
+///
+/// # Examples
+///
+/// ```
+/// // Standard check value for "123456789".
+/// assert_eq!(superfe_net::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// CRC-32 of two 32-bit words, used for host/channel keys.
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let mut buf = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        buf.extend_from_slice(&w.to_be_bytes());
+    }
+    crc32(&buf)
+}
+
+/// Folds a 32-bit hash into `buckets` (power-of-two fast path).
+///
+/// Returns 0 when `buckets == 0` so callers can treat an empty table
+/// uniformly; real tables always have at least one bucket.
+pub fn bucket_of(hash: u32, buckets: usize) -> usize {
+    if buckets == 0 {
+        return 0;
+    }
+    if buckets.is_power_of_two() {
+        (hash as usize) & (buckets - 1)
+    } else {
+        (hash as usize) % buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_words_matches_bytes() {
+        let words = [0x0102_0304u32, 0xAABB_CCDD];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&words[0].to_be_bytes());
+        bytes.extend_from_slice(&words[1].to_be_bytes());
+        assert_eq!(crc32_words(&words), crc32(&bytes));
+    }
+
+    #[test]
+    fn bucket_of_power_of_two() {
+        for h in [0u32, 1, 12345, u32::MAX] {
+            assert_eq!(bucket_of(h, 1024), (h as usize) % 1024);
+        }
+    }
+
+    #[test]
+    fn bucket_of_general() {
+        assert_eq!(bucket_of(10, 3), 1);
+        assert_eq!(bucket_of(7, 0), 0);
+    }
+
+    #[test]
+    fn crc32_is_deterministic_and_spreads() {
+        // Different inputs should (overwhelmingly) hash differently.
+        let a = crc32(b"flow-a");
+        let b = crc32(b"flow-b");
+        assert_ne!(a, b);
+        assert_eq!(a, crc32(b"flow-a"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Wire-format frame synthesis and parsing.
+//!
+//! The switch simulator does not consume pre-parsed structs: traffic is
+//! rendered into real Ethernet/IPv4/TCP/UDP frames and re-parsed by the
+//! simulated pipeline parser, so header-extraction logic is genuinely
+//! exercised (malformed frames included).
+
+use bytes::{BufMut, BytesMut};
+
+use crate::dir::Direction;
+use crate::packet::{PacketRecord, Protocol};
+
+/// Ethernet header length in bytes.
+pub const ETH_HDR: usize = 14;
+/// IPv4 base header length in bytes (no options).
+pub const IPV4_HDR: usize = 20;
+/// TCP base header length in bytes (no options).
+pub const TCP_HDR: usize = 20;
+/// UDP header length in bytes.
+pub const UDP_HDR: usize = 8;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Errors from [`parse_frame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Frame shorter than an Ethernet header.
+    TruncatedEthernet,
+    /// EtherType is not IPv4.
+    NotIpv4,
+    /// Frame shorter than the IPv4 header it claims.
+    TruncatedIpv4,
+    /// IPv4 version field is not 4 or IHL < 5.
+    BadIpv4Header,
+    /// Frame too short for the transport header.
+    TruncatedTransport,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ParseError::TruncatedEthernet => "frame shorter than Ethernet header",
+            ParseError::NotIpv4 => "EtherType is not IPv4",
+            ParseError::TruncatedIpv4 => "frame shorter than IPv4 header",
+            ParseError::BadIpv4Header => "malformed IPv4 header",
+            ParseError::TruncatedTransport => "frame shorter than transport header",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimum frame size needed to carry the headers of `proto`.
+pub fn min_frame_len(proto: Protocol) -> usize {
+    ETH_HDR
+        + IPV4_HDR
+        + match proto {
+            Protocol::Tcp => TCP_HDR,
+            Protocol::Udp => UDP_HDR,
+            _ => 0,
+        }
+}
+
+/// Renders a [`PacketRecord`] into a wire-format frame.
+///
+/// The frame is padded (or the headers alone are emitted) so its total length
+/// equals `rec.size`, clamped up to the minimum header length. The IPv4 total
+/// length field is set consistently; checksums are zeroed (the simulated
+/// pipeline does not verify them, like most telemetry fast paths).
+pub fn build_frame(rec: &PacketRecord) -> Vec<u8> {
+    let len = (rec.size as usize).max(min_frame_len(rec.proto));
+    let mut buf = BytesMut::with_capacity(len);
+
+    // Ethernet: synthetic MACs derived from the IPs, EtherType IPv4.
+    buf.put_u16(0x0200);
+    buf.put_u32(rec.dst_ip);
+    buf.put_u16(0x0200);
+    buf.put_u32(rec.src_ip);
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4.
+    let ip_total = (len - ETH_HDR) as u16;
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(0); // DSCP/ECN
+    buf.put_u16(ip_total);
+    buf.put_u16(0); // identification
+    buf.put_u16(0); // flags/fragment
+    buf.put_u8(64); // TTL
+    buf.put_u8(rec.proto.number());
+    buf.put_u16(0); // checksum (unverified)
+    buf.put_u32(rec.src_ip);
+    buf.put_u32(rec.dst_ip);
+
+    // Transport.
+    match rec.proto {
+        Protocol::Tcp => {
+            buf.put_u16(rec.src_port);
+            buf.put_u16(rec.dst_port);
+            buf.put_u32(0); // seq
+            buf.put_u32(0); // ack
+            buf.put_u8(0x50); // data offset 5
+            buf.put_u8(rec.tcp_flags);
+            buf.put_u16(0xFFFF); // window
+            buf.put_u16(0); // checksum
+            buf.put_u16(0); // urgent
+        }
+        Protocol::Udp => {
+            buf.put_u16(rec.src_port);
+            buf.put_u16(rec.dst_port);
+            buf.put_u16(ip_total - IPV4_HDR as u16);
+            buf.put_u16(0); // checksum
+        }
+        _ => {}
+    }
+
+    // Payload padding.
+    let pad = len - buf.len();
+    buf.put_bytes(0, pad);
+    buf.to_vec()
+}
+
+/// Parses a wire-format frame back into a [`PacketRecord`].
+///
+/// `ts_ns` and `direction` are observation metadata the switch fills in; they
+/// are not present on the wire.
+pub fn parse_frame(
+    frame: &[u8],
+    ts_ns: u64,
+    direction: Direction,
+) -> Result<PacketRecord, ParseError> {
+    if frame.len() < ETH_HDR {
+        return Err(ParseError::TruncatedEthernet);
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::NotIpv4);
+    }
+    let ip = &frame[ETH_HDR..];
+    if ip.len() < IPV4_HDR {
+        return Err(ParseError::TruncatedIpv4);
+    }
+    let ver_ihl = ip[0];
+    if ver_ihl >> 4 != 4 || (ver_ihl & 0x0F) < 5 {
+        return Err(ParseError::BadIpv4Header);
+    }
+    let ihl = ((ver_ihl & 0x0F) as usize) * 4;
+    if ip.len() < ihl {
+        return Err(ParseError::TruncatedIpv4);
+    }
+    let proto = Protocol::from_number(ip[9]);
+    let src_ip = u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]);
+    let dst_ip = u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]);
+
+    let l4 = &ip[ihl..];
+    let (src_port, dst_port, tcp_flags) = match proto {
+        Protocol::Tcp => {
+            if l4.len() < TCP_HDR {
+                return Err(ParseError::TruncatedTransport);
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                l4[13],
+            )
+        }
+        Protocol::Udp => {
+            if l4.len() < UDP_HDR {
+                return Err(ParseError::TruncatedTransport);
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                0,
+            )
+        }
+        _ => (0, 0, 0),
+    };
+
+    Ok(PacketRecord {
+        ts_ns,
+        size: frame.len() as u16,
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto,
+        tcp_flags,
+        direction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: PacketRecord) -> PacketRecord {
+        let frame = build_frame(&rec);
+        parse_frame(&frame, rec.ts_ns, rec.direction).expect("parse")
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let rec = PacketRecord::tcp(123, 200, 0x0a000001, 4444, 0x0a000002, 80)
+            .with_flags(crate::packet::tcp_flags::SYN);
+        let got = roundtrip(rec);
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let rec = PacketRecord::udp(9, 135, 1, 53, 2, 9999);
+        assert_eq!(roundtrip(rec), rec);
+    }
+
+    #[test]
+    fn icmp_round_trip_has_no_ports() {
+        let mut rec = PacketRecord::udp(5, 84, 1, 0, 2, 0);
+        rec.proto = Protocol::Icmp;
+        rec.src_port = 0;
+        rec.dst_port = 0;
+        assert_eq!(roundtrip(rec), rec);
+    }
+
+    #[test]
+    fn undersized_record_is_clamped_to_headers() {
+        let rec = PacketRecord::tcp(0, 10, 1, 2, 3, 4);
+        let frame = build_frame(&rec);
+        assert_eq!(frame.len(), min_frame_len(Protocol::Tcp));
+        let got = parse_frame(&frame, 0, Direction::Ingress).unwrap();
+        assert_eq!(got.size as usize, frame.len());
+    }
+
+    #[test]
+    fn frame_length_matches_size() {
+        let rec = PacketRecord::tcp(0, 1500, 1, 2, 3, 4);
+        assert_eq!(build_frame(&rec).len(), 1500);
+    }
+
+    #[test]
+    fn truncated_ethernet_rejected() {
+        assert_eq!(
+            parse_frame(&[0u8; 5], 0, Direction::Ingress),
+            Err(ParseError::TruncatedEthernet)
+        );
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut frame = build_frame(&PacketRecord::tcp(0, 64, 1, 2, 3, 4));
+        frame[12] = 0x86; // EtherType -> IPv6
+        frame[13] = 0xDD;
+        assert_eq!(
+            parse_frame(&frame, 0, Direction::Ingress),
+            Err(ParseError::NotIpv4)
+        );
+    }
+
+    #[test]
+    fn bad_ip_version_rejected() {
+        let mut frame = build_frame(&PacketRecord::tcp(0, 64, 1, 2, 3, 4));
+        frame[ETH_HDR] = 0x65; // version 6
+        assert_eq!(
+            parse_frame(&frame, 0, Direction::Ingress),
+            Err(ParseError::BadIpv4Header)
+        );
+    }
+
+    #[test]
+    fn truncated_transport_rejected() {
+        let frame = build_frame(&PacketRecord::tcp(0, 64, 1, 2, 3, 4));
+        let cut = &frame[..ETH_HDR + IPV4_HDR + 4];
+        assert_eq!(
+            parse_frame(cut, 0, Direction::Ingress),
+            Err(ParseError::TruncatedTransport)
+        );
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let msgs: Vec<String> = [
+            ParseError::TruncatedEthernet,
+            ParseError::NotIpv4,
+            ParseError::TruncatedIpv4,
+            ParseError::BadIpv4Header,
+            ParseError::TruncatedTransport,
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        assert!(msgs.iter().all(|m| !m.is_empty()));
+    }
+}

@@ -1,0 +1,407 @@
+//! The FE-NIC execution engine.
+//!
+//! Consumes the switch's ordered event stream, mirrors the FG key table,
+//! recovers every granularity level of each batched record (the MGPV
+//! recovery step of §5.1), drives the compiled `map`/`reduce`/`synthesize`
+//! program per group, and emits feature vectors per the policy's `collect`
+//! units.
+
+use superfe_net::{Granularity, GroupKey};
+use superfe_policy::ast::CollectUnit;
+use superfe_policy::exec::{GroupExec, RecordView};
+use superfe_policy::{CompiledPolicy, LevelProgram};
+use superfe_switch::{MgpvMessage, SwitchEvent};
+
+use crate::table::{GroupTable, TableStats};
+
+/// One emitted feature vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureVector {
+    /// The key of the group (or finest-granularity key for per-packet
+    /// vectors).
+    pub key: GroupKey,
+    /// The features, in policy order.
+    pub values: Vec<f64>,
+}
+
+/// Engine counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NicStats {
+    /// MGPV messages consumed.
+    pub msgs: u64,
+    /// Metadata records consumed.
+    pub records: u64,
+    /// FG table updates applied.
+    pub fg_updates: u64,
+    /// Records whose FG index could not be resolved (should stay 0).
+    pub unresolved_fg: u64,
+    /// Feature vectors emitted.
+    pub vectors: u64,
+    /// Group-key hashes taken from the switch (hash-reuse fast path).
+    pub hashes_reused: u64,
+    /// Group-key hashes computed locally.
+    pub hashes_computed: u64,
+}
+
+struct LevelState {
+    program: LevelProgram,
+    table: GroupTable<GroupExec>,
+}
+
+/// The SmartNIC feature-computation engine for one deployed policy.
+pub struct FeNic {
+    cg: Granularity,
+    levels: Vec<LevelState>,
+    fg_mirror: Vec<Option<GroupKey>>,
+    per_pkt: bool,
+    pkt_vectors: Vec<FeatureVector>,
+    stats: NicStats,
+}
+
+/// Group-table geometry: buckets per level.
+const TABLE_BUCKETS: usize = 16_384;
+/// Group-table width (entries per bucket).
+const TABLE_WIDTH: usize = 4;
+
+impl FeNic {
+    /// Instantiates the engine for a compiled policy.
+    ///
+    /// `fg_table_size` must match the switch's FG table configuration.
+    pub fn new(compiled: &CompiledPolicy, fg_table_size: usize) -> Option<Self> {
+        let levels = compiled
+            .nic
+            .levels
+            .iter()
+            .map(|lp| {
+                GroupTable::new(TABLE_BUCKETS, TABLE_WIDTH).map(|table| LevelState {
+                    program: lp.clone(),
+                    table,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let per_pkt = compiled
+            .nic
+            .levels
+            .iter()
+            .any(|l| l.collect == Some(CollectUnit::Pkt));
+        // Single-granularity policies run without an FG table on the switch;
+        // mirror that so fg_idx = 0 placeholders are never "unresolved".
+        let fg_size = if compiled.switch.needs_fg_table() {
+            fg_table_size
+        } else {
+            0
+        };
+        Some(FeNic {
+            cg: compiled.switch.cg(),
+            levels,
+            fg_mirror: vec![None; fg_size],
+            per_pkt,
+            pkt_vectors: Vec::new(),
+            stats: NicStats::default(),
+        })
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Per-level group-table statistics.
+    pub fn table_stats(&self) -> Vec<(Granularity, TableStats)> {
+        self.levels
+            .iter()
+            .map(|l| (l.program.granularity, l.table.stats()))
+            .collect()
+    }
+
+    /// Number of live groups per level.
+    pub fn groups_per_level(&self) -> Vec<(Granularity, usize)> {
+        self.levels
+            .iter()
+            .map(|l| (l.program.granularity, l.table.len()))
+            .collect()
+    }
+
+    /// Applies one switch event.
+    pub fn handle(&mut self, event: &SwitchEvent) {
+        match event {
+            SwitchEvent::FgUpdate(u) => {
+                let idx = u.idx as usize;
+                if idx < self.fg_mirror.len() {
+                    self.fg_mirror[idx] = Some(u.key);
+                    self.stats.fg_updates += 1;
+                }
+            }
+            SwitchEvent::Mgpv(msg) => self.consume_mgpv(msg),
+        }
+    }
+
+    /// Applies a batch of events in order.
+    pub fn handle_all<'a>(&mut self, events: impl IntoIterator<Item = &'a SwitchEvent>) {
+        for e in events {
+            self.handle(e);
+        }
+    }
+
+    fn consume_mgpv(&mut self, msg: &MgpvMessage) {
+        self.stats.msgs += 1;
+        for rec in &msg.records {
+            self.stats.records += 1;
+            let view = RecordView {
+                size: rec.size as f64,
+                ts_ns: rec.ts_ns(),
+                direction: rec.direction_factor(),
+                tcp_flags: rec.dir_flags & 0x7F,
+            };
+
+            // Resolve the finest-granularity key once per record.
+            let fg_key: Option<GroupKey> = if self.fg_mirror.is_empty() {
+                None
+            } else {
+                let idx = rec.fg_idx as usize;
+                match self.fg_mirror.get(idx).copied().flatten() {
+                    Some(k) => Some(k),
+                    None => {
+                        self.stats.unresolved_fg += 1;
+                        None
+                    }
+                }
+            };
+
+            let mut emit_pkt_vector = self.per_pkt;
+            let mut pkt_values: Vec<f64> = Vec::new();
+            let mut pkt_key: Option<GroupKey> = None;
+
+            for level in &mut self.levels {
+                let g = level.program.granularity;
+                // MGPV recovery: the CG level uses the message key (and the
+                // switch-computed hash); finer levels project the FG key.
+                let (key, hash) = if g == self.cg {
+                    self.stats.hashes_reused += 1;
+                    (msg.cg_key, msg.hash)
+                } else {
+                    match fg_key.and_then(|k| k.project(g)) {
+                        Some(k) => {
+                            self.stats.hashes_computed += 1;
+                            let h = k.hash32();
+                            (k, h)
+                        }
+                        None => {
+                            // Cannot place this record at this level.
+                            emit_pkt_vector = false;
+                            continue;
+                        }
+                    }
+                };
+                let program = &level.program;
+                let exec = level
+                    .table
+                    .get_or_insert_with(key, hash, || GroupExec::new(program));
+                exec.update(&view, hash);
+                if self.per_pkt {
+                    pkt_values.extend(exec.finalize());
+                    pkt_key.get_or_insert(key);
+                }
+            }
+
+            if emit_pkt_vector {
+                if let Some(key) = fg_key.or(pkt_key) {
+                    self.stats.vectors += 1;
+                    self.pkt_vectors.push(FeatureVector {
+                        key,
+                        values: pkt_values,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drains the per-packet feature vectors accumulated so far.
+    pub fn take_packet_vectors(&mut self) -> Vec<FeatureVector> {
+        std::mem::take(&mut self.pkt_vectors)
+    }
+
+    /// Emits per-group feature vectors for every level that collects per
+    /// group, in policy order.
+    pub fn finish(&mut self) -> Vec<FeatureVector> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            if let Some(CollectUnit::Group(_)) = level.program.collect {
+                for (key, exec) in level.table.iter() {
+                    out.push(FeatureVector {
+                        key: *key,
+                        values: exec.finalize(),
+                    });
+                }
+            }
+        }
+        self.stats.vectors += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_net::{Direction, PacketRecord};
+    use superfe_policy::dsl::parse;
+    use superfe_policy::{compile, CompiledPolicy};
+    use superfe_switch::FeSwitch;
+
+    fn compiled(src: &str) -> CompiledPolicy {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    /// Runs packets through a real switch into the NIC engine.
+    fn run_pipeline(
+        c: &CompiledPolicy,
+        packets: &[PacketRecord],
+    ) -> (FeNic, Vec<FeatureVector>, Vec<FeatureVector>) {
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic = FeNic::new(c, 16_384).unwrap();
+        for p in packets {
+            for e in sw.process(p) {
+                nic.handle(&e);
+            }
+        }
+        for e in sw.flush() {
+            nic.handle(&e);
+        }
+        let group_vectors = nic.finish();
+        let pkt_vectors = nic.take_packet_vectors();
+        (nic, group_vectors, pkt_vectors)
+    }
+
+    #[test]
+    fn flow_statistics_end_to_end() {
+        let c = compiled(
+            "pktstream\n.groupby(flow)\n.reduce(size, [f_mean, f_min, f_max])\n.collect(flow)",
+        );
+        let pkts: Vec<PacketRecord> = (0..10)
+            .map(|i| PacketRecord::tcp(i * 1000, (100 + i * 10) as u16, 1, 1000, 2, 80))
+            .collect();
+        let (nic, groups, _) = run_pipeline(&c, &pkts);
+        assert_eq!(nic.stats().records, 10);
+        assert_eq!(groups.len(), 1);
+        let f = &groups[0].values;
+        assert!((f[0] - 145.0).abs() < 1e-9, "mean {}", f[0]);
+        assert_eq!(f[1], 100.0);
+        assert_eq!(f[2], 190.0);
+    }
+
+    #[test]
+    fn multi_granularity_recovery() {
+        // Group at socket (fine) and host (coarse); the switch groups by
+        // host and the NIC recovers sockets from the FG table.
+        let c = compiled(
+            "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+             .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        );
+        // Host 1 has two sockets (ports 1000, 2000), host 5 has one.
+        let pkts = vec![
+            PacketRecord::tcp(0, 100, 1, 1000, 2, 80),
+            PacketRecord::tcp(1_000, 100, 1, 2000, 2, 80),
+            PacketRecord::tcp(2_000, 100, 1, 1000, 2, 80),
+            PacketRecord::tcp(3_000, 100, 5, 3000, 2, 80),
+        ];
+        let (nic, groups, _) = run_pipeline(&c, &pkts);
+        assert_eq!(nic.stats().unresolved_fg, 0);
+        // 3 socket groups + 2 host groups.
+        assert_eq!(groups.len(), 5);
+        let host1: Vec<_> = groups
+            .iter()
+            .filter(|v| v.key == GroupKey::Host(1))
+            .collect();
+        assert_eq!(host1.len(), 1);
+        assert_eq!(host1[0].values, vec![300.0]);
+        let sock1000: Vec<_> = groups
+            .iter()
+            .filter(|v| matches!(v.key, GroupKey::Socket(ft) if ft.src_port == 1000))
+            .collect();
+        assert_eq!(sock1000[0].values, vec![200.0]);
+    }
+
+    #[test]
+    fn per_packet_collect_emits_one_vector_per_record() {
+        let c =
+            compiled("pktstream\n.groupby(host)\n.reduce(size, [f_damped{0.1}])\n.collect(pkt)");
+        let pkts: Vec<PacketRecord> = (0..5)
+            .map(|i| PacketRecord::tcp(i * 1_000_000, 100, 1, 1000, 2, 80))
+            .collect();
+        let (nic, groups, pkt_vecs) = run_pipeline(&c, &pkts);
+        assert_eq!(groups.len(), 0, "collect(pkt) emits no group vectors");
+        assert_eq!(pkt_vecs.len(), 5);
+        assert_eq!(nic.stats().vectors, 5);
+        // Damped triple per vector.
+        assert!(pkt_vecs.iter().all(|v| v.values.len() == 3));
+        // Weight grows with each packet of the host.
+        assert!(pkt_vecs[4].values[0] > pkt_vecs[0].values[0]);
+    }
+
+    #[test]
+    fn hash_reuse_counted_for_cg_level() {
+        let c = compiled("pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)");
+        let pkts: Vec<PacketRecord> = (0..7)
+            .map(|i| PacketRecord::tcp(i, 100, 1, 1000, 2, 80))
+            .collect();
+        let (nic, _, _) = run_pipeline(&c, &pkts);
+        assert_eq!(nic.stats().hashes_reused, 7);
+        assert_eq!(nic.stats().hashes_computed, 0);
+    }
+
+    #[test]
+    fn fg_updates_are_mirrored() {
+        let c = compiled(
+            "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+             .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        );
+        let pkts: Vec<PacketRecord> = (0..4)
+            .map(|i| PacketRecord::tcp(i, 100, 1, 1000 + i as u16, 2, 80))
+            .collect();
+        let (nic, _, _) = run_pipeline(&c, &pkts);
+        assert_eq!(nic.stats().fg_updates, 4);
+    }
+
+    #[test]
+    fn direction_sequences_survive_batching() {
+        // Order preservation: the NIC sees directions in arrival order even
+        // through MGPV batching.
+        let c = compiled(
+            "pktstream\n.groupby(flow)\n.map(one, _, f_one)\n.map(d, one, f_direction)\n\
+             .reduce(d, [f_array{8}])\n.collect(flow)",
+        );
+        let dirs = [
+            Direction::Ingress,
+            Direction::Ingress,
+            Direction::Egress,
+            Direction::Ingress,
+            Direction::Egress,
+        ];
+        let pkts: Vec<PacketRecord> = dirs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                PacketRecord::tcp(i as u64 * 1000, 100, 1, 1000, 2, 80).with_direction(*d)
+            })
+            .collect();
+        let (_, groups, _) = run_pipeline(&c, &pkts);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(
+            groups[0].values,
+            vec![1.0, 1.0, -1.0, 1.0, -1.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn record_conservation_through_pipeline() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let pkts: Vec<PacketRecord> = (0..500)
+            .map(|i| PacketRecord::tcp(i * 10, 100, (i % 23 + 1) as u32, 1000, 2, 80))
+            .collect();
+        let (nic, groups, _) = run_pipeline(&c, &pkts);
+        assert_eq!(nic.stats().records, 500);
+        // Sums over all host groups must equal the total bytes.
+        let total: f64 = groups.iter().map(|g| g.values[0]).sum();
+        assert!((total - 500.0 * 100.0).abs() < 1e-6, "total {total}");
+    }
+}

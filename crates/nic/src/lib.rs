@@ -1,0 +1,38 @@
+//! FE-NIC: the SmartNIC half of SuperFE (§6 of the paper).
+//!
+//! The paper's prototype is ~3K lines of Micro-C on Netronome NFP-4000
+//! SmartNICs. This crate provides both a faithful *model* of that hardware
+//! and a real, runnable feature-computation engine:
+//!
+//! - [`arch`]: the NFP SoC model — islands, 8-thread RISC cores at 800 MHz,
+//!   and the CLS/CTM/IMEM/EMEM/DRAM memory hierarchy with published
+//!   latencies and the 64-byte data bus (§6.2, Fig. 8).
+//! - [`placement`]: the group-table placement ILP (Eq. 3–5), solved exactly
+//!   by branch and bound (substituting for Gurobi).
+//! - [`table`]: the 64-byte-bucket fixed-length-chaining group table with
+//!   DRAM overflow (§6.2 "group table implementation").
+//! - [`engine`]: [`FeNic`] — consumes the switch's event stream (MGPV
+//!   evictions + FG table updates), recovers every granularity level, runs
+//!   the compiled `map`/`reduce`/`synthesize`/`collect` program, and emits
+//!   feature vectors.
+//! - [`perf`]: the cycle model with the three §6.2 optimizations as toggles
+//!   (hash reuse, thread-level latency hiding, division elimination) — the
+//!   basis of Figs. 16 and 17.
+//! - [`parallel`]: a real multi-threaded executor (crossbeam) with per-IP
+//!   sharding, the software analogue of the NBI packet distribution.
+//! - [`resources`]: NIC memory utilization for Table 4.
+
+pub mod arch;
+pub mod engine;
+pub mod parallel;
+pub mod perf;
+pub mod placement;
+pub mod resources;
+pub mod table;
+
+pub use arch::{MemLevel, NfpModel};
+pub use engine::{FeNic, FeatureVector, NicStats};
+pub use parallel::ParallelNic;
+pub use perf::{CycleModel, OptFlags, PerfEstimate};
+pub use placement::{solve_placement, Placement};
+pub use table::GroupTable;

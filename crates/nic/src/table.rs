@@ -1,0 +1,209 @@
+//! The NIC group table: fixed-length chaining over 64-byte buckets with
+//! DRAM overflow (§6.2 "group table implementation").
+//!
+//! The 512-bit data bus loads a whole bucket in one access, so a bucket
+//! holds `width` entries and a lookup scans them in registers. Entries that
+//! do not fit their bucket spill into external DRAM — slower, but harmless
+//! while the collision rate stays low, which the paper (and our tests)
+//! verify.
+
+use std::collections::HashMap;
+
+use superfe_net::GroupKey;
+
+/// Lookup/insert statistics, used to validate the low-collision-rate claim.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TableStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups satisfied from the bucket array.
+    pub fast_hits: u64,
+    /// Lookups that had to touch the DRAM overflow.
+    pub dram_lookups: u64,
+    /// Entries currently spilled to DRAM.
+    pub dram_entries: usize,
+}
+
+impl TableStats {
+    /// Fraction of lookups that touched DRAM.
+    pub fn collision_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.dram_lookups as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A hash table with fixed-length chains and DRAM overflow.
+#[derive(Clone, Debug)]
+pub struct GroupTable<V> {
+    buckets: Vec<Vec<(GroupKey, V)>>,
+    width: usize,
+    overflow: HashMap<GroupKey, V>,
+    stats: TableStats,
+}
+
+impl<V> GroupTable<V> {
+    /// Creates a table with `buckets` buckets of `width` entries each.
+    ///
+    /// Returns `None` when either dimension is zero.
+    pub fn new(buckets: usize, width: usize) -> Option<Self> {
+        if buckets == 0 || width == 0 {
+            return None;
+        }
+        Some(GroupTable {
+            buckets: (0..buckets).map(|_| Vec::with_capacity(width)).collect(),
+            width,
+            overflow: HashMap::new(),
+            stats: TableStats::default(),
+        })
+    }
+
+    /// Number of resident groups (bucket array + overflow).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum::<usize>() + self.overflow.len()
+    }
+
+    /// Whether the table holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup/insert statistics.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            dram_entries: self.overflow.len(),
+            ..self.stats
+        }
+    }
+
+    /// Returns the group's value, inserting `default()` on first sight.
+    ///
+    /// `hash` is the (possibly switch-provided) 32-bit key hash.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: GroupKey,
+        hash: u32,
+        default: impl FnOnce() -> V,
+    ) -> &mut V {
+        self.stats.lookups += 1;
+        let b = (hash as usize) % self.buckets.len();
+        // Fixed-length chain scan (one bus access on hardware).
+        if let Some(pos) = self.buckets[b].iter().position(|(k, _)| *k == key) {
+            self.stats.fast_hits += 1;
+            return &mut self.buckets[b][pos].1;
+        }
+        if self.buckets[b].len() < self.width && !self.overflow.contains_key(&key) {
+            self.stats.fast_hits += 1;
+            self.buckets[b].push((key, default()));
+            let last = self.buckets[b].len() - 1;
+            return &mut self.buckets[b][last].1;
+        }
+        // Collision: go to DRAM.
+        self.stats.dram_lookups += 1;
+        self.overflow.entry(key).or_insert_with(default)
+    }
+
+    /// Iterates all `(key, value)` pairs (bucket array first, then DRAM).
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &V)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
+            .chain(self.overflow.iter())
+    }
+
+    /// Removes every group, keeping the structure.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> GroupKey {
+        GroupKey::Host(i)
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(GroupTable::<u32>::new(0, 4).is_none());
+        assert!(GroupTable::<u32>::new(4, 0).is_none());
+    }
+
+    #[test]
+    fn insert_and_update() {
+        let mut t = GroupTable::<u64>::new(16, 4).unwrap();
+        *t.get_or_insert_with(key(1), 1, || 0) += 5;
+        *t.get_or_insert_with(key(1), 1, || 0) += 5;
+        assert_eq!(*t.get_or_insert_with(key(1), 1, || 0), 10);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bucket_overflow_spills_to_dram() {
+        let mut t = GroupTable::<u32>::new(1, 2).unwrap();
+        // All keys land in bucket 0 (1 bucket); width 2 -> 3rd key spills.
+        for i in 0..3 {
+            t.get_or_insert_with(key(i), 0, || i);
+        }
+        let s = t.stats();
+        assert_eq!(t.len(), 3);
+        assert_eq!(s.dram_entries, 1);
+        assert!(s.dram_lookups >= 1);
+        // The spilled key stays reachable and distinct.
+        assert_eq!(*t.get_or_insert_with(key(2), 0, || 99), 2);
+    }
+
+    #[test]
+    fn spilled_key_never_duplicates_into_bucket() {
+        let mut t = GroupTable::<u32>::new(1, 1).unwrap();
+        t.get_or_insert_with(key(1), 0, || 1);
+        t.get_or_insert_with(key(2), 0, || 2); // spills
+                                               // key(1) evicted scenario does not exist (no eviction); but key(2)
+                                               // must not re-enter the bucket even if the bucket had space later.
+        assert_eq!(t.len(), 2);
+        t.get_or_insert_with(key(2), 0, || 99);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn collision_rate_low_when_sized_correctly() {
+        let mut t = GroupTable::<u32>::new(1024, 4).unwrap();
+        for i in 0..1000u32 {
+            let k = key(i);
+            t.get_or_insert_with(k, k.hash32(), || 0);
+        }
+        assert!(
+            t.stats().collision_rate() < 0.05,
+            "{}",
+            t.stats().collision_rate()
+        );
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let mut t = GroupTable::<u32>::new(2, 1).unwrap();
+        for i in 0..6 {
+            t.get_or_insert_with(key(i), i, || i);
+        }
+        let mut seen: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = GroupTable::<u32>::new(4, 1).unwrap();
+        for i in 0..8 {
+            t.get_or_insert_with(key(i), i, || i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,472 @@
+//! The policy enforcement engine: splitting a policy across the switch and
+//! the SmartNIC (§4.1 "natural support to SuperFE architecture", §7).
+//!
+//! `groupby` and `filter` have simple, fixed processing logic and run on the
+//! programmable switch; `map`/`reduce`/`synthesize`/`collect` need general
+//! computation and run on the SmartNIC. [`compile`] performs that split and
+//! additionally derives:
+//!
+//! - which metadata fields the switch must batch per packet (and their wire
+//!   widths), which determines the MGPV record layout and the aggregation
+//!   ratio;
+//! - the per-group state inventory of the NIC program (sizes and access
+//!   frequencies), which feeds the ILP memory-placement solver (§6.2).
+
+use superfe_net::Granularity;
+
+use crate::ast::{CollectUnit, Field, MapFn, Operator, Policy, Predicate, ReduceFn, SynthFn};
+use crate::error::PolicyError;
+use crate::validate::validate;
+
+/// A per-packet metadata field batched by the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetaField {
+    /// Wire size, 2 bytes.
+    Size,
+    /// Arrival timestamp truncated to 32-bit microseconds, 4 bytes.
+    TstampUs,
+    /// Direction bit packed with TCP flags, 1 byte.
+    DirFlags,
+    /// Index into the FG group-key table, 2 bytes.
+    FgIdx,
+}
+
+impl MetaField {
+    /// Serialized width in bytes within an MGPV record.
+    pub fn bytes(self) -> usize {
+        match self {
+            MetaField::Size => 2,
+            MetaField::TstampUs => 4,
+            MetaField::DirFlags => 1,
+            MetaField::FgIdx => 2,
+        }
+    }
+}
+
+/// The switch-side half of a compiled policy.
+#[derive(Clone, Debug)]
+pub struct SwitchProgram {
+    /// Combined filter predicate (one match-action table), if any.
+    pub filter: Option<Predicate>,
+    /// Granularity levels in policy order (fine → coarse).
+    pub levels: Vec<Granularity>,
+    /// Metadata fields each MGPV record carries.
+    pub metadata: Vec<MetaField>,
+}
+
+impl SwitchProgram {
+    /// The coarsest granularity — the grouping key of the MGPV cache.
+    pub fn cg(&self) -> Granularity {
+        *self.levels.last().expect("validated policy has groupby")
+    }
+
+    /// The finest granularity — the key stored in the FG table.
+    pub fn fg(&self) -> Granularity {
+        *self.levels.first().expect("validated policy has groupby")
+    }
+
+    /// Whether an FG key table is required (more than one granularity).
+    pub fn needs_fg_table(&self) -> bool {
+        self.levels.len() > 1
+    }
+
+    /// Bytes of one MGPV metadata record.
+    pub fn record_bytes(&self) -> usize {
+        self.metadata.iter().map(|m| m.bytes()).sum()
+    }
+}
+
+/// One `reduce` with its trailing `synthesize` chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReduceOp {
+    /// Source field.
+    pub src: Field,
+    /// Reducing functions over the source.
+    pub funcs: Vec<ReduceFn>,
+    /// Synthesizing functions applied to this reduce's feature block.
+    pub synths: Vec<SynthFn>,
+}
+
+impl ReduceOp {
+    /// Feature values this op contributes after synthesis.
+    pub fn feature_len(&self) -> usize {
+        let mut len: usize = self.funcs.iter().map(|f| f.feature_len()).sum();
+        for s in &self.synths {
+            len = s.output_len(len);
+        }
+        len
+    }
+}
+
+/// One `map` operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapOp {
+    /// Destination field.
+    pub dst: Field,
+    /// Source field.
+    pub src: Field,
+    /// Mapping function.
+    pub func: MapFn,
+}
+
+/// The NIC-side program for one granularity level.
+#[derive(Clone, Debug)]
+pub struct LevelProgram {
+    /// Granularity of this level's groups.
+    pub granularity: Granularity,
+    /// Maps applied per record at this level (including inherited ones).
+    pub maps: Vec<MapOp>,
+    /// Reduces (with synthesize chains) at this level.
+    pub reduces: Vec<ReduceOp>,
+    /// How this level's features are collected, if at all.
+    pub collect: Option<CollectUnit>,
+}
+
+impl LevelProgram {
+    /// Feature dimension this level contributes.
+    pub fn feature_len(&self) -> usize {
+        self.reduces.iter().map(|r| r.feature_len()).sum()
+    }
+}
+
+/// A per-group state slot, the unit of the ILP placement problem (§6.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateSpec {
+    /// Human-readable name, e.g. `"flow/size:f_mean"`.
+    pub name: String,
+    /// State size in bytes (`b_s`).
+    pub bytes: usize,
+    /// Accesses per packet (`t_s`).
+    pub accesses_per_pkt: f64,
+}
+
+/// The NIC-side half of a compiled policy.
+#[derive(Clone, Debug)]
+pub struct NicProgram {
+    /// Per-granularity level programs, fine → coarse.
+    pub levels: Vec<LevelProgram>,
+}
+
+impl NicProgram {
+    /// Total feature dimension across all levels.
+    pub fn feature_dimension(&self) -> usize {
+        self.levels.iter().map(|l| l.feature_len()).sum()
+    }
+
+    /// The per-group state inventory for memory placement.
+    pub fn states(&self) -> Vec<StateSpec> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            let g = level.granularity.name();
+            // Mapper states (e.g. previous timestamp for f_ipt).
+            for m in &level.maps {
+                let b = m.func.state_bytes();
+                if b > 0 {
+                    out.push(StateSpec {
+                        name: format!("{g}/{}:{}", m.dst.name(), m.func.name()),
+                        bytes: b,
+                        accesses_per_pkt: 1.0,
+                    });
+                }
+            }
+            for r in &level.reduces {
+                for f in &r.funcs {
+                    out.push(StateSpec {
+                        name: format!("{g}/{}:{}", r.src.name(), f.name()),
+                        bytes: f.state_bytes(),
+                        accesses_per_pkt: 1.0,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A policy compiled for deployment.
+#[derive(Clone, Debug)]
+pub struct CompiledPolicy {
+    /// Switch half (`FE-Switch` configuration).
+    pub switch: SwitchProgram,
+    /// NIC half (`FE-NIC` program).
+    pub nic: NicProgram,
+}
+
+/// Compiles (and validates) a policy into its switch and NIC halves.
+pub fn compile(policy: &Policy) -> Result<CompiledPolicy, PolicyError> {
+    validate(policy)?;
+
+    // --- Switch side: filters and the granularity chain. ---
+    let mut filter: Option<Predicate> = None;
+    for op in &policy.ops {
+        if let Operator::Filter(p) = op {
+            filter = Some(match filter.take() {
+                None => p.clone(),
+                Some(prev) => Predicate::And(Box::new(prev), Box::new(p.clone())),
+            });
+        }
+    }
+    let levels_g = policy.granularities();
+
+    // --- NIC side: level programs. ---
+    let mut levels: Vec<LevelProgram> = Vec::new();
+    let mut inherited_maps: Vec<MapOp> = Vec::new();
+    for op in &policy.ops {
+        match op {
+            Operator::GroupBy(g) => {
+                levels.push(LevelProgram {
+                    granularity: *g,
+                    maps: inherited_maps.clone(),
+                    reduces: Vec::new(),
+                    collect: None,
+                });
+            }
+            Operator::Map { dst, src, func } => {
+                let m = MapOp {
+                    dst: dst.clone(),
+                    src: src.clone(),
+                    func: *func,
+                };
+                inherited_maps.push(m.clone());
+                levels
+                    .last_mut()
+                    .expect("validated: map after groupby")
+                    .maps
+                    .push(m);
+            }
+            Operator::Reduce { src, funcs } => {
+                levels
+                    .last_mut()
+                    .expect("validated: reduce after groupby")
+                    .reduces
+                    .push(ReduceOp {
+                        src: src.clone(),
+                        funcs: funcs.clone(),
+                        synths: Vec::new(),
+                    });
+            }
+            Operator::Synthesize(sf) => {
+                let level = levels.last_mut().expect("validated");
+                level
+                    .reduces
+                    .last_mut()
+                    .expect("validated: synthesize after reduce")
+                    .synths
+                    .push(*sf);
+            }
+            Operator::Collect(u) => {
+                levels.last_mut().expect("validated").collect = Some(*u);
+            }
+            Operator::Filter(_) => {}
+        }
+    }
+
+    // --- Metadata layout: which fields must ride in each MGPV record. ---
+    let mut metadata = Vec::new();
+    let need = |m: MetaField, v: &mut Vec<MetaField>| {
+        if !v.contains(&m) {
+            v.push(m);
+        }
+    };
+    for level in &levels {
+        for m in &level.maps {
+            match m.func {
+                MapFn::FIpt => need(MetaField::TstampUs, &mut metadata),
+                MapFn::FSpeed => {
+                    need(MetaField::TstampUs, &mut metadata);
+                    need(MetaField::Size, &mut metadata);
+                }
+                MapFn::FDirection | MapFn::FBurst => need(MetaField::DirFlags, &mut metadata),
+                MapFn::FOne => {}
+            }
+            if m.src == Field::Size {
+                need(MetaField::Size, &mut metadata);
+            }
+            if m.src == Field::Tstamp {
+                need(MetaField::TstampUs, &mut metadata);
+            }
+        }
+        for r in &level.reduces {
+            match r.src {
+                Field::Size => need(MetaField::Size, &mut metadata),
+                Field::Tstamp => need(MetaField::TstampUs, &mut metadata),
+                Field::Direction | Field::TcpFlags => need(MetaField::DirFlags, &mut metadata),
+                _ => {}
+            }
+            // Bidirectional functions consume direction and timestamps;
+            // damped windows consume timestamps for their decay.
+            if r.funcs.iter().any(|f| {
+                matches!(
+                    f,
+                    ReduceFn::Mag
+                        | ReduceFn::Radius
+                        | ReduceFn::Cov
+                        | ReduceFn::Pcc
+                        | ReduceFn::Damped2d { .. }
+                )
+            }) {
+                need(MetaField::DirFlags, &mut metadata);
+                need(MetaField::TstampUs, &mut metadata);
+            }
+            if r.funcs.iter().any(|f| matches!(f, ReduceFn::Damped { .. })) {
+                need(MetaField::TstampUs, &mut metadata);
+            }
+        }
+    }
+    if levels_g.len() > 1 {
+        need(MetaField::FgIdx, &mut metadata);
+    }
+
+    Ok(CompiledPolicy {
+        switch: SwitchProgram {
+            filter,
+            levels: levels_g,
+            metadata,
+        },
+        nic: NicProgram { levels },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::pktstream;
+    use crate::dsl::parse;
+
+    fn fig4() -> Policy {
+        parse(
+            "pktstream\n.groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(ipt, [ft_hist{10000, 100}])\n.reduce(size, [ft_hist{100, 16}])\n\
+             .collect(flow)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn splits_fig4() {
+        let c = compile(&fig4()).unwrap();
+        assert!(c.switch.filter.is_none());
+        assert_eq!(c.switch.levels, vec![Granularity::Flow]);
+        assert_eq!(c.switch.cg(), Granularity::Flow);
+        assert_eq!(c.switch.fg(), Granularity::Flow);
+        assert!(!c.switch.needs_fg_table());
+        // size histogram needs Size; f_ipt needs TstampUs.
+        assert!(c.switch.metadata.contains(&MetaField::Size));
+        assert!(c.switch.metadata.contains(&MetaField::TstampUs));
+        assert!(!c.switch.metadata.contains(&MetaField::FgIdx));
+        assert_eq!(c.nic.levels.len(), 1);
+        assert_eq!(c.nic.feature_dimension(), 116);
+    }
+
+    #[test]
+    fn filters_combine_with_and() {
+        let p = pktstream()
+            .filter(Predicate::TcpExists)
+            .filter(Predicate::Cmp {
+                field: Field::DstPort,
+                op: crate::ast::CmpOp::Eq,
+                value: 443,
+            })
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let c = compile(&p).unwrap();
+        assert!(matches!(c.switch.filter, Some(Predicate::And(..))));
+    }
+
+    #[test]
+    fn multi_granularity_switch_config() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Socket)
+            .groupby(Granularity::Channel)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Channel)
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build()
+            .unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.switch.cg(), Granularity::Host);
+        assert_eq!(c.switch.fg(), Granularity::Socket);
+        assert!(c.switch.needs_fg_table());
+        assert!(c.switch.metadata.contains(&MetaField::FgIdx));
+        assert_eq!(c.nic.levels.len(), 3);
+        assert_eq!(c.nic.feature_dimension(), 3);
+    }
+
+    #[test]
+    fn record_bytes_sums_fields() {
+        let c = compile(&fig4()).unwrap();
+        // Size (2) + TstampUs (4).
+        assert_eq!(c.switch.record_bytes(), 6);
+    }
+
+    #[test]
+    fn maps_are_inherited_by_later_levels() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .map("ipt", "tstamp", MapFn::FIpt)
+            .reduce("ipt", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Socket)
+            .groupby(Granularity::Host)
+            .reduce("ipt", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build()
+            .unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.nic.levels[1].maps.len(), 1, "host level inherits f_ipt");
+    }
+
+    #[test]
+    fn states_inventory() {
+        let c = compile(&fig4()).unwrap();
+        let states = c.nic.states();
+        // f_ipt mapper state + two histograms.
+        assert_eq!(states.len(), 3);
+        let hist = states.iter().find(|s| s.name.contains("size")).unwrap();
+        assert_eq!(hist.bytes, 16 * 4);
+        assert!(states.iter().all(|s| s.accesses_per_pkt > 0.0));
+    }
+
+    #[test]
+    fn synthesize_attaches_to_previous_reduce() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("one", "_", MapFn::FOne)
+            .map("d", "one", MapFn::FDirection)
+            .reduce("d", vec![ReduceFn::Array { cap: 200 }])
+            .synthesize(SynthFn::Sample { n: 50 })
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let c = compile(&p).unwrap();
+        let r = &c.nic.levels[0].reduces[0];
+        assert_eq!(r.synths, vec![SynthFn::Sample { n: 50 }]);
+        assert_eq!(r.feature_len(), 50);
+        assert_eq!(c.nic.feature_dimension(), 50);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_policy() {
+        let p = Policy::new();
+        assert!(compile(&p).is_err());
+    }
+
+    #[test]
+    fn direction_metadata_for_bidirectional_funcs() {
+        let p = pktstream()
+            .groupby(Granularity::Channel)
+            .reduce("size", vec![ReduceFn::Mag, ReduceFn::Pcc])
+            .collect_group(Granularity::Channel)
+            .build()
+            .unwrap();
+        let c = compile(&p).unwrap();
+        assert!(c.switch.metadata.contains(&MetaField::DirFlags));
+        assert!(c.switch.metadata.contains(&MetaField::TstampUs));
+    }
+}

@@ -1,0 +1,834 @@
+//! Parser for the textual policy form used in the paper's figures.
+//!
+//! The grammar follows §4.2 verbatim — a chain of `.operator(args)` calls on
+//! `pktstream`:
+//!
+//! ```text
+//! pktstream
+//! .filter(tcp.exist and dstport == 443)
+//! .groupby(flow)
+//! .map(ipt, tstamp, f_ipt)
+//! .reduce(ipt, [ft_hist{10000, 100}])
+//! .reduce(size, [ft_hist{100, 16}])
+//! .collect(flow)
+//! ```
+//!
+//! Comments start with `#` or `//` and blank lines are ignored; [`loc`]
+//! counts the remaining lines, which is the "LOC in SuperFE" metric of
+//! Table 3.
+
+use superfe_net::Granularity;
+
+use crate::ast::{
+    CmpOp, CollectUnit, Field, MapFn, Operator, Policy, Predicate, ReduceFn, SynthFn,
+};
+use crate::error::PolicyError;
+use crate::validate::validate;
+
+/// Counts the policy's lines of code: non-empty lines that are not comments.
+pub fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("//"))
+        .count()
+}
+
+/// Parses and validates a textual policy.
+pub fn parse(src: &str) -> Result<Policy, PolicyError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let policy = p.parse_policy()?;
+    validate(&policy)?;
+    Ok(policy)
+}
+
+/// Pretty-prints a policy back into the textual DSL.
+///
+/// The output round-trips: `parse(&print(&p)) == p` for any valid policy.
+pub fn print(policy: &Policy) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("pktstream\n");
+    for op in &policy.ops {
+        match op {
+            Operator::Filter(p) => writeln!(out, ".filter({})", print_predicate(p)).expect("write"),
+            Operator::GroupBy(g) => writeln!(out, ".groupby({})", g.name()).expect("write"),
+            Operator::Map { dst, src, func } => {
+                writeln!(out, ".map({}, {}, {})", dst.name(), src.name(), func.name())
+                    .expect("write")
+            }
+            Operator::Reduce { src, funcs } => {
+                let fs: Vec<String> = funcs.iter().map(print_reduce_fn).collect();
+                writeln!(out, ".reduce({}, [{}])", src.name(), fs.join(", ")).expect("write")
+            }
+            Operator::Synthesize(sf) => {
+                writeln!(out, ".synthesize({})", print_synth_fn(sf)).expect("write")
+            }
+            Operator::Collect(u) => match u {
+                CollectUnit::Pkt => writeln!(out, ".collect(pkt)").expect("write"),
+                CollectUnit::Group(g) => writeln!(out, ".collect({})", g.name()).expect("write"),
+            },
+        }
+    }
+    out
+}
+
+fn print_predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::TcpExists => "tcp.exist".into(),
+        Predicate::UdpExists => "udp.exist".into(),
+        Predicate::Cmp { field, op, value } => {
+            format!("{} {} {}", field.name(), op.symbol(), value)
+        }
+        Predicate::And(a, b) => {
+            format!("({} and {})", print_predicate(a), print_predicate(b))
+        }
+        Predicate::Or(a, b) => format!("({} or {})", print_predicate(a), print_predicate(b)),
+        Predicate::Not(a) => format!("not ({})", print_predicate(a)),
+    }
+}
+
+fn print_reduce_fn(f: &ReduceFn) -> String {
+    match f {
+        ReduceFn::Card { k } => format!("f_card{{{k}}}"),
+        ReduceFn::Array { cap } => format!("f_array{{{cap}}}"),
+        ReduceFn::Pdf { width, bins } => format!("f_pdf{{{width}, {bins}}}"),
+        ReduceFn::Cdf { width, bins } => format!("f_cdf{{{width}, {bins}}}"),
+        ReduceFn::Hist { width, bins } => format!("ft_hist{{{width}, {bins}}}"),
+        ReduceFn::HistLog { unit, base, bins } => {
+            format!("ft_histlog{{{unit}, {base}, {bins}}}")
+        }
+        ReduceFn::Percent { width, bins, q } => {
+            format!("ft_percent{{{width}, {bins}, {q}}}")
+        }
+        ReduceFn::Damped { lambda } => format!("f_damped{{{lambda}}}"),
+        ReduceFn::Damped2d { lambda } => format!("f_damped2d{{{lambda}}}"),
+        simple => simple.name().to_string(),
+    }
+}
+
+fn print_synth_fn(sf: &SynthFn) -> String {
+    match sf {
+        SynthFn::Sample { n } => format!("ft_sample{{{n}}}"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Parses without validating (for tests and tooling).
+pub fn parse_unchecked(src: &str) -> Result<Policy, PolicyError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_policy()
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Op(CmpOp),
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, PolicyError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw
+            .split('#')
+            .next()
+            .unwrap_or("")
+            .split("//")
+            .next()
+            .unwrap_or("");
+        let mut chars = code.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '.' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::Dot,
+                        line,
+                    });
+                }
+                ',' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::Comma,
+                        line,
+                    });
+                }
+                '(' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::LParen,
+                        line,
+                    });
+                }
+                ')' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::RParen,
+                        line,
+                    });
+                }
+                '[' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::LBracket,
+                        line,
+                    });
+                }
+                ']' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::RBracket,
+                        line,
+                    });
+                }
+                '{' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::LBrace,
+                        line,
+                    });
+                }
+                '}' => {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::RBrace,
+                        line,
+                    });
+                }
+                '=' | '!' | '<' | '>' => {
+                    chars.next();
+                    let eq = chars.peek() == Some(&'=');
+                    if eq {
+                        chars.next();
+                    }
+                    let op = match (c, eq) {
+                        ('=', true) => CmpOp::Eq,
+                        ('!', true) => CmpOp::Ne,
+                        ('<', true) => CmpOp::Le,
+                        ('<', false) => CmpOp::Lt,
+                        ('>', true) => CmpOp::Ge,
+                        ('>', false) => CmpOp::Gt,
+                        _ => {
+                            return Err(PolicyError::Parse {
+                                line,
+                                msg: format!("unexpected character '{c}'"),
+                            })
+                        }
+                    };
+                    out.push(SpannedTok {
+                        tok: Tok::Op(op),
+                        line,
+                    });
+                }
+                '0'..='9' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() || d == '.' {
+                            // A dot is part of the number only if a digit follows.
+                            if d == '.' {
+                                let mut ahead = chars.clone();
+                                ahead.next();
+                                if !matches!(ahead.peek(), Some(x) if x.is_ascii_digit()) {
+                                    break;
+                                }
+                            }
+                            s.push(d);
+                            chars.next();
+                        } else if d == '_' {
+                            chars.next(); // digit separator
+                        } else {
+                            break;
+                        }
+                    }
+                    let n = s.parse::<f64>().map_err(|_| PolicyError::Parse {
+                        line,
+                        msg: format!("bad number '{s}'"),
+                    })?;
+                    out.push(SpannedTok {
+                        tok: Tok::Number(n),
+                        line,
+                    });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(SpannedTok {
+                        tok: Tok::Ident(s),
+                        line,
+                    });
+                }
+                other => {
+                    return Err(PolicyError::Parse {
+                        line,
+                        msg: format!("unexpected character '{other}'"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PolicyError {
+        PolicyError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), PolicyError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(self.err(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, PolicyError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, PolicyError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn parse_policy(&mut self) -> Result<Policy, PolicyError> {
+        let head = self.expect_ident()?;
+        if head != "pktstream" {
+            return Err(self.err(format!(
+                "policy must start with 'pktstream', found '{head}'"
+            )));
+        }
+        let mut ops = Vec::new();
+        while self.peek() == Some(&Tok::Dot) {
+            self.next();
+            let name = self.expect_ident()?;
+            self.expect(Tok::LParen)?;
+            let op = match name.as_str() {
+                "filter" => Operator::Filter(self.parse_predicate()?),
+                "groupby" => Operator::GroupBy(self.parse_granularity()?),
+                "map" => {
+                    let dst = self.expect_ident()?;
+                    self.expect(Tok::Comma)?;
+                    let src = self.expect_ident()?;
+                    self.expect(Tok::Comma)?;
+                    let fname = self.expect_ident()?;
+                    let func = MapFn::from_name(&fname)
+                        .ok_or_else(|| self.err(format!("unknown mapping function '{fname}'")))?;
+                    Operator::Map {
+                        dst: Field::from_name(&dst),
+                        src: Field::from_name(&src),
+                        func,
+                    }
+                }
+                "reduce" => {
+                    let src = self.expect_ident()?;
+                    self.expect(Tok::Comma)?;
+                    self.expect(Tok::LBracket)?;
+                    let mut funcs = Vec::new();
+                    loop {
+                        funcs.push(self.parse_reduce_fn()?);
+                        match self.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RBracket) => break,
+                            other => {
+                                return Err(
+                                    self.err(format!("expected ',' or ']', found {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                    Operator::Reduce {
+                        src: Field::from_name(&src),
+                        funcs,
+                    }
+                }
+                "synthesize" => Operator::Synthesize(self.parse_synth_fn()?),
+                "collect" => {
+                    let u = self.expect_ident()?;
+                    let unit = if u == "pkt" {
+                        CollectUnit::Pkt
+                    } else {
+                        CollectUnit::Group(
+                            granularity_from_name(&u)
+                                .ok_or_else(|| self.err(format!("unknown collect unit '{u}'")))?,
+                        )
+                    };
+                    Operator::Collect(unit)
+                }
+                other => return Err(self.err(format!("unknown operator '{other}'"))),
+            };
+            self.expect(Tok::RParen)?;
+            ops.push(op);
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing tokens after policy chain"));
+        }
+        Ok(Policy { ops })
+    }
+
+    fn parse_granularity(&mut self) -> Result<Granularity, PolicyError> {
+        let name = self.expect_ident()?;
+        granularity_from_name(&name)
+            .ok_or_else(|| self.err(format!("unknown granularity '{name}'")))
+    }
+
+    /// `or` (lowest) < `and` < `not` / atoms.
+    fn parse_predicate(&mut self) -> Result<Predicate, PolicyError> {
+        let mut lhs = self.parse_pred_and()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "or") {
+            self.next();
+            let rhs = self.parse_pred_and()?;
+            lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_pred_and(&mut self) -> Result<Predicate, PolicyError> {
+        let mut lhs = self.parse_pred_atom()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "and") {
+            self.next();
+            let rhs = self.parse_pred_atom()?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_pred_atom(&mut self) -> Result<Predicate, PolicyError> {
+        match self.next() {
+            Some(Tok::LParen) => {
+                let p = self.parse_predicate()?;
+                self.expect(Tok::RParen)?;
+                Ok(p)
+            }
+            Some(Tok::Ident(s)) if s == "not" => {
+                Ok(Predicate::Not(Box::new(self.parse_pred_atom()?)))
+            }
+            Some(Tok::Ident(s)) if s == "tcp" || s == "udp" => {
+                // tcp.exist / udp.exist
+                self.expect(Tok::Dot)?;
+                let attr = self.expect_ident()?;
+                if attr != "exist" {
+                    return Err(self.err(format!("unknown attribute '{s}.{attr}'")));
+                }
+                Ok(if s == "tcp" {
+                    Predicate::TcpExists
+                } else {
+                    Predicate::UdpExists
+                })
+            }
+            Some(Tok::Ident(fname)) => {
+                let field = Field::from_name(&fname);
+                if !field.is_builtin() {
+                    return Err(self.err(format!(
+                        "filter can only test switch-visible fields, not '{fname}'"
+                    )));
+                }
+                let op = match self.next() {
+                    Some(Tok::Op(op)) => op,
+                    other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+                };
+                let value = self.expect_number()? as u64;
+                Ok(Predicate::Cmp { field, op, value })
+            }
+            other => Err(self.err(format!("expected predicate, found {other:?}"))),
+        }
+    }
+
+    fn parse_reduce_fn(&mut self) -> Result<ReduceFn, PolicyError> {
+        let name = self.expect_ident()?;
+        let params = self.parse_brace_params()?;
+        let require = |n: usize| -> Result<(), PolicyError> {
+            if params.len() == n {
+                Ok(())
+            } else {
+                Err(PolicyError::Parse {
+                    line: 0,
+                    msg: format!("{name} expects {n} parameters, got {}", params.len()),
+                })
+            }
+        };
+        Ok(match name.as_str() {
+            "f_sum" => ReduceFn::Sum,
+            "f_mean" => ReduceFn::Mean,
+            "f_var" => ReduceFn::Var,
+            "f_std" => ReduceFn::Std,
+            "f_max" => ReduceFn::Max,
+            "f_min" => ReduceFn::Min,
+            "f_kur" => ReduceFn::Kur,
+            "f_skew" => ReduceFn::Skew,
+            "f_mag" => ReduceFn::Mag,
+            "f_radius" => ReduceFn::Radius,
+            "f_cov" => ReduceFn::Cov,
+            "f_pcc" => ReduceFn::Pcc,
+            "f_card" => {
+                let k = if params.is_empty() { 10.0 } else { params[0] };
+                ReduceFn::Card { k: k as u8 }
+            }
+            "f_array" => {
+                require(1)?;
+                ReduceFn::Array {
+                    cap: params[0] as usize,
+                }
+            }
+            "f_pdf" => {
+                require(2)?;
+                ReduceFn::Pdf {
+                    width: params[0],
+                    bins: params[1] as usize,
+                }
+            }
+            "f_cdf" => {
+                require(2)?;
+                ReduceFn::Cdf {
+                    width: params[0],
+                    bins: params[1] as usize,
+                }
+            }
+            "ft_hist" => {
+                require(2)?;
+                ReduceFn::Hist {
+                    width: params[0],
+                    bins: params[1] as usize,
+                }
+            }
+            "ft_histlog" => {
+                require(3)?;
+                ReduceFn::HistLog {
+                    unit: params[0],
+                    base: params[1],
+                    bins: params[2] as usize,
+                }
+            }
+            "ft_percent" => {
+                require(3)?;
+                ReduceFn::Percent {
+                    width: params[0],
+                    bins: params[1] as usize,
+                    q: params[2],
+                }
+            }
+            "f_damped" => {
+                require(1)?;
+                ReduceFn::Damped { lambda: params[0] }
+            }
+            "f_damped2d" => {
+                require(1)?;
+                ReduceFn::Damped2d { lambda: params[0] }
+            }
+            other => return Err(self.err(format!("unknown reducing function '{other}'"))),
+        })
+    }
+
+    fn parse_synth_fn(&mut self) -> Result<SynthFn, PolicyError> {
+        let name = self.expect_ident()?;
+        let params = self.parse_brace_params()?;
+        Ok(match name.as_str() {
+            "f_marker" => SynthFn::Marker,
+            "f_norm" => SynthFn::Norm,
+            "ft_sample" => {
+                if params.len() != 1 {
+                    return Err(self.err("ft_sample expects one parameter"));
+                }
+                SynthFn::Sample {
+                    n: params[0] as usize,
+                }
+            }
+            other => return Err(self.err(format!("unknown synthesizing function '{other}'"))),
+        })
+    }
+
+    /// Parses an optional `{a, b, ...}` parameter list.
+    fn parse_brace_params(&mut self) -> Result<Vec<f64>, PolicyError> {
+        if self.peek() != Some(&Tok::LBrace) {
+            return Ok(Vec::new());
+        }
+        self.next();
+        let mut params = Vec::new();
+        if self.peek() == Some(&Tok::RBrace) {
+            self.next();
+            return Ok(params);
+        }
+        loop {
+            params.push(self.expect_number()?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBrace) => break,
+                other => return Err(self.err(format!("expected ',' or '}}', found {other:?}"))),
+            }
+        }
+        Ok(params)
+    }
+}
+
+fn granularity_from_name(name: &str) -> Option<Granularity> {
+    Some(match name {
+        "flow" => Granularity::Flow,
+        "host" => Granularity::Host,
+        "channel" => Granularity::Channel,
+        "socket" => Granularity::Socket,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operator;
+
+    /// The paper's Fig. 3 policy, verbatim.
+    pub const FIG3: &str = r#"
+pktstream
+.filter(tcp.exist)
+.groupby(flow)
+
+.map(one, _, f_one)
+.reduce(one, [f_sum])
+.collect(flow)
+
+.reduce(size, [f_mean, f_var, f_min, f_max])
+.collect(flow)
+
+.map(ipt, tstamp, f_ipt)
+.reduce(ipt, [f_mean, f_var, f_min, f_max])
+.collect(flow)
+"#;
+
+    /// The paper's Fig. 4 policy, verbatim.
+    pub const FIG4: &str = r#"
+pktstream
+.groupby(flow)
+.map(ipt, tstamp, f_ipt)
+.reduce(ipt, [ft_hist{10000, 100}])
+.reduce(size, [ft_hist{100, 16}])
+.collect(flow)
+"#;
+
+    /// The paper's Fig. 5 policy, verbatim.
+    pub const FIG5: &str = r#"
+pktstream
+.filter(tcp.exist)
+.groupby(flow)
+.map(one, _, f_one)
+.map(direction, one, f_direction)
+.reduce(direction, [f_array{5000}])
+.collect(flow)
+"#;
+
+    #[test]
+    fn parses_fig3() {
+        let p = parse(FIG3).expect("fig3 parses");
+        assert_eq!(p.ops.len(), 10);
+        assert_eq!(p.feature_dimension(), 9);
+    }
+
+    #[test]
+    fn parses_fig4() {
+        let p = parse(FIG4).expect("fig4 parses");
+        assert_eq!(p.feature_dimension(), 116);
+        match &p.ops[2] {
+            Operator::Reduce { funcs, .. } => {
+                assert_eq!(
+                    funcs[0],
+                    ReduceFn::Hist {
+                        width: 10000.0,
+                        bins: 100
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig5() {
+        let p = parse(FIG5).expect("fig5 parses");
+        assert_eq!(p.feature_dimension(), 5000);
+    }
+
+    #[test]
+    fn loc_counts_code_lines() {
+        assert_eq!(loc(FIG4), 6);
+        assert_eq!(loc("# comment\n\n// another\npktstream\n.collect(flow)"), 2);
+    }
+
+    #[test]
+    fn parses_compound_predicates() {
+        let p = parse_unchecked(
+            "pktstream\n.filter(tcp.exist and dstport == 443 or udp.exist)\n\
+             .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)",
+        )
+        .unwrap();
+        match &p.ops[0] {
+            Operator::Filter(Predicate::Or(a, _)) => {
+                assert!(matches!(**a, Predicate::And(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_and_parens() {
+        let p = parse_unchecked(
+            "pktstream\n.filter(not (srcport == 80))\n.groupby(flow)\n\
+             .reduce(size, [f_sum])\n.collect(flow)",
+        )
+        .unwrap();
+        assert!(matches!(&p.ops[0], Operator::Filter(Predicate::Not(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_operator() {
+        let e = parse("pktstream\n.frobnicate(flow)").unwrap_err();
+        assert!(matches!(e, PolicyError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_reduce_fn() {
+        let e = parse("pktstream\n.groupby(flow)\n.reduce(size, [f_quux])\n.collect(flow)")
+            .unwrap_err();
+        assert!(matches!(e, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_pktstream() {
+        let e = parse(".groupby(flow)").unwrap_err();
+        assert!(matches!(e, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse("pktstream\n.groupby(flow)\n.reduce(size,[f_sum])\n.collect(flow) stray")
+            .unwrap_err();
+        assert!(matches!(e, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_non_switch_field_in_filter() {
+        let e = parse(
+            "pktstream\n.filter(ipt > 5)\n.groupby(flow)\n.reduce(size,[f_sum])\n.collect(flow)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, PolicyError::Parse { .. }));
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        let p = parse(
+            "pktstream\n.groupby(flow)\n.reduce(ipt2, [ft_hist{10_000, 100}])\n.collect(flow)",
+        );
+        // `ipt2` is unknown -> validation error, but parsing of 10_000 worked.
+        assert!(matches!(p, Err(PolicyError::UnknownField(_))));
+    }
+
+    #[test]
+    fn parse_validates() {
+        let e = parse("pktstream\n.groupby(flow)\n.reduce(size, [f_sum])").unwrap_err();
+        assert!(matches!(e, PolicyError::Incomplete(_)));
+    }
+
+    #[test]
+    fn print_round_trips_the_paper_policies() {
+        for src in [FIG3, FIG4, FIG5] {
+            let p = parse(src).unwrap();
+            let printed = print(&p);
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(reparsed, p);
+        }
+    }
+
+    #[test]
+    fn print_handles_every_function_family() {
+        let src = "pktstream\n.filter(not (tcp.exist) and (srcport == 80 or udp.exist))\n\
+                   .groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+                   .reduce(ipt, [f_card{8}, ft_hist{10, 4}, ft_histlog{1, 2, 4}, \
+                   ft_percent{10, 4, 90}, f_pdf{10, 4}, f_cdf{10, 4}, f_damped{0.5}, \
+                   f_damped2d{0.5}])\n.collect(flow)\n\
+                   .reduce(size, [f_array{16}])\n.synthesize(f_marker)\n\
+                   .synthesize(ft_sample{4})\n.collect(pkt)";
+        let p = parse(src).unwrap();
+        let reparsed = parse(&print(&p)).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn histlog_parses_and_validates() {
+        let p = parse(
+            "pktstream\n.groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(ipt, [ft_histlog{1000, 2, 24}])\n.collect(flow)",
+        )
+        .unwrap();
+        assert_eq!(p.feature_dimension(), 24);
+        let bad = parse(
+            "pktstream\n.groupby(flow)\n.reduce(size, [ft_histlog{1000, 1, 24}])\n.collect(flow)",
+        );
+        assert!(matches!(bad, Err(PolicyError::BadParameters(_))));
+    }
+
+    #[test]
+    fn synthesize_parses() {
+        let p = parse(
+            "pktstream\n.groupby(flow)\n.map(one, _, f_one)\n.map(d, one, f_direction)\n\
+             .reduce(d, [f_array{100}])\n.synthesize(f_norm)\n.synthesize(ft_sample{10})\n\
+             .collect(flow)",
+        )
+        .unwrap();
+        assert_eq!(p.feature_dimension(), 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! Policy-layer error types.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating, or compiling a policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyError {
+    /// The textual DSL could not be parsed.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An operator appears in an illegal position.
+    BadOperatorOrder(String),
+    /// A `groupby` chain violates the granularity dependency rules.
+    BadGranularityChain(String),
+    /// An operator references a field that is not available at that point.
+    UnknownField(String),
+    /// A function received invalid parameters.
+    BadParameters(String),
+    /// The policy is structurally empty or missing a required operator.
+    Incomplete(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            PolicyError::BadOperatorOrder(m) => write!(f, "illegal operator order: {m}"),
+            PolicyError::BadGranularityChain(m) => write!(f, "bad granularity chain: {m}"),
+            PolicyError::UnknownField(m) => write!(f, "unknown field: {m}"),
+            PolicyError::BadParameters(m) => write!(f, "bad parameters: {m}"),
+            PolicyError::Incomplete(m) => write!(f, "incomplete policy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PolicyError::Parse {
+            line: 3,
+            msg: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(PolicyError::UnknownField("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

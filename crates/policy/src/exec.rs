@@ -1,0 +1,602 @@
+//! Shared execution of compiled NIC-side programs.
+//!
+//! Both the SmartNIC engine (consuming batched MGPV records) and the
+//! software baseline extractor (consuming packets directly) run the same
+//! `map`/`reduce`/`synthesize` semantics; this module implements them once.
+//!
+//! A [`GroupExec`] holds the per-group mapper and reducer state of one
+//! [`LevelProgram`] group and is driven with one [`RecordView`] per packet.
+
+use superfe_streaming::{
+    markers, normalize, sample_evenly, DampedPair, DampedStat, Histogram, HyperLogLog, MinMax,
+    Moments, Reducer, SeqArray, Sum, Welford,
+};
+
+use crate::ast::{Field, MapFn, ReduceFn, SynthFn};
+use crate::compile::{LevelProgram, MapOp, ReduceOp};
+
+/// The per-record values a group execution consumes, independent of whether
+/// they came from a parsed packet (software path) or an MGPV record (NIC
+/// path).
+#[derive(Clone, Copy, Debug)]
+pub struct RecordView {
+    /// Wire size in bytes.
+    pub size: f64,
+    /// Arrival timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// ±1 direction factor (+1 ingress).
+    pub direction: i64,
+    /// Raw TCP flag bits.
+    pub tcp_flags: u8,
+}
+
+/// One instantiated reducing function.
+#[derive(Clone, Debug)]
+pub enum ReducerInstance {
+    /// `f_sum`.
+    Sum(Sum),
+    /// `f_mean` / `f_var` / `f_std` (select one output).
+    Welford(Welford, WelfordOut),
+    /// `f_min` / `f_max` (select one output).
+    MinMax(MinMax, MinMaxOut),
+    /// `f_skew` / `f_kur`.
+    Moments(Moments, MomentsOut),
+    /// `f_card`.
+    Card(HyperLogLog),
+    /// `f_array`.
+    Array(SeqArray),
+    /// `ft_hist` / `f_pdf` / `f_cdf` / `ft_percent`.
+    Hist(Histogram, HistOut),
+    /// `f_damped`.
+    Damped(DampedStat),
+    /// `f_mag`/`f_radius`/`f_cov`/`f_pcc` (λ=0) and `f_damped2d`.
+    Bidir(DampedPair, BidirOut),
+}
+
+/// Which Welford output a single-feature function emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WelfordOut {
+    /// The mean.
+    Mean,
+    /// The population variance.
+    Var,
+    /// The standard deviation.
+    Std,
+}
+
+/// Which extremum a single-feature function emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MinMaxOut {
+    /// The minimum.
+    Min,
+    /// The maximum.
+    Max,
+}
+
+/// Which higher moment a single-feature function emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MomentsOut {
+    /// Skewness.
+    Skew,
+    /// Excess kurtosis.
+    Kurtosis,
+}
+
+/// Which histogram-derived features to emit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HistOut {
+    /// Raw counts.
+    Counts,
+    /// Normalized PDF.
+    Pdf,
+    /// Normalized CDF.
+    Cdf,
+    /// A single quantile (fraction in `[0, 1]`).
+    Percentile(f64),
+}
+
+/// Which bidirectional features to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BidirOut {
+    /// `f_mag`.
+    Mag,
+    /// `f_radius`.
+    Radius,
+    /// `f_cov`.
+    Cov,
+    /// `f_pcc`.
+    Pcc,
+    /// All four (`f_damped2d`).
+    Quad,
+}
+
+impl ReducerInstance {
+    /// Instantiates the state for one reducing function.
+    pub fn new(f: &ReduceFn) -> ReducerInstance {
+        match f {
+            ReduceFn::Sum => ReducerInstance::Sum(Sum::new()),
+            ReduceFn::Mean => ReducerInstance::Welford(Welford::new(), WelfordOut::Mean),
+            ReduceFn::Var => ReducerInstance::Welford(Welford::new(), WelfordOut::Var),
+            ReduceFn::Std => ReducerInstance::Welford(Welford::new(), WelfordOut::Std),
+            ReduceFn::Min => ReducerInstance::MinMax(MinMax::new(), MinMaxOut::Min),
+            ReduceFn::Max => ReducerInstance::MinMax(MinMax::new(), MinMaxOut::Max),
+            ReduceFn::Skew => ReducerInstance::Moments(Moments::new(), MomentsOut::Skew),
+            ReduceFn::Kur => ReducerInstance::Moments(Moments::new(), MomentsOut::Kurtosis),
+            ReduceFn::Card { k } => {
+                ReducerInstance::Card(HyperLogLog::new(*k).expect("validated bucket exponent"))
+            }
+            ReduceFn::Array { cap } => {
+                ReducerInstance::Array(SeqArray::new(*cap).expect("validated capacity"))
+            }
+            ReduceFn::Hist { width, bins } => ReducerInstance::Hist(
+                Histogram::fixed(*width, *bins).expect("validated histogram"),
+                HistOut::Counts,
+            ),
+            ReduceFn::HistLog { unit, base, bins } => ReducerInstance::Hist(
+                Histogram::geometric(*unit, *base, *bins).expect("validated histogram"),
+                HistOut::Counts,
+            ),
+            ReduceFn::Pdf { width, bins } => ReducerInstance::Hist(
+                Histogram::fixed(*width, *bins).expect("validated histogram"),
+                HistOut::Pdf,
+            ),
+            ReduceFn::Cdf { width, bins } => ReducerInstance::Hist(
+                Histogram::fixed(*width, *bins).expect("validated histogram"),
+                HistOut::Cdf,
+            ),
+            ReduceFn::Percent { width, bins, q } => ReducerInstance::Hist(
+                Histogram::fixed(*width, *bins).expect("validated histogram"),
+                HistOut::Percentile(*q / 100.0),
+            ),
+            ReduceFn::Mag => ReducerInstance::Bidir(DampedPair::new(0.0), BidirOut::Mag),
+            ReduceFn::Radius => ReducerInstance::Bidir(DampedPair::new(0.0), BidirOut::Radius),
+            ReduceFn::Cov => ReducerInstance::Bidir(DampedPair::new(0.0), BidirOut::Cov),
+            ReduceFn::Pcc => ReducerInstance::Bidir(DampedPair::new(0.0), BidirOut::Pcc),
+            ReduceFn::Damped { lambda } => ReducerInstance::Damped(DampedStat::new(*lambda)),
+            ReduceFn::Damped2d { lambda } => {
+                ReducerInstance::Bidir(DampedPair::new(*lambda), BidirOut::Quad)
+            }
+        }
+    }
+
+    /// Feeds one sample (with its observation context) into the state.
+    pub fn update(&mut self, value: f64, ts_ns: u64, direction: i64) {
+        match self {
+            ReducerInstance::Sum(s) => s.update(value),
+            ReducerInstance::Welford(w, _) => w.update(value),
+            ReducerInstance::MinMax(m, _) => m.update(value),
+            ReducerInstance::Moments(m, _) => m.update(value),
+            ReducerInstance::Card(h) => h.update(value),
+            ReducerInstance::Array(a) => a.update(value),
+            ReducerInstance::Hist(h, _) => h.update(value),
+            ReducerInstance::Damped(d) => d.update_at(value, ts_ns),
+            ReducerInstance::Bidir(p, _) => {
+                if direction >= 0 {
+                    p.update_a(value, ts_ns);
+                } else {
+                    p.update_b(value, ts_ns);
+                }
+            }
+        }
+    }
+
+    /// Feeds a pre-computed hash into `f_card` (hash-reuse path); other
+    /// reducers fall back to the value path.
+    pub fn update_hashed(&mut self, value: f64, hash: u32, ts_ns: u64, direction: i64) {
+        match self {
+            ReducerInstance::Card(h) => h.update_hash(hash),
+            other => other.update(value, ts_ns, direction),
+        }
+    }
+
+    /// Emits this function's feature values.
+    pub fn finalize(&self) -> Vec<f64> {
+        match self {
+            ReducerInstance::Sum(s) => vec![s.value()],
+            ReducerInstance::Welford(w, out) => vec![match out {
+                WelfordOut::Mean => w.mean(),
+                WelfordOut::Var => w.variance(),
+                WelfordOut::Std => w.std_dev(),
+            }],
+            ReducerInstance::MinMax(m, out) => vec![match out {
+                MinMaxOut::Min => m.min(),
+                MinMaxOut::Max => m.max(),
+            }],
+            ReducerInstance::Moments(m, out) => vec![match out {
+                MomentsOut::Skew => m.skewness(),
+                MomentsOut::Kurtosis => m.kurtosis(),
+            }],
+            ReducerInstance::Card(h) => vec![h.estimate()],
+            ReducerInstance::Array(a) => a.finalize(),
+            ReducerInstance::Hist(h, out) => match out {
+                HistOut::Counts => h.finalize(),
+                HistOut::Pdf => h.pdf(),
+                HistOut::Cdf => h.cdf(),
+                HistOut::Percentile(q) => vec![h.percentile(*q).unwrap_or(0.0)],
+            },
+            ReducerInstance::Damped(d) => d.triple().to_vec(),
+            ReducerInstance::Bidir(p, out) => match out {
+                BidirOut::Mag => vec![p.magnitude()],
+                BidirOut::Radius => vec![p.radius()],
+                BidirOut::Cov => vec![p.covariance()],
+                BidirOut::Pcc => vec![p.pcc()],
+                BidirOut::Quad => p.quad().to_vec(),
+            },
+        }
+    }
+}
+
+/// Per-group state of one `map` operation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapState {
+    last_ts_ns: Option<u64>,
+    last_dir: i64,
+    burst_id: u64,
+}
+
+impl MapState {
+    /// Applies the mapping function for one record, given the source value.
+    ///
+    /// Returns `None` when the function has no output for this record (e.g.
+    /// `f_ipt` on a group's first packet).
+    pub fn apply(&mut self, func: MapFn, src: Option<f64>, rec: &RecordView) -> Option<f64> {
+        match func {
+            MapFn::FOne => Some(1.0),
+            MapFn::FIpt => {
+                let prev = self.last_ts_ns.replace(rec.ts_ns);
+                prev.map(|p| rec.ts_ns.saturating_sub(p) as f64)
+            }
+            MapFn::FSpeed => {
+                let prev = self.last_ts_ns.replace(rec.ts_ns);
+                prev.and_then(|p| {
+                    let dt = rec.ts_ns.saturating_sub(p) as f64;
+                    if dt <= 0.0 {
+                        None
+                    } else {
+                        Some(rec.size * 1e9 / dt) // bytes per second
+                    }
+                })
+            }
+            MapFn::FDirection => Some(src.unwrap_or(1.0) * rec.direction as f64),
+            MapFn::FBurst => {
+                if rec.direction != self.last_dir {
+                    self.burst_id += 1;
+                    self.last_dir = rec.direction;
+                }
+                Some(self.burst_id as f64)
+            }
+        }
+    }
+}
+
+/// Applies a synthesize chain to a feature block.
+pub fn apply_synths(mut features: Vec<f64>, synths: &[SynthFn]) -> Vec<f64> {
+    for s in synths {
+        features = match s {
+            SynthFn::Norm => normalize(&features),
+            SynthFn::Marker => markers(&features),
+            SynthFn::Sample { n } => sample_evenly(&features, *n),
+        };
+    }
+    features
+}
+
+/// The execution state of one group at one granularity level.
+#[derive(Clone, Debug)]
+pub struct GroupExec {
+    maps: Vec<(MapOp, MapState)>,
+    reduces: Vec<(ReduceOp, Vec<ReducerInstance>)>,
+}
+
+impl GroupExec {
+    /// Instantiates the state for one group of `level`.
+    pub fn new(level: &LevelProgram) -> Self {
+        GroupExec {
+            maps: level
+                .maps
+                .iter()
+                .map(|m| (m.clone(), MapState::default()))
+                .collect(),
+            reduces: level
+                .reduces
+                .iter()
+                .map(|r| {
+                    let instances = r.funcs.iter().map(ReducerInstance::new).collect();
+                    (r.clone(), instances)
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves a field for this record, consulting mapped values.
+    fn resolve(field: &Field, rec: &RecordView, named: &[(String, Option<f64>)]) -> Option<f64> {
+        match field {
+            Field::Size => Some(rec.size),
+            Field::Tstamp => Some(rec.ts_ns as f64),
+            Field::Direction => Some(rec.direction as f64),
+            Field::TcpFlags => Some(rec.tcp_flags as f64),
+            Field::Named(n) => named
+                .iter()
+                .rev()
+                .find(|(name, _)| name == n)
+                .and_then(|(_, v)| *v),
+            // Addresses/ports/protocol are group keys, not per-record values;
+            // reducing over them is meaningful only via f_card, which hashes
+            // whatever numeric it gets. They are not resolvable here.
+            _ => None,
+        }
+    }
+
+    /// Feeds one record through the level's maps and reduces.
+    ///
+    /// `key_hash` is the switch-computed hash, reused by `f_card`.
+    pub fn update(&mut self, rec: &RecordView, key_hash: u32) {
+        // Evaluate maps in order; later maps may read earlier outputs.
+        let mut named: Vec<(String, Option<f64>)> = Vec::with_capacity(self.maps.len());
+        for (op, state) in &mut self.maps {
+            let src = Self::resolve(&op.src, rec, &named);
+            let out = state.apply(op.func, src, rec);
+            named.push((op.dst.name(), out));
+        }
+        for (op, instances) in &mut self.reduces {
+            let value = match Self::resolve(&op.src, rec, &named) {
+                Some(v) => v,
+                None => continue, // e.g. f_ipt's first packet
+            };
+            let sample_hash = mix_hash(key_hash, value);
+            for inst in instances {
+                inst.update_hashed(value, sample_hash, rec.ts_ns, rec.direction);
+            }
+        }
+    }
+
+    /// Emits the group's feature block (reduces in order, synthesized).
+    pub fn finalize(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (op, instances) in &self.reduces {
+            let mut block = Vec::new();
+            for inst in instances {
+                block.extend(inst.finalize());
+            }
+            out.extend(apply_synths(block, &op.synths));
+        }
+        out
+    }
+
+    /// Expected feature length (stable across groups of the level).
+    pub fn feature_len(&self) -> usize {
+        self.reduces.iter().map(|(op, _)| op.feature_len()).sum()
+    }
+}
+
+/// Mixes the group-key hash with a sample value into a 32-bit hash for
+/// `f_card` (fmix32 finalizer over the folded bits).
+fn mix_hash(key_hash: u32, value: f64) -> u32 {
+    let vb = value.to_bits();
+    let mut h = key_hash ^ (vb ^ (vb >> 32)) as u32;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+/// Builds a [`RecordView`] from a parsed packet (software path).
+pub fn view_of_packet(p: &superfe_net::PacketRecord) -> RecordView {
+    RecordView {
+        size: p.size as f64,
+        ts_ns: p.ts_ns,
+        direction: p.direction_factor(),
+        tcp_flags: p.tcp_flags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::pktstream;
+    use crate::compile::compile;
+    use superfe_net::Granularity;
+
+    fn level_of(src_policy: crate::ast::Policy) -> LevelProgram {
+        compile(&src_policy).unwrap().nic.levels.remove(0)
+    }
+
+    fn rec(size: f64, ts_ms: u64, dir: i64) -> RecordView {
+        RecordView {
+            size,
+            ts_ns: ts_ms * 1_000_000,
+            direction: dir,
+            tcp_flags: 0,
+        }
+    }
+
+    #[test]
+    fn basic_stats_group() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce(
+                "size",
+                vec![ReduceFn::Mean, ReduceFn::Var, ReduceFn::Min, ReduceFn::Max],
+            )
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        for (i, s) in [100.0, 200.0, 300.0].iter().enumerate() {
+            g.update(&rec(*s, i as u64, 1), 0);
+        }
+        let f = g.finalize();
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 200.0).abs() < 1e-9); // mean
+        assert!((f[1] - 6666.666).abs() < 1.0); // var
+        assert_eq!(f[2], 100.0); // min
+        assert_eq!(f[3], 300.0); // max
+    }
+
+    #[test]
+    fn ipt_skips_first_packet() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("ipt", "tstamp", MapFn::FIpt)
+            .reduce("ipt", vec![ReduceFn::Mean, ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        g.update(&rec(100.0, 0, 1), 0);
+        g.update(&rec(100.0, 10, 1), 0);
+        g.update(&rec(100.0, 30, 1), 0);
+        let f = g.finalize();
+        // Two IPT samples: 10ms and 20ms (in ns).
+        assert!((f[0] - 15e6).abs() < 1.0, "mean ipt {}", f[0]);
+        assert!((f[1] - 30e6).abs() < 1.0, "sum ipt {}", f[1]);
+    }
+
+    #[test]
+    fn direction_sequence_matches_fig5() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("one", "_", MapFn::FOne)
+            .map("d", "one", MapFn::FDirection)
+            .reduce("d", vec![ReduceFn::Array { cap: 6 }])
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        for (i, dir) in [1i64, 1, -1, 1, -1, -1].iter().enumerate() {
+            g.update(&rec(100.0, i as u64, *dir), 0);
+        }
+        assert_eq!(g.finalize(), vec![1.0, 1.0, -1.0, 1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn burst_ids_increment_on_flip() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("b", "_", MapFn::FBurst)
+            .reduce("b", vec![ReduceFn::Max])
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        for (i, dir) in [1i64, 1, -1, -1, 1].iter().enumerate() {
+            g.update(&rec(100.0, i as u64, *dir), 0);
+        }
+        // Three bursts.
+        assert_eq!(g.finalize(), vec![3.0]);
+    }
+
+    #[test]
+    fn speed_requires_positive_gap() {
+        let mut st = MapState::default();
+        let r0 = rec(1000.0, 0, 1);
+        assert_eq!(st.apply(MapFn::FSpeed, None, &r0), None);
+        let r1 = rec(1000.0, 1, 1); // 1000 B over 1 ms -> 1e6 B/s
+        let v = st.apply(MapFn::FSpeed, None, &r1).unwrap();
+        assert!((v - 1e6).abs() < 1.0, "speed {v}");
+        // Same timestamp: no output.
+        assert_eq!(st.apply(MapFn::FSpeed, None, &r1), None);
+    }
+
+    #[test]
+    fn damped2d_splits_by_direction() {
+        let p = pktstream()
+            .groupby(Granularity::Channel)
+            .reduce("size", vec![ReduceFn::Damped2d { lambda: 0.0 }])
+            .collect_group(Granularity::Channel)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        g.update(&rec(300.0, 0, 1), 0);
+        g.update(&rec(400.0, 1, -1), 0);
+        let f = g.finalize();
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 500.0).abs() < 1e-6, "magnitude {}", f[0]); // 3-4-5
+    }
+
+    #[test]
+    fn synth_chain_applies() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("one", "_", MapFn::FOne)
+            .map("d", "one", MapFn::FDirection)
+            .reduce("d", vec![ReduceFn::Array { cap: 4 }])
+            .synthesize(SynthFn::Norm)
+            .synthesize(SynthFn::Sample { n: 2 })
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        for (i, dir) in [1i64, -1, 1, -1].iter().enumerate() {
+            g.update(&rec(100.0, i as u64, *dir), 0);
+        }
+        let f = g.finalize();
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn feature_len_is_stable() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce(
+                "size",
+                vec![ReduceFn::Hist {
+                    width: 100.0,
+                    bins: 16,
+                }],
+            )
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let level = level_of(p);
+        let g = GroupExec::new(&level);
+        assert_eq!(g.feature_len(), 16);
+        assert_eq!(g.finalize().len(), 16);
+    }
+
+    #[test]
+    fn histlog_uses_geometric_bins() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce(
+                "size",
+                vec![ReduceFn::HistLog {
+                    unit: 1.0,
+                    base: 2.0,
+                    bins: 8,
+                }],
+            )
+            .collect_group(Granularity::Flow)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        // Edges: 0,1,3,7,15,... — 0.5 -> bin 0, 2 -> bin 1, 5 -> bin 2.
+        for (i, s) in [0.5, 2.0, 5.0].iter().enumerate() {
+            g.update(&rec(*s, i as u64, 1), 0);
+        }
+        let f = g.finalize();
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 1.0);
+        assert_eq!(f[2], 1.0);
+    }
+
+    #[test]
+    fn cardinality_uses_hash_path() {
+        let p = pktstream()
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Card { k: 8 }])
+            .collect_group(Granularity::Host)
+            .build()
+            .unwrap();
+        let mut g = GroupExec::new(&level_of(p));
+        for i in 0..500u32 {
+            // 100 distinct sizes.
+            g.update(&rec((i % 100) as f64, i as u64, 1), 0);
+        }
+        let est = g.finalize()[0];
+        assert!((est - 100.0).abs() / 100.0 < 0.3, "estimate {est}");
+    }
+}

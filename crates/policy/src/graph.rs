@@ -1,0 +1,385 @@
+//! Granularity dependency *graphs* and their decomposition into chains.
+//!
+//! §9 of the paper ("more complex granularity dependency relationships")
+//! anticipates applications whose granularities form a DAG rather than a
+//! chain, and proposes splitting the graph into a minimum number of
+//! dependency chains, each served by its own MGPV instance. The paper leaves
+//! the cutting algorithm to future work; this module implements it.
+//!
+//! The minimum decomposition of a DAG into vertex-disjoint paths (chains
+//! may skip intermediate granularities, since key projection is transitive)
+//! is the classic *minimum path cover over the transitive closure*:
+//! `#chains = #nodes − maximum bipartite matching` (Dilworth/Fulkerson).
+//! Matching is found with Kuhn's augmenting-path algorithm — the graphs here
+//! have a handful of nodes, so O(V·E) is instant.
+//!
+//! # Examples
+//!
+//! ```
+//! use superfe_policy::graph::DependencyGraph;
+//!
+//! // Kitsune's chain plus a per-destination-host branch: a diamond.
+//! let mut g = DependencyGraph::new();
+//! let socket = g.add_node("socket");
+//! let channel = g.add_node("channel");
+//! let src_host = g.add_node("src_host");
+//! let dst_host = g.add_node("dst_host");
+//! g.add_edge(socket, channel).unwrap();
+//! g.add_edge(channel, src_host).unwrap();
+//! g.add_edge(channel, dst_host).unwrap();
+//!
+//! let chains = g.split_into_chains().unwrap();
+//! // One MGPV covers socket→channel→src_host; a second covers dst_host.
+//! assert_eq!(chains.len(), 2);
+//! ```
+
+use std::collections::HashSet;
+
+/// Errors from dependency-graph construction and decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node index that was never added.
+    UnknownNode(usize),
+    /// A self-loop was requested.
+    SelfLoop(usize),
+    /// The refinement relation contains a cycle (not a DAG).
+    Cyclic,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(i) => write!(f, "unknown node index {i}"),
+            GraphError::SelfLoop(i) => write!(f, "self-loop on node {i}"),
+            GraphError::Cyclic => write!(f, "refinement relation is cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DAG of granularities; an edge `fine → coarse` means groups at `fine`
+/// merge into groups at `coarse` (the key projects).
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    names: Vec<String>,
+    /// Adjacency: `edges[fine]` holds the coarser nodes it refines to.
+    edges: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DependencyGraph::default()
+    }
+
+    /// Adds a granularity node, returning its index.
+    pub fn add_node(&mut self, name: &str) -> usize {
+        self.names.push(name.to_string());
+        self.edges.push(Vec::new());
+        self.names.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of node `i`, if present.
+    pub fn name(&self, i: usize) -> Option<&str> {
+        self.names.get(i).map(String::as_str)
+    }
+
+    /// Adds a refinement edge `fine → coarse`.
+    pub fn add_edge(&mut self, fine: usize, coarse: usize) -> Result<(), GraphError> {
+        if fine >= self.len() {
+            return Err(GraphError::UnknownNode(fine));
+        }
+        if coarse >= self.len() {
+            return Err(GraphError::UnknownNode(coarse));
+        }
+        if fine == coarse {
+            return Err(GraphError::SelfLoop(fine));
+        }
+        if !self.edges[fine].contains(&coarse) {
+            self.edges[fine].push(coarse);
+        }
+        Ok(())
+    }
+
+    /// Reachability matrix over the refinement relation (transitive
+    /// closure), or `Cyclic` if the relation is not a DAG.
+    fn closure(&self) -> Result<Vec<Vec<bool>>, GraphError> {
+        let n = self.len();
+        // Cycle check via DFS coloring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        fn dfs(u: usize, edges: &[Vec<usize>], color: &mut [Color]) -> Result<(), GraphError> {
+            color[u] = Color::Gray;
+            for &v in &edges[u] {
+                match color[v] {
+                    Color::Gray => return Err(GraphError::Cyclic),
+                    Color::White => dfs(v, edges, color)?,
+                    Color::Black => {}
+                }
+            }
+            color[u] = Color::Black;
+            Ok(())
+        }
+        let mut color = vec![Color::White; n];
+        for u in 0..n {
+            if color[u] == Color::White {
+                dfs(u, &self.edges, &mut color)?;
+            }
+        }
+
+        // Closure by repeated DFS from each node.
+        let mut reach = vec![vec![false; n]; n];
+        for s in 0..n {
+            let mut stack = vec![s];
+            let mut seen = vec![false; n];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &self.edges[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        reach[s][v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        Ok(reach)
+    }
+
+    /// Splits the graph into the minimum number of dependency chains.
+    ///
+    /// Each returned chain is a list of node indices ordered fine → coarse;
+    /// chains partition the nodes, and consecutive chain members are related
+    /// by (transitive) refinement, so a single MGPV instance can serve each
+    /// chain. Returns [`GraphError::Cyclic`] for non-DAG input.
+    pub fn split_into_chains(&self) -> Result<Vec<Vec<usize>>, GraphError> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let reach = self.closure()?;
+
+        // Kuhn's algorithm: left = node as chain predecessor, right = node
+        // as chain successor; an edge where `left` can precede `right`.
+        let mut match_right: Vec<Option<usize>> = vec![None; n];
+        fn try_augment(
+            u: usize,
+            reach: &[Vec<bool>],
+            visited: &mut [bool],
+            match_right: &mut [Option<usize>],
+        ) -> bool {
+            for v in 0..reach.len() {
+                if reach[u][v] && !visited[v] {
+                    visited[v] = true;
+                    let free = match match_right[v] {
+                        None => true,
+                        Some(w) => try_augment(w, reach, visited, match_right),
+                    };
+                    if free {
+                        match_right[v] = Some(u);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        for u in 0..n {
+            let mut visited = vec![false; n];
+            try_augment(u, &reach, &mut visited, &mut match_right);
+        }
+
+        // successor[u] = v when the matching links u → v in one chain.
+        let mut successor: Vec<Option<usize>> = vec![None; n];
+        let mut has_pred = vec![false; n];
+        for v in 0..n {
+            if let Some(u) = match_right[v] {
+                successor[u] = Some(v);
+                has_pred[v] = true;
+            }
+        }
+
+        // Walk chains from their heads (nodes with no predecessor).
+        let mut chains = Vec::new();
+        let mut emitted: HashSet<usize> = HashSet::new();
+        for head in 0..n {
+            if has_pred[head] {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut cur = Some(head);
+            while let Some(u) = cur {
+                chain.push(u);
+                emitted.insert(u);
+                cur = successor[u];
+            }
+            chains.push(chain);
+        }
+        debug_assert_eq!(emitted.len(), n, "chains partition the nodes");
+        Ok(chains)
+    }
+
+    /// Convenience: the chain decomposition as node names.
+    pub fn split_into_named_chains(&self) -> Result<Vec<Vec<String>>, GraphError> {
+        Ok(self
+            .split_into_chains()?
+            .into_iter()
+            .map(|c| c.into_iter().map(|i| self.names[i].clone()).collect())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> DependencyGraph {
+        let mut g = DependencyGraph::new();
+        let s = g.add_node("socket");
+        let c = g.add_node("channel");
+        let h = g.add_node("host");
+        g.add_edge(s, c).unwrap();
+        g.add_edge(c, h).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_chains() {
+        assert_eq!(
+            DependencyGraph::new().split_into_chains().unwrap(),
+            Vec::<Vec<usize>>::new()
+        );
+    }
+
+    #[test]
+    fn single_node_is_one_chain() {
+        let mut g = DependencyGraph::new();
+        g.add_node("flow");
+        assert_eq!(g.split_into_chains().unwrap(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn a_chain_stays_one_chain() {
+        let chains = chain3().split_into_named_chains().unwrap();
+        assert_eq!(chains, vec![vec!["socket", "channel", "host"]]);
+    }
+
+    #[test]
+    fn chain_may_skip_intermediate_nodes() {
+        // socket → channel → host plus an extra "vlan" only reachable from
+        // socket: two chains, one of which skips channel.
+        let mut g = chain3();
+        let v = g.add_node("vlan");
+        g.add_edge(0, v).unwrap(); // socket → vlan
+        let chains = g.split_into_chains().unwrap();
+        assert_eq!(chains.len(), 2);
+        let total: usize = chains.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn diamond_needs_two_chains() {
+        let mut g = DependencyGraph::new();
+        let s = g.add_node("socket");
+        let c = g.add_node("channel");
+        let src = g.add_node("src_host");
+        let dst = g.add_node("dst_host");
+        g.add_edge(s, c).unwrap();
+        g.add_edge(c, src).unwrap();
+        g.add_edge(c, dst).unwrap();
+        let chains = g.split_into_chains().unwrap();
+        assert_eq!(chains.len(), 2);
+        // Both branches are covered.
+        let flat: Vec<usize> = chains.iter().flatten().copied().collect();
+        assert!(flat.contains(&src) && flat.contains(&dst));
+    }
+
+    #[test]
+    fn independent_nodes_need_one_chain_each() {
+        let mut g = DependencyGraph::new();
+        for i in 0..4 {
+            g.add_node(&format!("g{i}"));
+        }
+        assert_eq!(g.split_into_chains().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn wide_fan_in_uses_transitivity() {
+        // a → c, b → c, c → d: minimum cover is 2 (a→c→d, b).
+        let mut g = DependencyGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, d).unwrap();
+        let chains = g.split_into_chains().unwrap();
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn chains_are_valid_refinement_paths() {
+        let mut g = DependencyGraph::new();
+        let nodes: Vec<usize> = (0..6).map(|i| g.add_node(&format!("g{i}"))).collect();
+        g.add_edge(nodes[0], nodes[2]).unwrap();
+        g.add_edge(nodes[1], nodes[2]).unwrap();
+        g.add_edge(nodes[2], nodes[3]).unwrap();
+        g.add_edge(nodes[2], nodes[4]).unwrap();
+        g.add_edge(nodes[4], nodes[5]).unwrap();
+        let reach = g.closure().unwrap();
+        for chain in g.split_into_chains().unwrap() {
+            for w in chain.windows(2) {
+                assert!(reach[w[0]][w[1]], "{:?} not a refinement step", w);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        assert_eq!(g.split_into_chains(), Err(GraphError::Cyclic));
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_node("a");
+        assert_eq!(g.add_edge(a, 9), Err(GraphError::UnknownNode(9)));
+        assert_eq!(g.add_edge(9, a), Err(GraphError::UnknownNode(9)));
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut g = chain3();
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.split_into_chains().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::Cyclic.to_string().contains("cyclic"));
+        assert!(GraphError::UnknownNode(3).to_string().contains('3'));
+        assert!(GraphError::SelfLoop(1).to_string().contains("self-loop"));
+    }
+}

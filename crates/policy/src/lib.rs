@@ -1,0 +1,47 @@
+//! The SuperFE policy language (§4 of the paper).
+//!
+//! A *policy* describes a feature extractor as a chain of Spark-style
+//! dataflow operators over a packet stream:
+//!
+//! ```text
+//! pktstream
+//!   .filter(tcp.exist)
+//!   .groupby(flow)
+//!   .map(ipt, tstamp, f_ipt)
+//!   .reduce(size, [f_mean, f_var, f_min, f_max])
+//!   .collect(flow)
+//! ```
+//!
+//! This crate provides:
+//!
+//! - [`ast`]: the operator AST — [`Policy`], [`Operator`], predicates and the
+//!   full Table 5 function inventory ([`MapFn`], [`ReduceFn`], [`SynthFn`]).
+//! - [`builder`]: a fluent Rust builder mirroring the DSL
+//!   ([`builder::pktstream`]).
+//! - [`dsl`]: a parser for the textual form used in the paper's figures,
+//!   plus the LoC metric of Table 3.
+//! - [`validate`]: the well-formedness rules (operator ordering, granularity
+//!   dependency chains, field availability).
+//! - [`exec`]: the shared `map`/`reduce`/`synthesize` execution semantics
+//!   used by both the SmartNIC engine and the software baseline.
+//! - [`graph`]: the §9 extension — decomposing granularity dependency
+//!   *graphs* into a minimum number of chains (one MGPV instance each).
+//! - [`mod@compile`]: the policy enforcement engine, splitting a policy into a
+//!   [`compile::SwitchProgram`] (`groupby` + `filter`, deployed on the
+//!   switch) and a [`compile::NicProgram`] (`map`/`reduce`/`synthesize`/
+//!   `collect`, deployed on the SmartNIC), exactly as §4.1's "natural support
+//!   to SuperFE architecture" prescribes.
+
+pub mod ast;
+pub mod builder;
+pub mod compile;
+pub mod dsl;
+pub mod error;
+pub mod exec;
+pub mod graph;
+pub mod validate;
+
+pub use ast::{CollectUnit, Field, MapFn, Operator, Policy, Predicate, ReduceFn, SynthFn};
+pub use builder::pktstream;
+pub use compile::{compile, CompiledPolicy, LevelProgram, MetaField, NicProgram, SwitchProgram};
+pub use error::PolicyError;

@@ -1,0 +1,469 @@
+//! Well-formedness rules for policies.
+//!
+//! Validation enforces the structural properties the compiler (and the
+//! paper's architecture split) relies on:
+//!
+//! 1. The chain is non-empty, contains at least one `groupby`, and ends with
+//!    a `collect`.
+//! 2. `filter` only appears before the first `groupby` (filters are offloaded
+//!    to the switch's match-action table, ahead of the MGPV cache).
+//! 3. `map`/`reduce`/`synthesize`/`collect` require an enclosing `groupby`.
+//! 4. `synthesize` immediately follows a `reduce` or another `synthesize`.
+//! 5. Successive `groupby` granularities walk the dependency chain from fine
+//!    to coarse (e.g. `socket → channel → host`); `flow` cannot be mixed
+//!    with the directional granularities (direction is erased by its
+//!    canonical key).
+//! 6. Every field read by `map`/`reduce` is a builtin or was produced by an
+//!    earlier `map`.
+//! 7. Function parameters are sane (non-zero bins, `4 ≤ k ≤ 16`, …).
+//! 8. `collect(g)` names a granularity that was grouped by.
+
+use crate::ast::{CollectUnit, Field, Operator, Policy, ReduceFn, SynthFn};
+use crate::error::PolicyError;
+
+/// Checks `policy` against all well-formedness rules.
+pub fn validate(policy: &Policy) -> Result<(), PolicyError> {
+    if policy.ops.is_empty() {
+        return Err(PolicyError::Incomplete("policy has no operators".into()));
+    }
+
+    let mut seen_groupby = false;
+    let mut grans: Vec<superfe_net::Granularity> = Vec::new();
+    let mut available: Vec<Field> = Vec::new();
+    let mut prev_was_reduce_or_synth = false;
+    let mut pending_reduce = false; // a reduce not yet committed by collect
+
+    for (i, op) in policy.ops.iter().enumerate() {
+        match op {
+            Operator::Filter(_) => {
+                if seen_groupby {
+                    return Err(PolicyError::BadOperatorOrder(format!(
+                        "filter at position {i} appears after groupby; filters run on the \
+                         switch ahead of grouping"
+                    )));
+                }
+                prev_was_reduce_or_synth = false;
+            }
+            Operator::GroupBy(g) => {
+                if let Some(&prev) = grans.last() {
+                    if prev == *g {
+                        return Err(PolicyError::BadGranularityChain(format!(
+                            "duplicate groupby({})",
+                            g.name()
+                        )));
+                    }
+                    if !prev.refines_to(*g) {
+                        return Err(PolicyError::BadGranularityChain(format!(
+                            "groupby({}) does not coarsen groupby({}); regrouping must walk \
+                             the dependency chain fine → coarse",
+                            g.name(),
+                            prev.name()
+                        )));
+                    }
+                }
+                grans.push(*g);
+                seen_groupby = true;
+                prev_was_reduce_or_synth = false;
+            }
+            Operator::Map { dst, src, func: _ } => {
+                if !seen_groupby {
+                    return Err(PolicyError::BadOperatorOrder(format!(
+                        "map at position {i} before any groupby"
+                    )));
+                }
+                check_field_available(src, &available, true)?;
+                if !available.contains(dst) {
+                    available.push(dst.clone());
+                }
+                prev_was_reduce_or_synth = false;
+            }
+            Operator::Reduce { src, funcs } => {
+                if !seen_groupby {
+                    return Err(PolicyError::BadOperatorOrder(format!(
+                        "reduce at position {i} before any groupby"
+                    )));
+                }
+                if funcs.is_empty() {
+                    return Err(PolicyError::BadParameters(
+                        "reduce with an empty function list".into(),
+                    ));
+                }
+                check_field_available(src, &available, false)?;
+                for f in funcs {
+                    check_reduce_params(f)?;
+                }
+                prev_was_reduce_or_synth = true;
+                pending_reduce = true;
+            }
+            Operator::Synthesize(sf) => {
+                if !prev_was_reduce_or_synth {
+                    return Err(PolicyError::BadOperatorOrder(format!(
+                        "synthesize at position {i} must follow reduce or synthesize"
+                    )));
+                }
+                check_synth_params(sf)?;
+            }
+            Operator::Collect(u) => {
+                if !seen_groupby {
+                    return Err(PolicyError::BadOperatorOrder(format!(
+                        "collect at position {i} before any groupby"
+                    )));
+                }
+                if let CollectUnit::Group(g) = u {
+                    if !grans.contains(g) {
+                        return Err(PolicyError::BadGranularityChain(format!(
+                            "collect({}) names a granularity that was never grouped by",
+                            g.name()
+                        )));
+                    }
+                }
+                prev_was_reduce_or_synth = false;
+                pending_reduce = false;
+            }
+        }
+    }
+
+    if !seen_groupby {
+        return Err(PolicyError::Incomplete("policy never calls groupby".into()));
+    }
+    if !matches!(policy.ops.last(), Some(Operator::Collect(_))) {
+        return Err(PolicyError::Incomplete(
+            "policy must end with collect".into(),
+        ));
+    }
+    if pending_reduce {
+        return Err(PolicyError::Incomplete(
+            "a reduce is never committed by a collect".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn check_field_available(
+    field: &Field,
+    available: &[Field],
+    allow_placeholder: bool,
+) -> Result<(), PolicyError> {
+    if field.is_builtin() {
+        return Ok(());
+    }
+    if let Field::Named(n) = field {
+        if allow_placeholder && n == "_" {
+            return Ok(());
+        }
+    }
+    if available.contains(field) {
+        return Ok(());
+    }
+    Err(PolicyError::UnknownField(field.name()))
+}
+
+fn check_reduce_params(f: &ReduceFn) -> Result<(), PolicyError> {
+    match f {
+        ReduceFn::Card { k } if !(4..=16).contains(k) => Err(PolicyError::BadParameters(format!(
+            "f_card bucket exponent {k} outside 4..=16"
+        ))),
+        ReduceFn::Array { cap } if *cap == 0 => Err(PolicyError::BadParameters(
+            "f_array with zero capacity".into(),
+        )),
+        ReduceFn::Hist { width, bins }
+        | ReduceFn::Pdf { width, bins }
+        | ReduceFn::Cdf { width, bins }
+            if *width <= 0.0 || *bins == 0 =>
+        {
+            Err(PolicyError::BadParameters(format!(
+                "{} with width {width} and {bins} bins",
+                f.name()
+            )))
+        }
+        ReduceFn::HistLog { unit, base, bins } if *unit <= 0.0 || *base <= 1.0 || *bins == 0 => {
+            Err(PolicyError::BadParameters(format!(
+                "ft_histlog with unit {unit}, base {base}, {bins} bins"
+            )))
+        }
+        ReduceFn::Percent { width, bins, q }
+            if *width <= 0.0 || *bins == 0 || !(0.0..=100.0).contains(q) =>
+        {
+            Err(PolicyError::BadParameters(format!(
+                "ft_percent with width {width}, {bins} bins, q {q}"
+            )))
+        }
+        ReduceFn::Damped { lambda } | ReduceFn::Damped2d { lambda }
+            if !lambda.is_finite() || *lambda < 0.0 =>
+        {
+            Err(PolicyError::BadParameters(format!(
+                "damped statistic with decay rate {lambda}"
+            )))
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_synth_params(sf: &SynthFn) -> Result<(), PolicyError> {
+    match sf {
+        SynthFn::Sample { n } if *n == 0 => {
+            Err(PolicyError::BadParameters("ft_sample with n = 0".into()))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{MapFn, Predicate};
+    use crate::builder::pktstream;
+    use superfe_net::Granularity;
+
+    fn valid_base() -> crate::builder::PolicyBuilder {
+        pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+    }
+
+    #[test]
+    fn accepts_minimal_policy() {
+        assert!(valid_base()
+            .collect_group(Granularity::Flow)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            validate(&Policy::new()),
+            Err(PolicyError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_collect() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .build_unchecked();
+        assert!(matches!(validate(&p), Err(PolicyError::Incomplete(_))));
+    }
+
+    #[test]
+    fn rejects_filter_after_groupby() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .filter(Predicate::TcpExists)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadOperatorOrder(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_reduce_before_groupby() {
+        let p = pktstream()
+            .reduce("size", vec![ReduceFn::Sum])
+            .groupby(Granularity::Flow)
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadOperatorOrder(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_source_field() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("ipt", vec![ReduceFn::Mean]) // ipt never mapped
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(validate(&p), Err(PolicyError::UnknownField(_))));
+    }
+
+    #[test]
+    fn accepts_mapped_field() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("ipt", "tstamp", MapFn::FIpt)
+            .reduce("ipt", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .build();
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn rejects_map_from_unknown_named_field() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("d", "nonexistent", MapFn::FDirection)
+            .reduce("d", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(validate(&p), Err(PolicyError::UnknownField(_))));
+    }
+
+    #[test]
+    fn granularity_chain_fine_to_coarse_ok() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Socket)
+            .groupby(Granularity::Channel)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Channel)
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build();
+        assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn granularity_chain_coarse_to_fine_rejected() {
+        let p = pktstream()
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Socket)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadGranularityChain(_))
+        ));
+    }
+
+    #[test]
+    fn flow_cannot_mix_with_directional_chain() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadGranularityChain(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_groupby_rejected() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadGranularityChain(_))
+        ));
+    }
+
+    #[test]
+    fn synthesize_requires_reduce() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .synthesize(SynthFn::Norm)
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadOperatorOrder(_))
+        ));
+    }
+
+    #[test]
+    fn synthesize_after_synthesize_ok() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Array { cap: 100 }])
+            .synthesize(SynthFn::Norm)
+            .synthesize(SynthFn::Sample { n: 10 })
+            .collect_group(Granularity::Flow)
+            .build();
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        for f in [
+            ReduceFn::Card { k: 2 },
+            ReduceFn::Array { cap: 0 },
+            ReduceFn::Hist {
+                width: 0.0,
+                bins: 4,
+            },
+            ReduceFn::Percent {
+                width: 1.0,
+                bins: 4,
+                q: 150.0,
+            },
+        ] {
+            let p = pktstream()
+                .groupby(Granularity::Flow)
+                .reduce("size", vec![f])
+                .collect_group(Granularity::Flow)
+                .build_unchecked();
+            assert!(
+                matches!(validate(&p), Err(PolicyError::BadParameters(_))),
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reduce_rejected() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(matches!(validate(&p), Err(PolicyError::BadParameters(_))));
+    }
+
+    #[test]
+    fn collect_unknown_granularity_rejected() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Host)
+            .build_unchecked();
+        assert!(matches!(
+            validate(&p),
+            Err(PolicyError::BadGranularityChain(_))
+        ));
+    }
+
+    #[test]
+    fn uncollected_reduce_rejected() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Socket)
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Sum])
+            .build_unchecked();
+        // Ends with reduce, not collect.
+        assert!(matches!(validate(&p), Err(PolicyError::Incomplete(_))));
+    }
+
+    #[test]
+    fn collect_pkt_accepted() {
+        let p = pktstream()
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_pkt()
+            .build();
+        assert!(p.is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! HyperLogLog cardinality estimation (`f_card`).
+//!
+//! The paper (§6.1) estimates distinct counts — e.g. flows opened per host —
+//! by bucketing a 32-bit hash: the first `k` bits pick one of `2^k` registers
+//! and the register keeps the maximum number of leading zeros seen in the
+//! remaining bits. Registers combine with the HyperLogLog harmonic mean
+//! (Flajolet et al.), with the standard small-range (linear counting) and
+//! 32-bit large-range corrections.
+
+use crate::reducer::Reducer;
+
+/// A HyperLogLog sketch with `2^k` one-byte registers.
+#[derive(Clone, Debug)]
+pub struct HyperLogLog {
+    k: u8,
+    registers: Vec<u8>,
+    // Incrementing counter used when samples are fed as raw f64s; real
+    // deployments feed pre-hashed values via `update_hash`.
+    updates: u64,
+}
+
+impl HyperLogLog {
+    /// Creates a sketch with `2^k` registers.
+    ///
+    /// Returns `None` unless `4 <= k <= 16` (the practical range: at least 16
+    /// registers for the bias constant, at most 64 Ki registers).
+    pub fn new(k: u8) -> Option<Self> {
+        if !(4..=16).contains(&k) {
+            return None;
+        }
+        Some(HyperLogLog {
+            k,
+            registers: vec![0; 1 << k],
+            updates: 0,
+        })
+    }
+
+    /// Number of registers (`2^k`).
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Feeds a pre-computed 32-bit hash (the switch-computed hash on the real
+    /// system, so the NIC performs no hashing — §6.2).
+    pub fn update_hash(&mut self, h: u32) {
+        self.updates += 1;
+        let idx = (h >> (32 - self.k)) as usize;
+        let rest = h << self.k;
+        // Rank = leading zeros of the remaining (32-k) bits, plus 1.
+        let rank = if rest == 0 {
+            32 - self.k + 1
+        } else {
+            (rest.leading_zeros() as u8).min(32 - self.k) + 1
+        };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Bias-correction constant `alpha_m`.
+    fn alpha(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        }
+    }
+
+    /// Estimated number of distinct hashed elements.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 1.0 / ((1u64 << r) as f64))
+            .sum();
+        let raw = self.alpha() * m * m / sum;
+
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting on empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros != 0 {
+                return m * (m / zeros as f64).ln();
+            }
+            raw
+        } else if raw > (1u64 << 32) as f64 / 30.0 {
+            // Large-range correction for 32-bit hashes.
+            let two32 = (1u64 << 32) as f64;
+            -two32 * (1.0 - raw / two32).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Merges another sketch of the same size (register-wise max).
+    ///
+    /// Returns `false` (and leaves `self` unchanged) if the sizes differ.
+    pub fn merge(&mut self, other: &HyperLogLog) -> bool {
+        if self.k != other.k {
+            return false;
+        }
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+        self.updates += other.updates;
+        true
+    }
+}
+
+impl Reducer for HyperLogLog {
+    /// Hashes the sample's bit pattern mixed with an update counter and
+    /// updates the sketch.
+    ///
+    /// This path exists so `f_card` composes with the generic reducer
+    /// machinery in the software engine; the NIC engine always uses
+    /// [`HyperLogLog::update_hash`] with the switch-provided hash.
+    fn update(&mut self, x: f64) {
+        let h = superfe_hash_f64(x);
+        self.update_hash(h);
+    }
+
+    fn finalize(&self) -> Vec<f64> {
+        vec![self.estimate()]
+    }
+
+    fn feature_len(&self) -> usize {
+        1
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    fn reset(&mut self) {
+        self.registers.iter_mut().for_each(|r| *r = 0);
+        self.updates = 0;
+    }
+}
+
+/// 32-bit mix hash of an `f64`'s bit pattern (fmix32 finalizer).
+fn superfe_hash_f64(x: f64) -> u32 {
+    let bits = x.to_bits();
+    let mut h = (bits ^ (bits >> 32)) as u32;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_k() {
+        assert!(HyperLogLog::new(3).is_none());
+        assert!(HyperLogLog::new(17).is_none());
+        assert!(HyperLogLog::new(10).is_some());
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let h = HyperLogLog::new(8).unwrap();
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_within_expected_error() {
+        // Standard error is ~1.04/sqrt(m); with k=10 (m=1024) that's ~3.3%.
+        let mut h = HyperLogLog::new(10).unwrap();
+        let n = 50_000u32;
+        for i in 0..n {
+            h.update(i as f64 * 1.000001);
+        }
+        let est = h.estimate();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "estimate {est} vs {n}, err {err}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(10).unwrap();
+        for _ in 0..10 {
+            for i in 0..100u32 {
+                h.update(i as f64);
+            }
+        }
+        let est = h.estimate();
+        assert!((est - 100.0).abs() / 100.0 < 0.15, "estimate {est}");
+    }
+
+    #[test]
+    fn small_range_uses_linear_counting() {
+        let mut h = HyperLogLog::new(12).unwrap();
+        for i in 0..10u32 {
+            h.update(i as f64);
+        }
+        let est = h.estimate();
+        assert!((est - 10.0).abs() < 2.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new(9).unwrap();
+        let mut b = HyperLogLog::new(9).unwrap();
+        for i in 0..5000u32 {
+            a.update(i as f64);
+        }
+        for i in 2500..7500u32 {
+            b.update(i as f64);
+        }
+        assert!(a.merge(&b));
+        let est = a.estimate();
+        let err = (est - 7500.0).abs() / 7500.0;
+        assert!(err < 0.08, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = HyperLogLog::new(9).unwrap();
+        let b = HyperLogLog::new(10).unwrap();
+        assert!(!a.merge(&b));
+    }
+
+    #[test]
+    fn state_bytes_equals_registers() {
+        let h = HyperLogLog::new(8).unwrap();
+        assert_eq!(h.state_bytes(), 256);
+    }
+
+    #[test]
+    fn reset_clears_registers() {
+        let mut h = HyperLogLog::new(8).unwrap();
+        for i in 0..1000u32 {
+            h.update(i as f64);
+        }
+        h.reset();
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn update_hash_rank_handles_zero_suffix() {
+        let mut h = HyperLogLog::new(4).unwrap();
+        // Hash whose low 28 bits are all zero: rank must saturate, not panic.
+        h.update_hash(0xF000_0000);
+        assert!(h.estimate() > 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Buffer-everything baselines for the streaming-vs-naive comparison.
+//!
+//! §8.5 / Fig. 15 of the paper contrasts the streaming reducers with "naive
+//! algorithms" that store the entire stream per group: a two-pass variance, a
+//! hash-set cardinality, and a sort-based quantile. These are correct but
+//! their state grows with the stream — on a real SmartNIC they exhaust
+//! on-chip memory, which is exactly what the experiment demonstrates.
+
+use std::collections::HashSet;
+
+use crate::reducer::Reducer;
+
+/// Two-pass mean/variance that buffers every sample.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveVariance {
+    samples: Vec<f64>,
+}
+
+impl NaiveVariance {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        NaiveVariance::default()
+    }
+
+    /// Exact mean (first pass).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Exact population variance (second pass).
+    pub fn variance(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+impl Reducer for NaiveVariance {
+    fn update(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    fn finalize(&self) -> Vec<f64> {
+        vec![self.mean(), self.variance()]
+    }
+
+    fn feature_len(&self) -> usize {
+        2
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.samples.len() * 8
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Exact distinct counting via a hash set.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveCardinality {
+    seen: HashSet<u64>,
+}
+
+impl NaiveCardinality {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        NaiveCardinality::default()
+    }
+
+    /// Exact number of distinct values observed.
+    pub fn cardinality(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl Reducer for NaiveCardinality {
+    fn update(&mut self, x: f64) {
+        self.seen.insert(x.to_bits());
+    }
+
+    fn finalize(&self) -> Vec<f64> {
+        vec![self.seen.len() as f64]
+    }
+
+    fn feature_len(&self) -> usize {
+        1
+    }
+
+    fn state_bytes(&self) -> usize {
+        // 8-byte key + ~8 bytes of table overhead per element.
+        self.seen.len() * 16
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+    }
+}
+
+/// Exact distribution features by buffering and sorting.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveDistribution {
+    samples: Vec<f64>,
+}
+
+impl NaiveDistribution {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        NaiveDistribution::default()
+    }
+
+    /// Exact `q`-quantile (linear interpolation between order statistics).
+    ///
+    /// Returns `None` when empty or `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pos = q * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(v.len() - 1);
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+
+    /// Exact histogram with `bins` fixed-width bins of `width`.
+    pub fn histogram(&self, width: f64, bins: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; bins];
+        if width <= 0.0 || bins == 0 {
+            return counts;
+        }
+        for &x in &self.samples {
+            let i = if x <= 0.0 {
+                0
+            } else {
+                ((x / width) as usize).min(bins - 1)
+            };
+            counts[i] += 1;
+        }
+        counts
+    }
+}
+
+impl Reducer for NaiveDistribution {
+    fn update(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    fn finalize(&self) -> Vec<f64> {
+        vec![self.percentile(0.5).unwrap_or(0.0)]
+    }
+
+    fn feature_len(&self) -> usize {
+        1
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.samples.len() * 8
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::hll::HyperLogLog;
+    use crate::welford::Welford;
+
+    #[test]
+    fn naive_variance_agrees_with_welford() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 13) % 79) as f64).collect();
+        let mut n = NaiveVariance::new();
+        let mut w = Welford::new();
+        for &x in &xs {
+            n.update(x);
+            w.update(x);
+        }
+        assert!((n.mean() - w.mean()).abs() < 1e-9);
+        assert!((n.variance() - w.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn naive_state_grows_streaming_does_not() {
+        let mut n = NaiveVariance::new();
+        let mut w = Welford::new();
+        for i in 0..10_000 {
+            n.update(i as f64);
+            w.update(i as f64);
+        }
+        assert_eq!(w.state_bytes(), 24);
+        assert_eq!(n.state_bytes(), 80_000);
+    }
+
+    #[test]
+    fn naive_cardinality_is_exact() {
+        let mut c = NaiveCardinality::new();
+        for i in 0..1000u32 {
+            c.update((i % 123) as f64);
+        }
+        assert_eq!(c.cardinality(), 123);
+    }
+
+    #[test]
+    fn hll_tracks_naive_within_error() {
+        let mut exact = NaiveCardinality::new();
+        let mut sketch = HyperLogLog::new(10).unwrap();
+        for i in 0..20_000u32 {
+            let v = (i % 5000) as f64;
+            exact.update(v);
+            sketch.update(v);
+        }
+        let err =
+            (sketch.estimate() - exact.cardinality() as f64).abs() / exact.cardinality() as f64;
+        assert!(err < 0.06, "err {err}");
+    }
+
+    #[test]
+    fn naive_percentile_matches_histogram_estimate() {
+        let mut nd = NaiveDistribution::new();
+        let mut h = Histogram::fixed(1.0, 128).unwrap();
+        for i in 0..1000 {
+            let x = (i % 100) as f64;
+            nd.update(x);
+            h.update(x);
+        }
+        let exact = nd.percentile(0.9).unwrap();
+        let approx = h.percentile(0.9).unwrap();
+        assert!((exact - approx).abs() < 2.0, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn naive_percentile_edges() {
+        let mut nd = NaiveDistribution::new();
+        assert_eq!(nd.percentile(0.5), None);
+        nd.update(5.0);
+        assert_eq!(nd.percentile(0.0), Some(5.0));
+        assert_eq!(nd.percentile(1.0), Some(5.0));
+        assert_eq!(nd.percentile(2.0), None);
+    }
+
+    #[test]
+    fn naive_histogram_matches_streaming() {
+        let mut nd = NaiveDistribution::new();
+        let mut h = Histogram::fixed(10.0, 8).unwrap();
+        for i in 0..500 {
+            let x = ((i * 7) % 90) as f64;
+            nd.update(x);
+            h.update(x);
+        }
+        assert_eq!(nd.histogram(10.0, 8), h.counts());
+    }
+
+    #[test]
+    fn resets_clear_buffers() {
+        let mut n = NaiveVariance::new();
+        n.update(1.0);
+        n.reset();
+        assert_eq!(n.state_bytes(), 0);
+        let mut c = NaiveCardinality::new();
+        c.update(1.0);
+        c.reset();
+        assert_eq!(c.cardinality(), 0);
+    }
+}

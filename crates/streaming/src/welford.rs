@@ -1,0 +1,184 @@
+//! Welford's online mean/variance (the paper's Eq. 1–2).
+
+use crate::reducer::Reducer;
+
+/// One-pass mean and variance via Welford's algorithm.
+///
+/// Maintains `(n, mean, M2)` where `M2 = Σ (x_i - mean)^2`; the population
+/// variance is `M2 / n`. This is the algorithm the paper deploys on the
+/// SmartNIC for `f_mean` / `f_var` / `f_std` because the naive two-pass
+/// method would need to buffer the whole stream (§6.1).
+///
+/// # Examples
+///
+/// ```
+/// use superfe_streaming::{Reducer, Welford};
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.update(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty stream).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `M2 / n` (0 for an empty stream).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Combines two partial estimates (Chan et al. parallel update), so
+    /// per-core partial states can be merged.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.n += other.n;
+    }
+}
+
+impl Reducer for Welford {
+    fn update(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    fn finalize(&self) -> Vec<f64> {
+        vec![self.mean(), self.variance()]
+    }
+
+    fn feature_len(&self) -> usize {
+        2
+    }
+
+    fn state_bytes(&self) -> usize {
+        // n (8) + mean (8) + M2 (8).
+        24
+    }
+
+    fn reset(&mut self) {
+        *self = Welford::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reducer::update_all;
+
+    fn exact_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let mut w = Welford::new();
+        update_all(&mut w, xs.iter().copied());
+        let (m, v) = exact_mean_var(&xs);
+        assert!((w.mean() - m).abs() < 1e-9);
+        assert!((w.variance() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_defaults() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.finalize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let mut w = Welford::new();
+        w.update(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = Welford::new();
+        update_all(&mut seq, xs.iter().copied());
+
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        update_all(&mut a, xs[..200].iter().copied());
+        update_all(&mut b, xs[200..].iter().copied());
+        a.merge(&b);
+
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.variance() - seq.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        update_all(&mut a, [1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = Welford::new();
+        w.update(1.0);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.state_bytes(), 24);
+    }
+}

@@ -1,0 +1,176 @@
+//! Switch-side load balancing across multiple SmartNICs (§8.5).
+//!
+//! "We can also add more SmartNICs to scale up FE-NIC further, with a simple
+//! load-balance mechanism implemented on the switch to distribute the MGPV
+//! traffic across them evenly." MGPV messages are routed by CG-key hash so
+//! that all of a group's metadata lands on one NIC (no cross-NIC state);
+//! FG-table updates are broadcast, since any NIC may need to resolve any
+//! slot.
+
+use crate::record::SwitchEvent;
+
+/// Routes switch events across `n` SmartNIC channels.
+#[derive(Clone, Debug)]
+pub struct NicLoadBalancer {
+    n: usize,
+    per_nic_msgs: Vec<u64>,
+    per_nic_records: Vec<u64>,
+}
+
+impl NicLoadBalancer {
+    /// Creates a balancer over `n` NICs (≥ 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        NicLoadBalancer {
+            n,
+            per_nic_msgs: vec![0; n],
+            per_nic_records: vec![0; n],
+        }
+    }
+
+    /// Number of downstream NICs.
+    pub fn nics(&self) -> usize {
+        self.n
+    }
+
+    /// Routes one event: returns the channel indices it must be sent to
+    /// (one for MGPV data, all for FG updates).
+    pub fn route(&mut self, event: &SwitchEvent) -> Vec<usize> {
+        match event {
+            SwitchEvent::Mgpv(m) => {
+                let nic = (m.hash as usize) % self.n;
+                self.per_nic_msgs[nic] += 1;
+                self.per_nic_records[nic] += m.records.len() as u64;
+                vec![nic]
+            }
+            SwitchEvent::FgUpdate(_) => (0..self.n).collect(),
+        }
+    }
+
+    /// Demultiplexes a whole event stream into per-NIC streams, preserving
+    /// relative order within each stream.
+    pub fn demux<'a>(&mut self, events: &'a [SwitchEvent]) -> Vec<Vec<&'a SwitchEvent>> {
+        let mut out: Vec<Vec<&SwitchEvent>> = vec![Vec::new(); self.n];
+        for e in events {
+            for nic in self.route(e) {
+                out[nic].push(e);
+            }
+        }
+        out
+    }
+
+    /// Records delivered to each NIC.
+    pub fn records_per_nic(&self) -> &[u64] {
+        &self.per_nic_records
+    }
+
+    /// Jain's fairness index of the record distribution (1.0 = perfectly
+    /// even; 1/n = all load on one NIC). 1.0 for an unused balancer.
+    pub fn fairness(&self) -> f64 {
+        let sum: f64 = self.per_nic_records.iter().map(|&x| x as f64).sum();
+        if sum == 0.0 {
+            return 1.0;
+        }
+        let sum_sq: f64 = self
+            .per_nic_records
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        sum * sum / (self.n as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FeSwitch;
+    use superfe_net::PacketRecord;
+    use superfe_policy::{compile, dsl};
+
+    fn event_stream(n_pkts: u32) -> Vec<SwitchEvent> {
+        let c = compile(
+            &dsl::parse(
+                "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+                 .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut sw = FeSwitch::new(c.switch).unwrap();
+        let mut events = Vec::new();
+        for i in 0..n_pkts {
+            let p = PacketRecord::tcp(i as u64 * 100, 200, i % 97 + 1, 1000, 2, 80);
+            events.extend(sw.process(&p));
+        }
+        events.extend(sw.flush());
+        events
+    }
+
+    #[test]
+    fn clamps_to_one_nic() {
+        assert_eq!(NicLoadBalancer::new(0).nics(), 1);
+    }
+
+    #[test]
+    fn data_goes_to_exactly_one_nic() {
+        let events = event_stream(2000);
+        let mut lb = NicLoadBalancer::new(4);
+        for e in &events {
+            let routes = lb.route(e);
+            match e {
+                SwitchEvent::Mgpv(_) => assert_eq!(routes.len(), 1),
+                SwitchEvent::FgUpdate(_) => assert_eq!(routes.len(), 4),
+            }
+        }
+    }
+
+    #[test]
+    fn same_group_always_same_nic() {
+        let events = event_stream(2000);
+        let mut lb = NicLoadBalancer::new(4);
+        let mut seen: std::collections::HashMap<_, usize> = Default::default();
+        for e in &events {
+            if let SwitchEvent::Mgpv(m) = e {
+                let nic = lb.route(e)[0];
+                if let Some(&prev) = seen.get(&m.cg_key) {
+                    assert_eq!(prev, nic, "group moved between NICs");
+                } else {
+                    seen.insert(m.cg_key, nic);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_even_enough() {
+        let events = event_stream(20_000);
+        let mut lb = NicLoadBalancer::new(4);
+        lb.demux(&events);
+        assert!(lb.fairness() > 0.8, "fairness {}", lb.fairness());
+        assert!(lb.records_per_nic().iter().all(|&r| r > 0));
+    }
+
+    #[test]
+    fn demux_preserves_per_stream_order_and_fg_broadcast() {
+        let events = event_stream(3000);
+        let mut lb = NicLoadBalancer::new(3);
+        let streams = lb.demux(&events);
+        let fg_total = events
+            .iter()
+            .filter(|e| matches!(e, SwitchEvent::FgUpdate(_)))
+            .count();
+        for s in &streams {
+            let fg_here = s
+                .iter()
+                .filter(|e| matches!(e, SwitchEvent::FgUpdate(_)))
+                .count();
+            assert_eq!(fg_here, fg_total, "every NIC sees every FG update");
+        }
+    }
+
+    #[test]
+    fn fairness_degenerate_cases() {
+        let lb = NicLoadBalancer::new(4);
+        assert_eq!(lb.fairness(), 1.0);
+    }
+}

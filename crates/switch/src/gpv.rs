@@ -1,0 +1,159 @@
+//! The single-granularity GPV baseline (\*Flow, §5.1).
+//!
+//! GPV has no FG key table: to serve an application that wants features at
+//! `k` granularities, the switch must run `k` independent caches, each
+//! storing its *own copy* of every packet's metadata. Memory and switch→NIC
+//! bandwidth therefore grow linearly with `k`, which is exactly the Fig. 13
+//! comparison against MGPV's constant footprint.
+
+use superfe_net::{Granularity, PacketRecord};
+
+use crate::mgpv::{MgpvCache, MgpvConfig, MgpvStats};
+use crate::record::SwitchEvent;
+
+/// A bank of per-granularity GPV caches.
+#[derive(Clone, Debug)]
+pub struct GpvBank {
+    caches: Vec<(Granularity, MgpvCache)>,
+}
+
+impl GpvBank {
+    /// Creates one GPV cache per granularity, each with `cfg`'s buffer
+    /// dimensions (FG tables are disabled — GPV does not have one).
+    ///
+    /// Returns `None` for degenerate configurations or no granularities.
+    pub fn new(granularities: &[Granularity], cfg: MgpvConfig) -> Option<Self> {
+        if granularities.is_empty() {
+            return None;
+        }
+        let per_gran = MgpvConfig {
+            fg_table_size: 0,
+            ..cfg
+        };
+        let caches = granularities
+            .iter()
+            .map(|&g| MgpvCache::new(per_gran).map(|c| (g, c)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(GpvBank { caches })
+    }
+
+    /// Number of granularities (and caches).
+    pub fn granularities(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Inserts a packet into every per-granularity cache.
+    pub fn insert(&mut self, p: &PacketRecord) -> Vec<SwitchEvent> {
+        let mut events = Vec::new();
+        for (g, cache) in &mut self.caches {
+            events.extend(cache.insert(p, g.key_of(p), None));
+        }
+        events
+    }
+
+    /// Flushes every cache.
+    pub fn flush(&mut self) -> Vec<SwitchEvent> {
+        let mut events = Vec::new();
+        for (_, cache) in &mut self.caches {
+            events.extend(cache.flush());
+        }
+        events
+    }
+
+    /// Total static SRAM footprint across caches.
+    pub fn memory_bytes(&self) -> usize {
+        self.caches
+            .iter()
+            .map(|(g, c)| c.config().memory_bytes(g.key_bytes()))
+            .sum()
+    }
+
+    /// Aggregated statistics (sums across caches).
+    pub fn stats(&self) -> MgpvStats {
+        let mut agg = MgpvStats::default();
+        for (_, c) in &self.caches {
+            let s = c.stats();
+            agg.packets += s.packets;
+            agg.resident_records += s.resident_records;
+            for i in 0..agg.evictions.len() {
+                agg.evictions[i] += s.evictions[i];
+            }
+            agg.evicted_records += s.evicted_records;
+            agg.fg_updates += s.fg_updates;
+            agg.occupied_samples += s.occupied_samples;
+            agg.active_samples += s.active_samples;
+            agg.delay_sum_ns += s.delay_sum_ns;
+            agg.delay_max_ns = agg.delay_max_ns.max(s.delay_max_ns);
+            agg.delay_samples += s.delay_samples;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MgpvConfig {
+        MgpvConfig {
+            short_count: 16,
+            short_size: 2,
+            long_count: 4,
+            long_size: 4,
+            fg_table_size: 16, // will be zeroed by the bank
+            aging_t_ns: None,
+            probes_per_packet: 0,
+            probe_rate_hz: 0.0,
+            activity_window_ns: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn requires_granularities() {
+        assert!(GpvBank::new(&[], cfg()).is_none());
+    }
+
+    #[test]
+    fn stores_one_copy_per_granularity() {
+        let grans = [Granularity::Socket, Granularity::Channel, Granularity::Host];
+        let mut bank = GpvBank::new(&grans, cfg()).unwrap();
+        let p = PacketRecord::tcp(10, 100, 1, 1000, 2, 80);
+        bank.insert(&p);
+        // Each cache holds its own record copy.
+        assert_eq!(bank.stats().resident_records, 3);
+        let total: usize = bank
+            .flush()
+            .iter()
+            .filter_map(|e| match e {
+                SwitchEvent::Mgpv(m) => Some(m.records.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_granularities() {
+        let one = GpvBank::new(&[Granularity::Host], cfg()).unwrap();
+        let three = GpvBank::new(
+            &[Granularity::Socket, Granularity::Channel, Granularity::Host],
+            cfg(),
+        )
+        .unwrap();
+        // Linear up to key-width differences.
+        assert!(three.memory_bytes() > 2 * one.memory_bytes());
+        assert_eq!(three.granularities(), 3);
+    }
+
+    #[test]
+    fn no_fg_updates_ever() {
+        let mut bank = GpvBank::new(&[Granularity::Socket, Granularity::Host], cfg()).unwrap();
+        for i in 0..100u32 {
+            let p = PacketRecord::tcp(i as u64, 100, i % 5 + 1, 1000, 2, 80);
+            for e in bank.insert(&p) {
+                assert!(!matches!(e, SwitchEvent::FgUpdate(_)));
+            }
+        }
+        assert_eq!(bank.stats().fg_updates, 0);
+    }
+}

@@ -1,0 +1,766 @@
+//! The multi-granularity key-vector cache (MGPV, §5).
+//!
+//! Packets are grouped at the *coarsest* granularity (CG). Each group owns a
+//! small **short buffer**; groups that outgrow it get a **long buffer** from
+//! a shared stack (the long-tail optimization of §5.2). When the policy uses
+//! several granularities, each record additionally carries an index into the
+//! **FG group-key table** holding its finest-granularity key, from which the
+//! SmartNIC recovers every intermediate grouping — one copy of metadata per
+//! packet regardless of how many granularities the application wants (§5.1).
+//!
+//! Evictions (hash collision, buffer full, aging, FG-slot reassignment, final
+//! flush) emit [`MgpvMessage`]s; FG table changes emit [`FgUpdate`]s strictly
+//! *before* any message whose records reference them, preserving the paper's
+//! order-preserving property.
+
+use superfe_net::{GroupKey, PacketRecord};
+
+use crate::record::{EvictionCause, FgUpdate, MgpvMessage, MgpvRecord, SwitchEvent};
+
+/// Bytes one metadata record occupies in switch SRAM (full layout).
+pub const SWITCH_RECORD_BYTES: usize = 9;
+/// Per-entry bookkeeping bytes in switch SRAM (timestamp, pointer, flags).
+pub const ENTRY_OVERHEAD_BYTES: usize = 8;
+
+/// Configuration of an MGPV cache instance.
+///
+/// Defaults are the paper's §7 prototype values.
+#[derive(Clone, Copy, Debug)]
+pub struct MgpvConfig {
+    /// Number of short buffers (one per CG slot).
+    pub short_count: usize,
+    /// Records per short buffer.
+    pub short_size: usize,
+    /// Number of long buffers in the shared stack.
+    pub long_count: usize,
+    /// Records per long buffer.
+    pub long_size: usize,
+    /// FG key-table slots (0 disables the table).
+    pub fg_table_size: usize,
+    /// Aging timeout `T`; `None` disables aging.
+    pub aging_t_ns: Option<u64>,
+    /// Cache entries checked by the recirculating aging probe per packet.
+    pub probes_per_packet: usize,
+    /// Recirculation probe rate in entries per second: the recirculated
+    /// packets check entries continuously, independent of traffic, so on
+    /// each insert the cache also executes the probes that elapsed wall
+    /// time would have produced (capped at one full scan).
+    pub probe_rate_hz: f64,
+    /// Window for the "active flow" definition in buffer-efficiency stats.
+    pub activity_window_ns: u64,
+}
+
+impl Default for MgpvConfig {
+    fn default() -> Self {
+        MgpvConfig {
+            short_count: 16_384,
+            short_size: 4,
+            long_count: 4_096,
+            long_size: 20,
+            fg_table_size: 16_384,
+            // Above typical intra-flow gaps (ms-scale) yet small enough to
+            // keep the batching delay at O(10) ms.
+            aging_t_ns: Some(25_000_000), // 25 ms
+            probes_per_packet: 2,
+            probe_rate_hz: 1_000_000.0, // one 16k-entry scan every ~16 ms
+            activity_window_ns: 100_000_000, // 100 ms
+        }
+    }
+}
+
+impl MgpvConfig {
+    /// Static SRAM footprint of this configuration, in bytes.
+    ///
+    /// `cg_key_bytes` is the serialized CG key width; the FG table (13-byte
+    /// keys plus a 4-byte hash) is counted only when enabled.
+    pub fn memory_bytes(&self, cg_key_bytes: usize) -> usize {
+        let short = self.short_count
+            * (cg_key_bytes + ENTRY_OVERHEAD_BYTES + self.short_size * SWITCH_RECORD_BYTES);
+        let long = self.long_count * self.long_size * SWITCH_RECORD_BYTES
+            + self.long_count * 2 // stack slots
+            + 4; // stack pointer
+        let fg = if self.fg_table_size > 0 {
+            self.fg_table_size * (13 + 4)
+        } else {
+            0
+        };
+        short + long + fg
+    }
+}
+
+/// Counters exported by the cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MgpvStats {
+    /// Packets offered to the cache.
+    pub packets: u64,
+    /// Records currently resident.
+    pub resident_records: u64,
+    /// Evicted messages by cause `[CgCollision, ShortFull, LongFull, Aging, FgCollision, Flush]`.
+    pub evictions: [u64; 6],
+    /// Total records shipped in eviction messages.
+    pub evicted_records: u64,
+    /// FG table update notifications sent.
+    pub fg_updates: u64,
+    /// Σ occupied entries over samples (buffer-efficiency denominator).
+    pub occupied_samples: u64,
+    /// Σ active entries over samples (buffer-efficiency numerator).
+    pub active_samples: u64,
+    /// Σ per-record batching delay (eviction time − arrival time) in ns,
+    /// over data-plane evictions (final flushes excluded — they measure
+    /// trace length, not the cache).
+    pub delay_sum_ns: u64,
+    /// Largest per-record batching delay seen on a data-plane eviction.
+    pub delay_max_ns: u64,
+    /// Records counted in the delay statistics.
+    pub delay_samples: u64,
+}
+
+impl MgpvStats {
+    /// Mean messages per evicted record (inverse batching factor).
+    pub fn records_per_message(&self) -> f64 {
+        let msgs: u64 = self.evictions.iter().sum();
+        if msgs == 0 {
+            0.0
+        } else {
+            self.evicted_records as f64 / msgs as f64
+        }
+    }
+
+    /// Mean batching delay in nanoseconds (§8.4: bounded by the aging
+    /// timeout at O(10) ms).
+    pub fn mean_delay_ns(&self) -> f64 {
+        if self.delay_samples == 0 {
+            0.0
+        } else {
+            self.delay_sum_ns as f64 / self.delay_samples as f64
+        }
+    }
+
+    /// Fraction of occupied buffer slots that held recently-active flows
+    /// (the Fig. 14 "buffer efficiency" metric).
+    pub fn buffer_efficiency(&self) -> f64 {
+        if self.occupied_samples == 0 {
+            0.0
+        } else {
+            self.active_samples as f64 / self.occupied_samples as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CgEntry {
+    key: GroupKey,
+    hash: u32,
+    last_access_ns: u64,
+    short: Vec<MgpvRecord>,
+    long_ptr: Option<u16>,
+}
+
+/// One MGPV cache instance (one grouping granularity on the switch).
+#[derive(Clone, Debug)]
+pub struct MgpvCache {
+    cfg: MgpvConfig,
+    entries: Vec<Option<CgEntry>>,
+    long: Vec<Vec<MgpvRecord>>,
+    free_longs: Vec<u16>,
+    fg_table: Vec<Option<GroupKey>>,
+    /// FG slot → CG buckets holding records that reference it.
+    fg_refs: Vec<Vec<usize>>,
+    probe_cursor: usize,
+    last_probe_ns: u64,
+    stats: MgpvStats,
+    sample_countdown: u32,
+}
+
+const SAMPLE_EVERY: u32 = 1024;
+
+impl MgpvCache {
+    /// Creates a cache; returns `None` for degenerate configurations
+    /// (zero-sized buffers).
+    pub fn new(cfg: MgpvConfig) -> Option<Self> {
+        if cfg.short_count == 0 || cfg.short_size == 0 {
+            return None;
+        }
+        Some(MgpvCache {
+            entries: vec![None; cfg.short_count],
+            long: vec![Vec::new(); cfg.long_count],
+            free_longs: (0..cfg.long_count as u16).rev().collect(),
+            fg_table: vec![None; cfg.fg_table_size],
+            fg_refs: vec![Vec::new(); cfg.fg_table_size],
+            probe_cursor: 0,
+            last_probe_ns: 0,
+            stats: MgpvStats::default(),
+            sample_countdown: SAMPLE_EVERY,
+            cfg,
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> &MgpvStats {
+        &self.stats
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &MgpvConfig {
+        &self.cfg
+    }
+
+    /// Whether the FG key table is enabled.
+    pub fn has_fg_table(&self) -> bool {
+        self.cfg.fg_table_size > 0
+    }
+
+    /// Number of occupied CG slots.
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Inserts one packet, returning the events it triggered, in order.
+    ///
+    /// `cg_key` is the packet's coarsest-granularity key; `fg_key` its
+    /// finest-granularity key when the FG table is in use.
+    pub fn insert(
+        &mut self,
+        p: &PacketRecord,
+        cg_key: GroupKey,
+        fg_key: Option<GroupKey>,
+    ) -> Vec<SwitchEvent> {
+        let now = p.ts_ns;
+        self.stats.packets += 1;
+        let mut events = Vec::new();
+
+        // --- FG table maintenance (before anything references the slot). ---
+        let fg_idx = match (self.has_fg_table(), fg_key) {
+            (true, Some(fk)) => {
+                let slot = (fk.hash32() as usize) % self.cfg.fg_table_size;
+                match &self.fg_table[slot] {
+                    Some(existing) if *existing == fk => {}
+                    Some(_) => {
+                        // Reassignment: flush every CG entry holding records
+                        // that point at this slot, then replace the key.
+                        let buckets = std::mem::take(&mut self.fg_refs[slot]);
+                        for b in buckets {
+                            if self.entries[b].is_some() {
+                                self.evict_bucket(
+                                    b,
+                                    EvictionCause::FgCollision,
+                                    Some(now),
+                                    &mut events,
+                                );
+                            }
+                        }
+                        self.fg_table[slot] = Some(fk);
+                        self.stats.fg_updates += 1;
+                        events.push(SwitchEvent::FgUpdate(FgUpdate {
+                            idx: slot as u16,
+                            key: fk,
+                        }));
+                    }
+                    None => {
+                        self.fg_table[slot] = Some(fk);
+                        self.stats.fg_updates += 1;
+                        events.push(SwitchEvent::FgUpdate(FgUpdate {
+                            idx: slot as u16,
+                            key: fk,
+                        }));
+                    }
+                }
+                slot as u16
+            }
+            _ => 0,
+        };
+
+        let rec = MgpvRecord::from_packet(p, fg_idx);
+        let hash = cg_key.hash32();
+        let bucket = (hash as usize) % self.cfg.short_count;
+
+        // --- CG slot handling. ---
+        let matches = match &self.entries[bucket] {
+            Some(e) => e.key == cg_key,
+            None => false,
+        };
+        if self.entries[bucket].is_some() && !matches {
+            self.evict_bucket(bucket, EvictionCause::CgCollision, Some(now), &mut events);
+        }
+        if self.entries[bucket].is_none() {
+            self.entries[bucket] = Some(CgEntry {
+                key: cg_key,
+                hash,
+                last_access_ns: now,
+                short: Vec::with_capacity(self.cfg.short_size),
+                long_ptr: None,
+            });
+        }
+
+        // Append the record, spilling to a long buffer as needed.
+        {
+            let cfg = self.cfg;
+            let entry = self.entries[bucket].as_mut().expect("just ensured");
+            entry.last_access_ns = now;
+            if let Some(lp) = entry.long_ptr {
+                self.long[lp as usize].push(rec);
+                self.stats.resident_records += 1;
+                if self.long[lp as usize].len() >= cfg.long_size {
+                    self.evict_bucket(bucket, EvictionCause::LongFull, Some(now), &mut events);
+                    // The group stays conceptually known but its buffers are
+                    // recycled; re-create an empty entry for future packets.
+                    self.entries[bucket] = Some(CgEntry {
+                        key: cg_key,
+                        hash,
+                        last_access_ns: now,
+                        short: Vec::with_capacity(cfg.short_size),
+                        long_ptr: None,
+                    });
+                }
+            } else if entry.short.len() < cfg.short_size {
+                entry.short.push(rec);
+                self.stats.resident_records += 1;
+                if entry.short.len() == cfg.short_size {
+                    // Try to arm a long buffer for the (likely long) flow.
+                    if let Some(lp) = self.free_longs.pop() {
+                        self.entries[bucket].as_mut().expect("present").long_ptr = Some(lp);
+                    }
+                }
+            } else {
+                // Short full and no long buffer was available earlier: flush
+                // the short buffer (ShortFull) and restart it with this
+                // record.
+                self.evict_bucket(bucket, EvictionCause::ShortFull, Some(now), &mut events);
+                self.entries[bucket] = Some(CgEntry {
+                    key: cg_key,
+                    hash,
+                    last_access_ns: now,
+                    short: vec![rec],
+                    long_ptr: None,
+                });
+                self.stats.resident_records += 1;
+            }
+        }
+
+        // Track which CG bucket references the FG slot.
+        if self.has_fg_table() && fg_key.is_some() {
+            let slot = fg_idx as usize;
+            if !self.fg_refs[slot].contains(&bucket) {
+                self.fg_refs[slot].push(bucket);
+            }
+        }
+
+        // --- Aging probes (recirculated internal packets, §5.2). ---
+        if let Some(t) = self.cfg.aging_t_ns {
+            // Probes the recirculation port performed while wall time passed.
+            let elapsed = now.saturating_sub(self.last_probe_ns);
+            self.last_probe_ns = self.last_probe_ns.max(now);
+            let timed = (elapsed as f64 * self.cfg.probe_rate_hz / 1e9) as usize;
+            let n_probes = (self.cfg.probes_per_packet + timed).min(self.cfg.short_count);
+            for _ in 0..n_probes {
+                let i = self.probe_cursor;
+                self.probe_cursor = (self.probe_cursor + 1) % self.cfg.short_count;
+                let expired = match &self.entries[i] {
+                    Some(e) => now.saturating_sub(e.last_access_ns) > t,
+                    None => false,
+                };
+                if expired {
+                    self.evict_bucket(i, EvictionCause::Aging, Some(now), &mut events);
+                }
+            }
+        }
+
+        // --- Buffer-efficiency sampling. ---
+        self.sample_countdown -= 1;
+        if self.sample_countdown == 0 {
+            self.sample_countdown = SAMPLE_EVERY;
+            for e in self.entries.iter().flatten() {
+                self.stats.occupied_samples += 1;
+                if now.saturating_sub(e.last_access_ns) <= self.cfg.activity_window_ns {
+                    self.stats.active_samples += 1;
+                }
+            }
+        }
+
+        events
+    }
+
+    /// Evicts every resident group (end of trace).
+    pub fn flush(&mut self) -> Vec<SwitchEvent> {
+        let mut events = Vec::new();
+        for b in 0..self.entries.len() {
+            if self.entries[b].is_some() {
+                self.evict_bucket(b, EvictionCause::Flush, None, &mut events);
+            }
+        }
+        events
+    }
+
+    fn evict_bucket(
+        &mut self,
+        bucket: usize,
+        cause: EvictionCause,
+        now_ns: Option<u64>,
+        out: &mut Vec<SwitchEvent>,
+    ) {
+        let entry = match self.entries[bucket].take() {
+            Some(e) => e,
+            None => return,
+        };
+        let mut records = entry.short;
+        if let Some(lp) = entry.long_ptr {
+            records.append(&mut self.long[lp as usize]);
+            self.free_longs.push(lp);
+        }
+        if records.is_empty() {
+            // Nothing cached (can happen right after a LongFull recycle).
+            return;
+        }
+        // Clear reverse references from FG slots to this bucket.
+        if self.has_fg_table() {
+            for r in &records {
+                let slot = r.fg_idx as usize;
+                if slot < self.fg_refs.len() {
+                    self.fg_refs[slot].retain(|&b| b != bucket);
+                }
+            }
+        }
+        if let Some(now) = now_ns {
+            for r in &records {
+                let delay = now.saturating_sub(r.ts_ns());
+                self.stats.delay_sum_ns += delay;
+                self.stats.delay_max_ns = self.stats.delay_max_ns.max(delay);
+                self.stats.delay_samples += 1;
+            }
+        }
+        let cause_idx = EvictionCause::all()
+            .iter()
+            .position(|c| *c == cause)
+            .expect("cause in enumeration");
+        self.stats.evictions[cause_idx] += 1;
+        self.stats.evicted_records += records.len() as u64;
+        self.stats.resident_records = self
+            .stats
+            .resident_records
+            .saturating_sub(records.len() as u64);
+        out.push(SwitchEvent::Mgpv(MgpvMessage {
+            cg_key: entry.key,
+            hash: entry.hash,
+            records,
+            cause,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_net::{Granularity, PacketRecord};
+
+    fn cfg_small() -> MgpvConfig {
+        MgpvConfig {
+            short_count: 8,
+            short_size: 2,
+            long_count: 2,
+            long_size: 4,
+            fg_table_size: 8,
+            aging_t_ns: None,
+            probes_per_packet: 0,
+            probe_rate_hz: 0.0,
+            activity_window_ns: 1_000_000,
+        }
+    }
+
+    fn pkt(src: u32, dst: u32, sport: u16, ts: u64) -> PacketRecord {
+        PacketRecord::tcp(ts, 100, src, sport, dst, 80)
+    }
+
+    fn keys(p: &PacketRecord) -> (GroupKey, Option<GroupKey>) {
+        (
+            Granularity::Host.key_of(p),
+            Some(Granularity::Socket.key_of(p)),
+        )
+    }
+
+    fn mgpv_events(events: &[SwitchEvent]) -> Vec<&MgpvMessage> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                SwitchEvent::Mgpv(m) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let mut c = cfg_small();
+        c.short_count = 0;
+        assert!(MgpvCache::new(c).is_none());
+    }
+
+    #[test]
+    fn first_insert_emits_fg_update_only() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let p = pkt(1, 2, 1000, 10);
+        let (cg, fg) = keys(&p);
+        let ev = cache.insert(&p, cg, fg);
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], SwitchEvent::FgUpdate(_)));
+        assert_eq!(cache.stats().resident_records, 1);
+    }
+
+    #[test]
+    fn same_fg_key_notifies_once() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let p = pkt(1, 2, 1000, 10);
+        let (cg, fg) = keys(&p);
+        cache.insert(&p, cg, fg);
+        let ev = cache.insert(&p, cg, fg);
+        assert!(ev.is_empty());
+        assert_eq!(cache.stats().fg_updates, 1);
+    }
+
+    #[test]
+    fn short_full_without_long_evicts() {
+        let mut cfg = cfg_small();
+        cfg.long_count = 0; // no long buffers at all
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p = pkt(1, 2, 1000, 10);
+        let (cg, fg) = keys(&p);
+        cache.insert(&p, cg, fg);
+        cache.insert(&p, cg, fg); // short (size 2) now full
+        let ev = cache.insert(&p, cg, fg); // triggers ShortFull
+        let msgs = mgpv_events(&ev);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].cause, EvictionCause::ShortFull);
+        assert_eq!(msgs[0].records.len(), 2);
+        // The triggering record restarted the short buffer.
+        assert_eq!(cache.stats().resident_records, 1);
+    }
+
+    #[test]
+    fn long_buffer_extends_then_long_full_evicts() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let p = pkt(1, 2, 1000, 10);
+        let (cg, fg) = keys(&p);
+        let mut all_events = Vec::new();
+        // short 2 + long 4 => the 6th insert fills the long buffer.
+        for _ in 0..6 {
+            all_events.extend(cache.insert(&p, cg, fg));
+        }
+        let msgs = mgpv_events(&all_events);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].cause, EvictionCause::LongFull);
+        assert_eq!(msgs[0].records.len(), 6);
+        assert_eq!(cache.stats().resident_records, 0);
+    }
+
+    #[test]
+    fn records_evicted_in_arrival_order() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let (cg, fg) = keys(&pkt(1, 2, 1000, 0));
+        let mut events = Vec::new();
+        for i in 0..6u64 {
+            let p = pkt(1, 2, 1000, i * 10);
+            events.extend(cache.insert(&p, cg, fg));
+        }
+        let msgs = mgpv_events(&events);
+        let ts: Vec<u32> = msgs[0].records.iter().map(|r| r.tstamp_us).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn cg_collision_evicts_old_group() {
+        let mut cfg = cfg_small();
+        cfg.short_count = 1; // force every host into the same slot
+        cfg.fg_table_size = 0;
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p1 = pkt(1, 2, 1000, 10);
+        let p2 = pkt(3, 4, 1000, 20);
+        cache.insert(&p1, Granularity::Host.key_of(&p1), None);
+        let ev = cache.insert(&p2, Granularity::Host.key_of(&p2), None);
+        let msgs = mgpv_events(&ev);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].cause, EvictionCause::CgCollision);
+        assert_eq!(msgs[0].cg_key, GroupKey::Host(1));
+    }
+
+    #[test]
+    fn fg_slot_reassignment_flushes_referencing_groups_first() {
+        let mut cfg = cfg_small();
+        cfg.fg_table_size = 1; // every socket key collides in the FG table
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p1 = pkt(1, 2, 1000, 10);
+        let p2 = pkt(1, 2, 2000, 20); // same host, different socket
+        let (cg, fg1) = (
+            Granularity::Host.key_of(&p1),
+            Some(Granularity::Socket.key_of(&p1)),
+        );
+        cache.insert(&p1, cg, fg1);
+        let fg2 = Some(Granularity::Socket.key_of(&p2));
+        let ev = cache.insert(&p2, cg, fg2);
+        // Order: eviction of the old group BEFORE the FgUpdate for the slot.
+        assert!(ev.len() >= 2);
+        match (&ev[0], &ev[1]) {
+            (SwitchEvent::Mgpv(m), SwitchEvent::FgUpdate(u)) => {
+                assert_eq!(m.cause, EvictionCause::FgCollision);
+                assert_eq!(u.idx, 0);
+            }
+            other => panic!("unexpected order: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aging_evicts_idle_groups() {
+        let mut cfg = cfg_small();
+        cfg.aging_t_ns = Some(1_000);
+        cfg.probes_per_packet = 8;
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p1 = pkt(1, 2, 1000, 0);
+        cache.insert(&p1, Granularity::Host.key_of(&p1), None);
+        // Much later packet from a different host triggers the probes.
+        let p2 = pkt(3, 4, 1000, 1_000_000);
+        let ev = cache.insert(&p2, Granularity::Host.key_of(&p2), None);
+        let msgs = mgpv_events(&ev);
+        assert!(msgs
+            .iter()
+            .any(|m| m.cause == EvictionCause::Aging && m.cg_key == GroupKey::Host(1)));
+    }
+
+    #[test]
+    fn aging_releases_long_buffers() {
+        let mut cfg = cfg_small();
+        cfg.aging_t_ns = Some(1_000);
+        cfg.probes_per_packet = 8;
+        cfg.long_count = 1;
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p1 = pkt(1, 2, 1000, 0);
+        let (cg1, fg1) = keys(&p1);
+        for _ in 0..3 {
+            cache.insert(&p1, cg1, fg1); // grabs the only long buffer
+        }
+        assert_eq!(cache.free_longs.len(), 0);
+        let p2 = pkt(3, 4, 1000, 1_000_000);
+        let (cg2, fg2) = keys(&p2);
+        cache.insert(&p2, cg2, fg2);
+        assert_eq!(cache.free_longs.len(), 1, "long buffer recycled by aging");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        for i in 0..5u32 {
+            let p = pkt(i + 1, 100, 1000, i as u64);
+            let (cg, fg) = keys(&p);
+            cache.insert(&p, cg, fg);
+        }
+        let ev = cache.flush();
+        let msgs = mgpv_events(&ev);
+        let total: usize = msgs.iter().map(|m| m.records.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(cache.occupied(), 0);
+        assert_eq!(cache.stats().resident_records, 0);
+        assert!(msgs.iter().all(|m| m.cause == EvictionCause::Flush));
+    }
+
+    #[test]
+    fn no_record_lost_or_duplicated() {
+        // Conservation: inserted records == evicted records after flush.
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let mut evicted = 0usize;
+        let n = 1000u32;
+        for i in 0..n {
+            let p = pkt(i % 13 + 1, 200, (i % 7 + 1) as u16 * 100, i as u64 * 100);
+            let (cg, fg) = keys(&p);
+            for e in cache.insert(&p, cg, fg) {
+                if let SwitchEvent::Mgpv(m) = e {
+                    evicted += m.records.len();
+                }
+            }
+        }
+        for e in cache.flush() {
+            if let SwitchEvent::Mgpv(m) = e {
+                evicted += m.records.len();
+            }
+        }
+        assert_eq!(evicted, n as usize);
+    }
+
+    #[test]
+    fn memory_model_components() {
+        let cfg = MgpvConfig::default();
+        let with_fg = cfg.memory_bytes(4);
+        let without_fg = MgpvConfig {
+            fg_table_size: 0,
+            ..cfg
+        }
+        .memory_bytes(4);
+        assert_eq!(with_fg - without_fg, 16_384 * 17);
+        assert!(without_fg > 0);
+    }
+
+    #[test]
+    fn aging_bounds_batching_delay() {
+        // With aging at T, no record lingers much longer than T plus the
+        // probe-scan lag before reaching the NIC.
+        let t_ns = 1_000_000u64; // 1 ms
+        let cfg = MgpvConfig {
+            short_count: 64,
+            short_size: 4,
+            long_count: 8,
+            long_size: 8,
+            fg_table_size: 0,
+            aging_t_ns: Some(t_ns),
+            probes_per_packet: 4,
+            probe_rate_hz: 0.0,
+            activity_window_ns: 10_000_000,
+        };
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        // Steady stream: many hosts, each sending sporadically, plus a
+        // clock-carrier flow that keeps probes advancing.
+        for i in 0..20_000u64 {
+            let ts = i * 10_000; // 10 µs per packet
+            let p = pkt((i % 50 + 1) as u32, 99, 1000, ts);
+            let cg = Granularity::Host.key_of(&p);
+            cache.insert(&p, cg, None);
+        }
+        let s = cache.stats();
+        assert!(s.delay_samples > 0);
+        // Probe lag: a full scan takes short_count / probes packets, i.e.
+        // 64/4 * 10µs = 160 µs on top of T.
+        let bound = t_ns + 2_000_000;
+        assert!(
+            s.delay_max_ns <= bound,
+            "max delay {} ns exceeds bound {} ns",
+            s.delay_max_ns,
+            bound
+        );
+        assert!(s.mean_delay_ns() <= t_ns as f64 * 1.5);
+    }
+
+    #[test]
+    fn flush_excluded_from_delay_stats() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let p = pkt(1, 2, 1000, 10);
+        let (cg, fg) = keys(&p);
+        cache.insert(&p, cg, fg);
+        cache.flush();
+        assert_eq!(cache.stats().delay_samples, 0);
+    }
+
+    #[test]
+    fn buffer_efficiency_reflects_idle_entries() {
+        let mut cfg = cfg_small();
+        cfg.aging_t_ns = None;
+        cfg.activity_window_ns = 10;
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        // Insert one group, then hammer another for > SAMPLE_EVERY packets
+        // far in the future so samples see the first entry as inactive.
+        let p1 = pkt(1, 2, 1000, 0);
+        cache.insert(&p1, Granularity::Host.key_of(&p1), None);
+        for i in 0..2 * SAMPLE_EVERY as u64 {
+            let p = pkt(3, 4, 1000, 1_000_000 + i);
+            cache.insert(&p, Granularity::Host.key_of(&p), None);
+        }
+        let eff = cache.stats().buffer_efficiency();
+        assert!(eff > 0.0 && eff < 1.0, "efficiency {eff}");
+    }
+}

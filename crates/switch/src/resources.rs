@@ -1,0 +1,172 @@
+//! Static Tofino resource model for a compiled switch program (Table 4).
+//!
+//! The paper reports utilization of match tables, stateful ALUs, and SRAM on
+//! its test switch. Those numbers come from the P4 compiler; here they come
+//! from a component model of the generated program:
+//!
+//! - **Tables**: a base forwarding/parsing block, one table per filter
+//!   predicate tree, three per granularity level (key extraction + cache
+//!   index + eviction control), plus aging and FG-table maintenance logic.
+//! - **Stateful ALUs**: the cache skeleton (stack pointer with resubmit,
+//!   entry timestamps, recirculation probe state) plus two register-array
+//!   accesses per batched metadata field (short- and long-buffer arrays),
+//!   plus FG-table and aging registers.
+//! - **SRAM**: the configured cache footprint plus a base allowance for
+//!   tables/parser state.
+//!
+//! Coefficients are calibrated so the §7 default configuration lands near
+//! Table 4's reported percentages; the *shape* (Kitsune > N-BaIoT > TF,
+//! sALUs dominating) is what the experiment checks.
+
+use superfe_policy::SwitchProgram;
+
+use crate::mgpv::MgpvConfig;
+
+/// Resource budget of the target switch ASIC (Tofino 1 class).
+#[derive(Clone, Copy, Debug)]
+pub struct TofinoBudget {
+    /// Logical match tables (12 stages × 16).
+    pub tables: usize,
+    /// Stateful ALUs (12 stages × 4).
+    pub salus: usize,
+    /// SRAM in bytes (120 Mbit).
+    pub sram_bytes: usize,
+}
+
+impl Default for TofinoBudget {
+    fn default() -> Self {
+        TofinoBudget {
+            tables: 192,
+            salus: 48,
+            sram_bytes: 15 * 1024 * 1024,
+        }
+    }
+}
+
+/// Modeled resource usage of one deployed program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchResources {
+    /// Match tables used.
+    pub tables: usize,
+    /// Stateful ALUs used.
+    pub salus: usize,
+    /// SRAM bytes used.
+    pub sram_bytes: usize,
+}
+
+impl SwitchResources {
+    /// Utilization percentages against a budget: `(tables, salus, sram)`.
+    pub fn utilization(&self, budget: &TofinoBudget) -> (f64, f64, f64) {
+        (
+            100.0 * self.tables as f64 / budget.tables as f64,
+            100.0 * self.salus as f64 / budget.salus as f64,
+            100.0 * self.sram_bytes as f64 / budget.sram_bytes as f64,
+        )
+    }
+}
+
+/// Models the resources of `program` deployed with cache configuration `cfg`.
+pub fn model(program: &SwitchProgram, cfg: &MgpvConfig) -> SwitchResources {
+    let has_fg = program.needs_fg_table();
+    let has_aging = cfg.aging_t_ns.is_some();
+    let levels = program.levels.len();
+    let fields = program.metadata.len().max(1);
+    let filter_tables = program.filter.as_ref().map(|_| 1usize).unwrap_or(0);
+
+    let tables = 42 // forwarding, parser, port metadata
+        + filter_tables
+        + 3 * levels
+        + if has_aging { 2 } else { 0 }
+        + if has_fg { 3 } else { 0 };
+
+    let salus = 26 // cache skeleton: stack ptr (resubmit), occupancy, entry ts, probe
+        + 2 * fields
+        + if has_fg { 3 } else { 0 }
+        + if has_aging { 2 } else { 0 };
+
+    let fg_cfg = if has_fg { cfg.fg_table_size } else { 0 };
+    let effective = MgpvConfig {
+        fg_table_size: fg_cfg,
+        ..*cfg
+    };
+    let sram_bytes = 1024 * 1024 // base parser/table allowance
+        + effective.memory_bytes(program.cg().key_bytes());
+
+    SwitchResources {
+        tables,
+        salus,
+        sram_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_policy::compile;
+    use superfe_policy::dsl::parse;
+
+    fn program(src: &str) -> SwitchProgram {
+        compile(&parse(src).unwrap()).unwrap().switch
+    }
+
+    fn tf_like() -> SwitchProgram {
+        program(
+            "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.map(one, _, f_one)\n\
+             .map(d, one, f_direction)\n.reduce(d, [f_array{5000}])\n.collect(flow)",
+        )
+    }
+
+    fn kitsune_like() -> SwitchProgram {
+        program(
+            "pktstream\n.groupby(socket)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(size, [f_mean, f_var])\n.collect(socket)\n\
+             .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)\n\
+             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        )
+    }
+
+    #[test]
+    fn utilization_within_budget() {
+        let budget = TofinoBudget::default();
+        for p in [tf_like(), kitsune_like()] {
+            let r = model(&p, &MgpvConfig::default());
+            let (t, s, m) = r.utilization(&budget);
+            assert!(t > 0.0 && t < 100.0, "tables {t}%");
+            assert!(s > 0.0 && s < 100.0, "salus {s}%");
+            assert!(m > 0.0 && m < 100.0, "sram {m}%");
+        }
+    }
+
+    #[test]
+    fn salus_dominate_like_table4() {
+        // The paper: sALUs are the pressured resource (~70%), tables ~30%,
+        // SRAM ~17%.
+        let r = model(&kitsune_like(), &MgpvConfig::default());
+        let (t, s, m) = r.utilization(&TofinoBudget::default());
+        assert!(s > t && t > m, "salu {s}%, tables {t}%, sram {m}%");
+        assert!((60.0..90.0).contains(&s), "salu {s}%");
+        assert!((20.0..40.0).contains(&t), "tables {t}%");
+        assert!((10.0..25.0).contains(&m), "sram {m}%");
+    }
+
+    #[test]
+    fn more_granularities_cost_more() {
+        let tf = model(&tf_like(), &MgpvConfig::default());
+        let kit = model(&kitsune_like(), &MgpvConfig::default());
+        assert!(kit.tables > tf.tables);
+        assert!(kit.salus > tf.salus);
+        assert!(kit.sram_bytes > tf.sram_bytes, "FG table adds SRAM");
+    }
+
+    #[test]
+    fn aging_toggle_affects_model() {
+        let cfg_no_aging = MgpvConfig {
+            aging_t_ns: None,
+            ..MgpvConfig::default()
+        };
+        let with = model(&tf_like(), &MgpvConfig::default());
+        let without = model(&tf_like(), &cfg_no_aging);
+        assert!(with.tables > without.tables);
+        assert!(with.salus > without.salus);
+    }
+}

@@ -1,0 +1,176 @@
+//! Timing covert-channel scenario (stand-in for the Wang et al. dataset).
+//!
+//! Covert flows exfiltrate bits by modulating inter-packet times into a
+//! bimodal distribution (short gap = 0, long gap = 1); overt flows draw gaps
+//! from a smooth exponential. IPT histograms — the NPOD feature — and IPT
+//! variance statistics — the MPTD features — separate the two.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use superfe_net::{Direction, FiveTuple, PacketRecord};
+
+use crate::dist::Exponential;
+use crate::workload::Trace;
+
+/// Configuration for the covert-channel generator.
+#[derive(Clone, Copy, Debug)]
+pub struct CovertConfig {
+    /// Number of covert flows.
+    pub covert_flows: usize,
+    /// Number of overt (normal) flows.
+    pub normal_flows: usize,
+    /// Packets per flow.
+    pub flow_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CovertConfig {
+    fn default() -> Self {
+        CovertConfig {
+            covert_flows: 30,
+            normal_flows: 120,
+            flow_len: 200,
+            seed: 1,
+        }
+    }
+}
+
+/// A labelled covert-channel dataset.
+#[derive(Clone, Debug)]
+pub struct CovertDataset {
+    /// Merged, time-sorted packets.
+    pub trace: Trace,
+    /// Canonical flow keys of the covert flows.
+    pub covert: HashSet<FiveTuple>,
+}
+
+/// Generates a labelled covert-channel dataset.
+pub fn generate(cfg: &CovertConfig) -> CovertDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut records = Vec::new();
+    let mut covert = HashSet::new();
+
+    let mean_gap_ns = 20_000_000.0; // 20 ms
+    let short_gap = 8_000_000u64; // "0" symbol
+    let long_gap = 32_000_000u64; // "1" symbol
+
+    for i in 0..(cfg.covert_flows + cfg.normal_flows) {
+        let is_covert = i < cfg.covert_flows;
+        let client: u32 = 0x0A00_0000 | (i as u32 + 1);
+        let server: u32 = 0x5060_0000 | rng.random_range(1..0xFFFFu32);
+        let cport: u16 = rng.random_range(1024..60_000);
+        let ft = FiveTuple {
+            src_ip: client,
+            dst_ip: server,
+            src_port: cport,
+            dst_port: 8443,
+            proto: 6,
+        };
+        if is_covert {
+            covert.insert(ft.canonical().0);
+        }
+
+        let normal_ipt = Exponential::new(1.0 / mean_gap_ns).expect("positive rate");
+        let mut ts = rng.random_range(0..1_000_000_000u64);
+        for _ in 0..cfg.flow_len {
+            let size: u16 = rng.random_range(100..1200);
+            records.push(
+                PacketRecord::tcp(ts, size, client, cport, server, 8443)
+                    .with_direction(Direction::Egress),
+            );
+            let gap = if is_covert {
+                // Encode a random bit; tight jitter keeps the modes sharp.
+                let base = if rng.random::<bool>() {
+                    long_gap
+                } else {
+                    short_gap
+                };
+                base + rng.random_range(0..1_000_000u64)
+            } else {
+                normal_ipt.sample(&mut rng) as u64 + 1
+            };
+            ts += gap;
+        }
+    }
+
+    CovertDataset {
+        trace: Trace::from_records(records),
+        covert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CovertDataset {
+        generate(&CovertConfig {
+            covert_flows: 5,
+            normal_flows: 10,
+            flow_len: 100,
+            seed: 2,
+        })
+    }
+
+    fn flow_ipts(d: &CovertDataset, flow: FiveTuple) -> Vec<f64> {
+        let mut ts: Vec<u64> = d
+            .trace
+            .records
+            .iter()
+            .filter(|r| FiveTuple::of(r).canonical().0 == flow)
+            .map(|r| r.ts_ns)
+            .collect();
+        ts.sort();
+        ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let d = small();
+        assert_eq!(d.covert.len(), 5);
+        assert_eq!(d.trace.len(), 15 * 100);
+    }
+
+    #[test]
+    fn covert_ipts_are_bimodal() {
+        let d = small();
+        let flow = *d.covert.iter().next().unwrap();
+        let ipts = flow_ipts(&d, flow);
+        // Every gap should be near one of the two symbols.
+        let near_mode = ipts
+            .iter()
+            .filter(|&&g| (7e6..10e6).contains(&g) || (31e6..34e6).contains(&g))
+            .count();
+        assert!(
+            near_mode as f64 / ipts.len() as f64 > 0.95,
+            "only {near_mode}/{} near modes",
+            ipts.len()
+        );
+    }
+
+    #[test]
+    fn normal_ipts_are_spread() {
+        let d = small();
+        // Find a normal flow.
+        let flow = d
+            .trace
+            .records
+            .iter()
+            .map(|r| FiveTuple::of(r).canonical().0)
+            .find(|f| !d.covert.contains(f))
+            .unwrap();
+        let ipts = flow_ipts(&d, flow);
+        // Exponential gaps include many below the covert short-gap mode.
+        let tiny = ipts.iter().filter(|&&g| g < 5e6).count();
+        assert!(tiny > ipts.len() / 10, "{tiny} tiny gaps");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small().trace.records, small().trace.records);
+    }
+}

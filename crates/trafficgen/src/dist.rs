@@ -1,0 +1,214 @@
+//! Distribution samplers.
+//!
+//! Implemented locally (Box–Muller, inverse-CDF) instead of pulling in
+//! `rand_distr`, keeping the workspace on the approved dependency list.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A log-normal distribution parameterized by its underlying normal.
+///
+/// Flow lengths in real traces are famously heavy-tailed; the workload
+/// presets sample them from `LogNormal` calibrated so the mean matches
+/// Table 2 (`mean = exp(mu + sigma²/2)`).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates from the underlying normal's parameters.
+    ///
+    /// Returns `None` if `sigma < 0` or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        if !(mu.is_finite() && sigma.is_finite()) || sigma < 0.0 {
+            return None;
+        }
+        Some(LogNormal { mu, sigma })
+    }
+
+    /// Creates a log-normal with the given *mean* and tail index `sigma`.
+    ///
+    /// Returns `None` if `mean <= 0` or `sigma < 0`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Option<Self> {
+        if mean <= 0.0 {
+            return None;
+        }
+        LogNormal::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+
+    /// Theoretical mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// A Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; `x_min > 0`, `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Option<Self> {
+        if x_min <= 0.0 || alpha <= 0.0 {
+            return None;
+        }
+        Some(Pareto { x_min, alpha })
+    }
+
+    /// Draws one sample by inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// An exponential distribution with the given rate (events per unit).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution; `rate > 0`.
+    pub fn new(rate: f64) -> Option<Self> {
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(Exponential { rate })
+    }
+
+    /// Draws one sample by inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Picks an index according to `weights` (need not be normalized).
+///
+/// Returns 0 for empty or all-zero weights.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || weights.is_empty() {
+        return 0;
+    }
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_calibration() {
+        let d = LogNormal::with_mean(104.0, 1.8).unwrap();
+        assert!((d.mean() - 104.0).abs() < 1e-9);
+        let mut r = rng();
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 104.0).abs() / 104.0 < 0.1, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_none());
+        assert!(LogNormal::with_mean(0.0, 1.0).is_none());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_none());
+    }
+
+    #[test]
+    fn pareto_respects_min_and_tail() {
+        let d = Pareto::new(2.0, 1.5).unwrap();
+        let mut r = rng();
+        let xs: Vec<f64> = (0..10_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Heavy tail: some samples far above the minimum.
+        assert!(xs.iter().any(|&x| x > 20.0));
+        assert!(Pareto::new(0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.5).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!(Exponential::new(-1.0).is_none());
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let w = [1.0, 3.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let frac1 = counts[1] as f64 / 40_000.0;
+        assert!((frac1 - 0.75).abs() < 0.02, "frac {frac1}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), 0);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LogNormal::with_mean(10.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,298 @@
+//! Intrusion-detection scenarios (stand-in for the Kitsune/Mirai captures).
+//!
+//! Each scenario mixes benign background traffic with one attack pattern and
+//! labels every packet, so end-to-end detection accuracy (Fig. 11) can be
+//! evaluated per scenario like the paper does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use superfe_net::packet::tcp_flags;
+use superfe_net::{Direction, PacketRecord, Protocol};
+
+use crate::dist::Exponential;
+use crate::workload::Trace;
+
+/// Attack scenarios, mirroring the Kitsune evaluation set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// A single host SYN-scans many addresses and ports.
+    OsScan,
+    /// UDP SSDP amplification flood toward one victim.
+    SsdpFlood,
+    /// TCP SYN flood toward one victim service.
+    SynDos,
+    /// Malformed/random probe traffic against one service.
+    Fuzzing,
+    /// Mirai-style: telnet scanning plus C2 beaconing from infected hosts.
+    Mirai,
+}
+
+impl Scenario {
+    /// Display name as used in Fig. 11.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::OsScan => "OS_Scan",
+            Scenario::SsdpFlood => "SSDP_Flood",
+            Scenario::SynDos => "SYN_DoS",
+            Scenario::Fuzzing => "Fuzzing",
+            Scenario::Mirai => "Mirai",
+        }
+    }
+
+    /// All scenarios, in display order.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::OsScan,
+            Scenario::SsdpFlood,
+            Scenario::SynDos,
+            Scenario::Fuzzing,
+            Scenario::Mirai,
+        ]
+    }
+}
+
+/// Configuration for the intrusion generator.
+#[derive(Clone, Copy, Debug)]
+pub struct IntrusionConfig {
+    /// Which attack to embed.
+    pub scenario: Scenario,
+    /// Number of benign background packets.
+    pub benign_packets: usize,
+    /// Number of attack packets.
+    pub attack_packets: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IntrusionConfig {
+    fn default() -> Self {
+        IntrusionConfig {
+            scenario: Scenario::OsScan,
+            benign_packets: 20_000,
+            attack_packets: 5_000,
+            seed: 1,
+        }
+    }
+}
+
+/// A labelled intrusion dataset: packets with per-packet attack labels.
+#[derive(Clone, Debug)]
+pub struct IntrusionDataset {
+    /// Packets paired with their label (`true` = attack), time-sorted.
+    pub labelled: Vec<(PacketRecord, bool)>,
+}
+
+impl IntrusionDataset {
+    /// The packets alone, as a [`Trace`].
+    pub fn trace(&self) -> Trace {
+        Trace {
+            records: self.labelled.iter().map(|(r, _)| *r).collect(),
+        }
+    }
+
+    /// The labels, aligned with [`IntrusionDataset::trace`].
+    pub fn labels(&self) -> Vec<bool> {
+        self.labelled.iter().map(|&(_, l)| l).collect()
+    }
+}
+
+/// Generates a labelled intrusion dataset for one scenario.
+pub fn generate(cfg: &IntrusionConfig) -> IntrusionDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let duration_ns: u64 = 30_000_000_000; // 30 s
+    let mut labelled: Vec<(PacketRecord, bool)> = Vec::new();
+
+    // --- Benign background: normal client/server flows. ---
+    let ipt = Exponential::new(1.0 / 40_000_000.0).expect("positive rate");
+    while labelled.len() < cfg.benign_packets {
+        let client: u32 = 0x0A00_0000 | rng.random_range(1..200u32);
+        let server: u32 = 0x0A00_0000 | rng.random_range(200..255u32);
+        let cport: u16 = rng.random_range(1024..60_000);
+        let sport: u16 = *[80u16, 443, 22, 1883]
+            .get(rng.random_range(0..4usize))
+            .expect("idx");
+        let len = rng.random_range(4..60usize);
+        let mut ts = rng.random_range(0..duration_ns);
+        for _ in 0..len.min(cfg.benign_packets - labelled.len()) {
+            let up = rng.random::<f64>() < 0.4;
+            let size: u16 = if up {
+                rng.random_range(64..500)
+            } else {
+                rng.random_range(400..1500)
+            };
+            let rec = if up {
+                PacketRecord::tcp(ts, size, client, cport, server, sport)
+                    .with_direction(Direction::Egress)
+            } else {
+                PacketRecord::tcp(ts, size, server, sport, client, cport)
+                    .with_direction(Direction::Ingress)
+            };
+            labelled.push((rec, false));
+            ts += ipt.sample(&mut rng) as u64 + 1;
+        }
+    }
+
+    // --- Attack traffic. ---
+    let attacker: u32 = 0xDEAD_0000 | rng.random_range(1..0xFFFFu32);
+    let victim: u32 = 0x0A00_0000 | rng.random_range(1..255u32);
+    for i in 0..cfg.attack_packets {
+        let ts = rng.random_range(duration_ns / 4..duration_ns);
+        let rec = match cfg.scenario {
+            Scenario::OsScan => {
+                // One SYN per (host, port): tiny packets, huge fan-out.
+                let dst: u32 = 0x0A00_0000 | rng.random_range(1..4096u32);
+                let port: u16 = rng.random_range(1..1024);
+                PacketRecord::tcp(ts, 60, attacker, rng.random_range(1024..65000), dst, port)
+                    .with_flags(tcp_flags::SYN)
+                    .with_direction(Direction::Ingress)
+            }
+            Scenario::SsdpFlood => {
+                // Spoofed-source UDP 1900 responses flooding the victim.
+                let reflector: u32 = rng.random::<u32>() | 0x8000_0000;
+                PacketRecord::udp(
+                    ts,
+                    rng.random_range(300..500),
+                    reflector,
+                    1900,
+                    victim,
+                    rng.random_range(1024..65000),
+                )
+                .with_direction(Direction::Ingress)
+            }
+            Scenario::SynDos => {
+                let spoofed: u32 = rng.random::<u32>();
+                PacketRecord::tcp(ts, 60, spoofed, rng.random_range(1024..65000), victim, 80)
+                    .with_flags(tcp_flags::SYN)
+                    .with_direction(Direction::Ingress)
+            }
+            Scenario::Fuzzing => {
+                let port: u16 = rng.random_range(1..65535);
+                let size: u16 = rng.random_range(60..1500);
+                let mut r = PacketRecord::tcp(
+                    ts,
+                    size,
+                    attacker,
+                    rng.random_range(1024..65000),
+                    victim,
+                    port,
+                )
+                .with_flags(rng.random::<u8>())
+                .with_direction(Direction::Ingress);
+                if rng.random::<bool>() {
+                    r.proto = Protocol::Udp;
+                    r.tcp_flags = 0;
+                }
+                r
+            }
+            Scenario::Mirai => {
+                if i % 5 == 0 {
+                    // C2 beacon from an infected internal host.
+                    let infected: u32 = 0x0A00_0000 | rng.random_range(1..50u32);
+                    let c2: u32 = 0xC2C2_0000 | rng.random_range(1..255u32);
+                    PacketRecord::tcp(ts, 92, infected, 48101, c2, 48101)
+                        .with_direction(Direction::Egress)
+                } else {
+                    // Telnet scan.
+                    let dst: u32 = 0x0A00_0000 | rng.random_range(1..8192u32);
+                    let port = if rng.random::<bool>() { 23 } else { 2323 };
+                    PacketRecord::tcp(ts, 60, attacker, rng.random_range(1024..65000), dst, port)
+                        .with_flags(tcp_flags::SYN)
+                        .with_direction(Direction::Ingress)
+                }
+            }
+        };
+        labelled.push((rec, true));
+    }
+
+    labelled.sort_by_key(|(r, _)| r.ts_ns);
+    IntrusionDataset { labelled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(s: Scenario) -> IntrusionDataset {
+        generate(&IntrusionConfig {
+            scenario: s,
+            benign_packets: 2_000,
+            attack_packets: 500,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn label_counts_match() {
+        for s in Scenario::all() {
+            let d = small(s);
+            let attacks = d.labels().iter().filter(|&&l| l).count();
+            assert_eq!(attacks, 500, "{}", s.name());
+            assert!(d.labelled.len() >= 2_500);
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted() {
+        let d = small(Scenario::SynDos);
+        let t = d.trace();
+        assert!(t.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn os_scan_has_high_fanout() {
+        let d = small(Scenario::OsScan);
+        use std::collections::HashSet;
+        let mut dsts: HashSet<(u32, u16)> = HashSet::new();
+        let mut src = None;
+        for (r, l) in &d.labelled {
+            if *l {
+                dsts.insert((r.dst_ip, r.dst_port));
+                src = Some(r.src_ip);
+            }
+        }
+        assert!(dsts.len() > 400, "fan-out {}", dsts.len());
+        assert!(src.is_some());
+    }
+
+    #[test]
+    fn ssdp_flood_targets_one_victim() {
+        let d = small(Scenario::SsdpFlood);
+        use std::collections::HashSet;
+        let victims: HashSet<u32> = d
+            .labelled
+            .iter()
+            .filter(|(_, l)| *l)
+            .map(|(r, _)| r.dst_ip)
+            .collect();
+        assert_eq!(victims.len(), 1);
+        assert!(d
+            .labelled
+            .iter()
+            .filter(|(_, l)| *l)
+            .all(|(r, _)| r.proto == Protocol::Udp && r.src_port == 1900));
+    }
+
+    #[test]
+    fn syn_dos_packets_are_syns() {
+        let d = small(Scenario::SynDos);
+        assert!(d
+            .labelled
+            .iter()
+            .filter(|(_, l)| *l)
+            .all(|(r, _)| r.tcp_flags == tcp_flags::SYN && r.size == 60));
+    }
+
+    #[test]
+    fn scenario_names_are_stable() {
+        assert_eq!(Scenario::OsScan.name(), "OS_Scan");
+        assert_eq!(Scenario::all().len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small(Scenario::Mirai);
+        let b = small(Scenario::Mirai);
+        assert_eq!(a.labelled, b.labelled);
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace persistence: a compact binary format for saving and replaying
+//! generated traces (the repository's stand-in for pcap files).
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic "SFET" | version u16 | record count u64 | records...
+//! record: ts_ns u64 | size u16 | src u32 | dst u32 | sport u16 | dport u16
+//!         | proto u8 | tcp_flags u8 | direction u8          (= 25 bytes)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use superfe_net::{Direction, PacketRecord, Protocol};
+
+use crate::workload::Trace;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"SFET";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Bytes per serialized record.
+pub const RECORD_BYTES: usize = 25;
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The magic bytes do not match.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The body is shorter than the header promised.
+    Truncated,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => f.write_str("not a SuperFE trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Truncated => f.write_str("trace file is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serializes a trace into a writer.
+pub fn write_trace(trace: &Trace, w: &mut impl Write) -> Result<(), TraceIoError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_be_bytes())?;
+    w.write_all(&(trace.records.len() as u64).to_be_bytes())?;
+    let mut buf = Vec::with_capacity(trace.records.len() * RECORD_BYTES);
+    for r in &trace.records {
+        buf.extend_from_slice(&r.ts_ns.to_be_bytes());
+        buf.extend_from_slice(&r.size.to_be_bytes());
+        buf.extend_from_slice(&r.src_ip.to_be_bytes());
+        buf.extend_from_slice(&r.dst_ip.to_be_bytes());
+        buf.extend_from_slice(&r.src_port.to_be_bytes());
+        buf.extend_from_slice(&r.dst_port.to_be_bytes());
+        buf.push(r.proto.number());
+        buf.push(r.tcp_flags);
+        buf.push((r.direction == Direction::Ingress) as u8);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes a trace from a reader.
+pub fn read_trace(r: &mut impl Read) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 4 + 2 + 8];
+    r.read_exact(&mut header)
+        .map_err(|_| TraceIoError::Truncated)?;
+    if header[0..4] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = u16::from_be_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let count = u64::from_be_bytes(header[6..14].try_into().expect("8 bytes")) as usize;
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    if body.len() < count * RECORD_BYTES {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(RECORD_BYTES).take(count) {
+        let ts_ns = u64::from_be_bytes(chunk[0..8].try_into().expect("8"));
+        let size = u16::from_be_bytes([chunk[8], chunk[9]]);
+        let src_ip = u32::from_be_bytes(chunk[10..14].try_into().expect("4"));
+        let dst_ip = u32::from_be_bytes(chunk[14..18].try_into().expect("4"));
+        let src_port = u16::from_be_bytes([chunk[18], chunk[19]]);
+        let dst_port = u16::from_be_bytes([chunk[20], chunk[21]]);
+        records.push(PacketRecord {
+            ts_ns,
+            size,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::from_number(chunk[22]),
+            tcp_flags: chunk[23],
+            direction: if chunk[24] != 0 {
+                Direction::Ingress
+            } else {
+                Direction::Egress
+            },
+        });
+    }
+    Ok(Trace { records })
+}
+
+/// Saves a trace to a file.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let mut f = std::fs::File::create(path)?;
+    write_trace(trace, &mut f)
+}
+
+/// Loads a trace from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let mut f = std::fs::File::open(path)?;
+    read_trace(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let t = Workload::campus().packets(3_000).seed(5).generate();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 14 + t.len() * RECORD_BYTES);
+        let got = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(got.records, t.records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::default();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let got = read_trace(&mut buf.as_slice()).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::default(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::default(), &mut buf).unwrap();
+        buf[5] = 99;
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let t = Workload::campus().packets(100).seed(1).generate();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::Truncated)
+        ));
+        assert!(matches!(
+            read_trace(&mut &buf[..3]),
+            Err(TraceIoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("superfe_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sft");
+        let t = Workload::enterprise().packets(500).seed(2).generate();
+        save(&t, &path).unwrap();
+        let got = load(&path).unwrap();
+        assert_eq!(got.records, t.records);
+        assert!(load(dir.join("missing.sft")).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TraceIoError::BadMagic.to_string().contains("magic"));
+        assert!(TraceIoError::BadVersion(7).to_string().contains('7'));
+        assert!(TraceIoError::Truncated.to_string().contains("truncated"));
+    }
+}

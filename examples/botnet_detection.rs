@@ -1,0 +1,32 @@
+//! P2P botnet detection (the paper's N-BaIoT case study, §8.3).
+//!
+//! Bots beacon to peers at regular intervals with small constant packets;
+//! SuperFE extracts damped per-host/channel/socket statistics and an
+//! autoencoder trained on benign hosts flags the bots.
+//!
+//! Run with: `cargo run --release --example botnet_detection`
+
+use superfe::apps::study::run_nbaiot;
+use superfe::trafficgen::botnet::{generate, BotnetConfig};
+
+fn main() {
+    let cfg = BotnetConfig {
+        bots: 12,
+        benign: 36,
+        duration_s: 45.0,
+        seed: 4,
+    };
+    println!(
+        "generating {} bots and {} benign hosts over {}s...",
+        cfg.bots, cfg.benign, cfg.duration_s
+    );
+    let data = generate(&cfg);
+    println!("trace: {} packets", data.trace.len());
+
+    let result = run_nbaiot(&data);
+    println!(
+        "bot-host detection: AUC {:.3}, accuracy {:.1}%",
+        result.auc,
+        result.accuracy * 100.0
+    );
+}

@@ -1,0 +1,31 @@
+//! Covert-channel detection (the paper's NPOD case study, §8.3).
+//!
+//! Flows that exfiltrate bits through bimodal inter-packet times are
+//! detected from the IPT/size distribution features NPOD defines, extracted
+//! by SuperFE and classified with a decision tree.
+//!
+//! Run with: `cargo run --release --example covert_channel`
+
+use superfe::apps::study::run_npod;
+use superfe::trafficgen::covert::{generate, CovertConfig};
+
+fn main() {
+    let cfg = CovertConfig {
+        covert_flows: 40,
+        normal_flows: 160,
+        flow_len: 150,
+        seed: 3,
+    };
+    println!(
+        "generating {} covert and {} overt flows ({} packets each)...",
+        cfg.covert_flows, cfg.normal_flows, cfg.flow_len
+    );
+    let data = generate(&cfg);
+
+    let result = run_npod(&data);
+    println!(
+        "covert-channel detection: accuracy {:.1}%, F1 {:.3}",
+        result.accuracy * 100.0,
+        result.auc
+    );
+}

@@ -1,0 +1,31 @@
+//! SuperFE — a scalable and flexible feature extractor for ML-based traffic
+//! analysis applications (EuroSys '25 reproduction).
+//!
+//! This is the top-level facade: it re-exports [`superfe_core`] (the
+//! pipeline) and the component crates. Start with [`SuperFe`] and the
+//! `examples/` directory:
+//!
+//! ```no_run
+//! use superfe::SuperFe;
+//! # let packets: Vec<superfe::net::PacketRecord> = vec![];
+//!
+//! let mut fe = SuperFe::from_dsl(
+//!     "pktstream
+//!      .groupby(flow)
+//!      .reduce(size, [f_mean, f_var, f_min, f_max])
+//!      .collect(flow)",
+//! )
+//! .unwrap();
+//! for p in &packets {
+//!     fe.push(p);
+//! }
+//! let features = fe.finish().group_vectors;
+//! # drop(features);
+//! ```
+
+pub use superfe_core::*;
+
+/// The ten Table 3 application policies and the §8.3 application study.
+pub use superfe_apps as apps;
+/// Behavior detectors (KitNET, k-NN, decision trees, …).
+pub use superfe_ml as ml;

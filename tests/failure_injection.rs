@@ -1,0 +1,193 @@
+//! Failure injection: the NIC engine must degrade gracefully — never panic,
+//! never fabricate features — when the switch event stream is damaged, and
+//! the switch must shrug off malformed frames.
+
+use superfe::net::{Direction, PacketRecord};
+use superfe::nic::FeNic;
+use superfe::policy::{compile, dsl, CompiledPolicy};
+use superfe::switch::{FeSwitch, MgpvRecord, NicLoadBalancer, SwitchEvent};
+use superfe::trafficgen::Workload;
+
+fn multi_level_policy() -> CompiledPolicy {
+    compile(
+        &dsl::parse(
+            "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+             .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        )
+        .expect("parses"),
+    )
+    .expect("compiles")
+}
+
+fn events_for(c: &CompiledPolicy, n: u32) -> Vec<SwitchEvent> {
+    let mut sw = FeSwitch::new(c.switch.clone()).expect("deploys");
+    let mut events = Vec::new();
+    for i in 0..n {
+        let p = PacketRecord::tcp(
+            i as u64 * 1_000,
+            100,
+            i % 23 + 1,
+            1000 + (i % 5) as u16,
+            2,
+            80,
+        );
+        events.extend(sw.process(&p));
+    }
+    events.extend(sw.flush());
+    events
+}
+
+/// Dropping every FG update leaves all records unresolved at finer levels,
+/// counted (not panicking), while the CG level still works.
+#[test]
+fn dropped_fg_updates_are_counted_not_fatal() {
+    let c = multi_level_policy();
+    let events = events_for(&c, 1_000);
+    let mut nic = FeNic::new(&c, 16_384).expect("engine");
+    for e in &events {
+        if matches!(e, SwitchEvent::FgUpdate(_)) {
+            continue; // inject: control channel loss
+        }
+        nic.handle(e);
+    }
+    assert_eq!(nic.stats().records, 1_000);
+    assert_eq!(nic.stats().unresolved_fg, 1_000, "every record unresolved");
+    let groups = nic.finish();
+    // Host (CG) groups still exist; socket groups could not be recovered.
+    assert!(groups
+        .iter()
+        .all(|v| matches!(v.key, superfe::net::GroupKey::Host(_))));
+    // Host sums still conserve all bytes.
+    let total: f64 = groups.iter().map(|g| g.values[0]).sum();
+    assert_eq!(total, 1_000.0 * 100.0);
+}
+
+/// Reordering an FG update after its data message loses only the affected
+/// records' fine-level placement.
+#[test]
+fn reordered_fg_update_degrades_gracefully() {
+    let c = multi_level_policy();
+    let events = events_for(&c, 200);
+    // Move all FG updates to the end.
+    let (fg, data): (Vec<_>, Vec<_>) = events
+        .into_iter()
+        .partition(|e| matches!(e, SwitchEvent::FgUpdate(_)));
+    let mut nic = FeNic::new(&c, 16_384).expect("engine");
+    for e in data.iter().chain(fg.iter()) {
+        nic.handle(e);
+    }
+    assert_eq!(nic.stats().records, 200);
+    assert!(nic.stats().unresolved_fg > 0);
+    let _ = nic.finish(); // no panic
+}
+
+/// Corrupted FG indices (beyond the mirror) are counted as unresolved.
+#[test]
+fn corrupted_fg_index_is_unresolved() {
+    let c = multi_level_policy();
+    let events = events_for(&c, 100);
+    let mut nic = FeNic::new(&c, 16_384).expect("engine");
+    for e in &events {
+        match e {
+            SwitchEvent::Mgpv(m) => {
+                let mut m = m.clone();
+                for r in &mut m.records {
+                    r.fg_idx = u16::MAX; // inject: bit flip / overflow
+                }
+                nic.handle(&SwitchEvent::Mgpv(m));
+            }
+            other => nic.handle(other),
+        }
+    }
+    assert_eq!(nic.stats().unresolved_fg, 100);
+}
+
+/// An empty or nonsense MGPV message must not panic the engine.
+#[test]
+fn degenerate_messages_are_harmless() {
+    let c = multi_level_policy();
+    let mut nic = FeNic::new(&c, 16).expect("engine");
+    let msg = superfe::switch::MgpvMessage {
+        cg_key: superfe::net::GroupKey::Host(42),
+        hash: 7,
+        records: vec![MgpvRecord {
+            size: 0,
+            tstamp_us: u32::MAX,
+            dir_flags: 0xFF,
+            fg_idx: 3,
+        }],
+        cause: superfe::switch::EvictionCause::Flush,
+    };
+    nic.handle(&SwitchEvent::Mgpv(msg));
+    let _ = nic.finish();
+    assert_eq!(nic.stats().records, 1);
+}
+
+/// Malformed frames are rejected by the switch parser without corrupting
+/// the cache (well-formed traffic before/after is unaffected).
+#[test]
+fn malformed_frames_do_not_corrupt_switch_state() {
+    let c = compile(
+        &dsl::parse("pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)")
+            .expect("parses"),
+    )
+    .expect("compiles");
+    let mut sw = FeSwitch::new(c.switch).expect("deploys");
+    let good = PacketRecord::tcp(1, 300, 1, 1, 2, 2);
+    let frame = superfe::net::wire::build_frame(&good);
+
+    sw.process_frame(&frame, 1, Direction::Ingress)
+        .expect("good frame");
+    for garbage in [&[][..], &[0u8; 10][..], &frame[..20]] {
+        assert!(sw.process_frame(garbage, 2, Direction::Ingress).is_err());
+    }
+    // Truncate mid-IP header.
+    let mut bad_version = frame.clone();
+    bad_version[14] = 0x05;
+    assert!(sw
+        .process_frame(&bad_version, 3, Direction::Ingress)
+        .is_err());
+
+    sw.process_frame(&frame, 4, Direction::Ingress)
+        .expect("still healthy");
+    assert_eq!(sw.stats().pkts_in, 2, "only parsed frames are counted");
+    assert_eq!(sw.cache_stats().resident_records, 2);
+}
+
+/// Splitting the stream across NICs with the load balancer and merging the
+/// outputs gives exactly the monolithic result.
+#[test]
+fn load_balanced_nics_match_single_nic() {
+    let c = multi_level_policy();
+    let trace = Workload::campus().packets(10_000).seed(31).generate();
+    let mut sw = FeSwitch::new(c.switch.clone()).expect("deploys");
+    let mut events = Vec::new();
+    for p in &trace.records {
+        events.extend(sw.process(p));
+    }
+    events.extend(sw.flush());
+
+    // Monolithic.
+    let mut single = FeNic::new(&c, 16_384).expect("engine");
+    for e in &events {
+        single.handle(e);
+    }
+    let mut expected = single.finish();
+
+    // Balanced across 3 NICs.
+    let mut lb = NicLoadBalancer::new(3);
+    let streams = lb.demux(&events);
+    let mut merged = Vec::new();
+    for stream in streams {
+        let mut nic = FeNic::new(&c, 16_384).expect("engine");
+        for e in stream {
+            nic.handle(e);
+        }
+        merged.extend(nic.finish());
+    }
+
+    let key = |v: &superfe::nic::FeatureVector| format!("{:?}", v.key);
+    expected.sort_by_key(key);
+    merged.sort_by_key(key);
+    assert_eq!(expected, merged);
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the policy layer: parser robustness, validation
+//! soundness, and compile-time invariants.
+
+use proptest::prelude::*;
+
+use superfe::net::Granularity;
+use superfe::policy::ast::{CollectUnit, Operator, ReduceFn};
+use superfe::policy::{compile, dsl, pktstream};
+
+/// A generator of *valid* single-level policies.
+fn valid_policy_source() -> impl Strategy<Value = String> {
+    let gran = prop_oneof![Just("flow"), Just("host"), Just("channel"), Just("socket")];
+    let filt = prop_oneof![
+        Just(""),
+        Just(".filter(tcp.exist)\n"),
+        Just(".filter(udp.exist or dstport == 53)\n"),
+        Just(".filter(size > 100 and not (srcport == 22))\n"),
+    ];
+    let reduce = prop_oneof![
+        Just("[f_sum]"),
+        Just("[f_mean, f_var]"),
+        Just("[f_min, f_max, f_std]"),
+        Just("[ft_hist{100, 16}]"),
+        Just("[f_card{8}]"),
+        Just("[f_skew, f_kur]"),
+        Just("[f_damped{1}]"),
+    ];
+    (gran, filt, reduce, proptest::bool::ANY).prop_map(|(g, f, r, with_ipt)| {
+        let mapline = if with_ipt {
+            ".map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean])\n.collect(GRAN)\n"
+        } else {
+            ""
+        };
+        format!(
+            "pktstream\n{f}.groupby({g})\n{}\n.reduce(size, {r})\n.collect({g})",
+            mapline.replace("GRAN", g)
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_policies_parse_and_compile(src in valid_policy_source()) {
+        let policy = dsl::parse(&src).expect("generated policy is valid");
+        let compiled = compile(&policy).expect("compiles");
+        // The architecture split rule: switch ops vs NIC ops.
+        for op in &policy.ops {
+            match op {
+                Operator::Filter(_) | Operator::GroupBy(_) => prop_assert!(op.on_switch()),
+                _ => prop_assert!(!op.on_switch()),
+            }
+        }
+        // Feature dimension is consistent between AST and compiled program.
+        prop_assert_eq!(policy.feature_dimension(), compiled.nic.feature_dimension());
+        // Every state has a positive size.
+        for s in compiled.nic.states() {
+            prop_assert!(s.bytes > 0);
+        }
+        // LoC metric is bounded by physical lines.
+        prop_assert!(dsl::loc(&src) <= src.lines().count());
+    }
+
+    /// Printing and re-parsing a valid policy is the identity.
+    #[test]
+    fn print_parse_round_trip(src in valid_policy_source()) {
+        let policy = dsl::parse(&src).expect("generated policy is valid");
+        let printed = dsl::print(&policy);
+        let reparsed = dsl::parse(&printed).expect("printed policy parses");
+        prop_assert_eq!(reparsed, policy);
+    }
+
+    /// The parser must never panic, whatever bytes it is fed.
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = dsl::parse(&src);
+        let _ = dsl::loc(&src);
+    }
+
+    /// Parsing near-miss corruptions of a valid policy never panics and
+    /// either fails cleanly or yields a policy that still compiles.
+    #[test]
+    fn corrupted_policies_fail_cleanly(
+        src in valid_policy_source(),
+        pos in 0usize..64,
+        replacement in "[a-z{}().,\\[\\]]"
+    ) {
+        let mut bytes: Vec<char> = src.chars().collect();
+        if pos < bytes.len() {
+            bytes[pos] = replacement.chars().next().expect("one char");
+        }
+        let corrupted: String = bytes.into_iter().collect();
+        if let Ok(p) = dsl::parse(&corrupted) {
+            prop_assert!(compile(&p).is_ok());
+        }
+    }
+}
+
+#[test]
+fn builder_and_dsl_agree() {
+    let via_dsl = dsl::parse(
+        "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_mean, f_var])\n.collect(flow)",
+    )
+    .expect("parses");
+    let via_builder = pktstream()
+        .filter(superfe::policy::Predicate::TcpExists)
+        .groupby(Granularity::Flow)
+        .reduce("size", vec![ReduceFn::Mean, ReduceFn::Var])
+        .collect_group(Granularity::Flow)
+        .build()
+        .expect("builds");
+    assert_eq!(via_dsl, via_builder);
+}
+
+#[test]
+fn compiled_collect_units_preserved() {
+    let policy = dsl::parse(
+        "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(pkt)\n\
+         .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+    )
+    .expect("parses");
+    let c = compile(&policy).expect("compiles");
+    assert_eq!(c.nic.levels[0].collect, Some(CollectUnit::Pkt));
+    assert_eq!(
+        c.nic.levels[1].collect,
+        Some(CollectUnit::Group(Granularity::Host))
+    );
+}
