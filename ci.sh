@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests. Run before every push.
+#
+#   ./ci.sh           # full gate
+#   ./ci.sh --fast    # skip the release build (quick pre-commit check)
+#
+# Everything runs offline; the vendored stand-ins under vendor/ satisfy all
+# external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  step "cargo build --release (workspace)"
+  cargo build --release --workspace
+fi
+
+step "cargo test (workspace)"
+cargo test -q --workspace
+
+printf '\nci: all checks passed\n'

@@ -202,7 +202,7 @@ pub fn afterimage_packet_vectors(trace: &Trace) -> Vec<FeatureVector> {
 
     for p in &trace.records {
         let t = p.ts_ns as f32 / 1e9; // f32 seconds, like the original
-        let x = p.size as f32;
+        let x = f32::from(p.size);
         let ingress = p.direction_factor() > 0;
         let mut values = Vec::with_capacity(115);
 
@@ -216,10 +216,10 @@ pub fn afterimage_packet_vectors(trace: &Trace) -> Vec<FeatureVector> {
             s.size2d[i].update(*l, x, t, ingress);
         }
         for st in &s.size {
-            values.extend(st.triple().iter().map(|&v| v as f64));
+            values.extend(st.triple().iter().map(|&v| f64::from(v)));
         }
         for pr in &s.size2d {
-            values.extend(pr.quad().iter().map(|&v| v as f64));
+            values.extend(pr.quad().iter().map(|&v| f64::from(v)));
         }
 
         // Channel level: size triples + quads + IPT (jitter) triples.
@@ -236,13 +236,13 @@ pub fn afterimage_packet_vectors(trace: &Trace) -> Vec<FeatureVector> {
             }
         }
         for st in &c.size {
-            values.extend(st.triple().iter().map(|&v| v as f64));
+            values.extend(st.triple().iter().map(|&v| f64::from(v)));
         }
         for pr in &c.size2d {
-            values.extend(pr.quad().iter().map(|&v| v as f64));
+            values.extend(pr.quad().iter().map(|&v| f64::from(v)));
         }
         for st in &c.jitter {
-            values.extend(st.triple().iter().map(|&v| v as f64));
+            values.extend(st.triple().iter().map(|&v| f64::from(v)));
         }
 
         // Host level: two size triples (MAC-IP and IP in the original).
@@ -253,7 +253,7 @@ pub fn afterimage_packet_vectors(trace: &Trace) -> Vec<FeatureVector> {
             h.size_b[i].update(*l, x, t);
         }
         for st in h.size_a.iter().chain(h.size_b.iter()) {
-            values.extend(st.triple().iter().map(|&v| v as f64));
+            values.extend(st.triple().iter().map(|&v| f64::from(v)));
         }
 
         out.push(FeatureVector { key: sk, values });

@@ -36,8 +36,8 @@ pktstream
 .filter(tcp.exist)
 .groupby(flow)
 .map(one, _, f_one)
-.map(direction, one, f_direction)
-.reduce(direction, [f_array{5000}])
+.map(dirseq, one, f_direction)
+.reduce(dirseq, [f_array{5000}])
 .collect(flow)
 ";
 
@@ -86,7 +86,6 @@ pub const MPTD: &str = "\
 pktstream
 .filter(tcp.exist)
 .groupby(flow)
-.map(one, _, f_one)
 .map(ipt, tstamp, f_ipt)
 .reduce(size, [ft_hist{24, 64}])
 .collect(flow)
@@ -301,6 +300,23 @@ mod tests {
                 "{}: {loc} lines vs paper {}",
                 app.name,
                 app.paper_loc
+            );
+        }
+    }
+
+    #[test]
+    fn all_policies_are_lint_clean() {
+        // Every bundled policy must pass `superfe check` under the default
+        // deployment configuration: no analyzer errors, no warnings (notes —
+        // e.g. expected DRAM spill for big-array policies — are fine).
+        let cfg = superfe_core::AnalyzeConfig::default();
+        for app in all_apps() {
+            let report = superfe_core::analyze(&app.policy(), &cfg);
+            assert!(
+                report.is_lint_clean(),
+                "{} is not lint-clean:\n{}",
+                app.name,
+                report.render()
             );
         }
     }

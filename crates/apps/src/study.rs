@@ -145,7 +145,7 @@ pub fn run_mptd(data: &CovertDataset) -> StudyResult {
     let labelled: Vec<(Vec<f64>, usize)> = vectors
         .iter()
         .filter_map(|v| match v.key {
-            GroupKey::Flow(ft) => Some((v.values.clone(), data.covert.contains(&ft) as usize)),
+            GroupKey::Flow(ft) => Some((v.values.clone(), usize::from(data.covert.contains(&ft)))),
             _ => None,
         })
         .collect();
@@ -248,7 +248,7 @@ pub fn run_npod(data: &CovertDataset) -> StudyResult {
     let labelled: Vec<(Vec<f64>, usize)> = vectors
         .iter()
         .filter_map(|v| match v.key {
-            GroupKey::Flow(ft) => Some((v.values.clone(), data.covert.contains(&ft) as usize)),
+            GroupKey::Flow(ft) => Some((v.values.clone(), usize::from(data.covert.contains(&ft)))),
             _ => None,
         })
         .collect();

@@ -31,7 +31,7 @@ fn bench_pipelines(c: &mut Criterion) {
                     black_box(fe.finish().nic_stats.records)
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
         g.bench_function(format!("software_{name}"), |b| {
             b.iter_batched(
@@ -43,7 +43,7 @@ fn bench_pipelines(c: &mut Criterion) {
                     black_box(sw.finish().0.len())
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();

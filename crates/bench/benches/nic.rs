@@ -40,7 +40,7 @@ fn bench_engine(c: &mut Criterion) {
                     black_box(nic.stats().records)
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -57,7 +57,7 @@ fn bench_parallel(c: &mut Criterion) {
             b.iter(|| {
                 let out = nic.run(&compiled, &events, 16_384).expect("runs");
                 black_box(out.stats.records)
-            })
+            });
         });
     }
     g.finish();

@@ -11,18 +11,18 @@ fn bench_parse_and_compile(c: &mut Criterion) {
     let apps = all_apps();
     let kitsune = apps.last().expect("apps present");
     c.bench_function("dsl_parse_kitsune", |b| {
-        b.iter(|| black_box(dsl::parse(kitsune.dsl).expect("parses")))
+        b.iter(|| black_box(dsl::parse(kitsune.dsl).expect("parses")));
     });
     let policy = dsl::parse(kitsune.dsl).expect("parses");
     c.bench_function("compile_kitsune", |b| {
-        b.iter(|| black_box(compile(&policy).expect("compiles")))
+        b.iter(|| black_box(compile(&policy).expect("compiles")));
     });
     c.bench_function("parse_compile_all_ten_apps", |b| {
         b.iter(|| {
             for app in &apps {
                 black_box(compile(&dsl::parse(app.dsl).expect("parses")).expect("compiles"));
             }
-        })
+        });
     });
 }
 
@@ -31,7 +31,7 @@ fn bench_placement_ilp(c: &mut Criterion) {
     let kitsune = all_apps().last().expect("apps present").policy();
     let states = compile(&kitsune).expect("compiles").nic.states();
     c.bench_function("placement_ilp_kitsune", |b| {
-        b.iter(|| black_box(solve_placement(&states, &nfp, 1).expect("solves")))
+        b.iter(|| black_box(solve_placement(&states, &nfp, 1).expect("solves")));
     });
 }
 

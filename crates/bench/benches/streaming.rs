@@ -28,7 +28,7 @@ fn bench_variance(c: &mut Criterion) {
                 black_box(w.variance())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("naive_two_pass", |b| {
         b.iter_batched(
@@ -40,7 +40,7 @@ fn bench_variance(c: &mut Criterion) {
                 black_box(w.variance())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("fixed_point_div_free", |b| {
         b.iter_batched(
@@ -52,7 +52,7 @@ fn bench_variance(c: &mut Criterion) {
                 black_box(w.variance())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -72,7 +72,7 @@ fn bench_cardinality(c: &mut Criterion) {
                 black_box(h.estimate())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("naive_hashset", |b| {
         b.iter_batched(
@@ -84,7 +84,7 @@ fn bench_cardinality(c: &mut Criterion) {
                 black_box(h.cardinality())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -104,7 +104,7 @@ fn bench_distribution_and_damped(c: &mut Criterion) {
                 black_box(h.total())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("damped_stat", |b| {
         b.iter_batched(
@@ -116,7 +116,7 @@ fn bench_distribution_and_damped(c: &mut Criterion) {
                 black_box(d.mean())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

@@ -27,7 +27,7 @@ fn bench_mgpv_insert(c: &mut Criterion) {
                     sw.stats().msgs_out
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -56,7 +56,7 @@ fn bench_mgpv_vs_gpv(c: &mut Criterion) {
                     sw.stats().msgs_out
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -81,7 +81,7 @@ fn bench_frame_parsing(c: &mut Criterion) {
                 }
             }
             black_box(ok)
-        })
+        });
     });
     g.finish();
 }

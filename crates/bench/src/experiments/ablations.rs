@@ -99,8 +99,8 @@ pub fn div_elimination_accuracy() -> (f64, f64) {
     let mut exact = Welford::new();
     let mut fixed = FixedWelford::new();
     for p in &trace.records {
-        exact.update(p.size as f64);
-        fixed.update(p.size as f64);
+        exact.update(f64::from(p.size));
+        fixed.update(f64::from(p.size));
     }
     let mean_err = (fixed.mean() - exact.mean()).abs() / exact.mean().abs().max(1.0);
     let var_err = (fixed.variance() - exact.variance()).abs() / exact.variance().max(1.0);

@@ -96,7 +96,7 @@ pub fn run() -> String {
     out.push_str(&util::table(
         &format!(
             "Figure 16b: measured parallel-executor speedup (per-IP sharding; host has {} CPU(s) — speedup is bounded by host parallelism)",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
         ),
         &["Workers", "Speedup"],
         &measured,

@@ -25,9 +25,12 @@ pub fn study_apps() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// One experiment section: display name plus its report generator.
+type Section = (&'static str, fn() -> String);
+
 /// Runs every experiment, in paper order, concatenating the reports.
 pub fn run_all() -> String {
-    let sections: Vec<(&str, fn() -> String)> = vec![
+    let sections: Vec<Section> = vec![
         ("Table 2", tab02::run as fn() -> String),
         ("Table 3", tab03::run),
         ("Figure 9", fig09::run),

@@ -20,7 +20,7 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let hdr: Vec<String> = headers.iter().map(ToString::to_string).collect();
     out.push_str(&render_row(&hdr));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));

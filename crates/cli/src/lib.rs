@@ -3,6 +3,7 @@
 //! ```text
 //! superfe apps                          # list the built-in Table 3 policies
 //! superfe show <policy>                 # print a policy's source
+//! superfe check <policy> [options]      # static analysis: lints + feasibility
 //! superfe compile <policy>              # show the switch/NIC split + resources
 //! superfe run <policy> [options]        # extract features from a synthetic trace
 //!
@@ -15,7 +16,15 @@
 //!   --seed S                            RNG seed              [1]
 //!   --csv PATH                          write feature vectors as CSV
 //!   --limit N                           print at most N vectors [5]
+//!
+//! check options:
+//!   --headroom PCT                      warn above this utilization [90]
+//!   --cache-slots N                     switch short-buffer slots [16384]
+//!   --groups N                          concurrent groups per level [5000]
 //! ```
+//!
+//! `check` exits non-zero when any error-severity diagnostic is found, so it
+//! slots into CI pipelines ahead of deployment.
 //!
 //! The library half exists so the argument parser and command logic are unit
 //! testable; `main.rs` is a thin wrapper.
@@ -23,7 +32,7 @@
 use std::fmt::Write as _;
 
 use superfe_apps::all_apps;
-use superfe_core::SuperFe;
+use superfe_core::{analyze, AnalyzeConfig, SuperFe};
 use superfe_nic::{resources as nic_resources, solve_placement, CycleModel, NfpModel, OptFlags};
 use superfe_policy::{compile, dsl, Policy};
 use superfe_switch::{resources as switch_resources, MgpvConfig, TofinoBudget};
@@ -43,6 +52,17 @@ pub enum Command {
     Compile {
         /// Built-in name or file path.
         policy: String,
+    },
+    /// Statically analyze a policy: lints plus hardware feasibility.
+    Check {
+        /// Built-in name or file path.
+        policy: String,
+        /// Headroom warning threshold in percent.
+        headroom: f64,
+        /// Switch short-buffer slot count (overrides the §7 default).
+        cache_slots: Option<usize>,
+        /// Expected concurrent groups per granularity level.
+        groups: usize,
     },
     /// Run a policy over a synthetic trace.
     Run {
@@ -103,6 +123,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Compile { policy })
             }
         }
+        "check" => {
+            let policy = it
+                .next()
+                .ok_or_else(|| err("usage: superfe check <policy> [options]"))?
+                .clone();
+            let mut headroom = 90.0f64;
+            let mut cache_slots = None;
+            let mut groups = 5_000usize;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--headroom" => {
+                        headroom = value()?
+                            .parse()
+                            .map_err(|_| err("--headroom expects a percentage"))?;
+                    }
+                    "--cache-slots" => {
+                        cache_slots = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| err("--cache-slots expects an integer"))?,
+                        );
+                    }
+                    "--groups" => {
+                        groups = value()?
+                            .parse()
+                            .map_err(|_| err("--groups expects an integer"))?;
+                    }
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Check {
+                policy,
+                headroom,
+                cache_slots,
+                groups,
+            })
+        }
         "run" => {
             let policy = it
                 .next()
@@ -133,12 +195,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--packets" => {
                         packets = value()?
                             .parse()
-                            .map_err(|_| err("--packets expects an integer"))?
+                            .map_err(|_| err("--packets expects an integer"))?;
                     }
                     "--seed" => {
                         seed = value()?
                             .parse()
-                            .map_err(|_| err("--seed expects an integer"))?
+                            .map_err(|_| err("--seed expects an integer"))?;
                     }
                     "--csv" => csv = Some(value()?),
                     "--save-trace" => save_trace = Some(value()?),
@@ -146,7 +208,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--limit" => {
                         limit = value()?
                             .parse()
-                            .map_err(|_| err("--limit expects an integer"))?
+                            .map_err(|_| err("--limit expects an integer"))?;
                     }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
@@ -184,6 +246,23 @@ pub fn resolve_policy(name: &str) -> Result<(String, Policy), CliError> {
     Ok((src, policy))
 }
 
+/// Like [`resolve_policy`], but skips validation so the static analyzer can
+/// report *every* structural problem with its `SF01xx` code, not just the
+/// first one as a parse error.
+fn resolve_policy_unchecked(name: &str) -> Result<Policy, CliError> {
+    for app in all_apps() {
+        if app.name.eq_ignore_ascii_case(name) {
+            return Ok(app.policy());
+        }
+    }
+    let src = std::fs::read_to_string(name).map_err(|e| {
+        err(format!(
+            "'{name}' is not a built-in policy and reading it as a file failed: {e}"
+        ))
+    })?;
+    dsl::parse_unchecked(&src).map_err(|e| err(format!("{name}: {e}")))
+}
+
 /// The help text.
 pub fn usage() -> String {
     "superfe — scalable & flexible feature extraction (EuroSys '25 reproduction)\n\
@@ -191,10 +270,16 @@ pub fn usage() -> String {
      usage:\n\
      \x20 superfe apps                       list built-in Table 3 policies\n\
      \x20 superfe show <policy>              print a policy's DSL source\n\
+     \x20 superfe check <policy> [options]   static analysis: lints + feasibility\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
      \n\
      <policy>: built-in name (kitsune, npod, tf, cumul, ...) or a DSL file path\n\
+     \n\
+     check options:\n\
+     \x20 --headroom PCT                     warn above this utilization [90]\n\
+     \x20 --cache-slots N                    switch short-buffer slots [16384]\n\
+     \x20 --groups N                         concurrent groups per level [5000]\n\
      \n\
      run options:\n\
      \x20 --trace mawi|enterprise|campus     workload preset       [enterprise]\n\
@@ -235,6 +320,30 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
             Ok(src)
+        }
+        Command::Check {
+            policy,
+            headroom,
+            cache_slots,
+            groups,
+        } => {
+            let p = resolve_policy_unchecked(&policy)?;
+            let mut cfg = AnalyzeConfig {
+                headroom_pct: headroom,
+                groups,
+                ..AnalyzeConfig::default()
+            };
+            if let Some(slots) = cache_slots {
+                cfg.cache.short_count = slots;
+            }
+            let report = analyze(&p, &cfg);
+            let text = format!("checking {policy}\n{}", report.render());
+            if report.has_errors() {
+                // Non-zero exit: main prints CliError to stderr and fails.
+                Err(CliError(text))
+            } else {
+                Ok(text)
+            }
         }
         Command::Compile { policy } => {
             let (_, p) = resolve_policy(&policy)?;
@@ -480,6 +589,98 @@ mod tests {
         .unwrap();
         assert!(out.contains("feature vectors:"), "{out}");
         assert!(out.contains("rate ratio"));
+    }
+
+    #[test]
+    fn parses_check_options() {
+        let c = parse_args(&args(
+            "check kitsune --headroom 75 --cache-slots 99 --groups 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Check {
+                policy: "kitsune".into(),
+                headroom: 75.0,
+                cache_slots: Some(99),
+                groups: 500,
+            }
+        );
+        assert!(parse_args(&args("check")).is_err());
+        assert!(parse_args(&args("check x --headroom abc")).is_err());
+        assert!(parse_args(&args("check x --frob 1")).is_err());
+    }
+
+    fn check(policy: &str) -> Command {
+        Command::Check {
+            policy: policy.into(),
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+        }
+    }
+
+    #[test]
+    fn check_passes_builtin_policies() {
+        for name in [
+            "cumul",
+            "awf",
+            "df",
+            "tf",
+            "peershark",
+            "n-baiot",
+            "mptd",
+            "npod",
+            "helad",
+            "kitsune",
+        ] {
+            let out = execute(check(name)).unwrap();
+            assert!(out.contains("0 error(s), 0 warning(s)"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn check_oversized_cache_fails_with_sram_diagnostic() {
+        // The acceptance case: a cache configured past the Tofino SRAM
+        // budget exits non-zero with an SF03xx error reporting utilization.
+        let cmd = Command::Check {
+            policy: "kitsune".into(),
+            headroom: 90.0,
+            cache_slots: Some(4_000_000),
+            groups: 10_000,
+        };
+        let e = execute(cmd).unwrap_err();
+        assert!(e.0.contains("SF0303"), "{e}");
+        assert!(e.0.contains("% utilization"), "{e}");
+    }
+
+    #[test]
+    fn check_reports_dataflow_warnings_without_failing() {
+        let dir = std::env::temp_dir().join("superfe_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dead_map.sfe");
+        std::fs::write(
+            &path,
+            "pktstream\n.groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(size, [f_sum])\n.collect(flow)",
+        )
+        .unwrap();
+        let out = execute(check(path.to_str().unwrap())).unwrap();
+        assert!(out.contains("SF0201"), "{out}");
+        assert!(out.contains("1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_structural_errors_as_diagnostics() {
+        // A structurally broken file goes through the analyzer (every SF01xx
+        // finding with its code), not the parse-time one-line error.
+        let dir = std::env::temp_dir().join("superfe_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no_collect.sfe");
+        std::fs::write(&path, "pktstream\n.groupby(flow)\n.reduce(size, [f_mean])").unwrap();
+        let CliError(text) = execute(check(path.to_str().unwrap())).unwrap_err();
+        assert!(text.contains("SF0103"), "{text}");
+        assert!(text.contains("SF0104"), "{text}");
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //! the paper compares against (same policy semantics, evaluated
 //! packet-at-a-time on the CPU with full-precision timestamps).
 
+pub mod analyze;
 pub mod pipeline;
 pub mod software;
 
+pub use analyze::{analyze, AnalyzeConfig};
 pub use pipeline::{Extraction, SuperFe, SuperFeConfig};
 pub use software::SoftwareExtractor;
 

@@ -61,8 +61,24 @@ impl SuperFe {
     }
 
     /// Deploys with explicit configuration.
+    ///
+    /// Deployment is gated on static analysis: when the policy and
+    /// configuration produce any error-severity finding (the hardware cannot
+    /// fit the program — `superfe check` shows the details), this returns
+    /// [`PolicyError::Infeasible`] with the rendered report instead of
+    /// deploying a program the target could not actually run.
     pub fn with_config(policy: &Policy, cfg: SuperFeConfig) -> Result<Self, PolicyError> {
         let compiled = compile(policy)?;
+        let report = crate::analyze::analyze(
+            policy,
+            &crate::analyze::AnalyzeConfig {
+                cache: cfg.cache,
+                ..crate::analyze::AnalyzeConfig::default()
+            },
+        );
+        if report.has_errors() {
+            return Err(PolicyError::Infeasible(report.render()));
+        }
         let switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())
@@ -175,6 +191,27 @@ pktstream
     #[test]
     fn invalid_policy_rejected() {
         assert!(SuperFe::from_dsl("pktstream\n.collect(flow)").is_err());
+    }
+
+    #[test]
+    fn infeasible_configuration_refused() {
+        // A cache far beyond the Tofino SRAM budget must not deploy; the
+        // error carries the rendered analysis report.
+        let policy = superfe_policy::dsl::parse(FIG4).unwrap();
+        let cfg = SuperFeConfig {
+            cache: MgpvConfig {
+                short_count: 4_000_000,
+                ..MgpvConfig::default()
+            },
+            ..SuperFeConfig::default()
+        };
+        match SuperFe::with_config(&policy, cfg).map(|_| ()) {
+            Err(PolicyError::Infeasible(report)) => {
+                assert!(report.contains("SF0303"), "{report}");
+                assert!(report.contains("% utilization"), "{report}");
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
     }
 
     #[test]

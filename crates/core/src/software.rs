@@ -70,7 +70,7 @@ impl SoftwareExtractor {
     /// Processes one parsed packet.
     pub fn push(&mut self, p: &PacketRecord) {
         self.pkts += 1;
-        self.bytes += p.size as u64;
+        self.bytes += u64::from(p.size);
         if let Some(f) = &self.compiled.switch.filter {
             if !eval_predicate(f, p) {
                 return;
@@ -117,7 +117,9 @@ impl SoftwareExtractor {
     pub fn group_features(&self, key: &GroupKey) -> Option<Vec<f64>> {
         for (li, level) in self.compiled.nic.levels.iter().enumerate() {
             if level.granularity == key.granularity() {
-                return self.levels[li].get(key).map(|e| e.finalize());
+                return self.levels[li]
+                    .get(key)
+                    .map(superfe_policy::exec::GroupExec::finalize);
             }
         }
         None

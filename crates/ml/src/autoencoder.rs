@@ -58,20 +58,20 @@ impl Autoencoder {
 
     fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let mut hid = vec![0.0; self.h];
-        for i in 0..self.h {
+        for (i, h) in hid.iter_mut().enumerate() {
             let mut a = self.b1[i];
-            for j in 0..self.d {
-                a += self.w1[i * self.d + j] * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                a += self.w1[i * self.d + j] * xj;
             }
-            hid[i] = sigmoid(a);
+            *h = sigmoid(a);
         }
         let mut out = vec![0.0; self.d];
-        for i in 0..self.d {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut a = self.b2[i];
-            for j in 0..self.h {
-                a += self.w2[i * self.h + j] * hid[j];
+            for (j, &hj) in hid.iter().enumerate() {
+                a += self.w2[i * self.h + j] * hj;
             }
-            out[i] = sigmoid(a);
+            *o = sigmoid(a);
         }
         (hid, out)
     }
@@ -109,23 +109,23 @@ impl Autoencoder {
         let mut delta_hid = vec![0.0; self.h];
         for j in 0..self.h {
             let mut s = 0.0;
-            for i in 0..self.d {
-                s += delta_out[i] * self.w2[i * self.h + j];
+            for (i, &d_o) in delta_out.iter().enumerate() {
+                s += d_o * self.w2[i * self.h + j];
             }
             delta_hid[j] = s * hid[j] * (1.0 - hid[j]);
         }
         // Updates.
-        for i in 0..self.d {
-            for j in 0..self.h {
-                self.w2[i * self.h + j] -= self.lr * delta_out[i] * hid[j];
+        for (i, &d_o) in delta_out.iter().enumerate() {
+            for (j, &hj) in hid.iter().enumerate() {
+                self.w2[i * self.h + j] -= self.lr * d_o * hj;
             }
-            self.b2[i] -= self.lr * delta_out[i];
+            self.b2[i] -= self.lr * d_o;
         }
-        for i in 0..self.h {
-            for j in 0..self.d {
-                self.w1[i * self.d + j] -= self.lr * delta_hid[i] * x[j];
+        for (i, &d_h) in delta_hid.iter().enumerate() {
+            for (j, &xj) in x.iter().enumerate() {
+                self.w1[i * self.d + j] -= self.lr * d_h * xj;
             }
-            self.b1[i] -= self.lr * delta_hid[i];
+            self.b1[i] -= self.lr * d_h;
         }
         let mse: f64 = x
             .iter()

@@ -184,8 +184,8 @@ impl KitNet {
             let mut cluster = vec![i];
             while cluster.len() < self.m {
                 let mut best: Option<(usize, f64)> = None;
-                for j in 0..dim {
-                    if assigned[j] {
+                for (j, &taken) in assigned.iter().enumerate() {
+                    if taken {
                         continue;
                     }
                     // Mean |corr| to the cluster.

@@ -94,8 +94,8 @@ mod tests {
     fn classifies_separable_clusters() {
         let mut knn = Knn::new(3).unwrap();
         for i in 0..10 {
-            knn.fit_one(vec![0.0 + i as f64 * 0.01, 0.0], 0);
-            knn.fit_one(vec![10.0 + i as f64 * 0.01, 10.0], 1);
+            knn.fit_one(vec![0.0 + f64::from(i) * 0.01, 0.0], 0);
+            knn.fit_one(vec![10.0 + f64::from(i) * 0.01, 10.0], 1);
         }
         assert_eq!(knn.predict(&[0.5, 0.2]), Some(0));
         assert_eq!(knn.predict(&[9.5, 9.9]), Some(1));

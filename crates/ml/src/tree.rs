@@ -76,7 +76,7 @@ impl DecisionTree {
                 Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
             }
         }
-        self.root.as_ref().map(|r| d(r)).unwrap_or(0)
+        self.root.as_ref().map(d).unwrap_or(0)
     }
 
     fn majority(data: &[(Vec<f64>, usize)], idx: &[usize]) -> usize {
@@ -170,9 +170,9 @@ mod tests {
     fn xor_data() -> Vec<(Vec<f64>, usize)> {
         let mut d = Vec::new();
         for i in 0..20 {
-            let a = (i % 2) as f64;
-            let b = ((i / 2) % 2) as f64;
-            let label = ((a as usize) ^ (b as usize)) as usize;
+            let a = f64::from(i % 2);
+            let b = f64::from((i / 2) % 2);
+            let label = (a as usize) ^ (b as usize);
             d.push((vec![a, b], label));
         }
         d
@@ -225,8 +225,8 @@ mod tests {
         let mut t = DecisionTree::new(3, 2);
         let data: Vec<(Vec<f64>, usize)> = (0..50)
             .map(|i| {
-                let x = i as f64;
-                (vec![x], (x > 24.5) as usize)
+                let x = f64::from(i);
+                (vec![x], usize::from(x > 24.5))
             })
             .collect();
         t.fit(&data);

@@ -5,10 +5,29 @@
 //! simulated pipeline parser, so header-extraction logic is genuinely
 //! exercised (malformed frames included).
 
-use bytes::{BufMut, BytesMut};
-
 use crate::dir::Direction;
 use crate::packet::{PacketRecord, Protocol};
+
+/// Big-endian append helpers over a plain `Vec<u8>` frame buffer.
+trait PutBe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+}
+
+impl PutBe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
 
 /// Ethernet header length in bytes.
 pub const ETH_HDR: usize = 14;
@@ -70,7 +89,7 @@ pub fn min_frame_len(proto: Protocol) -> usize {
 /// pipeline does not verify them, like most telemetry fast paths).
 pub fn build_frame(rec: &PacketRecord) -> Vec<u8> {
     let len = (rec.size as usize).max(min_frame_len(rec.proto));
-    let mut buf = BytesMut::with_capacity(len);
+    let mut buf = Vec::with_capacity(len);
 
     // Ethernet: synthetic MACs derived from the IPs, EtherType IPv4.
     buf.put_u16(0x0200);
@@ -115,9 +134,8 @@ pub fn build_frame(rec: &PacketRecord) -> Vec<u8> {
     }
 
     // Payload padding.
-    let pad = len - buf.len();
-    buf.put_bytes(0, pad);
-    buf.to_vec()
+    buf.resize(len, 0);
+    buf
 }
 
 /// Parses a wire-format frame back into a [`PacketRecord`].
@@ -286,7 +304,7 @@ mod tests {
             ParseError::TruncatedTransport,
         ]
         .iter()
-        .map(|e| e.to_string())
+        .map(ToString::to_string)
         .collect();
         assert!(msgs.iter().all(|m| !m.is_empty()));
     }

@@ -148,7 +148,7 @@ impl FeNic {
         for rec in &msg.records {
             self.stats.records += 1;
             let view = RecordView {
-                size: rec.size as f64,
+                size: f64::from(rec.size),
                 ts_ns: rec.ts_ns(),
                 direction: rec.direction_factor(),
                 tcp_flags: rec.dir_flags & 0x7F,

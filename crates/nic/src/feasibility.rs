@@ -1,0 +1,189 @@
+//! NIC-side feasibility diagnostics (`SF04xx`).
+//!
+//! Two models feed this pass. The per-group placement ILP
+//! ([`placement`](crate::placement)) decides whether a single group's state
+//! block can be served within the 64-byte bus at all and at what latency
+//! cost; the capacity model ([`resources`](crate::resources)) projects the
+//! aggregate footprint of the expected concurrent group population across
+//! the CLS/CTM/IMEM/EMEM hierarchy. The findings: errors when no placement
+//! exists or the projected demand outruns even DRAM, a warning when the
+//! solver had to settle for the greedy fallback or on-chip memory is above
+//! the headroom threshold, and a note when states spill to DRAM (expected
+//! for big-array policies, but worth surfacing — DRAM access costs ~500
+//! cycles against CLS's 30).
+
+use superfe_policy::analyze::{codes, Diagnostic};
+use superfe_policy::NicProgram;
+
+use crate::arch::{MemLevel, NfpModel};
+use crate::placement::solve_placement;
+use crate::resources::model;
+
+/// Checks `program` against the NFP memory system.
+///
+/// `table_width` is the group-table width (entries per 64-byte bucket),
+/// `groups_per_level` the expected concurrent group population at each
+/// granularity level, and `headroom_pct` the on-chip warning threshold.
+pub fn check_nic(
+    program: &NicProgram,
+    nfp: &NfpModel,
+    table_width: usize,
+    groups_per_level: &[usize],
+    headroom_pct: f64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Per-group bus feasibility (Eq. 3-5).
+    match solve_placement(&program.states(), nfp, table_width) {
+        None => {
+            out.push(
+                Diagnostic::error(
+                    codes::NIC_PLACEMENT_INFEASIBLE,
+                    format!(
+                        "no state placement exists for a group table of width {table_width} \
+                         on this memory model"
+                    ),
+                )
+                .with_suggestion("use a non-zero table width and a model with memories"),
+            );
+            return out;
+        }
+        Some(p) => {
+            if !p.optimal {
+                out.push(Diagnostic::warning(
+                    codes::NIC_PLACEMENT_FALLBACK,
+                    format!(
+                        "placement solver exceeded its node budget and fell back to the \
+                         greedy heuristic ({:.0} cycles/packet, optimality unproven)",
+                        p.total_cost
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Aggregate capacity at the projected concurrent-group scale.
+    let usage = model(program, groups_per_level, nfp);
+    let dram_cap = nfp
+        .memory(MemLevel::Dram)
+        .map(|m| m.capacity_bytes)
+        .unwrap_or(0);
+    if usage.dram_bytes > dram_cap {
+        let pct = 100.0 * usage.dram_bytes as f64 / dram_cap.max(1) as f64;
+        out.push(
+            Diagnostic::error(
+                codes::NIC_CAPACITY_EXCEEDED,
+                format!(
+                    "projected state demand overflows even DRAM: {} bytes spill against a \
+                     {} byte DRAM ({pct:.1}% utilization)",
+                    usage.dram_bytes, dram_cap
+                ),
+            )
+            .with_suggestion(
+                "reduce per-group state (smaller arrays/histograms) or the group population",
+            ),
+        );
+    } else if usage.dram_bytes > 0 {
+        out.push(Diagnostic::note(
+            codes::NIC_DRAM_SPILL,
+            format!(
+                "{} bytes of per-group state spill to DRAM (~500-cycle access); on-chip \
+                 memory holds {} of {} bytes ({:.1}% utilization)",
+                usage.dram_bytes,
+                usage.used_bytes,
+                usage.capacity_bytes,
+                usage.utilization_pct()
+            ),
+        ));
+    }
+
+    let pct = usage.utilization_pct();
+    if usage.dram_bytes <= dram_cap && pct >= headroom_pct {
+        out.push(Diagnostic::warning(
+            codes::NIC_HEADROOM,
+            format!(
+                "NIC on-chip memory at {pct:.1}% utilization ({} of {} bytes), above the \
+                 {headroom_pct:.0}% headroom threshold",
+                usage.used_bytes, usage.capacity_bytes
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_policy::compile;
+    use superfe_policy::dsl;
+
+    fn program(src: &str) -> NicProgram {
+        compile(&dsl::parse(src).unwrap()).unwrap().nic
+    }
+
+    fn mean_var() -> NicProgram {
+        program("pktstream\n.groupby(host)\n.reduce(size, [f_mean, f_var])\n.collect(host)")
+    }
+
+    fn big_array() -> NicProgram {
+        program(
+            "pktstream\n.groupby(flow)\n.map(one, _, f_one)\n.map(d, one, f_direction)\n\
+             .reduce(d, [f_array{5000}])\n.collect(flow)",
+        )
+    }
+
+    #[test]
+    fn modest_policy_is_clean() {
+        let ds = check_nic(&mean_var(), &NfpModel::nfp4000(), 1, &[10_000], 90.0);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn sf0401_zero_width_table() {
+        let ds = check_nic(&mean_var(), &NfpModel::nfp4000(), 0, &[10_000], 90.0);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::NIC_PLACEMENT_INFEASIBLE);
+    }
+
+    #[test]
+    fn sf0403_big_arrays_spill_to_dram_as_note() {
+        let ds = check_nic(&big_array(), &NfpModel::nfp4000(), 1, &[10_000], 90.0);
+        let d = ds.iter().find(|d| d.code == codes::NIC_DRAM_SPILL).unwrap();
+        assert!(d.message.contains("DRAM"), "{}", d.message);
+        assert!(
+            !ds.iter().any(|d| d.code == codes::NIC_CAPACITY_EXCEEDED),
+            "spill within DRAM capacity is a note, not an error"
+        );
+    }
+
+    #[test]
+    fn sf0404_demand_beyond_dram() {
+        // 20 KB per group × 200M groups ≈ 4 TB >> the 2 GB DRAM.
+        let ds = check_nic(&big_array(), &NfpModel::nfp4000(), 1, &[200_000_000], 90.0);
+        let d = ds
+            .iter()
+            .find(|d| d.code == codes::NIC_CAPACITY_EXCEEDED)
+            .expect("SF0404 emitted");
+        assert!(d.message.contains("% utilization"));
+    }
+
+    #[test]
+    fn sf0405_headroom_scales_with_population() {
+        // A population that fills on-chip memory past 50% but below
+        // capacity (larger ones spill wholesale to DRAM instead): the
+        // headroom warning fires at a 50% threshold and not at 99.9%.
+        let p = mean_var();
+        let nfp = NfpModel::nfp4000();
+        let groups = 250_000;
+        let usage = model(&p, &[groups], &nfp);
+        assert!(
+            usage.utilization_pct() > 50.0,
+            "{}",
+            usage.utilization_pct()
+        );
+        let ds = check_nic(&p, &nfp, 1, &[groups], 50.0);
+        assert!(ds.iter().any(|d| d.code == codes::NIC_HEADROOM), "{ds:?}");
+        let quiet = check_nic(&p, &nfp, 1, &[groups], 99.9);
+        assert!(!quiet.iter().any(|d| d.code == codes::NIC_HEADROOM));
+    }
+}

@@ -18,12 +18,15 @@
 //! - [`perf`]: the cycle model with the three §6.2 optimizations as toggles
 //!   (hash reuse, thread-level latency hiding, division elimination) — the
 //!   basis of Figs. 16 and 17.
-//! - [`parallel`]: a real multi-threaded executor (crossbeam) with per-IP
-//!   sharding, the software analogue of the NBI packet distribution.
+//! - [`parallel`]: a real multi-threaded executor (scoped threads) with
+//!   per-IP sharding, the software analogue of the NBI packet distribution.
 //! - [`resources`]: NIC memory utilization for Table 4.
+//! - [`feasibility`]: the `SF04xx` diagnostics of `superfe check`, combining
+//!   the placement ILP and the capacity model into pass/warn/fail findings.
 
 pub mod arch;
 pub mod engine;
+pub mod feasibility;
 pub mod parallel;
 pub mod perf;
 pub mod placement;
@@ -32,6 +35,7 @@ pub mod table;
 
 pub use arch::{MemLevel, NfpModel};
 pub use engine::{FeNic, FeatureVector, NicStats};
+pub use feasibility::check_nic;
 pub use parallel::ParallelNic;
 pub use perf::{CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};

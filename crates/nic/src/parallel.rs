@@ -13,6 +13,9 @@ use superfe_switch::SwitchEvent;
 
 use crate::engine::{FeNic, FeatureVector, NicStats};
 
+/// What one worker shard produces: group vectors, packet vectors, counters.
+type ShardOutput = (Vec<FeatureVector>, Vec<FeatureVector>, NicStats);
+
 /// Output of a parallel run.
 #[derive(Debug)]
 pub struct ParallelOutput {
@@ -72,28 +75,26 @@ impl ParallelNic {
         }
 
         let start = Instant::now();
-        let results: Vec<Option<(Vec<FeatureVector>, Vec<FeatureVector>, NicStats)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        scope.spawn(move |_| {
-                            let mut nic = FeNic::new(compiled, fg_table_size)?;
-                            for e in shard {
-                                nic.handle(e);
-                            }
-                            let groups = nic.finish();
-                            let pkts = nic.take_packet_vectors();
-                            Some((groups, pkts, *nic.stats()))
-                        })
+        let results: Vec<Option<ShardOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut nic = FeNic::new(compiled, fg_table_size)?;
+                        for e in shard {
+                            nic.handle(e);
+                        }
+                        let groups = nic.finish();
+                        let pkts = nic.take_packet_vectors();
+                        Some((groups, pkts, *nic.stats()))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         let elapsed = start.elapsed();
 
         let mut group_vectors = Vec::new();
@@ -136,7 +137,7 @@ mod tests {
         let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
         let mut events = Vec::new();
         for i in 0..n {
-            let p = PacketRecord::tcp(i as u64 * 100, 100, i % 31 + 1, 1000, 2, 80);
+            let p = PacketRecord::tcp(u64::from(i) * 100, 100, i % 31 + 1, 1000, 2, 80);
             events.extend(sw.process(&p));
         }
         events.extend(sw.flush());

@@ -126,7 +126,10 @@ impl CycleModel {
                 // block with a shared division pass, so we charge one
                 // (expensive) division per dividing op per record, not one
                 // per statistic.
-                if r.funcs.iter().any(|f| f.divides_per_update()) {
+                if r.funcs
+                    .iter()
+                    .any(superfe_policy::ReduceFn::divides_per_update)
+                {
                     divs += 1.0;
                 }
                 for f in &r.funcs {

@@ -1,0 +1,120 @@
+//! The stable diagnostic code namespace.
+//!
+//! Codes never change meaning once shipped; renderers and tests match on
+//! them. The hundreds digit selects the analysis layer:
+//!
+//! | range    | layer                                   | emitted by            |
+//! |----------|-----------------------------------------|-----------------------|
+//! | `SF01xx` | structural well-formedness (errors)     | `analyze::structural` |
+//! | `SF02xx` | dataflow lints (warnings)               | `analyze::dataflow`   |
+//! | `SF03xx` | switch resource feasibility             | `superfe-switch`      |
+//! | `SF04xx` | SmartNIC memory feasibility             | `superfe-nic`         |
+
+// --- SF01xx: structural -------------------------------------------------
+
+/// Policy has no operators.
+pub const EMPTY_POLICY: &str = "SF0101";
+/// Policy never calls `groupby`.
+pub const NO_GROUPBY: &str = "SF0102";
+/// Policy does not end with `collect`.
+pub const NO_TRAILING_COLLECT: &str = "SF0103";
+/// A `reduce` is never committed by a `collect` before the chain ends.
+pub const UNCOMMITTED_REDUCE: &str = "SF0104";
+/// `filter` appears after `groupby`.
+pub const FILTER_AFTER_GROUPBY: &str = "SF0105";
+/// `map`/`reduce`/`collect` appears before any `groupby`.
+pub const OP_BEFORE_GROUPBY: &str = "SF0106";
+/// `synthesize` does not follow a `reduce` or another `synthesize`.
+pub const SYNTH_WITHOUT_REDUCE: &str = "SF0107";
+/// The same granularity is grouped by twice in a row.
+pub const DUPLICATE_GROUPBY: &str = "SF0108";
+/// A `groupby` chain does not walk the dependency graph fine → coarse.
+pub const BAD_GRANULARITY_CHAIN: &str = "SF0109";
+/// `collect(g)` names a granularity that was never grouped by.
+pub const COLLECT_UNGROUPED: &str = "SF0110";
+/// An operator reads a field that is neither builtin nor mapped earlier.
+pub const UNKNOWN_FIELD: &str = "SF0111";
+/// A `reduce` has an empty function list.
+pub const EMPTY_REDUCE: &str = "SF0112";
+/// A function received out-of-range parameters.
+pub const BAD_PARAMETERS: &str = "SF0113";
+
+// --- SF02xx: dataflow ---------------------------------------------------
+
+/// A `map` defines a field that is never read downstream.
+pub const DEAD_MAP: &str = "SF0201";
+/// A `map` redefines an existing field (builtin or previously mapped).
+pub const SHADOWED_FIELD: &str = "SF0202";
+/// A `reduce` whose features are never collected at its level.
+pub const UNCOLLECTED_REDUCE: &str = "SF0203";
+/// A filter predicate is unsatisfiable; downstream operators see no packets.
+pub const UNSATISFIABLE_FILTER: &str = "SF0204";
+/// A filter predicate is a tautology and can be removed.
+pub const TAUTOLOGICAL_FILTER: &str = "SF0205";
+
+// --- SF03xx: switch resources (emitted by superfe-switch) ----------------
+
+/// Match-table demand exceeds the Tofino budget.
+pub const SWITCH_TABLES_EXCEEDED: &str = "SF0301";
+/// Stateful-ALU demand exceeds the Tofino budget.
+pub const SWITCH_SALUS_EXCEEDED: &str = "SF0302";
+/// SRAM demand exceeds the Tofino budget.
+pub const SWITCH_SRAM_EXCEEDED: &str = "SF0303";
+/// A switch resource is within budget but above the headroom threshold.
+pub const SWITCH_HEADROOM: &str = "SF0304";
+
+// --- SF04xx: SmartNIC memory (emitted by superfe-nic) ---------------------
+
+/// The placement problem is infeasible (degenerate table or memory model).
+pub const NIC_PLACEMENT_INFEASIBLE: &str = "SF0401";
+/// The placement solver fell back to the greedy heuristic (non-optimal).
+pub const NIC_PLACEMENT_FALLBACK: &str = "SF0402";
+/// Per-group states exceed the bus budget and spill to DRAM.
+pub const NIC_DRAM_SPILL: &str = "SF0403";
+/// Projected state demand exceeds total NIC memory including DRAM.
+pub const NIC_CAPACITY_EXCEEDED: &str = "SF0404";
+/// On-chip memory is above the headroom threshold at the projected scale.
+pub const NIC_HEADROOM: &str = "SF0405";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let all = [
+            super::EMPTY_POLICY,
+            super::NO_GROUPBY,
+            super::NO_TRAILING_COLLECT,
+            super::UNCOMMITTED_REDUCE,
+            super::FILTER_AFTER_GROUPBY,
+            super::OP_BEFORE_GROUPBY,
+            super::SYNTH_WITHOUT_REDUCE,
+            super::DUPLICATE_GROUPBY,
+            super::BAD_GRANULARITY_CHAIN,
+            super::COLLECT_UNGROUPED,
+            super::UNKNOWN_FIELD,
+            super::EMPTY_REDUCE,
+            super::BAD_PARAMETERS,
+            super::DEAD_MAP,
+            super::SHADOWED_FIELD,
+            super::UNCOLLECTED_REDUCE,
+            super::UNSATISFIABLE_FILTER,
+            super::TAUTOLOGICAL_FILTER,
+            super::SWITCH_TABLES_EXCEEDED,
+            super::SWITCH_SALUS_EXCEEDED,
+            super::SWITCH_SRAM_EXCEEDED,
+            super::SWITCH_HEADROOM,
+            super::NIC_PLACEMENT_INFEASIBLE,
+            super::NIC_PLACEMENT_FALLBACK,
+            super::NIC_DRAM_SPILL,
+            super::NIC_CAPACITY_EXCEEDED,
+            super::NIC_HEADROOM,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("SF") && a.len() == 6, "{a}");
+            assert!(a[2..].bytes().all(|b| b.is_ascii_digit()), "{a}");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

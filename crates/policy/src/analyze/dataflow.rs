@@ -1,0 +1,601 @@
+//! Dataflow lints (`SF02xx`).
+//!
+//! These findings describe policies that *will* compile and run but almost
+//! certainly do not mean what they say: derived fields nobody reads, fields
+//! silently overwritten, reduces whose features are discarded when the
+//! stream regroups, and filters that match nothing (or everything).
+//!
+//! The pass assumes a structurally sound policy (`analyze_policy` runs it
+//! only when the `SF01xx` pass found nothing) but degrades gracefully —
+//! unknown fields are simply treated as opaque reads.
+
+use std::collections::HashMap;
+
+use crate::ast::{CmpOp, Field, Operator, Policy, Predicate};
+
+use super::{codes, Diagnostic};
+
+/// Upper bound on DNF conjuncts before the satisfiability lint bails out.
+/// Predicates past this size are rare and the lint is best-effort.
+const DNF_LIMIT: usize = 128;
+
+/// Runs the dataflow pass. All returned diagnostics are warnings.
+pub fn check(policy: &Policy) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_maps(policy, &mut out);
+    check_reduce_commits(policy, &mut out);
+    check_filters(policy, &mut out);
+    out.sort_by_key(|d| d.op_index);
+    out
+}
+
+// --- SF0201 / SF0202: map def-use ----------------------------------------
+
+fn check_maps(policy: &Policy, out: &mut Vec<Diagnostic>) {
+    for (i, op) in policy.ops.iter().enumerate() {
+        let Operator::Map { dst, .. } = op else {
+            continue;
+        };
+        if dst.is_builtin() {
+            out.push(
+                Diagnostic::warning(
+                    codes::SHADOWED_FIELD,
+                    format!(
+                        "map at operator {i} overwrites the builtin field '{}'; downstream \
+                         operators silently read the derived value instead of the header",
+                        dst.name()
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion("pick a fresh destination name"),
+            );
+            continue;
+        }
+        if policy.ops[..i]
+            .iter()
+            .any(|p| matches!(p, Operator::Map { dst: d, .. } if d == dst))
+        {
+            out.push(
+                Diagnostic::warning(
+                    codes::SHADOWED_FIELD,
+                    format!(
+                        "map at operator {i} redefines '{}', shadowing the earlier definition",
+                        dst.name()
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion("pick a fresh destination name"),
+            );
+        }
+        if !read_before_redefinition(&policy.ops[i + 1..], dst) {
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_MAP,
+                    format!(
+                        "map at operator {i} defines '{}' but no later operator reads it; \
+                         the mapper burns NIC cycles and state for nothing",
+                        dst.name()
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion(format!(
+                    "remove the map or add a reduce over '{}'",
+                    dst.name()
+                )),
+            );
+        }
+    }
+}
+
+/// Whether `field` is read by some operator in `rest` before being mapped
+/// over again.
+fn read_before_redefinition(rest: &[Operator], field: &Field) -> bool {
+    for op in rest {
+        match op {
+            Operator::Map { dst, src, .. } => {
+                if src == field {
+                    return true;
+                }
+                if dst == field {
+                    return false;
+                }
+            }
+            Operator::Reduce { src, .. } if src == field => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+// --- SF0203: reduces whose level is never collected -----------------------
+
+fn check_reduce_commits(policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let mut pending: Vec<usize> = Vec::new();
+    let flush = |pending: &mut Vec<usize>, out: &mut Vec<Diagnostic>| {
+        for i in pending.drain(..) {
+            out.push(
+                Diagnostic::warning(
+                    codes::UNCOLLECTED_REDUCE,
+                    format!(
+                        "reduce at operator {i} is never collected at its level; its \
+                         features are discarded when the stream regroups"
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion("add a collect before the next groupby"),
+            );
+        }
+    };
+    for (i, op) in policy.ops.iter().enumerate() {
+        match op {
+            Operator::GroupBy(_) => flush(&mut pending, out),
+            Operator::Reduce { .. } => pending.push(i),
+            Operator::Collect(_) => pending.clear(),
+            _ => {}
+        }
+    }
+    flush(&mut pending, out);
+}
+
+// --- SF0204 / SF0205: filter satisfiability -------------------------------
+
+fn check_filters(policy: &Policy, out: &mut Vec<Diagnostic>) {
+    for (i, op) in policy.ops.iter().enumerate() {
+        let Operator::Filter(p) = op else { continue };
+        let Some(pos) = dnf(p, false) else { continue };
+        if !pos.iter().any(|c| conjunct_satisfiable(c)) {
+            out.push(
+                Diagnostic::warning(
+                    codes::UNSATISFIABLE_FILTER,
+                    format!(
+                        "filter at operator {i} matches no packet; every downstream \
+                         operator is dead"
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion("fix the contradictory conditions or drop the filter"),
+            );
+            continue;
+        }
+        let Some(neg) = dnf(p, true) else { continue };
+        if !neg.iter().any(|c| conjunct_satisfiable(c)) {
+            out.push(
+                Diagnostic::warning(
+                    codes::TAUTOLOGICAL_FILTER,
+                    format!(
+                        "filter at operator {i} matches every packet and spends a switch \
+                         table doing nothing"
+                    ),
+                )
+                .at_op(i)
+                .with_suggestion("drop the filter"),
+            );
+        }
+    }
+}
+
+/// One literal of a DNF conjunct, with the negation pushed into the operator.
+#[derive(Clone, Debug)]
+enum Lit {
+    Tcp(bool),
+    Udp(bool),
+    Cmp { field: Field, op: CmpOp, value: u64 },
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Le => CmpOp::Gt,
+    }
+}
+
+/// Expands `p` (or its negation, when `neg`) to disjunctive normal form.
+/// Returns `None` when the expansion exceeds [`DNF_LIMIT`] conjuncts.
+fn dnf(p: &Predicate, neg: bool) -> Option<Vec<Vec<Lit>>> {
+    Some(match p {
+        Predicate::TcpExists => vec![vec![Lit::Tcp(!neg)]],
+        Predicate::UdpExists => vec![vec![Lit::Udp(!neg)]],
+        Predicate::Cmp { field, op, value } => vec![vec![Lit::Cmp {
+            field: field.clone(),
+            op: if neg { negate(*op) } else { *op },
+            value: *value,
+        }]],
+        Predicate::Not(inner) => dnf(inner, !neg)?,
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b, so a negated AND unions like an OR.
+        Predicate::And(a, b) if !neg => cross(dnf(a, false)?, dnf(b, false)?)?,
+        Predicate::And(a, b) => union(dnf(a, true)?, dnf(b, true)?)?,
+        Predicate::Or(a, b) if !neg => union(dnf(a, false)?, dnf(b, false)?)?,
+        Predicate::Or(a, b) => cross(dnf(a, true)?, dnf(b, true)?)?,
+    })
+}
+
+fn union(mut a: Vec<Vec<Lit>>, b: Vec<Vec<Lit>>) -> Option<Vec<Vec<Lit>>> {
+    a.extend(b);
+    (a.len() <= DNF_LIMIT).then_some(a)
+}
+
+fn cross(a: Vec<Vec<Lit>>, b: Vec<Vec<Lit>>) -> Option<Vec<Vec<Lit>>> {
+    if a.len().saturating_mul(b.len()) > DNF_LIMIT {
+        return None;
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ca in &a {
+        for cb in &b {
+            let mut c = ca.clone();
+            c.extend(cb.iter().cloned());
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Largest value a builtin field can take on the wire.
+fn field_max(f: &Field) -> u64 {
+    match f {
+        Field::SrcPort | Field::DstPort | Field::Size => u64::from(u16::MAX),
+        Field::Proto | Field::TcpFlags => u64::from(u8::MAX),
+        Field::SrcIp | Field::DstIp => u64::from(u32::MAX),
+        Field::Direction => 1,
+        Field::Tstamp | Field::Named(_) => u64::MAX,
+    }
+}
+
+/// Per-field interval with point exclusions, the abstract domain of the
+/// satisfiability check.
+#[derive(Clone, Debug)]
+struct Range {
+    lo: u64,
+    hi: u64,
+    excluded: Vec<u64>,
+}
+
+impl Range {
+    fn full(f: &Field) -> Self {
+        Range {
+            lo: 0,
+            hi: field_max(f),
+            excluded: Vec::new(),
+        }
+    }
+
+    fn nonempty(&self) -> bool {
+        if self.lo > self.hi {
+            return false;
+        }
+        let size = u128::from(self.hi - self.lo) + 1;
+        let mut holes: Vec<u64> = self
+            .excluded
+            .iter()
+            .copied()
+            .filter(|v| (self.lo..=self.hi).contains(v))
+            .collect();
+        holes.sort_unstable();
+        holes.dedup();
+        size > holes.len() as u128
+    }
+}
+
+/// Whether one DNF conjunct admits at least one packet.
+fn conjunct_satisfiable(lits: &[Lit]) -> bool {
+    let mut tcp: Option<bool> = None;
+    let mut udp: Option<bool> = None;
+    let mut ranges: HashMap<Field, Range> = HashMap::new();
+    let constrain = |ranges: &mut HashMap<Field, Range>, field: &Field, op: CmpOp, v: u64| {
+        let r = ranges
+            .entry(field.clone())
+            .or_insert_with(|| Range::full(field));
+        match op {
+            CmpOp::Eq => {
+                r.lo = r.lo.max(v);
+                r.hi = r.hi.min(v);
+            }
+            CmpOp::Ne => r.excluded.push(v),
+            CmpOp::Lt => match v.checked_sub(1) {
+                Some(m) => r.hi = r.hi.min(m),
+                None => r.lo = 1, // `< 0` on an unsigned field: empty.
+            },
+            CmpOp::Le => r.hi = r.hi.min(v),
+            CmpOp::Gt => match v.checked_add(1) {
+                Some(m) => r.lo = r.lo.max(m),
+                None => r.hi = 0, // `> u64::MAX`: empty (lo stays > hi below).
+            },
+            CmpOp::Ge => r.lo = r.lo.max(v),
+        }
+        if op == CmpOp::Gt && v == u64::MAX {
+            r.lo = 1;
+            r.hi = 0;
+        }
+    };
+
+    for lit in lits {
+        match lit {
+            Lit::Tcp(want) => match tcp {
+                Some(prev) if prev != *want => return false,
+                _ => tcp = Some(*want),
+            },
+            Lit::Udp(want) => match udp {
+                Some(prev) if prev != *want => return false,
+                _ => udp = Some(*want),
+            },
+            Lit::Cmp { field, op, value } => constrain(&mut ranges, field, *op, *value),
+        }
+    }
+
+    // Header-presence literals couple to the protocol number: a TCP packet
+    // has proto 6, a UDP packet proto 17, and no packet has both headers.
+    if tcp == Some(true) && udp == Some(true) {
+        return false;
+    }
+    if tcp == Some(true) {
+        constrain(&mut ranges, &Field::Proto, CmpOp::Eq, 6);
+    } else if tcp == Some(false) {
+        constrain(&mut ranges, &Field::Proto, CmpOp::Ne, 6);
+    }
+    if udp == Some(true) {
+        constrain(&mut ranges, &Field::Proto, CmpOp::Eq, 17);
+    } else if udp == Some(false) {
+        constrain(&mut ranges, &Field::Proto, CmpOp::Ne, 17);
+    }
+
+    ranges.values().all(Range::nonempty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::pktstream;
+    use crate::{MapFn, ReduceFn};
+    use superfe_net::Granularity;
+
+    fn cmp(field: Field, op: CmpOp, value: u64) -> Predicate {
+        Predicate::Cmp { field, op, value }
+    }
+
+    fn codes_of(p: &Policy) -> Vec<&'static str> {
+        check(p).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn sf0201_dead_map_reports_operator_index() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("ipt", "tstamp", MapFn::FIpt)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        let ds = check(&p);
+        let d = ds.iter().find(|d| d.code == codes::DEAD_MAP).unwrap();
+        assert_eq!(d.op_index, Some(1));
+        assert!(d.message.contains("'ipt'"));
+    }
+
+    #[test]
+    fn map_read_by_later_map_is_live() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("one", "_", MapFn::FOne)
+            .map("dirval", "one", MapFn::FDirection)
+            .reduce("dirval", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(!codes_of(&p).contains(&codes::DEAD_MAP));
+    }
+
+    #[test]
+    fn redefinition_kills_unread_def_and_warns_shadow() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("x", "size", MapFn::FDirection)
+            .map("x", "tstamp", MapFn::FIpt)
+            .reduce("x", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        let ds = check(&p);
+        let dead = ds.iter().find(|d| d.code == codes::DEAD_MAP).unwrap();
+        assert_eq!(dead.op_index, Some(1), "first definition is dead");
+        let shadow = ds.iter().find(|d| d.code == codes::SHADOWED_FIELD).unwrap();
+        assert_eq!(shadow.op_index, Some(2), "second definition shadows");
+    }
+
+    #[test]
+    fn sf0202_builtin_overwrite() {
+        let p = pktstream()
+            .groupby(Granularity::Flow)
+            .map("size", "tstamp", MapFn::FIpt)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        let ds = check(&p);
+        let d = ds.iter().find(|d| d.code == codes::SHADOWED_FIELD).unwrap();
+        assert!(d.message.contains("builtin"));
+    }
+
+    #[test]
+    fn sf0203_mid_chain_uncollected_reduce() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Sum])
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build_unchecked();
+        let ds = check(&p);
+        let d = ds
+            .iter()
+            .find(|d| d.code == codes::UNCOLLECTED_REDUCE)
+            .unwrap();
+        assert_eq!(d.op_index, Some(1));
+    }
+
+    #[test]
+    fn collected_levels_are_clean() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Socket)
+            .groupby(Granularity::Host)
+            .reduce("size", vec![ReduceFn::Mean])
+            .collect_group(Granularity::Host)
+            .build_unchecked();
+        assert!(!codes_of(&p).contains(&codes::UNCOLLECTED_REDUCE));
+    }
+
+    #[test]
+    fn sf0204_contradictory_range() {
+        let f = Predicate::And(
+            Box::new(cmp(Field::SrcPort, CmpOp::Lt, 10)),
+            Box::new(cmp(Field::SrcPort, CmpOp::Gt, 20)),
+        );
+        let p = pktstream()
+            .filter(f)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        let ds = check(&p);
+        let d = ds
+            .iter()
+            .find(|d| d.code == codes::UNSATISFIABLE_FILTER)
+            .unwrap();
+        assert_eq!(d.op_index, Some(0));
+    }
+
+    #[test]
+    fn sf0204_tcp_and_udp() {
+        let f = Predicate::And(
+            Box::new(Predicate::TcpExists),
+            Box::new(Predicate::UdpExists),
+        );
+        let p = pktstream()
+            .filter(f)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(codes_of(&p).contains(&codes::UNSATISFIABLE_FILTER));
+    }
+
+    #[test]
+    fn sf0204_exclusions_exhaust_direction() {
+        let f = Predicate::And(
+            Box::new(cmp(Field::Direction, CmpOp::Ne, 0)),
+            Box::new(cmp(Field::Direction, CmpOp::Ne, 1)),
+        );
+        let p = pktstream()
+            .filter(f)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(codes_of(&p).contains(&codes::UNSATISFIABLE_FILTER));
+    }
+
+    #[test]
+    fn sf0204_tcp_implies_proto() {
+        // TCP packets have proto 6, so requiring proto 17 as well is empty.
+        let f = Predicate::And(
+            Box::new(Predicate::TcpExists),
+            Box::new(cmp(Field::Proto, CmpOp::Eq, 17)),
+        );
+        let p = pktstream()
+            .filter(f)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(codes_of(&p).contains(&codes::UNSATISFIABLE_FILTER));
+    }
+
+    #[test]
+    fn sf0205_tautologies() {
+        for f in [
+            Predicate::Or(
+                Box::new(Predicate::TcpExists),
+                Box::new(Predicate::Not(Box::new(Predicate::TcpExists))),
+            ),
+            cmp(Field::Size, CmpOp::Le, u64::from(u16::MAX)),
+        ] {
+            let p = pktstream()
+                .filter(f)
+                .groupby(Granularity::Flow)
+                .reduce("size", vec![ReduceFn::Sum])
+                .collect_group(Granularity::Flow)
+                .build_unchecked();
+            assert!(codes_of(&p).contains(&codes::TAUTOLOGICAL_FILTER));
+        }
+    }
+
+    #[test]
+    fn honest_filters_are_clean() {
+        for f in [
+            Predicate::TcpExists,
+            cmp(Field::DstPort, CmpOp::Eq, 443),
+            Predicate::And(
+                Box::new(Predicate::TcpExists),
+                Box::new(cmp(Field::Size, CmpOp::Ge, 64)),
+            ),
+            Predicate::Or(
+                Box::new(Predicate::TcpExists),
+                Box::new(Predicate::UdpExists),
+            ),
+        ] {
+            let p = pktstream()
+                .filter(f)
+                .groupby(Granularity::Flow)
+                .reduce("size", vec![ReduceFn::Sum])
+                .collect_group(Granularity::Flow)
+                .build_unchecked();
+            assert!(
+                !codes_of(&p).contains(&codes::UNSATISFIABLE_FILTER)
+                    && !codes_of(&p).contains(&codes::TAUTOLOGICAL_FILTER)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_predicates_skip_the_lint() {
+        // 8 ANDed (a ∨ b) pairs expand to 2^8 = 256 conjuncts > DNF_LIMIT;
+        // the lint bails out rather than blowing up, even though the
+        // predicate is in fact unsatisfiable (srcport < 1 ∧ srcport > 2).
+        let pair = Predicate::Or(
+            Box::new(cmp(Field::SrcPort, CmpOp::Lt, 1)),
+            Box::new(cmp(Field::SrcPort, CmpOp::Lt, 1)),
+        );
+        let mut f = Predicate::And(
+            Box::new(pair.clone()),
+            Box::new(cmp(Field::SrcPort, CmpOp::Gt, 2)),
+        );
+        for _ in 0..7 {
+            f = Predicate::And(Box::new(pair.clone()), Box::new(f));
+        }
+        let p = pktstream()
+            .filter(f)
+            .groupby(Granularity::Flow)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Flow)
+            .build_unchecked();
+        assert!(codes_of(&p).is_empty());
+    }
+
+    #[test]
+    fn findings_sorted_by_operator() {
+        let p = pktstream()
+            .groupby(Granularity::Socket)
+            .map("dead1", "size", MapFn::FDirection)
+            .reduce("size", vec![ReduceFn::Sum])
+            .groupby(Granularity::Host)
+            .map("dead2", "size", MapFn::FDirection)
+            .reduce("size", vec![ReduceFn::Sum])
+            .collect_group(Granularity::Host)
+            .build_unchecked();
+        let ds = check(&p);
+        let idx: Vec<Option<usize>> = ds.iter().map(|d| d.op_index).collect();
+        let mut sorted = idx.clone();
+        sorted.sort();
+        assert_eq!(idx, sorted);
+    }
+}

@@ -493,7 +493,7 @@ impl Policy {
         for op in &self.ops {
             match op {
                 Operator::Reduce { funcs, .. } => {
-                    last = funcs.iter().map(|f| f.feature_len()).sum();
+                    last = funcs.iter().map(ReduceFn::feature_len).sum();
                     dim += last;
                 }
                 Operator::Synthesize(sf) => {

@@ -90,7 +90,11 @@ pub struct ReduceOp {
 impl ReduceOp {
     /// Feature values this op contributes after synthesis.
     pub fn feature_len(&self) -> usize {
-        let mut len: usize = self.funcs.iter().map(|f| f.feature_len()).sum();
+        let mut len: usize = self
+            .funcs
+            .iter()
+            .map(super::ast::ReduceFn::feature_len)
+            .sum();
         for s in &self.synths {
             len = s.output_len(len);
         }
@@ -125,7 +129,7 @@ pub struct LevelProgram {
 impl LevelProgram {
     /// Feature dimension this level contributes.
     pub fn feature_len(&self) -> usize {
-        self.reduces.iter().map(|r| r.feature_len()).sum()
+        self.reduces.iter().map(ReduceOp::feature_len).sum()
     }
 }
 
@@ -150,7 +154,7 @@ pub struct NicProgram {
 impl NicProgram {
     /// Total feature dimension across all levels.
     pub fn feature_dimension(&self) -> usize {
-        self.levels.iter().map(|l| l.feature_len()).sum()
+        self.levels.iter().map(LevelProgram::feature_len).sum()
     }
 
     /// The per-group state inventory for memory placement.

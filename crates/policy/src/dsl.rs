@@ -54,14 +54,14 @@ pub fn print(policy: &Policy) -> String {
             Operator::GroupBy(g) => writeln!(out, ".groupby({})", g.name()).expect("write"),
             Operator::Map { dst, src, func } => {
                 writeln!(out, ".map({}, {}, {})", dst.name(), src.name(), func.name())
-                    .expect("write")
+                    .expect("write");
             }
             Operator::Reduce { src, funcs } => {
                 let fs: Vec<String> = funcs.iter().map(print_reduce_fn).collect();
-                writeln!(out, ".reduce({}, [{}])", src.name(), fs.join(", ")).expect("write")
+                writeln!(out, ".reduce({}, [{}])", src.name(), fs.join(", ")).expect("write");
             }
             Operator::Synthesize(sf) => {
-                writeln!(out, ".synthesize({})", print_synth_fn(sf)).expect("write")
+                writeln!(out, ".synthesize({})", print_synth_fn(sf)).expect("write");
             }
             Operator::Collect(u) => match u {
                 CollectUnit::Pkt => writeln!(out, ".collect(pkt)").expect("write"),

@@ -22,6 +22,9 @@ pub enum PolicyError {
     BadParameters(String),
     /// The policy is structurally empty or missing a required operator.
     Incomplete(String),
+    /// The policy is well-formed but exceeds the target hardware (switch
+    /// budget or NIC memory); the payload is the rendered analysis report.
+    Infeasible(String),
 }
 
 impl fmt::Display for PolicyError {
@@ -33,6 +36,7 @@ impl fmt::Display for PolicyError {
             PolicyError::UnknownField(m) => write!(f, "unknown field: {m}"),
             PolicyError::BadParameters(m) => write!(f, "bad parameters: {m}"),
             PolicyError::Incomplete(m) => write!(f, "incomplete policy: {m}"),
+            PolicyError::Infeasible(m) => write!(f, "infeasible policy: {m}"),
         }
     }
 }

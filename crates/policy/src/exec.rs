@@ -314,7 +314,7 @@ impl GroupExec {
             Field::Size => Some(rec.size),
             Field::Tstamp => Some(rec.ts_ns as f64),
             Field::Direction => Some(rec.direction as f64),
-            Field::TcpFlags => Some(rec.tcp_flags as f64),
+            Field::TcpFlags => Some(f64::from(rec.tcp_flags)),
             Field::Named(n) => named
                 .iter()
                 .rev()
@@ -385,7 +385,7 @@ fn mix_hash(key_hash: u32, value: f64) -> u32 {
 /// Builds a [`RecordView`] from a parsed packet (software path).
 pub fn view_of_packet(p: &superfe_net::PacketRecord) -> RecordView {
     RecordView {
-        size: p.size as f64,
+        size: f64::from(p.size),
         ts_ns: p.ts_ns,
         direction: p.direction_factor(),
         tcp_flags: p.tcp_flags,
@@ -594,7 +594,7 @@ mod tests {
         let mut g = GroupExec::new(&level_of(p));
         for i in 0..500u32 {
             // 100 distinct sizes.
-            g.update(&rec((i % 100) as f64, i as u64, 1), 0);
+            g.update(&rec(f64::from(i % 100), u64::from(i), 1), 0);
         }
         let est = g.finalize()[0];
         assert!((est - 100.0).abs() / 100.0 < 0.3, "estimate {est}");

@@ -216,8 +216,8 @@ impl DependencyGraph {
         // Walk chains from their heads (nodes with no predecessor).
         let mut chains = Vec::new();
         let mut emitted: HashSet<usize> = HashSet::new();
-        for head in 0..n {
-            if has_pred[head] {
+        for (head, &pred) in has_pred.iter().enumerate() {
+            if pred {
                 continue;
             }
             let mut chain = Vec::new();
@@ -344,7 +344,7 @@ mod tests {
         let reach = g.closure().unwrap();
         for chain in g.split_into_chains().unwrap() {
             for w in chain.windows(2) {
-                assert!(reach[w[0]][w[1]], "{:?} not a refinement step", w);
+                assert!(reach[w[0]][w[1]], "{w:?} not a refinement step");
             }
         }
     }

@@ -22,6 +22,10 @@
 //!   plus the LoC metric of Table 3.
 //! - [`validate`]: the well-formedness rules (operator ordering, granularity
 //!   dependency chains, field availability).
+//! - [`analyze`]: the static analyzer behind `superfe check` — structural
+//!   diagnostics (`SF01xx`), dataflow lints (`SF02xx`), and the
+//!   [`Diagnostic`]/[`AnalysisReport`] types the hardware feasibility passes
+//!   (`SF03xx`/`SF04xx`, in the switch and NIC crates) share.
 //! - [`exec`]: the shared `map`/`reduce`/`synthesize` execution semantics
 //!   used by both the SmartNIC engine and the software baseline.
 //! - [`graph`]: the §9 extension — decomposing granularity dependency
@@ -32,6 +36,7 @@
 //!   `collect`, deployed on the SmartNIC), exactly as §4.1's "natural support
 //!   to SuperFE architecture" prescribes.
 
+pub mod analyze;
 pub mod ast;
 pub mod builder;
 pub mod compile;
@@ -41,6 +46,7 @@ pub mod exec;
 pub mod graph;
 pub mod validate;
 
+pub use analyze::{analyze_policy, AnalysisReport, Diagnostic, Severity};
 pub use ast::{CollectUnit, Field, MapFn, Operator, Policy, Predicate, ReduceFn, SynthFn};
 pub use builder::pktstream;
 pub use compile::{compile, CompiledPolicy, LevelProgram, MetaField, NicProgram, SwitchProgram};

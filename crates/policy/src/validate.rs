@@ -17,201 +17,49 @@
 //!    earlier `map`.
 //! 7. Function parameters are sane (non-zero bins, `4 ≤ k ≤ 16`, …).
 //! 8. `collect(g)` names a granularity that was grouped by.
+//!
+//! The rules themselves live in [`analyze::structural`](crate::analyze), the
+//! diagnostics-producing pass shared with `superfe check`; `validate` is an
+//! adapter that converts the first error-severity finding back into a
+//! [`PolicyError`], keyed by its stable `SF01xx` code. One implementation,
+//! two presentations — the validator and the analyzer cannot drift apart.
 
-use crate::ast::{CollectUnit, Field, Operator, Policy, ReduceFn, SynthFn};
+use crate::analyze::{codes, structural, Diagnostic};
+use crate::ast::Policy;
 use crate::error::PolicyError;
 
 /// Checks `policy` against all well-formedness rules.
 pub fn validate(policy: &Policy) -> Result<(), PolicyError> {
-    if policy.ops.is_empty() {
-        return Err(PolicyError::Incomplete("policy has no operators".into()));
-    }
-
-    let mut seen_groupby = false;
-    let mut grans: Vec<superfe_net::Granularity> = Vec::new();
-    let mut available: Vec<Field> = Vec::new();
-    let mut prev_was_reduce_or_synth = false;
-    let mut pending_reduce = false; // a reduce not yet committed by collect
-
-    for (i, op) in policy.ops.iter().enumerate() {
-        match op {
-            Operator::Filter(_) => {
-                if seen_groupby {
-                    return Err(PolicyError::BadOperatorOrder(format!(
-                        "filter at position {i} appears after groupby; filters run on the \
-                         switch ahead of grouping"
-                    )));
-                }
-                prev_was_reduce_or_synth = false;
-            }
-            Operator::GroupBy(g) => {
-                if let Some(&prev) = grans.last() {
-                    if prev == *g {
-                        return Err(PolicyError::BadGranularityChain(format!(
-                            "duplicate groupby({})",
-                            g.name()
-                        )));
-                    }
-                    if !prev.refines_to(*g) {
-                        return Err(PolicyError::BadGranularityChain(format!(
-                            "groupby({}) does not coarsen groupby({}); regrouping must walk \
-                             the dependency chain fine → coarse",
-                            g.name(),
-                            prev.name()
-                        )));
-                    }
-                }
-                grans.push(*g);
-                seen_groupby = true;
-                prev_was_reduce_or_synth = false;
-            }
-            Operator::Map { dst, src, func: _ } => {
-                if !seen_groupby {
-                    return Err(PolicyError::BadOperatorOrder(format!(
-                        "map at position {i} before any groupby"
-                    )));
-                }
-                check_field_available(src, &available, true)?;
-                if !available.contains(dst) {
-                    available.push(dst.clone());
-                }
-                prev_was_reduce_or_synth = false;
-            }
-            Operator::Reduce { src, funcs } => {
-                if !seen_groupby {
-                    return Err(PolicyError::BadOperatorOrder(format!(
-                        "reduce at position {i} before any groupby"
-                    )));
-                }
-                if funcs.is_empty() {
-                    return Err(PolicyError::BadParameters(
-                        "reduce with an empty function list".into(),
-                    ));
-                }
-                check_field_available(src, &available, false)?;
-                for f in funcs {
-                    check_reduce_params(f)?;
-                }
-                prev_was_reduce_or_synth = true;
-                pending_reduce = true;
-            }
-            Operator::Synthesize(sf) => {
-                if !prev_was_reduce_or_synth {
-                    return Err(PolicyError::BadOperatorOrder(format!(
-                        "synthesize at position {i} must follow reduce or synthesize"
-                    )));
-                }
-                check_synth_params(sf)?;
-            }
-            Operator::Collect(u) => {
-                if !seen_groupby {
-                    return Err(PolicyError::BadOperatorOrder(format!(
-                        "collect at position {i} before any groupby"
-                    )));
-                }
-                if let CollectUnit::Group(g) = u {
-                    if !grans.contains(g) {
-                        return Err(PolicyError::BadGranularityChain(format!(
-                            "collect({}) names a granularity that was never grouped by",
-                            g.name()
-                        )));
-                    }
-                }
-                prev_was_reduce_or_synth = false;
-                pending_reduce = false;
-            }
-        }
-    }
-
-    if !seen_groupby {
-        return Err(PolicyError::Incomplete("policy never calls groupby".into()));
-    }
-    if !matches!(policy.ops.last(), Some(Operator::Collect(_))) {
-        return Err(PolicyError::Incomplete(
-            "policy must end with collect".into(),
-        ));
-    }
-    if pending_reduce {
-        return Err(PolicyError::Incomplete(
-            "a reduce is never committed by a collect".into(),
-        ));
-    }
-    Ok(())
-}
-
-fn check_field_available(
-    field: &Field,
-    available: &[Field],
-    allow_placeholder: bool,
-) -> Result<(), PolicyError> {
-    if field.is_builtin() {
-        return Ok(());
-    }
-    if let Field::Named(n) = field {
-        if allow_placeholder && n == "_" {
-            return Ok(());
-        }
-    }
-    if available.contains(field) {
-        return Ok(());
-    }
-    Err(PolicyError::UnknownField(field.name()))
-}
-
-fn check_reduce_params(f: &ReduceFn) -> Result<(), PolicyError> {
-    match f {
-        ReduceFn::Card { k } if !(4..=16).contains(k) => Err(PolicyError::BadParameters(format!(
-            "f_card bucket exponent {k} outside 4..=16"
-        ))),
-        ReduceFn::Array { cap } if *cap == 0 => Err(PolicyError::BadParameters(
-            "f_array with zero capacity".into(),
-        )),
-        ReduceFn::Hist { width, bins }
-        | ReduceFn::Pdf { width, bins }
-        | ReduceFn::Cdf { width, bins }
-            if *width <= 0.0 || *bins == 0 =>
-        {
-            Err(PolicyError::BadParameters(format!(
-                "{} with width {width} and {bins} bins",
-                f.name()
-            )))
-        }
-        ReduceFn::HistLog { unit, base, bins } if *unit <= 0.0 || *base <= 1.0 || *bins == 0 => {
-            Err(PolicyError::BadParameters(format!(
-                "ft_histlog with unit {unit}, base {base}, {bins} bins"
-            )))
-        }
-        ReduceFn::Percent { width, bins, q }
-            if *width <= 0.0 || *bins == 0 || !(0.0..=100.0).contains(q) =>
-        {
-            Err(PolicyError::BadParameters(format!(
-                "ft_percent with width {width}, {bins} bins, q {q}"
-            )))
-        }
-        ReduceFn::Damped { lambda } | ReduceFn::Damped2d { lambda }
-            if !lambda.is_finite() || *lambda < 0.0 =>
-        {
-            Err(PolicyError::BadParameters(format!(
-                "damped statistic with decay rate {lambda}"
-            )))
-        }
-        _ => Ok(()),
+    match structural::check(policy).into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(diagnostic_to_error(&d)),
     }
 }
 
-fn check_synth_params(sf: &SynthFn) -> Result<(), PolicyError> {
-    match sf {
-        SynthFn::Sample { n } if *n == 0 => {
-            Err(PolicyError::BadParameters("ft_sample with n = 0".into()))
+/// Maps a structural diagnostic to the legacy error taxonomy.
+fn diagnostic_to_error(d: &Diagnostic) -> PolicyError {
+    let msg = d.message.clone();
+    match d.code {
+        codes::EMPTY_POLICY
+        | codes::NO_GROUPBY
+        | codes::NO_TRAILING_COLLECT
+        | codes::UNCOMMITTED_REDUCE => PolicyError::Incomplete(msg),
+        codes::FILTER_AFTER_GROUPBY | codes::OP_BEFORE_GROUPBY | codes::SYNTH_WITHOUT_REDUCE => {
+            PolicyError::BadOperatorOrder(msg)
         }
-        _ => Ok(()),
+        codes::DUPLICATE_GROUPBY | codes::BAD_GRANULARITY_CHAIN | codes::COLLECT_UNGROUPED => {
+            PolicyError::BadGranularityChain(msg)
+        }
+        codes::UNKNOWN_FIELD => PolicyError::UnknownField(msg),
+        // EMPTY_REDUCE, BAD_PARAMETERS, and any future structural code.
+        _ => PolicyError::BadParameters(msg),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{MapFn, Predicate};
+    use crate::ast::{MapFn, Predicate, ReduceFn, SynthFn};
     use crate::builder::pktstream;
     use superfe_net::Granularity;
 

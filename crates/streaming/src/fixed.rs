@@ -18,6 +18,10 @@ use crate::reducer::Reducer;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Q16(pub i64);
 
+// Not the std `Add`/`Sub`/`Mul`/`Div` traits: these are saturating /
+// truncating fixed-point variants with different semantics, and keeping them
+// as inherent methods makes that explicit at every call site.
+#[allow(clippy::should_implement_trait)]
 impl Q16 {
     /// Number of fractional bits.
     pub const FRAC_BITS: u32 = 16;
@@ -52,7 +56,7 @@ impl Q16 {
 
     /// Fixed-point multiplication (via 128-bit intermediate).
     pub fn mul(self, rhs: Q16) -> Q16 {
-        Q16(((self.0 as i128 * rhs.0 as i128) >> Q16::FRAC_BITS) as i64)
+        Q16(((i128::from(self.0) * i128::from(rhs.0)) >> Q16::FRAC_BITS) as i64)
     }
 
     /// Exact fixed-point division (the expensive 1500-cycle operation on the
@@ -61,7 +65,7 @@ impl Q16 {
         if rhs.0 == 0 {
             return Q16(0);
         }
-        Q16((((self.0 as i128) << Q16::FRAC_BITS) / rhs.0 as i128) as i64)
+        Q16(((i128::from(self.0) << Q16::FRAC_BITS) / i128::from(rhs.0)) as i64)
     }
 
     /// Absolute value (saturating at `i64::MAX`).
@@ -243,7 +247,9 @@ mod tests {
     #[test]
     fn fixed_welford_tracks_exact_closely() {
         // Packet-size-like stream: values in [40, 1500].
-        let xs: Vec<f64> = (0..5000).map(|i| 40.0 + ((i * 97) % 1460) as f64).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| 40.0 + f64::from((i * 97) % 1460))
+            .collect();
         let mut fx = FixedWelford::new();
         let mut ex = Welford::new();
         for &x in &xs {
@@ -289,7 +295,7 @@ mod tests {
         let mut fx = FixedWelford::with_elimination(false);
         let mut ex = Welford::new();
         for i in 0..1000 {
-            let x = (i % 100) as f64;
+            let x = f64::from(i % 100);
             fx.update(x);
             ex.update(x);
         }

@@ -245,7 +245,7 @@ mod tests {
     fn mass_is_conserved() {
         let mut h = Histogram::fixed(7.0, 9).unwrap();
         for i in 0..1000 {
-            h.update((i % 100) as f64);
+            h.update(f64::from(i % 100));
         }
         assert_eq!(h.counts().iter().sum::<u64>(), 1000);
         let pdf_sum: f64 = h.pdf().iter().sum();
@@ -258,7 +258,7 @@ mod tests {
     fn cdf_is_monotone() {
         let mut h = Histogram::fixed(1.0, 16).unwrap();
         for i in 0..64 {
-            h.update((i * 7 % 20) as f64);
+            h.update(f64::from(i * 7 % 20));
         }
         let cdf = h.cdf();
         for w in cdf.windows(2) {
@@ -270,7 +270,7 @@ mod tests {
     fn percentile_median_of_uniform() {
         let mut h = Histogram::fixed(1.0, 100).unwrap();
         for i in 0..100 {
-            h.update(i as f64 + 0.5);
+            h.update(f64::from(i) + 0.5);
         }
         let p50 = h.percentile(0.5).unwrap();
         assert!((p50 - 50.0).abs() < 2.0, "p50 = {p50}");

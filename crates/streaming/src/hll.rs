@@ -176,10 +176,10 @@ mod tests {
         let mut h = HyperLogLog::new(10).unwrap();
         let n = 50_000u32;
         for i in 0..n {
-            h.update(i as f64 * 1.000001);
+            h.update(f64::from(i) * 1.000001);
         }
         let est = h.estimate();
-        let err = (est - n as f64).abs() / n as f64;
+        let err = (est - f64::from(n)).abs() / f64::from(n);
         assert!(err < 0.05, "estimate {est} vs {n}, err {err}");
     }
 
@@ -188,7 +188,7 @@ mod tests {
         let mut h = HyperLogLog::new(10).unwrap();
         for _ in 0..10 {
             for i in 0..100u32 {
-                h.update(i as f64);
+                h.update(f64::from(i));
             }
         }
         let est = h.estimate();
@@ -199,7 +199,7 @@ mod tests {
     fn small_range_uses_linear_counting() {
         let mut h = HyperLogLog::new(12).unwrap();
         for i in 0..10u32 {
-            h.update(i as f64);
+            h.update(f64::from(i));
         }
         let est = h.estimate();
         assert!((est - 10.0).abs() < 2.0, "estimate {est}");
@@ -210,10 +210,10 @@ mod tests {
         let mut a = HyperLogLog::new(9).unwrap();
         let mut b = HyperLogLog::new(9).unwrap();
         for i in 0..5000u32 {
-            a.update(i as f64);
+            a.update(f64::from(i));
         }
         for i in 2500..7500u32 {
-            b.update(i as f64);
+            b.update(f64::from(i));
         }
         assert!(a.merge(&b));
         let est = a.estimate();
@@ -238,7 +238,7 @@ mod tests {
     fn reset_clears_registers() {
         let mut h = HyperLogLog::new(8).unwrap();
         for i in 0..1000u32 {
-            h.update(i as f64);
+            h.update(f64::from(i));
         }
         h.reset();
         assert_eq!(h.estimate(), 0.0);

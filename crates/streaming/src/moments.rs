@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn matches_batch_reference() {
         let xs: Vec<f64> = (0..2000)
-            .map(|i| ((i * 31 + 7) % 997) as f64 / 10.0)
+            .map(|i| f64::from((i * 31 + 7) % 997) / 10.0)
             .collect();
         let mut m = Moments::new();
         update_all(&mut m, xs.iter().copied());
@@ -176,7 +176,7 @@ mod tests {
     fn symmetric_stream_has_near_zero_skew() {
         let mut m = Moments::new();
         for i in -500..=500 {
-            m.update(i as f64);
+            m.update(f64::from(i));
         }
         assert!(m.skewness().abs() < 1e-9);
     }

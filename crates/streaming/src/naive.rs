@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn naive_variance_agrees_with_welford() {
-        let xs: Vec<f64> = (0..500).map(|i| ((i * 13) % 79) as f64).collect();
+        let xs: Vec<f64> = (0..500).map(|i| f64::from((i * 13) % 79)).collect();
         let mut n = NaiveVariance::new();
         let mut w = Welford::new();
         for &x in &xs {
@@ -196,8 +196,8 @@ mod tests {
         let mut n = NaiveVariance::new();
         let mut w = Welford::new();
         for i in 0..10_000 {
-            n.update(i as f64);
-            w.update(i as f64);
+            n.update(f64::from(i));
+            w.update(f64::from(i));
         }
         assert_eq!(w.state_bytes(), 24);
         assert_eq!(n.state_bytes(), 80_000);
@@ -207,7 +207,7 @@ mod tests {
     fn naive_cardinality_is_exact() {
         let mut c = NaiveCardinality::new();
         for i in 0..1000u32 {
-            c.update((i % 123) as f64);
+            c.update(f64::from(i % 123));
         }
         assert_eq!(c.cardinality(), 123);
     }
@@ -217,7 +217,7 @@ mod tests {
         let mut exact = NaiveCardinality::new();
         let mut sketch = HyperLogLog::new(10).unwrap();
         for i in 0..20_000u32 {
-            let v = (i % 5000) as f64;
+            let v = f64::from(i % 5000);
             exact.update(v);
             sketch.update(v);
         }
@@ -231,7 +231,7 @@ mod tests {
         let mut nd = NaiveDistribution::new();
         let mut h = Histogram::fixed(1.0, 128).unwrap();
         for i in 0..1000 {
-            let x = (i % 100) as f64;
+            let x = f64::from(i % 100);
             nd.update(x);
             h.update(x);
         }
@@ -255,7 +255,7 @@ mod tests {
         let mut nd = NaiveDistribution::new();
         let mut h = Histogram::fixed(10.0, 8).unwrap();
         for i in 0..500 {
-            let x = ((i * 7) % 90) as f64;
+            let x = f64::from((i * 7) % 90);
             nd.update(x);
             h.update(x);
         }

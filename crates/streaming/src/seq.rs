@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn sample_evenly_shapes() {
-        let seq: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let seq: Vec<f64> = (0..10).map(f64::from).collect();
         let s = sample_evenly(&seq, 5);
         assert_eq!(s, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
         assert_eq!(sample_evenly(&[], 3), vec![0.0; 3]);

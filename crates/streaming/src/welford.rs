@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn matches_two_pass_reference() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from((i * 37) % 101) * 0.5).collect();
         let mut w = Welford::new();
         update_all(&mut w, xs.iter().copied());
         let (m, v) = exact_mean_var(&xs);
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let xs: Vec<f64> = (0..500).map(|i| f64::from(i).sin() * 10.0).collect();
         let mut seq = Welford::new();
         update_all(&mut seq, xs.iter().copied());
 

@@ -99,7 +99,7 @@ mod tests {
         let mut sw = FeSwitch::new(c.switch).unwrap();
         let mut events = Vec::new();
         for i in 0..n_pkts {
-            let p = PacketRecord::tcp(i as u64 * 100, 200, i % 97 + 1, 1000, 2, 80);
+            let p = PacketRecord::tcp(u64::from(i) * 100, 200, i % 97 + 1, 1000, 2, 80);
             events.extend(sw.process(&p));
         }
         events.extend(sw.flush());

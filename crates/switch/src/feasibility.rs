@@ -1,0 +1,166 @@
+//! Switch-side feasibility diagnostics (`SF03xx`).
+//!
+//! Drives the static Tofino model in [`resources`](crate::resources) and
+//! turns the projected usage into [`Diagnostic`]s: an error per resource the
+//! program cannot fit (match tables, stateful ALUs, SRAM), and a warning per
+//! resource that fits but sits above the caller's headroom threshold. Every
+//! finding reports absolute usage *and* the utilization percentage, the way
+//! Table 4 of the paper does.
+
+use superfe_policy::analyze::{codes, Diagnostic};
+use superfe_policy::SwitchProgram;
+
+use crate::mgpv::MgpvConfig;
+use crate::resources::{model, SwitchResources, TofinoBudget};
+
+/// Checks `program` under cache configuration `cfg` against `budget`.
+///
+/// `headroom_pct` is the warning threshold: resources at or above this
+/// utilization (but still within budget) produce [`codes::SWITCH_HEADROOM`]
+/// warnings. The deployment gate uses 90%.
+pub fn check_switch(
+    program: &SwitchProgram,
+    cfg: &MgpvConfig,
+    budget: &TofinoBudget,
+    headroom_pct: f64,
+) -> Vec<Diagnostic> {
+    let used = model(program, cfg);
+    let mut out = Vec::new();
+    let resources = [
+        (
+            codes::SWITCH_TABLES_EXCEEDED,
+            "match tables",
+            used.tables as f64,
+            budget.tables as f64,
+            "simplify filters or drop a granularity level",
+        ),
+        (
+            codes::SWITCH_SALUS_EXCEEDED,
+            "stateful ALUs",
+            used.salus as f64,
+            budget.salus as f64,
+            "batch fewer metadata fields per packet",
+        ),
+        (
+            codes::SWITCH_SRAM_EXCEEDED,
+            "SRAM",
+            used.sram_bytes as f64,
+            budget.sram_bytes as f64,
+            "shrink the MGPV cache (short/long buffer counts or the FG table)",
+        ),
+    ];
+    for (code, name, used, budget, fix) in resources {
+        let pct = 100.0 * used / budget;
+        if used > budget {
+            out.push(
+                Diagnostic::error(
+                    code,
+                    format!(
+                        "switch {name}: program needs {used:.0} of {budget:.0} available \
+                         ({pct:.1}% utilization)"
+                    ),
+                )
+                .with_suggestion(fix),
+            );
+        } else if pct >= headroom_pct {
+            out.push(Diagnostic::warning(
+                codes::SWITCH_HEADROOM,
+                format!(
+                    "switch {name} at {pct:.1}% utilization ({used:.0} of {budget:.0}), above \
+                     the {headroom_pct:.0}% headroom threshold"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Convenience: the modeled usage alongside the diagnostics, for reporting.
+pub fn usage(program: &SwitchProgram, cfg: &MgpvConfig) -> SwitchResources {
+    model(program, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_policy::compile;
+    use superfe_policy::dsl::parse;
+
+    fn program(src: &str) -> SwitchProgram {
+        compile(&parse(src).unwrap()).unwrap().switch
+    }
+
+    fn kitsune_like() -> SwitchProgram {
+        program(
+            "pktstream\n.groupby(socket)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(size, [f_mean, f_var])\n.collect(socket)\n\
+             .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)\n\
+             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        )
+    }
+
+    #[test]
+    fn default_configuration_is_clean() {
+        let ds = check_switch(
+            &kitsune_like(),
+            &MgpvConfig::default(),
+            &TofinoBudget::default(),
+            90.0,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn oversized_cache_exceeds_sram_with_percentage() {
+        // 4M short-buffer slots at 4 bytes each (plus record overhead) blows
+        // through the 15 MiB SRAM budget by an order of magnitude.
+        let cfg = MgpvConfig {
+            short_count: 4_000_000,
+            ..MgpvConfig::default()
+        };
+        let ds = check_switch(&kitsune_like(), &cfg, &TofinoBudget::default(), 90.0);
+        let d = ds
+            .iter()
+            .find(|d| d.code == codes::SWITCH_SRAM_EXCEEDED)
+            .expect("SF0303 emitted");
+        assert!(d.message.contains("% utilization"), "{}", d.message);
+        assert!(d.suggestion.is_some());
+    }
+
+    #[test]
+    fn tight_budget_trips_every_resource() {
+        let budget = TofinoBudget {
+            tables: 10,
+            salus: 5,
+            sram_bytes: 1024,
+        };
+        let ds = check_switch(&kitsune_like(), &MgpvConfig::default(), &budget, 90.0);
+        assert!(ds.iter().any(|d| d.code == codes::SWITCH_TABLES_EXCEEDED));
+        assert!(ds.iter().any(|d| d.code == codes::SWITCH_SALUS_EXCEEDED));
+        assert!(ds.iter().any(|d| d.code == codes::SWITCH_SRAM_EXCEEDED));
+    }
+
+    #[test]
+    fn headroom_threshold_warns_without_error() {
+        // Kitsune-like salus sit in Table 4's ~70-80% band: a 50% threshold
+        // must warn, a 99% threshold must not.
+        let ds = check_switch(
+            &kitsune_like(),
+            &MgpvConfig::default(),
+            &TofinoBudget::default(),
+            50.0,
+        );
+        assert!(
+            ds.iter().any(|d| d.code == codes::SWITCH_HEADROOM),
+            "{ds:?}"
+        );
+        assert!(ds.iter().all(|d| d.code == codes::SWITCH_HEADROOM));
+        let quiet = check_switch(
+            &kitsune_like(),
+            &MgpvConfig::default(),
+            &TofinoBudget::default(),
+            99.0,
+        );
+        assert!(quiet.is_empty());
+    }
+}

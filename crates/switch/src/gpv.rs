@@ -149,7 +149,7 @@ mod tests {
     fn no_fg_updates_ever() {
         let mut bank = GpvBank::new(&[Granularity::Socket, Granularity::Host], cfg()).unwrap();
         for i in 0..100u32 {
-            let p = PacketRecord::tcp(i as u64, 100, i % 5 + 1, 1000, 2, 80);
+            let p = PacketRecord::tcp(u64::from(i), 100, i % 5 + 1, 1000, 2, 80);
             for e in bank.insert(&p) {
                 assert!(!matches!(e, SwitchEvent::FgUpdate(_)));
             }

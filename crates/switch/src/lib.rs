@@ -19,8 +19,12 @@
 //!   FG-update broadcast).
 //! - [`resources`]: a static resource model (match tables, stateful ALUs,
 //!   SRAM) of the generated P4 program against Tofino budgets (Table 4).
+//! - [`feasibility`]: the `SF03xx` diagnostics of `superfe check`, mapping
+//!   the resource model onto pass/warn/fail findings with utilization
+//!   percentages.
 
 pub mod balance;
+pub mod feasibility;
 pub mod gpv;
 pub mod mgpv;
 pub mod pipeline;
@@ -28,6 +32,7 @@ pub mod record;
 pub mod resources;
 
 pub use balance::NicLoadBalancer;
+pub use feasibility::check_switch;
 pub use gpv::GpvBank;
 pub use mgpv::{MgpvCache, MgpvConfig, MgpvStats};
 pub use pipeline::{CacheMode, FeSwitch, SwitchStats};

@@ -648,7 +648,7 @@ mod tests {
     fn flush_empties_cache() {
         let mut cache = MgpvCache::new(cfg_small()).unwrap();
         for i in 0..5u32 {
-            let p = pkt(i + 1, 100, 1000, i as u64);
+            let p = pkt(i + 1, 100, 1000, u64::from(i));
             let (cg, fg) = keys(&p);
             cache.insert(&p, cg, fg);
         }
@@ -668,7 +668,12 @@ mod tests {
         let mut evicted = 0usize;
         let n = 1000u32;
         for i in 0..n {
-            let p = pkt(i % 13 + 1, 200, (i % 7 + 1) as u16 * 100, i as u64 * 100);
+            let p = pkt(
+                i % 13 + 1,
+                200,
+                (i % 7 + 1) as u16 * 100,
+                u64::from(i) * 100,
+            );
             let (cg, fg) = keys(&p);
             for e in cache.insert(&p, cg, fg) {
                 if let SwitchEvent::Mgpv(m) = e {
@@ -756,7 +761,7 @@ mod tests {
         // far in the future so samples see the first entry as inactive.
         let p1 = pkt(1, 2, 1000, 0);
         cache.insert(&p1, Granularity::Host.key_of(&p1), None);
-        for i in 0..2 * SAMPLE_EVERY as u64 {
+        for i in 0..2 * u64::from(SAMPLE_EVERY) {
             let p = pkt(3, 4, 1000, 1_000_000 + i);
             cache.insert(&p, Granularity::Host.key_of(&p), None);
         }

@@ -140,7 +140,7 @@ impl FeSwitch {
     /// Processes a pre-parsed packet record.
     pub fn process(&mut self, p: &PacketRecord) -> Vec<SwitchEvent> {
         self.stats.pkts_in += 1;
-        self.stats.bytes_in += p.size as u64;
+        self.stats.bytes_in += u64::from(p.size);
 
         if let Some(pred) = &self.program.filter {
             if !eval_predicate(pred, p) {
@@ -198,15 +198,15 @@ pub fn eval_predicate(p: &Predicate, pkt: &PacketRecord) -> bool {
         Predicate::UdpExists => pkt.is_udp(),
         Predicate::Cmp { field, op, value } => {
             let lhs: u64 = match field {
-                Field::SrcIp => pkt.src_ip as u64,
-                Field::DstIp => pkt.dst_ip as u64,
-                Field::SrcPort => pkt.src_port as u64,
-                Field::DstPort => pkt.dst_port as u64,
-                Field::Proto => pkt.proto.number() as u64,
-                Field::Size => pkt.size as u64,
+                Field::SrcIp => u64::from(pkt.src_ip),
+                Field::DstIp => u64::from(pkt.dst_ip),
+                Field::SrcPort => u64::from(pkt.src_port),
+                Field::DstPort => u64::from(pkt.dst_port),
+                Field::Proto => u64::from(pkt.proto.number()),
+                Field::Size => u64::from(pkt.size),
                 Field::Tstamp => pkt.ts_ns,
-                Field::Direction => (pkt.direction == Direction::Ingress) as u64,
-                Field::TcpFlags => pkt.tcp_flags as u64,
+                Field::Direction => u64::from(pkt.direction == Direction::Ingress),
+                Field::TcpFlags => u64::from(pkt.tcp_flags),
                 Field::Named(_) => return false,
             };
             op.eval(lhs, *value)

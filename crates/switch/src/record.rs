@@ -55,7 +55,7 @@ impl MgpvRecord {
 
     /// Timestamp in nanoseconds (microsecond resolution).
     pub fn ts_ns(&self) -> u64 {
-        self.tstamp_us as u64 * 1_000
+        u64::from(self.tstamp_us) * 1_000
     }
 }
 

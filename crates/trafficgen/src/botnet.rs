@@ -87,7 +87,7 @@ pub fn generate(cfg: &BotnetConfig) -> BotnetDataset {
                 records.push(
                     PacketRecord::udp(
                         ts + jitter + rng.random_range(1_000_000..5_000_000u64),
-                        base_size - rng.random_range(0..16),
+                        base_size - rng.random_range(0..16u16),
                         peer,
                         dport,
                         bot,
@@ -179,7 +179,7 @@ mod tests {
             .records
             .iter()
             .filter(|r| r.src_ip == bot)
-            .map(|r| FiveTuple::of(r))
+            .map(FiveTuple::of)
             .collect();
         let f = *flows.iter().next().unwrap();
         let mut fts: Vec<u64> = d
@@ -204,10 +204,10 @@ mod tests {
         let (mut bot_sz, mut bot_n, mut ben_sz, mut ben_n) = (0u64, 0u64, 0u64, 0u64);
         for r in &d.trace.records {
             if d.bot_hosts.contains(&r.src_ip) || d.bot_hosts.contains(&r.dst_ip) {
-                bot_sz += r.size as u64;
+                bot_sz += u64::from(r.size);
                 bot_n += 1;
             } else {
-                ben_sz += r.size as u64;
+                ben_sz += u64::from(r.size);
                 ben_n += 1;
             }
         }

@@ -134,8 +134,8 @@ mod tests {
         let mut r = rng();
         let n = 50_000;
         let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
-        let mean = xs.iter().sum::<f64>() / n as f64;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mean = xs.iter().sum::<f64>() / f64::from(n);
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n);
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -146,7 +146,7 @@ mod tests {
         assert!((d.mean() - 104.0).abs() < 1e-9);
         let mut r = rng();
         let n = 200_000;
-        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / f64::from(n);
         assert!((mean - 104.0).abs() / 104.0 < 0.1, "sampled mean {mean}");
     }
 
@@ -173,7 +173,7 @@ mod tests {
         let d = Exponential::new(0.5).unwrap();
         let mut r = rng();
         let n = 100_000;
-        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / f64::from(n);
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!(Exponential::new(-1.0).is_none());
     }

@@ -70,7 +70,7 @@ pub fn write_trace(trace: &Trace, w: &mut impl Write) -> Result<(), TraceIoError
         buf.extend_from_slice(&r.dst_port.to_be_bytes());
         buf.push(r.proto.number());
         buf.push(r.tcp_flags);
-        buf.push((r.direction == Direction::Ingress) as u8);
+        buf.push(u8::from(r.direction == Direction::Ingress));
     }
     w.write_all(&buf)?;
     Ok(())

@@ -44,7 +44,7 @@ pub fn rescale_to_gbps(trace: &Trace, gbps: f64) -> Option<Trace> {
     if trace.is_empty() || gbps <= 0.0 {
         return None;
     }
-    let total_bits: f64 = trace.records.iter().map(|r| r.size as f64 * 8.0).sum();
+    let total_bits: f64 = trace.records.iter().map(|r| f64::from(r.size) * 8.0).sum();
     let target_duration_ns = total_bits / gbps; // bits / (Gb/s) = ns
     let first = trace.records.first().expect("non-empty").ts_ns;
     let last = trace.records.last().expect("non-empty").ts_ns;

@@ -72,7 +72,7 @@ pub fn generate(cfg: &WfConfig) -> WfDataset {
     let mut visits = Vec::new();
     let mut ts_base = 0u64;
 
-    for site in 0..cfg.sites {
+    for (site, signature) in signatures.iter().enumerate() {
         for _ in 0..cfg.visits_per_site {
             let client: u32 = 0x0A00_0000 | rng.random_range(1..0x00FF_FFFFu32);
             let server: u32 = 0xC0A8_0000u32.wrapping_add(site as u32 * 7 + 1) | 0x2000_0000;
@@ -88,7 +88,7 @@ pub fn generate(cfg: &WfConfig) -> WfDataset {
             .0;
 
             let mut ts = ts_base + rng.random_range(0..5_000_000u64);
-            for &obj in &signatures[site] {
+            for &obj in signature {
                 // Request: 1-2 small egress packets.
                 for _ in 0..rng.random_range(1..3u32) {
                     records.push(
@@ -106,7 +106,7 @@ pub fn generate(cfg: &WfConfig) -> WfDataset {
                 }
                 // Response: ceil(obj/1448) ingress MTU packets with ±5% size noise.
                 let jitter = 1.0 + (rng.random::<f64>() - 0.5) * 0.1;
-                let body = (obj as f64 * jitter) as u32;
+                let body = (f64::from(obj) * jitter) as u32;
                 let full = body / 1448;
                 for _ in 0..full {
                     records.push(

@@ -275,7 +275,7 @@ impl Trace {
         let mut total_bytes = 0u64;
         for r in &self.records {
             flows.insert(FiveTuple::of(r).canonical().0);
-            total_bytes += r.size as u64;
+            total_bytes += u64::from(r.size);
         }
         let packets = self.records.len();
         let nflows = flows.len().max(1);

@@ -1,0 +1,86 @@
+//! Property-based tests of the static analyzer: on any policy the
+//! validator and compiler accept, the analyzer must not report errors under
+//! the default deployment configuration (warnings and notes are allowed —
+//! they flag style and capacity pressure, not infeasibility), and analysis
+//! must never panic, even on invalid policies.
+
+use proptest::prelude::*;
+
+use superfe::policy::analyze::{analyze_policy, Severity};
+use superfe::policy::validate::validate;
+use superfe::policy::{compile, dsl};
+use superfe::{analyze, AnalyzeConfig};
+
+/// A generator of *valid* single-level policies (the same space as
+/// `tests/policy_properties.rs`).
+fn valid_policy_source() -> impl Strategy<Value = String> {
+    let gran = prop_oneof![Just("flow"), Just("host"), Just("channel"), Just("socket")];
+    let filt = prop_oneof![
+        Just(""),
+        Just(".filter(tcp.exist)\n"),
+        Just(".filter(udp.exist or dstport == 53)\n"),
+        Just(".filter(size > 100 and not (srcport == 22))\n"),
+    ];
+    let reduce = prop_oneof![
+        Just("[f_sum]"),
+        Just("[f_mean, f_var]"),
+        Just("[f_min, f_max, f_std]"),
+        Just("[ft_hist{100, 16}]"),
+        Just("[f_card{8}]"),
+        Just("[f_skew, f_kur]"),
+        Just("[f_damped{1}]"),
+    ];
+    (gran, filt, reduce, proptest::bool::ANY).prop_map(|(g, f, r, with_ipt)| {
+        let mapline = if with_ipt {
+            ".map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean])\n.collect(GRAN)\n"
+        } else {
+            ""
+        };
+        format!(
+            "pktstream\n{f}.groupby({g})\n{}\n.reduce(size, {r})\n.collect({g})",
+            mapline.replace("GRAN", g)
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Accepted policies never produce analyzer *errors* under the default
+    /// budget: the analyzer is strictly more permissive than validate+compile
+    /// at the error severity for policies the default hardware can host.
+    #[test]
+    fn accepted_policies_have_no_analyzer_errors(src in valid_policy_source()) {
+        let policy = dsl::parse(&src).expect("generated policy is valid");
+        validate(&policy).expect("validates");
+        compile(&policy).expect("compiles");
+        let report = analyze(&policy, &AnalyzeConfig::default());
+        prop_assert!(
+            !report.has_errors(),
+            "analyzer errored on an accepted policy:\n{}\n{}",
+            src,
+            report.render()
+        );
+    }
+
+    /// The structural pass and `validate` agree exactly on accept/reject.
+    #[test]
+    fn structural_pass_agrees_with_validate(src in valid_policy_source()) {
+        let policy = dsl::parse(&src).expect("generated policy is valid");
+        let report = analyze_policy(&policy);
+        let structural_errors = report
+            .of_severity(Severity::Error)
+            .any(|d| d.code.starts_with("SF01"));
+        prop_assert_eq!(validate(&policy).is_err(), structural_errors);
+    }
+
+    /// Whatever bytes parse into a policy, analysis must not panic.
+    #[test]
+    fn analyzer_never_panics(src in "[ -~\n]{0,200}") {
+        if let Ok(policy) = dsl::parse(&src) {
+            let report = analyze(&policy, &AnalyzeConfig::default());
+            // Rendering exercises every diagnostic's Display path.
+            let _ = report.render();
+        }
+    }
+}

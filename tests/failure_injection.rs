@@ -24,7 +24,7 @@ fn events_for(c: &CompiledPolicy, n: u32) -> Vec<SwitchEvent> {
     let mut events = Vec::new();
     for i in 0..n {
         let p = PacketRecord::tcp(
-            i as u64 * 1_000,
+            u64::from(i) * 1_000,
             100,
             i % 23 + 1,
             1000 + (i % 5) as u16,

@@ -61,8 +61,15 @@ fn run_cache(cfg: MgpvConfig, specs: &[PktSpec]) -> (Vec<SwitchEvent>, usize) {
     let mut events = Vec::new();
     let mut ts = 0u64;
     for s in specs {
-        ts += s.gap_us as u64 * 1_000;
-        let p = PacketRecord::tcp(ts, s.size, s.host as u32 + 1, 1000 + s.port as u16, 99, 443);
+        ts += u64::from(s.gap_us) * 1_000;
+        let p = PacketRecord::tcp(
+            ts,
+            s.size,
+            u32::from(s.host) + 1,
+            1000 + u16::from(s.port),
+            99,
+            443,
+        );
         let cg = Granularity::Host.key_of(&p);
         let fg = if cfg.fg_table_size > 0 {
             Some(Granularity::Socket.key_of(&p))

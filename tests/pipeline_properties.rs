@@ -46,23 +46,23 @@ fn to_packets(specs: &[Spec]) -> Vec<PacketRecord> {
     specs
         .iter()
         .map(|s| {
-            ts += s.gap_us as u64 * 1_000; // µs-aligned: truncation-lossless
+            ts += u64::from(s.gap_us) * 1_000; // µs-aligned: truncation-lossless
             let mut p = if s.udp {
                 PacketRecord::udp(
                     ts,
                     s.size,
-                    s.host as u32 + 1,
-                    1000 + s.port as u16,
-                    s.dst as u32 + 100,
+                    u32::from(s.host) + 1,
+                    1000 + u16::from(s.port),
+                    u32::from(s.dst) + 100,
                     443,
                 )
             } else {
                 PacketRecord::tcp(
                     ts,
                     s.size,
-                    s.host as u32 + 1,
-                    1000 + s.port as u16,
-                    s.dst as u32 + 100,
+                    u32::from(s.host) + 1,
+                    1000 + u16::from(s.port),
+                    u32::from(s.dst) + 100,
                     443,
                 )
             };

@@ -14,7 +14,7 @@ fn states_strategy() -> impl Strategy<Value = Vec<StateSpec>> {
             .map(|(i, (bytes, t))| StateSpec {
                 name: format!("s{i}"),
                 bytes,
-                accesses_per_pkt: t as f64,
+                accesses_per_pkt: f64::from(t),
             })
             .collect()
     })
@@ -137,11 +137,11 @@ proptest! {
         let mut a = HyperLogLog::new(8).expect("valid");
         let mut b = HyperLogLog::new(8).expect("valid");
         for (i, &x) in xs.iter().enumerate() {
-            ab.update(x as f64);
+            ab.update(f64::from(x));
             if i < split {
-                a.update(x as f64);
+                a.update(f64::from(x));
             } else {
-                b.update(x as f64);
+                b.update(f64::from(x));
             }
         }
         let mut ba = b.clone();

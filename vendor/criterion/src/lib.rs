@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the 0.5 API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a plain wall-clock
+//! harness. Each benchmark runs a short warm-up, then `sample_size` timed
+//! samples, and prints the median time per iteration (plus throughput when
+//! configured). No statistics beyond that, no HTML reports, no plotting.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every routine
+/// invocation individually, so the hint only exists for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work performed per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: aim for samples of roughly 5 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        // One warm-up invocation.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median nanoseconds per single iteration.
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ns[ns.len() / 2]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<48} {:>12}/iter", human_time(median_ns));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median_ns > 0.0 {
+            let rate = count as f64 / (median_ns / 1e9);
+            line.push_str(&format!("  {rate:>14.0} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.into());
+        report(&full, b.median_ns(), self.throughput);
+        self
+    }
+
+    /// Ends the group (a no-op in the stand-in; consumes the group like the
+    /// real API).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.effective_sample_size(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.effective_sample_size());
+        f(&mut b);
+        report(&id.into(), b.median_ns(), None);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group unless invoked with `--list` or
+/// `--test` (the flags cargo's harness protocol may pass).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            // `cargo test` invokes bench binaries with `--test`; compile-check
+            // only, to keep the test cycle fast.
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher::new(5);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(17));
+            acc
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| {
+            b.iter_batched(|| 1u32, |x| black_box(x + 1), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(1.0).contains("ns"));
+        assert!(human_time(2e3).contains("µs"));
+        assert!(human_time(2e6).contains("ms"));
+        assert!(human_time(2e9).contains("s"));
+    }
+}

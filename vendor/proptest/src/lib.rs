@@ -1,0 +1,170 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build image cannot reach a crates.io registry, so the real `proptest`
+//! is unavailable. This crate re-implements the subset of its API that the
+//! workspace's property tests use: the [`Strategy`] trait (ranges, tuples,
+//! `Just`, mapped strategies, vectors, booleans, and a mini character-class
+//! regex for strings), the [`proptest!`] test macro with
+//! `#![proptest_config(...)]` support, and the `prop_assert!` family.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   rendered via `Debug`, un-minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its own
+//!   name, so failures reproduce exactly across runs and machines.
+//! - **Regex strategies** support only character classes with ranges and a
+//!   `{m,n}` repetition suffix — the forms the workspace uses.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Vector-of-strategy combinators (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `elem` values with lengths drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(elem, size.into())
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::BoolAny;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let strategies = ($($strat,)+);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let case_desc = {
+                    let mut d = ::std::string::String::new();
+                    $(d.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)+
+                    d
+                };
+                let outcome = (|| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(16).max(256),
+                            "{}: too many prop_assume rejections", stringify!($name)
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{} failed on case {}: {}\ninputs:\n{}",
+                            stringify!($name), accepted, msg, case_desc
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Chooses uniformly among the listed strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($(|)? $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Like `assert!`, but fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Discards the current case (it counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
