@@ -28,4 +28,18 @@ fi
 step "cargo test (workspace)"
 cargo test -q --workspace
 
+step "superfe check (bundled policies + examples)"
+# Every bundled application policy and every example .sfe file must pass the
+# full static analyzer — structural lints, dataflow lints, the SF05xx
+# value-range/overflow proofs, and hardware feasibility. `check` exits
+# non-zero on any error-severity finding.
+cargo build -q -p superfe-cli
+superfe=target/debug/superfe
+for p in cumul awf df tf peershark n-baiot mptd npod helad kitsune; do
+  "$superfe" check "$p" >/dev/null || { echo "ci: superfe check $p failed"; exit 1; }
+done
+for f in examples/*.sfe; do
+  "$superfe" check "$f" >/dev/null || { echo "ci: superfe check $f failed"; exit 1; }
+done
+
 printf '\nci: all checks passed\n'

@@ -322,6 +322,30 @@ mod tests {
     }
 
     #[test]
+    fn all_policies_are_overflow_clean_at_default_config() {
+        // The `SF05xx` value analysis must prove every bundled policy free
+        // of sALU overflow and Q16 saturation at the default batch size
+        // (10k packets/group) and aging horizon (25 ms). A single SF05xx
+        // finding here means either the policy or the default deployment
+        // parameters are wrong for real hardware.
+        let cfg = superfe_core::AnalyzeConfig::default();
+        for app in all_apps() {
+            let report = superfe_core::analyze(&app.policy(), &cfg);
+            let value_findings: Vec<_> = report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code.starts_with("SF05"))
+                .collect();
+            assert!(
+                value_findings.is_empty(),
+                "{} has value-analysis findings: {:?}",
+                app.name,
+                value_findings
+            );
+        }
+    }
+
+    #[test]
     fn wf_trio_shares_representation() {
         assert_eq!(AWF, DF);
         assert_eq!(AWF, TF);

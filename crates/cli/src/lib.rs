@@ -4,6 +4,7 @@
 //! superfe apps                          # list the built-in Table 3 policies
 //! superfe show <policy>                 # print a policy's source
 //! superfe check <policy> [options]      # static analysis: lints + feasibility
+//! superfe explain <policy> [options]    # cost model, overflow proofs, rewrites
 //! superfe compile <policy>              # show the switch/NIC split + resources
 //! superfe run <policy> [options]        # extract features from a synthetic trace
 //!
@@ -21,6 +22,12 @@
 //!   --headroom PCT                      warn above this utilization [90]
 //!   --cache-slots N                     switch short-buffer slots [16384]
 //!   --groups N                          concurrent groups per level [5000]
+//!   --format text|json                  output rendering [text]
+//!
+//! explain options:
+//!   --groups N                          concurrent groups per level [5000]
+//!   --group-packets N                   batch bound for overflow proofs [10000]
+//!   --format text|json                  output rendering [text]
 //! ```
 //!
 //! `check` exits non-zero when any error-severity diagnostic is found, so it
@@ -33,7 +40,11 @@ use std::fmt::Write as _;
 
 use superfe_apps::all_apps;
 use superfe_core::{analyze, AnalyzeConfig, SuperFe};
-use superfe_nic::{resources as nic_resources, solve_placement, CycleModel, NfpModel, OptFlags};
+use superfe_nic::{
+    cycles_from_cost, resources as nic_resources, solve_placement, CycleModel, NfpModel, OptFlags,
+};
+use superfe_policy::analyze::cost::policy_cost;
+use superfe_policy::ir::opt::optimize;
 use superfe_policy::{compile, dsl, Policy};
 use superfe_switch::{resources as switch_resources, MgpvConfig, TofinoBudget};
 use superfe_trafficgen::{Workload, WorkloadPreset};
@@ -63,6 +74,20 @@ pub enum Command {
         cache_slots: Option<usize>,
         /// Expected concurrent groups per granularity level.
         groups: usize,
+        /// Output rendering.
+        format: OutputFormat,
+    },
+    /// Explain a policy: typed IR, value-range proofs, static cost model,
+    /// optimizer rewrites, and a pre-placement cycle estimate.
+    Explain {
+        /// Built-in name or file path.
+        policy: String,
+        /// Expected concurrent groups per granularity level.
+        groups: usize,
+        /// Per-group packet batch bound for the overflow proofs.
+        group_packets: u64,
+        /// Output rendering.
+        format: OutputFormat,
     },
     /// Run a policy over a synthetic trace.
     Run {
@@ -89,18 +114,55 @@ pub enum Command {
 
 /// Errors surfaced to the user.
 #[derive(Clone, Debug, PartialEq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// The text to print.
+    pub message: String,
+    /// When set, `message` is machine-readable output (the `--format json`
+    /// rendering of a failing report) that belongs on stdout so scripts can
+    /// parse it; prose errors go to stderr.
+    pub machine: bool,
+}
+
+impl CliError {
+    /// A prose (stderr) error.
+    pub fn text(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            machine: false,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::text(msg)
+}
+
+/// Output format of the analysis commands (`check`, `explain`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// A single JSON object for machine consumption.
+    Json,
+}
+
+fn parse_format(s: &str) -> Result<OutputFormat, CliError> {
+    match s {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(err(format!(
+            "--format expects 'text' or 'json', got '{other}'"
+        ))),
+    }
 }
 
 /// Parses argv (without the program name).
@@ -131,6 +193,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut headroom = 90.0f64;
             let mut cache_slots = None;
             let mut groups = 5_000usize;
+            let mut format = OutputFormat::Text;
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -155,6 +218,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|_| err("--groups expects an integer"))?;
                     }
+                    "--format" => format = parse_format(&value()?)?,
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
@@ -163,6 +227,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 headroom,
                 cache_slots,
                 groups,
+                format,
+            })
+        }
+        "explain" => {
+            let policy = it
+                .next()
+                .ok_or_else(|| err("usage: superfe explain <policy> [options]"))?
+                .clone();
+            let mut groups = 5_000usize;
+            let mut group_packets = 10_000u64;
+            let mut format = OutputFormat::Text;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--groups" => {
+                        groups = value()?
+                            .parse()
+                            .map_err(|_| err("--groups expects an integer"))?;
+                    }
+                    "--group-packets" => {
+                        group_packets = value()?
+                            .parse()
+                            .map_err(|_| err("--group-packets expects an integer"))?;
+                    }
+                    "--format" => format = parse_format(&value()?)?,
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Explain {
+                policy,
+                groups,
+                group_packets,
+                format,
             })
         }
         "run" => {
@@ -271,6 +372,8 @@ pub fn usage() -> String {
      \x20 superfe apps                       list built-in Table 3 policies\n\
      \x20 superfe show <policy>              print a policy's DSL source\n\
      \x20 superfe check <policy> [options]   static analysis: lints + feasibility\n\
+     \x20 superfe explain <policy> [options] typed IR, cost model, overflow proofs,\n\
+     \x20                                    optimizer rewrites, cycle estimate\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
      \n\
@@ -280,6 +383,13 @@ pub fn usage() -> String {
      \x20 --headroom PCT                     warn above this utilization [90]\n\
      \x20 --cache-slots N                    switch short-buffer slots [16384]\n\
      \x20 --groups N                         concurrent groups per level [5000]\n\
+     \x20 --format text|json                 output rendering [text]\n\
+     \n\
+     explain options:\n\
+     \x20 --groups N                         concurrent groups per level [5000]\n\
+     \x20 --group-packets N                  per-group batch bound for overflow\n\
+     \x20                                    proofs [10000]\n\
+     \x20 --format text|json                 output rendering [text]\n\
      \n\
      run options:\n\
      \x20 --trace mawi|enterprise|campus     workload preset       [enterprise]\n\
@@ -290,6 +400,129 @@ pub fn usage() -> String {
      \x20 --save-trace PATH                  save the generated trace (SFET)\n\
      \x20 --load-trace PATH                  replay a saved trace instead\n"
         .to_string()
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `superfe explain` command: static cost model, value-range proofs,
+/// optimizer rewrites, and a pre-placement cycle estimate for one policy.
+fn explain(
+    policy: &str,
+    groups: usize,
+    group_packets: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let (_, p) = resolve_policy(policy)?;
+    let cfg = AnalyzeConfig {
+        groups,
+        group_packets,
+        ..AnalyzeConfig::default()
+    };
+    let vc = cfg.value_config();
+    let report = analyze(&p, &cfg);
+    let cost = policy_cost(&p);
+    let optimized = optimize(&p, &vc);
+    let est = cycles_from_cost(&cost, &cfg.nfp, OptFlags::all_on());
+    let gbps = est.gbps(120, &cfg.nfp, 1246.0);
+
+    if format == OutputFormat::Json {
+        let rewrites: Vec<String> = optimized
+            .rewrites
+            .iter()
+            .map(|r| format!("\"{}\"", json_str(&r.to_string())))
+            .collect();
+        return Ok(format!(
+            "{{\"policy\":\"{}\",\"feature_dimension\":{},\"cost\":{{\
+             \"filter_entries\":{},\"total_alu_ops\":{},\"total_divisions\":{},\
+             \"total_touched_bytes\":{},\"total_resident_bytes\":{},\"level_count\":{}}},\
+             \"value_config\":{{\"group_packets\":{},\"aging_t_ns\":{},\"acc_bits\":{}}},\
+             \"report\":{},\"rewrites\":[{}],\"ops_before\":{},\"ops_after\":{},\
+             \"cycles_per_record\":{:.1},\"gbps_at_120_cores\":{:.2}}}\n",
+            json_str(policy),
+            cost.feature_dimension(),
+            cost.filter_entries,
+            cost.total_alu_ops(),
+            cost.total_divisions(),
+            cost.total_touched_bytes(),
+            cost.total_resident_bytes(),
+            cost.levels.len(),
+            vc.group_packets,
+            vc.aging_t_ns,
+            vc.acc_bits,
+            report.render_json(),
+            rewrites.join(","),
+            p.ops.len(),
+            optimized.policy.ops.len(),
+            est.cycles_per_record,
+            gbps,
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(out, "explaining {policy}").expect("write");
+    out.push_str(&cost.render());
+    writeln!(
+        out,
+        "value analysis: batches of {} pkt/group, {} ms aging, {}-bit sALU accumulators",
+        vc.group_packets,
+        vc.aging_t_ns / 1_000_000,
+        vc.acc_bits
+    )
+    .expect("write");
+    let findings: Vec<&superfe_policy::Diagnostic> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code.starts_with("SF05") || d.code.starts_with("SF06"))
+        .collect();
+    if findings.is_empty() {
+        writeln!(
+            out,
+            "  all accumulators proven in range; no value or cost findings"
+        )
+        .expect("write");
+    } else {
+        for d in findings {
+            writeln!(out, "  {d}").expect("write");
+        }
+    }
+    writeln!(out, "optimizer rewrites:").expect("write");
+    if optimized.rewrites.is_empty() {
+        writeln!(out, "  none applicable").expect("write");
+    } else {
+        for r in &optimized.rewrites {
+            writeln!(out, "  - {r}").expect("write");
+        }
+        writeln!(
+            out,
+            "  {} op(s) before, {} after",
+            p.ops.len(),
+            optimized.policy.ops.len()
+        )
+        .expect("write");
+    }
+    writeln!(
+        out,
+        "cycle estimate (pre-placement, CTM-resident): {:.0} cycles/record \
+         → {:.1} Gbps at 120 cores (1246 B packets)",
+        est.cycles_per_record, gbps
+    )
+    .expect("write");
+    Ok(out)
 }
 
 /// Executes a command, returning the text to print.
@@ -326,6 +559,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             headroom,
             cache_slots,
             groups,
+            format,
         } => {
             let p = resolve_policy_unchecked(&policy)?;
             let mut cfg = AnalyzeConfig {
@@ -337,14 +571,27 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 cfg.cache.short_count = slots;
             }
             let report = analyze(&p, &cfg);
-            let text = format!("checking {policy}\n{}", report.render());
+            let text = match format {
+                OutputFormat::Text => format!("checking {policy}\n{}", report.render()),
+                OutputFormat::Json => format!("{}\n", report.render_json()),
+            };
             if report.has_errors() {
-                // Non-zero exit: main prints CliError to stderr and fails.
-                Err(CliError(text))
+                // Non-zero exit: main prints machine output to stdout and
+                // prose to stderr, failing either way.
+                Err(CliError {
+                    message: text,
+                    machine: format == OutputFormat::Json,
+                })
             } else {
                 Ok(text)
             }
         }
+        Command::Explain {
+            policy,
+            groups,
+            group_packets,
+            format,
+        } => explain(&policy, groups, group_packets, format),
         Command::Compile { policy } => {
             let (_, p) = resolve_policy(&policy)?;
             let compiled = compile(&p).map_err(|e| err(e.to_string()))?;
@@ -604,11 +851,32 @@ mod tests {
                 headroom: 75.0,
                 cache_slots: Some(99),
                 groups: 500,
+                format: OutputFormat::Text,
             }
         );
         assert!(parse_args(&args("check")).is_err());
         assert!(parse_args(&args("check x --headroom abc")).is_err());
         assert!(parse_args(&args("check x --frob 1")).is_err());
+        assert!(parse_args(&args("check x --format yaml")).is_err());
+    }
+
+    #[test]
+    fn parses_explain_options() {
+        let c = parse_args(&args(
+            "explain kitsune --groups 100 --group-packets 50000 --format json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Explain {
+                policy: "kitsune".into(),
+                groups: 100,
+                group_packets: 50_000,
+                format: OutputFormat::Json,
+            }
+        );
+        assert!(parse_args(&args("explain")).is_err());
+        assert!(parse_args(&args("explain x --group-packets abc")).is_err());
     }
 
     fn check(policy: &str) -> Command {
@@ -617,6 +885,7 @@ mod tests {
             headroom: 90.0,
             cache_slots: None,
             groups: 5_000,
+            format: OutputFormat::Text,
         }
     }
 
@@ -648,10 +917,12 @@ mod tests {
             headroom: 90.0,
             cache_slots: Some(4_000_000),
             groups: 10_000,
+            format: OutputFormat::Text,
         };
         let e = execute(cmd).unwrap_err();
-        assert!(e.0.contains("SF0303"), "{e}");
-        assert!(e.0.contains("% utilization"), "{e}");
+        assert!(!e.machine);
+        assert!(e.message.contains("SF0303"), "{e}");
+        assert!(e.message.contains("% utilization"), "{e}");
     }
 
     #[test]
@@ -678,9 +949,86 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("no_collect.sfe");
         std::fs::write(&path, "pktstream\n.groupby(flow)\n.reduce(size, [f_mean])").unwrap();
-        let CliError(text) = execute(check(path.to_str().unwrap())).unwrap_err();
-        assert!(text.contains("SF0103"), "{text}");
-        assert!(text.contains("SF0104"), "{text}");
+        let e = execute(check(path.to_str().unwrap())).unwrap_err();
+        assert!(e.message.contains("SF0103"), "{e}");
+        assert!(e.message.contains("SF0104"), "{e}");
+    }
+
+    #[test]
+    fn check_json_format_emits_machine_output() {
+        let cmd = Command::Check {
+            policy: "kitsune".into(),
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+            format: OutputFormat::Json,
+        };
+        let out = execute(cmd).unwrap();
+        assert!(out.starts_with("{\"errors\":0"), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        // A failing check in JSON mode keeps the JSON on stdout.
+        let cmd = Command::Check {
+            policy: "kitsune".into(),
+            headroom: 90.0,
+            cache_slots: Some(4_000_000),
+            groups: 10_000,
+            format: OutputFormat::Json,
+        };
+        let e = execute(cmd).unwrap_err();
+        assert!(e.machine);
+        assert!(e.message.contains("\"code\":\"SF0303\""), "{e}");
+    }
+
+    #[test]
+    fn check_rejects_overflowing_policy_with_sf05_error() {
+        // The acceptance case for the value analysis: a policy that provably
+        // overflows a 32-bit sALU sum accumulator within one batch must be
+        // rejected, and the diagnostic must name the reducer and the width.
+        let dir = std::env::temp_dir().join("superfe_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overflow.sfe");
+        // tstamp is µs-scaled 32-bit metadata on the switch: summing it over
+        // a 10k-packet batch can reach ~4.29e9 µs × 10_000 ≫ 2^32.
+        std::fs::write(
+            &path,
+            "pktstream\n.groupby(flow)\n.reduce(tstamp, [f_sum])\n.collect(flow)",
+        )
+        .unwrap();
+        let e = execute(check(path.to_str().unwrap())).unwrap_err();
+        assert!(!e.machine);
+        assert!(e.message.contains("SF0501"), "{e}");
+        assert!(e.message.contains("f_sum"), "{e}");
+        assert!(e.message.contains("32-bit"), "{e}");
+    }
+
+    #[test]
+    fn explain_renders_cost_and_rewrites() {
+        let out = execute(Command::Explain {
+            policy: "kitsune".into(),
+            groups: 5_000,
+            group_packets: 10_000,
+            format: OutputFormat::Text,
+        })
+        .unwrap();
+        assert!(out.contains("cost model (per packet):"), "{out}");
+        assert!(out.contains("value analysis:"), "{out}");
+        assert!(out.contains("optimizer rewrites:"), "{out}");
+        assert!(out.contains("cycles/record"), "{out}");
+    }
+
+    #[test]
+    fn explain_json_is_an_object() {
+        let out = execute(Command::Explain {
+            policy: "tf".into(),
+            groups: 5_000,
+            group_packets: 10_000,
+            format: OutputFormat::Json,
+        })
+        .unwrap();
+        assert!(out.starts_with("{\"policy\":\"tf\""), "{out}");
+        assert!(out.contains("\"cycles_per_record\":"), "{out}");
+        assert!(out.contains("\"report\":{\"errors\":0"), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
     }
 
     #[test]

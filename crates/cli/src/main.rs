@@ -10,7 +10,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("superfe: {e}");
+            if e.machine {
+                // Machine-readable output (--format json) stays on stdout so
+                // scripts can parse the failing report; the exit code alone
+                // signals failure.
+                print!("{}", e.message);
+            } else {
+                eprintln!("superfe: {e}");
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,16 +1,18 @@
 //! Whole-pipeline static analysis: the engine behind `superfe check`.
 //!
 //! `superfe-policy` owns the policy-level passes (structural `SF01xx`,
-//! dataflow `SF02xx`); the switch and NIC crates own their hardware
-//! feasibility passes (`SF03xx`, `SF04xx`). This module runs all four
-//! against one policy and one deployment configuration, producing a single
-//! [`AnalysisReport`] — and the deployment pipeline refuses to deploy when
-//! that report contains errors.
+//! dataflow `SF02xx`, value-range/overflow `SF05xx`, static cost `SF06xx`);
+//! the switch and NIC crates own their hardware feasibility passes
+//! (`SF03xx`, `SF04xx`). This module runs all of them against one policy
+//! and one deployment configuration — the value analysis parameterized by
+//! the deployment's batch size, aging horizon, and sALU register width —
+//! producing a single [`AnalysisReport`]; the deployment pipeline refuses
+//! to deploy when that report contains errors.
 
 use superfe_nic::{check_nic, NfpModel};
-use superfe_policy::analyze::{analyze_policy, AnalysisReport};
-use superfe_policy::{compile, Policy};
-use superfe_switch::resources::TofinoBudget;
+use superfe_policy::analyze::{analyze_policy_with, AnalysisReport};
+use superfe_policy::{compile, Policy, ValueConfig};
+use superfe_switch::resources::{TofinoBudget, SALU_REG_BITS};
 use superfe_switch::{check_switch, MgpvConfig};
 
 /// Everything the hardware feasibility passes need to know about the
@@ -31,6 +33,10 @@ pub struct AnalyzeConfig {
     pub groups: usize,
     /// Group-table width (entries per 64-byte bucket) for the placement ILP.
     pub table_width: usize,
+    /// Upper bound on packets one group accumulates between MGPV evictions.
+    /// The `SF05xx` value analysis proves switch accumulators cannot
+    /// overflow within a batch of this size.
+    pub group_packets: u64,
 }
 
 impl Default for AnalyzeConfig {
@@ -42,7 +48,24 @@ impl Default for AnalyzeConfig {
             headroom_pct: 90.0,
             groups: 5_000,
             table_width: 1,
+            group_packets: 10_000,
         }
+    }
+}
+
+impl AnalyzeConfig {
+    /// The value-analysis parameters implied by this deployment: batch size,
+    /// the cache's aging horizon, and the switch sALU register width.
+    pub fn value_config(&self) -> ValueConfig {
+        let mut vc = ValueConfig {
+            group_packets: self.group_packets,
+            acc_bits: SALU_REG_BITS,
+            ..ValueConfig::default()
+        };
+        if let Some(aging) = self.cache.aging_t_ns {
+            vc.aging_t_ns = aging;
+        }
+        vc
     }
 }
 
@@ -53,7 +76,7 @@ impl Default for AnalyzeConfig {
 /// against the split program. Structural errors short-circuit — there is no
 /// program to model.
 pub fn analyze(policy: &Policy, cfg: &AnalyzeConfig) -> AnalysisReport {
-    let mut report = analyze_policy(policy);
+    let mut report = analyze_policy_with(policy, &cfg.value_config());
     if report.has_errors() {
         return report;
     }

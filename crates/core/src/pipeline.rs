@@ -14,6 +14,11 @@ pub struct SuperFeConfig {
     pub cache: MgpvConfig,
     /// Cache architecture (MGPV, or the GPV baseline).
     pub mode: CacheMode,
+    /// Run the analysis-gated optimizer (filter pushdown, map fusion, dead
+    /// field elimination) before compiling. Off by default: the rewrites are
+    /// output-preserving, but deployments that want the policy on the wire
+    /// to match the policy in the file byte-for-byte can keep it that way.
+    pub optimize: bool,
 }
 
 impl Default for SuperFeConfig {
@@ -21,6 +26,7 @@ impl Default for SuperFeConfig {
         SuperFeConfig {
             cache: MgpvConfig::default(),
             mode: CacheMode::Mgpv,
+            optimize: false,
         }
     }
 }
@@ -68,14 +74,19 @@ impl SuperFe {
     /// [`PolicyError::Infeasible`] with the rendered report instead of
     /// deploying a program the target could not actually run.
     pub fn with_config(policy: &Policy, cfg: SuperFeConfig) -> Result<Self, PolicyError> {
+        let analyze_cfg = crate::analyze::AnalyzeConfig {
+            cache: cfg.cache,
+            ..crate::analyze::AnalyzeConfig::default()
+        };
+        let optimized;
+        let policy = if cfg.optimize {
+            optimized = superfe_policy::ir::opt::optimize(policy, &analyze_cfg.value_config());
+            &optimized.policy
+        } else {
+            policy
+        };
         let compiled = compile(policy)?;
-        let report = crate::analyze::analyze(
-            policy,
-            &crate::analyze::AnalyzeConfig {
-                cache: cfg.cache,
-                ..crate::analyze::AnalyzeConfig::default()
-            },
-        );
+        let report = crate::analyze::analyze(policy, &analyze_cfg);
         if report.has_errors() {
             return Err(PolicyError::Infeasible(report.render()));
         }
@@ -212,6 +223,51 @@ pktstream
             }
             other => panic!("expected Infeasible, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn optimized_deployment_matches_unoptimized() {
+        // A tautological filter plus a fusable f_one/f_direction pair: the
+        // optimizer rewrites both, and the extraction must not change.
+        let src = "pktstream\n.filter(size <= 65535)\n.groupby(flow)\n\
+                   .map(one, _, f_one)\n.map(d, one, f_direction)\n\
+                   .reduce(d, [f_sum])\n.reduce(one, [f_sum])\n.collect(flow)";
+        let policy = superfe_policy::dsl::parse(src).unwrap();
+        let run = |optimize: bool| {
+            let mut fe = SuperFe::with_config(
+                &policy,
+                SuperFeConfig {
+                    optimize,
+                    ..SuperFeConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..200u64 {
+                fe.push(&PacketRecord::tcp(
+                    i * 1000,
+                    100 + i as u16,
+                    (i % 5) as u32,
+                    1,
+                    2,
+                    2,
+                ));
+            }
+            let mut out = fe.finish().group_vectors;
+            out.sort_by_key(|v| format!("{:?}", v.key));
+            out.into_iter()
+                .map(|v| (format!("{:?}", v.key), v.values))
+                .collect::<Vec<_>>()
+        };
+        let plain = run(false);
+        let opt = run(true);
+        assert_eq!(plain, opt);
+        // And the optimizer really did rewrite something.
+        let o = superfe_policy::ir::opt::optimize(
+            &policy,
+            &crate::analyze::AnalyzeConfig::default().value_config(),
+        );
+        assert!(o.changed(), "expected rewrites on this policy");
+        assert!(o.policy.ops.len() < policy.ops.len());
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub use arch::{MemLevel, NfpModel};
 pub use engine::{FeNic, FeatureVector, NicStats};
 pub use feasibility::check_nic;
 pub use parallel::ParallelNic;
-pub use perf::{CycleModel, OptFlags, PerfEstimate};
+pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};
 pub use table::GroupTable;

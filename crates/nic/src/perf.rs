@@ -208,6 +208,58 @@ impl CycleModel {
     }
 }
 
+/// Per-record cycle estimate straight from the policy-level static cost
+/// model, before compilation or state placement. `superfe explain` uses this
+/// to turn the abstract `SF06xx` op counts into a concrete throughput figure
+/// without deploying anything; the full [`CycleModel`] (which knows the real
+/// placement) supersedes it once a program exists.
+///
+/// Memory accesses are assumed to land in on-island CTM — the optimistic end
+/// of the placement spectrum — so this is a lower bound on real cycles.
+pub fn cycles_from_cost(
+    cost: &superfe_policy::analyze::cost::PolicyCost,
+    model: &NfpModel,
+    flags: OptFlags,
+) -> PerfEstimate {
+    let levels = cost.levels.len().max(1) as f64;
+    let accesses: f64 = cost
+        .levels
+        .iter()
+        .map(|l| (l.maps + l.reduce_funcs) as f64)
+        .sum::<f64>()
+        .max(1.0);
+    let hash = if flags.reuse_hash {
+        0.0
+    } else {
+        cost::HASH * levels
+    };
+    let divs = cost.total_divisions() as f64;
+    let div = if flags.div_elim {
+        cost::DIV_ELIMINATED * divs
+    } else {
+        model.soft_div_cycles as f64 * divs
+    };
+    let compute = cost::DISPATCH + hash + div + cost.total_alu_ops() as f64;
+    let ctm_latency = model
+        .memories
+        .iter()
+        .find(|m| m.level == crate::arch::MemLevel::Ctm)
+        .map(|m| m.latency_cycles as f64)
+        .unwrap_or(80.0);
+    let memory = ctm_latency * accesses;
+    let cycles = if flags.threading {
+        let switch_overhead = 2.0 * model.ctx_switch_cycles as f64 * accesses;
+        compute + switch_overhead + memory / model.threads_per_core as f64
+    } else {
+        compute + memory
+    };
+    PerfEstimate {
+        cycles_per_record: cycles,
+        compute_cycles: compute,
+        memory_cycles: memory,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +361,35 @@ mod tests {
         let m = kitsune_like();
         let gbps = m.gbps(120, 1246.0);
         assert!(gbps > 100.0, "only {gbps} Gbps");
+    }
+
+    #[test]
+    fn cost_model_estimate_tracks_policy_weight() {
+        use superfe_policy::analyze::cost::policy_cost;
+        let light = policy_cost(
+            &parse("pktstream\n.groupby(flow)\n.reduce(size, [f_mean])\n.collect(flow)").unwrap(),
+        );
+        let heavy = policy_cost(
+            &parse(
+                "pktstream\n.groupby(socket)\n\
+                 .reduce(size, [f_damped{5}, f_damped{1}, f_damped{0.1}])\n.collect(socket)\n\
+                 .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)",
+            )
+            .unwrap(),
+        );
+        let nfp = NfpModel::nfp4000();
+        let l = cycles_from_cost(&light, &nfp, OptFlags::all_on());
+        let h = cycles_from_cost(&heavy, &nfp, OptFlags::all_on());
+        assert!(l.cycles_per_record > 0.0);
+        assert!(
+            h.cycles_per_record > l.cycles_per_record,
+            "heavy {} vs light {}",
+            h.cycles_per_record,
+            l.cycles_per_record
+        );
+        // Without division elimination the soft divide dominates.
+        let naive = cycles_from_cost(&light, &nfp, OptFlags::all_off());
+        assert!(naive.cycles_per_record > l.cycles_per_record + 1000.0);
     }
 
     #[test]

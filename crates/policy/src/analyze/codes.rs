@@ -9,6 +9,8 @@
 //! | `SF02xx` | dataflow lints (warnings)               | `analyze::dataflow`   |
 //! | `SF03xx` | switch resource feasibility             | `superfe-switch`      |
 //! | `SF04xx` | SmartNIC memory feasibility             | `superfe-nic`         |
+//! | `SF05xx` | value ranges / overflow proofs          | `analyze::values`     |
+//! | `SF06xx` | static cost model                       | `analyze::cost`       |
 
 // --- SF01xx: structural -------------------------------------------------
 
@@ -76,6 +78,34 @@ pub const NIC_CAPACITY_EXCEEDED: &str = "SF0404";
 /// On-chip memory is above the headroom threshold at the projected scale.
 pub const NIC_HEADROOM: &str = "SF0405";
 
+// --- SF05xx: value ranges / overflow (emitted by analyze::values) ---------
+
+/// A reducer's accumulator provably overflows its hardware width at the
+/// configured batch size (a concrete witness trace exists).
+pub const ACC_OVERFLOW: &str = "SF0501";
+/// A reducer's accumulator fits its width but with less than 2× margin, or
+/// its input interval is unbounded: wraparound is possible.
+pub const ACC_WRAP_POSSIBLE: &str = "SF0502";
+/// A fixed-point (Q16) accumulator provably saturates at the configured
+/// batch size.
+pub const Q16_SATURATION: &str = "SF0503";
+/// A fixed-point (Q16) accumulator may saturate (bound within 2× of the
+/// limit, or unbounded input).
+pub const Q16_SAT_POSSIBLE: &str = "SF0504";
+/// A histogram over time values uses bins finer than the hardware's 1 µs
+/// timestamp tick; bins below the tick can never be distinguished.
+pub const PRECISION_LOSS: &str = "SF0505";
+/// A reducer consumes the raw timestamp; the 32-bit µs switch metadata wraps
+/// about every 71.6 minutes.
+pub const TSTAMP_WRAP_HORIZON: &str = "SF0506";
+
+// --- SF06xx: static cost model (emitted by analyze::cost) -----------------
+
+/// Per-packet arithmetic op estimate exceeds the NIC comfort threshold.
+pub const COST_OPS_HIGH: &str = "SF0601";
+/// Per-packet state bytes touched exceed the memory-bus comfort threshold.
+pub const COST_STATE_HIGH: &str = "SF0602";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -108,6 +138,14 @@ mod tests {
             super::NIC_DRAM_SPILL,
             super::NIC_CAPACITY_EXCEEDED,
             super::NIC_HEADROOM,
+            super::ACC_OVERFLOW,
+            super::ACC_WRAP_POSSIBLE,
+            super::Q16_SATURATION,
+            super::Q16_SAT_POSSIBLE,
+            super::PRECISION_LOSS,
+            super::TSTAMP_WRAP_HORIZON,
+            super::COST_OPS_HIGH,
+            super::COST_STATE_HIGH,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("SF") && a.len() == 6, "{a}");

@@ -17,13 +17,20 @@
 //!   `superfe-switch::feasibility` against the Tofino budget model).
 //! - `SF04xx` — SmartNIC memory feasibility (emitted by
 //!   `superfe-nic::feasibility` against the NFP placement model).
+//! - `SF05xx` — value ranges and overflow proofs ([`values`]): abstract
+//!   interpretation over the typed IR, proving reducer accumulators fit the
+//!   32-bit sALU and Q16 fixed-point widths at the configured batch size.
+//! - `SF06xx` — the static cost model ([`cost`]): per-packet op and
+//!   state-touch estimates, note-severity when far outside the envelope.
 //!
 //! The hardware passes live downstream (the switch and NIC crates depend on
-//! this one), sharing [`Diagnostic`] so one report renders all four layers.
+//! this one), sharing [`Diagnostic`] so one report renders all layers.
 
 pub mod codes;
+pub mod cost;
 pub mod dataflow;
 pub mod structural;
+pub mod values;
 
 use std::fmt;
 
@@ -106,6 +113,25 @@ impl Diagnostic {
     pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
         self.suggestion = Some(s.into());
         self
+    }
+
+    /// Renders the diagnostic as one JSON object (see
+    /// [`AnalysisReport::render_json`] for the schema).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\"",
+            self.severity.label(),
+            self.code
+        );
+        if let Some(i) = self.op_index {
+            out.push_str(&format!(",\"op\":{i}"));
+        }
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -214,21 +240,64 @@ impl AnalysisReport {
         ));
         out
     }
+
+    /// Renders the report as a JSON object for machine consumers (CI), most
+    /// severe findings first. The schema is stable:
+    /// `{"errors": n, "warnings": n, "notes": n, "diagnostics": [...]}` with
+    /// each diagnostic carrying `severity`, `code`, `message`, and optional
+    /// `op` / `suggestion`.
+    pub fn render_json(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let items: Vec<String> = sorted.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"notes\":{},\"diagnostics\":[{}]}}",
+            self.error_count(),
+            self.warning_count(),
+            self.note_count(),
+            items.join(",")
+        )
+    }
 }
 
-/// Runs the policy-level passes: structural well-formedness (`SF01xx`), then
-/// — only when the policy is structurally sound — the dataflow lints
-/// (`SF02xx`).
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the policy-level passes with explicit deployment parameters for the
+/// value analysis: structural well-formedness (`SF01xx`), then — only when
+/// the policy is structurally sound — the dataflow lints (`SF02xx`), the
+/// value-range/overflow proofs (`SF05xx`), and the cost model (`SF06xx`).
 ///
 /// Hardware feasibility (`SF03xx`/`SF04xx`) needs the compiled program and
-/// the hardware models; `superfe-core` combines all four passes.
-pub fn analyze_policy(policy: &Policy) -> AnalysisReport {
+/// the hardware models; `superfe-core` combines all passes.
+pub fn analyze_policy_with(policy: &Policy, cfg: &values::ValueConfig) -> AnalysisReport {
     let mut report = AnalysisReport::new();
     report.extend(structural::check(policy));
     if !report.has_errors() {
         report.extend(dataflow::check(policy));
+        report.extend(values::check(policy, cfg));
+        report.extend(cost::check(policy));
     }
     report
+}
+
+/// [`analyze_policy_with`] at the default deployment parameters.
+pub fn analyze_policy(policy: &Policy) -> AnalysisReport {
+    analyze_policy_with(policy, &values::ValueConfig::default())
 }
 
 #[cfg(test)]

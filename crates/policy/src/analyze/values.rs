@@ -1,0 +1,577 @@
+//! `SF05xx` value-range analysis: abstract interpretation over the typed IR.
+//!
+//! The pass seeds every builtin field with its wire-format interval (a size
+//! is at most 65535 bytes, the switch's timestamp metadata is a 32-bit
+//! microsecond counter, ...), refines the intervals through conjunctive
+//! filters, propagates them through `map` with per-function transfer rules,
+//! and finally feeds them to the reducer transfer functions in
+//! [`superfe_streaming::transfer`] to bound each accumulator at the
+//! configured batch size.
+//!
+//! Findings:
+//!
+//! - [`ACC_OVERFLOW`](codes::ACC_OVERFLOW) (error): a `f_sum` accumulator
+//!   provably exceeds the sALU register width — an adversarial but
+//!   wire-legal trace overflows it.
+//! - [`ACC_WRAP_POSSIBLE`](codes::ACC_WRAP_POSSIBLE) (warning): the bound
+//!   fits but with less than 2× margin, or the input is unbounded.
+//! - [`Q16_SATURATION`](codes::Q16_SATURATION) /
+//!   [`Q16_SAT_POSSIBLE`](codes::Q16_SAT_POSSIBLE): the same dichotomy for
+//!   the Welford-family `M2` accumulator on the NIC's Q47.16 fixed-point
+//!   path.
+//! - [`PRECISION_LOSS`](codes::PRECISION_LOSS) (warning): time histograms
+//!   with bins finer than the 1 µs hardware tick.
+//! - [`TSTAMP_WRAP_HORIZON`](codes::TSTAMP_WRAP_HORIZON) (note): reducing
+//!   the raw timestamp, which wraps every ~71.6 minutes.
+//!
+//! Soundness over tightness: every error carries a concrete witness
+//! construction (the bound is attainable), and silence means the accumulator
+//! provably fits. Time-valued intervals are kept in nanoseconds internally
+//! and scaled to microseconds — the granularity the hardware actually
+//! accumulates — before any width comparison.
+
+use std::collections::HashMap;
+
+use superfe_streaming::transfer::{q16_limit, sum_bound, welford_m2_bound, Interval};
+
+use super::{codes, Diagnostic};
+use crate::ast::{CmpOp, Field, MapFn, Policy, Predicate, ReduceFn};
+use crate::ir::{lower, IrOp, PolicyIr, ValueTy, ValueUnit};
+
+/// Deployment parameters the value analysis proves bounds against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueConfig {
+    /// Worst-case packets accumulated into one group per collection batch
+    /// (the MGPV batch the reducers run over before features are emitted).
+    pub group_packets: u64,
+    /// MGPV aging window in nanoseconds: an upper bound on the inter-packet
+    /// time observable within one live group.
+    pub aging_t_ns: u64,
+    /// Bit width of the integer accumulators (switch sALU registers).
+    pub acc_bits: u32,
+}
+
+impl Default for ValueConfig {
+    fn default() -> Self {
+        ValueConfig {
+            group_packets: 10_000,
+            aging_t_ns: 25_000_000,
+            acc_bits: 32,
+        }
+    }
+}
+
+/// Nanoseconds per hardware timestamp tick (the switch metadata counts µs).
+const TICK_NS: f64 = 1000.0;
+
+/// Wraparound horizon of the 32-bit µs timestamp metadata, in minutes.
+const TSTAMP_WRAP_MINUTES: f64 = (u32::MAX as f64) / 1e6 / 60.0;
+
+/// The wire-format interval of a builtin field, in canonical units
+/// (nanoseconds for time, bytes for sizes).
+pub fn builtin_interval(field: &Field) -> Interval {
+    match field {
+        Field::Size => Interval::new(0.0, f64::from(u16::MAX)),
+        // 32-bit µs switch metadata, held in ns internally.
+        Field::Tstamp => Interval::new(0.0, f64::from(u32::MAX) * TICK_NS),
+        Field::Direction => Interval::new(-1.0, 1.0),
+        Field::TcpFlags | Field::Proto => Interval::new(0.0, f64::from(u8::MAX)),
+        Field::SrcPort | Field::DstPort => Interval::new(0.0, f64::from(u16::MAX)),
+        Field::SrcIp | Field::DstIp => Interval::new(0.0, f64::from(u32::MAX)),
+        Field::Named(_) => Interval::TOP,
+    }
+}
+
+/// Whether `op value` holds for *every* point of `x` (an interval-level
+/// tautology proof; used by the optimizer to drop provably-true conjuncts).
+pub fn cmp_always_true(x: Interval, op: CmpOp, value: u64) -> bool {
+    if !x.is_bounded() {
+        return false;
+    }
+    let v = value as f64;
+    match op {
+        CmpOp::Eq => x.lo == v && x.hi == v,
+        CmpOp::Ne => v < x.lo || v > x.hi,
+        CmpOp::Lt => x.hi < v,
+        CmpOp::Le => x.hi <= v,
+        CmpOp::Gt => x.lo > v,
+        CmpOp::Ge => x.lo >= v,
+    }
+}
+
+/// Refines `x` under the assumption `x op value` (identity where nothing can
+/// be concluded). Sound for the integer-valued builtins the filters inspect.
+fn refine(x: Interval, op: CmpOp, value: u64) -> Interval {
+    let v = value as f64;
+    match op {
+        CmpOp::Eq => Interval::new(x.lo.max(v), x.hi.min(v.max(x.lo))),
+        CmpOp::Lt => Interval::new(x.lo, x.hi.min(v - 1.0).max(x.lo)),
+        CmpOp::Le => Interval::new(x.lo, x.hi.min(v).max(x.lo)),
+        CmpOp::Gt => Interval::new(x.lo.max(v + 1.0).min(x.hi), x.hi),
+        CmpOp::Ge => Interval::new(x.lo.max(v).min(x.hi), x.hi),
+        // != removes one point; as an interval that is a no-op.
+        CmpOp::Ne => x,
+    }
+}
+
+/// Applies the conjunctive part of a predicate to the field environment.
+/// `Or`/`Not` branches are skipped (their refinement would need a disjunctive
+/// domain); skipping them only widens, never unsounds, the result.
+fn refine_env(env: &mut HashMap<Field, Interval>, pred: &Predicate) {
+    match pred {
+        Predicate::And(a, b) => {
+            refine_env(env, a);
+            refine_env(env, b);
+        }
+        Predicate::Cmp { field, op, value } if field.is_builtin() => {
+            let cur = env
+                .get(field)
+                .copied()
+                .unwrap_or_else(|| builtin_interval(field));
+            env.insert(field.clone(), refine(cur, *op, *value));
+        }
+        _ => {}
+    }
+}
+
+/// The abstract result of a mapping function, given the source interval.
+fn map_transfer(func: MapFn, src: Interval, cfg: &ValueConfig) -> Interval {
+    match func {
+        MapFn::FOne => Interval::point(1.0),
+        // IPT within a live group is bounded by the aging window: a gap any
+        // longer would have evicted the group state.
+        MapFn::FIpt => Interval::new(0.0, cfg.aging_t_ns as f64),
+        // size · 1e9 / dt with dt at least one hardware tick.
+        MapFn::FSpeed => {
+            let size_hi = builtin_interval(&Field::Size).hi;
+            Interval::new(0.0, size_hi * 1e9 / TICK_NS)
+        }
+        // The burst index increments at most once per packet.
+        MapFn::FBurst => Interval::new(0.0, cfg.group_packets as f64),
+        MapFn::FDirection => src.mul_sign(),
+    }
+}
+
+/// Per-node interval environments, exposed so the optimizer can gate
+/// rewrites on the same facts the diagnostics are derived from.
+#[derive(Clone, Debug, Default)]
+pub struct ValueAnalysis {
+    /// `envs[i]` is the field-interval environment *before* IR node `i`
+    /// executes (builtins not present are implicitly at their wire bound).
+    pub envs: Vec<HashMap<Field, Interval>>,
+    /// Findings, in policy order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValueAnalysis {
+    /// The interval of `field` as seen before IR node `index`.
+    pub fn interval_before(&self, index: usize, field: &Field) -> Interval {
+        self.envs
+            .get(index)
+            .and_then(|env| env.get(field).copied())
+            .unwrap_or_else(|| builtin_interval(field))
+    }
+}
+
+/// Formats a bound for diagnostics: integers below ten million exactly,
+/// anything larger in scientific notation.
+fn fmt_bound(x: f64) -> String {
+    if x.abs() < 1e7 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// The interval a reducer actually accumulates: time values are scaled from
+/// nanoseconds to the hardware's microsecond tick, everything else is
+/// accumulated in its canonical unit.
+fn acc_interval(x: Interval, ty: ValueTy) -> (Interval, &'static str) {
+    if ty.unit == ValueUnit::TimeNs {
+        (x.scale(1.0 / TICK_NS), " µs")
+    } else {
+        (x, "")
+    }
+}
+
+fn check_sum(
+    src: &Field,
+    x: Interval,
+    ty: ValueTy,
+    op_index: usize,
+    cfg: &ValueConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (xs, unit) = acc_interval(x, ty);
+    if !xs.is_bounded() {
+        out.push(
+            Diagnostic::warning(
+                codes::ACC_WRAP_POSSIBLE,
+                format!(
+                    "f_sum over '{}' accumulates an unbounded value; the {}-bit \
+                     accumulator may wrap",
+                    src.name(),
+                    cfg.acc_bits
+                ),
+            )
+            .at_op(op_index)
+            .with_suggestion("bound the field with a filter, or reduce a builtin field"),
+        );
+        return;
+    }
+    let bound = sum_bound(xs, cfg.group_packets);
+    let peak = bound.mag();
+    // A signed source needs a sign bit in the accumulator.
+    let width_max = if ty.signed {
+        (2f64).powi(cfg.acc_bits as i32 - 1) - 1.0
+    } else {
+        (2f64).powi(cfg.acc_bits as i32) - 1.0
+    };
+    let signedness = if ty.signed { "signed" } else { "unsigned" };
+    if peak > width_max {
+        out.push(
+            Diagnostic::error(
+                codes::ACC_OVERFLOW,
+                format!(
+                    "f_sum over '{}' can reach {}{} after {} packets, exceeding the \
+                     {}-bit {} sALU accumulator (max {})",
+                    src.name(),
+                    fmt_bound(peak),
+                    unit,
+                    cfg.group_packets,
+                    cfg.acc_bits,
+                    signedness,
+                    fmt_bound(width_max)
+                ),
+            )
+            .at_op(op_index)
+            .with_suggestion(
+                "lower the batch size (group_packets), pre-filter the field's range, \
+                 or sum a narrower field",
+            ),
+        );
+    } else if 2.0 * peak > width_max {
+        out.push(
+            Diagnostic::warning(
+                codes::ACC_WRAP_POSSIBLE,
+                format!(
+                    "f_sum over '{}' reaches up to {}{} of the {}-bit {} accumulator's \
+                     {} — less than 2x headroom against batch-size growth",
+                    src.name(),
+                    fmt_bound(peak),
+                    unit,
+                    cfg.acc_bits,
+                    signedness,
+                    fmt_bound(width_max)
+                ),
+            )
+            .at_op(op_index),
+        );
+    }
+}
+
+fn check_welford(
+    src: &Field,
+    x: Interval,
+    ty: ValueTy,
+    func: &ReduceFn,
+    op_index: usize,
+    cfg: &ValueConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (xs, unit) = acc_interval(x, ty);
+    let limit = q16_limit();
+    if !xs.is_bounded() {
+        out.push(
+            Diagnostic::warning(
+                codes::Q16_SAT_POSSIBLE,
+                format!(
+                    "{} over '{}' feeds an unbounded value into the Q47.16 \
+                     fixed-point Welford state; M2 may saturate",
+                    func.name(),
+                    src.name()
+                ),
+            )
+            .at_op(op_index)
+            .with_suggestion("bound the field with a filter before reducing it"),
+        );
+        return;
+    }
+    let m2 = welford_m2_bound(xs, cfg.group_packets);
+    if m2 > limit {
+        out.push(
+            Diagnostic::error(
+                codes::Q16_SATURATION,
+                format!(
+                    "{} over '{}' (range {}..{}{}) drives the Welford M2 accumulator \
+                     to {} after {} packets, saturating the Q47.16 fixed-point limit ({})",
+                    func.name(),
+                    src.name(),
+                    fmt_bound(xs.lo),
+                    fmt_bound(xs.hi),
+                    unit,
+                    fmt_bound(m2),
+                    cfg.group_packets,
+                    fmt_bound(limit)
+                ),
+            )
+            .at_op(op_index)
+            .with_suggestion(
+                "narrow the field's range with a filter, lower the batch size, or \
+                 accept the f64 software path for this reducer",
+            ),
+        );
+    } else if 2.0 * m2 > limit {
+        out.push(
+            Diagnostic::warning(
+                codes::Q16_SAT_POSSIBLE,
+                format!(
+                    "{} over '{}' bounds the Welford M2 accumulator at {} — within 2x \
+                     of the Q47.16 saturation point ({})",
+                    func.name(),
+                    src.name(),
+                    fmt_bound(m2),
+                    fmt_bound(limit)
+                ),
+            )
+            .at_op(op_index),
+        );
+    }
+}
+
+fn check_reduce(
+    src: &Field,
+    funcs: &[ReduceFn],
+    x: Interval,
+    ty: ValueTy,
+    op_index: usize,
+    cfg: &ValueConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for func in funcs {
+        match func {
+            ReduceFn::Sum => check_sum(src, x, ty, op_index, cfg, out),
+            // The Welford family is the only reducer class implemented on the
+            // NIC's Q16 fixed-point path; moments and damped statistics run
+            // the f64 software path and cannot saturate.
+            ReduceFn::Mean | ReduceFn::Var | ReduceFn::Std => {
+                check_welford(src, x, ty, func, op_index, cfg, out);
+            }
+            ReduceFn::Pdf { width, .. }
+            | ReduceFn::Cdf { width, .. }
+            | ReduceFn::Hist { width, .. }
+            | ReduceFn::Percent { width, .. }
+                if ty.unit == ValueUnit::TimeNs && *width < TICK_NS =>
+            {
+                out.push(
+                    Diagnostic::warning(
+                        codes::PRECISION_LOSS,
+                        format!(
+                            "{} over '{}' uses {} ns bins, finer than the 1 µs \
+                             hardware timestamp tick; adjacent bins are \
+                             indistinguishable",
+                            func.name(),
+                            src.name(),
+                            width
+                        ),
+                    )
+                    .at_op(op_index)
+                    .with_suggestion("use a bin width of at least 1000 (1 µs)"),
+                );
+            }
+            _ => {}
+        }
+    }
+    if *src == Field::Tstamp {
+        out.push(
+            Diagnostic::note(
+                codes::TSTAMP_WRAP_HORIZON,
+                format!(
+                    "reduce consumes the raw timestamp; the 32-bit µs metadata wraps \
+                     about every {TSTAMP_WRAP_MINUTES:.1} minutes"
+                ),
+            )
+            .at_op(op_index)
+            .with_suggestion("derive inter-packet time with map(ipt, tstamp, f_ipt) instead"),
+        );
+    }
+}
+
+/// Runs the abstract interpreter over a lowered policy.
+pub fn infer(ir: &PolicyIr, cfg: &ValueConfig) -> ValueAnalysis {
+    let mut env: HashMap<Field, Interval> = HashMap::new();
+    let mut analysis = ValueAnalysis::default();
+    for node in &ir.nodes {
+        analysis.envs.push(env.clone());
+        match &node.op {
+            IrOp::Filter { pred } => refine_env(&mut env, pred),
+            IrOp::Map { dst, src, func, .. } => {
+                let src_iv = env
+                    .get(src)
+                    .copied()
+                    .unwrap_or_else(|| builtin_interval(src));
+                env.insert(dst.clone(), map_transfer(*func, src_iv, cfg));
+            }
+            IrOp::Reduce { src, funcs, src_ty } => {
+                let x = env
+                    .get(src)
+                    .copied()
+                    .unwrap_or_else(|| builtin_interval(src));
+                check_reduce(
+                    src,
+                    funcs,
+                    x,
+                    *src_ty,
+                    node.op_index,
+                    cfg,
+                    &mut analysis.diagnostics,
+                );
+            }
+            IrOp::GroupBy { .. } | IrOp::Synthesize { .. } | IrOp::Collect { .. } => {}
+        }
+    }
+    analysis
+}
+
+/// The `SF05xx` pass: lowers the policy and returns its value diagnostics.
+pub fn check(policy: &Policy, cfg: &ValueConfig) -> Vec<Diagnostic> {
+    infer(&lower(policy), cfg).diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&dsl::parse(src).unwrap(), &ValueConfig::default())
+    }
+
+    #[test]
+    fn summing_the_raw_timestamp_overflows_32_bits() {
+        let ds = run("pktstream .groupby(flow) .reduce(tstamp, [f_sum]) .collect(flow)");
+        let err = ds
+            .iter()
+            .find(|d| d.code == codes::ACC_OVERFLOW)
+            .expect("overflow proof");
+        assert!(err.message.contains("f_sum over 'tstamp'"));
+        assert!(err.message.contains("32-bit"));
+        // The raw-timestamp note rides along.
+        assert!(ds.iter().any(|d| d.code == codes::TSTAMP_WRAP_HORIZON));
+    }
+
+    #[test]
+    fn variance_of_raw_timestamp_saturates_q16() {
+        let ds = run("pktstream .groupby(flow) .reduce(tstamp, [f_var]) .collect(flow)");
+        let err = ds
+            .iter()
+            .find(|d| d.code == codes::Q16_SATURATION)
+            .expect("saturation proof");
+        assert!(err.message.contains("f_var over 'tstamp'"));
+        assert!(err.message.contains("Q47.16"));
+    }
+
+    #[test]
+    fn bounded_sums_are_silent() {
+        let ds = run("pktstream .groupby(flow) .map(ipt, tstamp, f_ipt)
+             .reduce(size, [f_sum, f_mean, f_var])
+             .collect(flow)
+             .reduce(ipt, [f_sum, f_mean])
+             .collect(flow)");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn filters_narrow_the_proof_obligation() {
+        // Unfiltered, summing dstport is fine (65535 · 10⁴ < 2³²), but a
+        // tighter batch shows refinement: filter size to < 128 and even a
+        // huge batch stays bounded.
+        let cfg = ValueConfig {
+            group_packets: 10_000_000,
+            ..ValueConfig::default()
+        };
+        let narrow = dsl::parse(
+            "pktstream .filter(size < 128) .groupby(flow)
+             .reduce(size, [f_sum]) .collect(flow)",
+        )
+        .unwrap();
+        let wide =
+            dsl::parse("pktstream .groupby(flow) .reduce(size, [f_sum]) .collect(flow)").unwrap();
+        let cfg_ds = |p| check(p, &cfg);
+        assert!(
+            !cfg_ds(&narrow)
+                .iter()
+                .any(|d| d.code == codes::ACC_OVERFLOW),
+            "127 · 10⁷ fits in 32 bits"
+        );
+        assert!(
+            cfg_ds(&wide).iter().any(|d| d.code == codes::ACC_OVERFLOW),
+            "65535 · 10⁷ does not fit"
+        );
+    }
+
+    #[test]
+    fn signed_direction_sums_use_the_signed_width() {
+        // dirsize ∈ [−65535, 65535]; at the default batch the signed bound
+        // has 3.3x margin — clean.
+        let ds = run("pktstream .groupby(flow) .map(dirsize, size, f_direction)
+             .reduce(dirsize, [f_sum]) .collect(flow)");
+        assert!(ds.is_empty(), "{ds:?}");
+        // At 2x the batch, the margin drops below 2x: a wrap warning. At 4x,
+        // the signed bound is exceeded outright: a proven overflow.
+        let p = dsl::parse(
+            "pktstream .groupby(flow) .map(dirsize, size, f_direction)
+             .reduce(dirsize, [f_sum]) .collect(flow)",
+        )
+        .unwrap();
+        let at = |n: u64| {
+            check(
+                &p,
+                &ValueConfig {
+                    group_packets: n,
+                    ..ValueConfig::default()
+                },
+            )
+        };
+        assert!(at(20_000)
+            .iter()
+            .any(|d| d.code == codes::ACC_WRAP_POSSIBLE));
+        assert!(at(40_000).iter().any(|d| d.code == codes::ACC_OVERFLOW));
+    }
+
+    #[test]
+    fn sub_tick_time_bins_warn() {
+        let ds = run("pktstream .groupby(flow) .map(ipt, tstamp, f_ipt)
+             .reduce(ipt, [ft_hist{100, 16}]) .collect(flow)");
+        assert!(ds.iter().any(|d| d.code == codes::PRECISION_LOSS));
+        // The same bins over sizes are fine: bytes have no tick.
+        let ds = run("pktstream .groupby(flow) .reduce(size, [ft_hist{100, 16}]) .collect(flow)");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn cmp_tautology_proofs() {
+        let size = builtin_interval(&Field::Size);
+        assert!(cmp_always_true(size, CmpOp::Le, 65535));
+        assert!(cmp_always_true(size, CmpOp::Lt, 70000));
+        assert!(cmp_always_true(size, CmpOp::Ge, 0));
+        assert!(!cmp_always_true(size, CmpOp::Gt, 0));
+        assert!(!cmp_always_true(size, CmpOp::Le, 1000));
+        assert!(!cmp_always_true(Interval::TOP, CmpOp::Ge, 0));
+    }
+
+    #[test]
+    fn interval_before_reports_refined_ranges() {
+        let ir = lower(
+            &dsl::parse(
+                "pktstream .filter(size < 128) .groupby(flow)
+                 .reduce(size, [f_sum]) .collect(flow)",
+            )
+            .unwrap(),
+        );
+        let a = infer(&ir, &ValueConfig::default());
+        // Before the filter, the wire bound; before the reduce, the refined one.
+        assert_eq!(a.interval_before(0, &Field::Size).hi, 65535.0);
+        assert_eq!(a.interval_before(2, &Field::Size).hi, 127.0);
+    }
+}

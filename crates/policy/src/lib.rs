@@ -23,9 +23,13 @@
 //! - [`validate`]: the well-formedness rules (operator ordering, granularity
 //!   dependency chains, field availability).
 //! - [`analyze`]: the static analyzer behind `superfe check` — structural
-//!   diagnostics (`SF01xx`), dataflow lints (`SF02xx`), and the
+//!   diagnostics (`SF01xx`), dataflow lints (`SF02xx`), value-range and
+//!   overflow proofs (`SF05xx`), the static cost model (`SF06xx`), and the
 //!   [`Diagnostic`]/[`AnalysisReport`] types the hardware feasibility passes
 //!   (`SF03xx`/`SF04xx`, in the switch and NIC crates) share.
+//! - [`ir`]: the typed dataflow IR behind the value analysis and the
+//!   analysis-gated optimizer ([`ir::opt`]: filter pushdown, map fusion,
+//!   dead-field elimination).
 //! - [`exec`]: the shared `map`/`reduce`/`synthesize` execution semantics
 //!   used by both the SmartNIC engine and the software baseline.
 //! - [`graph`]: the §9 extension — decomposing granularity dependency
@@ -44,9 +48,11 @@ pub mod dsl;
 pub mod error;
 pub mod exec;
 pub mod graph;
+pub mod ir;
 pub mod validate;
 
-pub use analyze::{analyze_policy, AnalysisReport, Diagnostic, Severity};
+pub use analyze::values::ValueConfig;
+pub use analyze::{analyze_policy, analyze_policy_with, AnalysisReport, Diagnostic, Severity};
 pub use ast::{CollectUnit, Field, MapFn, Operator, Policy, Predicate, ReduceFn, SynthFn};
 pub use builder::pktstream;
 pub use compile::{compile, CompiledPolicy, LevelProgram, MetaField, NicProgram, SwitchProgram};

@@ -15,6 +15,7 @@
 //! | [`seq`] | `f_array`, `f_burst`, `f_speed`, `f_marker`, `f_norm`, `ft_sample` | bounded sequence ops |
 //! | [`fixed`] | NIC integer path | division-free fixed-point variants (§6.2) |
 //! | [`naive`] | — | buffer-everything baselines for the Fig. 15 comparison |
+//! | [`transfer`] | — | abstract transfer functions for the SF05xx value analysis |
 //!
 //! All estimators implement [`Reducer`], report their state footprint via
 //! [`Reducer::state_bytes`] (the quantity Fig. 15 compares), and most support
@@ -29,6 +30,7 @@ pub mod naive;
 pub mod reducer;
 pub mod seq;
 pub mod simple;
+pub mod transfer;
 pub mod welford;
 
 pub use damped::{DampedPair, DampedStat};
@@ -40,4 +42,5 @@ pub use naive::{NaiveCardinality, NaiveDistribution, NaiveVariance};
 pub use reducer::Reducer;
 pub use seq::{cumul_interp, markers, normalize, sample_evenly, BurstTracker, SeqArray};
 pub use simple::{Count, MinMax, Sum};
+pub use transfer::Interval;
 pub use welford::Welford;

@@ -22,6 +22,12 @@ use superfe_policy::SwitchProgram;
 
 use crate::mgpv::MgpvConfig;
 
+/// Width of one Tofino stateful-ALU register, in bits. Batched metadata
+/// accumulators (packet counts, size sums, µs-scaled time sums) live in
+/// registers of this width; the `SF05xx` value analysis proves policies
+/// cannot overflow them within one MGPV batch.
+pub const SALU_REG_BITS: u32 = 32;
+
 /// Resource budget of the target switch ASIC (Tofino 1 class).
 #[derive(Clone, Copy, Debug)]
 pub struct TofinoBudget {
