@@ -42,4 +42,22 @@ for f in examples/*.sfe; do
   "$superfe" check "$f" >/dev/null || { echo "ci: superfe check $f failed"; exit 1; }
 done
 
+step "benches compile"
+cargo build -q -p superfe-bench --benches --bins
+
+step "streaming throughput smoke (2 workers)"
+# A small end-to-end run of the streaming pipeline through the bench runner,
+# then a schema diff: the fresh document must contain exactly the keys of
+# the checked-in BENCH_pipeline.json (values differ run to run; the shape
+# must not drift silently).
+smoke=$(mktemp)
+trap 'rm -f "$smoke"' EXIT
+cargo run -q --release -p superfe-bench --bin throughput -- \
+  --packets 5000 --workers 2 --out "$smoke" >/dev/null
+schema() { grep -o '"[a-z_]*":' "$1" | sort -u; }
+if ! diff <(schema BENCH_pipeline.json) <(schema "$smoke"); then
+  echo "ci: BENCH_pipeline.json schema drifted from the throughput runner"
+  exit 1
+fi
+
 printf '\nci: all checks passed\n'

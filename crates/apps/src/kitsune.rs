@@ -256,7 +256,10 @@ pub fn afterimage_packet_vectors(trace: &Trace) -> Vec<FeatureVector> {
             values.extend(st.triple().iter().map(|&v| f64::from(v)));
         }
 
-        out.push(FeatureVector { key: sk, values });
+        out.push(FeatureVector {
+            key: sk,
+            values: values.into(),
+        });
     }
     out
 }

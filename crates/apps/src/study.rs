@@ -65,14 +65,14 @@ pub fn run_tf(data: &WfDataset) -> StudyResult {
     let by_flow: HashMap<GroupKey, &FeatureVector> = vectors.iter().map(|v| (v.key, v)).collect();
 
     // Per-site split: first half of visits enroll, second half test.
-    let mut per_site: HashMap<usize, Vec<&Vec<f64>>> = HashMap::new();
+    let mut per_site: HashMap<usize, Vec<&[f64]>> = HashMap::new();
     for visit in &data.visits {
         if let Some(v) = by_flow.get(&GroupKey::Flow(visit.flow)) {
             per_site.entry(visit.site).or_default().push(&v.values);
         }
     }
     let mut clf = NearestCentroid::new();
-    let mut tests: Vec<(&Vec<f64>, usize)> = Vec::new();
+    let mut tests: Vec<(&[f64], usize)> = Vec::new();
     for (&site, visits) in &per_site {
         let half = (visits.len() / 2).max(1);
         for (i, v) in visits.iter().enumerate() {
@@ -103,14 +103,14 @@ pub fn run_cumul(data: &WfDataset) -> StudyResult {
 
     // Normalize features to keep the distance metric balanced.
     let mut norm = MinMaxNorm::new();
-    let mut labelled: Vec<(&Vec<f64>, usize)> = Vec::new();
+    let mut labelled: Vec<(&[f64], usize)> = Vec::new();
     for visit in &data.visits {
         if let Some(v) = by_flow.get(&GroupKey::Flow(visit.flow)) {
             norm.observe(&v.values);
             labelled.push((&v.values, visit.site));
         }
     }
-    let mut per_site: HashMap<usize, Vec<&Vec<f64>>> = HashMap::new();
+    let mut per_site: HashMap<usize, Vec<&[f64]>> = HashMap::new();
     for (v, site) in &labelled {
         per_site.entry(*site).or_default().push(v);
     }
@@ -145,7 +145,7 @@ pub fn run_mptd(data: &CovertDataset) -> StudyResult {
     let labelled: Vec<(Vec<f64>, usize)> = vectors
         .iter()
         .filter_map(|v| match v.key {
-            GroupKey::Flow(ft) => Some((v.values.clone(), usize::from(data.covert.contains(&ft)))),
+            GroupKey::Flow(ft) => Some((v.values.to_vec(), usize::from(data.covert.contains(&ft)))),
             _ => None,
         })
         .collect();
@@ -248,7 +248,7 @@ pub fn run_npod(data: &CovertDataset) -> StudyResult {
     let labelled: Vec<(Vec<f64>, usize)> = vectors
         .iter()
         .filter_map(|v| match v.key {
-            GroupKey::Flow(ft) => Some((v.values.clone(), usize::from(data.covert.contains(&ft)))),
+            GroupKey::Flow(ft) => Some((v.values.to_vec(), usize::from(data.covert.contains(&ft)))),
             _ => None,
         })
         .collect();

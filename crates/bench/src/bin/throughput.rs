@@ -1,0 +1,54 @@
+//! Streaming-pipeline throughput runner: writes `BENCH_pipeline.json`.
+//!
+//! ```text
+//! throughput [--packets N] [--workers 1,2,4,8] [--out BENCH_pipeline.json]
+//! ```
+//!
+//! Prints the JSON document to stdout and, with `--out`, also writes it to
+//! the given path (the checked-in artifact lives at the repo root).
+
+use superfe_bench::experiments::throughput;
+
+fn main() {
+    let mut packets = throughput::PACKETS;
+    let mut workers: Vec<usize> = throughput::WORKER_SWEEP.to_vec();
+    let mut out_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--packets" => {
+                packets = value(i).parse().expect("--packets: integer");
+                i += 2;
+            }
+            "--workers" => {
+                workers = value(i)
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse()
+                            .expect("--workers: comma-separated integers")
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let json = throughput::measure(packets, &workers).to_json();
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[throughput] wrote {path}");
+    }
+    print!("{json}");
+}

@@ -13,6 +13,7 @@ pub mod fig17;
 pub mod tab02;
 pub mod tab03;
 pub mod tab04;
+pub mod throughput;
 
 /// The four §8.3 case-study applications: `(name, policy source)`.
 pub fn study_apps() -> Vec<(&'static str, &'static str)> {

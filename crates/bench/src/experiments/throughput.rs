@@ -1,0 +1,161 @@
+//! Streaming-pipeline throughput: the `BENCH_pipeline.json` artifact.
+//!
+//! Measures end-to-end packets/second of the staged streaming executor
+//! ([`superfe_core::StreamingPipeline`]) against the single-threaded
+//! collect-then-process baseline ([`superfe_core::SuperFe`]) on the Fig. 9
+//! MAWI-like workload, for a sweep of worker counts.
+//!
+//! The report records `host_parallelism`
+//! ([`std::thread::available_parallelism`]): worker counts beyond the
+//! host's cores exercise the sharding and channel machinery but cannot buy
+//! wall-clock speedup, so readers (and CI) must interpret the numbers
+//! relative to that field.
+
+use std::time::Instant;
+
+use superfe_core::{StreamingPipeline, SuperFe};
+use superfe_net::PacketRecord;
+use superfe_trafficgen::Workload;
+
+/// Default packets in the measurement trace (matches Fig. 9).
+pub const PACKETS: usize = 60_000;
+
+/// Default worker-count sweep.
+pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The policy under measurement (flow-granularity statistical features).
+pub const POLICY: &str = superfe_apps::policies::NPOD;
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerRun {
+    /// NIC worker shards.
+    pub workers: usize,
+    /// End-to-end throughput in packets/second.
+    pub pkts_per_sec: f64,
+    /// Wall-clock time for the full trace, milliseconds.
+    pub elapsed_ms: f64,
+    /// Throughput relative to the single-threaded baseline.
+    pub speedup_vs_baseline: f64,
+}
+
+/// The full measurement.
+#[derive(Clone, Debug)]
+pub struct PipelineBench {
+    /// Packets in the trace.
+    pub packets: usize,
+    /// Cores the host actually exposes (upper bound on real speedup).
+    pub host_parallelism: usize,
+    /// Single-threaded `SuperFe` baseline throughput, packets/second.
+    pub baseline_pkts_per_sec: f64,
+    /// Baseline wall-clock, milliseconds.
+    pub baseline_elapsed_ms: f64,
+    /// One row per swept worker count.
+    pub runs: Vec<WorkerRun>,
+}
+
+/// Runs the sweep on `packets` MAWI-like packets.
+pub fn measure(packets: usize, worker_counts: &[usize]) -> PipelineBench {
+    let trace = Workload::mawi().packets(packets).seed(4).generate();
+    let records: &[PacketRecord] = &trace.records;
+
+    let mut base = SuperFe::from_dsl(POLICY).expect("policy deploys");
+    let start = Instant::now();
+    for p in records {
+        base.push(p);
+    }
+    let baseline_groups = base.finish().group_vectors.len();
+    let baseline_secs = start.elapsed().as_secs_f64();
+    let baseline_pps = records.len() as f64 / baseline_secs;
+
+    let runs = worker_counts
+        .iter()
+        .map(|&w| {
+            let mut fe = StreamingPipeline::from_dsl(POLICY, w).expect("policy deploys");
+            let start = Instant::now();
+            for p in records {
+                fe.push(p).expect("workers alive");
+            }
+            let out = fe.finish().expect("workers alive");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(
+                out.group_vectors.len(),
+                baseline_groups,
+                "streaming run diverged from baseline"
+            );
+            let pps = records.len() as f64 / secs;
+            WorkerRun {
+                workers: w,
+                pkts_per_sec: pps,
+                elapsed_ms: secs * 1e3,
+                speedup_vs_baseline: pps / baseline_pps,
+            }
+        })
+        .collect();
+
+    PipelineBench {
+        packets: records.len(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        baseline_pkts_per_sec: baseline_pps,
+        baseline_elapsed_ms: baseline_secs * 1e3,
+        runs,
+    }
+}
+
+impl PipelineBench {
+    /// Renders the measurement as the `BENCH_pipeline.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"streaming_pipeline_throughput\",\n");
+        out.push_str("  \"workload\": \"mawi\",\n");
+        out.push_str("  \"policy\": \"NPOD\",\n");
+        out.push_str(&format!("  \"packets\": {},\n", self.packets));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "  \"baseline\": {{ \"name\": \"single_thread\", \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2} }},\n",
+            self.baseline_pkts_per_sec, self.baseline_elapsed_ms
+        ));
+        out.push_str("  \"workers\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let sep = if i + 1 == self.runs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"workers\": {}, \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"speedup_vs_baseline\": {:.3} }}{sep}\n",
+                r.workers, r.pkts_per_sec, r.elapsed_ms, r.speedup_vs_baseline
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the default sweep and returns the JSON document.
+pub fn run() -> String {
+    measure(PACKETS, &WORKER_SWEEP).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_schema() {
+        let b = measure(2_000, &[1, 2]);
+        assert_eq!(b.packets, 2_000);
+        assert!(b.baseline_pkts_per_sec > 0.0);
+        assert_eq!(b.runs.len(), 2);
+        assert!(b.runs.iter().all(|r| r.pkts_per_sec > 0.0));
+        let json = b.to_json();
+        for key in [
+            "\"experiment\"",
+            "\"host_parallelism\"",
+            "\"baseline\"",
+            "\"pkts_per_sec\"",
+            "\"speedup_vs_baseline\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -108,6 +108,16 @@ pub enum Command {
         /// Load the trace from this path instead of generating.
         load_trace: Option<String>,
     },
+    /// Measure streaming-pipeline throughput (the `BENCH_pipeline.json`
+    /// smoke).
+    Bench {
+        /// Trace size in packets.
+        packets: usize,
+        /// Worker counts to sweep.
+        workers: Vec<usize>,
+        /// Also write the JSON document to this path.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -325,6 +335,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 load_trace,
             })
         }
+        "bench" => {
+            let mut packets = 10_000usize;
+            let mut workers = vec![1usize, 2];
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--packets" => {
+                        packets = value()?
+                            .parse()
+                            .map_err(|_| err("--packets expects an integer"))?;
+                    }
+                    "--workers" => {
+                        workers = value()?
+                            .split(',')
+                            .map(|w| w.trim().parse::<usize>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| err("--workers expects comma-separated integers"))?;
+                        if workers.is_empty() {
+                            return Err(err("--workers expects at least one count"));
+                        }
+                    }
+                    "--out" => out = Some(value()?),
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Bench {
+                packets,
+                workers,
+                out,
+            })
+        }
         other => Err(err(format!(
             "unknown command '{other}' (try 'superfe help')"
         ))),
@@ -376,6 +422,7 @@ pub fn usage() -> String {
      \x20                                    optimizer rewrites, cycle estimate\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
+     \x20 superfe bench [options]            streaming-pipeline throughput smoke\n\
      \n\
      <policy>: built-in name (kitsune, npod, tf, cumul, ...) or a DSL file path\n\
      \n\
@@ -398,7 +445,12 @@ pub fn usage() -> String {
      \x20 --csv PATH                         write feature vectors as CSV\n\
      \x20 --limit N                          vectors to print      [5]\n\
      \x20 --save-trace PATH                  save the generated trace (SFET)\n\
-     \x20 --load-trace PATH                  replay a saved trace instead\n"
+     \x20 --load-trace PATH                  replay a saved trace instead\n\
+     \n\
+     bench options:\n\
+     \x20 --packets N                        trace size            [10000]\n\
+     \x20 --workers A,B,...                  worker counts to sweep [1,2]\n\
+     \x20 --out PATH                         also write the JSON document\n"
         .to_string()
 }
 
@@ -742,6 +794,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(text)
         }
+        Command::Bench {
+            packets,
+            workers,
+            out,
+        } => {
+            let bench = superfe_bench::experiments::throughput::measure(packets, &workers);
+            let json = bench.to_json();
+            if let Some(path) = out {
+                std::fs::write(&path, &json).map_err(|e| err(format!("writing {path}: {e}")))?;
+            }
+            Ok(json)
+        }
     }
 }
 
@@ -789,6 +853,46 @@ mod tests {
         assert!(parse_args(&args("run x --packets abc")).is_err());
         assert!(parse_args(&args("run x --unknown 1")).is_err());
         assert!(parse_args(&args("compile")).is_err());
+        assert!(parse_args(&args("bench --workers x,y")).is_err());
+        assert!(parse_args(&args("bench --packets")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_options() {
+        assert_eq!(
+            parse_args(&args("bench --packets 500 --workers 1,4 --out b.json")),
+            Ok(Command::Bench {
+                packets: 500,
+                workers: vec![1, 4],
+                out: Some("b.json".into()),
+            })
+        );
+        assert_eq!(
+            parse_args(&args("bench")),
+            Ok(Command::Bench {
+                packets: 10_000,
+                workers: vec![1, 2],
+                out: None,
+            })
+        );
+    }
+
+    #[test]
+    fn bench_command_emits_schema() {
+        let out = execute(Command::Bench {
+            packets: 1_000,
+            workers: vec![1, 2],
+            out: None,
+        })
+        .unwrap();
+        for key in [
+            "\"experiment\": \"streaming_pipeline_throughput\"",
+            "\"host_parallelism\"",
+            "\"baseline\"",
+            "\"workers\": 2",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
     }
 
     #[test]

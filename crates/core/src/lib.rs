@@ -36,10 +36,12 @@
 pub mod analyze;
 pub mod pipeline;
 pub mod software;
+pub mod stream;
 
 pub use analyze::{analyze, AnalyzeConfig};
 pub use pipeline::{Extraction, SuperFe, SuperFeConfig};
 pub use software::SoftwareExtractor;
+pub use stream::StreamingPipeline;
 
 // Re-export the component crates under predictable names.
 pub use superfe_net as net;

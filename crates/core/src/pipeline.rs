@@ -53,6 +53,9 @@ pub struct SuperFe {
     compiled: CompiledPolicy,
     switch: FeSwitch,
     nic: FeNic,
+    /// Reusable event frame: one allocation for the whole run instead of
+    /// one `Vec` per packet.
+    frame: Vec<superfe_switch::SwitchEvent>,
 }
 
 impl SuperFe {
@@ -101,6 +104,7 @@ impl SuperFe {
             compiled,
             switch,
             nic,
+            frame: Vec::new(),
         })
     }
 
@@ -111,8 +115,10 @@ impl SuperFe {
 
     /// Feeds one parsed packet through switch and NIC.
     pub fn push(&mut self, p: &PacketRecord) {
-        for e in self.switch.process(p) {
-            self.nic.handle(&e);
+        self.frame.clear();
+        self.switch.process_into(p, &mut self.frame);
+        for e in &self.frame {
+            self.nic.handle(e);
         }
     }
 
@@ -123,9 +129,8 @@ impl SuperFe {
         ts_ns: u64,
         direction: Direction,
     ) -> Result<(), ParseError> {
-        for e in self.switch.process_frame(frame, ts_ns, direction)? {
-            self.nic.handle(&e);
-        }
+        let rec = superfe_net::wire::parse_frame(frame, ts_ns, direction)?;
+        self.push(&rec);
         Ok(())
     }
 
@@ -142,8 +147,10 @@ impl SuperFe {
 
     /// Flushes the switch cache and collects all outputs.
     pub fn finish(mut self) -> Extraction {
-        for e in self.switch.flush() {
-            self.nic.handle(&e);
+        self.frame.clear();
+        self.switch.flush_into(&mut self.frame);
+        for e in &self.frame {
+            self.nic.handle(e);
         }
         let group_vectors = self.nic.finish();
         let packet_vectors = self.nic.take_packet_vectors();

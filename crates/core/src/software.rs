@@ -95,7 +95,7 @@ impl SoftwareExtractor {
             if let Some(key) = pkt_key {
                 self.packet_vectors.push(FeatureVector {
                     key,
-                    values: pkt_values,
+                    values: pkt_values.into(),
                 });
             }
         }
@@ -133,7 +133,7 @@ impl SoftwareExtractor {
                 for (key, exec) in &self.levels[li] {
                     groups.push(FeatureVector {
                         key: *key,
-                        values: exec.finalize(),
+                        values: exec.finalize().into(),
                     });
                 }
             }

@@ -21,17 +21,33 @@
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in data {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The 256-entry CRC-32 lookup table, computed at compile time. Byte-at-a-time
+/// table lookup replaces the 8-iteration bitwise loop on the per-packet key
+/// hashing path while producing bit-identical hashes.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let lsb = crc & 1;
             crc >>= 1;
             if lsb != 0 {
                 crc ^= 0xEDB8_8320;
             }
+            bit += 1;
         }
+        table[i] = crc;
+        i += 1;
     }
-    !crc
-}
+    table
+};
 
 /// CRC-32 of two 32-bit words, used for host/channel keys.
 pub fn crc32_words(words: &[u32]) -> u32 {
@@ -57,13 +73,153 @@ pub fn bucket_of(hash: u32, buckets: usize) -> usize {
     }
 }
 
+/// A fast, deterministic, non-cryptographic hasher (the FxHash algorithm
+/// from rustc, vendored).
+///
+/// The std `HashMap` default (SipHash-1-3) buys DoS resistance the NIC
+/// simulator does not need — group keys are already dispersed by the
+/// switch's CRC before they reach any host-side table — and costs several
+/// times the cycles. Fx folds each word in with a multiply and a rotate,
+/// which is both faster and *stable across runs*, keeping the parallel
+/// executor's merge order deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit Fx multiplier (≈ 2^64 / φ, an odd constant with good dispersion).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`] — the group-table overflow default.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{Hash, Hasher};
 
     #[test]
     fn crc32_check_value() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_table_matches_bitwise_reference() {
+        // The table-driven form must be bit-identical to the canonical
+        // bitwise algorithm it replaced (switch and NIC share these hashes).
+        fn bitwise(data: &[u8]) -> u32 {
+            let mut crc: u32 = 0xFFFF_FFFF;
+            for &b in data {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let lsb = crc & 1;
+                    crc >>= 1;
+                    if lsb != 0 {
+                        crc ^= 0xEDB8_8320;
+                    }
+                }
+            }
+            !crc
+        }
+        for data in [
+            &b""[..],
+            b"a",
+            b"123456789",
+            &[0xFF; 13],
+            &[0x00, 0x80, 0x7F, 0x01, 0xAA, 0x55],
+        ] {
+            assert_eq!(crc32(data), bitwise(data));
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        let h = |x: &crate::GroupKey| {
+            let mut hasher = FxHasher::default();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        let k = crate::GroupKey::Host(42);
+        assert_eq!(h(&k), h(&k));
+        assert_ne!(h(&crate::GroupKey::Host(1)), h(&crate::GroupKey::Host(2)));
+    }
+
+    #[test]
+    fn fx_hashmap_round_trips() {
+        let mut m: FxHashMap<crate::GroupKey, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(crate::GroupKey::Host(i), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&crate::GroupKey::Host(999)), Some(&999));
+    }
+
+    #[test]
+    fn fx_write_covers_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"0123456789abc"); // 8-byte chunk + 5-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"0123456789abd");
+        assert_ne!(a.finish(), b.finish());
     }
 
     #[test]

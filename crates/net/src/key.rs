@@ -194,21 +194,40 @@ impl GroupKey {
 
     /// Serializes the key for hashing and switch↔NIC transfer.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = [0u8; Self::MAX_KEY_BYTES];
+        let len = self.write_bytes(&mut buf);
+        buf[..len].to_vec()
+    }
+
+    /// The widest serialized key ([`GroupKey::Socket`] / [`GroupKey::Flow`]).
+    pub const MAX_KEY_BYTES: usize = 13;
+
+    /// Serializes the key into a caller-provided stack buffer, returning the
+    /// number of bytes written. The allocation-free form of
+    /// [`GroupKey::to_bytes`], used on the per-packet hashing path.
+    pub fn write_bytes(&self, out: &mut [u8; Self::MAX_KEY_BYTES]) -> usize {
         match self {
-            GroupKey::Host(h) => h.to_be_bytes().to_vec(),
-            GroupKey::Channel(s, d) => {
-                let mut v = Vec::with_capacity(8);
-                v.extend_from_slice(&s.to_be_bytes());
-                v.extend_from_slice(&d.to_be_bytes());
-                v
+            GroupKey::Host(h) => {
+                out[0..4].copy_from_slice(&h.to_be_bytes());
+                4
             }
-            GroupKey::Socket(ft) | GroupKey::Flow(ft) => ft.to_bytes().to_vec(),
+            GroupKey::Channel(s, d) => {
+                out[0..4].copy_from_slice(&s.to_be_bytes());
+                out[4..8].copy_from_slice(&d.to_be_bytes());
+                8
+            }
+            GroupKey::Socket(ft) | GroupKey::Flow(ft) => {
+                out[0..13].copy_from_slice(&ft.to_bytes());
+                13
+            }
         }
     }
 
     /// The 32-bit CRC hash of the key, as computed by the switch pipeline.
     pub fn hash32(&self) -> u32 {
-        crc32(&self.to_bytes())
+        let mut buf = [0u8; Self::MAX_KEY_BYTES];
+        let len = self.write_bytes(&mut buf);
+        crc32(&buf[..len])
     }
 
     /// Size of the serialized key in bytes.

@@ -25,6 +25,6 @@ pub mod packet;
 pub mod wire;
 
 pub use dir::{Direction, DirectionResolver};
-pub use hash::crc32;
+pub use hash::{crc32, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use key::{ChannelKey, FiveTuple, Granularity, GroupKey, HostKey};
 pub use packet::{PacketRecord, Protocol};

@@ -10,6 +10,7 @@ use superfe_net::{Granularity, GroupKey};
 use superfe_policy::ast::CollectUnit;
 use superfe_policy::exec::{GroupExec, RecordView};
 use superfe_policy::{CompiledPolicy, LevelProgram};
+use superfe_streaming::FeatureValues;
 use superfe_switch::{MgpvMessage, SwitchEvent};
 
 use crate::table::{GroupTable, TableStats};
@@ -20,8 +21,17 @@ pub struct FeatureVector {
     /// The key of the group (or finest-granularity key for per-packet
     /// vectors).
     pub key: GroupKey,
-    /// The features, in policy order.
-    pub values: Vec<f64>,
+    /// The features, in policy order. Stored inline for short vectors (the
+    /// common case) — no per-vector heap allocation on the `collect(pkt)`
+    /// path.
+    pub values: FeatureValues,
+}
+
+impl FeatureVector {
+    /// The feature values as a plain slice.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 /// Engine counters.
@@ -43,6 +53,19 @@ pub struct NicStats {
     pub hashes_computed: u64,
 }
 
+impl NicStats {
+    /// Adds `other`'s counters into `self` (merging per-shard engines).
+    pub fn absorb(&mut self, other: &NicStats) {
+        self.msgs += other.msgs;
+        self.records += other.records;
+        self.fg_updates += other.fg_updates;
+        self.unresolved_fg += other.unresolved_fg;
+        self.vectors += other.vectors;
+        self.hashes_reused += other.hashes_reused;
+        self.hashes_computed += other.hashes_computed;
+    }
+}
+
 struct LevelState {
     program: LevelProgram,
     table: GroupTable<GroupExec>,
@@ -55,6 +78,8 @@ pub struct FeNic {
     fg_mirror: Vec<Option<GroupKey>>,
     per_pkt: bool,
     pkt_vectors: Vec<FeatureVector>,
+    /// Reused per-record feature scratch for the `collect(pkt)` path.
+    pkt_scratch: Vec<f64>,
     stats: NicStats,
 }
 
@@ -97,6 +122,7 @@ impl FeNic {
             fg_mirror: vec![None; fg_size],
             per_pkt,
             pkt_vectors: Vec::new(),
+            pkt_scratch: Vec::new(),
             stats: NicStats::default(),
         })
     }
@@ -169,7 +195,10 @@ impl FeNic {
             };
 
             let mut emit_pkt_vector = self.per_pkt;
-            let mut pkt_values: Vec<f64> = Vec::new();
+            // Reuse one scratch buffer across records; the emitted vector
+            // copies out of it (inline, for short feature blocks).
+            let mut pkt_values = std::mem::take(&mut self.pkt_scratch);
+            pkt_values.clear();
             let mut pkt_key: Option<GroupKey> = None;
 
             for level in &mut self.levels {
@@ -199,7 +228,7 @@ impl FeNic {
                     .get_or_insert_with(key, hash, || GroupExec::new(program));
                 exec.update(&view, hash);
                 if self.per_pkt {
-                    pkt_values.extend(exec.finalize());
+                    exec.finalize_into(&mut pkt_values);
                     pkt_key.get_or_insert(key);
                 }
             }
@@ -209,10 +238,11 @@ impl FeNic {
                     self.stats.vectors += 1;
                     self.pkt_vectors.push(FeatureVector {
                         key,
-                        values: pkt_values,
+                        values: pkt_values.as_slice().into(),
                     });
                 }
             }
+            self.pkt_scratch = pkt_values;
         }
     }
 
@@ -225,12 +255,15 @@ impl FeNic {
     /// group, in policy order.
     pub fn finish(&mut self) -> Vec<FeatureVector> {
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
         for level in &self.levels {
             if let Some(CollectUnit::Group(_)) = level.program.collect {
                 for (key, exec) in level.table.iter() {
+                    scratch.clear();
+                    exec.finalize_into(&mut scratch);
                     out.push(FeatureVector {
                         key: *key,
-                        values: exec.finalize(),
+                        values: scratch.as_slice().into(),
                     });
                 }
             }

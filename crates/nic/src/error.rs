@@ -1,0 +1,42 @@
+//! Errors of the NIC-side executors.
+
+/// Why a NIC engine or multi-core executor failed.
+///
+/// Engine-instantiation failures used to collapse to `None`, which told the
+/// caller nothing; every failure now carries a diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NicError {
+    /// The [`crate::FeNic`] engine could not be instantiated for the
+    /// compiled policy (degenerate table geometry).
+    Engine(String),
+    /// A worker thread died mid-run (it panicked while processing events).
+    WorkerLost {
+        /// Shard index of the lost worker.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for NicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NicError::Engine(msg) => write!(f, "NIC engine instantiation failed: {msg}"),
+            NicError::WorkerLost { worker } => {
+                write!(f, "NIC worker {worker} terminated unexpectedly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_diagnostics() {
+        let e = NicError::Engine("zero-width group table".into());
+        assert!(e.to_string().contains("zero-width group table"));
+        assert!(NicError::WorkerLost { worker: 3 }.to_string().contains('3'));
+    }
+}

@@ -18,25 +18,32 @@
 //! - [`perf`]: the cycle model with the three §6.2 optimizations as toggles
 //!   (hash reuse, thread-level latency hiding, division elimination) — the
 //!   basis of Figs. 16 and 17.
-//! - [`parallel`]: a real multi-threaded executor (scoped threads) with
-//!   per-IP sharding, the software analogue of the NBI packet distribution.
+//! - [`stream`]: the streaming multi-core executor — CG-key-sharded worker
+//!   threads fed over bounded channels with backpressure, the software
+//!   analogue of the NBI packet distribution.
+//! - [`parallel`]: the batch façade over [`stream`] for callers holding a
+//!   complete event slice.
 //! - [`resources`]: NIC memory utilization for Table 4.
 //! - [`feasibility`]: the `SF04xx` diagnostics of `superfe check`, combining
 //!   the placement ILP and the capacity model into pass/warn/fail findings.
 
 pub mod arch;
 pub mod engine;
+pub mod error;
 pub mod feasibility;
 pub mod parallel;
 pub mod perf;
 pub mod placement;
 pub mod resources;
+pub mod stream;
 pub mod table;
 
 pub use arch::{MemLevel, NfpModel};
 pub use engine::{FeNic, FeatureVector, NicStats};
+pub use error::NicError;
 pub use feasibility::check_nic;
-pub use parallel::ParallelNic;
+pub use parallel::{ParallelNic, ParallelOutput};
 pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};
+pub use stream::{StreamOutput, StreamingNic};
 pub use table::GroupTable;

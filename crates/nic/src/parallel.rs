@@ -1,9 +1,10 @@
-//! Real multi-threaded feature computation with per-IP sharding.
+//! Batch façade over the streaming multi-core executor.
 //!
-//! On the NFP, the ingress NBI distributes packets to cores on a per-IP
-//! basis so cores never contend on the same group state (§6.2). The software
-//! analogue shards the switch's event stream by CG-key hash across worker
-//! threads, each owning a private [`FeNic`]; results are merged afterwards.
+//! [`ParallelNic`] keeps the original collect-then-fan-out API surface —
+//! hand it a complete event slice, get merged results back — but the
+//! execution now rides [`crate::stream::StreamingNic`]: events are routed
+//! into CG-key shards over bounded channels while workers compute
+//! concurrently, instead of materializing per-shard event copies up front.
 //! Because groups never span shards, this is deterministic and lock-free.
 
 use std::time::{Duration, Instant};
@@ -11,10 +12,9 @@ use std::time::{Duration, Instant};
 use superfe_policy::CompiledPolicy;
 use superfe_switch::SwitchEvent;
 
-use crate::engine::{FeNic, FeatureVector, NicStats};
-
-/// What one worker shard produces: group vectors, packet vectors, counters.
-type ShardOutput = (Vec<FeatureVector>, Vec<FeatureVector>, NicStats);
+use crate::engine::{FeatureVector, NicStats};
+use crate::error::NicError;
+use crate::stream::StreamingNic;
 
 /// Output of a parallel run.
 #[derive(Debug)]
@@ -25,7 +25,7 @@ pub struct ParallelOutput {
     pub packet_vectors: Vec<FeatureVector>,
     /// Aggregated engine counters.
     pub stats: NicStats,
-    /// Wall-clock compute time (excludes sharding).
+    /// Wall-clock time from first push to merged output.
     pub elapsed: Duration,
 }
 
@@ -47,75 +47,34 @@ impl ParallelNic {
         self.workers
     }
 
-    /// Shards `events` by CG-key hash and processes each shard on its own
-    /// thread. FG updates are broadcast to every shard (the switch control
-    /// channel does the same).
+    /// Streams `events` through a [`StreamingNic`] with this executor's
+    /// worker count and returns the merged output.
     ///
-    /// Returns `None` if the engine cannot be instantiated for `compiled`.
+    /// FG updates are broadcast to every shard (the switch control channel
+    /// does the same); MGPVs go to the shard owning their CG-key hash.
+    ///
+    /// # Errors
+    ///
+    /// [`NicError::Engine`] when the engine cannot be instantiated for
+    /// `compiled`, [`NicError::WorkerLost`] when a shard thread dies
+    /// mid-run.
     pub fn run(
         &self,
         compiled: &CompiledPolicy,
         events: &[SwitchEvent],
         fg_table_size: usize,
-    ) -> Option<ParallelOutput> {
-        // Shard: each worker receives FG updates plus its own MGPVs.
-        let mut shards: Vec<Vec<&SwitchEvent>> = vec![Vec::new(); self.workers];
-        for e in events {
-            match e {
-                SwitchEvent::FgUpdate(_) => {
-                    for s in &mut shards {
-                        s.push(e);
-                    }
-                }
-                SwitchEvent::Mgpv(m) => {
-                    let w = (m.hash as usize) % self.workers;
-                    shards[w].push(e);
-                }
-            }
-        }
-
+    ) -> Result<ParallelOutput, NicError> {
+        let mut stream = StreamingNic::new(compiled, fg_table_size, self.workers)?;
         let start = Instant::now();
-        let results: Vec<Option<ShardOutput>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut nic = FeNic::new(compiled, fg_table_size)?;
-                        for e in shard {
-                            nic.handle(e);
-                        }
-                        let groups = nic.finish();
-                        let pkts = nic.take_packet_vectors();
-                        Some((groups, pkts, *nic.stats()))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let elapsed = start.elapsed();
-
-        let mut group_vectors = Vec::new();
-        let mut packet_vectors = Vec::new();
-        let mut stats = NicStats::default();
-        for r in results {
-            let (g, p, s) = r?;
-            group_vectors.extend(g);
-            packet_vectors.extend(p);
-            stats.msgs += s.msgs;
-            stats.records += s.records;
-            stats.fg_updates += s.fg_updates;
-            stats.unresolved_fg += s.unresolved_fg;
-            stats.vectors += s.vectors;
-            stats.hashes_reused += s.hashes_reused;
-            stats.hashes_computed += s.hashes_computed;
+        for e in events {
+            stream.push(e.clone())?;
         }
-        Some(ParallelOutput {
-            group_vectors,
-            packet_vectors,
-            stats,
+        let out = stream.finish()?;
+        let elapsed = start.elapsed();
+        Ok(ParallelOutput {
+            group_vectors: out.group_vectors,
+            packet_vectors: out.packet_vectors,
+            stats: out.stats,
             elapsed,
         })
     }

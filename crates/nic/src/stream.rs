@@ -1,0 +1,345 @@
+//! Streaming multi-core NIC executor: CG-key-sharded workers fed over
+//! bounded channels.
+//!
+//! The NFP's ingress NBI distributes packets to cores on a per-IP basis so
+//! cores never contend on group state (§6.2). This module is the software
+//! analogue as a *pipeline stage*: the producer (switch simulator) pushes
+//! events as they are emitted, the executor routes each one to the worker
+//! owning its CG-key shard, and workers compute features concurrently while
+//! the producer is still parsing packets — the full event stream is never
+//! materialized.
+//!
+//! Design invariants (see DESIGN.md "Threading model"):
+//!
+//! - **Shard-by-CG-key**: an [`SwitchEvent::Mgpv`] goes to worker
+//!   `hash % workers`. Every record of a group carries the same CG hash, so
+//!   a group's state lives on exactly one worker — no locks, no cross-worker
+//!   merges of partial group state.
+//! - **FG broadcast**: [`SwitchEvent::FgUpdate`]s are appended to *every*
+//!   worker's frame, in stream order relative to the Mgpv events around
+//!   them. Each worker therefore sees an ordered subsequence of the original
+//!   stream containing all FG updates plus its own Mgpv shard, which
+//!   preserves the switch's FgUpdate-before-reference ordering per worker.
+//! - **Bounded channels**: each worker is fed over a
+//!   [`std::sync::mpsc::sync_channel`] holding at most [`CHANNEL_DEPTH`]
+//!   frames. A producer outrunning a worker blocks on `send` (backpressure)
+//!   instead of buffering unboundedly.
+//! - **Frame batching & recycling**: events travel in [`FRAME_SIZE`]-event
+//!   frames to amortize synchronization; drained frames return to the
+//!   producer over a recycle channel, so steady state runs allocation-free.
+//! - **Deterministic merge**: workers are joined and their outputs
+//!   concatenated in shard order, making results independent of thread
+//!   scheduling.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use superfe_net::Granularity;
+use superfe_policy::CompiledPolicy;
+use superfe_switch::SwitchEvent;
+
+use crate::engine::{FeNic, FeatureVector, NicStats};
+use crate::error::NicError;
+
+/// Events per channel frame (amortizes one synchronization over the frame).
+pub const FRAME_SIZE: usize = 256;
+
+/// Frames in flight per worker before the producer blocks.
+pub const CHANNEL_DEPTH: usize = 8;
+
+/// What one worker shard produces.
+struct ShardOutput {
+    groups: Vec<FeatureVector>,
+    pkts: Vec<FeatureVector>,
+    stats: NicStats,
+    groups_per_level: Vec<(Granularity, usize)>,
+}
+
+/// Merged output of a streaming run.
+#[derive(Debug)]
+pub struct StreamOutput {
+    /// Per-group feature vectors, concatenated in shard order.
+    pub group_vectors: Vec<FeatureVector>,
+    /// Per-packet feature vectors, concatenated in shard order (arrival
+    /// order within each shard).
+    pub packet_vectors: Vec<FeatureVector>,
+    /// Aggregated engine counters. Note `fg_updates` counts per worker:
+    /// broadcasts are applied once per shard.
+    pub stats: NicStats,
+    /// Live groups per granularity level, summed across shards (groups
+    /// never span shards, so the sum is exact).
+    pub groups_per_level: Vec<(Granularity, usize)>,
+}
+
+struct Worker {
+    tx: SyncSender<Vec<SwitchEvent>>,
+    join: JoinHandle<ShardOutput>,
+    /// Frame currently being filled for this worker.
+    pending: Vec<SwitchEvent>,
+}
+
+/// A streaming, CG-key-sharded multi-core NIC executor.
+///
+/// Construction spawns one thread per shard, each owning a private
+/// [`FeNic`]; [`StreamingNic::push`] routes events as they arrive and
+/// [`StreamingNic::finish`] flushes, joins, and merges deterministically.
+pub struct StreamingNic {
+    workers: Vec<Worker>,
+    recycle_tx: Sender<Vec<SwitchEvent>>,
+    recycle_rx: Receiver<Vec<SwitchEvent>>,
+    /// Locally stashed recycled frames ready for reuse.
+    spare: Vec<Vec<SwitchEvent>>,
+}
+
+impl StreamingNic {
+    /// Spawns `workers` shard threads (clamped to ≥ 1) for `compiled`.
+    ///
+    /// All engines are instantiated up front so configuration problems
+    /// surface here as [`NicError::Engine`], not inside a worker thread.
+    pub fn new(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+    ) -> Result<Self, NicError> {
+        let workers = workers.max(1);
+        let mut engines = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            engines.push(FeNic::new(compiled, fg_table_size).ok_or_else(|| {
+                NicError::Engine("degenerate NIC group-table configuration".into())
+            })?);
+        }
+        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel();
+        let workers = engines
+            .into_iter()
+            .map(|mut nic| {
+                let (tx, rx) = sync_channel::<Vec<SwitchEvent>>(CHANNEL_DEPTH);
+                let recycle = recycle_tx.clone();
+                let join = std::thread::spawn(move || {
+                    while let Ok(mut frame) = rx.recv() {
+                        for e in &frame {
+                            nic.handle(e);
+                        }
+                        frame.clear();
+                        // The producer may already be gone; recycling is
+                        // best-effort.
+                        let _ = recycle.send(frame);
+                    }
+                    let groups = nic.finish();
+                    let pkts = nic.take_packet_vectors();
+                    ShardOutput {
+                        groups,
+                        pkts,
+                        stats: *nic.stats(),
+                        groups_per_level: nic.groups_per_level(),
+                    }
+                });
+                Worker {
+                    tx,
+                    join,
+                    pending: Vec::with_capacity(FRAME_SIZE),
+                }
+            })
+            .collect();
+        Ok(StreamingNic {
+            workers,
+            recycle_tx,
+            recycle_rx,
+            spare: Vec::new(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Routes one event: Mgpv to its CG-key shard, FgUpdate to every shard.
+    ///
+    /// Blocks when the target worker is [`CHANNEL_DEPTH`] frames behind
+    /// (backpressure). Fails only if a worker thread has died.
+    pub fn push(&mut self, event: SwitchEvent) -> Result<(), NicError> {
+        match event {
+            SwitchEvent::FgUpdate(_) => {
+                for w in 0..self.workers.len() {
+                    self.workers[w].pending.push(event.clone());
+                    self.flush_if_full(w)?;
+                }
+                Ok(())
+            }
+            SwitchEvent::Mgpv(ref m) => {
+                let w = (m.hash as usize) % self.workers.len();
+                self.workers[w].pending.push(event);
+                self.flush_if_full(w)
+            }
+        }
+    }
+
+    /// Routes a batch of events in order (a switch frame).
+    pub fn push_all(
+        &mut self,
+        events: impl IntoIterator<Item = SwitchEvent>,
+    ) -> Result<(), NicError> {
+        for e in events {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    /// Drains one frame for worker `w` if it reached [`FRAME_SIZE`].
+    fn flush_if_full(&mut self, w: usize) -> Result<(), NicError> {
+        if self.workers[w].pending.len() >= FRAME_SIZE {
+            self.flush_worker(w)?;
+        }
+        Ok(())
+    }
+
+    /// Sends worker `w`'s pending frame, replacing it with a recycled one.
+    fn flush_worker(&mut self, w: usize) -> Result<(), NicError> {
+        if self.workers[w].pending.is_empty() {
+            return Ok(());
+        }
+        let replacement = self.take_spare();
+        let frame = std::mem::replace(&mut self.workers[w].pending, replacement);
+        self.workers[w]
+            .tx
+            .send(frame)
+            .map_err(|_| NicError::WorkerLost { worker: w })
+    }
+
+    /// A recycled frame if one is available, else a fresh allocation.
+    fn take_spare(&mut self) -> Vec<SwitchEvent> {
+        while let Ok(f) = self.recycle_rx.try_recv() {
+            self.spare.push(f);
+        }
+        self.spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(FRAME_SIZE))
+    }
+
+    /// Flushes remaining frames, closes the channels, joins every worker in
+    /// shard order, and merges their outputs deterministically.
+    pub fn finish(mut self) -> Result<StreamOutput, NicError> {
+        for w in 0..self.workers.len() {
+            self.flush_worker(w)?;
+        }
+        drop(self.recycle_tx);
+        let mut out = StreamOutput {
+            group_vectors: Vec::new(),
+            packet_vectors: Vec::new(),
+            stats: NicStats::default(),
+            groups_per_level: Vec::new(),
+        };
+        for (i, worker) in self.workers.into_iter().enumerate() {
+            drop(worker.tx); // closes the channel; the worker loop exits
+            let shard = worker
+                .join
+                .join()
+                .map_err(|_| NicError::WorkerLost { worker: i })?;
+            out.group_vectors.extend(shard.groups);
+            out.packet_vectors.extend(shard.pkts);
+            out.stats.absorb(&shard.stats);
+            if out.groups_per_level.is_empty() {
+                out.groups_per_level = shard.groups_per_level;
+            } else {
+                // Every engine reports the same level list in policy order.
+                for (acc, (_, n)) in out.groups_per_level.iter_mut().zip(shard.groups_per_level) {
+                    acc.1 += n;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_net::PacketRecord;
+    use superfe_policy::compile;
+    use superfe_policy::dsl::parse;
+    use superfe_switch::FeSwitch;
+
+    fn compiled(src: &str) -> CompiledPolicy {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    fn run_streaming(c: &CompiledPolicy, n: u32, workers: usize) -> StreamOutput {
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic = StreamingNic::new(c, 16_384, workers).unwrap();
+        let mut frame = Vec::new();
+        for i in 0..n {
+            let p = PacketRecord::tcp(u64::from(i) * 100, 100, i % 31 + 1, 1000, 2, 80);
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        nic.finish().unwrap()
+    }
+
+    fn sorted(mut v: Vec<FeatureVector>) -> Vec<FeatureVector> {
+        v.sort_by(|a, b| format!("{:?}", a.key).cmp(&format!("{:?}", b.key)));
+        v
+    }
+
+    #[test]
+    fn streaming_matches_single_worker() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let seq = run_streaming(&c, 2000, 1);
+        let par = run_streaming(&c, 2000, 8);
+        assert_eq!(seq.stats.records, 2000);
+        assert_eq!(par.stats.records, 2000);
+        assert_eq!(sorted(seq.group_vectors), sorted(par.group_vectors));
+    }
+
+    #[test]
+    fn worker_count_clamped_to_one() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        assert_eq!(StreamingNic::new(&c, 16_384, 0).unwrap().workers(), 1);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic() {
+        // Same input, many runs: output order must be identical every time
+        // (workers are joined in shard order, not completion order).
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let baseline = run_streaming(&c, 1500, 4);
+        for _ in 0..3 {
+            let again = run_streaming(&c, 1500, 4);
+            assert_eq!(baseline.group_vectors, again.group_vectors);
+            assert_eq!(baseline.packet_vectors, again.packet_vectors);
+        }
+    }
+
+    #[test]
+    fn frames_are_recycled() {
+        // Push far more events than CHANNEL_DEPTH × workers frames; with
+        // recycling the executor still completes with bounded memory, and
+        // every record survives the frame transport.
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let out = run_streaming(&c, 20_000, 2);
+        assert_eq!(out.stats.records, 20_000);
+        let total: f64 = out.group_vectors.iter().map(|g| g.values[0]).sum();
+        assert!((total - 20_000.0 * 100.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn multi_granularity_fg_broadcast() {
+        // FG updates must reach every worker so finer levels resolve on
+        // whichever shard their CG records land.
+        let c = compiled(
+            "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+             .groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        );
+        let out = run_streaming(&c, 600, 4);
+        assert_eq!(out.stats.unresolved_fg, 0);
+        let hosts = out
+            .group_vectors
+            .iter()
+            .filter(|v| matches!(v.key, superfe_net::GroupKey::Host(_)))
+            .count();
+        assert_eq!(hosts, 31);
+    }
+}

@@ -7,9 +7,7 @@
 //! while the collision rate stays low, which the paper (and our tests)
 //! verify.
 
-use std::collections::HashMap;
-
-use superfe_net::GroupKey;
+use superfe_net::{FxHashMap, GroupKey};
 
 /// Lookup/insert statistics, used to validate the low-collision-rate claim.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,7 +38,10 @@ impl TableStats {
 pub struct GroupTable<V> {
     buckets: Vec<Vec<(GroupKey, V)>>,
     width: usize,
-    overflow: HashMap<GroupKey, V>,
+    /// DRAM spill. Keyed with the vendored Fx hasher: the std SipHash
+    /// default is DoS-hardened but several times slower, and the keys
+    /// reaching this map are already CRC-dispersed by the switch.
+    overflow: FxHashMap<GroupKey, V>,
     stats: TableStats,
 }
 
@@ -55,7 +56,7 @@ impl<V> GroupTable<V> {
         Some(GroupTable {
             buckets: (0..buckets).map(|_| Vec::with_capacity(width)).collect(),
             width,
-            overflow: HashMap::new(),
+            overflow: FxHashMap::default(),
             stats: TableStats::default(),
         })
     }

@@ -191,36 +191,45 @@ impl ReducerInstance {
 
     /// Emits this function's feature values.
     pub fn finalize(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.finalize_into(&mut out);
+        out
+    }
+
+    /// Appends this function's feature values to `out` — the allocation-free
+    /// form of [`ReducerInstance::finalize`] for scalar reducers (per-packet
+    /// `collect(pkt)` finalizes every record).
+    pub fn finalize_into(&self, out: &mut Vec<f64>) {
         match self {
-            ReducerInstance::Sum(s) => vec![s.value()],
-            ReducerInstance::Welford(w, out) => vec![match out {
+            ReducerInstance::Sum(s) => out.push(s.value()),
+            ReducerInstance::Welford(w, which) => out.push(match which {
                 WelfordOut::Mean => w.mean(),
                 WelfordOut::Var => w.variance(),
                 WelfordOut::Std => w.std_dev(),
-            }],
-            ReducerInstance::MinMax(m, out) => vec![match out {
+            }),
+            ReducerInstance::MinMax(m, which) => out.push(match which {
                 MinMaxOut::Min => m.min(),
                 MinMaxOut::Max => m.max(),
-            }],
-            ReducerInstance::Moments(m, out) => vec![match out {
+            }),
+            ReducerInstance::Moments(m, which) => out.push(match which {
                 MomentsOut::Skew => m.skewness(),
                 MomentsOut::Kurtosis => m.kurtosis(),
-            }],
-            ReducerInstance::Card(h) => vec![h.estimate()],
-            ReducerInstance::Array(a) => a.finalize(),
-            ReducerInstance::Hist(h, out) => match out {
-                HistOut::Counts => h.finalize(),
-                HistOut::Pdf => h.pdf(),
-                HistOut::Cdf => h.cdf(),
-                HistOut::Percentile(q) => vec![h.percentile(*q).unwrap_or(0.0)],
+            }),
+            ReducerInstance::Card(h) => out.push(h.estimate()),
+            ReducerInstance::Array(a) => out.extend(a.finalize()),
+            ReducerInstance::Hist(h, which) => match which {
+                HistOut::Counts => out.extend(h.finalize()),
+                HistOut::Pdf => out.extend(h.pdf()),
+                HistOut::Cdf => out.extend(h.cdf()),
+                HistOut::Percentile(q) => out.push(h.percentile(*q).unwrap_or(0.0)),
             },
-            ReducerInstance::Damped(d) => d.triple().to_vec(),
-            ReducerInstance::Bidir(p, out) => match out {
-                BidirOut::Mag => vec![p.magnitude()],
-                BidirOut::Radius => vec![p.radius()],
-                BidirOut::Cov => vec![p.covariance()],
-                BidirOut::Pcc => vec![p.pcc()],
-                BidirOut::Quad => p.quad().to_vec(),
+            ReducerInstance::Damped(d) => out.extend_from_slice(&d.triple()),
+            ReducerInstance::Bidir(p, which) => match which {
+                BidirOut::Mag => out.push(p.magnitude()),
+                BidirOut::Radius => out.push(p.radius()),
+                BidirOut::Cov => out.push(p.covariance()),
+                BidirOut::Pcc => out.push(p.pcc()),
+                BidirOut::Quad => out.extend_from_slice(&p.quad()),
             },
         }
     }
@@ -281,22 +290,99 @@ pub fn apply_synths(mut features: Vec<f64>, synths: &[SynthFn]) -> Vec<f64> {
     features
 }
 
+/// A precompiled per-record value source.
+///
+/// Field lookups used to run per record: every `update` built a
+/// `Vec<(String, Option<f64>)>` of map outputs (one `String` allocation per
+/// map per record) and resolved `Field::Named` by reverse linear string
+/// search. The name → slot binding is static per level, so [`GroupExec::new`]
+/// resolves it once and the hot path reduces to an indexed load.
+#[derive(Clone, Copy, Debug)]
+enum ValueSource {
+    /// `rec.size`.
+    Size,
+    /// `rec.ts_ns`.
+    Tstamp,
+    /// `rec.direction`.
+    Direction,
+    /// `rec.tcp_flags`.
+    TcpFlags,
+    /// Output slot of the map at this index (last writer among those in
+    /// scope, preserving the reverse-search semantics).
+    Map(usize),
+    /// Never resolvable (group-key fields, or a name no map in scope wrote).
+    Missing,
+}
+
+impl ValueSource {
+    /// Binds `field` against the maps in scope (`maps[..upto]` — maps read
+    /// only earlier outputs; reduces read all of them).
+    fn bind(field: &Field, maps: &[MapOp], upto: usize) -> ValueSource {
+        match field {
+            Field::Size => ValueSource::Size,
+            Field::Tstamp => ValueSource::Tstamp,
+            Field::Direction => ValueSource::Direction,
+            Field::TcpFlags => ValueSource::TcpFlags,
+            Field::Named(n) => maps[..upto]
+                .iter()
+                .rposition(|m| m.dst.name() == *n)
+                .map_or(ValueSource::Missing, ValueSource::Map),
+            // Addresses/ports/protocol are group keys, not per-record values;
+            // reducing over them is meaningful only via f_card, which hashes
+            // whatever numeric it gets. They are not resolvable here.
+            _ => ValueSource::Missing,
+        }
+    }
+
+    /// Reads the value for one record. `map_out` holds this record's map
+    /// outputs for every slot a bound source can reference.
+    fn read(self, rec: &RecordView, map_out: &[Option<f64>]) -> Option<f64> {
+        match self {
+            ValueSource::Size => Some(rec.size),
+            ValueSource::Tstamp => Some(rec.ts_ns as f64),
+            ValueSource::Direction => Some(rec.direction as f64),
+            ValueSource::TcpFlags => Some(f64::from(rec.tcp_flags)),
+            ValueSource::Map(i) => map_out[i],
+            ValueSource::Missing => None,
+        }
+    }
+}
+
 /// The execution state of one group at one granularity level.
 #[derive(Clone, Debug)]
 pub struct GroupExec {
     maps: Vec<(MapOp, MapState)>,
+    /// Bound source of `maps[i].src`, referencing only slots `< i`.
+    map_sources: Vec<ValueSource>,
     reduces: Vec<(ReduceOp, Vec<ReducerInstance>)>,
+    /// Bound source of `reduces[i].src`.
+    reduce_sources: Vec<ValueSource>,
+    /// This record's map outputs, reused across records. Slot `i` is written
+    /// before anything reads it, so stale values are never observed.
+    map_out: Vec<Option<f64>>,
 }
 
 impl GroupExec {
     /// Instantiates the state for one group of `level`.
     pub fn new(level: &LevelProgram) -> Self {
+        let map_sources = level
+            .maps
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ValueSource::bind(&m.src, &level.maps, i))
+            .collect();
+        let reduce_sources = level
+            .reduces
+            .iter()
+            .map(|r| ValueSource::bind(&r.src, &level.maps, level.maps.len()))
+            .collect();
         GroupExec {
             maps: level
                 .maps
                 .iter()
                 .map(|m| (m.clone(), MapState::default()))
                 .collect(),
+            map_sources,
             reduces: level
                 .reduces
                 .iter()
@@ -305,25 +391,8 @@ impl GroupExec {
                     (r.clone(), instances)
                 })
                 .collect(),
-        }
-    }
-
-    /// Resolves a field for this record, consulting mapped values.
-    fn resolve(field: &Field, rec: &RecordView, named: &[(String, Option<f64>)]) -> Option<f64> {
-        match field {
-            Field::Size => Some(rec.size),
-            Field::Tstamp => Some(rec.ts_ns as f64),
-            Field::Direction => Some(rec.direction as f64),
-            Field::TcpFlags => Some(f64::from(rec.tcp_flags)),
-            Field::Named(n) => named
-                .iter()
-                .rev()
-                .find(|(name, _)| name == n)
-                .and_then(|(_, v)| *v),
-            // Addresses/ports/protocol are group keys, not per-record values;
-            // reducing over them is meaningful only via f_card, which hashes
-            // whatever numeric it gets. They are not resolvable here.
-            _ => None,
+            reduce_sources,
+            map_out: vec![None; level.maps.len()],
         }
     }
 
@@ -331,15 +400,20 @@ impl GroupExec {
     ///
     /// `key_hash` is the switch-computed hash, reused by `f_card`.
     pub fn update(&mut self, rec: &RecordView, key_hash: u32) {
+        let GroupExec {
+            maps,
+            map_sources,
+            reduces,
+            reduce_sources,
+            map_out,
+        } = self;
         // Evaluate maps in order; later maps may read earlier outputs.
-        let mut named: Vec<(String, Option<f64>)> = Vec::with_capacity(self.maps.len());
-        for (op, state) in &mut self.maps {
-            let src = Self::resolve(&op.src, rec, &named);
-            let out = state.apply(op.func, src, rec);
-            named.push((op.dst.name(), out));
+        for (i, (op, state)) in maps.iter_mut().enumerate() {
+            let src = map_sources[i].read(rec, map_out);
+            map_out[i] = state.apply(op.func, src, rec);
         }
-        for (op, instances) in &mut self.reduces {
-            let value = match Self::resolve(&op.src, rec, &named) {
+        for ((_, instances), source) in reduces.iter_mut().zip(reduce_sources.iter()) {
+            let value = match source.read(rec, map_out) {
                 Some(v) => v,
                 None => continue, // e.g. f_ipt's first packet
             };
@@ -352,15 +426,27 @@ impl GroupExec {
 
     /// Emits the group's feature block (reduces in order, synthesized).
     pub fn finalize(&self) -> Vec<f64> {
-        let mut out = Vec::new();
-        for (op, instances) in &self.reduces {
-            let mut block = Vec::new();
-            for inst in instances {
-                block.extend(inst.finalize());
-            }
-            out.extend(apply_synths(block, &op.synths));
-        }
+        let mut out = Vec::with_capacity(self.feature_len());
+        self.finalize_into(&mut out);
         out
+    }
+
+    /// Appends the group's feature block to `out` — the buffer-reusing form
+    /// of [`GroupExec::finalize`] for the per-packet collection path.
+    pub fn finalize_into(&self, out: &mut Vec<f64>) {
+        for (op, instances) in &self.reduces {
+            if op.synths.is_empty() {
+                for inst in instances {
+                    inst.finalize_into(out);
+                }
+            } else {
+                let mut block = Vec::new();
+                for inst in instances {
+                    inst.finalize_into(&mut block);
+                }
+                out.extend(apply_synths(block, &op.synths));
+            }
+        }
     }
 
     /// Expected feature length (stable across groups of the level).

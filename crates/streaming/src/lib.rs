@@ -30,6 +30,7 @@ pub mod naive;
 pub mod reducer;
 pub mod seq;
 pub mod simple;
+pub mod smallvec;
 pub mod transfer;
 pub mod welford;
 
@@ -42,5 +43,6 @@ pub use naive::{NaiveCardinality, NaiveDistribution, NaiveVariance};
 pub use reducer::Reducer;
 pub use seq::{cumul_interp, markers, normalize, sample_evenly, BurstTracker, SeqArray};
 pub use simple::{Count, MinMax, Sum};
+pub use smallvec::FeatureValues;
 pub use transfer::Interval;
 pub use welford::Welford;

@@ -103,10 +103,15 @@ impl Reducer for NaiveCardinality {
     }
 }
 
-/// Exact distribution features by buffering and sorting.
+/// Exact distribution features by buffering and selecting order statistics.
 #[derive(Clone, Debug, Default)]
 pub struct NaiveDistribution {
     samples: Vec<f64>,
+    /// Reused selection buffer: `percentile` must not reorder `samples`
+    /// (histograms and repeated quantile queries read them in place), so the
+    /// partition runs on this scratch copy. `RefCell` keeps the query API
+    /// `&self`; the type stays `Send` for per-worker use.
+    scratch: std::cell::RefCell<Vec<f64>>,
 }
 
 impl NaiveDistribution {
@@ -117,18 +122,30 @@ impl NaiveDistribution {
 
     /// Exact `q`-quantile (linear interpolation between order statistics).
     ///
+    /// Uses `select_nth_unstable_by` on a reused scratch buffer — O(n)
+    /// expected time per query instead of cloning and fully sorting.
+    ///
     /// Returns `None` when empty or `q` is outside `[0, 1]`.
     pub fn percentile(&self, q: f64) -> Option<f64> {
         if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let pos = q * (v.len() - 1) as f64;
+        let pos = q * (self.samples.len() - 1) as f64;
         let lo = pos.floor() as usize;
-        let hi = (lo + 1).min(v.len() - 1);
         let frac = pos - lo as f64;
-        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+        let mut v = self.scratch.borrow_mut();
+        v.clear();
+        v.extend_from_slice(&self.samples);
+        let (_, lo_val, above) =
+            v.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let lo_val = *lo_val;
+        if frac == 0.0 {
+            return Some(lo_val);
+        }
+        // frac > 0 ⇒ pos < len-1 ⇒ the suffix is non-empty, and its minimum
+        // is exactly the (lo+1)-th order statistic.
+        let hi_val = above.iter().copied().fold(f64::INFINITY, f64::min);
+        Some(lo_val * (1.0 - frac) + hi_val * frac)
     }
 
     /// Exact histogram with `bins` fixed-width bins of `width`.
@@ -260,6 +277,36 @@ mod tests {
             h.update(x);
         }
         assert_eq!(nd.histogram(10.0, 8), h.counts());
+    }
+
+    #[test]
+    fn selection_percentile_matches_sorted_reference() {
+        // The select_nth path must reproduce the clone-and-sort definition
+        // exactly, including interpolation, duplicates, and repeated queries
+        // (the scratch buffer is reused across calls).
+        let mut nd = NaiveDistribution::new();
+        let xs: Vec<f64> = (0..257).map(|i| f64::from((i * 97) % 101)).collect();
+        for &x in &xs {
+            nd.update(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(sorted.len() - 1);
+            let frac = pos - lo as f64;
+            let want = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+            assert_eq!(nd.percentile(q), Some(want), "q={q}");
+        }
+        // Queries must not disturb the sample order.
+        assert_eq!(nd.histogram(10.0, 16), {
+            let mut fresh = NaiveDistribution::new();
+            for &x in &xs {
+                fresh.update(x);
+            }
+            fresh.histogram(10.0, 16)
+        });
     }
 
     #[test]

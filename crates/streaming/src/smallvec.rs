@@ -1,0 +1,326 @@
+//! Inline small-vector storage for feature values.
+//!
+//! Most policies emit a handful of scalar features per group — a few sums,
+//! a mean/variance pair — so the common `FeatureVector::values` payload is
+//! ≤ 8 doubles. Boxing those in a `Vec<f64>` costs one heap allocation per
+//! emitted vector, which on the per-packet `collect(pkt)` path means one
+//! allocation *per packet*. [`FeatureValues`] stores up to
+//! [`FeatureValues::INLINE_CAP`] values directly in the struct and spills to
+//! a `Vec` only for wide outputs (histograms, `f_array`), with no `unsafe`:
+//! `f64` is `Copy`, so unused inline slots simply hold `0.0`.
+
+/// A growable sequence of `f64` feature values with inline storage for the
+/// common short case.
+#[derive(Clone, Debug)]
+pub enum FeatureValues {
+    /// Up to [`FeatureValues::INLINE_CAP`] values stored inline.
+    Inline {
+        /// Backing array; slots at index ≥ `len` are unused (and zero).
+        buf: [f64; FeatureValues::INLINE_CAP],
+        /// Number of live values in `buf`.
+        len: u8,
+    },
+    /// Spilled storage for wide outputs.
+    Heap(Vec<f64>),
+}
+
+impl FeatureValues {
+    /// Number of values stored without heap allocation.
+    pub const INLINE_CAP: usize = 8;
+
+    /// Creates an empty value list (inline, no allocation).
+    pub fn new() -> Self {
+        FeatureValues::Inline {
+            buf: [0.0; Self::INLINE_CAP],
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list that will hold at least `n` values without
+    /// reallocating. Stays inline when `n` fits.
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= Self::INLINE_CAP {
+            Self::new()
+        } else {
+            FeatureValues::Heap(Vec::with_capacity(n))
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureValues::Inline { len, .. } => usize::from(*len),
+            FeatureValues::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            FeatureValues::Inline { buf, len } => &buf[..usize::from(*len)],
+            FeatureValues::Heap(v) => v,
+        }
+    }
+
+    /// The values as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        match self {
+            FeatureValues::Inline { buf, len } => &mut buf[..usize::from(*len)],
+            FeatureValues::Heap(v) => v,
+        }
+    }
+
+    /// Appends one value, spilling to the heap on overflow of the inline
+    /// buffer.
+    pub fn push(&mut self, value: f64) {
+        match self {
+            FeatureValues::Inline { buf, len } => {
+                let n = usize::from(*len);
+                if n < Self::INLINE_CAP {
+                    buf[n] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE_CAP * 2);
+                    v.extend_from_slice(buf);
+                    v.push(value);
+                    *self = FeatureValues::Heap(v);
+                }
+            }
+            FeatureValues::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Appends every value in `values`.
+    pub fn extend_from_slice(&mut self, values: &[f64]) {
+        match self {
+            FeatureValues::Inline { buf, len } => {
+                let n = usize::from(*len);
+                if n + values.len() <= Self::INLINE_CAP {
+                    buf[n..n + values.len()].copy_from_slice(values);
+                    *len += values.len() as u8;
+                } else {
+                    let mut v = Vec::with_capacity(n + values.len());
+                    v.extend_from_slice(&buf[..n]);
+                    v.extend_from_slice(values);
+                    *self = FeatureValues::Heap(v);
+                }
+            }
+            FeatureValues::Heap(v) => v.extend_from_slice(values),
+        }
+    }
+
+    /// Clears the list, retaining heap capacity when already spilled so a
+    /// recycled buffer keeps its allocation.
+    pub fn clear(&mut self) {
+        match self {
+            FeatureValues::Inline { len, .. } => *len = 0,
+            FeatureValues::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Converts into a plain `Vec<f64>` (allocates for the inline case).
+    pub fn into_vec(self) -> Vec<f64> {
+        match self {
+            FeatureValues::Inline { buf, len } => buf[..usize::from(len)].to_vec(),
+            FeatureValues::Heap(v) => v,
+        }
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for FeatureValues {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for FeatureValues {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for FeatureValues {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for FeatureValues {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<f64>> for FeatureValues {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<FeatureValues> for Vec<f64> {
+    fn eq(&self, other: &FeatureValues) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for FeatureValues {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl From<Vec<f64>> for FeatureValues {
+    fn from(v: Vec<f64>) -> Self {
+        if v.len() <= Self::INLINE_CAP {
+            let mut out = Self::new();
+            out.extend_from_slice(&v);
+            out
+        } else {
+            FeatureValues::Heap(v)
+        }
+    }
+}
+
+impl From<&[f64]> for FeatureValues {
+    fn from(v: &[f64]) -> Self {
+        let mut out = Self::with_capacity(v.len());
+        out.extend_from_slice(v);
+        out
+    }
+}
+
+impl From<FeatureValues> for Vec<f64> {
+    fn from(v: FeatureValues) -> Self {
+        v.into_vec()
+    }
+}
+
+impl FromIterator<f64> for FeatureValues {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl Extend<f64> for FeatureValues {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl std::ops::Index<usize> for FeatureValues {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.as_slice()[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureValues {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_cap() {
+        let mut v = FeatureValues::new();
+        for i in 0..FeatureValues::INLINE_CAP {
+            v.push(i as f64);
+        }
+        assert!(matches!(v, FeatureValues::Inline { .. }));
+        assert_eq!(v.len(), FeatureValues::INLINE_CAP);
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn spills_on_ninth_push() {
+        let mut v = FeatureValues::new();
+        for i in 0..9 {
+            v.push(f64::from(i));
+        }
+        assert!(matches!(v, FeatureValues::Heap(_)));
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[8], 8.0);
+    }
+
+    #[test]
+    fn extend_from_slice_spills_once() {
+        let mut v = FeatureValues::new();
+        v.push(1.0);
+        v.extend_from_slice(&[2.0; 20]);
+        assert_eq!(v.len(), 21);
+        assert_eq!(v[0], 1.0);
+        assert!(v.iter().skip(1).all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn clear_resets_but_preserves_variant() {
+        let mut inline = FeatureValues::from(vec![1.0, 2.0]);
+        inline.clear();
+        assert!(inline.is_empty());
+        assert!(matches!(inline, FeatureValues::Inline { .. }));
+
+        let mut heap = FeatureValues::from(vec![0.0; 20]);
+        heap.clear();
+        assert!(heap.is_empty());
+        assert!(matches!(heap, FeatureValues::Heap(_)));
+    }
+
+    #[test]
+    fn equality_with_vec() {
+        let v = FeatureValues::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(vec![1.0, 2.0, 3.0], v);
+        assert_ne!(v, vec![1.0, 2.0]);
+        let wide = FeatureValues::from(vec![5.0; 100]);
+        assert_eq!(wide, vec![5.0; 100]);
+    }
+
+    #[test]
+    fn round_trips_through_vec() {
+        for n in [0usize, 1, 8, 9, 100] {
+            let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let fv = FeatureValues::from(src.clone());
+            assert_eq!(fv.len(), n);
+            assert_eq!(fv.into_vec(), src);
+        }
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let v: FeatureValues = (0..4).map(f64::from).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let v = FeatureValues::from(vec![3.0, 1.0, 2.0]);
+        assert_eq!(v.iter().copied().fold(f64::MIN, f64::max), 3.0);
+        assert_eq!(v.first(), Some(&3.0));
+    }
+}

@@ -45,19 +45,29 @@ impl GpvBank {
     /// Inserts a packet into every per-granularity cache.
     pub fn insert(&mut self, p: &PacketRecord) -> Vec<SwitchEvent> {
         let mut events = Vec::new();
-        for (g, cache) in &mut self.caches {
-            events.extend(cache.insert(p, g.key_of(p), None));
-        }
+        self.insert_into(p, &mut events);
         events
+    }
+
+    /// Inserts one packet, appending events to a caller-supplied buffer.
+    pub fn insert_into(&mut self, p: &PacketRecord, events: &mut Vec<SwitchEvent>) {
+        for (g, cache) in &mut self.caches {
+            cache.insert_into(p, g.key_of(p), None, events);
+        }
     }
 
     /// Flushes every cache.
     pub fn flush(&mut self) -> Vec<SwitchEvent> {
         let mut events = Vec::new();
-        for (_, cache) in &mut self.caches {
-            events.extend(cache.flush());
-        }
+        self.flush_into(&mut events);
         events
+    }
+
+    /// Flushes every cache into a caller-supplied buffer.
+    pub fn flush_into(&mut self, events: &mut Vec<SwitchEvent>) {
+        for (_, cache) in &mut self.caches {
+            cache.flush_into(events);
+        }
     }
 
     /// Total static SRAM footprint across caches.

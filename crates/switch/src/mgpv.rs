@@ -225,9 +225,24 @@ impl MgpvCache {
         cg_key: GroupKey,
         fg_key: Option<GroupKey>,
     ) -> Vec<SwitchEvent> {
+        let mut events = Vec::new();
+        self.insert_into(p, cg_key, fg_key, &mut events);
+        events
+    }
+
+    /// Inserts one packet, appending the events it triggered (in order) to a
+    /// caller-supplied buffer — the allocation-free form of
+    /// [`MgpvCache::insert`] used by the streaming pipeline, which recycles
+    /// one event frame across packets instead of allocating per packet.
+    pub fn insert_into(
+        &mut self,
+        p: &PacketRecord,
+        cg_key: GroupKey,
+        fg_key: Option<GroupKey>,
+        events: &mut Vec<SwitchEvent>,
+    ) {
         let now = p.ts_ns;
         self.stats.packets += 1;
-        let mut events = Vec::new();
 
         // --- FG table maintenance (before anything references the slot). ---
         let fg_idx = match (self.has_fg_table(), fg_key) {
@@ -241,12 +256,7 @@ impl MgpvCache {
                         let buckets = std::mem::take(&mut self.fg_refs[slot]);
                         for b in buckets {
                             if self.entries[b].is_some() {
-                                self.evict_bucket(
-                                    b,
-                                    EvictionCause::FgCollision,
-                                    Some(now),
-                                    &mut events,
-                                );
+                                self.evict_bucket(b, EvictionCause::FgCollision, Some(now), events);
                             }
                         }
                         self.fg_table[slot] = Some(fk);
@@ -280,7 +290,7 @@ impl MgpvCache {
             None => false,
         };
         if self.entries[bucket].is_some() && !matches {
-            self.evict_bucket(bucket, EvictionCause::CgCollision, Some(now), &mut events);
+            self.evict_bucket(bucket, EvictionCause::CgCollision, Some(now), events);
         }
         if self.entries[bucket].is_none() {
             self.entries[bucket] = Some(CgEntry {
@@ -301,7 +311,7 @@ impl MgpvCache {
                 self.long[lp as usize].push(rec);
                 self.stats.resident_records += 1;
                 if self.long[lp as usize].len() >= cfg.long_size {
-                    self.evict_bucket(bucket, EvictionCause::LongFull, Some(now), &mut events);
+                    self.evict_bucket(bucket, EvictionCause::LongFull, Some(now), events);
                     // The group stays conceptually known but its buffers are
                     // recycled; re-create an empty entry for future packets.
                     self.entries[bucket] = Some(CgEntry {
@@ -325,7 +335,7 @@ impl MgpvCache {
                 // Short full and no long buffer was available earlier: flush
                 // the short buffer (ShortFull) and restart it with this
                 // record.
-                self.evict_bucket(bucket, EvictionCause::ShortFull, Some(now), &mut events);
+                self.evict_bucket(bucket, EvictionCause::ShortFull, Some(now), events);
                 self.entries[bucket] = Some(CgEntry {
                     key: cg_key,
                     hash,
@@ -360,7 +370,7 @@ impl MgpvCache {
                     None => false,
                 };
                 if expired {
-                    self.evict_bucket(i, EvictionCause::Aging, Some(now), &mut events);
+                    self.evict_bucket(i, EvictionCause::Aging, Some(now), events);
                 }
             }
         }
@@ -376,19 +386,22 @@ impl MgpvCache {
                 }
             }
         }
-
-        events
     }
 
     /// Evicts every resident group (end of trace).
     pub fn flush(&mut self) -> Vec<SwitchEvent> {
         let mut events = Vec::new();
+        self.flush_into(&mut events);
+        events
+    }
+
+    /// Evicts every resident group into a caller-supplied buffer.
+    pub fn flush_into(&mut self, events: &mut Vec<SwitchEvent>) {
         for b in 0..self.entries.len() {
             if self.entries[b].is_some() {
-                self.evict_bucket(b, EvictionCause::Flush, None, &mut events);
+                self.evict_bucket(b, EvictionCause::Flush, None, events);
             }
         }
-        events
     }
 
     fn evict_bucket(

@@ -139,17 +139,28 @@ impl FeSwitch {
 
     /// Processes a pre-parsed packet record.
     pub fn process(&mut self, p: &PacketRecord) -> Vec<SwitchEvent> {
+        let mut events = Vec::new();
+        self.process_into(p, &mut events);
+        events
+    }
+
+    /// Processes a pre-parsed packet record, appending the emitted events to
+    /// a caller-supplied frame. The allocation-free form of
+    /// [`FeSwitch::process`]: the streaming pipeline recycles one frame
+    /// across packets instead of allocating a `Vec` per packet.
+    pub fn process_into(&mut self, p: &PacketRecord, out: &mut Vec<SwitchEvent>) {
         self.stats.pkts_in += 1;
         self.stats.bytes_in += u64::from(p.size);
 
         if let Some(pred) = &self.program.filter {
             if !eval_predicate(pred, p) {
-                return Vec::new();
+                return;
             }
         }
         self.stats.pkts_matched += 1;
 
-        let events = match &mut self.cache {
+        let start = out.len();
+        match &mut self.cache {
             CacheImpl::Mgpv(c) => {
                 let cg = self.program.cg().key_of(p);
                 let fg = if self.program.needs_fg_table() {
@@ -157,22 +168,33 @@ impl FeSwitch {
                 } else {
                     None
                 };
-                c.insert(p, cg, fg)
+                c.insert_into(p, cg, fg, out);
             }
-            CacheImpl::Gpv(b) => b.insert(p),
-        };
-        self.account(&events);
-        events
+            CacheImpl::Gpv(b) => b.insert_into(p, out),
+        }
+        self.account_tail(out, start);
     }
 
     /// Flushes the cache at end of trace.
     pub fn flush(&mut self) -> Vec<SwitchEvent> {
-        let events = match &mut self.cache {
-            CacheImpl::Mgpv(c) => c.flush(),
-            CacheImpl::Gpv(b) => b.flush(),
-        };
-        self.account(&events);
+        let mut events = Vec::new();
+        self.flush_into(&mut events);
         events
+    }
+
+    /// Flushes the cache into a caller-supplied frame.
+    pub fn flush_into(&mut self, out: &mut Vec<SwitchEvent>) {
+        let start = out.len();
+        match &mut self.cache {
+            CacheImpl::Mgpv(c) => c.flush_into(out),
+            CacheImpl::Gpv(b) => b.flush_into(out),
+        }
+        self.account_tail(out, start);
+    }
+
+    /// Accounts the events appended at or after `start`.
+    fn account_tail(&mut self, events: &[SwitchEvent], start: usize) {
+        self.account(&events[start..]);
     }
 
     fn account(&mut self, events: &[SwitchEvent]) {

@@ -11,7 +11,9 @@ use superfe::trafficgen::{Workload, WorkloadPreset};
 use superfe::{SoftwareExtractor, SuperFe};
 
 fn by_key(vs: Vec<FeatureVector>) -> HashMap<GroupKey, Vec<f64>> {
-    vs.into_iter().map(|v| (v.key, v.values)).collect()
+    vs.into_iter()
+        .map(|v| (v.key, v.values.into_vec()))
+        .collect()
 }
 
 /// Truncates timestamps to the MGPV metadata resolution (32-bit µs), so the
@@ -91,7 +93,7 @@ fn per_packet_policies_match_software_reference() {
             let mut map: HashMap<(GroupKey, usize), Vec<f64>> = HashMap::new();
             for v in vs {
                 let n = occ.entry(v.key).or_insert(0);
-                map.insert((v.key, *n), v.values.clone());
+                map.insert((v.key, *n), v.values.to_vec());
                 *n += 1;
             }
             map

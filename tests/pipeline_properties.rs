@@ -85,11 +85,14 @@ fn compare(policy: &str, packets: &[PacketRecord]) -> Result<(), TestCaseError> 
     }
     let (sw_groups, _) = sw.finish();
     let hw_out = hw.finish();
-    let a: HashMap<GroupKey, Vec<f64>> = sw_groups.into_iter().map(|v| (v.key, v.values)).collect();
+    let a: HashMap<GroupKey, Vec<f64>> = sw_groups
+        .into_iter()
+        .map(|v| (v.key, v.values.into_vec()))
+        .collect();
     let b: HashMap<GroupKey, Vec<f64>> = hw_out
         .group_vectors
         .into_iter()
-        .map(|v| (v.key, v.values))
+        .map(|v| (v.key, v.values.into_vec()))
         .collect();
     prop_assert_eq!(a.len(), b.len());
     for (k, va) in &a {
