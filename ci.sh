@@ -51,12 +51,38 @@ step "streaming throughput smoke (2 workers)"
 # the checked-in BENCH_pipeline.json (values differ run to run; the shape
 # must not drift silently).
 smoke=$(mktemp)
-trap 'rm -f "$smoke"' EXIT
+detect_smoke=$(mktemp)
+trap 'rm -f "$smoke" "$detect_smoke"' EXIT
 cargo run -q --release -p superfe-bench --bin throughput -- \
   --packets 5000 --workers 2 --out "$smoke" >/dev/null
 schema() { grep -o '"[a-z_]*":' "$1" | sort -u; }
 if ! diff <(schema BENCH_pipeline.json) <(schema "$smoke"); then
   echo "ci: BENCH_pipeline.json schema drifted from the throughput runner"
+  exit 1
+fi
+
+step "online detection smoke (seeded train/calibrate/serve)"
+# A seeded end-to-end detect run must raise at least one alert inside the
+# attack window and stay quiet on the benign warm-up (the calibrated
+# threshold guarantees the latter by construction), and the fresh document
+# must match the checked-in BENCH_detect.json schema.
+cargo build -q --release -p superfe-cli
+# Default configuration = the one that generated the checked-in artifact,
+# so the deterministic detection section is fully reproduced here (< 1 s).
+target/release/superfe detect --out "$detect_smoke" >/dev/null
+field() { grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
+on_attack=$(field "$detect_smoke" alerts_on_attack)
+on_benign=$(field "$detect_smoke" alerts_on_benign)
+if [[ "$on_attack" -lt 1 ]]; then
+  echo "ci: detect smoke raised no alerts in the attack window"
+  exit 1
+fi
+if [[ "$on_benign" -ne 0 ]]; then
+  echo "ci: detect smoke raised $on_benign alerts on benign warm-up traffic"
+  exit 1
+fi
+if ! diff <(schema BENCH_detect.json) <(schema "$detect_smoke"); then
+  echo "ci: BENCH_detect.json schema drifted from the detect runner"
   exit 1
 fi
 

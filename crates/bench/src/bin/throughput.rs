@@ -1,7 +1,7 @@
 //! Streaming-pipeline throughput runner: writes `BENCH_pipeline.json`.
 //!
 //! ```text
-//! throughput [--packets N] [--workers 1,2,4,8] [--out BENCH_pipeline.json]
+//! throughput [--packets N] [--workers 1,2,4,8] [--seed S] [--out BENCH_pipeline.json]
 //! ```
 //!
 //! Prints the JSON document to stdout and, with `--out`, also writes it to
@@ -12,6 +12,7 @@ use superfe_bench::experiments::throughput;
 fn main() {
     let mut packets = throughput::PACKETS;
     let mut workers: Vec<usize> = throughput::WORKER_SWEEP.to_vec();
+    let mut seed = throughput::DEFAULT_SEED;
     let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +38,10 @@ fn main() {
                     .collect();
                 i += 2;
             }
+            "--seed" => {
+                seed = value(i).parse().expect("--seed: integer");
+                i += 2;
+            }
             "--out" => {
                 out_path = Some(value(i).to_string());
                 i += 2;
@@ -45,7 +50,7 @@ fn main() {
         }
     }
 
-    let json = throughput::measure(packets, &workers).to_json();
+    let json = throughput::measure(packets, &workers, seed).to_json();
     if let Some(path) = out_path {
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[throughput] wrote {path}");

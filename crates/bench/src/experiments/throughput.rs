@@ -20,6 +20,9 @@ use superfe_trafficgen::Workload;
 /// Default packets in the measurement trace (matches Fig. 9).
 pub const PACKETS: usize = 60_000;
 
+/// Default workload seed (`--seed` on `superfe bench` overrides it).
+pub const DEFAULT_SEED: u64 = 4;
+
 /// Default worker-count sweep.
 pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
@@ -54,9 +57,11 @@ pub struct PipelineBench {
     pub runs: Vec<WorkerRun>,
 }
 
-/// Runs the sweep on `packets` MAWI-like packets.
-pub fn measure(packets: usize, worker_counts: &[usize]) -> PipelineBench {
-    let trace = Workload::mawi().packets(packets).seed(4).generate();
+/// Runs the sweep on `packets` MAWI-like packets generated from `seed`
+/// (the same seed always yields the same trace, so reported group counts
+/// are reproducible run-to-run).
+pub fn measure(packets: usize, worker_counts: &[usize], seed: u64) -> PipelineBench {
+    let trace = Workload::mawi().packets(packets).seed(seed).generate();
     let records: &[PacketRecord] = &trace.records;
 
     let mut base = SuperFe::from_dsl(POLICY).expect("policy deploys");
@@ -133,7 +138,7 @@ impl PipelineBench {
 
 /// Runs the default sweep and returns the JSON document.
 pub fn run() -> String {
-    measure(PACKETS, &WORKER_SWEEP).to_json()
+    measure(PACKETS, &WORKER_SWEEP, DEFAULT_SEED).to_json()
 }
 
 #[cfg(test)]
@@ -142,7 +147,7 @@ mod tests {
 
     #[test]
     fn small_sweep_produces_schema() {
-        let b = measure(2_000, &[1, 2]);
+        let b = measure(2_000, &[1, 2], DEFAULT_SEED);
         assert_eq!(b.packets, 2_000);
         assert!(b.baseline_pkts_per_sec > 0.0);
         assert_eq!(b.runs.len(), 2);

@@ -115,6 +115,16 @@ pub enum Command {
         packets: usize,
         /// Worker counts to sweep.
         workers: Vec<usize>,
+        /// Workload RNG seed.
+        seed: u64,
+        /// Also write the JSON document to this path.
+        out: Option<String>,
+    },
+    /// Train, calibrate, and serve a detector online (the
+    /// `BENCH_detect.json` smoke).
+    Detect {
+        /// The benchmark configuration.
+        cfg: superfe_bench::experiments::detect::DetectConfig,
         /// Also write the JSON document to this path.
         out: Option<String>,
     },
@@ -338,6 +348,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "bench" => {
             let mut packets = 10_000usize;
             let mut workers = vec![1usize, 2];
+            let mut seed = superfe_bench::experiments::throughput::DEFAULT_SEED;
             let mut out = None;
             while let Some(flag) = it.next() {
                 let mut value = || {
@@ -361,6 +372,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             return Err(err("--workers expects at least one count"));
                         }
                     }
+                    "--seed" => {
+                        seed = value()?
+                            .parse()
+                            .map_err(|_| err("--seed expects an integer"))?;
+                    }
                     "--out" => out = Some(value()?),
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
@@ -368,8 +384,88 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Bench {
                 packets,
                 workers,
+                seed,
                 out,
             })
+        }
+        "detect" => {
+            use superfe_bench::experiments::detect::{parse_scenario, DetectConfig};
+            let mut cfg = DetectConfig::default();
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--scenario" => {
+                        let v = value()?;
+                        cfg.scenario = parse_scenario(&v).ok_or_else(|| {
+                            err(format!(
+                                "--scenario expects one of os_scan, ssdp_flood, syn_dos, \
+                                 fuzzing, mirai; got '{v}'"
+                            ))
+                        })?;
+                    }
+                    "--detector" => {
+                        let v = value()?;
+                        cfg.detector =
+                            superfe_detect::DetectorKind::parse(&v).ok_or_else(|| {
+                                err(format!(
+                                "--detector expects one of kitnet, knn, cart, centroid; got '{v}'"
+                            ))
+                            })?;
+                    }
+                    "--benign" => {
+                        cfg.benign_packets = value()?
+                            .parse()
+                            .map_err(|_| err("--benign expects an integer"))?;
+                    }
+                    "--serve-benign" => {
+                        cfg.serve_benign = value()?
+                            .parse()
+                            .map_err(|_| err("--serve-benign expects an integer"))?;
+                    }
+                    "--attack" => {
+                        cfg.attack_packets = value()?
+                            .parse()
+                            .map_err(|_| err("--attack expects an integer"))?;
+                    }
+                    "--seed" => {
+                        cfg.seed = value()?
+                            .parse()
+                            .map_err(|_| err("--seed expects an integer"))?;
+                    }
+                    "--workers" => {
+                        cfg.workers = value()?
+                            .parse()
+                            .map_err(|_| err("--workers expects an integer"))?;
+                        if cfg.workers == 0 {
+                            return Err(err("--workers expects a positive count"));
+                        }
+                    }
+                    "--quantile" => {
+                        cfg.quantile = value()?
+                            .parse()
+                            .map_err(|_| err("--quantile expects a number"))?;
+                        if !(0.0..=1.0).contains(&cfg.quantile) {
+                            return Err(err("--quantile expects a value in [0, 1]"));
+                        }
+                    }
+                    "--margin" => {
+                        cfg.margin = value()?
+                            .parse()
+                            .map_err(|_| err("--margin expects a number"))?;
+                        if cfg.margin <= 0.0 {
+                            return Err(err("--margin expects a positive value"));
+                        }
+                    }
+                    "--out" => out = Some(value()?),
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            Ok(Command::Detect { cfg, out })
         }
         other => Err(err(format!(
             "unknown command '{other}' (try 'superfe help')"
@@ -423,6 +519,8 @@ pub fn usage() -> String {
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
      \x20 superfe bench [options]            streaming-pipeline throughput smoke\n\
+     \x20 superfe detect [options]           train, calibrate, and serve a detector\n\
+     \x20                                    online over a labelled intrusion trace\n\
      \n\
      <policy>: built-in name (kitsune, npod, tf, cumul, ...) or a DSL file path\n\
      \n\
@@ -450,6 +548,20 @@ pub fn usage() -> String {
      bench options:\n\
      \x20 --packets N                        trace size            [10000]\n\
      \x20 --workers A,B,...                  worker counts to sweep [1,2]\n\
+     \x20 --seed S                           workload RNG seed     [4]\n\
+     \x20 --out PATH                         also write the JSON document\n\
+     \n\
+     detect options:\n\
+     \x20 --scenario NAME                    os_scan|ssdp_flood|syn_dos|fuzzing|\n\
+     \x20                                    mirai                 [mirai]\n\
+     \x20 --detector NAME                    kitnet|knn|cart|centroid [kitnet]\n\
+     \x20 --benign N                         training-trace benign packets [6000]\n\
+     \x20 --serve-benign N                   served-trace benign packets   [3000]\n\
+     \x20 --attack N                         served-trace attack packets   [1500]\n\
+     \x20 --seed S                           RNG seed              [1]\n\
+     \x20 --workers N                        NIC shards = inference workers [2]\n\
+     \x20 --quantile Q                       calibration quantile  [1.0]\n\
+     \x20 --margin M                         calibration margin    [1.1]\n\
      \x20 --out PATH                         also write the JSON document\n"
         .to_string()
 }
@@ -797,14 +909,41 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Bench {
             packets,
             workers,
+            seed,
             out,
         } => {
-            let bench = superfe_bench::experiments::throughput::measure(packets, &workers);
+            let bench = superfe_bench::experiments::throughput::measure(packets, &workers, seed);
             let json = bench.to_json();
             if let Some(path) = out {
                 std::fs::write(&path, &json).map_err(|e| err(format!("writing {path}: {e}")))?;
             }
             Ok(json)
+        }
+        Command::Detect { cfg, out } => {
+            let bench = superfe_bench::experiments::detect::measure(&cfg).map_err(err)?;
+            let json = bench.to_json();
+            if let Some(path) = out {
+                std::fs::write(&path, &json).map_err(|e| err(format!("writing {path}: {e}")))?;
+            }
+            let d = &bench.detection;
+            let t = &bench.throughput;
+            let mut text = json;
+            text.push_str(&format!(
+                "\ndetector={} scenario={} threshold={:.6e}\n\
+                 alerts_on_attack={} alerts_on_benign={} f1={:.4} auc={:.4}\n\
+                 throughput: extract {:.0} pkts/s, with inference {:.0} pkts/s ({:+.1}% overhead)\n",
+                bench.cfg.detector.name(),
+                bench.cfg.scenario.name(),
+                d.threshold,
+                d.alerts_on_attack,
+                d.alerts_on_benign,
+                d.f1,
+                d.auc,
+                t.extract_pkts_per_sec,
+                t.detect_pkts_per_sec,
+                t.inference_overhead_pct,
+            ));
+            Ok(text)
         }
     }
 }
@@ -860,10 +999,13 @@ mod tests {
     #[test]
     fn parses_bench_options() {
         assert_eq!(
-            parse_args(&args("bench --packets 500 --workers 1,4 --out b.json")),
+            parse_args(&args(
+                "bench --packets 500 --workers 1,4 --seed 7 --out b.json"
+            )),
             Ok(Command::Bench {
                 packets: 500,
                 workers: vec![1, 4],
+                seed: 7,
                 out: Some("b.json".into()),
             })
         );
@@ -872,9 +1014,83 @@ mod tests {
             Ok(Command::Bench {
                 packets: 10_000,
                 workers: vec![1, 2],
+                seed: superfe_bench::experiments::throughput::DEFAULT_SEED,
                 out: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_detect_options() {
+        use superfe_bench::experiments::detect::DetectConfig;
+        use superfe_trafficgen::intrusion::Scenario;
+
+        let c = parse_args(&args(
+            "detect --scenario syn_dos --detector centroid --benign 900 \
+             --serve-benign 400 --attack 200 --seed 5 --workers 4 \
+             --quantile 0.99 --margin 1.2 --out d.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Detect {
+                cfg: DetectConfig {
+                    scenario: Scenario::SynDos,
+                    detector: superfe_detect::DetectorKind::Centroid,
+                    benign_packets: 900,
+                    serve_benign: 400,
+                    attack_packets: 200,
+                    seed: 5,
+                    workers: 4,
+                    quantile: 0.99,
+                    margin: 1.2,
+                },
+                out: Some("d.json".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&args("detect")),
+            Ok(Command::Detect {
+                cfg: DetectConfig::default(),
+                out: None,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_detect_input() {
+        assert!(parse_args(&args("detect --scenario nope")).is_err());
+        assert!(parse_args(&args("detect --detector nope")).is_err());
+        assert!(parse_args(&args("detect --workers 0")).is_err());
+        assert!(parse_args(&args("detect --quantile 1.5")).is_err());
+        assert!(parse_args(&args("detect --margin -1")).is_err());
+        assert!(parse_args(&args("detect --seed")).is_err());
+    }
+
+    #[test]
+    fn detect_command_emits_schema() {
+        use superfe_bench::experiments::detect::DetectConfig;
+        let out = execute(Command::Detect {
+            cfg: DetectConfig {
+                detector: superfe_detect::DetectorKind::Centroid,
+                benign_packets: 1_200,
+                serve_benign: 600,
+                attack_packets: 300,
+                ..DetectConfig::default()
+            },
+            out: None,
+        })
+        .unwrap();
+        for key in [
+            "\"experiment\": \"online_detection\"",
+            "\"detection\"",
+            "\"alerts_on_attack\"",
+            "\"alerts_on_benign\"",
+            "\"throughput\"",
+            "alerts_on_attack=",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
     }
 
     #[test]
@@ -882,6 +1098,7 @@ mod tests {
         let out = execute(Command::Bench {
             packets: 1_000,
             workers: vec![1, 2],
+            seed: 4,
             out: None,
         })
         .unwrap();

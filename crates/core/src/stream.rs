@@ -46,6 +46,29 @@ impl StreamingPipeline {
         cfg: SuperFeConfig,
         workers: usize,
     ) -> Result<Self, PolicyError> {
+        Self::build(policy, cfg, workers, None)
+    }
+
+    /// Deploys with one [`superfe_nic::VectorSink`] attached per NIC shard
+    /// — the detector attachment point used by `superfe-detect`: egressing
+    /// feature vectors flow into the sinks incrementally instead of
+    /// accumulating in [`Extraction::packet_vectors`] (see
+    /// [`superfe_nic::StreamingNic::with_sinks`]).
+    pub fn with_sinks(
+        policy: &Policy,
+        cfg: SuperFeConfig,
+        workers: usize,
+        sinks: Vec<Box<dyn superfe_nic::VectorSink>>,
+    ) -> Result<Self, PolicyError> {
+        Self::build(policy, cfg, workers, Some(sinks))
+    }
+
+    fn build(
+        policy: &Policy,
+        cfg: SuperFeConfig,
+        workers: usize,
+        sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
+    ) -> Result<Self, PolicyError> {
         let analyze_cfg = crate::analyze::AnalyzeConfig {
             cache: cfg.cache,
             ..crate::analyze::AnalyzeConfig::default()
@@ -66,8 +89,13 @@ impl StreamingPipeline {
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())
             })?;
-        let nic = StreamingNic::new(&compiled, cfg.cache.fg_table_size, workers)
-            .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
+        let nic = match sinks {
+            Some(sinks) => {
+                StreamingNic::with_sinks(&compiled, cfg.cache.fg_table_size, workers, sinks)
+            }
+            None => StreamingNic::new(&compiled, cfg.cache.fg_table_size, workers),
+        }
+        .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
         Ok(StreamingPipeline {
             compiled,
             switch,

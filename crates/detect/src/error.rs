@@ -1,0 +1,54 @@
+//! Errors of the online detection runtime.
+
+use superfe_ml::MlError;
+use superfe_nic::NicError;
+use superfe_policy::PolicyError;
+
+/// Why an online detection pipeline failed.
+#[derive(Debug)]
+pub enum DetectError {
+    /// The policy failed to compile or was rejected by static analysis.
+    Policy(PolicyError),
+    /// The extraction side (switch/NIC shards) failed.
+    Nic(NicError),
+    /// A model/lifecycle error (training, calibration, dimensions).
+    Ml(MlError),
+    /// An inference worker thread died mid-run.
+    InferenceWorkerLost {
+        /// Index of the lost inference worker.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::Policy(e) => write!(f, "policy error: {e}"),
+            DetectError::Nic(e) => write!(f, "extraction error: {e}"),
+            DetectError::Ml(e) => write!(f, "model error: {e}"),
+            DetectError::InferenceWorkerLost { worker } => {
+                write!(f, "inference worker {worker} terminated unexpectedly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<PolicyError> for DetectError {
+    fn from(e: PolicyError) -> Self {
+        DetectError::Policy(e)
+    }
+}
+
+impl From<NicError> for DetectError {
+    fn from(e: NicError) -> Self {
+        DetectError::Nic(e)
+    }
+}
+
+impl From<MlError> for DetectError {
+    fn from(e: MlError) -> Self {
+        DetectError::Ml(e)
+    }
+}

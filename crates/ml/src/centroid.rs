@@ -39,6 +39,15 @@ impl NearestCentroid {
         self.sums.len()
     }
 
+    /// Cosine similarity of `x` to the centroid of `label`.
+    ///
+    /// Returns `None` when the class is not enrolled.
+    pub fn similarity(&self, x: &[f64], label: usize) -> Option<f64> {
+        let (sum, n) = self.sums.get(&label)?;
+        let centroid: Vec<f64> = sum.iter().map(|s| s / *n as f64).collect();
+        Some(cosine(x, &centroid))
+    }
+
     /// Predicts the label of `x` (highest cosine similarity to a centroid).
     ///
     /// Returns `None` when no class is enrolled.

@@ -64,7 +64,7 @@ impl Knn {
 }
 
 /// Squared Euclidean distance, treating missing tail dimensions as zero.
-fn euclidean2(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn euclidean2(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().max(b.len());
     (0..n)
         .map(|i| {

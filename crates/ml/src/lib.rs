@@ -13,9 +13,13 @@
 //!   (the stand-in for TF's triplet network).
 //! - [`norm`]: feature normalization, [`metrics`]: accuracy/precision/
 //!   recall/F1/AUC.
+//! - [`detector`]: the unified online [`Detector`] contract over all four
+//!   models, with the `Training → Calibrating → Serving` lifecycle and
+//!   held-out-slice threshold calibration used by `superfe-detect`.
 
 pub mod autoencoder;
 pub mod centroid;
+pub mod detector;
 pub mod kitnet;
 pub mod knn;
 pub mod metrics;
@@ -24,6 +28,10 @@ pub mod tree;
 
 pub use autoencoder::Autoencoder;
 pub use centroid::NearestCentroid;
+pub use detector::{
+    train_and_calibrate, CalibrationConfig, CartDetector, CentroidDetector, Detector,
+    FrozenDetector, KitNetDetector, KnnNovelty, Lifecycle, MlError, Stage,
+};
 pub use kitnet::KitNet;
 pub use knn::Knn;
 pub use metrics::{accuracy, auc, f1_score, precision_recall, Confusion};

@@ -5,6 +5,9 @@
 enum Node {
     Leaf {
         label: usize,
+        /// Fraction of training samples at this leaf with label 1 (the
+        /// "positive" class in a binary fit; 0 for other labels).
+        p_pos: f64,
     },
     Split {
         feature: usize,
@@ -54,7 +57,27 @@ impl DecisionTree {
         let mut node = self.root.as_ref()?;
         loop {
             match node {
-                Node::Leaf { label } => return Some(*label),
+                Node::Leaf { label, .. } => return Some(*label),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(*feature).copied().unwrap_or(0.0);
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// The label-1 training fraction of the leaf `x` falls in; `None` when
+    /// untrained. In a binary fit this is a [0, 1] positive-class score.
+    pub fn predict_score(&self, x: &[f64]) -> Option<f64> {
+        let mut node = self.root.as_ref()?;
+        loop {
+            match node {
+                Node::Leaf { p_pos, .. } => return Some(*p_pos),
                 Node::Split {
                     feature,
                     threshold,
@@ -77,6 +100,18 @@ impl DecisionTree {
             }
         }
         self.root.as_ref().map(d).unwrap_or(0)
+    }
+
+    fn leaf(data: &[(Vec<f64>, usize)], idx: &[usize]) -> Node {
+        let pos = idx.iter().filter(|&&i| data[i].1 == 1).count();
+        Node::Leaf {
+            label: Self::majority(data, idx),
+            p_pos: if idx.is_empty() {
+                0.0
+            } else {
+                pos as f64 / idx.len() as f64
+            },
+        }
     }
 
     fn majority(data: &[(Vec<f64>, usize)], idx: &[usize]) -> usize {
@@ -117,9 +152,7 @@ impl DecisionTree {
     ) -> Node {
         let base_gini = Self::gini(data, idx);
         if depth_left == 0 || idx.len() < min_samples || base_gini == 0.0 {
-            return Node::Leaf {
-                label: Self::majority(data, idx),
-            };
+            return Self::leaf(data, idx);
         }
         let dim = data[0].0.len();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
@@ -156,9 +189,7 @@ impl DecisionTree {
                     right: Box::new(Self::build(data, &r, depth_left - 1, min_samples)),
                 }
             }
-            _ => Node::Leaf {
-                label: Self::majority(data, idx),
-            },
+            _ => Self::leaf(data, idx),
         }
     }
 }

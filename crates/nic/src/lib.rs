@@ -45,5 +45,5 @@ pub use feasibility::check_nic;
 pub use parallel::{ParallelNic, ParallelOutput};
 pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};
-pub use stream::{StreamOutput, StreamingNic};
+pub use stream::{EgressVector, StreamOutput, StreamingNic, VectorSink};
 pub use table::GroupTable;

@@ -47,6 +47,39 @@ pub const FRAME_SIZE: usize = 256;
 /// Frames in flight per worker before the producer blocks.
 pub const CHANNEL_DEPTH: usize = 8;
 
+/// A feature vector egressing a worker shard, tagged with its stream
+/// position: the shard index and a per-shard monotonic sequence number.
+///
+/// Per-packet vectors are tagged in arrival order as frames drain;
+/// per-group vectors follow at end of stream (policy level order). Because
+/// every group key lives on exactly one shard and shards preserve stream
+/// order, the `(shard, seq)` tags give a deterministic per-key vector order
+/// for a given input and worker count.
+#[derive(Clone, Debug)]
+pub struct EgressVector {
+    /// Shard that computed the vector.
+    pub shard: usize,
+    /// Per-shard monotonic sequence number (0-based).
+    pub seq: u64,
+    /// The feature vector itself.
+    pub vector: FeatureVector,
+}
+
+/// A consumer of feature vectors egressing the streaming executor — the
+/// attachment point for online inference (`superfe-detect`).
+///
+/// One sink instance is moved into each worker thread, so implementations
+/// need no interior locking; blocking in [`VectorSink::emit`] backpressures
+/// the owning NIC shard (and, transitively, the switch producer).
+pub trait VectorSink: Send {
+    /// Consumes one egressing vector. Called from the worker thread.
+    fn emit(&mut self, v: EgressVector);
+
+    /// Called once after the shard's final vector, before the worker
+    /// thread exits. Implementations flush any internal batching here.
+    fn flush(&mut self) {}
+}
+
 /// What one worker shard produces.
 struct ShardOutput {
     groups: Vec<FeatureVector>,
@@ -101,6 +134,42 @@ impl StreamingNic {
         fg_table_size: usize,
         workers: usize,
     ) -> Result<Self, NicError> {
+        Self::build(compiled, fg_table_size, workers, None)
+    }
+
+    /// Like [`StreamingNic::new`], but attaches one [`VectorSink`] per
+    /// shard: `sinks[i]` moves into worker `i`'s thread and receives that
+    /// shard's vectors as they are computed ([`EgressVector`] tags carry
+    /// the stream position).
+    ///
+    /// With a sink attached, per-packet vectors are *diverted*: they flow
+    /// to the sink incrementally instead of accumulating in
+    /// [`StreamOutput::packet_vectors`] (which comes back empty). Per-group
+    /// vectors are both egressed at end of stream and returned.
+    ///
+    /// `sinks.len()` must equal the (clamped, ≥ 1) worker count.
+    pub fn with_sinks(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+        sinks: Vec<Box<dyn VectorSink>>,
+    ) -> Result<Self, NicError> {
+        if sinks.len() != workers.max(1) {
+            return Err(NicError::Engine(format!(
+                "sink count {} does not match worker count {}",
+                sinks.len(),
+                workers.max(1)
+            )));
+        }
+        Self::build(compiled, fg_table_size, workers, Some(sinks))
+    }
+
+    fn build(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<Self, NicError> {
         let workers = workers.max(1);
         let mut engines = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -108,16 +177,31 @@ impl StreamingNic {
                 NicError::Engine("degenerate NIC group-table configuration".into())
             })?);
         }
+        let mut sinks: Vec<Option<Box<dyn VectorSink>>> = match sinks {
+            Some(s) => s.into_iter().map(Some).collect(),
+            None => (0..workers).map(|_| None).collect(),
+        };
         let (recycle_tx, recycle_rx) = std::sync::mpsc::channel();
         let workers = engines
             .into_iter()
-            .map(|mut nic| {
+            .enumerate()
+            .map(|(shard, mut nic)| {
                 let (tx, rx) = sync_channel::<Vec<SwitchEvent>>(CHANNEL_DEPTH);
                 let recycle = recycle_tx.clone();
+                let mut sink = sinks[shard].take();
                 let join = std::thread::spawn(move || {
+                    let mut seq: u64 = 0;
                     while let Ok(mut frame) = rx.recv() {
                         for e in &frame {
                             nic.handle(e);
+                        }
+                        if let Some(sink) = sink.as_mut() {
+                            // Divert this frame's per-packet vectors to the
+                            // sink in arrival order.
+                            for vector in nic.take_packet_vectors() {
+                                sink.emit(EgressVector { shard, seq, vector });
+                                seq += 1;
+                            }
                         }
                         frame.clear();
                         // The producer may already be gone; recycling is
@@ -126,6 +210,15 @@ impl StreamingNic {
                     }
                     let groups = nic.finish();
                     let pkts = nic.take_packet_vectors();
+                    if let Some(mut sink) = sink.take() {
+                        for vector in groups.iter().cloned() {
+                            sink.emit(EgressVector { shard, seq, vector });
+                            seq += 1;
+                        }
+                        sink.flush();
+                        // Dropping the sink here (before the join) closes
+                        // any downstream channels it holds.
+                    }
                     ShardOutput {
                         groups,
                         pkts,
@@ -323,6 +416,97 @@ mod tests {
         assert_eq!(out.stats.records, 20_000);
         let total: f64 = out.group_vectors.iter().map(|g| g.values[0]).sum();
         assert!((total - 20_000.0 * 100.0).abs() < 1e-6, "total {total}");
+    }
+
+    /// Collects egressed vectors into a shared buffer for inspection.
+    struct CollectSink {
+        out: std::sync::Arc<std::sync::Mutex<Vec<EgressVector>>>,
+        flushed: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl VectorSink for CollectSink {
+        fn emit(&mut self, v: EgressVector) {
+            self.out.lock().unwrap().push(v);
+        }
+        fn flush(&mut self) {
+            self.flushed
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn run_with_sinks(
+        c: &CompiledPolicy,
+        n: u32,
+        workers: usize,
+    ) -> (StreamOutput, Vec<EgressVector>, usize) {
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sinks: Vec<Box<dyn VectorSink>> = (0..workers.max(1))
+            .map(|_| {
+                Box::new(CollectSink {
+                    out: out.clone(),
+                    flushed: flushed.clone(),
+                }) as Box<dyn VectorSink>
+            })
+            .collect();
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic = StreamingNic::with_sinks(c, 16_384, workers, sinks).unwrap();
+        let mut frame = Vec::new();
+        for i in 0..n {
+            let p = PacketRecord::tcp(u64::from(i) * 100, 100, i % 31 + 1, 1000, 2, 80);
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let merged = nic.finish().unwrap();
+        let egressed = std::mem::take(&mut *out.lock().unwrap());
+        let flushes = flushed.load(std::sync::atomic::Ordering::SeqCst);
+        (merged, egressed, flushes)
+    }
+
+    #[test]
+    fn sinks_divert_packet_vectors_and_tag_positions() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(pkt)");
+        let plain = run_streaming(&c, 2000, 2);
+        let (merged, egressed, flushes) = run_with_sinks(&c, 2000, 2);
+        // Diverted: the sink sees what the plain run buffered.
+        assert!(merged.packet_vectors.is_empty());
+        assert_eq!(flushes, 2);
+        assert_eq!(egressed.len(), plain.packet_vectors.len());
+        let sink_sorted = sorted(egressed.iter().map(|e| e.vector.clone()).collect());
+        assert_eq!(sorted(plain.packet_vectors), sink_sorted);
+        // Tags: per-shard sequence numbers are dense from 0.
+        for shard in 0..2 {
+            let mut seqs: Vec<u64> = egressed
+                .iter()
+                .filter(|e| e.shard == shard)
+                .map(|e| e.seq)
+                .collect();
+            seqs.sort_unstable();
+            assert!(seqs.iter().enumerate().all(|(i, &s)| s == i as u64));
+        }
+    }
+
+    #[test]
+    fn sinks_also_see_group_vectors() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let (merged, egressed, _) = run_with_sinks(&c, 500, 3);
+        // Group-collect policy: groups are both egressed and returned.
+        assert_eq!(egressed.len(), merged.group_vectors.len());
+        assert_eq!(
+            sorted(egressed.into_iter().map(|e| e.vector).collect()),
+            sorted(merged.group_vectors)
+        );
+    }
+
+    #[test]
+    fn sink_count_must_match_workers() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let err = StreamingNic::with_sinks(&c, 16_384, 2, Vec::new());
+        assert!(matches!(err, Err(NicError::Engine(_))));
     }
 
     #[test]

@@ -27,5 +27,7 @@ pub use superfe_core::*;
 
 /// The ten Table 3 application policies and the §8.3 application study.
 pub use superfe_apps as apps;
+/// Online inference serving (stream feature vectors into detectors).
+pub use superfe_detect as detect;
 /// Behavior detectors (KitNET, k-NN, decision trees, …).
 pub use superfe_ml as ml;

@@ -1,0 +1,227 @@
+//! Differential property test of the online serving executor: for random
+//! policies × random labelled traces, the sharded
+//! [`superfe::detect::DetectPipeline`] must produce **bitwise-identical**
+//! scores and a deterministic alert stream versus offline batch scoring
+//! ([`superfe::detect::score_offline`]) of the same extraction, at every
+//! worker count — the executable form of the per-key ordering argument in
+//! DESIGN.md ("Online detection").
+
+use proptest::prelude::*;
+
+use superfe::detect::{score_fingerprint, DetectPipeline, ServeConfig};
+use superfe::ml::{train_and_calibrate, CalibrationConfig, CentroidDetector, KnnNovelty};
+use superfe::net::{Direction, PacketRecord};
+use superfe::SuperFe;
+
+/// Worker counts every property must hold for (NIC shards = inference
+/// workers).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Policies whose vectors feed the detector: per-packet collect across
+/// granularities, a group-collect, and a multi-granularity program that
+/// exercises the FG broadcast on the extraction side.
+fn policy_source() -> impl Strategy<Value = String> {
+    let pkt = {
+        let gran = prop_oneof![Just("flow"), Just("host"), Just("socket")];
+        let reduce = prop_oneof![
+            Just("[f_sum]"),
+            Just("[f_mean, f_var]"),
+            Just("[f_min, f_max, f_std]"),
+        ];
+        (gran, reduce).prop_map(|(g, r)| {
+            format!("pktstream\n.groupby({g})\n.reduce(size, {r})\n.collect(pkt)")
+        })
+    };
+    let group = Just(
+        "pktstream\n.groupby(host)\n.reduce(size, [f_sum, f_mean])\n.collect(host)".to_string(),
+    );
+    let multi = Just(
+        "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(pkt)\n\
+         .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)"
+            .to_string(),
+    );
+    prop_oneof![pkt, group, multi]
+}
+
+/// Random short traces with mixed protocols, directions, and group keys.
+fn trace() -> impl Strategy<Value = Vec<PacketRecord>> {
+    proptest::collection::vec(
+        (
+            0u64..5_000_000u64,
+            40u16..1500u16,
+            1u32..6u32,
+            1u16..4u16,
+            1u32..3u32,
+            prop_oneof![Just(53u16), Just(80u16), Just(443u16)],
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
+        8..200,
+    )
+    .prop_map(|mut specs| {
+        specs.sort_by_key(|s| s.0);
+        specs
+            .into_iter()
+            .map(|(ts, size, sip, sport, dip, dport, is_tcp, egress)| {
+                let mut p = if is_tcp {
+                    PacketRecord::tcp(ts, size, sip, sport, dip, dport)
+                } else {
+                    PacketRecord::udp(ts, size, sip, sport, dip, dport)
+                };
+                if egress {
+                    p.direction = Direction::Egress;
+                }
+                p
+            })
+            .collect()
+    })
+}
+
+/// Which detector family to freeze for the run.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Knn,
+    Centroid,
+}
+
+/// Extracts the trace offline, trains + calibrates a detector on the
+/// resulting vectors, and returns it with the extraction.
+///
+/// Calibrating at the 0.8 quantile with no margin deliberately puts the
+/// threshold *inside* the observed score range, so the alert stream under
+/// test is non-empty for most inputs.
+fn freeze(
+    src: &str,
+    pkts: &[PacketRecord],
+    kind: Kind,
+) -> Option<(
+    superfe::ml::FrozenDetector,
+    Vec<superfe::nic::FeatureVector>,
+    Vec<superfe::nic::FeatureVector>,
+)> {
+    let mut fe = SuperFe::from_dsl(src).expect("valid policy");
+    for p in pkts {
+        fe.push(p);
+    }
+    let out = fe.finish();
+    let all: Vec<&[f64]> = out
+        .packet_vectors
+        .iter()
+        .chain(&out.group_vectors)
+        .map(|v| v.values.as_slice())
+        .collect();
+    if all.len() < 8 {
+        return None;
+    }
+    let dim = all[0].len();
+    let det: Box<dyn superfe::ml::Detector> = match kind {
+        Kind::Knn => Box::new(KnnNovelty::new(dim, 3).expect("valid k")),
+        Kind::Centroid => Box::new(CentroidDetector::new(dim).expect("valid dim")),
+    };
+    let frozen = train_and_calibrate(
+        det,
+        &all,
+        0.25,
+        CalibrationConfig {
+            quantile: 0.8,
+            margin: 1.0,
+        },
+    )
+    .ok()?;
+    Some((frozen, out.packet_vectors, out.group_vectors))
+}
+
+/// Serves the trace online and returns the report.
+fn serve_online(
+    src: &str,
+    pkts: &[PacketRecord],
+    det: &superfe::ml::FrozenDetector,
+    workers: usize,
+) -> superfe::detect::ServeReport {
+    let cfg = ServeConfig {
+        workers,
+        record_scores: true,
+        scenario: "diff".into(),
+        ..ServeConfig::default()
+    };
+    let mut dp = DetectPipeline::from_dsl(src, workers, det, &cfg).expect("valid policy");
+    for p in pkts {
+        dp.push(p).expect("pipeline alive");
+    }
+    let (_, report) = dp.finish().expect("pipeline alive");
+    report
+}
+
+/// Alert stream in its worker-count-independent comparison form: canonical
+/// order with bitwise scores and thresholds.
+fn alert_fingerprint(alerts: &[superfe::detect::Alert]) -> Vec<(String, u64, u64)> {
+    alerts
+        .iter()
+        .map(|a| {
+            (
+                format!("{:?}", a.key),
+                a.score.to_bits(),
+                a.threshold.to_bits(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn online_serving_matches_offline_batch_at_every_worker_count(
+        src in policy_source(),
+        pkts in trace(),
+        knn in proptest::bool::ANY,
+    ) {
+        let kind = if knn { Kind::Knn } else { Kind::Centroid };
+        let Some((det, pkt_vecs, group_vecs)) = freeze(&src, &pkts, kind) else {
+            // Too few vectors to train on — not an interesting input.
+            return Ok(());
+        };
+        let offline =
+            superfe::detect::score_offline(&det, &pkt_vecs, &group_vecs, "diff");
+        let offline_scores = score_fingerprint(&offline.scores);
+        let offline_alerts = alert_fingerprint(&offline.alerts);
+
+        for workers in WORKER_COUNTS {
+            let report = serve_online(&src, &pkts, &det, workers);
+            let scores = report.scores.as_ref().expect("record_scores on");
+            prop_assert!(
+                score_fingerprint(scores) == offline_scores,
+                "scores diverged from offline at workers={} for:\n{}",
+                workers,
+                src
+            );
+            prop_assert!(
+                alert_fingerprint(&report.alerts) == offline_alerts,
+                "alert stream diverged from offline at workers={} for:\n{}",
+                workers,
+                src
+            );
+            prop_assert_eq!(report.totals.dim_errors, offline.dim_errors);
+        }
+    }
+}
+
+/// The alert stream is a function of the input alone: repeated serve runs
+/// at the same worker count must produce the same canonical alert sequence.
+#[test]
+fn alert_stream_is_deterministic_across_runs() {
+    let src = "pktstream\n.groupby(host)\n.reduce(size, [f_sum, f_mean])\n.collect(pkt)";
+    let pkts: Vec<PacketRecord> = (0..2_000u64)
+        .map(|i| {
+            let size = if i % 97 == 0 { 1400 } else { 120 };
+            PacketRecord::tcp(i * 700, size, (i % 23 + 1) as u32, 1000, 7, 443)
+        })
+        .collect();
+    let (det, _, _) = freeze(src, &pkts, Kind::Knn).expect("enough vectors");
+    let first = alert_fingerprint(&serve_online(src, &pkts, &det, 4).alerts);
+    assert!(!first.is_empty(), "calibration inside the range must alert");
+    for _ in 0..4 {
+        let again = alert_fingerprint(&serve_online(src, &pkts, &det, 4).alerts);
+        assert_eq!(first, again, "alert stream varied between runs");
+    }
+}
