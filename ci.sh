@@ -35,7 +35,11 @@ step "superfe check (bundled policies + examples)"
 # non-zero on any error-severity finding.
 cargo build -q -p superfe-cli
 superfe=target/debug/superfe
-for p in cumul awf df tf peershark n-baiot mptd npod helad kitsune; do
+# The policy list comes from `superfe list` (machine-readable, one name per
+# line) so a newly bundled application is covered here automatically.
+policies=$("$superfe" list)
+[[ -n "$policies" ]] || { echo "ci: superfe list returned no policies"; exit 1; }
+for p in $policies; do
   "$superfe" check "$p" >/dev/null || { echo "ci: superfe check $p failed"; exit 1; }
 done
 for f in examples/*.sfe; do
@@ -83,6 +87,48 @@ if [[ "$on_benign" -ne 0 ]]; then
 fi
 if ! diff <(schema BENCH_detect.json) <(schema "$detect_smoke"); then
   echo "ci: BENCH_detect.json schema drifted from the detect runner"
+  exit 1
+fi
+
+step "multi-tenant serve smoke (3 tenants, solo-identical)"
+# Three bundled policies on one shared switch/NIC, with a mid-stream hot
+# detach; --verify-solo makes the CLI re-run every tenant alone and exit
+# non-zero unless the shared-plane output is bitwise identical.
+serve_out=$(target/release/superfe serve npod cumul awf \
+  --packets 6000 --workers 2 --detach-at 2:4000 --verify-solo) \
+  || { echo "ci: multi-tenant serve smoke failed"; exit 1; }
+for t in 0 1 2; do
+  if ! grep -q "verified tenant t$t .*bitwise identical" <<<"$serve_out"; then
+    echo "ci: serve smoke did not verify tenant t$t against its solo run"
+    exit 1
+  fi
+done
+
+step "admission rejection smoke (over-budget tenant set exits non-zero)"
+# Three sALU-heavy policies compose past the Tofino budget; the control
+# plane must refuse the set, naming the binding resource, before anything
+# touches the data path.
+if target/release/superfe serve kitsune helad n-baiot --packets 100 \
+    >/dev/null 2>"$detect_smoke.err"; then
+  echo "ci: admission accepted an over-budget tenant set"
+  exit 1
+fi
+if ! grep -q "admission rejected" "$detect_smoke.err"; then
+  echo "ci: admission rejection did not name the binding resource"
+  cat "$detect_smoke.err"
+  exit 1
+fi
+rm -f "$detect_smoke.err"
+
+step "multi-tenant ctrl bench smoke"
+# A small sweep through the ctrl bench runner, schema-diffed against the
+# checked-in BENCH_ctrl.json.
+ctrl_smoke=$(mktemp)
+trap 'rm -f "$smoke" "$detect_smoke" "$ctrl_smoke"' EXIT
+cargo run -q --release -p superfe-bench --bin ctrl -- \
+  --packets 4000 --tenants 1,2 --out "$ctrl_smoke" >/dev/null
+if ! diff <(schema BENCH_ctrl.json) <(schema "$ctrl_smoke"); then
+  echo "ci: BENCH_ctrl.json schema drifted from the ctrl runner"
   exit 1
 fi
 

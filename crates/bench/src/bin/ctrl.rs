@@ -1,0 +1,64 @@
+//! Multi-tenant control-plane runner: writes `BENCH_ctrl.json`.
+//!
+//! ```text
+//! ctrl [--packets N] [--tenants 1,2,4] [--workers N] [--seed S] [--out BENCH_ctrl.json]
+//! ```
+//!
+//! Prints the JSON document to stdout and, with `--out`, also writes it to
+//! the given path (the checked-in artifact lives at the repo root).
+
+use superfe_bench::experiments::ctrl;
+
+fn main() {
+    let mut packets = ctrl::PACKETS;
+    let mut tenants: Vec<usize> = ctrl::TENANT_SWEEP.to_vec();
+    let mut workers = ctrl::WORKERS;
+    let mut seed = ctrl::DEFAULT_SEED;
+    let mut out_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--packets" => {
+                packets = value(i).parse().expect("--packets: integer");
+                i += 2;
+            }
+            "--tenants" => {
+                tenants = value(i)
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse()
+                            .expect("--tenants: comma-separated integers")
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--workers" => {
+                workers = value(i).parse().expect("--workers: integer");
+                i += 2;
+            }
+            "--seed" => {
+                seed = value(i).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let json = ctrl::measure(packets, &tenants, workers, seed).to_json();
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[ctrl] wrote {path}");
+    }
+    print!("{json}");
+}

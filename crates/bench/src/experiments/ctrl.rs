@@ -1,0 +1,246 @@
+//! Multi-tenant control-plane throughput: the `BENCH_ctrl.json` artifact.
+//!
+//! Measures the shared switch/NIC data path under 1, 2, and 4 concurrent
+//! tenants and compares it against running each policy solo on its own
+//! [`StreamingPipeline`]. Two numbers matter:
+//!
+//! - **aggregate throughput** — packets/second through the shared plane
+//!   (every tenant sees every packet, so this is also each tenant's
+//!   individual ingest rate);
+//! - **per-tenant overhead** — shared-plane wall-clock for the n-tenant
+//!   set relative to the *sum* of the n solo runs. Below zero means
+//!   consolidation is cheaper than n dedicated deployments (the shared
+//!   plane parses and filters each packet once per tenant but amortizes
+//!   trace ingest and channel machinery); above zero is the price of
+//!   sharing.
+//!
+//! Each multi-tenant run also asserts every tenant's vector count equals
+//! its solo count, so the bench doubles as an isolation smoke.
+
+use std::time::Instant;
+
+use superfe_core::{StreamingPipeline, SuperFeConfig};
+use superfe_ctrl::{CtrlPlane, TenantSpec};
+use superfe_net::PacketRecord;
+use superfe_policy::dsl;
+use superfe_trafficgen::Workload;
+
+/// Default packets in the measurement trace.
+pub const PACKETS: usize = 40_000;
+
+/// Default workload seed.
+pub const DEFAULT_SEED: u64 = 4;
+
+/// Default tenant-count sweep.
+pub const TENANT_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Default NIC shard count.
+pub const WORKERS: usize = 2;
+
+/// The tenant policies, in attach order. Four Table 3 applications whose
+/// composed demand fits the default Tofino budget.
+pub fn tenant_policies() -> Vec<(&'static str, &'static str)> {
+    use superfe_apps::policies;
+    vec![
+        ("npod", policies::NPOD),
+        ("cumul", policies::CUMUL),
+        ("awf", policies::AWF),
+        ("df", policies::DF),
+    ]
+}
+
+/// One solo baseline run.
+#[derive(Clone, Debug)]
+pub struct SoloRun {
+    /// Policy name.
+    pub policy: String,
+    /// Solo throughput, packets/second.
+    pub pkts_per_sec: f64,
+    /// Solo wall-clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Feature vectors the solo run emitted.
+    pub vectors: usize,
+}
+
+/// One multi-tenant configuration.
+#[derive(Clone, Debug)]
+pub struct TenantRunRow {
+    /// Concurrent tenants (prefix of [`tenant_policies`]).
+    pub tenants: usize,
+    /// Aggregate (= per-tenant) throughput, packets/second.
+    pub pkts_per_sec: f64,
+    /// Wall-clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Total vectors across tenants.
+    pub aggregate_vectors: usize,
+    /// Shared-plane wall-clock vs. the sum of the solo runs, percent
+    /// (negative = consolidation wins).
+    pub overhead_vs_solo_pct: f64,
+}
+
+/// The full measurement.
+#[derive(Clone, Debug)]
+pub struct CtrlBench {
+    /// Packets in the trace.
+    pub packets: usize,
+    /// NIC shards per deployment.
+    pub workers: usize,
+    /// Cores the host actually exposes.
+    pub host_parallelism: usize,
+    /// Per-policy solo baselines.
+    pub solo: Vec<SoloRun>,
+    /// One row per swept tenant count.
+    pub tenant_sweep: Vec<TenantRunRow>,
+}
+
+/// Runs the sweep on `packets` MAWI-like packets generated from `seed`.
+pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u64) -> CtrlBench {
+    let policies = tenant_policies();
+    let max_tenants = tenant_counts.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_tenants <= policies.len(),
+        "sweep asks for more tenants than bundled bench policies"
+    );
+    let trace = Workload::mawi().packets(packets).seed(seed).generate();
+    let records: &[PacketRecord] = &trace.records;
+
+    let specs: Vec<TenantSpec> = policies
+        .iter()
+        .take(max_tenants)
+        .map(|(name, src)| TenantSpec {
+            name: (*name).to_string(),
+            policy: dsl::parse(src).expect("bundled policy parses"),
+            cfg: SuperFeConfig::default(),
+        })
+        .collect();
+
+    let solo: Vec<SoloRun> = specs
+        .iter()
+        .map(|spec| {
+            let mut fe = StreamingPipeline::with_config(&spec.policy, spec.cfg, workers)
+                .expect("policy deploys");
+            let start = Instant::now();
+            for p in records {
+                fe.push(p).expect("workers alive");
+            }
+            let out = fe.finish().expect("workers alive");
+            let secs = start.elapsed().as_secs_f64();
+            SoloRun {
+                policy: spec.name.clone(),
+                pkts_per_sec: records.len() as f64 / secs,
+                elapsed_ms: secs * 1e3,
+                vectors: out.group_vectors.len() + out.packet_vectors.len(),
+            }
+        })
+        .collect();
+
+    let tenant_sweep = tenant_counts
+        .iter()
+        .map(|&n| {
+            let mut plane = CtrlPlane::new(workers, superfe_core::AnalyzeConfig::default());
+            for spec in &specs[..n] {
+                plane.attach(spec, None).expect("bench set is admissible");
+            }
+            let start = Instant::now();
+            for p in records {
+                plane.push(p).expect("workers alive");
+            }
+            let runs = plane.finish().expect("workers alive");
+            let secs = start.elapsed().as_secs_f64();
+            let mut aggregate_vectors = 0;
+            for (i, run) in runs.iter().enumerate() {
+                let vectors = run.output.group_vectors.len() + run.output.packet_vectors.len();
+                assert_eq!(
+                    vectors, solo[i].vectors,
+                    "tenant {} diverged from its solo run",
+                    run.name
+                );
+                aggregate_vectors += vectors;
+            }
+            let solo_sum_ms: f64 = solo[..n].iter().map(|s| s.elapsed_ms).sum();
+            TenantRunRow {
+                tenants: n,
+                pkts_per_sec: records.len() as f64 / secs,
+                elapsed_ms: secs * 1e3,
+                aggregate_vectors,
+                overhead_vs_solo_pct: (secs * 1e3 / solo_sum_ms - 1.0) * 100.0,
+            }
+        })
+        .collect();
+
+    CtrlBench {
+        packets: records.len(),
+        workers,
+        host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        solo,
+        tenant_sweep,
+    }
+}
+
+impl CtrlBench {
+    /// Renders the measurement as the `BENCH_ctrl.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"multi_tenant_ctrl\",\n");
+        out.push_str("  \"workload\": \"mawi\",\n");
+        out.push_str(&format!("  \"packets\": {},\n", self.packets));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str("  \"solo\": [\n");
+        for (i, s) in self.solo.iter().enumerate() {
+            let sep = if i + 1 == self.solo.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"policy\": \"{}\", \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"vectors\": {} }}{sep}\n",
+                s.policy, s.pkts_per_sec, s.elapsed_ms, s.vectors
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"tenant_sweep\": [\n");
+        for (i, r) in self.tenant_sweep.iter().enumerate() {
+            let sep = if i + 1 == self.tenant_sweep.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{ \"tenants\": {}, \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"aggregate_vectors\": {}, \"overhead_vs_solo_pct\": {:.1} }}{sep}\n",
+                r.tenants, r.pkts_per_sec, r.elapsed_ms, r.aggregate_vectors, r.overhead_vs_solo_pct
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the default sweep and returns the JSON document.
+pub fn run() -> String {
+    measure(PACKETS, &TENANT_SWEEP, WORKERS, DEFAULT_SEED).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_schema() {
+        let b = measure(2_000, &[1, 2], 2, DEFAULT_SEED);
+        assert_eq!(b.packets, 2_000);
+        assert_eq!(b.solo.len(), 2);
+        assert_eq!(b.tenant_sweep.len(), 2);
+        assert!(b.tenant_sweep.iter().all(|r| r.pkts_per_sec > 0.0));
+        assert!(b.tenant_sweep[1].aggregate_vectors >= b.tenant_sweep[0].aggregate_vectors);
+        let json = b.to_json();
+        for key in [
+            "\"experiment\": \"multi_tenant_ctrl\"",
+            "\"solo\"",
+            "\"tenant_sweep\"",
+            "\"aggregate_vectors\"",
+            "\"overhead_vs_solo_pct\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One submodule per table/figure of the paper's evaluation (§8).
 
 pub mod ablations;
+pub mod ctrl;
 pub mod detect;
 pub mod fig09;
 pub mod fig10;

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! superfe apps                          # list the built-in Table 3 policies
+//! superfe list                          # bundled policy names, one per line
 //! superfe show <policy>                 # print a policy's source
 //! superfe check <policy> [options]      # static analysis: lints + feasibility
 //! superfe explain <policy> [options]    # cost model, overflow proofs, rewrites
 //! superfe compile <policy>              # show the switch/NIC split + resources
 //! superfe run <policy> [options]        # extract features from a synthetic trace
+//! superfe serve <p1> [<p2> ...] [opts]  # N tenants on one shared switch/NIC
 //!
 //! <policy> is a built-in name (kitsune, npod, tf, ...) or a path to a .sfe
 //! policy file in the paper's DSL.
@@ -128,6 +130,28 @@ pub enum Command {
         /// Also write the JSON document to this path.
         out: Option<String>,
     },
+    /// List bundled policy names, machine-readable (one per line).
+    List,
+    /// Serve several policies concurrently on one shared switch/NIC pair.
+    Serve {
+        /// Built-in names or file paths, one per tenant.
+        policies: Vec<String>,
+        /// Workload preset.
+        trace: WorkloadPreset,
+        /// Trace size in packets.
+        packets: usize,
+        /// RNG seed.
+        seed: u64,
+        /// NIC shard count.
+        workers: usize,
+        /// `(tenant index, packet)` pairs: attach late instead of at start.
+        attach_at: Vec<(usize, usize)>,
+        /// `(tenant index, packet)` pairs: hot-detach mid-stream.
+        detach_at: Vec<(usize, usize)>,
+        /// Re-run every tenant alone and fail unless the shared-plane
+        /// output is bitwise identical.
+        verify_solo: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -194,6 +218,96 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
     match cmd {
         "apps" => Ok(Command::Apps),
+        "list" => Ok(Command::List),
+        "serve" => {
+            let rest: Vec<String> = it.cloned().collect();
+            let mut policies = Vec::new();
+            let mut i = 0;
+            while i < rest.len() && !rest[i].starts_with("--") {
+                policies.push(rest[i].clone());
+                i += 1;
+            }
+            if policies.is_empty() {
+                return Err(err("usage: superfe serve <policy> [<policy>...] [options]"));
+            }
+            let mut trace = WorkloadPreset::Enterprise;
+            let mut packets = 20_000usize;
+            let mut seed = 1u64;
+            let mut workers = 2usize;
+            let mut attach_at = Vec::new();
+            let mut detach_at = Vec::new();
+            let mut verify_solo = false;
+            let parse_epoch = |flag: &str, v: &str| -> Result<(usize, usize), CliError> {
+                let bad = || err(format!("{flag} expects TENANT:PACKET, got '{v}'"));
+                let (idx, pkt) = v.split_once(':').ok_or_else(bad)?;
+                Ok((
+                    idx.parse().map_err(|_| bad())?,
+                    pkt.parse().map_err(|_| bad())?,
+                ))
+            };
+            while i < rest.len() {
+                let flag = rest[i].clone();
+                i += 1;
+                let mut value = || -> Result<String, CliError> {
+                    let v = rest
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| err(format!("{flag} needs a value")));
+                    i += 1;
+                    v
+                };
+                match flag.as_str() {
+                    "--trace" => {
+                        trace = match value()?.as_str() {
+                            "mawi" => WorkloadPreset::MawiIxp,
+                            "enterprise" => WorkloadPreset::Enterprise,
+                            "campus" => WorkloadPreset::Campus,
+                            other => return Err(err(format!("unknown trace '{other}'"))),
+                        }
+                    }
+                    "--packets" => {
+                        packets = value()?
+                            .parse()
+                            .map_err(|_| err("--packets expects an integer"))?;
+                    }
+                    "--seed" => {
+                        seed = value()?
+                            .parse()
+                            .map_err(|_| err("--seed expects an integer"))?;
+                    }
+                    "--workers" => {
+                        workers = value()?
+                            .parse()
+                            .map_err(|_| err("--workers expects an integer"))?;
+                        if workers == 0 {
+                            return Err(err("--workers expects a positive count"));
+                        }
+                    }
+                    "--attach-at" => attach_at.push(parse_epoch("--attach-at", &value()?)?),
+                    "--detach-at" => detach_at.push(parse_epoch("--detach-at", &value()?)?),
+                    "--verify-solo" => verify_solo = true,
+                    other => return Err(err(format!("unknown option '{other}'"))),
+                }
+            }
+            for &(idx, _) in attach_at.iter().chain(&detach_at) {
+                if idx >= policies.len() {
+                    return Err(err(format!(
+                        "tenant index {idx} out of range (serving {} policies)",
+                        policies.len()
+                    )));
+                }
+            }
+            Ok(Command::Serve {
+                policies,
+                trace,
+                packets,
+                seed,
+                workers,
+                attach_at,
+                detach_at,
+                verify_solo,
+            })
+        }
         "show" | "compile" => {
             let policy = it
                 .next()
@@ -512,12 +626,15 @@ pub fn usage() -> String {
      \n\
      usage:\n\
      \x20 superfe apps                       list built-in Table 3 policies\n\
+     \x20 superfe list                       bundled policy names, one per line\n\
      \x20 superfe show <policy>              print a policy's DSL source\n\
      \x20 superfe check <policy> [options]   static analysis: lints + feasibility\n\
      \x20 superfe explain <policy> [options] typed IR, cost model, overflow proofs,\n\
      \x20                                    optimizer rewrites, cycle estimate\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
+     \x20 superfe serve <p1> [<p2> ...]      serve N policies concurrently on one\n\
+     \x20                                    shared switch/NIC (multi-tenant)\n\
      \x20 superfe bench [options]            streaming-pipeline throughput smoke\n\
      \x20 superfe detect [options]           train, calibrate, and serve a detector\n\
      \x20                                    online over a labelled intrusion trace\n\
@@ -544,6 +661,16 @@ pub fn usage() -> String {
      \x20 --limit N                          vectors to print      [5]\n\
      \x20 --save-trace PATH                  save the generated trace (SFET)\n\
      \x20 --load-trace PATH                  replay a saved trace instead\n\
+     \n\
+     serve options:\n\
+     \x20 --trace mawi|enterprise|campus     workload preset       [enterprise]\n\
+     \x20 --packets N                        trace size            [20000]\n\
+     \x20 --seed S                           RNG seed              [1]\n\
+     \x20 --workers N                        NIC shards            [2]\n\
+     \x20 --attach-at T:P                    attach tenant T at packet P (hot add)\n\
+     \x20 --detach-at T:P                    detach tenant T at packet P (hot remove)\n\
+     \x20 --verify-solo                      fail unless every tenant's output is\n\
+     \x20                                    bitwise identical to a solo run\n\
      \n\
      bench options:\n\
      \x20 --packets N                        trace size            [10000]\n\
@@ -689,6 +816,177 @@ fn explain(
     Ok(out)
 }
 
+/// The `superfe serve` command: N tenants on one shared switch/NIC with
+/// admission control and epoch-based hot attach/detach.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    policies: &[String],
+    trace: WorkloadPreset,
+    packets: usize,
+    seed: u64,
+    workers: usize,
+    attach_at: &[(usize, usize)],
+    detach_at: &[(usize, usize)],
+    verify_solo: bool,
+) -> Result<String, CliError> {
+    use superfe_core::{StreamingPipeline, SuperFeConfig};
+    use superfe_ctrl::{CtrlPlane, TenantSpec};
+    use superfe_nic::StreamOutput;
+    use superfe_switch::TenantId;
+
+    let mut specs = Vec::new();
+    for name in policies {
+        let (_, policy) = resolve_policy(name)?;
+        let label = std::path::Path::new(name)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(name)
+            .to_lowercase();
+        specs.push(TenantSpec {
+            name: label,
+            policy,
+            cfg: SuperFeConfig::default(),
+        });
+    }
+    // Per-tenant epoch schedule: the last flag for a tenant wins.
+    let attach_pkt: Vec<usize> = (0..specs.len())
+        .map(|i| {
+            attach_at
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == i)
+                .map_or(0, |&(_, p)| p)
+        })
+        .collect();
+    let detach_pkt: Vec<Option<usize>> = (0..specs.len())
+        .map(|i| {
+            detach_at
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == i)
+                .map(|&(_, p)| p)
+        })
+        .collect();
+    for i in 0..specs.len() {
+        if attach_pkt[i] >= packets.max(1) {
+            return Err(err(format!(
+                "tenant {i}: --attach-at {} is past the end of the trace",
+                attach_pkt[i]
+            )));
+        }
+        if let Some(d) = detach_pkt[i] {
+            if d <= attach_pkt[i] || d > packets {
+                return Err(err(format!(
+                    "tenant {i}: --detach-at {d} must fall after its attach and within the trace"
+                )));
+            }
+        }
+    }
+
+    let t = Workload::preset(trace)
+        .packets(packets)
+        .seed(seed)
+        .generate();
+    let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+    let mut ids: Vec<Option<TenantId>> = vec![None; specs.len()];
+    let mut outputs: Vec<Option<StreamOutput>> = (0..specs.len()).map(|_| None).collect();
+    let mut text = String::new();
+
+    for (i, rec) in t.records.iter().enumerate() {
+        for ti in 0..specs.len() {
+            if attach_pkt[ti] == i {
+                let id = plane
+                    .attach(&specs[ti], None)
+                    .map_err(|e| err(e.to_string()))?;
+                ids[ti] = Some(id);
+                writeln!(
+                    text,
+                    "epoch {}: attached {id} ({}) at packet {i}",
+                    plane.epoch(),
+                    specs[ti].name
+                )
+                .expect("write");
+            }
+            if detach_pkt[ti] == Some(i) {
+                let id = ids[ti].expect("detach is validated to follow attach");
+                outputs[ti] = Some(plane.detach(id).map_err(|e| err(e.to_string()))?);
+                writeln!(
+                    text,
+                    "epoch {}: detached {id} ({}) at packet {i}",
+                    plane.epoch(),
+                    specs[ti].name
+                )
+                .expect("write");
+            }
+        }
+        plane.push(rec).map_err(|e| err(e.to_string()))?;
+    }
+    let epochs = plane.epoch();
+    for run in plane.finish().map_err(|e| err(e.to_string()))? {
+        let ti = ids
+            .iter()
+            .position(|id| *id == Some(run.id))
+            .expect("finish returns only attached tenants");
+        outputs[ti] = Some(run.output);
+    }
+
+    writeln!(
+        text,
+        "served {} tenants over {} packets ({} epochs, {} workers)",
+        specs.len(),
+        t.records.len(),
+        epochs,
+        workers
+    )
+    .expect("write");
+    for (ti, spec) in specs.iter().enumerate() {
+        let out = outputs[ti].as_ref().expect("every tenant ran");
+        writeln!(
+            text,
+            "tenant {} {}: group_vectors={} packet_vectors={} records={}",
+            ids[ti].expect("attached"),
+            spec.name,
+            out.group_vectors.len(),
+            out.packet_vectors.len(),
+            out.stats.records
+        )
+        .expect("write");
+    }
+
+    if verify_solo {
+        for (ti, spec) in specs.iter().enumerate() {
+            let window = &t.records[attach_pkt[ti]..detach_pkt[ti].unwrap_or(t.records.len())];
+            let mut fe = StreamingPipeline::with_config(&spec.policy, spec.cfg, workers)
+                .map_err(|e| err(e.to_string()))?;
+            for rec in window {
+                fe.push(rec).map_err(|e| err(e.to_string()))?;
+            }
+            let solo = fe.finish().map_err(|e| err(e.to_string()))?;
+            let out = outputs[ti].as_ref().expect("every tenant ran");
+            if solo.group_vectors != out.group_vectors || solo.packet_vectors != out.packet_vectors
+            {
+                return Err(err(format!(
+                    "isolation violated: tenant {ti} ({}) diverged from its solo run \
+                     (solo {}+{} vectors, shared {}+{})",
+                    spec.name,
+                    solo.group_vectors.len(),
+                    solo.packet_vectors.len(),
+                    out.group_vectors.len(),
+                    out.packet_vectors.len()
+                )));
+            }
+            writeln!(
+                text,
+                "verified tenant {} {}: bitwise identical to solo run",
+                ids[ti].expect("attached"),
+                spec.name
+            )
+            .expect("write");
+        }
+    }
+    Ok(text)
+}
+
 /// Executes a command, returning the text to print.
 pub fn execute(cmd: Command) -> Result<String, CliError> {
     match cmd {
@@ -714,6 +1012,32 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::List => {
+            let mut out = String::new();
+            for app in all_apps() {
+                writeln!(out, "{}", app.name.to_lowercase()).expect("write to string");
+            }
+            Ok(out)
+        }
+        Command::Serve {
+            policies,
+            trace,
+            packets,
+            seed,
+            workers,
+            attach_at,
+            detach_at,
+            verify_solo,
+        } => serve(
+            &policies,
+            trace,
+            packets,
+            seed,
+            workers,
+            &attach_at,
+            &detach_at,
+            verify_solo,
+        ),
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
             Ok(src)
@@ -1110,6 +1434,116 @@ mod tests {
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn list_is_machine_readable() {
+        let out = execute(Command::List).unwrap();
+        let names: Vec<&str> = out.lines().collect();
+        assert_eq!(names.len(), all_apps().len());
+        for n in &names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "name '{n}' is not machine-friendly"
+            );
+        }
+        assert!(names.contains(&"kitsune"));
+    }
+
+    #[test]
+    fn parses_serve_options() {
+        let c = parse_args(&args(
+            "serve cumul kitsune --packets 5000 --workers 4 --attach-at 1:100 \
+             --detach-at 1:900 --verify-solo",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                policies: vec!["cumul".into(), "kitsune".into()],
+                trace: WorkloadPreset::Enterprise,
+                packets: 5000,
+                seed: 1,
+                workers: 4,
+                attach_at: vec![(1, 100)],
+                detach_at: vec![(1, 900)],
+                verify_solo: true,
+            }
+        );
+        assert!(parse_args(&args("serve")).is_err());
+        assert!(parse_args(&args("serve cumul --attach-at nope")).is_err());
+        assert!(parse_args(&args("serve cumul --attach-at 7:0")).is_err());
+        assert!(parse_args(&args("serve cumul --workers 0")).is_err());
+    }
+
+    #[test]
+    fn serve_runs_tenants_solo_identical() {
+        let out = execute(Command::Serve {
+            policies: vec!["cumul".into(), "npod".into()],
+            trace: WorkloadPreset::Campus,
+            packets: 4_000,
+            seed: 3,
+            workers: 2,
+            attach_at: vec![],
+            detach_at: vec![(1, 2_000)],
+            verify_solo: true,
+        })
+        .unwrap();
+        assert!(out.contains("served 2 tenants"), "{out}");
+        assert!(out.contains("tenant t0 cumul: group_vectors="), "{out}");
+        assert!(out.contains("detached t1 (npod) at packet 2000"), "{out}");
+        assert!(
+            out.contains("verified tenant t1 npod: bitwise identical"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_overcommitted_tenant_set() {
+        // Enough Kitsune-class tenants to exhaust the Tofino: admission must
+        // refuse the set with the binding resource, and the command must
+        // exit non-zero.
+        let e = execute(Command::Serve {
+            policies: vec!["kitsune".into(); 12],
+            trace: WorkloadPreset::Campus,
+            packets: 100,
+            seed: 1,
+            workers: 1,
+            attach_at: vec![],
+            detach_at: vec![],
+            verify_solo: false,
+        })
+        .unwrap_err();
+        assert!(e.message.contains("admission rejected"), "{e}");
+        assert!(e.message.contains("exhausted"), "{e}");
+    }
+
+    #[test]
+    fn serve_validates_epoch_schedule() {
+        let base = |attach_at: Vec<(usize, usize)>, detach_at: Vec<(usize, usize)>| {
+            execute(Command::Serve {
+                policies: vec!["cumul".into()],
+                trace: WorkloadPreset::Campus,
+                packets: 100,
+                seed: 1,
+                workers: 1,
+                attach_at,
+                detach_at,
+                verify_solo: false,
+            })
+        };
+        assert!(
+            base(vec![(0, 100)], vec![]).is_err(),
+            "attach past trace end"
+        );
+        assert!(
+            base(vec![(0, 50)], vec![(0, 50)]).is_err(),
+            "detach at attach"
+        );
+        assert!(
+            base(vec![], vec![(0, 500)]).is_err(),
+            "detach past trace end"
+        );
     }
 
     #[test]

@@ -34,11 +34,13 @@
 //! packet-at-a-time on the CPU with full-precision timestamps).
 
 pub mod analyze;
+pub mod deploy;
 pub mod pipeline;
 pub mod software;
 pub mod stream;
 
 pub use analyze::{analyze, AnalyzeConfig};
+pub use deploy::gate;
 pub use pipeline::{Extraction, SuperFe, SuperFeConfig};
 pub use software::SoftwareExtractor;
 pub use stream::StreamingPipeline;

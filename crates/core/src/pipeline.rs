@@ -4,7 +4,7 @@ use superfe_net::wire::ParseError;
 use superfe_net::{Direction, PacketRecord};
 use superfe_nic::{FeNic, FeatureVector, NicStats};
 use superfe_policy::dsl;
-use superfe_policy::{compile, CompiledPolicy, Policy, PolicyError};
+use superfe_policy::{CompiledPolicy, Policy, PolicyError};
 use superfe_switch::{CacheMode, FeSwitch, MgpvConfig, MgpvStats, SwitchStats};
 
 /// Deployment configuration.
@@ -77,22 +77,7 @@ impl SuperFe {
     /// [`PolicyError::Infeasible`] with the rendered report instead of
     /// deploying a program the target could not actually run.
     pub fn with_config(policy: &Policy, cfg: SuperFeConfig) -> Result<Self, PolicyError> {
-        let analyze_cfg = crate::analyze::AnalyzeConfig {
-            cache: cfg.cache,
-            ..crate::analyze::AnalyzeConfig::default()
-        };
-        let optimized;
-        let policy = if cfg.optimize {
-            optimized = superfe_policy::ir::opt::optimize(policy, &analyze_cfg.value_config());
-            &optimized.policy
-        } else {
-            policy
-        };
-        let compiled = compile(policy)?;
-        let report = crate::analyze::analyze(policy, &analyze_cfg);
-        if report.has_errors() {
-            return Err(PolicyError::Infeasible(report.render()));
-        }
+        let compiled = crate::deploy::gate(policy, &cfg)?;
         let switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())

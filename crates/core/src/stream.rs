@@ -12,7 +12,7 @@ use superfe_net::wire::ParseError;
 use superfe_net::{Direction, PacketRecord};
 use superfe_nic::{NicError, StreamingNic};
 use superfe_policy::dsl;
-use superfe_policy::{compile, CompiledPolicy, Policy, PolicyError};
+use superfe_policy::{CompiledPolicy, Policy, PolicyError};
 use superfe_switch::{FeSwitch, SwitchEvent};
 
 use crate::pipeline::{Extraction, SuperFeConfig};
@@ -69,22 +69,7 @@ impl StreamingPipeline {
         workers: usize,
         sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
     ) -> Result<Self, PolicyError> {
-        let analyze_cfg = crate::analyze::AnalyzeConfig {
-            cache: cfg.cache,
-            ..crate::analyze::AnalyzeConfig::default()
-        };
-        let optimized;
-        let policy = if cfg.optimize {
-            optimized = superfe_policy::ir::opt::optimize(policy, &analyze_cfg.value_config());
-            &optimized.policy
-        } else {
-            policy
-        };
-        let compiled = compile(policy)?;
-        let report = crate::analyze::analyze(policy, &analyze_cfg);
-        if report.has_errors() {
-            return Err(PolicyError::Infeasible(report.render()));
-        }
+        let compiled = crate::deploy::gate(policy, &cfg)?;
         let switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())

@@ -1,0 +1,29 @@
+//! Multi-tenant control plane: N policies on one shared switch/NIC.
+//!
+//! SuperFE's data path (`superfe-switch` + `superfe-nic`) extracts features
+//! for **one** policy. Real deployments run many traffic-analysis
+//! applications on the same Tofino + SmartNIC pair; this crate adds the
+//! control plane that makes that safe:
+//!
+//! - **Admission control** ([`admission`]): before a policy touches
+//!   hardware, its demand is composed with the already-admitted set through
+//!   the repo's existing resource models (`superfe_switch::resources`,
+//!   `superfe_nic::resources`) and checked by the same `SF03xx`/`SF04xx`
+//!   diagnostic passes `superfe check` runs. Over-budget combinations are
+//!   refused with a typed [`AdmissionError`] naming the binding resource.
+//! - **Shared data path** ([`plane`]): admitted tenants get their own
+//!   filter-table entry, an SRAM cache partition sized by their quota, and
+//!   per-tenant NIC engines keyed by `(tenant, cg_key)` — so each tenant's
+//!   output is bitwise identical to running alone.
+//! - **Epoch-based hot reconfiguration**: [`CtrlPlane::attach`] /
+//!   [`CtrlPlane::detach`] take effect at batch-boundary epochs with a
+//!   drain-and-flush handshake; tenants that are not touched lose and
+//!   duplicate zero vectors.
+
+pub mod admission;
+pub mod error;
+pub mod plane;
+
+pub use admission::{admit, AdmissionReport, TenantDemand};
+pub use error::{AdmissionError, CtrlError, Resource};
+pub use plane::{CtrlPlane, TenantRun, TenantSpec};

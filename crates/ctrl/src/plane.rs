@@ -1,0 +1,376 @@
+//! The control plane: N admitted policies live on one shared data path.
+//!
+//! [`CtrlPlane`] owns the shared switch
+//! ([`SharedSwitch`](superfe_switch::tenant::SharedSwitch)) and the shared
+//! streaming NIC ([`SharedStreamingNic`](superfe_nic::SharedStreamingNic)),
+//! and sequences reconfiguration in **epochs**:
+//!
+//! 1. [`CtrlPlane::attach`] gates the candidate policy (optimize → compile
+//!    → static analysis, the same `superfe_core::deploy::gate` every solo
+//!    path uses), composes its demand with the already-admitted set through
+//!    the admission controller, and only then installs the tenant's filter
+//!    entry, cache partition, and NIC engines — all at a batch boundary, so
+//!    the new tenant sees exactly the packets pushed after the call.
+//! 2. [`CtrlPlane::detach`] drains the departing tenant's switch partition
+//!    into the event stream, hands its NIC engines a drain-and-flush
+//!    handshake, and blocks until every shard acked — returning the
+//!    tenant's complete, isolated output.
+//!
+//! Untouched tenants lose or duplicate zero vectors across either
+//! operation: their partitions, engines, and channels are never touched,
+//! and the epoch markers travel in-band so they cannot reorder against
+//! event frames.
+
+use superfe_core::pipeline::SuperFeConfig;
+use superfe_net::PacketRecord;
+use superfe_nic::{SharedStreamingNic, StreamOutput, VectorSink};
+use superfe_policy::Policy;
+use superfe_switch::tenant::{SharedSwitch, SharedSwitchStats, TaggedEvent, TenantId};
+use superfe_switch::{MgpvStats, SwitchStats};
+
+use crate::admission::{admit, AdmissionReport, TenantDemand};
+use crate::error::{AdmissionError, CtrlError};
+
+/// A policy a tenant asks to deploy.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (the bundled-app name or file stem).
+    pub name: String,
+    /// The policy itself.
+    pub policy: Policy,
+    /// Deployment configuration; `cfg.cache` is the tenant's cache quota.
+    pub cfg: SuperFeConfig,
+}
+
+/// One live tenant.
+struct Slot {
+    id: TenantId,
+    name: String,
+    demand: TenantDemand,
+}
+
+/// One tenant's final output at plane shutdown.
+#[derive(Debug)]
+pub struct TenantRun {
+    /// The tenant id.
+    pub id: TenantId,
+    /// The tenant's display name.
+    pub name: String,
+    /// Its isolated extraction output.
+    pub output: StreamOutput,
+}
+
+/// The multi-tenant control plane over one shared switch + NIC.
+pub struct CtrlPlane {
+    analyze: superfe_core::analyze::AnalyzeConfig,
+    switch: SharedSwitch,
+    nic: SharedStreamingNic,
+    slots: Vec<Slot>,
+    next_id: u16,
+    frame: Vec<TaggedEvent>,
+    epoch: u64,
+}
+
+impl CtrlPlane {
+    /// A plane with `workers` NIC shards and the given hardware model for
+    /// admission (budget, NFP, expected group population, headroom).
+    pub fn new(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
+        CtrlPlane {
+            analyze,
+            switch: SharedSwitch::new(),
+            nic: SharedStreamingNic::new(workers),
+            slots: Vec::new(),
+            next_id: 0,
+            frame: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of NIC shards.
+    pub fn workers(&self) -> usize {
+        self.nic.workers()
+    }
+
+    /// Completed reconfiguration epochs (each attach/detach is one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live tenants in attach order.
+    pub fn tenants(&self) -> Vec<(TenantId, &str)> {
+        self.slots.iter().map(|s| (s.id, s.name.as_str())).collect()
+    }
+
+    /// Link-level counters of the shared switch.
+    pub fn switch_stats(&self) -> &SharedSwitchStats {
+        self.switch.stats()
+    }
+
+    /// Per-tenant switch link counters.
+    pub fn tenant_switch_stats(&self, tenant: TenantId) -> Option<&SwitchStats> {
+        self.switch.tenant_stats(tenant)
+    }
+
+    /// Per-tenant cache counters.
+    pub fn tenant_cache_stats(&self, tenant: TenantId) -> Option<MgpvStats> {
+        self.switch.tenant_cache_stats(tenant)
+    }
+
+    /// Dry-runs admission for `spec` against the currently-admitted set
+    /// without deploying anything.
+    pub fn admission_check(&self, spec: &TenantSpec) -> Result<AdmissionReport, AdmissionError> {
+        let demand = self.gate(spec)?;
+        let mut set: Vec<&TenantDemand> = self.slots.iter().map(|s| &s.demand).collect();
+        set.push(&demand);
+        admit(&self.analyze, &set)
+    }
+
+    /// Admits and deploys `spec` at the current epoch. `sinks`, when given,
+    /// must hold one [`VectorSink`] per NIC shard (the tenant's private
+    /// egress — e.g. its detector's serving sinks).
+    ///
+    /// Packets pushed before this call never reach the new tenant; packets
+    /// pushed after all do. Other tenants are unaffected.
+    pub fn attach(
+        &mut self,
+        spec: &TenantSpec,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<TenantId, CtrlError> {
+        let demand = self.gate(spec)?;
+        let mut set: Vec<&TenantDemand> = self.slots.iter().map(|s| &s.demand).collect();
+        set.push(&demand);
+        admit(&self.analyze, &set)?;
+        let id = TenantId(self.next_id);
+        self.next_id = self.next_id.checked_add(1).expect("tenant id space");
+        if !self.switch.attach(
+            id,
+            demand.compiled.switch.clone(),
+            spec.cfg.cache,
+            spec.cfg.mode,
+        ) {
+            return Err(CtrlError::Switch(
+                "degenerate cache configuration for tenant partition".into(),
+            ));
+        }
+        if let Err(e) = self
+            .nic
+            .attach(id, &demand.compiled, spec.cfg.cache.fg_table_size, sinks)
+        {
+            // Roll the switch half back so the plane stays consistent.
+            let mut discard = Vec::new();
+            self.switch.detach_into(id, &mut discard);
+            return Err(CtrlError::Nic(e));
+        }
+        self.slots.push(Slot {
+            id,
+            name: spec.name.clone(),
+            demand,
+        });
+        self.epoch += 1;
+        Ok(id)
+    }
+
+    /// Detaches `tenant` at the current epoch with the drain-and-flush
+    /// handshake, returning its complete isolated output. Blocks until
+    /// every NIC shard acked the epoch.
+    pub fn detach(&mut self, tenant: TenantId) -> Result<StreamOutput, CtrlError> {
+        let Some(pos) = self.slots.iter().position(|s| s.id == tenant) else {
+            return Err(CtrlError::UnknownTenant(tenant));
+        };
+        // Drain the switch partition so in-flight batched records reach the
+        // NIC ahead of the detach marker.
+        self.frame.clear();
+        self.switch.detach_into(tenant, &mut self.frame);
+        self.nic.push_all(self.frame.drain(..))?;
+        let out = self.nic.detach(tenant)?;
+        self.slots.remove(pos);
+        self.epoch += 1;
+        Ok(out)
+    }
+
+    /// Feeds one packet through the shared filter table into every
+    /// matching tenant's partition and on to the NIC shards.
+    pub fn push(&mut self, p: &PacketRecord) -> Result<(), CtrlError> {
+        self.frame.clear();
+        self.switch.process_into(p, &mut self.frame);
+        self.nic
+            .push_all(self.frame.drain(..))
+            .map_err(CtrlError::Nic)
+    }
+
+    /// Flushes every tenant partition, drains the shards, and returns each
+    /// remaining tenant's isolated output in attach order.
+    pub fn finish(mut self) -> Result<Vec<TenantRun>, CtrlError> {
+        self.frame.clear();
+        self.switch.flush_into(&mut self.frame);
+        self.nic.push_all(self.frame.drain(..))?;
+        let outs = self.nic.finish()?;
+        Ok(outs
+            .into_iter()
+            .map(|(id, output)| {
+                let name = self
+                    .slots
+                    .iter()
+                    .find(|s| s.id == id)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|| id.to_string());
+                TenantRun { id, name, output }
+            })
+            .collect())
+    }
+
+    /// Runs the per-policy deployment gate and models the demand.
+    fn gate(&self, spec: &TenantSpec) -> Result<TenantDemand, AdmissionError> {
+        let compiled = superfe_core::deploy::gate(&spec.policy, &spec.cfg).map_err(|e| {
+            AdmissionError::Policy {
+                tenant: spec.name.clone(),
+                source: e,
+            }
+        })?;
+        Ok(TenantDemand::new(compiled, spec.cfg.cache))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_core::analyze::AnalyzeConfig;
+    use superfe_core::StreamingPipeline;
+    use superfe_policy::dsl::parse;
+
+    fn spec(name: &str, src: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            policy: parse(src).unwrap(),
+            cfg: SuperFeConfig::default(),
+        }
+    }
+
+    fn host_sum() -> TenantSpec {
+        spec(
+            "host-sum",
+            "pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        )
+    }
+
+    fn flow_stats() -> TenantSpec {
+        spec(
+            "flow-stats",
+            "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+             .reduce(size, [f_mean, f_max])\n.collect(flow)",
+        )
+    }
+
+    fn packets(n: u64) -> impl Iterator<Item = PacketRecord> {
+        (0..n).map(|i| {
+            if i % 5 == 0 {
+                PacketRecord::udp(i * 700, 90, (i % 11 + 1) as u32, 53, 4, 53)
+            } else {
+                PacketRecord::tcp(i * 700, 400, (i % 11 + 1) as u32, 1500, 4, 443)
+            }
+        })
+    }
+
+    fn solo(ts: &TenantSpec, n: u64, workers: usize) -> superfe_core::Extraction {
+        let mut fe = StreamingPipeline::with_config(&ts.policy, ts.cfg, workers).unwrap();
+        for p in packets(n) {
+            fe.push(&p).unwrap();
+        }
+        fe.finish().unwrap()
+    }
+
+    #[test]
+    fn plane_runs_two_tenants_isolated() {
+        let mut plane = CtrlPlane::new(2, AnalyzeConfig::default());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&flow_stats(), None).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(plane.epoch(), 2);
+        for p in packets(900) {
+            plane.push(&p).unwrap();
+        }
+        assert!(plane.tenant_switch_stats(a).unwrap().pkts_in == 900);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].name, "host-sum");
+        let solo_a = solo(&host_sum(), 900, 2);
+        let solo_b = solo(&flow_stats(), 900, 2);
+        assert_eq!(runs[0].output.group_vectors, solo_a.group_vectors);
+        assert_eq!(runs[1].output.group_vectors, solo_b.group_vectors);
+    }
+
+    #[test]
+    fn detach_returns_isolated_output_mid_stream() {
+        let mut plane = CtrlPlane::new(4, AnalyzeConfig::default());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&flow_stats(), None).unwrap();
+        let mut detached = None;
+        for (i, p) in packets(1200).enumerate() {
+            if i == 600 {
+                detached = Some(plane.detach(b).unwrap());
+                assert_eq!(plane.tenants().len(), 1);
+            }
+            plane.push(&p).unwrap();
+        }
+        assert!(plane.detach(b).is_err(), "double detach is refused");
+        let gone = detached.unwrap();
+        assert!(gone.stats.records > 0);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].id, a);
+        // Survivor unaffected by the mid-stream epoch.
+        let solo_a = solo(&host_sum(), 1200, 4);
+        assert_eq!(runs[0].output.group_vectors, solo_a.group_vectors);
+    }
+
+    #[test]
+    fn infeasible_policy_is_rejected_at_the_gate() {
+        let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
+        let mut bad = host_sum();
+        bad.cfg.cache.short_count = 4_000_000;
+        match plane.attach(&bad, None) {
+            Err(CtrlError::Admission(AdmissionError::Policy { tenant, .. })) => {
+                assert_eq!(tenant, "host-sum");
+            }
+            other => panic!("expected Policy rejection, got {other:?}"),
+        }
+        assert_eq!(plane.epoch(), 0);
+        plane.finish().unwrap();
+    }
+
+    #[test]
+    fn composed_overload_is_rejected_with_binding_resource() {
+        // Individually feasible tenants whose composition blows the sALU
+        // budget: keep attaching until the controller says no.
+        let kitsune = spec(
+            "kitsune-like",
+            "pktstream\n.groupby(socket)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(size, [f_mean, f_var])\n.collect(socket)\n\
+             .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)\n\
+             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+        );
+        let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
+        let mut rejected = None;
+        for _ in 0..16 {
+            match plane.attach(&kitsune, None) {
+                Ok(_) => {}
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        match rejected.expect("a Tofino cannot host 16 Kitsune tenants") {
+            CtrlError::Admission(AdmissionError::Budget { resource, .. }) => {
+                // The plane keeps running for the admitted tenants.
+                assert!(!resource.name().is_empty());
+            }
+            other => panic!("expected Budget rejection, got {other:?}"),
+        }
+        assert!(!plane.tenants().is_empty());
+        for p in packets(100) {
+            plane.push(&p).unwrap();
+        }
+        plane.finish().unwrap();
+    }
+}

@@ -18,6 +18,8 @@ pub enum DetectError {
         /// Index of the lost inference worker.
         worker: usize,
     },
+    /// A serving configuration/registry error (e.g. unknown tenant).
+    Config(String),
 }
 
 impl std::fmt::Display for DetectError {
@@ -29,6 +31,7 @@ impl std::fmt::Display for DetectError {
             DetectError::InferenceWorkerLost { worker } => {
                 write!(f, "inference worker {worker} terminated unexpectedly")
             }
+            DetectError::Config(msg) => write!(f, "serving configuration error: {msg}"),
         }
     }
 }

@@ -25,12 +25,14 @@
 
 pub mod alert;
 pub mod error;
+pub mod multi;
 pub mod offline;
 pub mod pipeline;
 pub mod serve;
 
 pub use alert::{canonicalize_alerts, canonicalize_scores, score_fingerprint, Alert, ScoredVector};
 pub use error::DetectError;
+pub use multi::MultiServing;
 pub use offline::{score_offline, OfflineScores};
 pub use pipeline::DetectPipeline;
 pub use serve::{ServeConfig, ServeReport, Serving, StageCounters};

@@ -63,7 +63,24 @@ pub fn check_nic(
     }
 
     // Aggregate capacity at the projected concurrent-group scale.
-    let usage = model(program, groups_per_level, nfp);
+    out.extend(check_capacity(
+        &model(program, groups_per_level, nfp),
+        nfp,
+        headroom_pct,
+    ));
+    out
+}
+
+/// Checks already-modeled aggregate usage against the NFP memory system —
+/// the capacity half of [`check_nic`], shared with the multi-tenant
+/// admission controller, which models several tenants jointly
+/// ([`crate::resources::model_many`]) before checking the shared NIC.
+pub fn check_capacity(
+    usage: &crate::resources::NicResources,
+    nfp: &NfpModel,
+    headroom_pct: f64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     let dram_cap = nfp
         .memory(MemLevel::Dram)
         .map(|m| m.capacity_bytes)

@@ -21,6 +21,9 @@
 //! - [`stream`]: the streaming multi-core executor — CG-key-sharded worker
 //!   threads fed over bounded channels with backpressure, the software
 //!   analogue of the NBI packet distribution.
+//! - [`shared`]: the multi-tenant variant of [`stream`] — one shard pool
+//!   serving N per-tenant engines, with epoch-based in-band attach/detach
+//!   driven by the `superfe-ctrl` control plane.
 //! - [`parallel`]: the batch façade over [`stream`] for callers holding a
 //!   complete event slice.
 //! - [`resources`]: NIC memory utilization for Table 4.
@@ -35,15 +38,18 @@ pub mod parallel;
 pub mod perf;
 pub mod placement;
 pub mod resources;
+pub mod shared;
 pub mod stream;
 pub mod table;
 
 pub use arch::{MemLevel, NfpModel};
 pub use engine::{FeNic, FeatureVector, NicStats};
 pub use error::NicError;
-pub use feasibility::check_nic;
+pub use feasibility::{check_capacity, check_nic};
 pub use parallel::{ParallelNic, ParallelOutput};
 pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};
+pub use resources::{model_many, NicResources};
+pub use shared::SharedStreamingNic;
 pub use stream::{EgressVector, StreamOutput, StreamingNic, VectorSink};
 pub use table::GroupTable;

@@ -53,11 +53,21 @@ fn total_capacity(nfp: &NfpModel, level: MemLevel) -> usize {
 /// headroom (64-byte line per group) and capacity headroom, overflowing to
 /// DRAM.
 pub fn model(program: &NicProgram, groups_per_level: &[usize], nfp: &NfpModel) -> NicResources {
+    model_many(&[(program, groups_per_level)], nfp)
+}
+
+/// Models the joint NIC memory usage of several programs co-deployed on
+/// **one** NIC: the same greedy fastest-memory-first allocation as
+/// [`model`], with all tenants drawing from a single shared pool of
+/// level capacities. Tenants are allocated in slice order (attach order),
+/// matching the admission controller's first-come placement — this is the
+/// multi-tenant admission model, not a second resource model.
+pub fn model_many(tenants: &[(&NicProgram, &[usize])], nfp: &NfpModel) -> NicResources {
     let on_chip: Vec<MemLevel> = MemLevel::all()
         .into_iter()
         .filter(|l| *l != MemLevel::Dram)
         .collect();
-    // Remaining capacity per level.
+    // Remaining capacity per level, shared across every tenant.
     let mut remaining: Vec<usize> = on_chip.iter().map(|&l| total_capacity(nfp, l)).collect();
     // Remaining per-group bus budget per level (one 64-byte line each).
     let bus: Vec<usize> = on_chip
@@ -68,45 +78,48 @@ pub fn model(program: &NicProgram, groups_per_level: &[usize], nfp: &NfpModel) -
     let mut used: Vec<usize> = vec![0; on_chip.len()];
     let mut dram_bytes = 0usize;
 
-    let states = program.states();
-    for (li, level) in program.levels.iter().enumerate() {
-        let groups = groups_per_level.get(li).copied().unwrap_or(0);
-        if groups == 0 {
-            continue;
-        }
-        let prefix = format!("{}/", level.granularity.name());
-        let mut bus_left = bus.clone();
-
-        // The group key always sits with the fastest state block; charge it
-        // first as a pseudo-state.
-        let mut blocks: Vec<usize> = vec![level.granularity.key_bytes()];
-        blocks.extend(
-            states
-                .iter()
-                .filter(|s| s.name.starts_with(&prefix))
-                .map(|s| s.bytes),
-        );
-
-        for bytes in blocks {
-            let need_total = bytes.saturating_mul(groups);
-            let mut placed = false;
-            for (mi, lvl) in on_chip.iter().enumerate() {
-                // CLS/CTM are single-line fast paths; IMEM/EMEM support
-                // multi-beat bulk transfers, so only capacity binds there.
-                let bus_ok = match lvl {
-                    MemLevel::Cls | MemLevel::Ctm => bytes <= bus_left[mi],
-                    _ => true,
-                };
-                if bus_ok && need_total <= remaining[mi] {
-                    bus_left[mi] = bus_left[mi].saturating_sub(bytes);
-                    remaining[mi] -= need_total;
-                    used[mi] += need_total;
-                    placed = true;
-                    break;
-                }
+    for (program, groups_per_level) in tenants {
+        let states = program.states();
+        for (li, level) in program.levels.iter().enumerate() {
+            let groups = groups_per_level.get(li).copied().unwrap_or(0);
+            if groups == 0 {
+                continue;
             }
-            if !placed {
-                dram_bytes += need_total;
+            let prefix = format!("{}/", level.granularity.name());
+            let mut bus_left = bus.clone();
+
+            // The group key always sits with the fastest state block; charge
+            // it first as a pseudo-state.
+            let mut blocks: Vec<usize> = vec![level.granularity.key_bytes()];
+            blocks.extend(
+                states
+                    .iter()
+                    .filter(|s| s.name.starts_with(&prefix))
+                    .map(|s| s.bytes),
+            );
+
+            for bytes in blocks {
+                let need_total = bytes.saturating_mul(groups);
+                let mut placed = false;
+                for (mi, lvl) in on_chip.iter().enumerate() {
+                    // CLS/CTM are single-line fast paths; IMEM/EMEM support
+                    // multi-beat bulk transfers, so only capacity binds
+                    // there.
+                    let bus_ok = match lvl {
+                        MemLevel::Cls | MemLevel::Ctm => bytes <= bus_left[mi],
+                        _ => true,
+                    };
+                    if bus_ok && need_total <= remaining[mi] {
+                        bus_left[mi] = bus_left[mi].saturating_sub(bytes);
+                        remaining[mi] -= need_total;
+                        used[mi] += need_total;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    dram_bytes += need_total;
+                }
             }
         }
     }
@@ -190,6 +203,30 @@ mod tests {
         let r = model(&p, &[10_000], &nfp);
         // 20 KB per group exceeds the 64-byte bus line: DRAM.
         assert!(r.dram_bytes >= 5000 * 4 * 10_000);
+    }
+
+    #[test]
+    fn model_many_shares_one_capacity_pool() {
+        let p =
+            program("pktstream\n.groupby(host)\n.reduce(size, [f_mean, f_var])\n.collect(host)");
+        let nfp = NfpModel::nfp4000();
+        let groups = [200_000usize];
+        let solo = model(&p, &groups, &nfp);
+        let duo = model_many(&[(&p, &groups[..]), (&p, &groups[..])], &nfp);
+        // Joint demand is the sum of solo demands...
+        assert_eq!(
+            duo.used_bytes + duo.dram_bytes,
+            2 * (solo.used_bytes + solo.dram_bytes)
+        );
+        // ...but the second tenant competes for the same fast levels, so
+        // on-chip usage is less than doubled once the pool saturates.
+        assert!(duo.used_bytes <= duo.capacity_bytes);
+        assert_eq!(duo.capacity_bytes, solo.capacity_bytes);
+        // Degenerate cases: empty set and singleton reduce to model().
+        assert_eq!(model_many(&[], &nfp).used_bytes, 0);
+        let single = model_many(&[(&p, &groups[..])], &nfp);
+        assert_eq!(single.used_bytes, solo.used_bytes);
+        assert_eq!(single.dram_bytes, solo.dram_bytes);
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Multi-tenant streaming NIC executor: one shard pool, N tenant engines.
+//!
+//! The NIC half of the shared data path (see `superfe-switch::tenant` for
+//! the switch half). The same CG-key-sharded worker pool as
+//! [`StreamingNic`](crate::stream::StreamingNic) serves every tenant at
+//! once; the differences that make it multi-tenant:
+//!
+//! - **Tagged events, solo-identical routing**: the switch link carries
+//!   [`TaggedEvent`]s. An MGPV eviction still goes to shard
+//!   `hash % workers` — *not* tenant-salted — so each tenant's per-shard
+//!   event subsequence (and therefore its merged output order and
+//!   `(shard, seq)` egress tags) is bitwise-identical to a solo
+//!   [`StreamingNic`](crate::stream::StreamingNic) at the same worker
+//!   count. FG updates broadcast to every shard, exactly as solo.
+//! - **Per-tenant engines**: each worker owns one private
+//!   [`FeNic`] per tenant, so the effective group-table key is
+//!   `(tenant, cg_key)` and state never crosses tenant boundaries. The
+//!   per-tenant `fg_table_size` is that tenant's group-table quota;
+//!   per-tenant [`NicStats`] are the accounting counters.
+//! - **Per-tenant sinks**: each tenant brings its own
+//!   [`VectorSink`] per shard, keeping egress vector/alert streams
+//!   isolated end to end.
+//! - **Epoch-based reconfiguration**: [`SharedStreamingNic::attach`] and
+//!   [`SharedStreamingNic::detach`] travel *in-band* as control markers
+//!   through the same bounded channels as event frames, so every worker
+//!   applies them at the same point of the event stream — the epoch
+//!   boundary. Detach is a drain-and-flush handshake: pending frames are
+//!   flushed ahead of the marker, each worker finalizes the departing
+//!   tenant's engine and acks with its output, and the caller blocks until
+//!   all shards have acked. Untouched tenants lose or duplicate zero
+//!   vectors because their engines and channels are never touched.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use superfe_net::Granularity;
+use superfe_policy::CompiledPolicy;
+use superfe_switch::tenant::{TaggedEvent, TenantId};
+use superfe_switch::SwitchEvent;
+
+use crate::engine::{FeNic, FeatureVector, NicStats};
+use crate::error::NicError;
+use crate::stream::{EgressVector, StreamOutput, VectorSink, CHANNEL_DEPTH, FRAME_SIZE};
+
+/// What travels to a worker: an event frame or an epoch control marker.
+enum ShardMsg {
+    /// A batch of tagged events in stream order.
+    Frame(Vec<TaggedEvent>),
+    /// Attach marker: adopt this pre-built engine (and optional sink) for
+    /// `tenant`, effective for all events after this point in the stream.
+    Attach {
+        tenant: TenantId,
+        engine: Box<FeNic>,
+        sink: Option<Box<dyn VectorSink>>,
+    },
+    /// Detach marker: finalize `tenant`'s engine, flush its sink, and ack
+    /// the finished shard output back to the control plane.
+    Detach {
+        tenant: TenantId,
+        ack: Sender<(usize, TenantPiece)>,
+    },
+}
+
+/// One tenant's finished output on one shard.
+struct TenantPiece {
+    tenant: TenantId,
+    groups: Vec<FeatureVector>,
+    pkts: Vec<FeatureVector>,
+    stats: NicStats,
+    groups_per_level: Vec<(Granularity, usize)>,
+}
+
+/// One tenant's state on one worker.
+struct TenantEngine {
+    tenant: TenantId,
+    nic: Box<FeNic>,
+    sink: Option<Box<dyn VectorSink>>,
+    /// Per-(tenant, shard) monotonic egress sequence number.
+    seq: u64,
+    shard: usize,
+}
+
+impl TenantEngine {
+    /// Diverts accumulated per-packet vectors to the tenant's sink.
+    fn drain_packets(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            for vector in self.nic.take_packet_vectors() {
+                sink.emit(EgressVector {
+                    shard: self.shard,
+                    seq: self.seq,
+                    vector,
+                });
+                self.seq += 1;
+            }
+        }
+    }
+
+    /// End of stream for this tenant on this shard: finish the engine,
+    /// egress the group vectors, flush the sink.
+    fn finalize(mut self) -> TenantPiece {
+        let groups = self.nic.finish();
+        let pkts = self.nic.take_packet_vectors();
+        if let Some(mut sink) = self.sink.take() {
+            for vector in groups.iter().cloned() {
+                sink.emit(EgressVector {
+                    shard: self.shard,
+                    seq: self.seq,
+                    vector,
+                });
+                self.seq += 1;
+            }
+            sink.flush();
+        }
+        TenantPiece {
+            tenant: self.tenant,
+            groups,
+            pkts,
+            stats: *self.nic.stats(),
+            groups_per_level: self.nic.groups_per_level(),
+        }
+    }
+}
+
+struct SharedWorker {
+    tx: SyncSender<ShardMsg>,
+    join: JoinHandle<Vec<TenantPiece>>,
+    pending: Vec<TaggedEvent>,
+}
+
+/// A multi-tenant streaming NIC executor sharing one worker pool.
+///
+/// Constructed empty; tenants come and go via
+/// [`SharedStreamingNic::attach`] / [`SharedStreamingNic::detach`] while
+/// the event stream flows.
+pub struct SharedStreamingNic {
+    workers: Vec<SharedWorker>,
+    recycle_tx: Sender<Vec<TaggedEvent>>,
+    recycle_rx: Receiver<Vec<TaggedEvent>>,
+    spare: Vec<Vec<TaggedEvent>>,
+    /// Attached tenants in attach order, with events-routed counters.
+    tenants: Vec<(TenantId, u64)>,
+}
+
+impl SharedStreamingNic {
+    /// Spawns `workers` shard threads (clamped to ≥ 1) with no tenants.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (recycle_tx, recycle_rx) = channel();
+        let workers = (0..workers)
+            .map(|shard| {
+                let (tx, rx) = sync_channel::<ShardMsg>(CHANNEL_DEPTH);
+                let recycle = recycle_tx.clone();
+                let join = std::thread::spawn(move || {
+                    let mut engines: Vec<TenantEngine> = Vec::new();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ShardMsg::Frame(mut frame) => {
+                                for e in &frame {
+                                    if let Some(t) =
+                                        engines.iter_mut().find(|t| t.tenant == e.tenant)
+                                    {
+                                        t.nic.handle(&e.event);
+                                    }
+                                }
+                                for t in engines.iter_mut() {
+                                    t.drain_packets();
+                                }
+                                frame.clear();
+                                let _ = recycle.send(frame);
+                            }
+                            ShardMsg::Attach {
+                                tenant,
+                                engine,
+                                sink,
+                            } => {
+                                engines.push(TenantEngine {
+                                    tenant,
+                                    nic: engine,
+                                    sink,
+                                    seq: 0,
+                                    shard,
+                                });
+                            }
+                            ShardMsg::Detach { tenant, ack } => {
+                                if let Some(pos) = engines.iter().position(|t| t.tenant == tenant) {
+                                    let piece = engines.remove(pos).finalize();
+                                    let _ = ack.send((shard, piece));
+                                }
+                            }
+                        }
+                    }
+                    // Channel closed: end of stream for everyone left.
+                    engines.into_iter().map(TenantEngine::finalize).collect()
+                });
+                SharedWorker {
+                    tx,
+                    join,
+                    pending: Vec::with_capacity(FRAME_SIZE),
+                }
+            })
+            .collect();
+        SharedStreamingNic {
+            workers,
+            recycle_tx,
+            recycle_rx,
+            spare: Vec::new(),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Attached tenants in attach order, with events-routed counters.
+    pub fn tenants(&self) -> &[(TenantId, u64)] {
+        &self.tenants
+    }
+
+    /// Attaches `tenant` at the current epoch: all events pushed after this
+    /// call are processed by its engines; nothing before is.
+    ///
+    /// `fg_table_size` is the tenant's NIC group-table quota. `sinks`, when
+    /// given, must hold one sink per shard (`sinks[i]` moves into worker
+    /// `i`); with sinks attached the tenant's per-packet vectors are
+    /// diverted exactly as in
+    /// [`StreamingNic::with_sinks`](crate::stream::StreamingNic::with_sinks).
+    pub fn attach(
+        &mut self,
+        tenant: TenantId,
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<(), NicError> {
+        if self.tenants.iter().any(|(t, _)| *t == tenant) {
+            return Err(NicError::Engine(format!(
+                "tenant {tenant} is already attached"
+            )));
+        }
+        let n = self.workers.len();
+        let mut sinks: Vec<Option<Box<dyn VectorSink>>> = match sinks {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(NicError::Engine(format!(
+                        "sink count {} does not match worker count {n}",
+                        s.len()
+                    )));
+                }
+                s.into_iter().map(Some).collect()
+            }
+            None => (0..n).map(|_| None).collect(),
+        };
+        let mut engines = Vec::with_capacity(n);
+        for _ in 0..n {
+            engines.push(Box::new(FeNic::new(compiled, fg_table_size).ok_or_else(
+                || NicError::Engine("degenerate NIC group-table configuration".into()),
+            )?));
+        }
+        // Everything already queued belongs to the previous epoch: flush it
+        // ahead of the markers so the attach point is a clean stream cut.
+        self.flush_all()?;
+        for (w, engine) in engines.into_iter().enumerate() {
+            let sink = sinks[w].take();
+            self.workers[w]
+                .tx
+                .send(ShardMsg::Attach {
+                    tenant,
+                    engine,
+                    sink,
+                })
+                .map_err(|_| NicError::WorkerLost { worker: w })?;
+        }
+        self.tenants.push((tenant, 0));
+        Ok(())
+    }
+
+    /// Detaches `tenant` with a drain-and-flush handshake: pending frames
+    /// are flushed, every shard finalizes the tenant's engine (egressing
+    /// its remaining vectors and flushing its sink), and the merged output
+    /// is returned once all shards have acked. Blocks until the epoch
+    /// completes.
+    pub fn detach(&mut self, tenant: TenantId) -> Result<StreamOutput, NicError> {
+        let Some(pos) = self.tenants.iter().position(|(t, _)| *t == tenant) else {
+            return Err(NicError::Engine(format!("tenant {tenant} is not attached")));
+        };
+        self.flush_all()?;
+        let (ack_tx, ack_rx) = channel();
+        for w in 0..self.workers.len() {
+            self.workers[w]
+                .tx
+                .send(ShardMsg::Detach {
+                    tenant,
+                    ack: ack_tx.clone(),
+                })
+                .map_err(|_| NicError::WorkerLost { worker: w })?;
+        }
+        drop(ack_tx);
+        let mut pieces: Vec<(usize, TenantPiece)> = Vec::with_capacity(self.workers.len());
+        for i in 0..self.workers.len() {
+            pieces.push(
+                ack_rx
+                    .recv()
+                    .map_err(|_| NicError::WorkerLost { worker: i })?,
+            );
+        }
+        self.tenants.remove(pos);
+        // Deterministic merge in shard order, independent of ack arrival.
+        pieces.sort_by_key(|(shard, _)| *shard);
+        let mut out = empty_output();
+        for (_, piece) in pieces {
+            merge_piece(&mut out, piece);
+        }
+        Ok(out)
+    }
+
+    /// Routes one tagged event: MGPV evictions to shard `hash % workers`
+    /// (identical to the solo executor), FG updates to every shard.
+    pub fn push(&mut self, event: TaggedEvent) -> Result<(), NicError> {
+        if let Some(entry) = self.tenants.iter_mut().find(|(t, _)| *t == event.tenant) {
+            entry.1 += 1;
+        }
+        match &event.event {
+            SwitchEvent::FgUpdate(_) => {
+                for w in 0..self.workers.len() {
+                    self.workers[w].pending.push(event.clone());
+                    self.flush_if_full(w)?;
+                }
+                Ok(())
+            }
+            SwitchEvent::Mgpv(m) => {
+                let w = (m.hash as usize) % self.workers.len();
+                self.workers[w].pending.push(event);
+                self.flush_if_full(w)
+            }
+        }
+    }
+
+    /// Routes a batch of tagged events in order.
+    pub fn push_all(
+        &mut self,
+        events: impl IntoIterator<Item = TaggedEvent>,
+    ) -> Result<(), NicError> {
+        for e in events {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    fn flush_if_full(&mut self, w: usize) -> Result<(), NicError> {
+        if self.workers[w].pending.len() >= FRAME_SIZE {
+            self.flush_worker(w)?;
+        }
+        Ok(())
+    }
+
+    fn flush_worker(&mut self, w: usize) -> Result<(), NicError> {
+        if self.workers[w].pending.is_empty() {
+            return Ok(());
+        }
+        let replacement = self.take_spare();
+        let frame = std::mem::replace(&mut self.workers[w].pending, replacement);
+        self.workers[w]
+            .tx
+            .send(ShardMsg::Frame(frame))
+            .map_err(|_| NicError::WorkerLost { worker: w })
+    }
+
+    fn flush_all(&mut self) -> Result<(), NicError> {
+        for w in 0..self.workers.len() {
+            self.flush_worker(w)?;
+        }
+        Ok(())
+    }
+
+    fn take_spare(&mut self) -> Vec<TaggedEvent> {
+        while let Ok(f) = self.recycle_rx.try_recv() {
+            self.spare.push(f);
+        }
+        self.spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(FRAME_SIZE))
+    }
+
+    /// Flushes, joins every worker in shard order, and returns each
+    /// remaining tenant's merged output in attach order.
+    pub fn finish(mut self) -> Result<Vec<(TenantId, StreamOutput)>, NicError> {
+        self.flush_all()?;
+        drop(self.recycle_tx);
+        let order: Vec<TenantId> = self.tenants.iter().map(|(t, _)| *t).collect();
+        let mut merged: Vec<(TenantId, StreamOutput)> =
+            order.iter().map(|&t| (t, empty_output())).collect();
+        for (i, worker) in self.workers.into_iter().enumerate() {
+            drop(worker.tx);
+            let pieces = worker
+                .join
+                .join()
+                .map_err(|_| NicError::WorkerLost { worker: i })?;
+            for piece in pieces {
+                if let Some((_, out)) = merged.iter_mut().find(|(t, _)| *t == piece.tenant) {
+                    merge_piece(out, piece);
+                }
+            }
+        }
+        Ok(merged)
+    }
+}
+
+fn empty_output() -> StreamOutput {
+    StreamOutput {
+        group_vectors: Vec::new(),
+        packet_vectors: Vec::new(),
+        stats: NicStats::default(),
+        groups_per_level: Vec::new(),
+    }
+}
+
+fn merge_piece(out: &mut StreamOutput, piece: TenantPiece) {
+    out.group_vectors.extend(piece.groups);
+    out.packet_vectors.extend(piece.pkts);
+    out.stats.absorb(&piece.stats);
+    if out.groups_per_level.is_empty() {
+        out.groups_per_level = piece.groups_per_level;
+    } else {
+        for (acc, (_, n)) in out.groups_per_level.iter_mut().zip(piece.groups_per_level) {
+            acc.1 += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superfe_net::PacketRecord;
+    use superfe_policy::compile;
+    use superfe_policy::dsl::parse;
+    use superfe_switch::tenant::SharedSwitch;
+    use superfe_switch::{CacheMode, FeSwitch, MgpvConfig};
+
+    fn compiled(src: &str) -> CompiledPolicy {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    fn host_sum() -> CompiledPolicy {
+        compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)")
+    }
+
+    fn flow_tcp() -> CompiledPolicy {
+        compiled(
+            "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_sum, f_max])\n\
+             .collect(flow)",
+        )
+    }
+
+    fn packets(n: u64) -> impl Iterator<Item = PacketRecord> {
+        (0..n).map(|i| {
+            if i % 4 == 0 {
+                PacketRecord::udp(i * 500, 120, (i % 13 + 1) as u32, 53, 7, 53)
+            } else {
+                PacketRecord::tcp(i * 500, 300, (i % 13 + 1) as u32, 2000, 7, 443)
+            }
+        })
+    }
+
+    fn solo_run(c: &CompiledPolicy, n: u64, workers: usize) -> StreamOutput {
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic = crate::stream::StreamingNic::new(c, 16_384, workers).unwrap();
+        let mut frame = Vec::new();
+        for p in packets(n) {
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        nic.finish().unwrap()
+    }
+
+    #[test]
+    fn two_tenants_match_their_solo_runs() {
+        for workers in [1usize, 4] {
+            let a = host_sum();
+            let b = flow_tcp();
+            let mut sw = SharedSwitch::new();
+            sw.attach(
+                TenantId(0),
+                a.switch.clone(),
+                MgpvConfig::default(),
+                CacheMode::Mgpv,
+            );
+            sw.attach(
+                TenantId(1),
+                b.switch.clone(),
+                MgpvConfig::default(),
+                CacheMode::Mgpv,
+            );
+            let mut nic = SharedStreamingNic::new(workers);
+            nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+            nic.attach(TenantId(1), &b, 16_384, None).unwrap();
+            let mut frame = Vec::new();
+            for p in packets(800) {
+                frame.clear();
+                sw.process_into(&p, &mut frame);
+                nic.push_all(frame.drain(..)).unwrap();
+            }
+            frame.clear();
+            sw.flush_into(&mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+            let outs = nic.finish().unwrap();
+            assert_eq!(outs.len(), 2);
+            let solo_a = solo_run(&a, 800, workers);
+            let solo_b = solo_run(&b, 800, workers);
+            assert_eq!(outs[0].1.group_vectors, solo_a.group_vectors);
+            assert_eq!(outs[1].1.group_vectors, solo_b.group_vectors);
+            assert_eq!(outs[0].1.stats.records, solo_a.stats.records);
+            assert_eq!(outs[1].1.stats.records, solo_b.stats.records);
+        }
+    }
+
+    #[test]
+    fn detach_handshake_returns_output_and_isolates_survivor() {
+        let a = host_sum();
+        let b = flow_tcp();
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        sw.attach(
+            TenantId(1),
+            b.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.attach(TenantId(1), &b, 16_384, None).unwrap();
+        let mut frame = Vec::new();
+        for (i, p) in packets(1000).enumerate() {
+            if i == 500 {
+                // Epoch: drain tenant 1 out of switch and NIC mid-stream.
+                sw.detach_into(TenantId(1), &mut frame);
+                nic.push_all(frame.drain(..)).unwrap();
+                let gone = nic.detach(TenantId(1)).unwrap();
+                assert!(gone.stats.records > 0);
+            }
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let outs = nic.finish().unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, TenantId(0));
+        // The survivor is bit-identical to its solo run.
+        let solo = solo_run(&a, 1000, 2);
+        assert_eq!(outs[0].1.group_vectors, solo.group_vectors);
+    }
+
+    #[test]
+    fn attach_rejects_duplicates_and_bad_sink_counts() {
+        let a = host_sum();
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(7), &a, 16_384, None).unwrap();
+        assert!(nic.attach(TenantId(7), &a, 16_384, None).is_err());
+        assert!(nic
+            .attach(TenantId(8), &a, 16_384, Some(Vec::new()))
+            .is_err());
+        assert!(nic.detach(TenantId(9)).is_err());
+        nic.finish().unwrap();
+    }
+
+    #[test]
+    fn routed_counters_account_per_tenant() {
+        let a = host_sum();
+        let b = flow_tcp();
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        sw.attach(
+            TenantId(1),
+            b.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.attach(TenantId(1), &b, 16_384, None).unwrap();
+        let mut frame = Vec::new();
+        for p in packets(600) {
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let tenants = nic.tenants().to_vec();
+        assert_eq!(tenants.len(), 2);
+        assert!(tenants.iter().all(|(_, n)| *n > 0));
+        nic.finish().unwrap();
+    }
+}

@@ -24,7 +24,18 @@ pub fn check_switch(
     budget: &TofinoBudget,
     headroom_pct: f64,
 ) -> Vec<Diagnostic> {
-    let used = model(program, cfg);
+    check_switch_resources(&model(program, cfg), budget, headroom_pct)
+}
+
+/// Checks already-modeled usage against `budget` — the resource-level half
+/// of [`check_switch`], shared with the multi-tenant admission controller,
+/// which composes several programs' usage
+/// ([`crate::resources::compose`]) before checking the shared switch.
+pub fn check_switch_resources(
+    used: &SwitchResources,
+    budget: &TofinoBudget,
+    headroom_pct: f64,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let resources = [
         (

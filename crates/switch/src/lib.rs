@@ -30,11 +30,13 @@ pub mod mgpv;
 pub mod pipeline;
 pub mod record;
 pub mod resources;
+pub mod tenant;
 
 pub use balance::NicLoadBalancer;
-pub use feasibility::check_switch;
+pub use feasibility::{check_switch, check_switch_resources};
 pub use gpv::GpvBank;
 pub use mgpv::{MgpvCache, MgpvConfig, MgpvStats};
 pub use pipeline::{CacheMode, FeSwitch, SwitchStats};
 pub use record::{EvictionCause, FgUpdate, MgpvMessage, MgpvRecord, SwitchEvent};
-pub use resources::{SwitchResources, TofinoBudget};
+pub use resources::{compose, SwitchResources, TofinoBudget};
+pub use tenant::{SharedSwitch, SharedSwitchStats, TaggedEvent, TenantId};

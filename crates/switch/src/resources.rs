@@ -28,6 +28,18 @@ use crate::mgpv::MgpvConfig;
 /// cannot overflow them within one MGPV batch.
 pub const SALU_REG_BITS: u32 = 32;
 
+/// Match tables of the fixed pipeline skeleton (forwarding, parser, port
+/// metadata) that every deployed program shares. Multi-tenant deployments
+/// pay this block once, not per policy — see [`compose`].
+pub const BASE_TABLES: usize = 42;
+
+/// Stateful ALUs of the shared cache skeleton (stack pointer with resubmit,
+/// occupancy, entry timestamps, recirculation probe state).
+pub const BASE_SALUS: usize = 26;
+
+/// SRAM of the base parser/table allowance, in bytes.
+pub const BASE_SRAM_BYTES: usize = 1024 * 1024;
+
 /// Resource budget of the target switch ASIC (Tofino 1 class).
 #[derive(Clone, Copy, Debug)]
 pub struct TofinoBudget {
@@ -50,7 +62,7 @@ impl Default for TofinoBudget {
 }
 
 /// Modeled resource usage of one deployed program.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SwitchResources {
     /// Match tables used.
     pub tables: usize,
@@ -79,29 +91,51 @@ pub fn model(program: &SwitchProgram, cfg: &MgpvConfig) -> SwitchResources {
     let fields = program.metadata.len().max(1);
     let filter_tables = program.filter.as_ref().map(|_| 1usize).unwrap_or(0);
 
-    let tables = 42 // forwarding, parser, port metadata
+    let tables = BASE_TABLES
         + filter_tables
         + 3 * levels
         + if has_aging { 2 } else { 0 }
         + if has_fg { 3 } else { 0 };
 
-    let salus = 26 // cache skeleton: stack ptr (resubmit), occupancy, entry ts, probe
-        + 2 * fields
-        + if has_fg { 3 } else { 0 }
-        + if has_aging { 2 } else { 0 };
+    let salus =
+        BASE_SALUS + 2 * fields + if has_fg { 3 } else { 0 } + if has_aging { 2 } else { 0 };
 
     let fg_cfg = if has_fg { cfg.fg_table_size } else { 0 };
     let effective = MgpvConfig {
         fg_table_size: fg_cfg,
         ..*cfg
     };
-    let sram_bytes = 1024 * 1024 // base parser/table allowance
-        + effective.memory_bytes(program.cg().key_bytes());
+    let sram_bytes = BASE_SRAM_BYTES + effective.memory_bytes(program.cg().key_bytes());
 
     SwitchResources {
         tables,
         salus,
         sram_bytes,
+    }
+}
+
+/// Composes the modeled usage of several programs co-deployed on **one**
+/// shared switch: each tenant brings its own filter entries, granularity
+/// tables, metadata accumulators, and cache partition, but the fixed
+/// pipeline skeleton ([`BASE_TABLES`], [`BASE_SALUS`], [`BASE_SRAM_BYTES`])
+/// is instantiated once and shared. An empty slice composes to zero usage.
+///
+/// This is the multi-tenant admission model: the same per-policy component
+/// model as [`model`], summed with the shared base de-duplicated — not a
+/// second resource model.
+pub fn compose(parts: &[SwitchResources]) -> SwitchResources {
+    let shared = parts.len().saturating_sub(1);
+    let total = parts
+        .iter()
+        .fold(SwitchResources::default(), |acc, p| SwitchResources {
+            tables: acc.tables + p.tables,
+            salus: acc.salus + p.salus,
+            sram_bytes: acc.sram_bytes + p.sram_bytes,
+        });
+    SwitchResources {
+        tables: total.tables - shared * BASE_TABLES,
+        salus: total.salus - shared * BASE_SALUS,
+        sram_bytes: total.sram_bytes - shared * BASE_SRAM_BYTES,
     }
 }
 
@@ -162,6 +196,31 @@ mod tests {
         assert!(kit.tables > tf.tables);
         assert!(kit.salus > tf.salus);
         assert!(kit.sram_bytes > tf.sram_bytes, "FG table adds SRAM");
+    }
+
+    #[test]
+    fn compose_counts_the_skeleton_once() {
+        let cfg = MgpvConfig::default();
+        let tf = model(&tf_like(), &cfg);
+        let kit = model(&kitsune_like(), &cfg);
+        let both = compose(&[tf, kit]);
+        assert_eq!(both.tables, tf.tables + kit.tables - BASE_TABLES);
+        assert_eq!(both.salus, tf.salus + kit.salus - BASE_SALUS);
+        assert_eq!(
+            both.sram_bytes,
+            tf.sram_bytes + kit.sram_bytes - BASE_SRAM_BYTES
+        );
+        // Composition is strictly monotone in the tenant set.
+        assert!(both.tables > kit.tables);
+        assert!(both.salus > kit.salus);
+        assert!(both.sram_bytes > kit.sram_bytes);
+    }
+
+    #[test]
+    fn compose_degenerate_cases() {
+        assert_eq!(compose(&[]), SwitchResources::default());
+        let one = model(&tf_like(), &MgpvConfig::default());
+        assert_eq!(compose(&[one]), one);
     }
 
     #[test]

@@ -213,4 +213,114 @@ mod tests {
         assert!(TraceIoError::BadVersion(7).to_string().contains('7'));
         assert!(TraceIoError::Truncated.to_string().contains("truncated"));
     }
+
+    mod properties {
+        use proptest::prelude::*;
+
+        use super::super::*;
+        use crate::workload::Trace;
+
+        /// Arbitrary records over the full field domains — not
+        /// workload-shaped traffic, so the format is exercised on inputs
+        /// the generator would never produce (extreme timestamps, port 0,
+        /// unknown IP protocols). `proto` goes through `from_number` so
+        /// the generated value is canonical (6 is always `Tcp`, never
+        /// `Other(6)`), matching what a decode can reconstruct.
+        fn record() -> impl Strategy<Value = PacketRecord> {
+            (
+                (
+                    0u64..=u64::MAX,
+                    0u16..=u16::MAX,
+                    0u32..=u32::MAX,
+                    0u32..=u32::MAX,
+                ),
+                (
+                    0u16..=u16::MAX,
+                    0u16..=u16::MAX,
+                    0u8..=u8::MAX,
+                    0u8..=u8::MAX,
+                ),
+                proptest::bool::ANY,
+            )
+                .prop_map(
+                    |(
+                        (ts_ns, size, src_ip, dst_ip),
+                        (src_port, dst_port, proto, tcp_flags),
+                        ingress,
+                    )| {
+                        PacketRecord {
+                            ts_ns,
+                            size,
+                            src_ip,
+                            dst_ip,
+                            src_port,
+                            dst_port,
+                            proto: Protocol::from_number(proto),
+                            tcp_flags,
+                            direction: if ingress {
+                                Direction::Ingress
+                            } else {
+                                Direction::Egress
+                            },
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// write → read is the identity on any trace, and the encoding
+            /// size is exactly what the header format promises.
+            #[test]
+            fn write_read_round_trip_is_identity(
+                records in proptest::collection::vec(record(), 0..300),
+            ) {
+                let t = Trace { records };
+                let mut buf = Vec::new();
+                write_trace(&t, &mut buf).unwrap();
+                prop_assert_eq!(buf.len(), 14 + t.records.len() * RECORD_BYTES);
+                let got = read_trace(&mut buf.as_slice()).unwrap();
+                prop_assert_eq!(got.records, t.records);
+            }
+
+            /// Cutting the file anywhere short of its full length is always
+            /// reported as `Truncated` — never a panic, never a silent
+            /// partial decode.
+            #[test]
+            fn any_truncation_is_detected(
+                records in proptest::collection::vec(record(), 1..50),
+                cut_seed in 0usize..10_000,
+            ) {
+                let t = Trace { records };
+                let mut buf = Vec::new();
+                write_trace(&t, &mut buf).unwrap();
+                let cut = cut_seed % buf.len();
+                prop_assert!(matches!(
+                    read_trace(&mut &buf[..cut]),
+                    Err(TraceIoError::Truncated)
+                ));
+            }
+
+            /// Any single-byte corruption of the magic or version header
+            /// fields is rejected with the matching typed error.
+            #[test]
+            fn corrupted_header_is_rejected(
+                records in proptest::collection::vec(record(), 0..20),
+                pos in 0usize..6,
+                xor in 1u8..=u8::MAX,
+            ) {
+                let t = Trace { records };
+                let mut buf = Vec::new();
+                write_trace(&t, &mut buf).unwrap();
+                buf[pos] ^= xor;
+                let e = read_trace(&mut buf.as_slice()).unwrap_err();
+                if pos < 4 {
+                    prop_assert!(matches!(e, TraceIoError::BadMagic), "{e:?}");
+                } else {
+                    prop_assert!(matches!(e, TraceIoError::BadVersion(_)), "{e:?}");
+                }
+            }
+        }
+    }
 }

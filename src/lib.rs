@@ -27,6 +27,8 @@ pub use superfe_core::*;
 
 /// The ten Table 3 application policies and the §8.3 application study.
 pub use superfe_apps as apps;
+/// Multi-tenant control plane (admission control, epoch reconfiguration).
+pub use superfe_ctrl as ctrl;
 /// Online inference serving (stream feature vectors into detectors).
 pub use superfe_detect as detect;
 /// Behavior detectors (KitNET, k-NN, decision trees, …).

@@ -1,0 +1,308 @@
+//! Keystone isolation differential for the multi-tenant control plane:
+//! for random tenant subsets, random traces, and every worker count, each
+//! tenant's feature vectors on the shared switch/NIC must be **bitwise
+//! identical** to the same policy running alone on its own
+//! [`superfe::StreamingPipeline`] — including under mid-stream hot attach
+//! and detach of *other* tenants. This is the executable form of the
+//! control plane's isolation contract: tenancy is invisible in the output.
+//!
+//! A second, deterministic differential extends the claim through the
+//! serving layer: a tenant's alert stream alongside a noisy neighbor must
+//! equal its alert stream running alone.
+
+use proptest::prelude::*;
+
+use superfe::ctrl::{CtrlPlane, TenantSpec};
+use superfe::net::{Direction, PacketRecord};
+use superfe::policy::dsl;
+use superfe::{AnalyzeConfig, StreamingPipeline, SuperFeConfig};
+
+/// Worker counts every property must hold for.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The tenant candidate pool: distinct granularities, filters, collect
+/// units, and a multi-granularity program (exercises the per-tenant FG
+/// broadcast on the shared NIC). Any subset fits the default Tofino
+/// budget.
+const POOL: [&str; 4] = [
+    "pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+    "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_mean, f_max])\n.collect(flow)",
+    "pktstream\n.groupby(socket)\n.reduce(size, [f_sum])\n.collect(socket)\n\
+     .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
+    "pktstream\n.filter(udp.exist)\n.groupby(channel)\n.reduce(size, [f_min, f_max])\n.collect(pkt)",
+];
+
+/// One tenant's randomized lifecycle, as fractions of the trace length:
+/// attach at `attach_pct`%, detach at `detach_pct`% when set.
+#[derive(Clone, Copy, Debug)]
+struct Lifecycle {
+    pool_index: usize,
+    attach_pct: u8,
+    detach_pct: Option<u8>,
+}
+
+/// Random non-empty tenant subsets with per-tenant attach/detach epochs.
+fn subset() -> impl Strategy<Value = Vec<Lifecycle>> {
+    proptest::collection::vec(
+        (0usize..POOL.len(), 0u8..50, proptest::bool::ANY, 55u8..100),
+        1..4,
+    )
+    .prop_map(|picks| {
+        let mut out: Vec<Lifecycle> = Vec::new();
+        for (pool_index, attach_pct, detaches, detach_pct) in picks {
+            // One tenant per pool policy: duplicates would be legal but
+            // make the differential redundant.
+            if out.iter().any(|l| l.pool_index == pool_index) {
+                continue;
+            }
+            out.push(Lifecycle {
+                pool_index,
+                attach_pct,
+                detach_pct: detaches.then_some(detach_pct),
+            });
+        }
+        out
+    })
+}
+
+/// Random short traces with mixed protocols, directions, and group keys.
+fn trace() -> impl Strategy<Value = Vec<PacketRecord>> {
+    proptest::collection::vec(
+        (
+            0u64..5_000_000u64,
+            40u16..1500u16,
+            1u32..6u32,
+            1u16..4u16,
+            1u32..3u32,
+            prop_oneof![Just(53u16), Just(80u16), Just(443u16)],
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
+        20..200,
+    )
+    .prop_map(|mut specs| {
+        specs.sort_by_key(|s| s.0);
+        specs
+            .into_iter()
+            .map(|(ts, size, sip, sport, dip, dport, is_tcp, egress)| {
+                let mut p = if is_tcp {
+                    PacketRecord::tcp(ts, size, sip, sport, dip, dport)
+                } else {
+                    PacketRecord::udp(ts, size, sip, sport, dip, dport)
+                };
+                if egress {
+                    p.direction = Direction::Egress;
+                }
+                p
+            })
+            .collect()
+    })
+}
+
+fn spec(pool_index: usize) -> TenantSpec {
+    TenantSpec {
+        name: format!("pool{pool_index}"),
+        policy: dsl::parse(POOL[pool_index]).expect("pool policy is valid"),
+        cfg: SuperFeConfig::default(),
+    }
+}
+
+/// Runs each tenant's policy alone over its attach..detach window.
+fn solo_run(
+    l: &Lifecycle,
+    pkts: &[PacketRecord],
+    workers: usize,
+) -> (
+    Vec<superfe::nic::FeatureVector>,
+    Vec<superfe::nic::FeatureVector>,
+) {
+    let s = spec(l.pool_index);
+    let lo = l.attach_pct as usize * pkts.len() / 100;
+    let hi = l
+        .detach_pct
+        .map_or(pkts.len(), |d| d as usize * pkts.len() / 100);
+    let mut fe = StreamingPipeline::with_config(&s.policy, s.cfg, workers).expect("policy deploys");
+    for p in &pkts[lo..hi] {
+        fe.push(p).expect("workers alive");
+    }
+    let out = fe.finish().expect("workers alive");
+    (out.group_vectors, out.packet_vectors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The isolation differential: every tenant of every random subset,
+    /// under random hot attach/detach schedules, produces vectors bitwise
+    /// equal to its solo run — at every worker count.
+    #[test]
+    fn shared_plane_is_bitwise_identical_to_solo(
+        tenants in subset(),
+        pkts in trace(),
+    ) {
+        for &workers in &WORKER_COUNTS {
+            let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+            let mut ids = vec![None; tenants.len()];
+            let mut outputs: Vec<Option<superfe::nic::StreamOutput>> =
+                (0..tenants.len()).map(|_| None).collect();
+            for (i, p) in pkts.iter().enumerate() {
+                for (ti, l) in tenants.iter().enumerate() {
+                    if l.attach_pct as usize * pkts.len() / 100 == i {
+                        let id = plane.attach(&spec(l.pool_index), None)
+                            .expect("pool subsets are admissible");
+                        ids[ti] = Some(id);
+                    }
+                    if l.detach_pct.map(|d| d as usize * pkts.len() / 100) == Some(i) {
+                        let id = ids[ti].expect("detach window follows attach");
+                        outputs[ti] = Some(plane.detach(id).expect("drain handshake"));
+                    }
+                }
+                plane.push(p).expect("workers alive");
+            }
+            for run in plane.finish().expect("workers alive") {
+                let ti = ids
+                    .iter()
+                    .position(|id| *id == Some(run.id))
+                    .expect("run belongs to a scheduled tenant");
+                outputs[ti] = Some(run.output);
+            }
+            for (ti, l) in tenants.iter().enumerate() {
+                let out = outputs[ti].as_ref().expect("every tenant ran");
+                let (solo_groups, solo_pkts) = solo_run(l, &pkts, workers);
+                prop_assert_eq!(
+                    &out.group_vectors, &solo_groups,
+                    "tenant {} group vectors diverged at {} workers", ti, workers
+                );
+                prop_assert_eq!(
+                    &out.packet_vectors, &solo_pkts,
+                    "tenant {} packet vectors diverged at {} workers", ti, workers
+                );
+            }
+        }
+    }
+}
+
+mod alert_isolation {
+    use superfe::ctrl::{CtrlPlane, TenantSpec};
+    use superfe::detect::{MultiServing, ServeConfig, ServeReport};
+    use superfe::ml::{train_and_calibrate, CalibrationConfig, CentroidDetector, FrozenDetector};
+    use superfe::net::PacketRecord;
+    use superfe::policy::dsl;
+    use superfe::switch::TenantId;
+    use superfe::{AnalyzeConfig, SuperFeConfig};
+
+    /// Per-packet flow statistics for the monitored tenant (dim 2).
+    const MONITORED: &str =
+        "pktstream\n.groupby(flow)\n.reduce(size, [f_mean, f_var])\n.collect(pkt)";
+    /// The noisy neighbor: different granularity, heavy eviction churn.
+    const NEIGHBOR: &str =
+        "pktstream\n.groupby(host)\n.reduce(size, [f_sum, f_min, f_max])\n.collect(host)";
+
+    fn detector() -> FrozenDetector {
+        // Benign profile: flows of ~400 B packets, near-zero variance.
+        let data: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![395.0 + f64::from(i % 11), f64::from(i % 7)])
+            .collect();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        train_and_calibrate(
+            Box::new(CentroidDetector::new(2).expect("dim 2")),
+            &refs,
+            0.2,
+            CalibrationConfig::default(),
+        )
+        .expect("calibrates")
+    }
+
+    fn traffic() -> Vec<PacketRecord> {
+        let mut pkts = Vec::new();
+        for i in 0..800u64 {
+            // Benign flows: steady 400-ish byte packets.
+            pkts.push(PacketRecord::tcp(
+                i * 900,
+                398 + (i % 9) as u16,
+                (i % 6 + 1) as u32,
+                1000 + (i % 3) as u16,
+                7,
+                443,
+            ));
+            // The anomaly: one flow alternating tiny/huge packets — large
+            // mean shift and variance, far from the benign profile.
+            if i % 8 == 0 {
+                pkts.push(PacketRecord::tcp(
+                    i * 900 + 450,
+                    if i % 16 == 0 { 40 } else { 1500 },
+                    66,
+                    6666,
+                    7,
+                    443,
+                ));
+            }
+        }
+        pkts
+    }
+
+    /// Serves the monitored tenant, optionally alongside the neighbor, and
+    /// returns its report.
+    fn serve(with_neighbor: bool, workers: usize) -> ServeReport {
+        let det = detector();
+        let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+        let mut serving = MultiServing::new();
+        let cfg = ServeConfig {
+            record_scores: true,
+            ..ServeConfig::default()
+        };
+        // Tenant ids are assigned in attach order, starting at t0.
+        let sinks = serving
+            .spawn(TenantId(0), &det, &cfg, workers)
+            .expect("fresh registry");
+        let monitored = TenantSpec {
+            name: "monitored".into(),
+            policy: dsl::parse(MONITORED).expect("valid"),
+            cfg: SuperFeConfig::default(),
+        };
+        let id = plane.attach(&monitored, Some(sinks)).expect("admitted");
+        assert_eq!(id, TenantId(0));
+        if with_neighbor {
+            let neighbor = TenantSpec {
+                name: "neighbor".into(),
+                policy: dsl::parse(NEIGHBOR).expect("valid"),
+                cfg: SuperFeConfig::default(),
+            };
+            plane.attach(&neighbor, None).expect("admitted");
+        }
+        for p in traffic() {
+            plane.push(&p).expect("workers alive");
+        }
+        plane.finish().expect("workers alive");
+        serving.finish_tenant(TenantId(0)).expect("report")
+    }
+
+    /// Tenant A's alert stream alongside a noisy neighbor must be bitwise
+    /// identical to A's alert stream running alone — scored counts, scores,
+    /// and every alert's key/score/position.
+    #[test]
+    fn alerts_unchanged_by_noisy_neighbor() {
+        for workers in [1, 2, 4] {
+            let alone = serve(false, workers);
+            let shared = serve(true, workers);
+            assert!(
+                !alone.alerts.is_empty(),
+                "the anomalous flow must trip the detector at {workers} workers"
+            );
+            assert_eq!(
+                alone.totals.scored, shared.totals.scored,
+                "scored count changed under tenancy at {workers} workers"
+            );
+            assert_eq!(
+                format!("{:?}", alone.alerts),
+                format!("{:?}", shared.alerts),
+                "alert stream changed under tenancy at {workers} workers"
+            );
+            assert_eq!(
+                format!("{:?}", alone.scores),
+                format!("{:?}", shared.scores),
+                "score stream changed under tenancy at {workers} workers"
+            );
+        }
+    }
+}
