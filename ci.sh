@@ -120,6 +120,27 @@ if ! grep -q "admission rejected" "$detect_smoke.err"; then
 fi
 rm -f "$detect_smoke.err"
 
+step "cross-policy fusion smoke (SF07xx report + fused serve)"
+# AWF and DF are the same extractor under different names: the SF07xx
+# equivalence analysis must put them in one plan class (SF0701) in both
+# output formats, and a fused serve must still verify bitwise against solo.
+fusion_json=$(target/release/superfe check awf df --format json) \
+  || { echo "ci: multi-policy check failed"; exit 1; }
+grep -q '"plans_saved":1' <<<"$fusion_json" \
+  || { echo "ci: fusion report did not save the AWF/DF duplicate plan"; exit 1; }
+grep -q '"code":"SF0701"' <<<"$fusion_json" \
+  || { echo "ci: fusion report is missing the SF0701 class finding"; exit 1; }
+target/release/superfe check awf df | grep -q "cross-policy fusion (SF07xx)" \
+  || { echo "ci: text check lost the fusion section"; exit 1; }
+fused_out=$(target/release/superfe serve awf df --packets 4000 --workers 2 \
+  --verify-solo) || { echo "ci: fused serve smoke failed"; exit 1; }
+grep -q "execution units at shutdown: 1 (cross-policy fusion enabled)" \
+  <<<"$fused_out" || { echo "ci: serve did not fuse the AWF/DF pair"; exit 1; }
+for t in 0 1; do
+  grep -q "verified tenant t$t .*bitwise identical" <<<"$fused_out" \
+    || { echo "ci: fused serve did not verify tenant t$t"; exit 1; }
+done
+
 step "multi-tenant ctrl bench smoke"
 # A small sweep through the ctrl bench runner, schema-diffed against the
 # checked-in BENCH_ctrl.json.

@@ -37,6 +37,10 @@ pub const TENANT_SWEEP: [usize; 3] = [1, 2, 4];
 /// Default NIC shard count.
 pub const WORKERS: usize = 2;
 
+/// Overlap percentages swept per tenant count in the fusion comparison:
+/// what fraction of the tenant set runs the *same* policy.
+pub const OVERLAP_SWEEP: [usize; 3] = [0, 50, 100];
+
 /// The tenant policies, in attach order. Four Table 3 applications whose
 /// composed demand fits the default Tofino budget.
 pub fn tenant_policies() -> Vec<(&'static str, &'static str)> {
@@ -46,6 +50,24 @@ pub fn tenant_policies() -> Vec<(&'static str, &'static str)> {
         ("cumul", policies::CUMUL),
         ("awf", policies::AWF),
         ("df", policies::DF),
+    ]
+}
+
+/// A deliberately small distinct filler for the fusion sweep's 0%-overlap
+/// rows: npod + cumul + awf + any Table 3 fourth policy overshoots the
+/// Tofino sALU budget unfused, and the unfused baseline must still admit.
+const BYTECOUNT: &str = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+
+/// Policies for the fusion sweep: the shared policy first (AWF — the
+/// AWF/DF/TF trio is the motivating real-world duplicate, and four unfused
+/// copies still fit the sALU budget), then pairwise non-equivalent fillers.
+pub fn fusion_policies() -> Vec<(&'static str, &'static str)> {
+    use superfe_apps::policies;
+    vec![
+        ("awf", policies::AWF),
+        ("npod", policies::NPOD),
+        ("cumul", policies::CUMUL),
+        ("bytecount", BYTECOUNT),
     ]
 }
 
@@ -78,6 +100,28 @@ pub struct TenantRunRow {
     pub overhead_vs_solo_pct: f64,
 }
 
+/// One fused-vs-unfused comparison: the same tenant set served once with
+/// SF07xx plan fusion and once with every tenant on its own plan.
+#[derive(Clone, Debug)]
+pub struct FusionRow {
+    /// Concurrent tenants.
+    pub tenants: usize,
+    /// Percentage of the set running the shared policy.
+    pub overlap_pct: usize,
+    /// Aggregate throughput with fusion on, packets/second.
+    pub fused_pkts_per_sec: f64,
+    /// Aggregate throughput with fusion off, packets/second.
+    pub unfused_pkts_per_sec: f64,
+    /// Wall-clock with fusion on, milliseconds.
+    pub fused_elapsed_ms: f64,
+    /// Wall-clock with fusion off, milliseconds.
+    pub unfused_elapsed_ms: f64,
+    /// Execution plans the fused plane actually ran.
+    pub fused_units: usize,
+    /// Unfused wall-clock over fused wall-clock (>1 = fusion wins).
+    pub speedup_vs_unfused: f64,
+}
+
 /// The full measurement.
 #[derive(Clone, Debug)]
 pub struct CtrlBench {
@@ -89,8 +133,11 @@ pub struct CtrlBench {
     pub host_parallelism: usize,
     /// Per-policy solo baselines.
     pub solo: Vec<SoloRun>,
-    /// One row per swept tenant count.
+    /// One row per swept tenant count (fusion off: the duplicated-work
+    /// baseline the SF07xx pass exists to beat).
     pub tenant_sweep: Vec<TenantRunRow>,
+    /// Fused-vs-unfused comparison per tenant count and policy overlap.
+    pub fusion_sweep: Vec<FusionRow>,
 }
 
 /// Runs the sweep on `packets` MAWI-like packets generated from `seed`.
@@ -137,7 +184,10 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
     let tenant_sweep = tenant_counts
         .iter()
         .map(|&n| {
-            let mut plane = CtrlPlane::new(workers, superfe_core::AnalyzeConfig::default());
+            // Fusion off: this sweep measures the per-tenant duplicated-work
+            // baseline (the AWF/DF duplicate must really run twice).
+            let mut plane =
+                CtrlPlane::without_fusion(workers, superfe_core::AnalyzeConfig::default());
             for spec in &specs[..n] {
                 plane.attach(spec, None).expect("bench set is admissible");
             }
@@ -168,12 +218,83 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
         })
         .collect();
 
+    let pool = fusion_policies();
+    let mut fusion_sweep = Vec::new();
+    for &n in tenant_counts {
+        for &overlap in &OVERLAP_SWEEP {
+            let shared = n * overlap / 100;
+            // First `shared` tenants run the shared policy; the rest take
+            // distinct fillers from the pool.
+            let fspecs: Vec<TenantSpec> = (0..n)
+                .map(|i| {
+                    let (name, src) = if i < shared {
+                        pool[0]
+                    } else if shared == 0 {
+                        pool[i]
+                    } else {
+                        pool[1 + (i - shared)]
+                    };
+                    TenantSpec {
+                        name: format!("{name}-{i}"),
+                        policy: dsl::parse(src).expect("bundled policy parses"),
+                        cfg: SuperFeConfig::default(),
+                    }
+                })
+                .collect();
+            let run = |fuse: bool| {
+                let analyze = superfe_core::AnalyzeConfig::default();
+                let mut plane = if fuse {
+                    CtrlPlane::new(workers, analyze)
+                } else {
+                    CtrlPlane::without_fusion(workers, analyze)
+                };
+                for spec in &fspecs {
+                    plane.attach(spec, None).expect("bench set is admissible");
+                }
+                let units = plane.units().len();
+                let start = Instant::now();
+                for p in records {
+                    plane.push(p).expect("workers alive");
+                }
+                let runs = plane.finish().expect("workers alive");
+                (runs, start.elapsed().as_secs_f64(), units)
+            };
+            let (fused_runs, fused_secs, fused_units) = run(true);
+            let (unfused_runs, unfused_secs, _) = run(false);
+            // The bench doubles as a correctness smoke: demuxed fused output
+            // must be bitwise identical to the tenant's own unfused run.
+            for (f, u) in fused_runs.iter().zip(&unfused_runs) {
+                assert_eq!(
+                    f.output.group_vectors, u.output.group_vectors,
+                    "tenant {} group vectors diverged under fusion",
+                    f.name
+                );
+                assert_eq!(
+                    f.output.packet_vectors, u.output.packet_vectors,
+                    "tenant {} packet vectors diverged under fusion",
+                    f.name
+                );
+            }
+            fusion_sweep.push(FusionRow {
+                tenants: n,
+                overlap_pct: overlap,
+                fused_pkts_per_sec: records.len() as f64 / fused_secs,
+                unfused_pkts_per_sec: records.len() as f64 / unfused_secs,
+                fused_elapsed_ms: fused_secs * 1e3,
+                unfused_elapsed_ms: unfused_secs * 1e3,
+                fused_units,
+                speedup_vs_unfused: unfused_secs / fused_secs,
+            });
+        }
+    }
+
     CtrlBench {
         packets: records.len(),
         workers,
         host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         solo,
         tenant_sweep,
+        fusion_sweep,
     }
 }
 
@@ -210,6 +331,29 @@ impl CtrlBench {
                 r.tenants, r.pkts_per_sec, r.elapsed_ms, r.aggregate_vectors, r.overhead_vs_solo_pct
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"fusion_sweep\": [\n");
+        for (i, r) in self.fusion_sweep.iter().enumerate() {
+            let sep = if i + 1 == self.fusion_sweep.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{ \"tenants\": {}, \"overlap_pct\": {}, \"fused_pkts_per_sec\": {:.0}, \
+                 \"unfused_pkts_per_sec\": {:.0}, \"fused_elapsed_ms\": {:.2}, \
+                 \"unfused_elapsed_ms\": {:.2}, \"fused_units\": {}, \
+                 \"speedup_vs_unfused\": {:.2} }}{sep}\n",
+                r.tenants,
+                r.overlap_pct,
+                r.fused_pkts_per_sec,
+                r.unfused_pkts_per_sec,
+                r.fused_elapsed_ms,
+                r.unfused_elapsed_ms,
+                r.fused_units,
+                r.speedup_vs_unfused
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -239,8 +383,24 @@ mod tests {
             "\"tenant_sweep\"",
             "\"aggregate_vectors\"",
             "\"overhead_vs_solo_pct\"",
+            "\"fusion_sweep\"",
+            "\"fused_units\"",
+            "\"speedup_vs_unfused\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // 2 tenants at 100% overlap fuse to one execution unit; at 0% they
+        // keep two. Every fused run was asserted bitwise against unfused
+        // inside measure().
+        assert_eq!(b.fusion_sweep.len(), 6);
+        let at = |t: usize, o: usize| {
+            b.fusion_sweep
+                .iter()
+                .find(|r| r.tenants == t && r.overlap_pct == o)
+                .unwrap()
+        };
+        assert_eq!(at(2, 100).fused_units, 1);
+        assert_eq!(at(2, 0).fused_units, 2);
+        assert_eq!(at(1, 0).fused_units, 1);
     }
 }

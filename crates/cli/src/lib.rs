@@ -4,8 +4,10 @@
 //! superfe apps                          # list the built-in Table 3 policies
 //! superfe list                          # bundled policy names, one per line
 //! superfe show <policy>                 # print a policy's source
-//! superfe check <policy> [options]      # static analysis: lints + feasibility
-//! superfe explain <policy> [options]    # cost model, overflow proofs, rewrites
+//! superfe check <p1> [<p2> ...] [opts]  # static analysis: lints + feasibility;
+//!                                       # ≥2 policies adds the SF07xx fusion report
+//! superfe explain <p1> [<p2> ...]       # cost model, overflow proofs, rewrites;
+//!                                       # ≥2 policies adds the SF07xx fusion report
 //! superfe compile <policy>              # show the switch/NIC split + resources
 //! superfe run <policy> [options]        # extract features from a synthetic trace
 //! superfe serve <p1> [<p2> ...] [opts]  # N tenants on one shared switch/NIC
@@ -66,10 +68,12 @@ pub enum Command {
         /// Built-in name or file path.
         policy: String,
     },
-    /// Statically analyze a policy: lints plus hardware feasibility.
+    /// Statically analyze one or more policies: lints plus hardware
+    /// feasibility; with several policies, also the SF07xx cross-policy
+    /// fusion report.
     Check {
-        /// Built-in name or file path.
-        policy: String,
+        /// Built-in names or file paths (at least one).
+        policies: Vec<String>,
         /// Headroom warning threshold in percent.
         headroom: f64,
         /// Switch short-buffer slot count (overrides the §7 default).
@@ -79,11 +83,12 @@ pub enum Command {
         /// Output rendering.
         format: OutputFormat,
     },
-    /// Explain a policy: typed IR, value-range proofs, static cost model,
-    /// optimizer rewrites, and a pre-placement cycle estimate.
+    /// Explain one or more policies: typed IR, value-range proofs, static
+    /// cost model, optimizer rewrites, and a pre-placement cycle estimate;
+    /// with several policies, also the SF07xx cross-policy fusion report.
     Explain {
-        /// Built-in name or file path.
-        policy: String,
+        /// Built-in names or file paths (at least one).
+        policies: Vec<String>,
         /// Expected concurrent groups per granularity level.
         groups: usize,
         /// Per-group packet batch bound for the overflow proofs.
@@ -148,9 +153,14 @@ pub enum Command {
         attach_at: Vec<(usize, usize)>,
         /// `(tenant index, packet)` pairs: hot-detach mid-stream.
         detach_at: Vec<(usize, usize)>,
+        /// `(tenant index, slots)` pairs: per-tenant cache quota (switch
+        /// short-buffer slot count) overriding the §7 default.
+        cache_slots: Vec<(usize, usize)>,
         /// Re-run every tenant alone and fail unless the shared-plane
         /// output is bitwise identical.
         verify_solo: bool,
+        /// Analysis-certified cross-policy fusion (disable with --no-fuse).
+        fuse: bool,
     },
     /// Print usage.
     Help,
@@ -236,9 +246,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut workers = 2usize;
             let mut attach_at = Vec::new();
             let mut detach_at = Vec::new();
+            let mut cache_slots = Vec::new();
             let mut verify_solo = false;
+            let mut fuse = true;
             let parse_epoch = |flag: &str, v: &str| -> Result<(usize, usize), CliError> {
-                let bad = || err(format!("{flag} expects TENANT:PACKET, got '{v}'"));
+                let bad = || err(format!("{flag} expects TENANT:VALUE, got '{v}'"));
                 let (idx, pkt) = v.split_once(':').ok_or_else(bad)?;
                 Ok((
                     idx.parse().map_err(|_| bad())?,
@@ -285,11 +297,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--attach-at" => attach_at.push(parse_epoch("--attach-at", &value()?)?),
                     "--detach-at" => detach_at.push(parse_epoch("--detach-at", &value()?)?),
+                    "--cache-slots" => {
+                        let pair = parse_epoch("--cache-slots", &value()?)?;
+                        if pair.1 == 0 {
+                            return Err(err("--cache-slots expects a positive slot count"));
+                        }
+                        cache_slots.push(pair);
+                    }
                     "--verify-solo" => verify_solo = true,
+                    "--no-fuse" => fuse = false,
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
-            for &(idx, _) in attach_at.iter().chain(&detach_at) {
+            for &(idx, _) in attach_at.iter().chain(&detach_at).chain(&cache_slots) {
                 if idx >= policies.len() {
                     return Err(err(format!(
                         "tenant index {idx} out of range (serving {} policies)",
@@ -305,7 +325,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 workers,
                 attach_at,
                 detach_at,
+                cache_slots,
                 verify_solo,
+                fuse,
             })
         }
         "show" | "compile" => {
@@ -320,10 +342,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "check" => {
-            let policy = it
-                .next()
-                .ok_or_else(|| err("usage: superfe check <policy> [options]"))?
-                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut policies = Vec::new();
+            let mut at = 0;
+            while at < rest.len() && !rest[at].starts_with("--") {
+                policies.push(rest[at].clone());
+                at += 1;
+            }
+            if policies.is_empty() {
+                return Err(err("usage: superfe check <policy> [<policy>...] [options]"));
+            }
+            let mut it = rest[at..].iter();
             let mut headroom = 90.0f64;
             let mut cache_slots = None;
             let mut groups = 5_000usize;
@@ -357,7 +386,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Check {
-                policy,
+                policies,
                 headroom,
                 cache_slots,
                 groups,
@@ -365,10 +394,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "explain" => {
-            let policy = it
-                .next()
-                .ok_or_else(|| err("usage: superfe explain <policy> [options]"))?
-                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut policies = Vec::new();
+            let mut at = 0;
+            while at < rest.len() && !rest[at].starts_with("--") {
+                policies.push(rest[at].clone());
+                at += 1;
+            }
+            if policies.is_empty() {
+                return Err(err(
+                    "usage: superfe explain <policy> [<policy>...] [options]",
+                ));
+            }
+            let mut it = rest[at..].iter();
             let mut groups = 5_000usize;
             let mut group_packets = 10_000u64;
             let mut format = OutputFormat::Text;
@@ -394,7 +432,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             Ok(Command::Explain {
-                policy,
+                policies,
                 groups,
                 group_packets,
                 format,
@@ -628,8 +666,10 @@ pub fn usage() -> String {
      \x20 superfe apps                       list built-in Table 3 policies\n\
      \x20 superfe list                       bundled policy names, one per line\n\
      \x20 superfe show <policy>              print a policy's DSL source\n\
-     \x20 superfe check <policy> [options]   static analysis: lints + feasibility\n\
-     \x20 superfe explain <policy> [options] typed IR, cost model, overflow proofs,\n\
+     \x20 superfe check <p1> [<p2> ...]      static analysis: lints + feasibility;\n\
+     \x20                                    two or more policies add the SF07xx\n\
+     \x20                                    cross-policy fusion report\n\
+     \x20 superfe explain <p1> [<p2> ...]    typed IR, cost model, overflow proofs,\n\
      \x20                                    optimizer rewrites, cycle estimate\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
      \x20 superfe run <policy> [options]     extract features from a synthetic trace\n\
@@ -669,6 +709,11 @@ pub fn usage() -> String {
      \x20 --workers N                        NIC shards            [2]\n\
      \x20 --attach-at T:P                    attach tenant T at packet P (hot add)\n\
      \x20 --detach-at T:P                    detach tenant T at packet P (hot remove)\n\
+     \x20 --cache-slots T:N                  cache quota for tenant T: N switch\n\
+     \x20                                    short-buffer slots   [16384]\n\
+     \x20 --no-fuse                          disable analysis-certified cross-policy\n\
+     \x20                                    fusion (default: equivalent tenants\n\
+     \x20                                    share one execution plan)\n\
      \x20 --verify-solo                      fail unless every tenant's output is\n\
      \x20                                    bitwise identical to a solo run\n\
      \n\
@@ -708,6 +753,75 @@ fn json_str(s: &str) -> String {
         }
     }
     out
+}
+
+/// Runs the SF07xx cross-policy equivalence analysis and renders the
+/// human-readable fusion section: the plan classes (who shares whose
+/// hardware) and every SF0701/SF0702 finding.
+fn fusion_section_text(named: &[(String, Policy)], vc: &superfe_policy::ValueConfig) -> String {
+    let refs: Vec<(&str, &Policy)> = named.iter().map(|(n, p)| (n.as_str(), p)).collect();
+    let analysis = superfe_policy::analyze::equiv::analyze_fusion(&refs, vc);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "cross-policy fusion (SF07xx): {} policies need {} execution plan(s); \
+         fusion saves {} duplicate plan(s)",
+        named.len(),
+        analysis.classes.len(),
+        analysis.plans_saved()
+    )
+    .expect("write");
+    for (ci, class) in analysis.classes.iter().enumerate() {
+        let members: Vec<&str> = class.members.iter().map(|&m| refs[m].0).collect();
+        writeln!(
+            out,
+            "  plan {}: {}{}",
+            ci + 1,
+            members.join(", "),
+            if class.members.len() > 1 {
+                " (fused)"
+            } else {
+                ""
+            }
+        )
+        .expect("write");
+    }
+    for d in analysis.report.diagnostics() {
+        writeln!(out, "  {d}").expect("write");
+    }
+    out
+}
+
+/// The machine rendering of the SF07xx analysis: plan classes with member
+/// names and the finding report, as one JSON object.
+fn fusion_section_json(named: &[(String, Policy)], vc: &superfe_policy::ValueConfig) -> String {
+    let refs: Vec<(&str, &Policy)> = named.iter().map(|(n, p)| (n.as_str(), p)).collect();
+    let analysis = superfe_policy::analyze::equiv::analyze_fusion(&refs, vc);
+    let classes: Vec<String> = analysis
+        .classes
+        .iter()
+        .map(|c| {
+            let members: Vec<String> = c
+                .members
+                .iter()
+                .map(|&m| format!("\"{}\"", json_str(refs[m].0)))
+                .collect();
+            format!(
+                "{{\"hash\":\"{:016x}\",\"members\":[{}]}}",
+                c.hash,
+                members.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"policy_count\":{},\"plan_count\":{},\"plans_saved\":{},\"classes\":[{}],\
+         \"report\":{}}}",
+        named.len(),
+        analysis.classes.len(),
+        analysis.plans_saved(),
+        classes.join(","),
+        analysis.report.render_json()
+    )
 }
 
 /// The `superfe explain` command: static cost model, value-range proofs,
@@ -827,7 +941,9 @@ fn serve(
     workers: usize,
     attach_at: &[(usize, usize)],
     detach_at: &[(usize, usize)],
+    cache_slots: &[(usize, usize)],
     verify_solo: bool,
+    fuse: bool,
 ) -> Result<String, CliError> {
     use superfe_core::{StreamingPipeline, SuperFeConfig};
     use superfe_ctrl::{CtrlPlane, TenantSpec};
@@ -847,6 +963,11 @@ fn serve(
             policy,
             cfg: SuperFeConfig::default(),
         });
+    }
+    // Per-tenant cache quotas; tenants with different quotas never fuse
+    // (the legality rule requires identical deployment configuration).
+    for &(ti, slots) in cache_slots {
+        specs[ti].cfg.cache.short_count = slots;
     }
     // Per-tenant epoch schedule: the last flag for a tenant wins.
     let attach_pkt: Vec<usize> = (0..specs.len())
@@ -887,7 +1008,11 @@ fn serve(
         .packets(packets)
         .seed(seed)
         .generate();
-    let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+    let mut plane = if fuse {
+        CtrlPlane::new(workers, AnalyzeConfig::default())
+    } else {
+        CtrlPlane::without_fusion(workers, AnalyzeConfig::default())
+    };
     let mut ids: Vec<Option<TenantId>> = vec![None; specs.len()];
     let mut outputs: Vec<Option<StreamOutput>> = (0..specs.len()).map(|_| None).collect();
     let mut text = String::new();
@@ -895,15 +1020,22 @@ fn serve(
     for (i, rec) in t.records.iter().enumerate() {
         for ti in 0..specs.len() {
             if attach_pkt[ti] == i {
+                let units_before = plane.units().len();
                 let id = plane
                     .attach(&specs[ti], None)
                     .map_err(|e| err(e.to_string()))?;
                 ids[ti] = Some(id);
+                let fused = plane.units().len() == units_before;
                 writeln!(
                     text,
-                    "epoch {}: attached {id} ({}) at packet {i}",
+                    "epoch {}: attached {id} ({}) at packet {i}{}",
                     plane.epoch(),
-                    specs[ti].name
+                    specs[ti].name,
+                    if fused {
+                        " — fused into a shared execution unit"
+                    } else {
+                        ""
+                    }
                 )
                 .expect("write");
             }
@@ -922,6 +1054,7 @@ fn serve(
         plane.push(rec).map_err(|e| err(e.to_string()))?;
     }
     let epochs = plane.epoch();
+    let live_units = plane.units().len();
     for run in plane.finish().map_err(|e| err(e.to_string()))? {
         let ti = ids
             .iter()
@@ -937,6 +1070,12 @@ fn serve(
         t.records.len(),
         epochs,
         workers
+    )
+    .expect("write");
+    writeln!(
+        text,
+        "execution units at shutdown: {live_units} (cross-policy fusion {})",
+        if fuse { "enabled" } else { "disabled" }
     )
     .expect("write");
     for (ti, spec) in specs.iter().enumerate() {
@@ -1027,7 +1166,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             workers,
             attach_at,
             detach_at,
+            cache_slots,
             verify_solo,
+            fuse,
         } => serve(
             &policies,
             trace,
@@ -1036,20 +1177,21 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             workers,
             &attach_at,
             &detach_at,
+            &cache_slots,
             verify_solo,
+            fuse,
         ),
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
             Ok(src)
         }
         Command::Check {
-            policy,
+            policies,
             headroom,
             cache_slots,
             groups,
             format,
         } => {
-            let p = resolve_policy_unchecked(&policy)?;
             let mut cfg = AnalyzeConfig {
                 headroom_pct: headroom,
                 groups,
@@ -1058,12 +1200,54 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             if let Some(slots) = cache_slots {
                 cfg.cache.short_count = slots;
             }
-            let report = analyze(&p, &cfg);
-            let text = match format {
-                OutputFormat::Text => format!("checking {policy}\n{}", report.render()),
-                OutputFormat::Json => format!("{}\n", report.render_json()),
+            let mut named = Vec::new();
+            for name in &policies {
+                named.push((name.clone(), resolve_policy_unchecked(name)?));
+            }
+            let reports: Vec<_> = named.iter().map(|(_, p)| analyze(p, &cfg)).collect();
+            let failed = reports
+                .iter()
+                .any(superfe_policy::AnalysisReport::has_errors);
+            let text = if named.len() == 1 {
+                match format {
+                    OutputFormat::Text => {
+                        format!("checking {}\n{}", policies[0], reports[0].render())
+                    }
+                    OutputFormat::Json => format!("{}\n", reports[0].render_json()),
+                }
+            } else {
+                // Several policies: per-policy reports plus the SF07xx
+                // cross-policy fusion report over the whole set.
+                match format {
+                    OutputFormat::Text => {
+                        let mut out = String::new();
+                        for ((name, _), report) in named.iter().zip(&reports) {
+                            write!(out, "checking {name}\n{}", report.render()).expect("write");
+                        }
+                        out.push_str(&fusion_section_text(&named, &cfg.value_config()));
+                        out
+                    }
+                    OutputFormat::Json => {
+                        let per: Vec<String> = named
+                            .iter()
+                            .zip(&reports)
+                            .map(|((name, _), r)| {
+                                format!(
+                                    "{{\"policy\":\"{}\",\"report\":{}}}",
+                                    json_str(name),
+                                    r.render_json()
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{{\"policies\":[{}],\"fusion\":{}}}\n",
+                            per.join(","),
+                            fusion_section_json(&named, &cfg.value_config())
+                        )
+                    }
+                }
             };
-            if report.has_errors() {
+            if failed {
                 // Non-zero exit: main prints machine output to stdout and
                 // prose to stderr, failing either way.
                 Err(CliError {
@@ -1075,11 +1259,50 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
         }
         Command::Explain {
-            policy,
+            policies,
             groups,
             group_packets,
             format,
-        } => explain(&policy, groups, group_packets, format),
+        } => {
+            if policies.len() == 1 {
+                return explain(&policies[0], groups, group_packets, format);
+            }
+            let mut named = Vec::new();
+            for name in &policies {
+                let (_, p) = resolve_policy(name)?;
+                named.push((name.clone(), p));
+            }
+            let cfg = AnalyzeConfig {
+                groups,
+                group_packets,
+                ..AnalyzeConfig::default()
+            };
+            match format {
+                OutputFormat::Text => {
+                    let mut out = String::new();
+                    for name in &policies {
+                        out.push_str(&explain(name, groups, group_packets, format)?);
+                    }
+                    out.push_str(&fusion_section_text(&named, &cfg.value_config()));
+                    Ok(out)
+                }
+                OutputFormat::Json => {
+                    let mut per = Vec::new();
+                    for name in &policies {
+                        per.push(
+                            explain(name, groups, group_packets, format)?
+                                .trim_end()
+                                .to_string(),
+                        );
+                    }
+                    Ok(format!(
+                        "{{\"policies\":[{}],\"fusion\":{}}}\n",
+                        per.join(","),
+                        fusion_section_json(&named, &cfg.value_config())
+                    ))
+                }
+            }
+        }
         Command::Compile { policy } => {
             let (_, p) = resolve_policy(&policy)?;
             let compiled = compile(&p).map_err(|e| err(e.to_string()))?;
@@ -1454,7 +1677,7 @@ mod tests {
     fn parses_serve_options() {
         let c = parse_args(&args(
             "serve cumul kitsune --packets 5000 --workers 4 --attach-at 1:100 \
-             --detach-at 1:900 --verify-solo",
+             --detach-at 1:900 --cache-slots 0:4096 --no-fuse --verify-solo",
         ))
         .unwrap();
         assert_eq!(
@@ -1467,13 +1690,17 @@ mod tests {
                 workers: 4,
                 attach_at: vec![(1, 100)],
                 detach_at: vec![(1, 900)],
+                cache_slots: vec![(0, 4096)],
                 verify_solo: true,
+                fuse: false,
             }
         );
         assert!(parse_args(&args("serve")).is_err());
         assert!(parse_args(&args("serve cumul --attach-at nope")).is_err());
         assert!(parse_args(&args("serve cumul --attach-at 7:0")).is_err());
         assert!(parse_args(&args("serve cumul --workers 0")).is_err());
+        assert!(parse_args(&args("serve cumul --cache-slots 0:0")).is_err());
+        assert!(parse_args(&args("serve cumul --cache-slots 5:100")).is_err());
     }
 
     #[test]
@@ -1486,7 +1713,9 @@ mod tests {
             workers: 2,
             attach_at: vec![],
             detach_at: vec![(1, 2_000)],
+            cache_slots: vec![],
             verify_solo: true,
+            fuse: true,
         })
         .unwrap();
         assert!(out.contains("served 2 tenants"), "{out}");
@@ -1502,7 +1731,8 @@ mod tests {
     fn serve_rejects_overcommitted_tenant_set() {
         // Enough Kitsune-class tenants to exhaust the Tofino: admission must
         // refuse the set with the binding resource, and the command must
-        // exit non-zero.
+        // exit non-zero. Fusion stays off: twelve identical policies would
+        // otherwise share one execution plan and admit trivially.
         let e = execute(Command::Serve {
             policies: vec!["kitsune".into(); 12],
             trace: WorkloadPreset::Campus,
@@ -1511,7 +1741,9 @@ mod tests {
             workers: 1,
             attach_at: vec![],
             detach_at: vec![],
+            cache_slots: vec![],
             verify_solo: false,
+            fuse: false,
         })
         .unwrap_err();
         assert!(e.message.contains("admission rejected"), "{e}");
@@ -1529,7 +1761,9 @@ mod tests {
                 workers: 1,
                 attach_at,
                 detach_at,
+                cache_slots: vec![],
                 verify_solo: false,
+                fuse: true,
             })
         };
         assert!(
@@ -1602,11 +1836,23 @@ mod tests {
         assert_eq!(
             c,
             Command::Check {
-                policy: "kitsune".into(),
+                policies: vec!["kitsune".into()],
                 headroom: 75.0,
                 cache_slots: Some(99),
                 groups: 500,
                 format: OutputFormat::Text,
+            }
+        );
+        // Multiple positional policies collect in order.
+        let c = parse_args(&args("check npod cumul --format json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Check {
+                policies: vec!["npod".into(), "cumul".into()],
+                headroom: 90.0,
+                cache_slots: None,
+                groups: 5_000,
+                format: OutputFormat::Json,
             }
         );
         assert!(parse_args(&args("check")).is_err());
@@ -1624,7 +1870,7 @@ mod tests {
         assert_eq!(
             c,
             Command::Explain {
-                policy: "kitsune".into(),
+                policies: vec!["kitsune".into()],
                 groups: 100,
                 group_packets: 50_000,
                 format: OutputFormat::Json,
@@ -1636,7 +1882,7 @@ mod tests {
 
     fn check(policy: &str) -> Command {
         Command::Check {
-            policy: policy.into(),
+            policies: vec![policy.into()],
             headroom: 90.0,
             cache_slots: None,
             groups: 5_000,
@@ -1668,7 +1914,7 @@ mod tests {
         // The acceptance case: a cache configured past the Tofino SRAM
         // budget exits non-zero with an SF03xx error reporting utilization.
         let cmd = Command::Check {
-            policy: "kitsune".into(),
+            policies: vec!["kitsune".into()],
             headroom: 90.0,
             cache_slots: Some(4_000_000),
             groups: 10_000,
@@ -1712,7 +1958,7 @@ mod tests {
     #[test]
     fn check_json_format_emits_machine_output() {
         let cmd = Command::Check {
-            policy: "kitsune".into(),
+            policies: vec!["kitsune".into()],
             headroom: 90.0,
             cache_slots: None,
             groups: 5_000,
@@ -1723,7 +1969,7 @@ mod tests {
         assert!(out.ends_with("}\n"), "{out}");
         // A failing check in JSON mode keeps the JSON on stdout.
         let cmd = Command::Check {
-            policy: "kitsune".into(),
+            policies: vec!["kitsune".into()],
             headroom: 90.0,
             cache_slots: Some(4_000_000),
             groups: 10_000,
@@ -1759,7 +2005,7 @@ mod tests {
     #[test]
     fn explain_renders_cost_and_rewrites() {
         let out = execute(Command::Explain {
-            policy: "kitsune".into(),
+            policies: vec!["kitsune".into()],
             groups: 5_000,
             group_packets: 10_000,
             format: OutputFormat::Text,
@@ -1774,7 +2020,7 @@ mod tests {
     #[test]
     fn explain_json_is_an_object() {
         let out = execute(Command::Explain {
-            policy: "tf".into(),
+            policies: vec!["tf".into()],
             groups: 5_000,
             group_packets: 10_000,
             format: OutputFormat::Json,
@@ -1794,6 +2040,164 @@ mod tests {
         .unwrap();
         assert!(out.contains("pktstream"));
         assert!(out.contains("f_array{5000}"));
+    }
+
+    #[test]
+    fn check_multi_policy_emits_fusion_report() {
+        // Two names that resolve to the same text must land in one class.
+        let cmd = Command::Check {
+            policies: vec!["df".into(), "awf".into(), "npod".into()],
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+            format: OutputFormat::Text,
+        };
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("checking df"), "{out}");
+        assert!(out.contains("checking npod"), "{out}");
+        assert!(out.contains("cross-policy fusion (SF07xx):"), "{out}");
+        assert!(out.contains("3 policies need 2 execution plan(s)"), "{out}");
+        assert!(out.contains("fusion saves 1 duplicate plan(s)"), "{out}");
+        assert!(out.contains("df, awf (fused)"), "{out}");
+        assert!(out.contains("SF0701"), "{out}");
+    }
+
+    #[test]
+    fn check_multi_policy_json_reports_classes() {
+        let cmd = Command::Check {
+            policies: vec!["df".into(), "awf".into()],
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+            format: OutputFormat::Json,
+        };
+        let out = execute(cmd).unwrap();
+        assert!(out.starts_with("{\"policies\":["), "{out}");
+        assert!(out.contains("\"policy\":\"df\""), "{out}");
+        assert!(out.contains("\"fusion\":{"), "{out}");
+        assert!(out.contains("\"policy_count\":2"), "{out}");
+        assert!(out.contains("\"plan_count\":1"), "{out}");
+        assert!(out.contains("\"plans_saved\":1"), "{out}");
+        assert!(out.contains("\"members\":[\"df\",\"awf\"]"), "{out}");
+        assert!(out.contains("\"code\":\"SF0701\""), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        // An infeasible member still fails the whole check in JSON mode.
+        let cmd = Command::Check {
+            policies: vec!["df".into(), "kitsune".into()],
+            headroom: 90.0,
+            cache_slots: Some(4_000_000),
+            groups: 10_000,
+            format: OutputFormat::Json,
+        };
+        let e = execute(cmd).unwrap_err();
+        assert!(e.machine);
+        assert!(e.message.contains("\"code\":\"SF0303\""), "{e}");
+        assert!(e.message.contains("\"fusion\":{"), "{e}");
+    }
+
+    #[test]
+    fn explain_multi_policy_appends_fusion_section() {
+        let out = execute(Command::Explain {
+            policies: vec!["df".into(), "awf".into()],
+            groups: 5_000,
+            group_packets: 10_000,
+            format: OutputFormat::Text,
+        })
+        .unwrap();
+        assert!(out.contains("explaining df"), "{out}");
+        assert!(out.contains("explaining awf"), "{out}");
+        assert!(out.contains("cross-policy fusion (SF07xx):"), "{out}");
+        assert!(out.contains("fusion saves 1 duplicate plan(s)"), "{out}");
+        let json = execute(Command::Explain {
+            policies: vec!["df".into(), "awf".into()],
+            groups: 5_000,
+            group_packets: 10_000,
+            format: OutputFormat::Json,
+        })
+        .unwrap();
+        assert!(
+            json.starts_with("{\"policies\":[{\"policy\":\"df\""),
+            "{json}"
+        );
+        assert!(json.contains("\"fusion\":{"), "{json}");
+        assert!(json.contains("\"plans_saved\":1"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn serve_fuses_equivalent_tenants_and_verifies_solo() {
+        // Two tenants running the same policy share one execution unit, and
+        // the demuxed outputs still verify bitwise against solo runs.
+        let out = execute(Command::Serve {
+            policies: vec!["npod".into(), "npod".into()],
+            trace: WorkloadPreset::Campus,
+            packets: 3_000,
+            seed: 5,
+            workers: 2,
+            attach_at: vec![],
+            detach_at: vec![],
+            cache_slots: vec![],
+            verify_solo: true,
+            fuse: true,
+        })
+        .unwrap();
+        assert!(out.contains("fused into a shared execution unit"), "{out}");
+        assert!(
+            out.contains("execution units at shutdown: 1 (cross-policy fusion enabled)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("verified tenant t0 npod: bitwise identical"),
+            "{out}"
+        );
+        assert!(
+            out.contains("verified tenant t1 npod: bitwise identical"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_overcommitted_set_admits_under_fusion() {
+        // The same twelve-Kitsune set that admission rejects unfused
+        // collapses to one plan when fusion is on, and serves fine.
+        let out = execute(Command::Serve {
+            policies: vec!["kitsune".into(); 12],
+            trace: WorkloadPreset::Campus,
+            packets: 500,
+            seed: 1,
+            workers: 1,
+            attach_at: vec![],
+            detach_at: vec![],
+            cache_slots: vec![],
+            verify_solo: false,
+            fuse: true,
+        })
+        .unwrap();
+        assert!(out.contains("served 12 tenants"), "{out}");
+        assert!(
+            out.contains("execution units at shutdown: 1 (cross-policy fusion enabled)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_cache_slots_override_applies_per_tenant() {
+        // An oversized per-tenant cache quota must fail that tenant's
+        // deployment gate (SF0303), proving the override reaches the config.
+        let e = execute(Command::Serve {
+            policies: vec!["cumul".into(), "npod".into()],
+            trace: WorkloadPreset::Campus,
+            packets: 200,
+            seed: 1,
+            workers: 1,
+            attach_at: vec![],
+            detach_at: vec![],
+            cache_slots: vec![(1, 4_000_000)],
+            verify_solo: false,
+            fuse: true,
+        })
+        .unwrap_err();
+        assert!(e.message.contains("SF0303"), "{e}");
     }
 
     #[test]

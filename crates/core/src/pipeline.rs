@@ -8,7 +8,7 @@ use superfe_policy::{CompiledPolicy, Policy, PolicyError};
 use superfe_switch::{CacheMode, FeSwitch, MgpvConfig, MgpvStats, SwitchStats};
 
 /// Deployment configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SuperFeConfig {
     /// Switch cache configuration (§7 defaults).
     pub cache: MgpvConfig,

@@ -7,24 +7,36 @@
 //!
 //! 1. [`CtrlPlane::attach`] gates the candidate policy (optimize → compile
 //!    → static analysis, the same `superfe_core::deploy::gate` every solo
-//!    path uses), composes its demand with the already-admitted set through
-//!    the admission controller, and only then installs the tenant's filter
-//!    entry, cache partition, and NIC engines — all at a batch boundary, so
-//!    the new tenant sees exactly the packets pushed after the call.
-//! 2. [`CtrlPlane::detach`] drains the departing tenant's switch partition
-//!    into the event stream, hands its NIC engines a drain-and-flush
-//!    handshake, and blocks until every shard acked — returning the
-//!    tenant's complete, isolated output.
+//!    path uses), then consults the SF07xx cross-policy equivalence
+//!    analysis (`superfe_policy::analyze::equiv`): if the candidate is
+//!    provably equivalent to an already-deployed policy — same canonical
+//!    hash, same deployment config, proven value-range match, and the
+//!    shared plan still at stream position zero — it **fuses**, joining
+//!    the existing execution unit's demux fan-out with zero marginal
+//!    hardware demand. Otherwise its demand composes with the admitted
+//!    set through the admission controller before the plane installs a
+//!    new filter entry, cache partition, and NIC engine set.
+//! 2. [`CtrlPlane::detach`] picks the handshake by unit population: a
+//!    unit's sole member drains its switch partition into the event
+//!    stream and finalizes destructively; a member of a fused unit gets a
+//!    **snapshot** detach — the partition is cloned and flushed
+//!    non-destructively and the NIC finalizes a clone of the unit engine,
+//!    so the departing member's output is bitwise what a solo detach
+//!    would return while the surviving members' state is never touched.
 //!
 //! Untouched tenants lose or duplicate zero vectors across either
 //! operation: their partitions, engines, and channels are never touched,
 //! and the epoch markers travel in-band so they cannot reorder against
-//! event frames.
+//! event frames. Fusion preserves the same contract through the demux
+//! fan-out: every fused member receives its own copy of every vector
+//! under its own egress numbering.
 
 use superfe_core::pipeline::SuperFeConfig;
 use superfe_net::PacketRecord;
 use superfe_nic::{SharedStreamingNic, StreamOutput, VectorSink};
+use superfe_policy::analyze::{codes, equiv, Diagnostic};
 use superfe_policy::Policy;
+use superfe_switch::resources::{compose, SwitchResources};
 use superfe_switch::tenant::{SharedSwitch, SharedSwitchStats, TaggedEvent, TenantId};
 use superfe_switch::{MgpvStats, SwitchStats};
 
@@ -42,11 +54,26 @@ pub struct TenantSpec {
     pub cfg: SuperFeConfig,
 }
 
-/// One live tenant.
+/// One live tenant and the execution unit serving it.
 struct Slot {
     id: TenantId,
     name: String,
+    unit: TenantId,
+}
+
+/// One deployed execution unit: a switch partition + NIC engine set that
+/// one or more SF07xx-equivalent tenants share.
+struct Unit {
+    id: TenantId,
+    hash: u64,
+    policy: Policy,
+    cfg: SuperFeConfig,
     demand: TenantDemand,
+    members: Vec<TenantId>,
+    /// Stream position (packets pushed) when the unit attached; a
+    /// candidate may only fuse while the plane is still at this position,
+    /// otherwise the shared plan would owe the late member history.
+    attach_pos: u64,
 }
 
 /// One tenant's final output at plane shutdown.
@@ -66,29 +93,52 @@ pub struct CtrlPlane {
     switch: SharedSwitch,
     nic: SharedStreamingNic,
     slots: Vec<Slot>,
+    units: Vec<Unit>,
+    fusion: bool,
     next_id: u16,
     frame: Vec<TaggedEvent>,
     epoch: u64,
+    pushed: u64,
 }
 
 impl CtrlPlane {
     /// A plane with `workers` NIC shards and the given hardware model for
-    /// admission (budget, NFP, expected group population, headroom).
+    /// admission (budget, NFP, expected group population, headroom), with
+    /// analysis-certified cross-policy fusion enabled.
     pub fn new(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
+        Self::build(workers, analyze, true)
+    }
+
+    /// Like [`CtrlPlane::new`] but with fusion disabled: every tenant gets
+    /// its own partition and engines even when provably equivalent (the
+    /// baseline the fusion benchmarks compare against).
+    pub fn without_fusion(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
+        Self::build(workers, analyze, false)
+    }
+
+    fn build(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig, fusion: bool) -> Self {
         CtrlPlane {
             analyze,
             switch: SharedSwitch::new(),
             nic: SharedStreamingNic::new(workers),
             slots: Vec::new(),
+            units: Vec::new(),
+            fusion,
             next_id: 0,
             frame: Vec::new(),
             epoch: 0,
+            pushed: 0,
         }
     }
 
     /// Number of NIC shards.
     pub fn workers(&self) -> usize {
         self.nic.workers()
+    }
+
+    /// Whether analysis-certified cross-policy fusion is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
     }
 
     /// Completed reconfiguration epochs (each attach/detach is one).
@@ -101,28 +151,101 @@ impl CtrlPlane {
         self.slots.iter().map(|s| (s.id, s.name.as_str())).collect()
     }
 
+    /// Live execution units in creation order, each with its member count
+    /// (fused units serve more than one tenant).
+    pub fn units(&self) -> Vec<(TenantId, usize)> {
+        self.units.iter().map(|u| (u.id, u.members.len())).collect()
+    }
+
     /// Link-level counters of the shared switch.
     pub fn switch_stats(&self) -> &SharedSwitchStats {
         self.switch.stats()
     }
 
-    /// Per-tenant switch link counters.
+    /// Per-tenant switch link counters. For a fused tenant these are the
+    /// shared unit's counters: members of one unit see one stream.
     pub fn tenant_switch_stats(&self, tenant: TenantId) -> Option<&SwitchStats> {
-        self.switch.tenant_stats(tenant)
+        self.switch.tenant_stats(self.unit_of(tenant)?)
     }
 
-    /// Per-tenant cache counters.
+    /// Per-tenant cache counters (the shared unit's, when fused).
     pub fn tenant_cache_stats(&self, tenant: TenantId) -> Option<MgpvStats> {
-        self.switch.tenant_cache_stats(tenant)
+        self.switch.tenant_cache_stats(self.unit_of(tenant)?)
+    }
+
+    /// The execution unit serving `tenant`.
+    fn unit_of(&self, tenant: TenantId) -> Option<TenantId> {
+        self.slots.iter().find(|s| s.id == tenant).map(|s| s.unit)
+    }
+
+    /// The unit index `spec` may fuse into, per the SF07xx legality rule:
+    /// equal canonical hash, identical deployment config, the unit still
+    /// at the candidate's stream position, and semantic equivalence
+    /// (value ranges, units, saturation) proven against the
+    /// representative.
+    fn fusion_target(&self, spec: &TenantSpec, hash: u64) -> Option<usize> {
+        if !self.fusion {
+            return None;
+        }
+        let vc = self.analyze.value_config();
+        self.units.iter().position(|u| {
+            u.hash == hash
+                && u.cfg == spec.cfg
+                && u.attach_pos == self.pushed
+                && equiv::check_equivalence(&u.policy, &spec.policy, &vc).is_ok()
+        })
     }
 
     /// Dry-runs admission for `spec` against the currently-admitted set
-    /// without deploying anything.
+    /// without deploying anything. The verdict's warnings carry an SF0703
+    /// note when fusion changes the composed demand — either because the
+    /// candidate itself would fuse (zero marginal demand) or because the
+    /// admitted set already shares plans.
     pub fn admission_check(&self, spec: &TenantSpec) -> Result<AdmissionReport, AdmissionError> {
         let demand = self.gate(spec)?;
-        let mut set: Vec<&TenantDemand> = self.slots.iter().map(|s| &s.demand).collect();
-        set.push(&demand);
-        admit(&self.analyze, &set)
+        let hash = equiv::canonical_hash(&spec.policy, &self.analyze.value_config());
+        let fused_into = self.fusion_target(spec, hash);
+        let mut set: Vec<&TenantDemand> = self.units.iter().map(|u| &u.demand).collect();
+        if fused_into.is_none() {
+            set.push(&demand);
+        }
+        let mut report = admit(&self.analyze, &set)?;
+        // Surface the fusion headroom: what the same tenant set would cost
+        // with one partition + engine set per tenant.
+        let mut unfused: Vec<SwitchResources> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                self.units
+                    .iter()
+                    .find(|u| u.id == s.unit)
+                    .map(|u| u.demand.switch)
+            })
+            .collect();
+        unfused.push(demand.switch);
+        if unfused.len() > set.len() {
+            let solo = compose(&unfused);
+            let mut note = format!(
+                "cross-policy fusion serves {} tenants with {} plans: composed switch demand \
+                 {} sALUs / {} tables (unfused: {} sALUs / {} tables)",
+                unfused.len(),
+                set.len(),
+                report.switch.salus,
+                report.switch.tables,
+                solo.salus,
+                solo.tables,
+            );
+            if let Some(pos) = fused_into {
+                note.push_str(&format!(
+                    "; candidate is SF07xx-equivalent to unit {} and adds zero marginal demand",
+                    self.units[pos].id
+                ));
+            }
+            report
+                .warnings
+                .push(Diagnostic::note(codes::FUSION_HEADROOM, note));
+        }
+        Ok(report)
     }
 
     /// Admits and deploys `spec` at the current epoch. `sinks`, when given,
@@ -130,14 +253,33 @@ impl CtrlPlane {
     /// egress — e.g. its detector's serving sinks).
     ///
     /// Packets pushed before this call never reach the new tenant; packets
-    /// pushed after all do. Other tenants are unaffected.
+    /// pushed after all do. Other tenants are unaffected. When the SF07xx
+    /// analysis certifies the candidate equivalent to a live unit (see
+    /// [`CtrlPlane::admission_check`]), the tenant joins that unit's demux
+    /// fan-out instead of consuming new hardware; its observable output is
+    /// bitwise identical either way.
     pub fn attach(
         &mut self,
         spec: &TenantSpec,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
     ) -> Result<TenantId, CtrlError> {
         let demand = self.gate(spec)?;
-        let mut set: Vec<&TenantDemand> = self.slots.iter().map(|s| &s.demand).collect();
+        let hash = equiv::canonical_hash(&spec.policy, &self.analyze.value_config());
+        if let Some(pos) = self.fusion_target(spec, hash) {
+            let unit_id = self.units[pos].id;
+            let id = TenantId(self.next_id);
+            self.nic.join(unit_id, id, sinks)?;
+            self.next_id = self.next_id.checked_add(1).expect("tenant id space");
+            self.units[pos].members.push(id);
+            self.slots.push(Slot {
+                id,
+                name: spec.name.clone(),
+                unit: unit_id,
+            });
+            self.epoch += 1;
+            return Ok(id);
+        }
+        let mut set: Vec<&TenantDemand> = self.units.iter().map(|u| &u.demand).collect();
         set.push(&demand);
         admit(&self.analyze, &set)?;
         let id = TenantId(self.next_id);
@@ -161,36 +303,68 @@ impl CtrlPlane {
             self.switch.detach_into(id, &mut discard);
             return Err(CtrlError::Nic(e));
         }
+        self.units.push(Unit {
+            id,
+            hash,
+            policy: spec.policy.clone(),
+            cfg: spec.cfg,
+            demand,
+            members: vec![id],
+            attach_pos: self.pushed,
+        });
         self.slots.push(Slot {
             id,
             name: spec.name.clone(),
-            demand,
+            unit: id,
         });
         self.epoch += 1;
         Ok(id)
     }
 
-    /// Detaches `tenant` at the current epoch with the drain-and-flush
-    /// handshake, returning its complete isolated output. Blocks until
-    /// every NIC shard acked the epoch.
+    /// Detaches `tenant` at the current epoch, returning its complete
+    /// isolated output. Blocks until every NIC shard acked the epoch.
+    ///
+    /// A unit's sole member drains destructively; a member of a fused unit
+    /// is finalized against a snapshot of the shared state, leaving the
+    /// surviving members bitwise unaffected.
     pub fn detach(&mut self, tenant: TenantId) -> Result<StreamOutput, CtrlError> {
         let Some(pos) = self.slots.iter().position(|s| s.id == tenant) else {
             return Err(CtrlError::UnknownTenant(tenant));
         };
-        // Drain the switch partition so in-flight batched records reach the
-        // NIC ahead of the detach marker.
-        self.frame.clear();
-        self.switch.detach_into(tenant, &mut self.frame);
-        self.nic.push_all(self.frame.drain(..))?;
-        let out = self.nic.detach(tenant)?;
+        let unit_id = self.slots[pos].unit;
+        let upos = self
+            .units
+            .iter()
+            .position(|u| u.id == unit_id)
+            .expect("slot without unit");
+        let out = if self.units[upos].members.len() > 1 {
+            // Fused member: snapshot-flush the shared partition (live
+            // state untouched) and finalize an engine clone against it.
+            self.frame.clear();
+            self.switch.snapshot_into(unit_id, &mut self.frame);
+            let events: Vec<TaggedEvent> = self.frame.drain(..).collect();
+            let out = self.nic.snapshot_detach(tenant, events)?;
+            self.units[upos].members.retain(|&m| m != tenant);
+            out
+        } else {
+            // Sole member: drain the switch partition so in-flight batched
+            // records reach the NIC ahead of the detach marker.
+            self.frame.clear();
+            self.switch.detach_into(unit_id, &mut self.frame);
+            self.nic.push_all(self.frame.drain(..))?;
+            let out = self.nic.detach(tenant)?;
+            self.units.remove(upos);
+            out
+        };
         self.slots.remove(pos);
         self.epoch += 1;
         Ok(out)
     }
 
     /// Feeds one packet through the shared filter table into every
-    /// matching tenant's partition and on to the NIC shards.
+    /// matching unit's partition and on to the NIC shards.
     pub fn push(&mut self, p: &PacketRecord) -> Result<(), CtrlError> {
+        self.pushed += 1;
         self.frame.clear();
         self.switch.process_into(p, &mut self.frame);
         self.nic
@@ -198,7 +372,7 @@ impl CtrlPlane {
             .map_err(CtrlError::Nic)
     }
 
-    /// Flushes every tenant partition, drains the shards, and returns each
+    /// Flushes every unit partition, drains the shards, and returns each
     /// remaining tenant's isolated output in attach order.
     pub fn finish(mut self) -> Result<Vec<TenantRun>, CtrlError> {
         self.frame.clear();
@@ -253,6 +427,13 @@ mod tests {
         )
     }
 
+    fn host_sum_renamed() -> TenantSpec {
+        spec(
+            "host-sum-b",
+            "pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)",
+        )
+    }
+
     fn flow_stats() -> TenantSpec {
         spec(
             "flow-stats",
@@ -286,6 +467,7 @@ mod tests {
         let b = plane.attach(&flow_stats(), None).unwrap();
         assert_ne!(a, b);
         assert_eq!(plane.epoch(), 2);
+        assert_eq!(plane.units().len(), 2, "distinct policies never fuse");
         for p in packets(900) {
             plane.push(&p).unwrap();
         }
@@ -324,6 +506,106 @@ mod tests {
     }
 
     #[test]
+    fn equivalent_tenants_fuse_and_demux_bitwise() {
+        let mut plane = CtrlPlane::new(2, AnalyzeConfig::default());
+        assert!(plane.fusion_enabled());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&host_sum_renamed(), None).unwrap();
+        let c = plane.attach(&flow_stats(), None).unwrap();
+        assert_eq!(plane.tenants().len(), 3);
+        assert_eq!(
+            plane.units(),
+            vec![(a, 2), (c, 1)],
+            "equivalent pair shares one unit"
+        );
+        for p in packets(900) {
+            plane.push(&p).unwrap();
+        }
+        // Fused members read the shared unit's counters.
+        assert_eq!(plane.tenant_switch_stats(b).unwrap().pkts_in, 900);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 3);
+        let solo_h = solo(&host_sum(), 900, 2);
+        let solo_f = solo(&flow_stats(), 900, 2);
+        for run in &runs[..2] {
+            assert_eq!(run.output.group_vectors, solo_h.group_vectors);
+            assert_eq!(run.output.packet_vectors, solo_h.packet_vectors);
+        }
+        assert_eq!(runs[2].output.group_vectors, solo_f.group_vectors);
+    }
+
+    #[test]
+    fn fused_member_detach_is_bitwise_solo_and_spares_survivor() {
+        let mut plane = CtrlPlane::new(2, AnalyzeConfig::default());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&host_sum_renamed(), None).unwrap();
+        assert_eq!(plane.units(), vec![(a, 2)]);
+        let mut detached = None;
+        for (i, p) in packets(1200).enumerate() {
+            if i == 600 {
+                // Detach the unit's *owner* — the unit survives under its
+                // id with the joined member as sole occupant.
+                detached = Some(plane.detach(a).unwrap());
+                assert_eq!(plane.units(), vec![(a, 1)]);
+            }
+            plane.push(&p).unwrap();
+        }
+        let gone = detached.unwrap();
+        let solo_half = solo(&host_sum(), 600, 2);
+        assert_eq!(gone.group_vectors, solo_half.group_vectors);
+        assert_eq!(gone.packet_vectors, solo_half.packet_vectors);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].id, b);
+        let solo_full = solo(&host_sum(), 1200, 2);
+        assert_eq!(runs[0].output.group_vectors, solo_full.group_vectors);
+    }
+
+    #[test]
+    fn late_or_unfused_attach_gets_its_own_unit() {
+        // Fusion is position-gated: once the stream has moved past the
+        // unit's attach point, an equivalent candidate gets fresh hardware
+        // (the shared plan would owe it history it must not see).
+        let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
+        plane.attach(&host_sum(), None).unwrap();
+        for p in packets(100) {
+            plane.push(&p).unwrap();
+        }
+        plane.attach(&host_sum_renamed(), None).unwrap();
+        assert_eq!(plane.units().len(), 2);
+        plane.finish().unwrap();
+
+        // And with fusion disabled, even position-aligned equivalents
+        // stay separate.
+        let mut plain = CtrlPlane::without_fusion(1, AnalyzeConfig::default());
+        assert!(!plain.fusion_enabled());
+        plain.attach(&host_sum(), None).unwrap();
+        plain.attach(&host_sum_renamed(), None).unwrap();
+        assert_eq!(plain.units().len(), 2);
+        plain.finish().unwrap();
+    }
+
+    #[test]
+    fn admission_check_surfaces_fusion_headroom() {
+        let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
+        plane.attach(&host_sum(), None).unwrap();
+        let report = plane.admission_check(&host_sum_renamed()).unwrap();
+        let note = report
+            .warnings
+            .iter()
+            .find(|d| d.code == codes::FUSION_HEADROOM)
+            .expect("fusable candidate must surface SF0703 headroom");
+        assert!(note.message.contains("zero marginal demand"), "{note:?}");
+        // A non-fusable candidate against a non-shared set gets no note.
+        let report = plane.admission_check(&flow_stats()).unwrap();
+        assert!(!report
+            .warnings
+            .iter()
+            .any(|d| d.code == codes::FUSION_HEADROOM));
+        plane.finish().unwrap();
+    }
+
+    #[test]
     fn infeasible_policy_is_rejected_at_the_gate() {
         let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
         let mut bad = host_sum();
@@ -340,19 +622,26 @@ mod tests {
 
     #[test]
     fn composed_overload_is_rejected_with_binding_resource() {
-        // Individually feasible tenants whose composition blows the sALU
-        // budget: keep attaching until the controller says no.
-        let kitsune = spec(
-            "kitsune-like",
-            "pktstream\n.groupby(socket)\n.map(ipt, tstamp, f_ipt)\n\
-             .reduce(size, [f_mean, f_var])\n.collect(socket)\n\
-             .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)\n\
-             .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)",
-        );
+        // Individually feasible, mutually *distinct* tenants (a filter
+        // constant keeps their canonical hashes apart, so fusion cannot
+        // deduplicate them) whose composition blows the sALU budget: keep
+        // attaching until the controller says no.
+        let kitsune = |i: usize| {
+            spec(
+                &format!("kitsune-{i}"),
+                &format!(
+                    "pktstream\n.filter(size > {i})\n.groupby(socket)\n\
+                     .map(ipt, tstamp, f_ipt)\n\
+                     .reduce(size, [f_mean, f_var])\n.collect(socket)\n\
+                     .groupby(channel)\n.reduce(size, [f_mag, f_pcc])\n.collect(channel)\n\
+                     .groupby(host)\n.reduce(size, [f_mean])\n.collect(host)"
+                ),
+            )
+        };
         let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
         let mut rejected = None;
-        for _ in 0..16 {
-            match plane.attach(&kitsune, None) {
+        for i in 0..16 {
+            match plane.attach(&kitsune(i), None) {
                 Ok(_) => {}
                 Err(e) => {
                     rejected = Some(e);
@@ -360,6 +649,11 @@ mod tests {
                 }
             }
         }
+        assert_eq!(
+            plane.units().len(),
+            plane.tenants().len(),
+            "distinct filters must not fuse"
+        );
         match rejected.expect("a Tofino cannot host 16 Kitsune tenants") {
             CtrlError::Admission(AdmissionError::Budget { resource, .. }) => {
                 // The plane keeps running for the admitted tenants.

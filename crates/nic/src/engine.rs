@@ -66,12 +66,18 @@ impl NicStats {
     }
 }
 
+#[derive(Clone)]
 struct LevelState {
     program: LevelProgram,
     table: GroupTable<GroupExec>,
 }
 
 /// The SmartNIC feature-computation engine for one deployed policy.
+///
+/// `Clone` snapshots the complete engine state (group tables, FG mirror,
+/// accumulated vectors, counters) — the mechanism behind non-destructive
+/// member finalization on shared (fused) engines.
+#[derive(Clone)]
 pub struct FeNic {
     cg: Granularity,
     levels: Vec<LevelState>,

@@ -1,4 +1,4 @@
-//! Multi-tenant streaming NIC executor: one shard pool, N tenant engines.
+//! Multi-tenant streaming NIC executor: one shard pool, N execution units.
 //!
 //! The NIC half of the shared data path (see `superfe-switch::tenant` for
 //! the switch half). The same CG-key-sharded worker pool as
@@ -12,23 +12,28 @@
 //!   `(shard, seq)` egress tags) is bitwise-identical to a solo
 //!   [`StreamingNic`](crate::stream::StreamingNic) at the same worker
 //!   count. FG updates broadcast to every shard, exactly as solo.
-//! - **Per-tenant engines**: each worker owns one private
-//!   [`FeNic`] per tenant, so the effective group-table key is
-//!   `(tenant, cg_key)` and state never crosses tenant boundaries. The
-//!   per-tenant `fg_table_size` is that tenant's group-table quota;
-//!   per-tenant [`NicStats`] are the accounting counters.
-//! - **Per-tenant sinks**: each tenant brings its own
-//!   [`VectorSink`] per shard, keeping egress vector/alert streams
-//!   isolated end to end.
-//! - **Epoch-based reconfiguration**: [`SharedStreamingNic::attach`] and
-//!   [`SharedStreamingNic::detach`] travel *in-band* as control markers
-//!   through the same bounded channels as event frames, so every worker
-//!   applies them at the same point of the event stream — the epoch
-//!   boundary. Detach is a drain-and-flush handshake: pending frames are
-//!   flushed ahead of the marker, each worker finalizes the departing
-//!   tenant's engine and acks with its output, and the caller blocks until
-//!   all shards have acked. Untouched tenants lose or duplicate zero
-//!   vectors because their engines and channels are never touched.
+//! - **Execution units with member demux**: each worker owns one private
+//!   [`FeNic`] per *unit* — a set of tenants the SF07xx analysis proved
+//!   semantically equivalent (`superfe_policy::analyze::equiv`), fused by
+//!   the control plane. A solo tenant is a unit of one. Events are tagged
+//!   with unit ids; the unit's engine runs the extraction once and the
+//!   **demux contract** fans the emitted vectors out per member: every
+//!   member receives its own copy of each feature vector and its own
+//!   egress `(shard, seq)` numbering through its own [`VectorSink`], so
+//!   member-visible output is bitwise identical to a solo run and state
+//!   never crosses unit boundaries.
+//! - **Epoch-based reconfiguration**: [`SharedStreamingNic::attach`],
+//!   [`SharedStreamingNic::join`] and the detach handshakes travel
+//!   *in-band* as control markers through the same bounded channels as
+//!   event frames, so every worker applies them at the same point of the
+//!   event stream — the epoch boundary. Detaching a unit's last member is
+//!   a drain-and-flush handshake ([`SharedStreamingNic::detach`]);
+//!   detaching a member of a still-populated unit is a **snapshot**
+//!   handshake ([`SharedStreamingNic::snapshot_detach`]): each worker
+//!   clones the unit's engine, applies the caller-provided snapshot flush
+//!   of the switch partition to the clone, and finalizes the clone — the
+//!   departing member gets exactly the output a destructive detach would
+//!   have produced while the survivors' live state is never touched.
 
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
@@ -46,22 +51,38 @@ use crate::stream::{EgressVector, StreamOutput, VectorSink, CHANNEL_DEPTH, FRAME
 enum ShardMsg {
     /// A batch of tagged events in stream order.
     Frame(Vec<TaggedEvent>),
-    /// Attach marker: adopt this pre-built engine (and optional sink) for
-    /// `tenant`, effective for all events after this point in the stream.
+    /// Attach marker: adopt this pre-built engine as a new unit whose
+    /// first member is the unit id itself, effective for all events after
+    /// this point in the stream.
     Attach {
-        tenant: TenantId,
+        unit: TenantId,
         engine: Box<FeNic>,
         sink: Option<Box<dyn VectorSink>>,
     },
-    /// Detach marker: finalize `tenant`'s engine, flush its sink, and ack
-    /// the finished shard output back to the control plane.
+    /// Join marker: add `member` to an existing unit's demux fan-out.
+    Join {
+        unit: TenantId,
+        member: TenantId,
+        sink: Option<Box<dyn VectorSink>>,
+    },
+    /// Detach marker for a whole unit: finalize its engine, flush every
+    /// member's sink, and ack one finished piece per member.
     Detach {
-        tenant: TenantId,
+        unit: TenantId,
+        ack: Sender<(usize, TenantPiece)>,
+    },
+    /// Snapshot marker: finalize *one member* of a live unit against a
+    /// clone of its engine fed the given switch-partition snapshot flush,
+    /// leaving the unit itself untouched.
+    Snapshot {
+        unit: TenantId,
+        member: TenantId,
+        events: Vec<SwitchEvent>,
         ack: Sender<(usize, TenantPiece)>,
     },
 }
 
-/// One tenant's finished output on one shard.
+/// One member's finished output on one shard.
 struct TenantPiece {
     tenant: TenantId,
     groups: Vec<FeatureVector>,
@@ -70,54 +91,154 @@ struct TenantPiece {
     groups_per_level: Vec<(Granularity, usize)>,
 }
 
-/// One tenant's state on one worker.
-struct TenantEngine {
-    tenant: TenantId,
-    nic: Box<FeNic>,
+/// One member's egress half: its sink and `(shard, seq)` numbering.
+struct MemberEgress {
+    member: TenantId,
     sink: Option<Box<dyn VectorSink>>,
-    /// Per-(tenant, shard) monotonic egress sequence number.
+    /// Per-(member, shard) monotonic egress sequence number.
     seq: u64,
+}
+
+/// One execution unit's state on one worker: a single engine shared by
+/// every member, plus the per-member demux fan-out.
+struct UnitEngine {
+    unit: TenantId,
+    nic: Box<FeNic>,
+    members: Vec<MemberEgress>,
+    /// Per-packet vectors accumulated for sinkless members' final output
+    /// (sinked members stream theirs out per frame, exactly as solo).
+    pkts_accum: Vec<FeatureVector>,
     shard: usize,
 }
 
-impl TenantEngine {
-    /// Diverts accumulated per-packet vectors to the tenant's sink.
+impl UnitEngine {
+    /// Demuxes freshly accumulated per-packet vectors: a copy to every
+    /// member with a sink (each under its own sequence numbering), and
+    /// into the unit buffer when any sinkless member still needs them.
     fn drain_packets(&mut self) {
-        if let Some(sink) = self.sink.as_mut() {
-            for vector in self.nic.take_packet_vectors() {
-                sink.emit(EgressVector {
-                    shard: self.shard,
-                    seq: self.seq,
-                    vector,
-                });
-                self.seq += 1;
+        let fresh = self.nic.take_packet_vectors();
+        if fresh.is_empty() {
+            return;
+        }
+        for m in &mut self.members {
+            if let Some(sink) = m.sink.as_mut() {
+                for vector in fresh.iter().cloned() {
+                    sink.emit(EgressVector {
+                        shard: self.shard,
+                        seq: m.seq,
+                        vector,
+                    });
+                    m.seq += 1;
+                }
             }
+        }
+        if self.members.iter().any(|m| m.sink.is_none()) {
+            self.pkts_accum.extend(fresh);
         }
     }
 
-    /// End of stream for this tenant on this shard: finish the engine,
-    /// egress the group vectors, flush the sink.
-    fn finalize(mut self) -> TenantPiece {
-        let groups = self.nic.finish();
-        let pkts = self.nic.take_packet_vectors();
-        if let Some(mut sink) = self.sink.take() {
+    /// End of stream for the whole unit on this shard: finish the engine
+    /// once, then demux — every member gets its own copy of the group
+    /// vectors (and its sink flushed).
+    fn finalize(self) -> Vec<TenantPiece> {
+        let UnitEngine {
+            mut nic,
+            members,
+            pkts_accum,
+            shard,
+            ..
+        } = self;
+        let groups = nic.finish();
+        let tail = nic.take_packet_vectors();
+        let stats = *nic.stats();
+        let groups_per_level = nic.groups_per_level();
+        let mut pieces = Vec::with_capacity(members.len());
+        for mut m in members {
+            let pkts = if let Some(mut sink) = m.sink.take() {
+                for vector in groups.iter().cloned() {
+                    sink.emit(EgressVector {
+                        shard,
+                        seq: m.seq,
+                        vector,
+                    });
+                    m.seq += 1;
+                }
+                sink.flush();
+                tail.clone()
+            } else {
+                let mut v = pkts_accum.clone();
+                v.extend(tail.iter().cloned());
+                v
+            };
+            pieces.push(TenantPiece {
+                tenant: m.member,
+                groups: groups.clone(),
+                pkts,
+                stats,
+                groups_per_level: groups_per_level.clone(),
+            });
+        }
+        pieces
+    }
+
+    /// Finalizes one departing member against a clone of the unit engine
+    /// fed `events` (the snapshot flush of the switch partition): the
+    /// member's output is exactly what a destructive detach would have
+    /// produced at this stream position, while the live engine and the
+    /// surviving members are untouched.
+    fn snapshot_member(&mut self, member: TenantId, events: &[SwitchEvent]) -> Option<TenantPiece> {
+        let pos = self.members.iter().position(|m| m.member == member)?;
+        let mut m = self.members.remove(pos);
+        let mut nic = self.nic.clone();
+        for e in events {
+            nic.handle(e);
+        }
+        // Mirror the solo finish sequence: flushed per-packet vectors
+        // first, then the finished group vectors.
+        let fresh = nic.take_packet_vectors();
+        let mut pkts = if m.sink.is_some() {
+            Vec::new()
+        } else {
+            self.pkts_accum.clone()
+        };
+        if let Some(sink) = m.sink.as_mut() {
+            for vector in fresh.iter().cloned() {
+                sink.emit(EgressVector {
+                    shard: self.shard,
+                    seq: m.seq,
+                    vector,
+                });
+                m.seq += 1;
+            }
+        } else {
+            pkts.extend(fresh);
+        }
+        let groups = nic.finish();
+        let tail = nic.take_packet_vectors();
+        if let Some(mut sink) = m.sink.take() {
             for vector in groups.iter().cloned() {
                 sink.emit(EgressVector {
                     shard: self.shard,
-                    seq: self.seq,
+                    seq: m.seq,
                     vector,
                 });
-                self.seq += 1;
+                m.seq += 1;
             }
             sink.flush();
+            pkts = tail;
+        } else {
+            pkts.extend(tail);
         }
-        TenantPiece {
-            tenant: self.tenant,
+        if !self.members.iter().any(|mm| mm.sink.is_none()) {
+            self.pkts_accum.clear();
+        }
+        Some(TenantPiece {
+            tenant: member,
             groups,
             pkts,
-            stats: *self.nic.stats(),
-            groups_per_level: self.nic.groups_per_level(),
-        }
+            stats: *nic.stats(),
+            groups_per_level: nic.groups_per_level(),
+        })
     }
 }
 
@@ -127,18 +248,27 @@ struct SharedWorker {
     pending: Vec<TaggedEvent>,
 }
 
+/// One attached member and the unit whose engine serves it.
+struct MemberEntry {
+    member: TenantId,
+    unit: TenantId,
+}
+
 /// A multi-tenant streaming NIC executor sharing one worker pool.
 ///
-/// Constructed empty; tenants come and go via
-/// [`SharedStreamingNic::attach`] / [`SharedStreamingNic::detach`] while
-/// the event stream flows.
+/// Constructed empty; units come and go via
+/// [`SharedStreamingNic::attach`] / [`SharedStreamingNic::detach`], and
+/// fused members via [`SharedStreamingNic::join`] /
+/// [`SharedStreamingNic::snapshot_detach`], while the event stream flows.
 pub struct SharedStreamingNic {
     workers: Vec<SharedWorker>,
     recycle_tx: Sender<Vec<TaggedEvent>>,
     recycle_rx: Receiver<Vec<TaggedEvent>>,
     spare: Vec<Vec<TaggedEvent>>,
-    /// Attached tenants in attach order, with events-routed counters.
-    tenants: Vec<(TenantId, u64)>,
+    /// Attached members in attach order.
+    members: Vec<MemberEntry>,
+    /// Execution units in creation order, with events-routed counters.
+    units: Vec<(TenantId, u64)>,
 }
 
 impl SharedStreamingNic {
@@ -151,46 +281,67 @@ impl SharedStreamingNic {
                 let (tx, rx) = sync_channel::<ShardMsg>(CHANNEL_DEPTH);
                 let recycle = recycle_tx.clone();
                 let join = std::thread::spawn(move || {
-                    let mut engines: Vec<TenantEngine> = Vec::new();
+                    let mut engines: Vec<UnitEngine> = Vec::new();
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             ShardMsg::Frame(mut frame) => {
                                 for e in &frame {
-                                    if let Some(t) =
-                                        engines.iter_mut().find(|t| t.tenant == e.tenant)
+                                    if let Some(u) = engines.iter_mut().find(|u| u.unit == e.tenant)
                                     {
-                                        t.nic.handle(&e.event);
+                                        u.nic.handle(&e.event);
                                     }
                                 }
-                                for t in engines.iter_mut() {
-                                    t.drain_packets();
+                                for u in engines.iter_mut() {
+                                    u.drain_packets();
                                 }
                                 frame.clear();
                                 let _ = recycle.send(frame);
                             }
-                            ShardMsg::Attach {
-                                tenant,
-                                engine,
-                                sink,
-                            } => {
-                                engines.push(TenantEngine {
-                                    tenant,
+                            ShardMsg::Attach { unit, engine, sink } => {
+                                engines.push(UnitEngine {
+                                    unit,
                                     nic: engine,
-                                    sink,
-                                    seq: 0,
+                                    members: vec![MemberEgress {
+                                        member: unit,
+                                        sink,
+                                        seq: 0,
+                                    }],
+                                    pkts_accum: Vec::new(),
                                     shard,
                                 });
                             }
-                            ShardMsg::Detach { tenant, ack } => {
-                                if let Some(pos) = engines.iter().position(|t| t.tenant == tenant) {
-                                    let piece = engines.remove(pos).finalize();
-                                    let _ = ack.send((shard, piece));
+                            ShardMsg::Join { unit, member, sink } => {
+                                if let Some(u) = engines.iter_mut().find(|u| u.unit == unit) {
+                                    u.members.push(MemberEgress {
+                                        member,
+                                        sink,
+                                        seq: 0,
+                                    });
+                                }
+                            }
+                            ShardMsg::Detach { unit, ack } => {
+                                if let Some(pos) = engines.iter().position(|u| u.unit == unit) {
+                                    for piece in engines.remove(pos).finalize() {
+                                        let _ = ack.send((shard, piece));
+                                    }
+                                }
+                            }
+                            ShardMsg::Snapshot {
+                                unit,
+                                member,
+                                events,
+                                ack,
+                            } => {
+                                if let Some(u) = engines.iter_mut().find(|u| u.unit == unit) {
+                                    if let Some(piece) = u.snapshot_member(member, &events) {
+                                        let _ = ack.send((shard, piece));
+                                    }
                                 }
                             }
                         }
                     }
                     // Channel closed: end of stream for everyone left.
-                    engines.into_iter().map(TenantEngine::finalize).collect()
+                    engines.into_iter().flat_map(UnitEngine::finalize).collect()
                 });
                 SharedWorker {
                     tx,
@@ -204,7 +355,8 @@ impl SharedStreamingNic {
             recycle_tx,
             recycle_rx,
             spare: Vec::new(),
-            tenants: Vec::new(),
+            members: Vec::new(),
+            units: Vec::new(),
         }
     }
 
@@ -213,15 +365,47 @@ impl SharedStreamingNic {
         self.workers.len()
     }
 
-    /// Attached tenants in attach order, with events-routed counters.
-    pub fn tenants(&self) -> &[(TenantId, u64)] {
-        &self.tenants
+    /// Attached members in attach order, each with its unit's
+    /// events-routed counter (fused members share one stream).
+    pub fn tenants(&self) -> Vec<(TenantId, u64)> {
+        self.members
+            .iter()
+            .map(|m| {
+                let routed = self
+                    .units
+                    .iter()
+                    .find(|(u, _)| *u == m.unit)
+                    .map_or(0, |(_, n)| *n);
+                (m.member, routed)
+            })
+            .collect()
     }
 
-    /// Attaches `tenant` at the current epoch: all events pushed after this
-    /// call are processed by its engines; nothing before is.
+    /// Validates and splits an optional per-shard sink list.
+    fn split_sinks(
+        &self,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<Vec<Option<Box<dyn VectorSink>>>, NicError> {
+        let n = self.workers.len();
+        match sinks {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(NicError::Engine(format!(
+                        "sink count {} does not match worker count {n}",
+                        s.len()
+                    )));
+                }
+                Ok(s.into_iter().map(Some).collect())
+            }
+            None => Ok((0..n).map(|_| None).collect()),
+        }
+    }
+
+    /// Attaches `tenant` as a new unit (of which it is the first member)
+    /// at the current epoch: all events pushed after this call are
+    /// processed by its engines; nothing before is.
     ///
-    /// `fg_table_size` is the tenant's NIC group-table quota. `sinks`, when
+    /// `fg_table_size` is the unit's NIC group-table quota. `sinks`, when
     /// given, must hold one sink per shard (`sinks[i]` moves into worker
     /// `i`); with sinks attached the tenant's per-packet vectors are
     /// diverted exactly as in
@@ -233,24 +417,13 @@ impl SharedStreamingNic {
         fg_table_size: usize,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
     ) -> Result<(), NicError> {
-        if self.tenants.iter().any(|(t, _)| *t == tenant) {
+        if self.members.iter().any(|m| m.member == tenant) {
             return Err(NicError::Engine(format!(
                 "tenant {tenant} is already attached"
             )));
         }
         let n = self.workers.len();
-        let mut sinks: Vec<Option<Box<dyn VectorSink>>> = match sinks {
-            Some(s) => {
-                if s.len() != n {
-                    return Err(NicError::Engine(format!(
-                        "sink count {} does not match worker count {n}",
-                        s.len()
-                    )));
-                }
-                s.into_iter().map(Some).collect()
-            }
-            None => (0..n).map(|_| None).collect(),
-        };
+        let mut sinks = self.split_sinks(sinks)?;
         let mut engines = Vec::with_capacity(n);
         for _ in 0..n {
             engines.push(Box::new(FeNic::new(compiled, fg_table_size).ok_or_else(
@@ -265,34 +438,148 @@ impl SharedStreamingNic {
             self.workers[w]
                 .tx
                 .send(ShardMsg::Attach {
-                    tenant,
+                    unit: tenant,
                     engine,
                     sink,
                 })
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
-        self.tenants.push((tenant, 0));
+        self.units.push((tenant, 0));
+        self.members.push(MemberEntry {
+            member: tenant,
+            unit: tenant,
+        });
         Ok(())
     }
 
-    /// Detaches `tenant` with a drain-and-flush handshake: pending frames
-    /// are flushed, every shard finalizes the tenant's engine (egressing
-    /// its remaining vectors and flushing its sink), and the merged output
-    /// is returned once all shards have acked. Blocks until the epoch
-    /// completes.
-    pub fn detach(&mut self, tenant: TenantId) -> Result<StreamOutput, NicError> {
-        let Some(pos) = self.tenants.iter().position(|(t, _)| *t == tenant) else {
-            return Err(NicError::Engine(format!("tenant {tenant} is not attached")));
+    /// Joins `member` to the existing unit `unit`'s demux fan-out.
+    ///
+    /// The caller (the control plane) certifies equivalence and must
+    /// guarantee the unit is still at stream position zero — no events
+    /// routed to it yet — otherwise the member's output would include
+    /// history from before its attach point. That necessary condition is
+    /// re-checked here; the sufficient condition (no *packets* offered to
+    /// the unit's switch partition, which could be batching records that
+    /// have not evicted yet) is the control plane's.
+    pub fn join(
+        &mut self,
+        unit: TenantId,
+        member: TenantId,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<(), NicError> {
+        let Some(routed) = self.units.iter().find(|(u, _)| *u == unit).map(|(_, n)| *n) else {
+            return Err(NicError::Engine(format!("unit {unit} is not attached")));
         };
+        if routed != 0 {
+            return Err(NicError::Engine(format!(
+                "unit {unit} has already processed events; a late member cannot join"
+            )));
+        }
+        if self.members.iter().any(|m| m.member == member) {
+            return Err(NicError::Engine(format!(
+                "tenant {member} is already attached"
+            )));
+        }
+        let mut sinks = self.split_sinks(sinks)?;
         self.flush_all()?;
+        for (w, worker) in self.workers.iter().enumerate() {
+            let sink = sinks[w].take();
+            worker
+                .tx
+                .send(ShardMsg::Join { unit, member, sink })
+                .map_err(|_| NicError::WorkerLost { worker: w })?;
+        }
+        self.members.push(MemberEntry { member, unit });
+        Ok(())
+    }
+
+    /// Detaches `member` — the *sole* member of its unit — with a
+    /// drain-and-flush handshake: pending frames are flushed, every shard
+    /// finalizes the unit's engine (egressing its remaining vectors and
+    /// flushing its sink), and the merged output is returned once all
+    /// shards have acked. Blocks until the epoch completes.
+    ///
+    /// For a member of a still-populated unit use
+    /// [`SharedStreamingNic::snapshot_detach`].
+    pub fn detach(&mut self, member: TenantId) -> Result<StreamOutput, NicError> {
+        let Some(pos) = self.members.iter().position(|m| m.member == member) else {
+            return Err(NicError::Engine(format!("tenant {member} is not attached")));
+        };
+        let unit = self.members[pos].unit;
+        if self.members.iter().filter(|m| m.unit == unit).count() > 1 {
+            return Err(NicError::Engine(format!(
+                "tenant {member} shares unit {unit}; detach it with a snapshot"
+            )));
+        }
+        self.flush_all()?;
+        let pieces = self.collect_acks(|ack| ShardMsg::Detach { unit, ack })?;
+        self.members.remove(pos);
+        self.units.retain(|(u, _)| *u != unit);
+        Ok(merge_pieces(pieces))
+    }
+
+    /// Detaches `member` from a still-populated unit: `events` must be the
+    /// *snapshot flush* of the unit's switch partition (a clone's flush —
+    /// see `SharedSwitch::snapshot_into`), which is routed to the shards
+    /// exactly like live traffic; each shard then finalizes a clone of the
+    /// unit engine for the departing member. The surviving members and the
+    /// live engine state are untouched.
+    pub fn snapshot_detach(
+        &mut self,
+        member: TenantId,
+        events: Vec<TaggedEvent>,
+    ) -> Result<StreamOutput, NicError> {
+        let Some(pos) = self.members.iter().position(|m| m.member == member) else {
+            return Err(NicError::Engine(format!("tenant {member} is not attached")));
+        };
+        let unit = self.members[pos].unit;
+        if self.members.iter().filter(|m| m.unit == unit).count() < 2 {
+            return Err(NicError::Engine(format!(
+                "tenant {member} is its unit's sole member; use a draining detach"
+            )));
+        }
+        // Route the snapshot events per shard with the live routing rules:
+        // MGPV evictions to `hash % workers`, FG updates broadcast.
+        let n = self.workers.len();
+        let mut per_shard: Vec<Vec<SwitchEvent>> = (0..n).map(|_| Vec::new()).collect();
+        for e in events {
+            if e.tenant != unit {
+                continue;
+            }
+            match &e.event {
+                SwitchEvent::FgUpdate(_) => {
+                    for v in per_shard.iter_mut() {
+                        v.push(e.event.clone());
+                    }
+                }
+                SwitchEvent::Mgpv(m) => {
+                    per_shard[(m.hash as usize) % n].push(e.event);
+                }
+            }
+        }
+        self.flush_all()?;
+        let mut per_shard = per_shard.into_iter();
+        let pieces = self.collect_acks(|ack| ShardMsg::Snapshot {
+            unit,
+            member,
+            events: per_shard.next().unwrap_or_default(),
+            ack,
+        })?;
+        self.members.remove(pos);
+        Ok(merge_pieces(pieces))
+    }
+
+    /// Sends one marker per shard (built by `msg`, in shard order) and
+    /// blocks for one ack per shard, returned sorted by shard.
+    fn collect_acks(
+        &mut self,
+        mut msg: impl FnMut(Sender<(usize, TenantPiece)>) -> ShardMsg,
+    ) -> Result<Vec<(usize, TenantPiece)>, NicError> {
         let (ack_tx, ack_rx) = channel();
         for w in 0..self.workers.len() {
             self.workers[w]
                 .tx
-                .send(ShardMsg::Detach {
-                    tenant,
-                    ack: ack_tx.clone(),
-                })
+                .send(msg(ack_tx.clone()))
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
         drop(ack_tx);
@@ -304,20 +591,15 @@ impl SharedStreamingNic {
                     .map_err(|_| NicError::WorkerLost { worker: i })?,
             );
         }
-        self.tenants.remove(pos);
         // Deterministic merge in shard order, independent of ack arrival.
         pieces.sort_by_key(|(shard, _)| *shard);
-        let mut out = empty_output();
-        for (_, piece) in pieces {
-            merge_piece(&mut out, piece);
-        }
-        Ok(out)
+        Ok(pieces)
     }
 
     /// Routes one tagged event: MGPV evictions to shard `hash % workers`
     /// (identical to the solo executor), FG updates to every shard.
     pub fn push(&mut self, event: TaggedEvent) -> Result<(), NicError> {
-        if let Some(entry) = self.tenants.iter_mut().find(|(t, _)| *t == event.tenant) {
+        if let Some(entry) = self.units.iter_mut().find(|(u, _)| *u == event.tenant) {
             entry.1 += 1;
         }
         match &event.event {
@@ -383,11 +665,11 @@ impl SharedStreamingNic {
     }
 
     /// Flushes, joins every worker in shard order, and returns each
-    /// remaining tenant's merged output in attach order.
+    /// remaining member's merged output in attach order.
     pub fn finish(mut self) -> Result<Vec<(TenantId, StreamOutput)>, NicError> {
         self.flush_all()?;
         drop(self.recycle_tx);
-        let order: Vec<TenantId> = self.tenants.iter().map(|(t, _)| *t).collect();
+        let order: Vec<TenantId> = self.members.iter().map(|m| m.member).collect();
         let mut merged: Vec<(TenantId, StreamOutput)> =
             order.iter().map(|&t| (t, empty_output())).collect();
         for (i, worker) in self.workers.into_iter().enumerate() {
@@ -413,6 +695,14 @@ fn empty_output() -> StreamOutput {
         stats: NicStats::default(),
         groups_per_level: Vec::new(),
     }
+}
+
+fn merge_pieces(pieces: Vec<(usize, TenantPiece)>) -> StreamOutput {
+    let mut out = empty_output();
+    for (_, piece) in pieces {
+        merge_piece(&mut out, piece);
+    }
+    out
 }
 
 fn merge_piece(out: &mut StreamOutput, piece: TenantPiece) {
@@ -563,6 +853,120 @@ mod tests {
     }
 
     #[test]
+    fn fused_unit_demuxes_members_bitwise() {
+        for workers in [1usize, 3] {
+            let a = host_sum();
+            let mut sw = SharedSwitch::new();
+            sw.attach(
+                TenantId(0),
+                a.switch.clone(),
+                MgpvConfig::default(),
+                CacheMode::Mgpv,
+            );
+            let mut nic = SharedStreamingNic::new(workers);
+            nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+            nic.join(TenantId(0), TenantId(1), None).unwrap();
+            nic.join(TenantId(0), TenantId(2), None).unwrap();
+            let mut frame = Vec::new();
+            for p in packets(800) {
+                frame.clear();
+                sw.process_into(&p, &mut frame);
+                nic.push_all(frame.drain(..)).unwrap();
+            }
+            frame.clear();
+            sw.flush_into(&mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+            let outs = nic.finish().unwrap();
+            assert_eq!(outs.len(), 3);
+            let solo = solo_run(&a, 800, workers);
+            for (id, out) in &outs {
+                assert_eq!(
+                    out.group_vectors, solo.group_vectors,
+                    "member {id} diverged at {workers} workers"
+                );
+                assert_eq!(out.stats.records, solo.stats.records);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_detach_is_bitwise_solo_and_spares_survivors() {
+        let a = host_sum();
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.join(TenantId(0), TenantId(1), None).unwrap();
+        let mut frame = Vec::new();
+        let mut gone = None;
+        for (i, p) in packets(1000).enumerate() {
+            if i == 500 {
+                // Member detach: snapshot the switch partition (live state
+                // untouched) and finalize member 1 against it.
+                frame.clear();
+                sw.snapshot_into(TenantId(0), &mut frame);
+                let events: Vec<TaggedEvent> = std::mem::take(&mut frame);
+                gone = Some(nic.snapshot_detach(TenantId(1), events).unwrap());
+            }
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let outs = nic.finish().unwrap();
+        // The departed member equals a solo run over its window; the
+        // survivor equals a solo run over the whole trace.
+        let solo_half = solo_run(&a, 500, 2);
+        let solo_full = solo_run(&a, 1000, 2);
+        let gone = gone.unwrap();
+        assert_eq!(gone.group_vectors, solo_half.group_vectors);
+        assert_eq!(gone.packet_vectors, solo_half.packet_vectors);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, TenantId(0));
+        assert_eq!(outs[0].1.group_vectors, solo_full.group_vectors);
+    }
+
+    #[test]
+    fn join_guards_stream_position_and_detach_kind() {
+        let a = host_sum();
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.join(TenantId(0), TenantId(1), None).unwrap();
+        // A shared member cannot take the draining detach path, and a sole
+        // member cannot take the snapshot path.
+        assert!(nic.detach(TenantId(1)).is_err());
+        assert!(nic.snapshot_detach(TenantId(1), Vec::new()).is_ok());
+        assert!(nic.snapshot_detach(TenantId(0), Vec::new()).is_err());
+        // Once the unit has routed events, late joins are refused.
+        let mut frame = Vec::new();
+        for p in packets(50) {
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        assert!(nic.join(TenantId(0), TenantId(2), None).is_err());
+        assert!(nic.join(TenantId(9), TenantId(3), None).is_err());
+        nic.finish().unwrap();
+    }
+
+    #[test]
     fn attach_rejects_duplicates_and_bad_sink_counts() {
         let a = host_sum();
         let mut nic = SharedStreamingNic::new(2);
@@ -572,6 +976,7 @@ mod tests {
             .attach(TenantId(8), &a, 16_384, Some(Vec::new()))
             .is_err());
         assert!(nic.detach(TenantId(9)).is_err());
+        assert!(nic.join(TenantId(7), TenantId(7), None).is_err());
         nic.finish().unwrap();
     }
 
@@ -604,7 +1009,7 @@ mod tests {
         frame.clear();
         sw.flush_into(&mut frame);
         nic.push_all(frame.drain(..)).unwrap();
-        let tenants = nic.tenants().to_vec();
+        let tenants = nic.tenants();
         assert_eq!(tenants.len(), 2);
         assert!(tenants.iter().all(|(_, n)| *n > 0));
         nic.finish().unwrap();

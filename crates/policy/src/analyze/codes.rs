@@ -11,6 +11,7 @@
 //! | `SF04xx` | SmartNIC memory feasibility             | `superfe-nic`         |
 //! | `SF05xx` | value ranges / overflow proofs          | `analyze::values`     |
 //! | `SF06xx` | static cost model                       | `analyze::cost`       |
+//! | `SF07xx` | cross-policy equivalence / fusion       | `analyze::equiv`      |
 
 // --- SF01xx: structural -------------------------------------------------
 
@@ -106,6 +107,19 @@ pub const COST_OPS_HIGH: &str = "SF0601";
 /// Per-packet state bytes touched exceed the memory-bus comfort threshold.
 pub const COST_STATE_HIGH: &str = "SF0602";
 
+// --- SF07xx: cross-policy equivalence / fusion (emitted by analyze::equiv
+// and the admission controller) ---------------------------------------------
+
+/// Two or more policies are proven semantically equivalent and fusible
+/// into one shared extraction plan.
+pub const FUSION_CLASS: &str = "SF0701";
+/// Two policies share a subplan (filter set or a whole level program) but
+/// cannot fuse; the message names the blocking reason.
+pub const FUSION_NEAR_MISS: &str = "SF0702";
+/// Admission headroom bought by plan fusion: the composed demand counts
+/// each shared plan once instead of per tenant.
+pub const FUSION_HEADROOM: &str = "SF0703";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -146,6 +160,9 @@ mod tests {
             super::TSTAMP_WRAP_HORIZON,
             super::COST_OPS_HIGH,
             super::COST_STATE_HIGH,
+            super::FUSION_CLASS,
+            super::FUSION_NEAR_MISS,
+            super::FUSION_HEADROOM,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("SF") && a.len() == 6, "{a}");

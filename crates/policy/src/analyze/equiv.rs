@@ -1,0 +1,869 @@
+//! SF07xx cross-policy equivalence analysis: canonical structural hashing
+//! of IR subgraphs, a semantic-equivalence checker layered on the SF05xx
+//! value analysis, and the fusion legality report.
+//!
+//! Two tenant policies that are *semantically the same program* should run
+//! as one extraction plan on the shared data path, with per-tenant demux
+//! only at the vector sink. "Semantically the same" is decided statically,
+//! in three layers:
+//!
+//! 1. **Canonical hash** ([`canonical_hash`]): a deterministic 64-bit hash
+//!    of the policy's typed IR that is invariant under every rewrite that
+//!    provably cannot change the emitted feature vectors —
+//!    alpha-renaming of `map` destination fields (names are replaced by
+//!    the *provenance* of the value: the chain of mapping functions back
+//!    to a builtin field), reordering of `filter` predicates (a sorted
+//!    set of canonical conjunct hashes), reordering and dead `map`
+//!    operators (maps are folded into provenance and never hashed as
+//!    sequence items) — and sensitive to everything that can: reducer
+//!    functions and their parameters, *reduce order* (it fixes the
+//!    feature-vector layout), granularity chains, collect units,
+//!    synthesizers, filter semantics, and the deployment
+//!    [`ValueConfig`] (batch size, aging window, accumulator width seed
+//!    the hash, because the same syntax deployed against a different
+//!    aging window accumulates different values).
+//! 2. **Semantic check** ([`check_equivalence`]): for hash-equal pairs,
+//!    re-derives the SF05xx facts on both sides and demands that every
+//!    aligned reducer agree on proven value interval, unit/signedness,
+//!    and saturation findings — defense in depth against hash collisions
+//!    and the place where "mergeable only when proven ranges match" is
+//!    enforced.
+//! 3. **Legality report** ([`analyze_fusion`]): partitions N policies into
+//!    equivalence classes and emits `SF0701` for each shared subplan,
+//!    `SF0702` for each near-miss (classes that share a component — the
+//!    filter set or a whole level program — but cannot fuse, with the
+//!    blocking reason) and leaves `SF0703` to the admission controller,
+//!    which reports the headroom the sharing bought.
+
+use std::fmt::Write as _;
+
+use superfe_net::Granularity;
+
+use super::values::{self, ValueConfig};
+use super::{codes, AnalysisReport, Diagnostic};
+use crate::ast::{CollectUnit, Field, Policy, Predicate, ReduceFn, SynthFn};
+use crate::ir::{lower, IrOp, PolicyIr, ValueTy, ValueUnit};
+
+// --- deterministic hashing ------------------------------------------------
+
+/// FNV-1a, 64-bit: deterministic across runs and platforms (no
+/// `DefaultHasher` seeding, no pointer or map-iteration-order inputs).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn granularity_tag(g: Granularity) -> u8 {
+    match g {
+        Granularity::Flow => 0,
+        Granularity::Host => 1,
+        Granularity::Channel => 2,
+        Granularity::Socket => 3,
+    }
+}
+
+fn value_ty_hash(h: &mut Fnv, ty: ValueTy) {
+    h.tag(match ty.unit {
+        ValueUnit::Bytes => 0,
+        ValueUnit::TimeNs => 1,
+        ValueUnit::Rate => 2,
+        ValueUnit::Count => 3,
+        ValueUnit::Flag => 4,
+        ValueUnit::Ident => 5,
+        ValueUnit::Scalar => 6,
+    });
+    h.tag(u8::from(ty.signed));
+}
+
+fn reduce_fn_hash(h: &mut Fnv, f: &ReduceFn) {
+    match f {
+        ReduceFn::Sum => h.tag(0),
+        ReduceFn::Mean => h.tag(1),
+        ReduceFn::Var => h.tag(2),
+        ReduceFn::Std => h.tag(3),
+        ReduceFn::Max => h.tag(4),
+        ReduceFn::Min => h.tag(5),
+        ReduceFn::Kur => h.tag(6),
+        ReduceFn::Skew => h.tag(7),
+        ReduceFn::Mag => h.tag(8),
+        ReduceFn::Radius => h.tag(9),
+        ReduceFn::Cov => h.tag(10),
+        ReduceFn::Pcc => h.tag(11),
+        ReduceFn::Card { k } => {
+            h.tag(12);
+            h.u64(u64::from(*k));
+        }
+        ReduceFn::Array { cap } => {
+            h.tag(13);
+            h.usize(*cap);
+        }
+        ReduceFn::Pdf { width, bins } => {
+            h.tag(14);
+            h.f64(*width);
+            h.usize(*bins);
+        }
+        ReduceFn::Cdf { width, bins } => {
+            h.tag(15);
+            h.f64(*width);
+            h.usize(*bins);
+        }
+        ReduceFn::Hist { width, bins } => {
+            h.tag(16);
+            h.f64(*width);
+            h.usize(*bins);
+        }
+        ReduceFn::Percent { width, bins, q } => {
+            h.tag(17);
+            h.f64(*width);
+            h.usize(*bins);
+            h.f64(*q);
+        }
+        ReduceFn::HistLog { unit, base, bins } => {
+            h.tag(18);
+            h.f64(*unit);
+            h.f64(*base);
+            h.usize(*bins);
+        }
+        ReduceFn::Damped { lambda } => {
+            h.tag(19);
+            h.f64(*lambda);
+        }
+        ReduceFn::Damped2d { lambda } => {
+            h.tag(20);
+            h.f64(*lambda);
+        }
+    }
+}
+
+fn synth_fn_hash(h: &mut Fnv, f: SynthFn) {
+    match f {
+        SynthFn::Marker => h.tag(0),
+        SynthFn::Norm => h.tag(1),
+        SynthFn::Sample { n } => {
+            h.tag(2);
+            h.usize(n);
+        }
+    }
+}
+
+// --- provenance -----------------------------------------------------------
+
+/// The provenance environment: for every field in scope, a hash of *how
+/// its value is computed* — builtin fields by identity, mapped fields by
+/// `hash(func, provenance(src))`. Names never enter the hash, which is
+/// what makes the canonical form alpha-renaming-invariant: `map(a, size,
+/// f_direction)` and `map(dsize, size, f_direction)` produce the same
+/// provenance for their destination.
+struct Provenance(Vec<(Field, u64)>);
+
+impl Provenance {
+    fn new() -> Self {
+        Provenance(Vec::new())
+    }
+
+    fn of(&self, field: &Field) -> u64 {
+        if let Field::Named(_) = field {
+            if let Some((_, h)) = self.0.iter().rev().find(|(f, _)| f == field) {
+                return *h;
+            }
+            // Undefined named field: the structural analyzer rejects the
+            // policy (SF0111); hash all undefineds alike so the rejection
+            // stays the single source of truth.
+            let mut h = Fnv::new();
+            h.tag(0xfe);
+            return h.finish();
+        }
+        let mut h = Fnv::new();
+        h.tag(0xb0);
+        h.tag(match field {
+            Field::SrcIp => 0,
+            Field::DstIp => 1,
+            Field::SrcPort => 2,
+            Field::DstPort => 3,
+            Field::Proto => 4,
+            Field::Size => 5,
+            Field::Tstamp => 6,
+            Field::Direction => 7,
+            Field::TcpFlags => 8,
+            Field::Named(_) => unreachable!("handled above"),
+        });
+        h.finish()
+    }
+
+    fn define(&mut self, dst: Field, hash: u64) {
+        self.0.push((dst, hash));
+    }
+}
+
+// --- predicates -----------------------------------------------------------
+
+/// Canonical hash of a predicate: `And`/`Or` chains are flattened and
+/// their children combined order-insensitively, so `a && b` hashes equal
+/// to `b && a` (conjunction is commutative and side-effect-free).
+fn predicate_hash(pred: &Predicate, prov: &Provenance) -> u64 {
+    match pred {
+        Predicate::TcpExists => {
+            let mut h = Fnv::new();
+            h.tag(1);
+            h.finish()
+        }
+        Predicate::UdpExists => {
+            let mut h = Fnv::new();
+            h.tag(2);
+            h.finish()
+        }
+        Predicate::Cmp { field, op, value } => {
+            let mut h = Fnv::new();
+            h.tag(3);
+            h.u64(prov.of(field));
+            h.tag(*op as u8);
+            h.u64(*value);
+            h.finish()
+        }
+        Predicate::And(..) => {
+            let mut kids = Vec::new();
+            flatten(pred, true, prov, &mut kids);
+            combine_sorted(4, kids)
+        }
+        Predicate::Or(..) => {
+            let mut kids = Vec::new();
+            flatten(pred, false, prov, &mut kids);
+            combine_sorted(5, kids)
+        }
+        Predicate::Not(p) => {
+            let mut h = Fnv::new();
+            h.tag(6);
+            h.u64(predicate_hash(p, prov));
+            h.finish()
+        }
+    }
+}
+
+/// Collects the flattened children of an associative `And`/`Or` chain.
+fn flatten(pred: &Predicate, conj: bool, prov: &Provenance, out: &mut Vec<u64>) {
+    match (pred, conj) {
+        (Predicate::And(a, b), true) | (Predicate::Or(a, b), false) => {
+            flatten(a, conj, prov, out);
+            flatten(b, conj, prov, out);
+        }
+        _ => out.push(predicate_hash(pred, prov)),
+    }
+}
+
+/// Order-insensitive combination: sort, dedupe (idempotence), then fold.
+fn combine_sorted(tag: u8, mut hashes: Vec<u64>) -> u64 {
+    hashes.sort_unstable();
+    hashes.dedup();
+    let mut h = Fnv::new();
+    h.tag(tag);
+    for k in hashes {
+        h.u64(k);
+    }
+    h.finish()
+}
+
+// --- the canonical form ---------------------------------------------------
+
+/// The canonical form of one policy: the full plan hash plus the component
+/// subhashes near-miss reporting compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CanonicalForm {
+    /// Hash of the whole plan (filters, levels, deployment seed).
+    pub hash: u64,
+    /// Order-insensitive hash of the level-0 filter conjunct set.
+    pub filters: u64,
+    /// Per-level `(granularity, level-program hash)` in chain order. The
+    /// level hash covers the ordered observable operators of that level:
+    /// reduces (source provenance, type, function list with parameters),
+    /// synthesizers, and collect units.
+    pub levels: Vec<(Granularity, u64)>,
+}
+
+impl CanonicalForm {
+    /// Components two non-fusible plans have in common, as rendered names
+    /// ("filter set", "level 2 (host)") — the shared subplans an `SF0702`
+    /// near-miss finding names.
+    pub fn shared_components(&self, other: &CanonicalForm) -> Vec<String> {
+        let mut shared = Vec::new();
+        if self.filters == other.filters {
+            shared.push("filter set".to_string());
+        }
+        for (i, (g, h)) in self.levels.iter().enumerate() {
+            if other.levels.iter().any(|(og, oh)| og == g && oh == h) {
+                shared.push(format!("level {} ({g:?})", i + 1));
+            }
+        }
+        shared
+    }
+
+    /// The first component that differs — the blocking reason an `SF0702`
+    /// near-miss finding reports.
+    pub fn first_difference(&self, other: &CanonicalForm) -> String {
+        if self.filters != other.filters {
+            return "filter sets differ".to_string();
+        }
+        if self.levels.len() != other.levels.len() {
+            return format!(
+                "grouping depth differs ({} vs {} levels)",
+                self.levels.len(),
+                other.levels.len()
+            );
+        }
+        for (i, ((ga, ha), (gb, hb))) in self.levels.iter().zip(&other.levels).enumerate() {
+            if ga != gb {
+                return format!("level {} granularity differs ({ga:?} vs {gb:?})", i + 1);
+            }
+            if ha != hb {
+                return format!("level {} ({ga:?}) programs differ", i + 1);
+            }
+        }
+        "deployment value configuration differs".to_string()
+    }
+}
+
+/// Computes the canonical form of `policy` under deployment `cfg`.
+pub fn canonical_form(policy: &Policy, cfg: &ValueConfig) -> CanonicalForm {
+    let ir = lower(policy);
+    let mut prov = Provenance::new();
+
+    // Seed: the deployment parameters the plan's semantics depend on. Two
+    // syntactically identical policies deployed with different batch sizes
+    // or aging windows accumulate different values and must not fuse.
+    let mut seed = Fnv::new();
+    seed.u64(cfg.group_packets);
+    seed.u64(cfg.aging_t_ns);
+    seed.u64(u64::from(cfg.acc_bits));
+    let seed = seed.finish();
+
+    let mut filter_conjuncts: Vec<u64> = Vec::new();
+    let mut levels: Vec<(Granularity, Fnv)> = Vec::new();
+
+    for node in &ir.nodes {
+        match &node.op {
+            IrOp::Filter { pred } => {
+                flatten(pred, true, &prov, &mut filter_conjuncts);
+            }
+            IrOp::Map { dst, src, func, .. } => {
+                // Maps fold into provenance and are never hashed as
+                // sequence items: reordered and dead maps are invisible.
+                let mut h = Fnv::new();
+                h.tag(0xa0);
+                h.tag(*func as u8);
+                h.u64(prov.of(src));
+                prov.define(dst.clone(), h.finish());
+            }
+            IrOp::GroupBy { granularity } => {
+                let mut h = Fnv::new();
+                h.tag(0x10);
+                h.tag(granularity_tag(*granularity));
+                levels.push((*granularity, h));
+            }
+            IrOp::Reduce { src, funcs, src_ty } => {
+                if let Some((_, h)) = levels.last_mut() {
+                    h.tag(0x20);
+                    h.u64(prov.of(src));
+                    value_ty_hash(h, *src_ty);
+                    // Reduce *order* stays sequence-sensitive: it fixes
+                    // the feature-vector layout, so swapping two reduces
+                    // is not output-preserving.
+                    h.usize(funcs.len());
+                    for f in funcs {
+                        reduce_fn_hash(h, f);
+                    }
+                }
+            }
+            IrOp::Synthesize { func } => {
+                if let Some((_, h)) = levels.last_mut() {
+                    h.tag(0x30);
+                    synth_fn_hash(h, *func);
+                }
+            }
+            IrOp::Collect { unit } => {
+                if let Some((_, h)) = levels.last_mut() {
+                    h.tag(0x40);
+                    match unit {
+                        CollectUnit::Pkt => h.tag(0),
+                        CollectUnit::Group(g) => {
+                            h.tag(1);
+                            h.tag(granularity_tag(*g));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let filters = combine_sorted(4, filter_conjuncts);
+    let levels: Vec<(Granularity, u64)> =
+        levels.into_iter().map(|(g, h)| (g, h.finish())).collect();
+
+    let mut full = Fnv::new();
+    full.u64(seed);
+    full.u64(filters);
+    full.usize(levels.len());
+    for (g, h) in &levels {
+        full.tag(granularity_tag(*g));
+        full.u64(*h);
+    }
+    CanonicalForm {
+        hash: full.finish(),
+        filters,
+        levels,
+    }
+}
+
+/// The canonical plan hash of `policy` under deployment `cfg`.
+pub fn canonical_hash(policy: &Policy, cfg: &ValueConfig) -> u64 {
+    canonical_form(policy, cfg).hash
+}
+
+// --- semantic equivalence -------------------------------------------------
+
+/// The observable (reduce) nodes of an IR, with their node indices.
+fn reduce_nodes(ir: &PolicyIr) -> Vec<usize> {
+    ir.nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| matches!(n.op, IrOp::Reduce { .. }).then_some(i))
+        .collect()
+}
+
+/// Decides whether `a` and `b` are provably output-equivalent under `cfg`.
+///
+/// Intended for hash-equal pairs (the canonical hash is the structural
+/// filter; this is the semantic certificate): the SF05xx abstract
+/// interpreter runs on both policies and every aligned reducer must agree
+/// on its proven input interval, its unit and signedness, and its function
+/// list — and the two policies must produce the same SF05xx finding codes
+/// (identical saturation/overflow behavior) and feature dimension.
+///
+/// Returns `Err(reason)` naming the first disagreement — the blocking
+/// reason reported by the fusion near-miss diagnostics.
+pub fn check_equivalence(a: &Policy, b: &Policy, cfg: &ValueConfig) -> Result<(), String> {
+    if a.feature_dimension() != b.feature_dimension() {
+        return Err(format!(
+            "feature dimensions differ ({} vs {})",
+            a.feature_dimension(),
+            b.feature_dimension()
+        ));
+    }
+    let ir_a = lower(a);
+    let ir_b = lower(b);
+    let red_a = reduce_nodes(&ir_a);
+    let red_b = reduce_nodes(&ir_b);
+    if red_a.len() != red_b.len() {
+        return Err(format!(
+            "reducer counts differ ({} vs {})",
+            red_a.len(),
+            red_b.len()
+        ));
+    }
+    let va = values::infer(&ir_a, cfg);
+    let vb = values::infer(&ir_b, cfg);
+    for (k, (&ia, &ib)) in red_a.iter().zip(&red_b).enumerate() {
+        let (
+            IrOp::Reduce {
+                src: sa,
+                funcs: fa,
+                src_ty: ta,
+            },
+            IrOp::Reduce {
+                src: sb,
+                funcs: fb,
+                src_ty: tb,
+            },
+        ) = (&ir_a.nodes[ia].op, &ir_b.nodes[ib].op)
+        else {
+            unreachable!("reduce_nodes returns Reduce indices");
+        };
+        if ta != tb {
+            return Err(format!("reducer {k} value types differ ({ta} vs {tb})"));
+        }
+        if fa != fb {
+            return Err(format!("reducer {k} function lists differ"));
+        }
+        let ra = va.interval_before(ia, sa);
+        let rb = vb.interval_before(ib, sb);
+        if ra.lo.to_bits() != rb.lo.to_bits() || ra.hi.to_bits() != rb.hi.to_bits() {
+            return Err(format!(
+                "reducer {k} proven value ranges differ ([{}, {}] vs [{}, {}])",
+                ra.lo, ra.hi, rb.lo, rb.hi
+            ));
+        }
+    }
+    // Saturation behavior: the SF05xx finding codes must match exactly.
+    let mut codes_a: Vec<&str> = values::check(a, cfg).iter().map(|d| d.code).collect();
+    let mut codes_b: Vec<&str> = values::check(b, cfg).iter().map(|d| d.code).collect();
+    codes_a.sort_unstable();
+    codes_b.sort_unstable();
+    if codes_a != codes_b {
+        return Err(format!(
+            "overflow/saturation findings differ ({codes_a:?} vs {codes_b:?})"
+        ));
+    }
+    Ok(())
+}
+
+// --- the fusion legality report -------------------------------------------
+
+/// One equivalence class: policies proven mutually output-equivalent.
+#[derive(Clone, Debug)]
+pub struct FusionClass {
+    /// The canonical plan hash shared by every member.
+    pub hash: u64,
+    /// Member indices into the analyzed policy list, in input order; the
+    /// first member is the class representative.
+    pub members: Vec<usize>,
+}
+
+/// The result of the cross-policy analysis over N policies.
+#[derive(Clone, Debug)]
+pub struct FusionAnalysis {
+    /// Canonical form of each input policy, in input order.
+    pub forms: Vec<CanonicalForm>,
+    /// Equivalence classes in order of first appearance; every policy is a
+    /// member of exactly one class (singletons included).
+    pub classes: Vec<FusionClass>,
+    /// The SF07xx findings: `SF0701` per shared subplan, `SF0702` per
+    /// near-miss with the blocking reason.
+    pub report: AnalysisReport,
+}
+
+impl FusionAnalysis {
+    /// The class index the `i`-th input policy belongs to.
+    pub fn class_of(&self, i: usize) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.members.contains(&i))
+            .expect("every policy is classed")
+    }
+
+    /// Number of classes with more than one member (shared plans).
+    pub fn shared_plans(&self) -> usize {
+        self.classes.iter().filter(|c| c.members.len() > 1).count()
+    }
+
+    /// Number of duplicate plan instances fusion eliminates.
+    pub fn plans_saved(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.members.len() - 1)
+            .sum::<usize>()
+    }
+}
+
+/// Runs the cross-policy equivalence analysis over `named` policies.
+///
+/// Classes are certified in two layers: members must hash equal *and* pass
+/// [`check_equivalence`] against the class representative. A hash-equal
+/// pair failing the semantic check is split into its own class and
+/// reported as an `SF0702` near-miss naming the semantic reason.
+pub fn analyze_fusion(named: &[(&str, &Policy)], cfg: &ValueConfig) -> FusionAnalysis {
+    let forms: Vec<CanonicalForm> = named.iter().map(|(_, p)| canonical_form(p, cfg)).collect();
+    let mut classes: Vec<FusionClass> = Vec::new();
+    let mut report = AnalysisReport::new();
+
+    for (i, form) in forms.iter().enumerate() {
+        let mut placed = false;
+        for class in classes.iter_mut() {
+            if class.hash != form.hash {
+                continue;
+            }
+            let rep = class.members[0];
+            match check_equivalence(named[rep].1, named[i].1, cfg) {
+                Ok(()) => {
+                    class.members.push(i);
+                    placed = true;
+                }
+                Err(reason) => {
+                    report.push(Diagnostic::note(
+                        codes::FUSION_NEAR_MISS,
+                        format!(
+                            "policies '{}' and '{}' hash equal but are not provably \
+                             equivalent: {reason}",
+                            named[rep].0, named[i].0
+                        ),
+                    ));
+                }
+            }
+            break;
+        }
+        if !placed {
+            classes.push(FusionClass {
+                hash: form.hash,
+                members: vec![i],
+            });
+        }
+    }
+
+    for class in classes.iter().filter(|c| c.members.len() > 1) {
+        let mut names = String::new();
+        for (k, &m) in class.members.iter().enumerate() {
+            if k > 0 {
+                names.push_str(", ");
+            }
+            let _ = write!(names, "'{}'", named[m].0);
+        }
+        report.push(Diagnostic::note(
+            codes::FUSION_CLASS,
+            format!(
+                "policies {names} are semantically equivalent (plan hash \
+                 {:#018x}): fusible into one shared extraction plan with \
+                 per-tenant demux at the vector sink",
+                class.hash
+            ),
+        ));
+    }
+
+    // Near-misses between class representatives: shared components that
+    // cannot fuse, with the blocking reason.
+    for ci in 0..classes.len() {
+        for cj in ci + 1..classes.len() {
+            let (a, b) = (classes[ci].members[0], classes[cj].members[0]);
+            let shared = forms[a].shared_components(&forms[b]);
+            if shared.is_empty() {
+                continue;
+            }
+            report.push(Diagnostic::note(
+                codes::FUSION_NEAR_MISS,
+                format!(
+                    "policies '{}' and '{}' share {} but cannot fuse: {}",
+                    named[a].0,
+                    named[b].0,
+                    shared.join(" and "),
+                    forms[a].first_difference(&forms[b])
+                ),
+            ));
+        }
+    }
+
+    FusionAnalysis {
+        forms,
+        classes,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+
+    fn p(src: &str) -> Policy {
+        parse(src).unwrap()
+    }
+
+    const BASE: &str = "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                        .map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean, f_max])\n\
+                        .collect(flow)";
+
+    #[test]
+    fn identical_policies_hash_equal_across_runs() {
+        let cfg = ValueConfig::default();
+        let a = canonical_hash(&p(BASE), &cfg);
+        let b = canonical_hash(&p(BASE), &cfg);
+        assert_eq!(a, b);
+        // And across fresh parses of the same text, repeatedly.
+        for _ in 0..8 {
+            assert_eq!(canonical_hash(&p(BASE), &cfg), a);
+        }
+    }
+
+    #[test]
+    fn alpha_renamed_policies_hash_equal() {
+        let cfg = ValueConfig::default();
+        let renamed = "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                       .map(gap, tstamp, f_ipt)\n.reduce(gap, [f_mean, f_max])\n\
+                       .collect(flow)";
+        assert_eq!(
+            canonical_hash(&p(BASE), &cfg),
+            canonical_hash(&p(renamed), &cfg)
+        );
+        assert!(check_equivalence(&p(BASE), &p(renamed), &cfg).is_ok());
+    }
+
+    #[test]
+    fn reordered_independent_maps_hash_equal() {
+        let cfg = ValueConfig::default();
+        let ab = "pktstream\n.groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+                  .map(one, _, f_one)\n.reduce(ipt, [f_mean])\n.reduce(one, [f_sum])\n\
+                  .collect(flow)";
+        let ba = "pktstream\n.groupby(flow)\n.map(one, _, f_one)\n\
+                  .map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean])\n.reduce(one, [f_sum])\n\
+                  .collect(flow)";
+        assert_eq!(canonical_hash(&p(ab), &cfg), canonical_hash(&p(ba), &cfg));
+    }
+
+    #[test]
+    fn dead_maps_do_not_change_the_hash() {
+        let cfg = ValueConfig::default();
+        let with_dead = "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                         .map(ipt, tstamp, f_ipt)\n.map(unused, size, f_direction)\n\
+                         .reduce(ipt, [f_mean, f_max])\n.collect(flow)";
+        assert_eq!(
+            canonical_hash(&p(BASE), &cfg),
+            canonical_hash(&p(with_dead), &cfg)
+        );
+    }
+
+    #[test]
+    fn reordered_filters_hash_equal() {
+        let cfg = ValueConfig::default();
+        let ab = "pktstream\n.filter(tcp.exist)\n.filter(size > 100)\n\
+                  .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let ba = "pktstream\n.filter(size > 100)\n.filter(tcp.exist)\n\
+                  .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        assert_eq!(canonical_hash(&p(ab), &cfg), canonical_hash(&p(ba), &cfg));
+    }
+
+    #[test]
+    fn different_units_hash_distinct() {
+        let cfg = ValueConfig::default();
+        let bytes = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let time = "pktstream\n.groupby(flow)\n.map(ipt, tstamp, f_ipt)\n\
+                    .reduce(ipt, [f_sum])\n.collect(flow)";
+        assert_ne!(
+            canonical_hash(&p(bytes), &cfg),
+            canonical_hash(&p(time), &cfg)
+        );
+    }
+
+    #[test]
+    fn aging_config_hashes_distinct() {
+        let base = p(BASE);
+        let a = ValueConfig::default();
+        let b = ValueConfig {
+            aging_t_ns: a.aging_t_ns * 2,
+            ..a
+        };
+        assert_ne!(canonical_hash(&base, &a), canonical_hash(&base, &b));
+        let c = ValueConfig {
+            group_packets: a.group_packets * 2,
+            ..a
+        };
+        assert_ne!(canonical_hash(&base, &a), canonical_hash(&base, &c));
+    }
+
+    #[test]
+    fn reducer_type_and_order_hash_distinct() {
+        let cfg = ValueConfig::default();
+        let sum = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let mean = "pktstream\n.groupby(flow)\n.reduce(size, [f_mean])\n.collect(flow)";
+        assert_ne!(
+            canonical_hash(&p(sum), &cfg),
+            canonical_hash(&p(mean), &cfg)
+        );
+        // Reduce order fixes the feature layout: reordering is not
+        // output-preserving and must hash distinct.
+        let ab = "pktstream\n.groupby(flow)\n.reduce(size, [f_min, f_max])\n.collect(flow)";
+        let ba = "pktstream\n.groupby(flow)\n.reduce(size, [f_max, f_min])\n.collect(flow)";
+        assert_ne!(canonical_hash(&p(ab), &cfg), canonical_hash(&p(ba), &cfg));
+    }
+
+    #[test]
+    fn granularity_and_collect_unit_hash_distinct() {
+        let cfg = ValueConfig::default();
+        let flow = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let host = "pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)";
+        let pkt = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(pkt)";
+        assert_ne!(
+            canonical_hash(&p(flow), &cfg),
+            canonical_hash(&p(host), &cfg)
+        );
+        assert_ne!(
+            canonical_hash(&p(flow), &cfg),
+            canonical_hash(&p(pkt), &cfg)
+        );
+    }
+
+    #[test]
+    fn semantic_check_names_the_blocking_reason() {
+        let cfg = ValueConfig::default();
+        let sum = p("pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)");
+        let two = p("pktstream\n.groupby(flow)\n.reduce(size, [f_sum, f_max])\n.collect(flow)");
+        let err = check_equivalence(&sum, &two, &cfg).unwrap_err();
+        assert!(err.contains("feature dimensions differ"), "{err}");
+        // Same dimension, different proven input range (filter narrows it).
+        let narrowed =
+            p("pktstream\n.filter(size <= 200)\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)");
+        let err = check_equivalence(&sum, &narrowed, &cfg).unwrap_err();
+        assert!(err.contains("ranges differ"), "{err}");
+    }
+
+    #[test]
+    fn fusion_report_names_classes_and_near_misses() {
+        let cfg = ValueConfig::default();
+        let a = p(BASE);
+        let b = p(BASE);
+        let near = p("pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                      .map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean, f_min])\n\
+                      .collect(flow)");
+        let analysis = analyze_fusion(&[("a", &a), ("b", &b), ("c", &near)], &cfg);
+        assert_eq!(analysis.classes.len(), 2);
+        assert_eq!(analysis.classes[0].members, vec![0, 1]);
+        assert_eq!(analysis.shared_plans(), 1);
+        assert_eq!(analysis.plans_saved(), 1);
+        assert!(analysis.report.has_code(codes::FUSION_CLASS));
+        // The near-miss shares the filter set but differs at level 1.
+        let near_misses: Vec<_> = analysis
+            .report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == codes::FUSION_NEAR_MISS)
+            .collect();
+        assert_eq!(near_misses.len(), 1);
+        assert!(
+            near_misses[0].message.contains("filter set"),
+            "{}",
+            near_misses[0].message
+        );
+        assert!(
+            near_misses[0].message.contains("programs differ"),
+            "{}",
+            near_misses[0].message
+        );
+    }
+
+    #[test]
+    fn disjoint_policies_produce_no_findings() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let b = p("pktstream\n.filter(udp.exist)\n.groupby(channel)\n\
+                   .reduce(size, [f_min])\n.collect(pkt)");
+        let analysis = analyze_fusion(&[("a", &a), ("b", &b)], &cfg);
+        assert_eq!(analysis.classes.len(), 2);
+        assert_eq!(analysis.shared_plans(), 0);
+        assert!(analysis.report.diagnostics().is_empty());
+    }
+}

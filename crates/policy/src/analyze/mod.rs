@@ -22,6 +22,9 @@
 //!   32-bit sALU and Q16 fixed-point widths at the configured batch size.
 //! - `SF06xx` — the static cost model ([`cost`]): per-packet op and
 //!   state-touch estimates, note-severity when far outside the envelope.
+//! - `SF07xx` — cross-policy equivalence and fusion legality ([`equiv`]):
+//!   canonical plan hashing, the semantic-equivalence certificate, and the
+//!   shared-subplan / near-miss report behind multi-tenant plan fusion.
 //!
 //! The hardware passes live downstream (the switch and NIC crates depend on
 //! this one), sharing [`Diagnostic`] so one report renders all layers.
@@ -29,6 +32,7 @@
 pub mod codes;
 pub mod cost;
 pub mod dataflow;
+pub mod equiv;
 pub mod structural;
 pub mod values;
 

@@ -25,6 +25,12 @@
 //!
 //! The passes run to a fixpoint: fusing a map typically kills its feeder on
 //! the next round.
+//!
+//! A fourth, cross-policy transformation lives in [`fuse`]: merging N
+//! admitted tenant policies into one shared extraction plan, certified by
+//! the SF07xx equivalence analysis.
+
+pub mod fuse;
 
 use std::fmt;
 

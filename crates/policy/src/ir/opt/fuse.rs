@@ -1,0 +1,132 @@
+//! Analysis-certified multi-tenant plan fusion.
+//!
+//! [`fuse`] merges N admitted tenant policies into one fused extraction
+//! plan: the SF07xx analysis ([`crate::analyze::equiv`]) partitions the
+//! policies into proven-equivalent classes, and each class becomes one
+//! [`FusedUnit`] — a single switch partition plus one set of NIC engines
+//! executing the class representative's program, shared by every member.
+//! This is whole-plan common-subexpression elimination: the parse, filter,
+//! cache, and reduce work of `k` equivalent tenants runs once instead of
+//! `k` times, and the only per-tenant work left is the **demux contract**
+//! at the vector sink — each member receives its own copy of every emitted
+//! feature vector (and its own egress `(shard, seq)` numbering), so the
+//! member-visible output stays bitwise identical to a solo run.
+//!
+//! Partial overlap (a shared filter set or a shared level program inside
+//! otherwise-different policies) is *reported* as an `SF0702` near-miss
+//! but never executed shared: fusing anything short of a whole proven
+//! plan could change eviction timing and break the bitwise-isolation
+//! contract the keystone differential enforces.
+
+use crate::analyze::equiv::{analyze_fusion, FusionAnalysis};
+use crate::analyze::values::ValueConfig;
+use crate::ast::Policy;
+
+/// One fused execution unit: a class of proven-equivalent policies that
+/// run as a single extraction plan.
+#[derive(Clone, Debug)]
+pub struct FusedUnit {
+    /// Index (into the fused policy list) of the representative whose
+    /// compiled program the unit executes.
+    pub representative: usize,
+    /// All member indices, in input order (the representative is first).
+    pub members: Vec<usize>,
+    /// The class's canonical plan hash.
+    pub hash: u64,
+}
+
+/// A fused multi-tenant extraction plan.
+#[derive(Clone, Debug)]
+pub struct FusedPlan {
+    /// Execution units in order of first appearance; every input policy is
+    /// a member of exactly one unit.
+    pub units: Vec<FusedUnit>,
+    /// The SF07xx legality analysis the plan was derived from.
+    pub analysis: FusionAnalysis,
+}
+
+impl FusedPlan {
+    /// The unit index the `i`-th input policy executes on.
+    pub fn unit_of(&self, i: usize) -> Option<usize> {
+        self.units.iter().position(|u| u.members.contains(&i))
+    }
+
+    /// Number of duplicate plan instances fusion eliminated.
+    pub fn plans_saved(&self) -> usize {
+        self.analysis.plans_saved()
+    }
+
+    /// Whether fusion found nothing to share (one unit per policy).
+    pub fn is_trivial(&self) -> bool {
+        self.analysis.plans_saved() == 0
+    }
+
+    /// One-line summary for reports: `"4 policies → 2 plans (2 saved)"`.
+    pub fn summary(&self) -> String {
+        let members: usize = self.units.iter().map(|u| u.members.len()).sum();
+        format!(
+            "{} policies → {} plan{} ({} saved)",
+            members,
+            self.units.len(),
+            if self.units.len() == 1 { "" } else { "s" },
+            self.plans_saved()
+        )
+    }
+}
+
+/// Fuses `named` policies into a shared plan under deployment `cfg`.
+///
+/// Every class certified by [`analyze_fusion`] — canonical hash equality
+/// plus the semantic-equivalence certificate against the representative —
+/// becomes one [`FusedUnit`]. Policies proving equivalent to nothing run
+/// as singleton units, so the fused plan is always total.
+pub fn fuse(named: &[(&str, &Policy)], cfg: &ValueConfig) -> FusedPlan {
+    let analysis = analyze_fusion(named, cfg);
+    let units = analysis
+        .classes
+        .iter()
+        .map(|c| FusedUnit {
+            representative: c.members[0],
+            members: c.members.clone(),
+            hash: c.hash,
+        })
+        .collect();
+    FusedPlan { units, analysis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+
+    fn p(src: &str) -> Policy {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn equivalent_policies_share_a_unit() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let b = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let c = p("pktstream\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)");
+        let plan = fuse(&[("a", &a), ("b", &b), ("c", &c)], &cfg);
+        assert_eq!(plan.units.len(), 2);
+        assert_eq!(plan.units[0].members, vec![0, 1]);
+        assert_eq!(plan.units[0].representative, 0);
+        assert_eq!(plan.unit_of(1), Some(0));
+        assert_eq!(plan.unit_of(2), Some(1));
+        assert_eq!(plan.plans_saved(), 1);
+        assert!(!plan.is_trivial());
+        assert_eq!(plan.summary(), "3 policies → 2 plans (1 saved)");
+    }
+
+    #[test]
+    fn disjoint_policies_fuse_trivially() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let b = p("pktstream\n.groupby(flow)\n.reduce(size, [f_max])\n.collect(flow)");
+        let plan = fuse(&[("a", &a), ("b", &b)], &cfg);
+        assert_eq!(plan.units.len(), 2);
+        assert!(plan.is_trivial());
+    }
+}

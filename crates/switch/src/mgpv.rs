@@ -25,7 +25,7 @@ pub const ENTRY_OVERHEAD_BYTES: usize = 8;
 /// Configuration of an MGPV cache instance.
 ///
 /// Defaults are the paper's §7 prototype values.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MgpvConfig {
     /// Number of short buffers (one per CG slot).
     pub short_count: usize,

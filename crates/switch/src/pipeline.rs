@@ -60,12 +60,18 @@ impl SwitchStats {
     }
 }
 
+#[derive(Clone)]
 enum CacheImpl {
     Mgpv(Box<MgpvCache>),
     Gpv(Box<GpvBank>),
 }
 
 /// The switch half of a deployed SuperFE instance.
+///
+/// `Clone` snapshots the full pipeline state (program, cache contents,
+/// counters) — the mechanism behind non-destructive partition flushes when
+/// a member detaches from a shared (fused) tenant partition.
+#[derive(Clone)]
 pub struct FeSwitch {
     program: SwitchProgram,
     cache: CacheImpl,

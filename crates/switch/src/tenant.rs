@@ -161,6 +161,25 @@ impl SharedSwitch {
         true
     }
 
+    /// Drains a *clone* of `tenant`'s partition into `out` (tagged with its
+    /// id), leaving the live partition untouched — the switch half of a
+    /// member detaching from a shared (fused) partition: the clone's flush
+    /// shows exactly what a destructive [`SharedSwitch::detach_into`] would
+    /// have emitted at this point of the stream, while surviving members
+    /// keep the real partition's batching state. Returns `false` for an
+    /// unknown tenant.
+    pub fn snapshot_into(&mut self, tenant: TenantId, out: &mut Vec<TaggedEvent>) -> bool {
+        let Some(pos) = self.slots.iter().position(|s| s.tenant == tenant) else {
+            return false;
+        };
+        let mut clone = TenantSlot {
+            tenant,
+            switch: self.slots[pos].switch.clone(),
+        };
+        Self::tag_tail(&mut clone, out, super::pipeline::FeSwitch::flush_into);
+        true
+    }
+
     /// Processes one packet through every tenant whose filter matches,
     /// appending tagged events in tenant attach order.
     pub fn process_into(&mut self, p: &PacketRecord, out: &mut Vec<TaggedEvent>) {
@@ -343,6 +362,30 @@ mod tests {
         for (a, b) in tenant0.iter().zip(&solo_events) {
             assert_eq!(*a, b);
         }
+    }
+
+    #[test]
+    fn snapshot_flush_leaves_live_partition_untouched() {
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            host_sum(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut out = Vec::new();
+        for p in packets(100) {
+            sw.process_into(&p, &mut out);
+        }
+        assert!(!sw.snapshot_into(TenantId(9), &mut Vec::new()));
+        let mut snap = Vec::new();
+        assert!(sw.snapshot_into(TenantId(0), &mut snap));
+        // The live partition kept its state: a destructive detach right
+        // after emits exactly the events the snapshot predicted.
+        assert_eq!(sw.tenant_stats(TenantId(0)).unwrap().pkts_in, 100);
+        let mut drained = Vec::new();
+        assert!(sw.detach_into(TenantId(0), &mut drained));
+        assert_eq!(snap, drained);
     }
 
     #[test]

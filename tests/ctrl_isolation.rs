@@ -129,6 +129,61 @@ fn solo_run(
     (out.group_vectors, out.packet_vectors)
 }
 
+/// Replays `tenants` against a fused control plane at every worker count
+/// and checks each tenant's vectors bitwise against its solo run.
+fn assert_bitwise_solo(
+    tenants: &[Lifecycle],
+    pkts: &[PacketRecord],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for &workers in &WORKER_COUNTS {
+        let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+        let mut ids = vec![None; tenants.len()];
+        let mut outputs: Vec<Option<superfe::nic::StreamOutput>> =
+            (0..tenants.len()).map(|_| None).collect();
+        for (i, p) in pkts.iter().enumerate() {
+            for (ti, l) in tenants.iter().enumerate() {
+                if l.attach_pct as usize * pkts.len() / 100 == i {
+                    let id = plane
+                        .attach(&spec(l.pool_index), None)
+                        .expect("pool subsets are admissible");
+                    ids[ti] = Some(id);
+                }
+                if l.detach_pct.map(|d| d as usize * pkts.len() / 100) == Some(i) {
+                    let id = ids[ti].expect("detach window follows attach");
+                    outputs[ti] = Some(plane.detach(id).expect("drain handshake"));
+                }
+            }
+            plane.push(p).expect("workers alive");
+        }
+        for run in plane.finish().expect("workers alive") {
+            let ti = ids
+                .iter()
+                .position(|id| *id == Some(run.id))
+                .expect("run belongs to a scheduled tenant");
+            outputs[ti] = Some(run.output);
+        }
+        for (ti, l) in tenants.iter().enumerate() {
+            let out = outputs[ti].as_ref().expect("every tenant ran");
+            let (solo_groups, solo_pkts) = solo_run(l, pkts, workers);
+            prop_assert_eq!(
+                &out.group_vectors,
+                &solo_groups,
+                "tenant {} group vectors diverged at {} workers",
+                ti,
+                workers
+            );
+            prop_assert_eq!(
+                &out.packet_vectors,
+                &solo_pkts,
+                "tenant {} packet vectors diverged at {} workers",
+                ti,
+                workers
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -140,44 +195,53 @@ proptest! {
         tenants in subset(),
         pkts in trace(),
     ) {
-        for &workers in &WORKER_COUNTS {
-            let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
-            let mut ids = vec![None; tenants.len()];
-            let mut outputs: Vec<Option<superfe::nic::StreamOutput>> =
-                (0..tenants.len()).map(|_| None).collect();
-            for (i, p) in pkts.iter().enumerate() {
-                for (ti, l) in tenants.iter().enumerate() {
-                    if l.attach_pct as usize * pkts.len() / 100 == i {
-                        let id = plane.attach(&spec(l.pool_index), None)
-                            .expect("pool subsets are admissible");
-                        ids[ti] = Some(id);
-                    }
-                    if l.detach_pct.map(|d| d as usize * pkts.len() / 100) == Some(i) {
-                        let id = ids[ti].expect("detach window follows attach");
-                        outputs[ti] = Some(plane.detach(id).expect("drain handshake"));
-                    }
-                }
-                plane.push(p).expect("workers alive");
-            }
-            for run in plane.finish().expect("workers alive") {
-                let ti = ids
-                    .iter()
-                    .position(|id| *id == Some(run.id))
-                    .expect("run belongs to a scheduled tenant");
-                outputs[ti] = Some(run.output);
-            }
-            for (ti, l) in tenants.iter().enumerate() {
-                let out = outputs[ti].as_ref().expect("every tenant ran");
-                let (solo_groups, solo_pkts) = solo_run(l, &pkts, workers);
-                prop_assert_eq!(
-                    &out.group_vectors, &solo_groups,
-                    "tenant {} group vectors diverged at {} workers", ti, workers
-                );
-                prop_assert_eq!(
-                    &out.packet_vectors, &solo_pkts,
-                    "tenant {} packet vectors diverged at {} workers", ti, workers
-                );
-            }
+        assert_bitwise_solo(&tenants, &pkts)?;
+    }
+}
+
+mod fusion_isolation {
+    use super::*;
+
+    /// Duplicate-friendly lifecycles: pool indices may repeat and attach
+    /// points are quantized to two sites, so equivalent tenants land on
+    /// the same epoch and **fuse** into one execution unit; random
+    /// detaches of fused members exercise the snapshot handshake.
+    fn fused_subset() -> impl Strategy<Value = Vec<Lifecycle>> {
+        proptest::collection::vec(
+            (
+                0usize..POOL.len(),
+                prop_oneof![Just(0u8), Just(30u8)],
+                proptest::bool::ANY,
+                55u8..100,
+            ),
+            2..5,
+        )
+        .prop_map(|picks| {
+            picks
+                .into_iter()
+                .map(|(pool_index, attach_pct, detaches, detach_pct)| Lifecycle {
+                    pool_index,
+                    attach_pct,
+                    detach_pct: detaches.then_some(detach_pct),
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The same bitwise differential with SF07xx fusion actively
+        /// engaged: duplicate policies share one plan through the demux
+        /// fan-out and leave it mid-stream through snapshot detaches —
+        /// every member must still match its solo run exactly, at every
+        /// worker count.
+        #[test]
+        fn fused_plane_is_bitwise_identical_to_solo(
+            tenants in fused_subset(),
+            pkts in trace(),
+        ) {
+            assert_bitwise_solo(&tenants, &pkts)?;
         }
     }
 }
