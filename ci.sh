@@ -105,11 +105,14 @@ for t in 0 1 2; do
 done
 
 step "admission rejection smoke (over-budget tenant set exits non-zero)"
-# Three sALU-heavy policies compose past the Tofino budget; the control
-# plane must refuse the set, naming the binding resource, before anything
-# touches the data path.
+# Three sALU-heavy policies compose past the Tofino budget when nothing is
+# shared; with cross-tenant sharing disabled the control plane must refuse
+# the set, naming the binding resource, before anything touches the data
+# path. With sharing on, the same set fits: the SF08xx analysis certifies
+# one shared parse/groupby prefix, so the composed switch demand drops
+# under budget — assert both sides of that line.
 if target/release/superfe serve kitsune helad n-baiot --packets 100 \
-    >/dev/null 2>"$detect_smoke.err"; then
+    --no-fuse >/dev/null 2>"$detect_smoke.err"; then
   echo "ci: admission accepted an over-budget tenant set"
   exit 1
 fi
@@ -119,6 +122,8 @@ if ! grep -q "admission rejected" "$detect_smoke.err"; then
   exit 1
 fi
 rm -f "$detect_smoke.err"
+target/release/superfe serve kitsune helad n-baiot --packets 100 >/dev/null \
+  || { echo "ci: prefix sharing failed to admit the sALU-heavy set"; exit 1; }
 
 step "cross-policy fusion smoke (SF07xx report + fused serve)"
 # AWF and DF are the same extractor under different names: the SF07xx
@@ -141,6 +146,32 @@ for t in 0 1; do
     || { echo "ci: fused serve did not verify tenant t$t"; exit 1; }
 done
 
+step "shared-prefix smoke (SF08xx report + prefix-shared serve)"
+# flow_stats and flow_volume share parse → groupby(flow) → filter(tcp.exist)
+# but diverge in their map/reduce tails: the SF08xx analysis must certify one
+# shared switch prefix (SF0801) in both output formats, and a prefix-shared
+# serve must run both tenants on a single switch partition while every
+# tenant's output stays bitwise identical to its solo run.
+share_json=$(target/release/superfe check examples/flow_stats.sfe \
+  examples/flow_volume.sfe --format json) \
+  || { echo "ci: shared-prefix check failed"; exit 1; }
+grep -q '"code":"SF0801"' <<<"$share_json" \
+  || { echo "ci: sharing report is missing the SF0801 shared-prefix finding"; exit 1; }
+grep -q '"partitions_saved":1' <<<"$share_json" \
+  || { echo "ci: sharing report did not save a switch partition"; exit 1; }
+target/release/superfe check examples/flow_stats.sfe examples/flow_volume.sfe \
+  | grep -q "cross-tenant prefix sharing (SF08xx)" \
+  || { echo "ci: text check lost the sharing section"; exit 1; }
+shared_out=$(target/release/superfe serve examples/flow_stats.sfe \
+  examples/flow_volume.sfe --packets 4000 --workers 2 --verify-solo) \
+  || { echo "ci: prefix-shared serve smoke failed"; exit 1; }
+grep -q "shared switch partitions at shutdown: 1 (cross-tenant CSE enabled)" \
+  <<<"$shared_out" || { echo "ci: serve did not share the switch prefix"; exit 1; }
+for t in 0 1; do
+  grep -q "verified tenant t$t .*bitwise identical" <<<"$shared_out" \
+    || { echo "ci: prefix-shared serve did not verify tenant t$t"; exit 1; }
+done
+
 step "multi-tenant ctrl bench smoke"
 # A small sweep through the ctrl bench runner, schema-diffed against the
 # checked-in BENCH_ctrl.json.
@@ -152,5 +183,7 @@ if ! diff <(schema BENCH_ctrl.json) <(schema "$ctrl_smoke"); then
   echo "ci: BENCH_ctrl.json schema drifted from the ctrl runner"
   exit 1
 fi
+grep -q '"cse_sweep"' BENCH_ctrl.json \
+  || { echo "ci: BENCH_ctrl.json is missing the cse_sweep section"; exit 1; }
 
 printf '\nci: all checks passed\n'

@@ -100,6 +100,56 @@ pub struct TenantRunRow {
     pub overhead_vs_solo_pct: f64,
 }
 
+/// Policy source for the SF08xx prefix-sharing sweep. `overlap` controls
+/// how much of the switch prefix the tenant set has in common: at 0% every
+/// tenant carries a distinct filter constant (nothing shareable), at 50%
+/// all tenants share the filter + groupby prefix but keep distinct reduce
+/// tails (one partition, n units), at 100% the policies are identical
+/// (whole-plan fusion subsumes sharing).
+pub fn cse_policy(i: usize, overlap: usize) -> String {
+    const TAILS: [&str; 4] = ["f_sum", "f_mean", "f_max", "f_min"];
+    match overlap {
+        0 => format!(
+            "pktstream\n.filter(size > {})\n.groupby(flow)\n.reduce(size, [f_sum])\n\
+             .collect(flow)",
+            100 + i
+        ),
+        50 => format!(
+            "pktstream\n.filter(size > 100)\n.groupby(flow)\n.reduce(size, [{}])\n\
+             .collect(flow)",
+            TAILS[i % TAILS.len()]
+        ),
+        _ => "pktstream\n.filter(size > 100)\n.groupby(flow)\n.reduce(size, [f_sum])\n\
+              .collect(flow)"
+            .to_string(),
+    }
+}
+
+/// One shared-vs-unshared comparison: the same tenant set served once with
+/// all cross-tenant sharing (SF07xx fusion + SF08xx prefix CSE) and once
+/// with every tenant on its own partition and engines.
+#[derive(Clone, Debug)]
+pub struct CseRow {
+    /// Concurrent tenants.
+    pub tenants: usize,
+    /// How much of the switch prefix the set shares (see [`cse_policy`]).
+    pub overlap_pct: usize,
+    /// Aggregate throughput with sharing on, packets/second.
+    pub shared_pkts_per_sec: f64,
+    /// Aggregate throughput with sharing off, packets/second.
+    pub unshared_pkts_per_sec: f64,
+    /// Wall-clock with sharing on, milliseconds.
+    pub shared_elapsed_ms: f64,
+    /// Wall-clock with sharing off, milliseconds.
+    pub unshared_elapsed_ms: f64,
+    /// Switch partitions the sharing plane actually ran.
+    pub shared_partitions: usize,
+    /// Execution units the sharing plane actually ran.
+    pub shared_units: usize,
+    /// Unshared wall-clock over shared wall-clock (>1 = sharing wins).
+    pub speedup_vs_unshared: f64,
+}
+
 /// One fused-vs-unfused comparison: the same tenant set served once with
 /// SF07xx plan fusion and once with every tenant on its own plan.
 #[derive(Clone, Debug)]
@@ -138,6 +188,9 @@ pub struct CtrlBench {
     pub tenant_sweep: Vec<TenantRunRow>,
     /// Fused-vs-unfused comparison per tenant count and policy overlap.
     pub fusion_sweep: Vec<FusionRow>,
+    /// SF08xx shared-vs-unshared comparison per tenant count and prefix
+    /// overlap.
+    pub cse_sweep: Vec<CseRow>,
 }
 
 /// Runs the sweep on `packets` MAWI-like packets generated from `seed`.
@@ -288,6 +341,66 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
         }
     }
 
+    let mut cse_sweep = Vec::new();
+    for &n in tenant_counts {
+        for &overlap in &OVERLAP_SWEEP {
+            let cspecs: Vec<TenantSpec> = (0..n)
+                .map(|i| TenantSpec {
+                    name: format!("cse-{overlap}-{i}"),
+                    policy: dsl::parse(&cse_policy(i, overlap)).expect("bench policy parses"),
+                    cfg: SuperFeConfig::default(),
+                })
+                .collect();
+            let run = |share: bool| {
+                let analyze = superfe_core::AnalyzeConfig::default();
+                let mut plane = if share {
+                    CtrlPlane::new(workers, analyze)
+                } else {
+                    CtrlPlane::without_fusion(workers, analyze)
+                };
+                for spec in &cspecs {
+                    plane.attach(spec, None).expect("bench set is admissible");
+                }
+                let partitions = plane.groups().len();
+                let units = plane.units().len();
+                let start = Instant::now();
+                for p in records {
+                    plane.push(p).expect("workers alive");
+                }
+                let runs = plane.finish().expect("workers alive");
+                (runs, start.elapsed().as_secs_f64(), partitions, units)
+            };
+            let (shared_runs, shared_secs, shared_partitions, shared_units) = run(true);
+            let (unshared_runs, unshared_secs, _, _) = run(false);
+            // The bench doubles as a correctness smoke: output through a
+            // shared partition must be bitwise identical to the tenant's
+            // own unshared run.
+            for (s, u) in shared_runs.iter().zip(&unshared_runs) {
+                assert_eq!(
+                    s.output.group_vectors, u.output.group_vectors,
+                    "tenant {} group vectors diverged under prefix sharing",
+                    s.name
+                );
+                assert_eq!(
+                    s.output.packet_vectors, u.output.packet_vectors,
+                    "tenant {} packet vectors diverged under prefix sharing",
+                    s.name
+                );
+            }
+            cse_sweep.push(CseRow {
+                tenants: n,
+                overlap_pct: overlap,
+                shared_pkts_per_sec: records.len() as f64 / shared_secs,
+                unshared_pkts_per_sec: records.len() as f64 / unshared_secs,
+                shared_elapsed_ms: shared_secs * 1e3,
+                unshared_elapsed_ms: unshared_secs * 1e3,
+                shared_partitions,
+                shared_units,
+                speedup_vs_unshared: unshared_secs / shared_secs,
+            });
+        }
+    }
+
     CtrlBench {
         packets: records.len(),
         workers,
@@ -295,6 +408,7 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
         solo,
         tenant_sweep,
         fusion_sweep,
+        cse_sweep,
     }
 }
 
@@ -354,6 +468,30 @@ impl CtrlBench {
                 r.speedup_vs_unfused
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"cse_sweep\": [\n");
+        for (i, r) in self.cse_sweep.iter().enumerate() {
+            let sep = if i + 1 == self.cse_sweep.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{ \"tenants\": {}, \"overlap_pct\": {}, \"shared_pkts_per_sec\": {:.0}, \
+                 \"unshared_pkts_per_sec\": {:.0}, \"shared_elapsed_ms\": {:.2}, \
+                 \"unshared_elapsed_ms\": {:.2}, \"shared_partitions\": {}, \
+                 \"shared_units\": {}, \"speedup_vs_unshared\": {:.2} }}{sep}\n",
+                r.tenants,
+                r.overlap_pct,
+                r.shared_pkts_per_sec,
+                r.unshared_pkts_per_sec,
+                r.shared_elapsed_ms,
+                r.unshared_elapsed_ms,
+                r.shared_partitions,
+                r.shared_units,
+                r.speedup_vs_unshared
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -386,6 +524,10 @@ mod tests {
             "\"fusion_sweep\"",
             "\"fused_units\"",
             "\"speedup_vs_unfused\"",
+            "\"host_parallelism\"",
+            "\"cse_sweep\"",
+            "\"shared_partitions\"",
+            "\"speedup_vs_unshared\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -402,5 +544,20 @@ mod tests {
         assert_eq!(at(2, 100).fused_units, 1);
         assert_eq!(at(2, 0).fused_units, 2);
         assert_eq!(at(1, 0).fused_units, 1);
+        // 2 tenants at 50% prefix overlap share one partition while keeping
+        // their own units; at 0% nothing is shareable; at 100% whole-plan
+        // fusion subsumes sharing. Bitwise asserts ran inside measure().
+        assert_eq!(b.cse_sweep.len(), 6);
+        let cse = |t: usize, o: usize| {
+            b.cse_sweep
+                .iter()
+                .find(|r| r.tenants == t && r.overlap_pct == o)
+                .unwrap()
+        };
+        assert_eq!(cse(2, 50).shared_partitions, 1);
+        assert_eq!(cse(2, 50).shared_units, 2);
+        assert_eq!(cse(2, 0).shared_partitions, 2);
+        assert_eq!(cse(2, 100).shared_partitions, 1);
+        assert_eq!(cse(2, 100).shared_units, 1);
     }
 }

@@ -159,8 +159,11 @@ pub enum Command {
         /// Re-run every tenant alone and fail unless the shared-plane
         /// output is bitwise identical.
         verify_solo: bool,
-        /// Analysis-certified cross-policy fusion (disable with --no-fuse).
+        /// Analysis-certified cross-policy fusion (disable with --no-fuse,
+        /// which also disables SF08xx prefix sharing).
         fuse: bool,
+        /// SF08xx cross-tenant prefix sharing (disable with --no-cse).
+        cse: bool,
     },
     /// Print usage.
     Help,
@@ -249,6 +252,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut cache_slots = Vec::new();
             let mut verify_solo = false;
             let mut fuse = true;
+            let mut cse = true;
             let parse_epoch = |flag: &str, v: &str| -> Result<(usize, usize), CliError> {
                 let bad = || err(format!("{flag} expects TENANT:VALUE, got '{v}'"));
                 let (idx, pkt) = v.split_once(':').ok_or_else(bad)?;
@@ -305,7 +309,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         cache_slots.push(pair);
                     }
                     "--verify-solo" => verify_solo = true,
-                    "--no-fuse" => fuse = false,
+                    "--no-fuse" => {
+                        fuse = false;
+                        cse = false;
+                    }
+                    "--no-cse" => cse = false,
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
@@ -328,6 +336,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 cache_slots,
                 verify_solo,
                 fuse,
+                cse,
             })
         }
         "show" | "compile" => {
@@ -668,7 +677,8 @@ pub fn usage() -> String {
      \x20 superfe show <policy>              print a policy's DSL source\n\
      \x20 superfe check <p1> [<p2> ...]      static analysis: lints + feasibility;\n\
      \x20                                    two or more policies add the SF07xx\n\
-     \x20                                    cross-policy fusion report\n\
+     \x20                                    fusion and SF08xx prefix-sharing\n\
+     \x20                                    reports\n\
      \x20 superfe explain <p1> [<p2> ...]    typed IR, cost model, overflow proofs,\n\
      \x20                                    optimizer rewrites, cycle estimate\n\
      \x20 superfe compile <policy>           show the switch/NIC split + resources\n\
@@ -711,9 +721,11 @@ pub fn usage() -> String {
      \x20 --detach-at T:P                    detach tenant T at packet P (hot remove)\n\
      \x20 --cache-slots T:N                  cache quota for tenant T: N switch\n\
      \x20                                    short-buffer slots   [16384]\n\
-     \x20 --no-fuse                          disable analysis-certified cross-policy\n\
-     \x20                                    fusion (default: equivalent tenants\n\
-     \x20                                    share one execution plan)\n\
+     \x20 --no-fuse                          disable all cross-tenant sharing:\n\
+     \x20                                    SF07xx fusion and SF08xx prefix\n\
+     \x20                                    sharing (default: both enabled)\n\
+     \x20 --no-cse                           disable only SF08xx prefix sharing\n\
+     \x20                                    (equivalent tenants still fuse)\n\
      \x20 --verify-solo                      fail unless every tenant's output is\n\
      \x20                                    bitwise identical to a solo run\n\
      \n\
@@ -813,14 +825,127 @@ fn fusion_section_json(named: &[(String, Policy)], vc: &superfe_policy::ValueCon
             )
         })
         .collect();
+    let near: Vec<String> = analysis
+        .near_misses
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"a\":\"{}\",\"b\":\"{}\",\"reason\":\"{}\",\"divergence\":{}}}",
+                json_str(refs[m.a].0),
+                json_str(refs[m.b].0),
+                json_str(&m.reason),
+                m.divergence
+                    .as_ref()
+                    .map(divergence_json)
+                    .unwrap_or_else(|| "null".into())
+            )
+        })
+        .collect();
     format!(
         "{{\"policy_count\":{},\"plan_count\":{},\"plans_saved\":{},\"classes\":[{}],\
-         \"report\":{}}}",
+         \"near_misses\":[{}],\"report\":{}}}",
         named.len(),
         analysis.classes.len(),
         analysis.plans_saved(),
         classes.join(","),
+        near.join(","),
         analysis.report.render_json()
+    )
+}
+
+/// The machine rendering of one SF0702/SF0802 first-divergence diff.
+fn divergence_json(d: &superfe_policy::analyze::share::Divergence) -> String {
+    format!(
+        "{{\"stage\":\"{}\",\"op\":{},\"culprit\":\"{}\"}}",
+        json_str(d.stage.label()),
+        d.op_index,
+        json_str(&d.culprit)
+    )
+}
+
+/// Runs the SF08xx shared-prefix analysis and renders the human-readable
+/// sharing section: the prefix groups (whose switch partitions merge) and
+/// every SF0801/SF0802/SF0803 finding.
+fn sharing_section_text(named: &[(String, Policy)], vc: &superfe_policy::ValueConfig) -> String {
+    let refs: Vec<(&str, &Policy)> = named.iter().map(|(n, p)| (n.as_str(), p)).collect();
+    let plan = superfe_policy::ir::opt::share::share(&refs, vc);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "cross-tenant prefix sharing (SF08xx): {}",
+        plan.summary()
+    )
+    .expect("write");
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let members: Vec<&str> = group.members.iter().map(|&m| refs[m].0).collect();
+        writeln!(
+            out,
+            "  partition {}: {}{}",
+            gi + 1,
+            members.join(", "),
+            if group.members.len() > 1 {
+                format!(" (shared prefix {:#018x})", group.prefix)
+            } else {
+                String::new()
+            }
+        )
+        .expect("write");
+    }
+    for d in plan.analysis.report.diagnostics() {
+        writeln!(out, "  {d}").expect("write");
+    }
+    out
+}
+
+/// The machine rendering of the SF08xx analysis: prefix groups with member
+/// names, structured near-misses, and the finding report, as one JSON
+/// object.
+fn sharing_section_json(named: &[(String, Policy)], vc: &superfe_policy::ValueConfig) -> String {
+    let refs: Vec<(&str, &Policy)> = named.iter().map(|(n, p)| (n.as_str(), p)).collect();
+    let plan = superfe_policy::ir::opt::share::share(&refs, vc);
+    let groups: Vec<String> = plan
+        .groups
+        .iter()
+        .map(|g| {
+            let members: Vec<String> = g
+                .members
+                .iter()
+                .map(|&m| format!("\"{}\"", json_str(refs[m].0)))
+                .collect();
+            format!(
+                "{{\"prefix\":\"{:016x}\",\"members\":[{}],\"ops\":[{}]}}",
+                g.prefix,
+                members.join(","),
+                g.ops
+                    .iter()
+                    .map(|o| format!("\"{}\"", json_str(o)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
+        .collect();
+    let near: Vec<String> = plan
+        .analysis
+        .near_misses
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"a\":\"{}\",\"b\":\"{}\",\"divergence\":{}}}",
+                json_str(refs[m.a].0),
+                json_str(refs[m.b].0),
+                divergence_json(&m.divergence)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"policy_count\":{},\"partition_count\":{},\"partitions_saved\":{},\"groups\":[{}],\
+         \"near_misses\":[{}],\"report\":{}}}",
+        named.len(),
+        plan.groups.len(),
+        plan.partitions_saved(),
+        groups.join(","),
+        near.join(","),
+        plan.analysis.report.render_json()
     )
 }
 
@@ -944,6 +1069,7 @@ fn serve(
     cache_slots: &[(usize, usize)],
     verify_solo: bool,
     fuse: bool,
+    cse: bool,
 ) -> Result<String, CliError> {
     use superfe_core::{StreamingPipeline, SuperFeConfig};
     use superfe_ctrl::{CtrlPlane, TenantSpec};
@@ -1008,10 +1134,10 @@ fn serve(
         .packets(packets)
         .seed(seed)
         .generate();
-    let mut plane = if fuse {
-        CtrlPlane::new(workers, AnalyzeConfig::default())
-    } else {
-        CtrlPlane::without_fusion(workers, AnalyzeConfig::default())
+    let mut plane = match (fuse, cse) {
+        (true, true) => CtrlPlane::new(workers, AnalyzeConfig::default()),
+        (true, false) => CtrlPlane::without_cse(workers, AnalyzeConfig::default()),
+        (false, _) => CtrlPlane::without_fusion(workers, AnalyzeConfig::default()),
     };
     let mut ids: Vec<Option<TenantId>> = vec![None; specs.len()];
     let mut outputs: Vec<Option<StreamOutput>> = (0..specs.len()).map(|_| None).collect();
@@ -1021,11 +1147,13 @@ fn serve(
         for ti in 0..specs.len() {
             if attach_pkt[ti] == i {
                 let units_before = plane.units().len();
+                let groups_before = plane.groups().len();
                 let id = plane
                     .attach(&specs[ti], None)
                     .map_err(|e| err(e.to_string()))?;
                 ids[ti] = Some(id);
                 let fused = plane.units().len() == units_before;
+                let shared = !fused && plane.groups().len() == groups_before;
                 writeln!(
                     text,
                     "epoch {}: attached {id} ({}) at packet {i}{}",
@@ -1033,6 +1161,8 @@ fn serve(
                     specs[ti].name,
                     if fused {
                         " — fused into a shared execution unit"
+                    } else if shared {
+                        " — sharing a switch partition (SF08xx prefix)"
                     } else {
                         ""
                     }
@@ -1055,6 +1185,7 @@ fn serve(
     }
     let epochs = plane.epoch();
     let live_units = plane.units().len();
+    let live_groups = plane.groups().len();
     for run in plane.finish().map_err(|e| err(e.to_string()))? {
         let ti = ids
             .iter()
@@ -1076,6 +1207,12 @@ fn serve(
         text,
         "execution units at shutdown: {live_units} (cross-policy fusion {})",
         if fuse { "enabled" } else { "disabled" }
+    )
+    .expect("write");
+    writeln!(
+        text,
+        "shared switch partitions at shutdown: {live_groups} (cross-tenant CSE {})",
+        if cse { "enabled" } else { "disabled" }
     )
     .expect("write");
     for (ti, spec) in specs.iter().enumerate() {
@@ -1169,6 +1306,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             cache_slots,
             verify_solo,
             fuse,
+            cse,
         } => serve(
             &policies,
             trace,
@@ -1180,6 +1318,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             &cache_slots,
             verify_solo,
             fuse,
+            cse,
         ),
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
@@ -1225,6 +1364,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                             write!(out, "checking {name}\n{}", report.render()).expect("write");
                         }
                         out.push_str(&fusion_section_text(&named, &cfg.value_config()));
+                        out.push_str(&sharing_section_text(&named, &cfg.value_config()));
                         out
                     }
                     OutputFormat::Json => {
@@ -1240,9 +1380,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                             })
                             .collect();
                         format!(
-                            "{{\"policies\":[{}],\"fusion\":{}}}\n",
+                            "{{\"policies\":[{}],\"fusion\":{},\"sharing\":{}}}\n",
                             per.join(","),
-                            fusion_section_json(&named, &cfg.value_config())
+                            fusion_section_json(&named, &cfg.value_config()),
+                            sharing_section_json(&named, &cfg.value_config())
                         )
                     }
                 }
@@ -1284,6 +1425,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         out.push_str(&explain(name, groups, group_packets, format)?);
                     }
                     out.push_str(&fusion_section_text(&named, &cfg.value_config()));
+                    out.push_str(&sharing_section_text(&named, &cfg.value_config()));
                     Ok(out)
                 }
                 OutputFormat::Json => {
@@ -1296,9 +1438,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         );
                     }
                     Ok(format!(
-                        "{{\"policies\":[{}],\"fusion\":{}}}\n",
+                        "{{\"policies\":[{}],\"fusion\":{},\"sharing\":{}}}\n",
                         per.join(","),
-                        fusion_section_json(&named, &cfg.value_config())
+                        fusion_section_json(&named, &cfg.value_config()),
+                        sharing_section_json(&named, &cfg.value_config())
                     ))
                 }
             }
@@ -1693,8 +1836,17 @@ mod tests {
                 cache_slots: vec![(0, 4096)],
                 verify_solo: true,
                 fuse: false,
+                cse: false,
             }
         );
+        // --no-cse disables only prefix sharing; --no-fuse disables both.
+        match parse_args(&args("serve cumul kitsune --no-cse")).unwrap() {
+            Command::Serve { fuse, cse, .. } => {
+                assert!(fuse);
+                assert!(!cse);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
         assert!(parse_args(&args("serve")).is_err());
         assert!(parse_args(&args("serve cumul --attach-at nope")).is_err());
         assert!(parse_args(&args("serve cumul --attach-at 7:0")).is_err());
@@ -1716,6 +1868,7 @@ mod tests {
             cache_slots: vec![],
             verify_solo: true,
             fuse: true,
+            cse: true,
         })
         .unwrap();
         assert!(out.contains("served 2 tenants"), "{out}");
@@ -1744,6 +1897,7 @@ mod tests {
             cache_slots: vec![],
             verify_solo: false,
             fuse: false,
+            cse: false,
         })
         .unwrap_err();
         assert!(e.message.contains("admission rejected"), "{e}");
@@ -1764,6 +1918,7 @@ mod tests {
                 cache_slots: vec![],
                 verify_solo: false,
                 fuse: true,
+                cse: true,
             })
         };
         assert!(
@@ -2062,6 +2217,143 @@ mod tests {
         assert!(out.contains("SF0701"), "{out}");
     }
 
+    fn write_prefix_pair(dir: &std::path::Path) -> (String, String) {
+        std::fs::create_dir_all(dir).unwrap();
+        let a = dir.join("flow_sum.sfe");
+        let b = dir.join("flow_max.sfe");
+        std::fs::write(
+            &a,
+            "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_sum])\n\
+             .collect(flow)",
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_max])\n\
+             .collect(flow)",
+        )
+        .unwrap();
+        (
+            a.to_str().unwrap().to_string(),
+            b.to_str().unwrap().to_string(),
+        )
+    }
+
+    #[test]
+    fn check_pair_emits_sharing_report() {
+        let dir = std::env::temp_dir().join("superfe_cli_share_test");
+        let (a, b) = write_prefix_pair(&dir);
+        let check = |format| Command::Check {
+            policies: vec![a.clone(), b.clone()],
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+            format,
+        };
+        let out = execute(check(OutputFormat::Text)).unwrap();
+        assert!(
+            out.contains("cross-tenant prefix sharing (SF08xx):"),
+            "{out}"
+        );
+        assert!(
+            out.contains("2 policies → 1 switch partition (1 saved)"),
+            "{out}"
+        );
+        assert!(out.contains("(shared prefix 0x"), "{out}");
+        assert!(out.contains("SF0801"), "{out}");
+        assert!(out.contains("SF0803"), "{out}");
+        let out = execute(check(OutputFormat::Json)).unwrap();
+        assert!(out.contains("\"sharing\":{"), "{out}");
+        assert!(out.contains("\"partition_count\":1"), "{out}");
+        assert!(out.contains("\"partitions_saved\":1"), "{out}");
+        assert!(out.contains("\"code\":\"SF0801\""), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
+    fn check_near_miss_reports_first_divergence() {
+        // Same groupby key, filter constants apart by one knob: the SF0802
+        // near-miss must carry the structured first-divergence diff in
+        // both renderings.
+        let dir = std::env::temp_dir().join("superfe_cli_share_nearmiss_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("small.sfe");
+        let b = dir.join("large.sfe");
+        std::fs::write(
+            &a,
+            "pktstream\n.filter(size > 100)\n.groupby(flow)\n.reduce(size, [f_sum])\n\
+             .collect(flow)",
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            "pktstream\n.filter(size > 200)\n.groupby(flow)\n.reduce(size, [f_sum])\n\
+             .collect(flow)",
+        )
+        .unwrap();
+        let check = |format| Command::Check {
+            policies: vec![
+                a.to_str().unwrap().to_string(),
+                b.to_str().unwrap().to_string(),
+            ],
+            headroom: 90.0,
+            cache_slots: None,
+            groups: 5_000,
+            format,
+        };
+        let out = execute(check(OutputFormat::Text)).unwrap();
+        assert!(out.contains("SF0802"), "{out}");
+        assert!(out.contains("first divergence at"), "{out}");
+        assert!(out.contains("100") && out.contains("200"), "{out}");
+        let out = execute(check(OutputFormat::Json)).unwrap();
+        assert!(
+            out.contains("\"divergence\":{\"stage\":\"filter set\""),
+            "{out}"
+        );
+        assert!(out.contains("\"culprit\":"), "{out}");
+    }
+
+    #[test]
+    fn serve_prefix_sharing_shares_partitions_bitwise() {
+        let dir = std::env::temp_dir().join("superfe_cli_serve_share_test");
+        let (a, b) = write_prefix_pair(&dir);
+        let run = |cse| {
+            execute(Command::Serve {
+                policies: vec![a.clone(), b.clone()],
+                trace: WorkloadPreset::Campus,
+                packets: 4_000,
+                seed: 7,
+                workers: 2,
+                attach_at: vec![],
+                detach_at: vec![],
+                cache_slots: vec![],
+                verify_solo: true,
+                fuse: true,
+                cse,
+            })
+            .unwrap()
+        };
+        let out = run(true);
+        assert!(
+            out.contains("sharing a switch partition (SF08xx prefix)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("shared switch partitions at shutdown: 1 (cross-tenant CSE enabled)"),
+            "{out}"
+        );
+        assert!(out.contains("execution units at shutdown: 2"), "{out}");
+        assert!(
+            out.contains("verified tenant t1 flow_max: bitwise identical"),
+            "{out}"
+        );
+        let out = run(false);
+        assert!(
+            out.contains("shared switch partitions at shutdown: 2 (cross-tenant CSE disabled)"),
+            "{out}"
+        );
+    }
+
     #[test]
     fn check_multi_policy_json_reports_classes() {
         let cmd = Command::Check {
@@ -2139,6 +2431,7 @@ mod tests {
             cache_slots: vec![],
             verify_solo: true,
             fuse: true,
+            cse: true,
         })
         .unwrap();
         assert!(out.contains("fused into a shared execution unit"), "{out}");
@@ -2171,6 +2464,7 @@ mod tests {
             cache_slots: vec![],
             verify_solo: false,
             fuse: true,
+            cse: true,
         })
         .unwrap();
         assert!(out.contains("served 12 tenants"), "{out}");
@@ -2195,6 +2489,7 @@ mod tests {
             cache_slots: vec![(1, 4_000_000)],
             verify_solo: false,
             fuse: true,
+            cse: true,
         })
         .unwrap_err();
         assert!(e.message.contains("SF0303"), "{e}");

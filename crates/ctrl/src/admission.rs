@@ -67,12 +67,26 @@ pub fn admit(
     cfg: &AnalyzeConfig,
     tenants: &[&TenantDemand],
 ) -> Result<AdmissionReport, AdmissionError> {
+    let usages: Vec<SwitchResources> = tenants.iter().map(|t| t.switch).collect();
+    let nics: Vec<&superfe_policy::NicProgram> = tenants.iter().map(|t| &t.compiled.nic).collect();
+    admit_composed(cfg, &usages, &nics)
+}
+
+/// The composed admission core: `switch` holds one usage entry per *switch
+/// partition* and `nics` one program per *execution unit*. [`admit`] feeds
+/// it one of each per tenant; a sharing control plane passes fewer switch
+/// entries than NIC programs, so that a prefix-shared partition's demand is
+/// counted once no matter how many tenants consume its event stream.
+pub fn admit_composed(
+    cfg: &AnalyzeConfig,
+    switch: &[SwitchResources],
+    nics: &[&superfe_policy::NicProgram],
+) -> Result<AdmissionReport, AdmissionError> {
     let mut warnings = Vec::new();
 
-    // Switch: compose per-tenant component models, then run the same
+    // Switch: compose per-partition component models, then run the same
     // SF03xx pass the solo gate runs.
-    let usages: Vec<SwitchResources> = tenants.iter().map(|t| t.switch).collect();
-    let composed = compose(&usages);
+    let composed = compose(switch);
     for d in check_switch_resources(&composed, &cfg.budget, cfg.headroom_pct) {
         if d.severity != Severity::Error {
             warnings.push(d);
@@ -105,14 +119,14 @@ pub fn admit(
 
     // NIC: joint greedy allocation over one shared pool, then the same
     // SF04xx capacity pass.
-    let groups: Vec<Vec<usize>> = tenants
+    let groups: Vec<Vec<usize>> = nics
         .iter()
-        .map(|t| vec![cfg.groups; t.compiled.nic.levels.len()])
+        .map(|n| vec![cfg.groups; n.levels.len()])
         .collect();
-    let inputs: Vec<(&superfe_policy::NicProgram, &[usize])> = tenants
+    let inputs: Vec<(&superfe_policy::NicProgram, &[usize])> = nics
         .iter()
         .zip(&groups)
-        .map(|(t, g)| (&t.compiled.nic, g.as_slice()))
+        .map(|(n, g)| (*n, g.as_slice()))
         .collect();
     let nic = model_many(&inputs, &cfg.nfp);
     let dram_cap = cfg
@@ -315,6 +329,23 @@ mod tests {
             }
             other => panic!("expected NicCapacity rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn composed_admission_counts_a_shared_partition_once() {
+        // Two tenants on one prefix-shared switch partition: the composed
+        // switch demand equals the solo demand, while a second NIC program
+        // still adds NIC bytes.
+        let cfg = AnalyzeConfig::default();
+        let (a, b) = (host_sum(), host_sum());
+        let shared =
+            admit_composed(&cfg, &[a.switch], &[&a.compiled.nic, &b.compiled.nic]).unwrap();
+        let solo = admit(&cfg, &[&a]).unwrap();
+        let unshared = admit(&cfg, &[&a, &b]).unwrap();
+        assert_eq!(shared.switch.salus, solo.switch.salus);
+        assert_eq!(shared.switch.tables, solo.switch.tables);
+        assert!(unshared.switch.salus > shared.switch.salus);
+        assert!(shared.nic.used_bytes > solo.nic.used_bytes);
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod admission;
 pub mod error;
 pub mod plane;
 
-pub use admission::{admit, AdmissionReport, TenantDemand};
+pub use admission::{admit, admit_composed, AdmissionReport, TenantDemand};
 pub use error::{AdmissionError, CtrlError, Resource};
 pub use plane::{CtrlPlane, TenantRun, TenantSpec};

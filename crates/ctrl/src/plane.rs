@@ -24,23 +24,44 @@
 //!    so the departing member's output is bitwise what a solo detach
 //!    would return while the surviving members' state is never touched.
 //!
+//! Below whole-plan fusion sits **SF08xx prefix sharing** (cross-tenant
+//! CSE): when a candidate is *not* equivalent to any live plan but its
+//! switch prefix — parse, groupby chain, filter conjunct set — hashes
+//! equal to a live partition's and the SF08xx value certificate holds
+//! ([`superfe_policy::analyze::share::certify_prefix`]), the candidate's
+//! execution unit subscribes to that partition's event stream instead of
+//! installing its own. Units then nest inside **groups**: a group is one
+//! switch partition; each of its units is one NIC engine set with its own
+//! map/reduce tail; fused tenants share a unit via demux. Prefix joins are
+//! position-gated like fusion, and the partition's record layout is
+//! widened to the canonical metadata union at join time (lossless: the
+//! gate guarantees the partition is empty). Admission composes switch
+//! demand once per group and NIC demand once per unit
+//! ([`crate::admission::admit_composed`]).
+//!
 //! Untouched tenants lose or duplicate zero vectors across either
 //! operation: their partitions, engines, and channels are never touched,
 //! and the epoch markers travel in-band so they cannot reorder against
 //! event frames. Fusion preserves the same contract through the demux
 //! fan-out: every fused member receives its own copy of every vector
-//! under its own egress numbering.
+//! under its own egress numbering. Prefix sharing preserves it through
+//! the soundness fact the certificate encodes: the MGPV event stream —
+//! record content *and* eviction timing — is fully determined by the
+//! shared prefix, so every unit observes exactly the stream its solo
+//! partition would have produced.
 
 use superfe_core::pipeline::SuperFeConfig;
-use superfe_net::PacketRecord;
+use superfe_net::{Granularity, PacketRecord};
 use superfe_nic::{SharedStreamingNic, StreamOutput, VectorSink};
-use superfe_policy::analyze::{codes, equiv, Diagnostic};
-use superfe_policy::Policy;
-use superfe_switch::resources::{compose, SwitchResources};
-use superfe_switch::tenant::{SharedSwitch, SharedSwitchStats, TaggedEvent, TenantId};
+use superfe_policy::analyze::{codes, equiv, share as pshare, Diagnostic};
+use superfe_policy::{NicProgram, Policy, SwitchProgram};
+use superfe_switch::resources::{compose, model, SwitchResources};
+use superfe_switch::tenant::{
+    union_metadata, SharedSwitch, SharedSwitchStats, TaggedEvent, TenantId,
+};
 use superfe_switch::{MgpvStats, SwitchStats};
 
-use crate::admission::{admit, AdmissionReport, TenantDemand};
+use crate::admission::{admit_composed, AdmissionReport, TenantDemand};
 use crate::error::{AdmissionError, CtrlError};
 
 /// A policy a tenant asks to deploy.
@@ -61,8 +82,9 @@ struct Slot {
     unit: TenantId,
 }
 
-/// One deployed execution unit: a switch partition + NIC engine set that
-/// one or more SF07xx-equivalent tenants share.
+/// One deployed execution unit: a NIC engine set that one or more
+/// SF07xx-equivalent tenants share, fed by the switch partition of the
+/// group it belongs to.
 struct Unit {
     id: TenantId,
     hash: u64,
@@ -70,10 +92,40 @@ struct Unit {
     cfg: SuperFeConfig,
     demand: TenantDemand,
     members: Vec<TenantId>,
+    /// The prefix group (switch partition) whose event stream feeds this
+    /// unit; equals `id` unless the unit joined via an SF08xx prefix
+    /// share.
+    group: TenantId,
     /// Stream position (packets pushed) when the unit attached; a
     /// candidate may only fuse while the plane is still at this position,
     /// otherwise the shared plan would owe the late member history.
     attach_pos: u64,
+}
+
+/// One deployed switch partition and the units subscribed to its event
+/// stream. A group with more than one unit is an SF08xx prefix share: one
+/// parse → groupby → filter pipeline and one MGPV cache serving several
+/// per-tenant map/reduce tails.
+struct Group {
+    id: TenantId,
+    /// The certified switch-prefix hash
+    /// ([`pshare::PrefixForm::switch_prefix`]) every member agrees on.
+    prefix: u64,
+    /// The founding representative's policy — the certification anchor
+    /// later candidates are checked against.
+    policy: Policy,
+    cfg: SuperFeConfig,
+    /// Modeled demand of the partition under its current (union) record
+    /// layout; recomputed when a join widens the layout.
+    switch: SwitchResources,
+    /// The granularity chain, compared structurally at join time as a
+    /// belt-and-braces check behind the prefix hash.
+    levels: Vec<Granularity>,
+    /// Stream position when the partition attached; prefix joins are
+    /// gated on the plane still being at this position, which also
+    /// guarantees the partition is empty when its layout is widened.
+    attach_pos: u64,
+    units: Vec<TenantId>,
 }
 
 /// One tenant's final output at plane shutdown.
@@ -94,7 +146,9 @@ pub struct CtrlPlane {
     nic: SharedStreamingNic,
     slots: Vec<Slot>,
     units: Vec<Unit>,
+    groups: Vec<Group>,
     fusion: bool,
+    cse: bool,
     next_id: u16,
     frame: Vec<TaggedEvent>,
     epoch: u64,
@@ -104,26 +158,42 @@ pub struct CtrlPlane {
 impl CtrlPlane {
     /// A plane with `workers` NIC shards and the given hardware model for
     /// admission (budget, NFP, expected group population, headroom), with
-    /// analysis-certified cross-policy fusion enabled.
+    /// analysis-certified cross-policy fusion and SF08xx prefix sharing
+    /// enabled.
     pub fn new(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
-        Self::build(workers, analyze, true)
+        Self::build(workers, analyze, true, true)
     }
 
-    /// Like [`CtrlPlane::new`] but with fusion disabled: every tenant gets
+    /// Like [`CtrlPlane::new`] but with all cross-tenant sharing disabled
+    /// — no SF07xx fusion and no SF08xx prefix sharing: every tenant gets
     /// its own partition and engines even when provably equivalent (the
-    /// baseline the fusion benchmarks compare against).
+    /// baseline the sharing benchmarks compare against).
     pub fn without_fusion(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
-        Self::build(workers, analyze, false)
+        Self::build(workers, analyze, false, false)
     }
 
-    fn build(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig, fusion: bool) -> Self {
+    /// Like [`CtrlPlane::new`] but with only SF08xx prefix sharing
+    /// disabled: provably-equivalent whole plans still fuse, but tenants
+    /// that merely share a switch prefix get separate partitions.
+    pub fn without_cse(workers: usize, analyze: superfe_core::analyze::AnalyzeConfig) -> Self {
+        Self::build(workers, analyze, true, false)
+    }
+
+    fn build(
+        workers: usize,
+        analyze: superfe_core::analyze::AnalyzeConfig,
+        fusion: bool,
+        cse: bool,
+    ) -> Self {
         CtrlPlane {
             analyze,
             switch: SharedSwitch::new(),
             nic: SharedStreamingNic::new(workers),
             slots: Vec::new(),
             units: Vec::new(),
+            groups: Vec::new(),
             fusion,
+            cse,
             next_id: 0,
             frame: Vec::new(),
             epoch: 0,
@@ -139,6 +209,11 @@ impl CtrlPlane {
     /// Whether analysis-certified cross-policy fusion is enabled.
     pub fn fusion_enabled(&self) -> bool {
         self.fusion
+    }
+
+    /// Whether SF08xx cross-tenant prefix sharing is enabled.
+    pub fn cse_enabled(&self) -> bool {
+        self.cse
     }
 
     /// Completed reconfiguration epochs (each attach/detach is one).
@@ -157,25 +232,38 @@ impl CtrlPlane {
         self.units.iter().map(|u| (u.id, u.members.len())).collect()
     }
 
+    /// Live switch partitions in creation order, each with its unit count
+    /// (SF08xx prefix-shared partitions feed more than one unit).
+    pub fn groups(&self) -> Vec<(TenantId, usize)> {
+        self.groups.iter().map(|g| (g.id, g.units.len())).collect()
+    }
+
     /// Link-level counters of the shared switch.
     pub fn switch_stats(&self) -> &SharedSwitchStats {
         self.switch.stats()
     }
 
-    /// Per-tenant switch link counters. For a fused tenant these are the
-    /// shared unit's counters: members of one unit see one stream.
+    /// Per-tenant switch link counters. For a fused or prefix-shared
+    /// tenant these are the shared partition's counters: subscribers of
+    /// one partition see one stream.
     pub fn tenant_switch_stats(&self, tenant: TenantId) -> Option<&SwitchStats> {
-        self.switch.tenant_stats(self.unit_of(tenant)?)
+        self.switch.tenant_stats(self.group_of(tenant)?)
     }
 
-    /// Per-tenant cache counters (the shared unit's, when fused).
+    /// Per-tenant cache counters (the shared partition's, when shared).
     pub fn tenant_cache_stats(&self, tenant: TenantId) -> Option<MgpvStats> {
-        self.switch.tenant_cache_stats(self.unit_of(tenant)?)
+        self.switch.tenant_cache_stats(self.group_of(tenant)?)
     }
 
     /// The execution unit serving `tenant`.
     fn unit_of(&self, tenant: TenantId) -> Option<TenantId> {
         self.slots.iter().find(|s| s.id == tenant).map(|s| s.unit)
+    }
+
+    /// The switch partition feeding `tenant`'s unit.
+    fn group_of(&self, tenant: TenantId) -> Option<TenantId> {
+        let unit = self.unit_of(tenant)?;
+        self.units.iter().find(|u| u.id == unit).map(|u| u.group)
     }
 
     /// The unit index `spec` may fuse into, per the SF07xx legality rule:
@@ -196,6 +284,52 @@ impl CtrlPlane {
         })
     }
 
+    /// The group index whose switch partition `spec` may subscribe to,
+    /// per the SF08xx legality rule: equal switch-prefix hash, identical
+    /// deployment config (the cache quota and mode fully determine MGPV
+    /// behavior), structurally equal granularity chain, the partition
+    /// still at the candidate's stream position, and the value
+    /// certificate ([`pshare::certify_prefix`]) proven against the
+    /// group's founding representative.
+    fn prefix_target(
+        &self,
+        spec: &TenantSpec,
+        demand: &TenantDemand,
+        prefix: u64,
+    ) -> Option<usize> {
+        if !self.cse {
+            return None;
+        }
+        let vc = self.analyze.value_config();
+        self.groups.iter().position(|g| {
+            g.prefix == prefix
+                && g.cfg == spec.cfg
+                && g.attach_pos == self.pushed
+                && g.levels == demand.compiled.switch.levels
+                && pshare::certify_prefix(&g.policy, &spec.policy, &vc).is_ok()
+        })
+    }
+
+    /// Models the demand of group `gpos`'s partition after widening its
+    /// record layout to the canonical metadata union of every member
+    /// program plus the candidate's.
+    fn widened_usage(&self, gpos: usize, demand: &TenantDemand) -> SwitchResources {
+        let gid = self.groups[gpos].id;
+        let mut progs: Vec<&SwitchProgram> = self
+            .units
+            .iter()
+            .filter(|u| u.group == gid)
+            .map(|u| &u.demand.compiled.switch)
+            .collect();
+        progs.push(&demand.compiled.switch);
+        let union = SwitchProgram {
+            filter: demand.compiled.switch.filter.clone(),
+            levels: demand.compiled.switch.levels.clone(),
+            metadata: union_metadata(&progs),
+        };
+        model(&union, &self.groups[gpos].cfg.cache)
+    }
+
     /// Dry-runs admission for `spec` against the currently-admitted set
     /// without deploying anything. The verdict's warnings carry an SF0703
     /// note when fusion changes the composed demand — either because the
@@ -203,13 +337,26 @@ impl CtrlPlane {
     /// admitted set already shares plans.
     pub fn admission_check(&self, spec: &TenantSpec) -> Result<AdmissionReport, AdmissionError> {
         let demand = self.gate(spec)?;
-        let hash = equiv::canonical_hash(&spec.policy, &self.analyze.value_config());
+        let vc = self.analyze.value_config();
+        let hash = equiv::canonical_hash(&spec.policy, &vc);
         let fused_into = self.fusion_target(spec, hash);
-        let mut set: Vec<&TenantDemand> = self.units.iter().map(|u| &u.demand).collect();
-        if fused_into.is_none() {
-            set.push(&demand);
+        let shared_into = if fused_into.is_none() {
+            let prefix = pshare::prefix_form(&spec.policy, &vc).switch_prefix;
+            self.prefix_target(spec, &demand, prefix)
+        } else {
+            None
+        };
+        let mut switch: Vec<SwitchResources> = self.groups.iter().map(|g| g.switch).collect();
+        let mut nics: Vec<&NicProgram> =
+            self.units.iter().map(|u| &u.demand.compiled.nic).collect();
+        if let Some(gpos) = shared_into {
+            switch[gpos] = self.widened_usage(gpos, &demand);
+            nics.push(&demand.compiled.nic);
+        } else if fused_into.is_none() {
+            switch.push(demand.switch);
+            nics.push(&demand.compiled.nic);
         }
-        let mut report = admit(&self.analyze, &set)?;
+        let mut report = admit_composed(&self.analyze, &switch, &nics)?;
         // Surface the fusion headroom: what the same tenant set would cost
         // with one partition + engine set per tenant.
         let mut unfused: Vec<SwitchResources> = self
@@ -223,13 +370,13 @@ impl CtrlPlane {
             })
             .collect();
         unfused.push(demand.switch);
-        if unfused.len() > set.len() {
+        if unfused.len() > nics.len() {
             let solo = compose(&unfused);
             let mut note = format!(
                 "cross-policy fusion serves {} tenants with {} plans: composed switch demand \
                  {} sALUs / {} tables (unfused: {} sALUs / {} tables)",
                 unfused.len(),
-                set.len(),
+                nics.len(),
                 report.switch.salus,
                 report.switch.tables,
                 solo.salus,
@@ -244,6 +391,25 @@ impl CtrlPlane {
             report
                 .warnings
                 .push(Diagnostic::note(codes::FUSION_HEADROOM, note));
+        }
+        // Surface the prefix-sharing saving: units vs the partitions that
+        // feed them.
+        if switch.len() < nics.len() {
+            let mut note = format!(
+                "prefix sharing serves {} execution units on {} switch partition(s)",
+                nics.len(),
+                switch.len(),
+            );
+            if let Some(gpos) = shared_into {
+                note.push_str(&format!(
+                    "; candidate shares partition {}'s certified switch prefix and its marginal \
+                     demand is NIC-only",
+                    self.groups[gpos].id
+                ));
+            }
+            report
+                .warnings
+                .push(Diagnostic::note(codes::SHARE_SAVING, note));
         }
         Ok(report)
     }
@@ -264,7 +430,8 @@ impl CtrlPlane {
         sinks: Option<Vec<Box<dyn VectorSink>>>,
     ) -> Result<TenantId, CtrlError> {
         let demand = self.gate(spec)?;
-        let hash = equiv::canonical_hash(&spec.policy, &self.analyze.value_config());
+        let vc = self.analyze.value_config();
+        let hash = equiv::canonical_hash(&spec.policy, &vc);
         if let Some(pos) = self.fusion_target(spec, hash) {
             let unit_id = self.units[pos].id;
             let id = TenantId(self.next_id);
@@ -279,9 +446,16 @@ impl CtrlPlane {
             self.epoch += 1;
             return Ok(id);
         }
-        let mut set: Vec<&TenantDemand> = self.units.iter().map(|u| &u.demand).collect();
-        set.push(&demand);
-        admit(&self.analyze, &set)?;
+        let prefix = pshare::prefix_form(&spec.policy, &vc).switch_prefix;
+        if let Some(gpos) = self.prefix_target(spec, &demand, prefix) {
+            return self.attach_to_group(spec, demand, hash, gpos, sinks);
+        }
+        let mut switch: Vec<SwitchResources> = self.groups.iter().map(|g| g.switch).collect();
+        switch.push(demand.switch);
+        let mut nics: Vec<&NicProgram> =
+            self.units.iter().map(|u| &u.demand.compiled.nic).collect();
+        nics.push(&demand.compiled.nic);
+        admit_composed(&self.analyze, &switch, &nics)?;
         let id = TenantId(self.next_id);
         self.next_id = self.next_id.checked_add(1).expect("tenant id space");
         if !self.switch.attach(
@@ -303,6 +477,16 @@ impl CtrlPlane {
             self.switch.detach_into(id, &mut discard);
             return Err(CtrlError::Nic(e));
         }
+        self.groups.push(Group {
+            id,
+            prefix,
+            policy: spec.policy.clone(),
+            cfg: spec.cfg,
+            switch: demand.switch,
+            levels: demand.compiled.switch.levels.clone(),
+            attach_pos: self.pushed,
+            units: vec![id],
+        });
         self.units.push(Unit {
             id,
             hash,
@@ -310,6 +494,83 @@ impl CtrlPlane {
             cfg: spec.cfg,
             demand,
             members: vec![id],
+            group: id,
+            attach_pos: self.pushed,
+        });
+        self.slots.push(Slot {
+            id,
+            name: spec.name.clone(),
+            unit: id,
+        });
+        self.epoch += 1;
+        Ok(id)
+    }
+
+    /// Subscribes a new execution unit for `spec` to group `gpos`'s
+    /// switch partition (the SF08xx prefix-share attach path). The
+    /// position gate guarantees the partition is empty, so re-attaching
+    /// it with the widened canonical-union record layout is lossless.
+    fn attach_to_group(
+        &mut self,
+        spec: &TenantSpec,
+        demand: TenantDemand,
+        hash: u64,
+        gpos: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<TenantId, CtrlError> {
+        let gid = self.groups[gpos].id;
+        // Admission: the candidate's marginal demand is its NIC engine
+        // set plus whatever the widened record layout costs the shared
+        // partition.
+        let widened = self.widened_usage(gpos, &demand);
+        let mut switch: Vec<SwitchResources> = self.groups.iter().map(|g| g.switch).collect();
+        switch[gpos] = widened;
+        let mut nics: Vec<&NicProgram> =
+            self.units.iter().map(|u| &u.demand.compiled.nic).collect();
+        nics.push(&demand.compiled.nic);
+        admit_composed(&self.analyze, &switch, &nics)?;
+        let id = TenantId(self.next_id);
+        // NIC first — it is the fallible half; the switch re-attach below
+        // cannot fail for a configuration the group already validated.
+        self.nic.attach_to_group(
+            gid,
+            id,
+            &demand.compiled,
+            spec.cfg.cache.fg_table_size,
+            sinks,
+        )?;
+        self.next_id = self.next_id.checked_add(1).expect("tenant id space");
+        // Swap the partition in for one with the union record layout. The
+        // position gate makes this lossless: nothing has been routed
+        // since the group attached, so the partition holds no state.
+        self.frame.clear();
+        self.switch.detach_into(gid, &mut self.frame);
+        debug_assert!(
+            self.frame.is_empty(),
+            "position-gated partition must be empty at a prefix join"
+        );
+        self.frame.clear();
+        let mut progs: Vec<&SwitchProgram> = self
+            .units
+            .iter()
+            .filter(|u| u.group == gid)
+            .map(|u| &u.demand.compiled.switch)
+            .collect();
+        progs.push(&demand.compiled.switch);
+        let ok = self
+            .switch
+            .attach_shared(gid, &progs, spec.cfg.cache, spec.cfg.mode);
+        debug_assert!(ok, "re-attaching a validated partition cannot fail");
+        self.groups[gpos].switch = widened;
+        self.groups[gpos].units.push(id);
+        self.units.push(Unit {
+            id,
+            hash,
+            policy: spec.policy.clone(),
+            cfg: spec.cfg,
+            demand,
+            members: vec![id],
+            group: gid,
             attach_pos: self.pushed,
         });
         self.slots.push(Slot {
@@ -324,9 +585,13 @@ impl CtrlPlane {
     /// Detaches `tenant` at the current epoch, returning its complete
     /// isolated output. Blocks until every NIC shard acked the epoch.
     ///
-    /// A unit's sole member drains destructively; a member of a fused unit
-    /// is finalized against a snapshot of the shared state, leaving the
-    /// surviving members bitwise unaffected.
+    /// The handshake is picked by population, innermost shared layer
+    /// first: a member of a fused unit is finalized against a snapshot of
+    /// the shared engine state; the sole member of a unit whose partition
+    /// feeds *other* units finalizes its own engines against a partition
+    /// snapshot (the partition survives for the other subscribers); the
+    /// sole member of a partition's sole unit drains destructively. In
+    /// every case the survivors are bitwise unaffected.
     pub fn detach(&mut self, tenant: TenantId) -> Result<StreamOutput, CtrlError> {
         let Some(pos) = self.slots.iter().position(|s| s.id == tenant) else {
             return Err(CtrlError::UnknownTenant(tenant));
@@ -337,23 +602,42 @@ impl CtrlPlane {
             .iter()
             .position(|u| u.id == unit_id)
             .expect("slot without unit");
+        let gid = self.units[upos].group;
+        let gpos = self
+            .groups
+            .iter()
+            .position(|g| g.id == gid)
+            .expect("unit without group");
         let out = if self.units[upos].members.len() > 1 {
             // Fused member: snapshot-flush the shared partition (live
             // state untouched) and finalize an engine clone against it.
             self.frame.clear();
-            self.switch.snapshot_into(unit_id, &mut self.frame);
+            self.switch.snapshot_into(gid, &mut self.frame);
             let events: Vec<TaggedEvent> = self.frame.drain(..).collect();
             let out = self.nic.snapshot_detach(tenant, events)?;
             self.units[upos].members.retain(|&m| m != tenant);
             out
-        } else {
-            // Sole member: drain the switch partition so in-flight batched
-            // records reach the NIC ahead of the detach marker.
+        } else if self.groups[gpos].units.len() > 1 {
+            // Sole unit member, but the partition feeds other units: the
+            // unit finalizes against a partition snapshot and the
+            // partition keeps serving the remaining subscribers.
             self.frame.clear();
-            self.switch.detach_into(unit_id, &mut self.frame);
+            self.switch.snapshot_into(gid, &mut self.frame);
+            let events: Vec<TaggedEvent> = self.frame.drain(..).collect();
+            let out = self.nic.prefix_detach(tenant, events)?;
+            self.groups[gpos].units.retain(|&u| u != unit_id);
+            self.units.remove(upos);
+            out
+        } else {
+            // Sole member of the partition's sole unit: drain the switch
+            // partition so in-flight batched records reach the NIC ahead
+            // of the detach marker.
+            self.frame.clear();
+            self.switch.detach_into(gid, &mut self.frame);
             self.nic.push_all(self.frame.drain(..))?;
             let out = self.nic.detach(tenant)?;
             self.units.remove(upos);
+            self.groups.remove(gpos);
             out
         };
         self.slots.remove(pos);
@@ -559,6 +843,116 @@ mod tests {
         assert_eq!(runs[0].id, b);
         let solo_full = solo(&host_sum(), 1200, 2);
         assert_eq!(runs[0].output.group_vectors, solo_full.group_vectors);
+    }
+
+    fn host_max() -> TenantSpec {
+        spec(
+            "host-max",
+            "pktstream\n.groupby(host)\n.reduce(size, [f_max])\n.collect(host)",
+        )
+    }
+
+    #[test]
+    fn prefix_shared_tenants_run_bitwise_on_one_partition() {
+        // host-sum and host-max are NOT SF07xx-equivalent (different
+        // reduce tails) but share the parse → groupby(host) switch
+        // prefix: one partition, two execution units.
+        let mut plane = CtrlPlane::new(2, AnalyzeConfig::default());
+        assert!(plane.cse_enabled());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&host_max(), None).unwrap();
+        let c = plane.attach(&flow_stats(), None).unwrap();
+        assert_eq!(plane.units().len(), 3, "distinct tails keep their units");
+        assert_eq!(
+            plane.groups(),
+            vec![(a, 2), (c, 1)],
+            "prefix pair shares one partition"
+        );
+        for p in packets(900) {
+            plane.push(&p).unwrap();
+        }
+        // Prefix-shared tenants read the shared partition's counters.
+        assert_eq!(plane.tenant_switch_stats(b).unwrap().pkts_in, 900);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 3);
+        let solo_s = solo(&host_sum(), 900, 2);
+        let solo_m = solo(&host_max(), 900, 2);
+        let solo_f = solo(&flow_stats(), 900, 2);
+        assert_eq!(runs[0].output.group_vectors, solo_s.group_vectors);
+        assert_eq!(runs[1].output.group_vectors, solo_m.group_vectors);
+        assert_eq!(runs[2].output.group_vectors, solo_f.group_vectors);
+    }
+
+    #[test]
+    fn prefix_member_detach_is_bitwise_and_spares_the_partition() {
+        let mut plane = CtrlPlane::new(2, AnalyzeConfig::default());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        let b = plane.attach(&host_max(), None).unwrap();
+        assert_eq!(plane.groups(), vec![(a, 2)]);
+        let mut detached = None;
+        for (i, p) in packets(1200).enumerate() {
+            if i == 600 {
+                detached = Some(plane.detach(b).unwrap());
+                // The partition survives for its remaining subscriber.
+                assert_eq!(plane.groups(), vec![(a, 1)]);
+                assert_eq!(plane.units().len(), 1);
+            }
+            plane.push(&p).unwrap();
+        }
+        let gone = detached.unwrap();
+        let solo_half = solo(&host_max(), 600, 2);
+        assert_eq!(gone.group_vectors, solo_half.group_vectors);
+        assert_eq!(gone.packet_vectors, solo_half.packet_vectors);
+        let runs = plane.finish().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].id, a);
+        let solo_full = solo(&host_sum(), 1200, 2);
+        assert_eq!(runs[0].output.group_vectors, solo_full.group_vectors);
+    }
+
+    #[test]
+    fn without_cse_separates_partitions_but_still_fuses() {
+        let mut plane = CtrlPlane::without_cse(1, AnalyzeConfig::default());
+        assert!(plane.fusion_enabled());
+        assert!(!plane.cse_enabled());
+        let a = plane.attach(&host_sum(), None).unwrap();
+        plane.attach(&host_max(), None).unwrap();
+        plane.attach(&host_sum_renamed(), None).unwrap();
+        // The prefix pair stays on separate partitions, but the
+        // SF07xx-equivalent pair still fuses into one unit.
+        assert_eq!(plane.groups().len(), 2);
+        assert_eq!(plane.units().len(), 2);
+        assert_eq!(plane.units()[0], (a, 2));
+        plane.finish().unwrap();
+
+        // without_fusion disables both layers of sharing.
+        let mut plain = CtrlPlane::without_fusion(1, AnalyzeConfig::default());
+        assert!(!plain.cse_enabled());
+        plain.attach(&host_sum(), None).unwrap();
+        plain.attach(&host_max(), None).unwrap();
+        assert_eq!(plain.groups().len(), 2);
+        plain.finish().unwrap();
+    }
+
+    #[test]
+    fn admission_check_surfaces_prefix_saving() {
+        let mut plane = CtrlPlane::new(1, AnalyzeConfig::default());
+        plane.attach(&host_sum(), None).unwrap();
+        let report = plane.admission_check(&host_max()).unwrap();
+        let note = report
+            .warnings
+            .iter()
+            .find(|d| d.code == codes::SHARE_SAVING)
+            .expect("prefix-sharing candidate must surface SF0803 saving");
+        assert!(note.message.contains("NIC-only"), "{note:?}");
+        assert!(
+            !report
+                .warnings
+                .iter()
+                .any(|d| d.code == codes::FUSION_HEADROOM),
+            "a prefix share is not a fusion"
+        );
+        plane.finish().unwrap();
     }
 
     #[test]

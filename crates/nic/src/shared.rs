@@ -53,9 +53,13 @@ enum ShardMsg {
     Frame(Vec<TaggedEvent>),
     /// Attach marker: adopt this pre-built engine as a new unit whose
     /// first member is the unit id itself, effective for all events after
-    /// this point in the stream.
+    /// this point in the stream. `group` names the switch partition whose
+    /// tagged events feed the engine — the unit itself for a solo attach,
+    /// or a shared-prefix group id when several units consume one
+    /// partition's stream.
     Attach {
         unit: TenantId,
+        group: TenantId,
         engine: Box<FeNic>,
         sink: Option<Box<dyn VectorSink>>,
     },
@@ -77,6 +81,16 @@ enum ShardMsg {
     Snapshot {
         unit: TenantId,
         member: TenantId,
+        events: Vec<SwitchEvent>,
+        ack: Sender<(usize, TenantPiece)>,
+    },
+    /// Prefix-detach marker: destructively finalize a whole unit that
+    /// shares its switch partition with other units. The partition stays
+    /// live for the survivors, so its snapshot flush cannot travel as
+    /// ordinary frames (they would corrupt the surviving units' state);
+    /// it rides in the marker and feeds only the departing unit's engine.
+    PrefixDetach {
+        unit: TenantId,
         events: Vec<SwitchEvent>,
         ack: Sender<(usize, TenantPiece)>,
     },
@@ -103,6 +117,9 @@ struct MemberEgress {
 /// every member, plus the per-member demux fan-out.
 struct UnitEngine {
     unit: TenantId,
+    /// The switch partition (shared-prefix group) whose events feed this
+    /// engine; equals `unit` outside prefix sharing.
+    group: TenantId,
     nic: Box<FeNic>,
     members: Vec<MemberEgress>,
     /// Per-packet vectors accumulated for sinkless members' final output
@@ -254,6 +271,13 @@ struct MemberEntry {
     unit: TenantId,
 }
 
+/// One execution unit and the shared-prefix group (switch partition) whose
+/// event stream feeds it; `group == unit` outside prefix sharing.
+struct UnitEntry {
+    unit: TenantId,
+    group: TenantId,
+}
+
 /// A multi-tenant streaming NIC executor sharing one worker pool.
 ///
 /// Constructed empty; units come and go via
@@ -267,8 +291,11 @@ pub struct SharedStreamingNic {
     spare: Vec<Vec<TaggedEvent>>,
     /// Attached members in attach order.
     members: Vec<MemberEntry>,
-    /// Execution units in creation order, with events-routed counters.
-    units: Vec<(TenantId, u64)>,
+    /// Execution units in creation order.
+    units: Vec<UnitEntry>,
+    /// Shared-prefix groups (switch partitions) in creation order, with
+    /// events-routed counters; a solo unit is a group of one.
+    groups: Vec<(TenantId, u64)>,
 }
 
 impl SharedStreamingNic {
@@ -286,9 +313,12 @@ impl SharedStreamingNic {
                         match msg {
                             ShardMsg::Frame(mut frame) => {
                                 for e in &frame {
-                                    if let Some(u) = engines.iter_mut().find(|u| u.unit == e.tenant)
-                                    {
-                                        u.nic.handle(&e.event);
+                                    // One shared-prefix partition's event
+                                    // feeds every unit in its group.
+                                    for u in engines.iter_mut() {
+                                        if u.group == e.tenant {
+                                            u.nic.handle(&e.event);
+                                        }
                                     }
                                 }
                                 for u in engines.iter_mut() {
@@ -297,9 +327,15 @@ impl SharedStreamingNic {
                                 frame.clear();
                                 let _ = recycle.send(frame);
                             }
-                            ShardMsg::Attach { unit, engine, sink } => {
+                            ShardMsg::Attach {
+                                unit,
+                                group,
+                                engine,
+                                sink,
+                            } => {
                                 engines.push(UnitEngine {
                                     unit,
+                                    group,
                                     nic: engine,
                                     members: vec![MemberEgress {
                                         member: unit,
@@ -338,6 +374,20 @@ impl SharedStreamingNic {
                                     }
                                 }
                             }
+                            ShardMsg::PrefixDetach { unit, events, ack } => {
+                                if let Some(pos) = engines.iter().position(|u| u.unit == unit) {
+                                    let mut u = engines.remove(pos);
+                                    // Mirror the solo end-of-stream order:
+                                    // partition flush, packet drain, finish.
+                                    for e in &events {
+                                        u.nic.handle(e);
+                                    }
+                                    u.drain_packets();
+                                    for piece in u.finalize() {
+                                        let _ = ack.send((shard, piece));
+                                    }
+                                }
+                            }
                         }
                     }
                     // Channel closed: end of stream for everyone left.
@@ -357,6 +407,7 @@ impl SharedStreamingNic {
             spare: Vec::new(),
             members: Vec::new(),
             units: Vec::new(),
+            groups: Vec::new(),
         }
     }
 
@@ -365,20 +416,24 @@ impl SharedStreamingNic {
         self.workers.len()
     }
 
-    /// Attached members in attach order, each with its unit's
-    /// events-routed counter (fused members share one stream).
+    /// Attached members in attach order, each with its group's
+    /// events-routed counter (fused and prefix-shared members share one
+    /// stream).
     pub fn tenants(&self) -> Vec<(TenantId, u64)> {
         self.members
             .iter()
-            .map(|m| {
-                let routed = self
-                    .units
-                    .iter()
-                    .find(|(u, _)| *u == m.unit)
-                    .map_or(0, |(_, n)| *n);
-                (m.member, routed)
-            })
+            .map(|m| (m.member, self.routed_of_unit(m.unit)))
             .collect()
+    }
+
+    fn group_of_unit(&self, unit: TenantId) -> Option<TenantId> {
+        self.units.iter().find(|u| u.unit == unit).map(|u| u.group)
+    }
+
+    fn routed_of_unit(&self, unit: TenantId) -> u64 {
+        self.group_of_unit(unit)
+            .and_then(|g| self.groups.iter().find(|(id, _)| *id == g))
+            .map_or(0, |(_, n)| *n)
     }
 
     /// Validates and splits an optional per-shard sink list.
@@ -417,6 +472,55 @@ impl SharedStreamingNic {
         fg_table_size: usize,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
     ) -> Result<(), NicError> {
+        self.attach_unit(tenant, tenant, compiled, fg_table_size, sinks)?;
+        self.groups.push((tenant, 0));
+        Ok(())
+    }
+
+    /// Attaches `tenant` as a new unit consuming the event stream of the
+    /// already-attached shared-prefix group `group` (the id the shared
+    /// switch partition tags its events with). The unit gets its own
+    /// engines and its own NIC program — only the switch-side prefix is
+    /// shared — so its output is bitwise a solo run's.
+    ///
+    /// The group must still be at stream position zero (no events routed),
+    /// or the new unit's output would miss history; the control plane
+    /// additionally guarantees no *packets* reached the shared partition.
+    pub fn attach_to_group(
+        &mut self,
+        group: TenantId,
+        tenant: TenantId,
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<(), NicError> {
+        let Some(routed) = self
+            .groups
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, n)| *n)
+        else {
+            return Err(NicError::Engine(format!("group {group} is not attached")));
+        };
+        if routed != 0 {
+            return Err(NicError::Engine(format!(
+                "group {group} has already processed events; a late unit cannot                  share its prefix"
+            )));
+        }
+        self.attach_unit(group, tenant, compiled, fg_table_size, sinks)
+    }
+
+    /// Builds per-shard engines for a new unit of one and sends the attach
+    /// markers; shared by [`SharedStreamingNic::attach`] (solo group) and
+    /// [`SharedStreamingNic::attach_to_group`] (existing group).
+    fn attach_unit(
+        &mut self,
+        group: TenantId,
+        tenant: TenantId,
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+    ) -> Result<(), NicError> {
         if self.members.iter().any(|m| m.member == tenant) {
             return Err(NicError::Engine(format!(
                 "tenant {tenant} is already attached"
@@ -439,12 +543,16 @@ impl SharedStreamingNic {
                 .tx
                 .send(ShardMsg::Attach {
                     unit: tenant,
+                    group,
                     engine,
                     sink,
                 })
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
-        self.units.push((tenant, 0));
+        self.units.push(UnitEntry {
+            unit: tenant,
+            group,
+        });
         self.members.push(MemberEntry {
             member: tenant,
             unit: tenant,
@@ -467,10 +575,10 @@ impl SharedStreamingNic {
         member: TenantId,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
     ) -> Result<(), NicError> {
-        let Some(routed) = self.units.iter().find(|(u, _)| *u == unit).map(|(_, n)| *n) else {
+        if self.group_of_unit(unit).is_none() {
             return Err(NicError::Engine(format!("unit {unit} is not attached")));
-        };
-        if routed != 0 {
+        }
+        if self.routed_of_unit(unit) != 0 {
             return Err(NicError::Engine(format!(
                 "unit {unit} has already processed events; a late member cannot join"
             )));
@@ -511,10 +619,70 @@ impl SharedStreamingNic {
                 "tenant {member} shares unit {unit}; detach it with a snapshot"
             )));
         }
+        let group = self
+            .group_of_unit(unit)
+            .expect("attached members have units");
+        if self
+            .units
+            .iter()
+            .any(|u| u.unit != unit && u.group == group)
+        {
+            return Err(NicError::Engine(format!(
+                "tenant {member} shares switch partition {group}; detach it                  with a prefix detach"
+            )));
+        }
         self.flush_all()?;
         let pieces = self.collect_acks(|ack| ShardMsg::Detach { unit, ack })?;
         self.members.remove(pos);
-        self.units.retain(|(u, _)| *u != unit);
+        self.units.retain(|u| u.unit != unit);
+        self.groups.retain(|(g, _)| *g != group);
+        Ok(merge_pieces(pieces))
+    }
+
+    /// Detaches `member` — the sole member of its unit — whose unit shares
+    /// its switch partition with other units. `events` must be the
+    /// *snapshot flush* of the shared partition (`SharedSwitch::
+    /// snapshot_into` — the partition itself stays live for the surviving
+    /// units, which is why the flush cannot travel as ordinary frames).
+    /// Each shard destructively finalizes the unit's engine against its
+    /// share of the flush, so the departing member's output is exactly
+    /// what a solo detach would have produced at this stream position.
+    pub fn prefix_detach(
+        &mut self,
+        member: TenantId,
+        events: Vec<TaggedEvent>,
+    ) -> Result<StreamOutput, NicError> {
+        let Some(pos) = self.members.iter().position(|m| m.member == member) else {
+            return Err(NicError::Engine(format!("tenant {member} is not attached")));
+        };
+        let unit = self.members[pos].unit;
+        if self.members.iter().filter(|m| m.unit == unit).count() > 1 {
+            return Err(NicError::Engine(format!(
+                "tenant {member} shares unit {unit}; detach it with a snapshot"
+            )));
+        }
+        let group = self
+            .group_of_unit(unit)
+            .expect("attached members have units");
+        if !self
+            .units
+            .iter()
+            .any(|u| u.unit != unit && u.group == group)
+        {
+            return Err(NicError::Engine(format!(
+                "tenant {member} is its partition's sole consumer; use a                  draining detach"
+            )));
+        }
+        let mut per_shard = self.route_snapshot(group, events);
+        self.flush_all()?;
+        let mut shards = per_shard.drain(..);
+        let pieces = self.collect_acks(|ack| ShardMsg::PrefixDetach {
+            unit,
+            events: shards.next().unwrap_or_default(),
+            ack,
+        })?;
+        self.members.remove(pos);
+        self.units.retain(|u| u.unit != unit);
         Ok(merge_pieces(pieces))
     }
 
@@ -538,12 +706,30 @@ impl SharedStreamingNic {
                 "tenant {member} is its unit's sole member; use a draining detach"
             )));
         }
-        // Route the snapshot events per shard with the live routing rules:
-        // MGPV evictions to `hash % workers`, FG updates broadcast.
+        let group = self
+            .group_of_unit(unit)
+            .expect("attached members have units");
+        let mut per_shard = self.route_snapshot(group, events);
+        self.flush_all()?;
+        let mut shards = per_shard.drain(..);
+        let pieces = self.collect_acks(|ack| ShardMsg::Snapshot {
+            unit,
+            member,
+            events: shards.next().unwrap_or_default(),
+            ack,
+        })?;
+        self.members.remove(pos);
+        Ok(merge_pieces(pieces))
+    }
+
+    /// Routes a switch-partition snapshot flush per shard with the live
+    /// routing rules — MGPV evictions to `hash % workers`, FG updates
+    /// broadcast — keeping only events tagged with `group`.
+    fn route_snapshot(&self, group: TenantId, events: Vec<TaggedEvent>) -> Vec<Vec<SwitchEvent>> {
         let n = self.workers.len();
         let mut per_shard: Vec<Vec<SwitchEvent>> = (0..n).map(|_| Vec::new()).collect();
         for e in events {
-            if e.tenant != unit {
+            if e.tenant != group {
                 continue;
             }
             match &e.event {
@@ -557,16 +743,7 @@ impl SharedStreamingNic {
                 }
             }
         }
-        self.flush_all()?;
-        let mut per_shard = per_shard.into_iter();
-        let pieces = self.collect_acks(|ack| ShardMsg::Snapshot {
-            unit,
-            member,
-            events: per_shard.next().unwrap_or_default(),
-            ack,
-        })?;
-        self.members.remove(pos);
-        Ok(merge_pieces(pieces))
+        per_shard
     }
 
     /// Sends one marker per shard (built by `msg`, in shard order) and
@@ -599,7 +776,7 @@ impl SharedStreamingNic {
     /// Routes one tagged event: MGPV evictions to shard `hash % workers`
     /// (identical to the solo executor), FG updates to every shard.
     pub fn push(&mut self, event: TaggedEvent) -> Result<(), NicError> {
-        if let Some(entry) = self.units.iter_mut().find(|(u, _)| *u == event.tenant) {
+        if let Some(entry) = self.groups.iter_mut().find(|(g, _)| *g == event.tenant) {
             entry.1 += 1;
         }
         match &event.event {
@@ -963,6 +1140,134 @@ mod tests {
         nic.push_all(frame.drain(..)).unwrap();
         assert!(nic.join(TenantId(0), TenantId(2), None).is_err());
         assert!(nic.join(TenantId(9), TenantId(3), None).is_err());
+        nic.finish().unwrap();
+    }
+
+    #[test]
+    fn prefix_group_units_match_their_solo_runs() {
+        // Two tenants sharing one switch partition (same prefix: no
+        // filter, groupby host) but running different reduce tails: each
+        // unit's output must be bitwise identical to a solo run of its own
+        // full policy.
+        for workers in [1usize, 3] {
+            let a = host_sum();
+            let b = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_max])\n.collect(host)");
+            let mut sw = SharedSwitch::new();
+            // One partition, attached under the group id (tenant 0).
+            sw.attach(
+                TenantId(0),
+                a.switch.clone(),
+                MgpvConfig::default(),
+                CacheMode::Mgpv,
+            );
+            let mut nic = SharedStreamingNic::new(workers);
+            nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+            nic.attach_to_group(TenantId(0), TenantId(1), &b, 16_384, None)
+                .unwrap();
+            let mut frame = Vec::new();
+            for p in packets(800) {
+                frame.clear();
+                sw.process_into(&p, &mut frame);
+                nic.push_all(frame.drain(..)).unwrap();
+            }
+            frame.clear();
+            sw.flush_into(&mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+            let outs = nic.finish().unwrap();
+            assert_eq!(outs.len(), 2);
+            let solo_a = solo_run(&a, 800, workers);
+            let solo_b = solo_run(&b, 800, workers);
+            assert_eq!(outs[0].1.group_vectors, solo_a.group_vectors);
+            assert_eq!(outs[1].1.group_vectors, solo_b.group_vectors);
+            assert_eq!(outs[0].1.stats.records, solo_a.stats.records);
+            assert_eq!(outs[1].1.stats.records, solo_b.stats.records);
+        }
+    }
+
+    #[test]
+    fn prefix_detach_is_bitwise_solo_and_spares_survivors() {
+        let a = host_sum();
+        let b = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_max])\n.collect(host)");
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.attach_to_group(TenantId(0), TenantId(1), &b, 16_384, None)
+            .unwrap();
+        let mut frame = Vec::new();
+        let mut gone = None;
+        for (i, p) in packets(1000).enumerate() {
+            if i == 500 {
+                // The shared partition stays live for tenant 0; tenant 1
+                // finalizes against the partition's snapshot flush.
+                frame.clear();
+                sw.snapshot_into(TenantId(0), &mut frame);
+                let events: Vec<TaggedEvent> = std::mem::take(&mut frame);
+                gone = Some(nic.prefix_detach(TenantId(1), events).unwrap());
+            }
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let outs = nic.finish().unwrap();
+        let solo_half = solo_run(&b, 500, 2);
+        let solo_full = solo_run(&a, 1000, 2);
+        let gone = gone.unwrap();
+        assert_eq!(gone.group_vectors, solo_half.group_vectors);
+        assert_eq!(gone.packet_vectors, solo_half.packet_vectors);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, TenantId(0));
+        assert_eq!(outs[0].1.group_vectors, solo_full.group_vectors);
+    }
+
+    #[test]
+    fn prefix_group_guards_position_and_detach_kind() {
+        let a = host_sum();
+        let b = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_max])\n.collect(host)");
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        // Unknown group, and duplicate members, are refused.
+        assert!(nic
+            .attach_to_group(TenantId(9), TenantId(1), &b, 16_384, None)
+            .is_err());
+        nic.attach_to_group(TenantId(0), TenantId(1), &b, 16_384, None)
+            .unwrap();
+        assert!(nic
+            .attach_to_group(TenantId(0), TenantId(1), &b, 16_384, None)
+            .is_err());
+        // A partition-sharing unit cannot take the draining detach path; a
+        // partition's sole consumer cannot take the prefix path.
+        assert!(nic.detach(TenantId(1)).is_err());
+        assert!(nic.prefix_detach(TenantId(1), Vec::new()).is_ok());
+        assert!(nic.prefix_detach(TenantId(0), Vec::new()).is_err());
+        // Once the group has routed events, late prefix shares are refused.
+        let mut frame = Vec::new();
+        for p in packets(50) {
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        assert!(nic
+            .attach_to_group(TenantId(0), TenantId(2), &b, 16_384, None)
+            .is_err());
         nic.finish().unwrap();
     }
 

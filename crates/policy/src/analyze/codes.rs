@@ -12,6 +12,7 @@
 //! | `SF05xx` | value ranges / overflow proofs          | `analyze::values`     |
 //! | `SF06xx` | static cost model                       | `analyze::cost`       |
 //! | `SF07xx` | cross-policy equivalence / fusion       | `analyze::equiv`      |
+//! | `SF08xx` | shared-prefix analysis / cross-tenant CSE | `analyze::share`    |
 
 // --- SF01xx: structural -------------------------------------------------
 
@@ -120,6 +121,21 @@ pub const FUSION_NEAR_MISS: &str = "SF0702";
 /// each shared plan once instead of per tenant.
 pub const FUSION_HEADROOM: &str = "SF0703";
 
+// --- SF08xx: shared-prefix analysis / cross-tenant CSE (emitted by
+// analyze::share and the control plane) --------------------------------------
+
+/// Two or more policies share a value-certified stage prefix (parse →
+/// groupby key → filter conjunct set): one switch partition can serve all
+/// of them, with per-tenant map/reduce tails on the NIC.
+pub const SHARE_PREFIX: &str = "SF0801";
+/// Two policies share leading stages but diverge before the switch
+/// boundary; the message names the first divergent op and the culprit
+/// field/constant that broke sharing.
+pub const SHARE_NEAR_MISS: &str = "SF0802";
+/// Estimated switch/NIC demand saving bought by prefix sharing, priced by
+/// the SF06xx cost model.
+pub const SHARE_SAVING: &str = "SF0803";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -163,6 +179,9 @@ mod tests {
             super::FUSION_CLASS,
             super::FUSION_NEAR_MISS,
             super::FUSION_HEADROOM,
+            super::SHARE_PREFIX,
+            super::SHARE_NEAR_MISS,
+            super::SHARE_SAVING,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("SF") && a.len() == 6, "{a}");

@@ -49,42 +49,42 @@ use crate::ir::{lower, IrOp, PolicyIr, ValueTy, ValueUnit};
 /// FNV-1a, 64-bit: deterministic across runs and platforms (no
 /// `DefaultHasher` seeding, no pointer or map-iteration-order inputs).
 #[derive(Clone, Copy)]
-struct Fnv(u64);
+pub(super) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(super) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn byte(&mut self, b: u8) {
+    pub(super) fn byte(&mut self, b: u8) {
         self.0 ^= u64::from(b);
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(super) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn usize(&mut self, v: usize) {
+    pub(super) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(super) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn tag(&mut self, t: u8) {
+    pub(super) fn tag(&mut self, t: u8) {
         self.byte(t);
     }
 
-    fn finish(self) -> u64 {
+    pub(super) fn finish(self) -> u64 {
         self.0
     }
 }
 
-fn granularity_tag(g: Granularity) -> u8 {
+pub(super) fn granularity_tag(g: Granularity) -> u8 {
     match g {
         Granularity::Flow => 0,
         Granularity::Host => 1,
@@ -93,7 +93,7 @@ fn granularity_tag(g: Granularity) -> u8 {
     }
 }
 
-fn value_ty_hash(h: &mut Fnv, ty: ValueTy) {
+pub(super) fn value_ty_hash(h: &mut Fnv, ty: ValueTy) {
     h.tag(match ty.unit {
         ValueUnit::Bytes => 0,
         ValueUnit::TimeNs => 1,
@@ -106,7 +106,7 @@ fn value_ty_hash(h: &mut Fnv, ty: ValueTy) {
     h.tag(u8::from(ty.signed));
 }
 
-fn reduce_fn_hash(h: &mut Fnv, f: &ReduceFn) {
+pub(super) fn reduce_fn_hash(h: &mut Fnv, f: &ReduceFn) {
     match f {
         ReduceFn::Sum => h.tag(0),
         ReduceFn::Mean => h.tag(1),
@@ -166,7 +166,7 @@ fn reduce_fn_hash(h: &mut Fnv, f: &ReduceFn) {
     }
 }
 
-fn synth_fn_hash(h: &mut Fnv, f: SynthFn) {
+pub(super) fn synth_fn_hash(h: &mut Fnv, f: SynthFn) {
     match f {
         SynthFn::Marker => h.tag(0),
         SynthFn::Norm => h.tag(1),
@@ -185,14 +185,14 @@ fn synth_fn_hash(h: &mut Fnv, f: SynthFn) {
 /// what makes the canonical form alpha-renaming-invariant: `map(a, size,
 /// f_direction)` and `map(dsize, size, f_direction)` produce the same
 /// provenance for their destination.
-struct Provenance(Vec<(Field, u64)>);
+pub(super) struct Provenance(Vec<(Field, u64)>);
 
 impl Provenance {
-    fn new() -> Self {
+    pub(super) fn new() -> Self {
         Provenance(Vec::new())
     }
 
-    fn of(&self, field: &Field) -> u64 {
+    pub(super) fn of(&self, field: &Field) -> u64 {
         if let Field::Named(_) = field {
             if let Some((_, h)) = self.0.iter().rev().find(|(f, _)| f == field) {
                 return *h;
@@ -221,7 +221,7 @@ impl Provenance {
         h.finish()
     }
 
-    fn define(&mut self, dst: Field, hash: u64) {
+    pub(super) fn define(&mut self, dst: Field, hash: u64) {
         self.0.push((dst, hash));
     }
 }
@@ -231,7 +231,7 @@ impl Provenance {
 /// Canonical hash of a predicate: `And`/`Or` chains are flattened and
 /// their children combined order-insensitively, so `a && b` hashes equal
 /// to `b && a` (conjunction is commutative and side-effect-free).
-fn predicate_hash(pred: &Predicate, prov: &Provenance) -> u64 {
+pub(super) fn predicate_hash(pred: &Predicate, prov: &Provenance) -> u64 {
     match pred {
         Predicate::TcpExists => {
             let mut h = Fnv::new();
@@ -271,7 +271,7 @@ fn predicate_hash(pred: &Predicate, prov: &Provenance) -> u64 {
 }
 
 /// Collects the flattened children of an associative `And`/`Or` chain.
-fn flatten(pred: &Predicate, conj: bool, prov: &Provenance, out: &mut Vec<u64>) {
+pub(super) fn flatten(pred: &Predicate, conj: bool, prov: &Provenance, out: &mut Vec<u64>) {
     match (pred, conj) {
         (Predicate::And(a, b), true) | (Predicate::Or(a, b), false) => {
             flatten(a, conj, prov, out);
@@ -282,7 +282,7 @@ fn flatten(pred: &Predicate, conj: bool, prov: &Provenance, out: &mut Vec<u64>) 
 }
 
 /// Order-insensitive combination: sort, dedupe (idempotence), then fold.
-fn combine_sorted(tag: u8, mut hashes: Vec<u64>) -> u64 {
+pub(super) fn combine_sorted(tag: u8, mut hashes: Vec<u64>) -> u64 {
     hashes.sort_unstable();
     hashes.dedup();
     let mut h = Fnv::new();
@@ -547,6 +547,24 @@ pub struct FusionClass {
     pub members: Vec<usize>,
 }
 
+/// One structured near-miss: a pair of policies that cannot fuse, with the
+/// blocking reason and (when the canonical stage lattices differ) the first
+/// divergent op — the data behind the `SF0702` message, exposed so renderers
+/// can emit it as a structured diff instead of re-parsing prose.
+#[derive(Clone, Debug)]
+pub struct NearMiss {
+    /// Index of the first policy in the analyzed list.
+    pub a: usize,
+    /// Index of the second policy in the analyzed list.
+    pub b: usize,
+    /// The blocking reason (same text the diagnostic message carries).
+    pub reason: String,
+    /// First divergent op in the stage-prefix lattice; `None` when the
+    /// lattices are identical (a hash-equal pair failing only the semantic
+    /// certificate).
+    pub divergence: Option<super::share::Divergence>,
+}
+
 /// The result of the cross-policy analysis over N policies.
 #[derive(Clone, Debug)]
 pub struct FusionAnalysis {
@@ -555,6 +573,9 @@ pub struct FusionAnalysis {
     /// Equivalence classes in order of first appearance; every policy is a
     /// member of exactly one class (singletons included).
     pub classes: Vec<FusionClass>,
+    /// Structured first-divergence diffs, one per `SF0702` finding, in
+    /// emission order.
+    pub near_misses: Vec<NearMiss>,
     /// The SF07xx findings: `SF0701` per shared subplan, `SF0702` per
     /// near-miss with the blocking reason.
     pub report: AnalysisReport,
@@ -591,7 +612,12 @@ impl FusionAnalysis {
 /// reported as an `SF0702` near-miss naming the semantic reason.
 pub fn analyze_fusion(named: &[(&str, &Policy)], cfg: &ValueConfig) -> FusionAnalysis {
     let forms: Vec<CanonicalForm> = named.iter().map(|(_, p)| canonical_form(p, cfg)).collect();
+    let prefixes: Vec<super::share::PrefixForm> = named
+        .iter()
+        .map(|(_, p)| super::share::prefix_form(p, cfg))
+        .collect();
     let mut classes: Vec<FusionClass> = Vec::new();
+    let mut near_misses: Vec<NearMiss> = Vec::new();
     let mut report = AnalysisReport::new();
 
     for (i, form) in forms.iter().enumerate() {
@@ -615,6 +641,12 @@ pub fn analyze_fusion(named: &[(&str, &Policy)], cfg: &ValueConfig) -> FusionAna
                             named[rep].0, named[i].0
                         ),
                     ));
+                    near_misses.push(NearMiss {
+                        a: rep,
+                        b: i,
+                        divergence: super::share::first_divergence(&prefixes[rep], &prefixes[i]),
+                        reason,
+                    });
                 }
             }
             break;
@@ -655,22 +687,32 @@ pub fn analyze_fusion(named: &[(&str, &Policy)], cfg: &ValueConfig) -> FusionAna
             if shared.is_empty() {
                 continue;
             }
-            report.push(Diagnostic::note(
-                codes::FUSION_NEAR_MISS,
-                format!(
-                    "policies '{}' and '{}' share {} but cannot fuse: {}",
-                    named[a].0,
-                    named[b].0,
-                    shared.join(" and "),
-                    forms[a].first_difference(&forms[b])
-                ),
-            ));
+            let reason = forms[a].first_difference(&forms[b]);
+            let divergence = super::share::first_divergence(&prefixes[a], &prefixes[b]);
+            let mut message = format!(
+                "policies '{}' and '{}' share {} but cannot fuse: {}",
+                named[a].0,
+                named[b].0,
+                shared.join(" and "),
+                reason,
+            );
+            if let Some(d) = &divergence {
+                let _ = write!(message, "; first divergence at {d}");
+            }
+            report.push(Diagnostic::note(codes::FUSION_NEAR_MISS, message));
+            near_misses.push(NearMiss {
+                a,
+                b,
+                reason,
+                divergence,
+            });
         }
     }
 
     FusionAnalysis {
         forms,
         classes,
+        near_misses,
         report,
     }
 }

@@ -25,6 +25,9 @@
 //! - `SF07xx` — cross-policy equivalence and fusion legality ([`equiv`]):
 //!   canonical plan hashing, the semantic-equivalence certificate, and the
 //!   shared-subplan / near-miss report behind multi-tenant plan fusion.
+//! - `SF08xx` — shared-prefix analysis ([`share`]): sub-policy CSE on the
+//!   stage-prefix lattice, value-certified, behind cross-tenant sharing of
+//!   one switch partition with per-tenant NIC tails.
 //!
 //! The hardware passes live downstream (the switch and NIC crates depend on
 //! this one), sharing [`Diagnostic`] so one report renders all layers.
@@ -33,6 +36,7 @@ pub mod codes;
 pub mod cost;
 pub mod dataflow;
 pub mod equiv;
+pub mod share;
 pub mod structural;
 pub mod values;
 

@@ -1,0 +1,920 @@
+//! SF08xx shared-prefix analysis: value-certified cross-tenant CSE on the
+//! typed IR.
+//!
+//! The SF07xx pass ([`super::equiv`]) fuses tenants whose policies are
+//! *provably identical programs*. This pass goes below whole-policy
+//! granularity: it decomposes each policy's typed IR into a canonical
+//! **stage-prefix lattice**
+//!
+//! ```text
+//! parse → groupby key → filter conjunct set → map chain → reduce tail
+//! ```
+//!
+//! using the same provenance-based canonical hashing (alpha-renaming
+//! invariant, filter-conjunct-order insensitive, reduce-order sensitive),
+//! then computes maximal shared prefixes across a tenant set. The
+//! executable boundary is the **switch prefix** — parse, the full
+//! granularity chain, and the filter conjunct set. That is exactly the
+//! computation the switch half performs (filtering, grouping, and the MGPV
+//! cache), and the cache's event stream — record content *and* eviction
+//! timing — is fully determined by it: two policies with equal switch
+//! prefixes can share one switch partition, with per-tenant map/reduce
+//! tails running on the NIC against the shared group-tagged event stream.
+//!
+//! Before a shared prefix is legal it is **semantically certified** by the
+//! SF05xx interval analysis: both policies must agree bitwise on every
+//! builtin field's proven value bounds at the groupby boundary, and on the
+//! SF05xx finding codes attributable to the shared ops — so sharing can
+//! never change any tenant's output.
+//!
+//! Findings:
+//! - `SF0801`: a certified shared prefix, with the per-stage op list.
+//! - `SF0802`: a near-miss — the first divergent op and which
+//!   constant/field broke sharing.
+//! - `SF0803`: the estimated switch/NIC demand saving, priced by the
+//!   SF06xx cost model.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use superfe_net::Granularity;
+
+use super::equiv::{
+    granularity_tag, predicate_hash, reduce_fn_hash, synth_fn_hash, value_ty_hash, Fnv, Provenance,
+};
+use super::values::{self, ValueConfig};
+use super::{codes, cost, AnalysisReport, Diagnostic};
+use crate::ast::{CollectUnit, Field, Operator, Policy, Predicate, SynthFn};
+use crate::ir::{lower, IrOp};
+
+// --- the stage lattice ------------------------------------------------------
+
+/// The stage a canonical op belongs to, in lattice order. Ops of earlier
+/// stages always precede ops of later stages in a [`PrefixForm`]; the
+/// switch/NIC boundary sits after the last [`Stage::Filter`] op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// The parse stage: deployment value configuration (batch size, aging
+    /// window, accumulator width) that seeds every downstream hash.
+    Parse,
+    /// The groupby key: the full granularity chain configuring the MGPV
+    /// cache.
+    GroupBy,
+    /// The filter conjunct set (order-insensitive, deduplicated).
+    Filter,
+    /// The map chain: provenance of every non-builtin reduce source, in
+    /// order of first use.
+    Map,
+    /// The reduce tail: reduces, synthesizers, and collect units in program
+    /// order (order-sensitive — it fixes the feature-vector layout).
+    Reduce,
+}
+
+impl Stage {
+    /// Human-readable stage name used in findings and JSON renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::GroupBy => "groupby key",
+            Stage::Filter => "filter set",
+            Stage::Map => "map chain",
+            Stage::Reduce => "reduce tail",
+        }
+    }
+}
+
+/// One canonical op in the stage-prefix lattice: its stage, a
+/// deterministic 64-bit canonical hash, and a name-free rendering for
+/// findings (alpha-renaming must not change a form, so descriptions spell
+/// provenance — `f_ipt(tstamp)` — rather than destination names).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrefixOp {
+    /// Lattice stage.
+    pub stage: Stage,
+    /// Canonical hash of this op (stage-tagged, deterministic across runs).
+    pub hash: u64,
+    /// Name-free rendering for reports.
+    pub desc: String,
+}
+
+/// The canonical stage-prefix lattice of one policy under a deployment
+/// configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrefixForm {
+    /// Canonical ops in lattice order (parse first; never empty).
+    pub ops: Vec<PrefixOp>,
+    /// `cumulative[i]` hashes `ops[..=i]` — prefix identity in O(1).
+    pub cumulative: Vec<u64>,
+    /// Number of leading ops on the switch side of the boundary (parse +
+    /// groupby chain + filter set).
+    pub switch_ops: usize,
+    /// Cumulative hash of the switch prefix: two policies with equal
+    /// `switch_prefix` can share one switch partition.
+    pub switch_prefix: u64,
+}
+
+impl PrefixForm {
+    /// Hash of the whole lattice.
+    pub fn full(&self) -> u64 {
+        *self.cumulative.last().expect("forms are never empty")
+    }
+
+    /// Number of leading ops shared with `other`.
+    pub fn shared_depth(&self, other: &PrefixForm) -> usize {
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .take_while(|(a, b)| a.hash == b.hash)
+            .count()
+    }
+
+    /// Renderings of the switch-prefix ops, in lattice order.
+    pub fn switch_op_descs(&self) -> Vec<String> {
+        self.ops[..self.switch_ops]
+            .iter()
+            .map(|o| o.desc.clone())
+            .collect()
+    }
+}
+
+fn gran_str(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Flow => "flow",
+        Granularity::Host => "host",
+        Granularity::Channel => "channel",
+        Granularity::Socket => "socket",
+    }
+}
+
+/// Renders a predicate without consulting field definitions — filters run
+/// before `groupby`, where only builtin fields are structurally legal, so
+/// names here are canonical already.
+fn pred_str(p: &Predicate) -> String {
+    match p {
+        Predicate::TcpExists => "tcp.exist".to_string(),
+        Predicate::UdpExists => "udp.exist".to_string(),
+        Predicate::Cmp { field, op, value } => {
+            format!("{} {} {}", field.name(), op.symbol(), value)
+        }
+        Predicate::And(a, b) => format!("({} && {})", pred_str(a), pred_str(b)),
+        Predicate::Or(a, b) => format!("({} || {})", pred_str(a), pred_str(b)),
+        Predicate::Not(p) => format!("!{}", pred_str(p)),
+    }
+}
+
+/// Flattens an `And` chain into its conjuncts.
+fn flatten_conjuncts<'a>(pred: &'a Predicate, out: &mut Vec<&'a Predicate>) {
+    if let Predicate::And(a, b) = pred {
+        flatten_conjuncts(a, out);
+        flatten_conjuncts(b, out);
+    } else {
+        out.push(pred);
+    }
+}
+
+/// Name-free rendering environment mirroring [`Provenance`]: every mapped
+/// field renders as its computation chain back to a builtin.
+struct DescEnv(Vec<(Field, String)>);
+
+impl DescEnv {
+    fn of(&self, field: &Field) -> String {
+        if let Field::Named(_) = field {
+            if let Some((_, d)) = self.0.iter().rev().find(|(f, _)| f == field) {
+                return d.clone();
+            }
+            return "?".to_string();
+        }
+        field.name()
+    }
+}
+
+fn synth_str(f: SynthFn) -> String {
+    match f {
+        SynthFn::Sample { n } => format!("ft_sample{{{n}}}"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Computes the canonical stage-prefix lattice of `policy` under `cfg`.
+///
+/// Deterministic across runs and platforms, invariant under alpha-renaming
+/// and filter-conjunct reordering, sensitive to comparison constants,
+/// granularity chains, reducer functions and *reduce order*, and the
+/// deployment configuration (which seeds the parse op, because the same
+/// syntax deployed against a different batch size or aging window
+/// accumulates different values).
+pub fn prefix_form(policy: &Policy, cfg: &ValueConfig) -> PrefixForm {
+    let ir = lower(policy);
+    let mut prov = Provenance::new();
+    let mut descs = DescEnv(Vec::new());
+
+    // Parse op: the deployment parameters every downstream value depends on.
+    let mut seed = Fnv::new();
+    seed.tag(0x01);
+    seed.u64(cfg.group_packets);
+    seed.u64(cfg.aging_t_ns);
+    seed.u64(u64::from(cfg.acc_bits));
+    let parse = PrefixOp {
+        stage: Stage::Parse,
+        hash: seed.finish(),
+        desc: format!(
+            "parse pktstream (batch {} pkt, aging {} ms, {}-bit accumulators)",
+            cfg.group_packets,
+            cfg.aging_t_ns / 1_000_000,
+            cfg.acc_bits
+        ),
+    };
+
+    let mut key_ops: Vec<PrefixOp> = Vec::new();
+    let mut filter_ops: Vec<PrefixOp> = Vec::new();
+    let mut map_ops: Vec<PrefixOp> = Vec::new();
+    let mut tail_ops: Vec<PrefixOp> = Vec::new();
+
+    // Registers the map chain behind `src` as a Map-stage op (once per
+    // distinct provenance, in order of first use by the reduce tail).
+    let use_source =
+        |src: &Field, prov: &Provenance, descs: &DescEnv, map_ops: &mut Vec<PrefixOp>| {
+            if src.is_builtin() {
+                return;
+            }
+            let p = prov.of(src);
+            let mut h = Fnv::new();
+            h.tag(0x03);
+            h.u64(p);
+            let hash = h.finish();
+            if !map_ops.iter().any(|o| o.hash == hash) {
+                map_ops.push(PrefixOp {
+                    stage: Stage::Map,
+                    hash,
+                    desc: format!("map {}", descs.of(src)),
+                });
+            }
+        };
+
+    for node in &ir.nodes {
+        match &node.op {
+            IrOp::Filter { pred } => {
+                let mut kids = Vec::new();
+                flatten_conjuncts(pred, &mut kids);
+                for kid in kids {
+                    let mut h = Fnv::new();
+                    h.tag(0x02);
+                    h.u64(predicate_hash(kid, &prov));
+                    filter_ops.push(PrefixOp {
+                        stage: Stage::Filter,
+                        hash: h.finish(),
+                        desc: format!("filter {}", pred_str(kid)),
+                    });
+                }
+            }
+            IrOp::Map { dst, src, func, .. } => {
+                let mut h = Fnv::new();
+                h.tag(0xa0);
+                h.tag(*func as u8);
+                h.u64(prov.of(src));
+                prov.define(dst.clone(), h.finish());
+                let rendered = format!("{}({})", func.name(), descs.of(src));
+                descs.0.push((dst.clone(), rendered));
+            }
+            IrOp::GroupBy { granularity } => {
+                let mut h = Fnv::new();
+                h.tag(0x10);
+                h.tag(granularity_tag(*granularity));
+                key_ops.push(PrefixOp {
+                    stage: Stage::GroupBy,
+                    hash: h.finish(),
+                    desc: format!("groupby({})", gran_str(*granularity)),
+                });
+            }
+            IrOp::Reduce { src, funcs, src_ty } => {
+                use_source(src, &prov, &descs, &mut map_ops);
+                let mut h = Fnv::new();
+                h.tag(0x20);
+                h.usize(node.level);
+                h.u64(prov.of(src));
+                value_ty_hash(&mut h, *src_ty);
+                h.usize(funcs.len());
+                let mut names = String::new();
+                for (k, f) in funcs.iter().enumerate() {
+                    reduce_fn_hash(&mut h, f);
+                    if k > 0 {
+                        names.push_str(", ");
+                    }
+                    names.push_str(f.name());
+                }
+                tail_ops.push(PrefixOp {
+                    stage: Stage::Reduce,
+                    hash: h.finish(),
+                    desc: format!("reduce [{}] over {}", names, descs.of(src)),
+                });
+            }
+            IrOp::Synthesize { func } => {
+                let mut h = Fnv::new();
+                h.tag(0x30);
+                h.usize(node.level);
+                synth_fn_hash(&mut h, *func);
+                tail_ops.push(PrefixOp {
+                    stage: Stage::Reduce,
+                    hash: h.finish(),
+                    desc: format!("synthesize {}", synth_str(*func)),
+                });
+            }
+            IrOp::Collect { unit } => {
+                let mut h = Fnv::new();
+                h.tag(0x40);
+                h.usize(node.level);
+                let desc = match unit {
+                    CollectUnit::Pkt => {
+                        h.tag(0);
+                        "collect(pkt)".to_string()
+                    }
+                    CollectUnit::Group(g) => {
+                        h.tag(1);
+                        h.tag(granularity_tag(*g));
+                        format!("collect({})", gran_str(*g))
+                    }
+                };
+                tail_ops.push(PrefixOp {
+                    stage: Stage::Reduce,
+                    hash: h.finish(),
+                    desc,
+                });
+            }
+        }
+    }
+
+    // The filter conjunct set is order-insensitive: sort by canonical hash
+    // and dedupe (idempotence), mirroring [`combine_sorted`].
+    filter_ops.sort_by_key(|op| op.hash);
+    filter_ops.dedup_by(|a, b| a.hash == b.hash);
+
+    let mut ops =
+        Vec::with_capacity(1 + key_ops.len() + filter_ops.len() + map_ops.len() + tail_ops.len());
+    ops.push(parse);
+    ops.extend(key_ops);
+    ops.extend(filter_ops);
+    let switch_ops = ops.len();
+    ops.extend(map_ops);
+    ops.extend(tail_ops);
+
+    let mut run = Fnv::new();
+    let mut cumulative = Vec::with_capacity(ops.len());
+    for op in &ops {
+        run.u64(op.hash);
+        cumulative.push(run.finish());
+    }
+    let switch_prefix = cumulative[switch_ops - 1];
+
+    PrefixForm {
+        ops,
+        cumulative,
+        switch_ops,
+        switch_prefix,
+    }
+}
+
+// --- divergence -------------------------------------------------------------
+
+/// The first point where two stage-prefix lattices disagree: the stage, the
+/// op index into the lattice, and the culprit ops rendered side by side —
+/// the structured diff behind `SF0702`/`SF0802` near-miss findings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// Lattice stage of the divergent op.
+    pub stage: Stage,
+    /// Index of the divergent op in the lattice.
+    pub op_index: usize,
+    /// The two sides rendered — which constant/field/function broke sharing.
+    pub culprit: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} op {}: {}",
+            self.stage.label(),
+            self.op_index,
+            self.culprit
+        )
+    }
+}
+
+/// Finds the first divergent op between two lattices; `None` when they are
+/// identical.
+pub fn first_divergence(a: &PrefixForm, b: &PrefixForm) -> Option<Divergence> {
+    let n = a.ops.len().min(b.ops.len());
+    for i in 0..n {
+        if a.ops[i].hash != b.ops[i].hash {
+            // The filter conjunct set is order-insensitive (sorted by
+            // hash), so positional pairing is arbitrary there — report the
+            // set difference instead of the positional pair.
+            let culprit = if a.ops[i].stage == Stage::Filter && b.ops[i].stage == Stage::Filter {
+                let only = |x: &PrefixForm, y: &PrefixForm| {
+                    let descs: Vec<&str> = x
+                        .ops
+                        .iter()
+                        .filter(|o| {
+                            o.stage == Stage::Filter && !y.ops.iter().any(|p| p.hash == o.hash)
+                        })
+                        .map(|o| o.desc.as_str())
+                        .collect();
+                    if descs.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        descs.join(" & ")
+                    }
+                };
+                format!("'{}' vs '{}'", only(a, b), only(b, a))
+            } else if a.ops[i].desc == b.ops[i].desc {
+                format!("'{}' (semantics differ)", a.ops[i].desc)
+            } else {
+                format!("'{}' vs '{}'", a.ops[i].desc, b.ops[i].desc)
+            };
+            return Some(Divergence {
+                stage: a.ops[i].stage,
+                op_index: i,
+                culprit,
+            });
+        }
+    }
+    if a.ops.len() > b.ops.len() {
+        return Some(Divergence {
+            stage: a.ops[n].stage,
+            op_index: n,
+            culprit: format!("'{}' vs end of policy", a.ops[n].desc),
+        });
+    }
+    if b.ops.len() > a.ops.len() {
+        return Some(Divergence {
+            stage: b.ops[n].stage,
+            op_index: n,
+            culprit: format!("end of policy vs '{}'", b.ops[n].desc),
+        });
+    }
+    None
+}
+
+// --- semantic certification -------------------------------------------------
+
+const BUILTIN_FIELDS: [Field; 9] = [
+    Field::SrcIp,
+    Field::DstIp,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::Proto,
+    Field::Size,
+    Field::Tstamp,
+    Field::Direction,
+    Field::TcpFlags,
+];
+
+/// SF05xx finding codes attributable to the shared (switch-side) ops:
+/// diagnostics anchored on a `filter`/`groupby` operator, plus un-anchored
+/// (global) findings, conservatively.
+fn shared_op_codes<'a>(policy: &Policy, diags: &'a [Diagnostic]) -> Vec<&'a str> {
+    let mut out: Vec<&str> = diags
+        .iter()
+        .filter(|d| match d.op_index {
+            Some(i) => matches!(
+                policy.ops.get(i),
+                Some(Operator::Filter(_)) | Some(Operator::GroupBy(_))
+            ),
+            None => true,
+        })
+        .map(|d| d.code)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Decides whether `a` and `b` may legally share one switch partition.
+///
+/// Structural layer: their switch prefixes (parse + groupby chain + filter
+/// conjunct set) must be op-for-op hash-equal. Semantic layer (defense in
+/// depth against hash collisions, and the place where "shared only when
+/// proven ranges match" is enforced): the SF05xx abstract interpreter runs
+/// on both sides and must agree **bitwise** on every builtin field's proven
+/// interval at the groupby boundary, and on the finding codes attributable
+/// to the shared ops.
+///
+/// Returns `Err(reason)` naming the first disagreement.
+pub fn certify_prefix(a: &Policy, b: &Policy, cfg: &ValueConfig) -> Result<(), String> {
+    let fa = prefix_form(a, cfg);
+    let fb = prefix_form(b, cfg);
+    if fa.switch_ops != fb.switch_ops
+        || fa.ops[..fa.switch_ops]
+            .iter()
+            .zip(&fb.ops[..fb.switch_ops])
+            .any(|(x, y)| x.hash != y.hash)
+    {
+        let d = first_divergence(&fa, &fb)
+            .map(|d| format!("first divergence at {d}"))
+            .unwrap_or_else(|| "switch prefix lengths differ".to_string());
+        return Err(format!("switch prefixes differ: {d}"));
+    }
+
+    let ir_a = lower(a);
+    let ir_b = lower(b);
+    let boundary = |ir: &crate::ir::PolicyIr| {
+        ir.nodes
+            .iter()
+            .position(|n| matches!(n.op, IrOp::GroupBy { .. }))
+            .unwrap_or(ir.nodes.len())
+    };
+    let (ba, bb) = (boundary(&ir_a), boundary(&ir_b));
+    let va = values::infer(&ir_a, cfg);
+    let vb = values::infer(&ir_b, cfg);
+    for field in &BUILTIN_FIELDS {
+        let ra = va.interval_before(ba, field);
+        let rb = vb.interval_before(bb, field);
+        if ra.lo.to_bits() != rb.lo.to_bits() || ra.hi.to_bits() != rb.hi.to_bits() {
+            return Err(format!(
+                "field '{}' proven ranges at the groupby boundary differ \
+                 ([{}, {}] vs [{}, {}])",
+                field.name(),
+                ra.lo,
+                ra.hi,
+                rb.lo,
+                rb.hi
+            ));
+        }
+    }
+    let da = values::check(a, cfg);
+    let db = values::check(b, cfg);
+    if shared_op_codes(a, &da) != shared_op_codes(b, &db) {
+        return Err(format!(
+            "findings on the shared prefix differ ({:?} vs {:?})",
+            shared_op_codes(a, &da),
+            shared_op_codes(b, &db)
+        ));
+    }
+    Ok(())
+}
+
+// --- the sharing report -----------------------------------------------------
+
+/// One certified prefix class: policies whose switch prefixes are provably
+/// interchangeable (singletons included).
+#[derive(Clone, Debug)]
+pub struct PrefixClass {
+    /// Cumulative hash of the shared switch prefix.
+    pub prefix: u64,
+    /// Member indices into the analyzed policy list, in input order; the
+    /// first member is the class representative.
+    pub members: Vec<usize>,
+    /// Number of ops in the shared switch prefix.
+    pub depth: usize,
+    /// Renderings of the shared ops, in lattice order.
+    pub ops: Vec<String>,
+}
+
+/// One structured near-miss: the pair of policies and where they diverge.
+#[derive(Clone, Debug)]
+pub struct ShareNearMiss {
+    /// Index of the first policy.
+    pub a: usize,
+    /// Index of the second policy.
+    pub b: usize,
+    /// The first divergent op.
+    pub divergence: Divergence,
+}
+
+/// The result of the shared-prefix analysis over N policies.
+#[derive(Clone, Debug)]
+pub struct ShareAnalysis {
+    /// Stage-prefix lattice of each input policy, in input order.
+    pub forms: Vec<PrefixForm>,
+    /// Prefix classes in order of first appearance; every policy is a
+    /// member of exactly one class.
+    pub classes: Vec<PrefixClass>,
+    /// Structured near-misses, one per `SF0802` finding, in emission order.
+    pub near_misses: Vec<ShareNearMiss>,
+    /// The SF08xx findings.
+    pub report: AnalysisReport,
+}
+
+impl ShareAnalysis {
+    /// The class index the `i`-th input policy belongs to.
+    pub fn class_of(&self, i: usize) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.members.contains(&i))
+            .expect("every policy is classed")
+    }
+
+    /// Number of classes with more than one member (shared prefixes).
+    pub fn shared_prefixes(&self) -> usize {
+        self.classes.iter().filter(|c| c.members.len() > 1).count()
+    }
+
+    /// Number of duplicate switch partitions sharing eliminates.
+    pub fn partitions_saved(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.members.len() - 1)
+            .sum::<usize>()
+    }
+}
+
+/// Runs the shared-prefix analysis over `named` policies.
+///
+/// Classes are built in two layers, mirroring [`super::equiv::analyze_fusion`]:
+/// candidates must share the switch-prefix hash *and* pass
+/// [`certify_prefix`] against the class representative. A hash-equal pair
+/// failing certification is split into its own class and reported as an
+/// `SF0802` near-miss naming the semantic reason. Output is deterministic:
+/// the same policies in the same order render a byte-identical report.
+pub fn analyze_sharing(named: &[(&str, &Policy)], cfg: &ValueConfig) -> ShareAnalysis {
+    let forms: Vec<PrefixForm> = named.iter().map(|(_, p)| prefix_form(p, cfg)).collect();
+    let mut classes: Vec<PrefixClass> = Vec::new();
+    let mut near_misses: Vec<ShareNearMiss> = Vec::new();
+    let mut report = AnalysisReport::new();
+
+    for (i, form) in forms.iter().enumerate() {
+        let mut placed = false;
+        for class in classes.iter_mut() {
+            if class.prefix != form.switch_prefix {
+                continue;
+            }
+            let rep = class.members[0];
+            match certify_prefix(named[rep].1, named[i].1, cfg) {
+                Ok(()) => {
+                    class.members.push(i);
+                    placed = true;
+                }
+                Err(reason) => {
+                    report.push(Diagnostic::note(
+                        codes::SHARE_NEAR_MISS,
+                        format!(
+                            "policies '{}' and '{}' share a switch-prefix hash but \
+                             fail value certification: {reason}",
+                            named[rep].0, named[i].0
+                        ),
+                    ));
+                    near_misses.push(ShareNearMiss {
+                        a: rep,
+                        b: i,
+                        divergence: first_divergence(&forms[rep], form).unwrap_or(Divergence {
+                            stage: Stage::Parse,
+                            op_index: 0,
+                            culprit: reason,
+                        }),
+                    });
+                }
+            }
+            break;
+        }
+        if !placed {
+            classes.push(PrefixClass {
+                prefix: form.switch_prefix,
+                members: vec![i],
+                depth: form.switch_ops,
+                ops: form.switch_op_descs(),
+            });
+        }
+    }
+
+    for class in classes.iter().filter(|c| c.members.len() > 1) {
+        let mut names = String::new();
+        for (k, &m) in class.members.iter().enumerate() {
+            if k > 0 {
+                names.push_str(", ");
+            }
+            let _ = write!(names, "'{}'", named[m].0);
+        }
+        report.push(Diagnostic::note(
+            codes::SHARE_PREFIX,
+            format!(
+                "policies {names} share a certified {}-op switch prefix (hash \
+                 {:#018x}): {}; one switch partition serves all {} tenants with \
+                 per-tenant map/reduce tails",
+                class.depth,
+                class.prefix,
+                class.ops.join(" → "),
+                class.members.len()
+            ),
+        ));
+        let rep_cost = cost::policy_cost(named[class.members[0]].1);
+        let saved = class.members.len() - 1;
+        let total_dims: usize = class
+            .members
+            .iter()
+            .map(|&m| named[m].1.feature_dimension())
+            .sum();
+        report.push(Diagnostic::note(
+            codes::SHARE_SAVING,
+            format!(
+                "prefix sharing saves {saved} duplicate switch partition(s): \
+                 {} filter entries and {saved}x the parse/groupby pipeline; \
+                 per-tenant NIC tails keep all {total_dims} features",
+                saved * rep_cost.filter_entries.max(1),
+            ),
+        ));
+    }
+
+    // Near-misses between class representatives: a shared prefix that runs
+    // deeper than the parse stage but breaks before the switch boundary.
+    for ci in 0..classes.len() {
+        for cj in ci + 1..classes.len() {
+            let (a, b) = (classes[ci].members[0], classes[cj].members[0]);
+            if forms[a].switch_prefix == forms[b].switch_prefix {
+                continue; // already reported as a certification failure
+            }
+            let depth = forms[a].shared_depth(&forms[b]);
+            if depth <= 1 {
+                continue; // only the parse stage in common: not near
+            }
+            let Some(d) = first_divergence(&forms[a], &forms[b]) else {
+                continue;
+            };
+            report.push(Diagnostic::note(
+                codes::SHARE_NEAR_MISS,
+                format!(
+                    "policies '{}' and '{}' share {depth} leading op(s) but \
+                     diverge before the switch boundary: first divergence at {d}",
+                    named[a].0, named[b].0
+                ),
+            ));
+            near_misses.push(ShareNearMiss {
+                a,
+                b,
+                divergence: d,
+            });
+        }
+    }
+
+    ShareAnalysis {
+        forms,
+        classes,
+        near_misses,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+
+    fn p(src: &str) -> Policy {
+        parse(src).unwrap()
+    }
+
+    const SUM: &str = "pktstream\n.filter(tcp.exist)\n.filter(size > 100)\n\
+                       .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+    const MAXI: &str = "pktstream\n.filter(tcp.exist)\n.filter(size > 100)\n\
+                        .groupby(flow)\n.reduce(size, [f_max])\n.collect(flow)";
+
+    #[test]
+    fn prefix_form_is_deterministic_across_runs() {
+        let cfg = ValueConfig::default();
+        let a = prefix_form(&p(SUM), &cfg);
+        for _ in 0..8 {
+            assert_eq!(prefix_form(&p(SUM), &cfg), a);
+        }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        let cfg = ValueConfig::default();
+        let (a, b) = (p(SUM), p(MAXI));
+        let named = [("sum", &a), ("max", &b)];
+        let first = analyze_sharing(&named, &cfg).report.render();
+        for _ in 0..4 {
+            assert_eq!(analyze_sharing(&named, &cfg).report.render(), first);
+        }
+        assert!(first.contains("SF0801"), "{first}");
+    }
+
+    #[test]
+    fn conjunct_reordering_keeps_the_switch_prefix() {
+        let cfg = ValueConfig::default();
+        let swapped = "pktstream\n.filter(size > 100)\n.filter(tcp.exist)\n\
+                       .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let a = prefix_form(&p(SUM), &cfg);
+        let b = prefix_form(&p(swapped), &cfg);
+        assert_eq!(a.switch_prefix, b.switch_prefix);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn alpha_renaming_keeps_the_whole_form() {
+        let cfg = ValueConfig::default();
+        let named_a = "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                       .map(ipt, tstamp, f_ipt)\n.reduce(ipt, [f_mean])\n.collect(flow)";
+        let named_b = "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                       .map(gap, tstamp, f_ipt)\n.reduce(gap, [f_mean])\n.collect(flow)";
+        assert_eq!(
+            prefix_form(&p(named_a), &cfg),
+            prefix_form(&p(named_b), &cfg)
+        );
+    }
+
+    #[test]
+    fn changed_comparison_constant_breaks_the_shared_prefix() {
+        let cfg = ValueConfig::default();
+        let other = "pktstream\n.filter(tcp.exist)\n.filter(size > 200)\n\
+                     .groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)";
+        let a = prefix_form(&p(SUM), &cfg);
+        let b = prefix_form(&p(other), &cfg);
+        assert_ne!(a.switch_prefix, b.switch_prefix);
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.stage, Stage::Filter);
+        assert!(
+            d.culprit.contains("100") && d.culprit.contains("200"),
+            "{}",
+            d.culprit
+        );
+        // And the analysis reports it as an SF0802 near-miss, not a share.
+        let (pa, pb) = (p(SUM), p(other));
+        let analysis = analyze_sharing(&[("a", &pa), ("b", &pb)], &cfg);
+        assert_eq!(analysis.shared_prefixes(), 0);
+        assert!(analysis.report.has_code(codes::SHARE_NEAR_MISS));
+        assert!(!analysis.report.has_code(codes::SHARE_PREFIX));
+        assert_eq!(analysis.near_misses.len(), 1);
+        assert_eq!(analysis.near_misses[0].divergence.stage, Stage::Filter);
+    }
+
+    #[test]
+    fn reducer_order_keeps_the_switch_prefix_but_breaks_the_full_form() {
+        let cfg = ValueConfig::default();
+        let ab = "pktstream\n.groupby(flow)\n.reduce(size, [f_min, f_max])\n.collect(flow)";
+        let ba = "pktstream\n.groupby(flow)\n.reduce(size, [f_max, f_min])\n.collect(flow)";
+        let a = prefix_form(&p(ab), &cfg);
+        let b = prefix_form(&p(ba), &cfg);
+        assert_eq!(a.switch_prefix, b.switch_prefix);
+        assert_ne!(a.full(), b.full());
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.stage, Stage::Reduce);
+    }
+
+    #[test]
+    fn deployment_config_seeds_the_prefix() {
+        let pol = p(SUM);
+        let a = ValueConfig::default();
+        let b = ValueConfig {
+            aging_t_ns: a.aging_t_ns * 2,
+            ..a
+        };
+        assert_ne!(
+            prefix_form(&pol, &a).switch_prefix,
+            prefix_form(&pol, &b).switch_prefix
+        );
+    }
+
+    #[test]
+    fn shared_pair_certifies_and_reports_the_op_list() {
+        let cfg = ValueConfig::default();
+        let (a, b) = (p(SUM), p(MAXI));
+        assert!(certify_prefix(&a, &b, &cfg).is_ok());
+        let analysis = analyze_sharing(&[("sum", &a), ("max", &b)], &cfg);
+        assert_eq!(analysis.shared_prefixes(), 1);
+        assert_eq!(analysis.partitions_saved(), 1);
+        assert_eq!(analysis.class_of(0), analysis.class_of(1));
+        let share = analysis
+            .report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == codes::SHARE_PREFIX)
+            .unwrap();
+        assert!(share.message.contains("groupby(flow)"), "{}", share.message);
+        assert!(share.message.contains("filter"), "{}", share.message);
+        assert!(analysis.report.has_code(codes::SHARE_SAVING));
+    }
+
+    #[test]
+    fn different_filters_fail_certification_with_a_divergence() {
+        let cfg = ValueConfig::default();
+        let other = p("pktstream\n.filter(udp.exist)\n.groupby(flow)\n\
+                       .reduce(size, [f_sum])\n.collect(flow)");
+        let err = certify_prefix(&p(SUM), &other, &cfg).unwrap_err();
+        assert!(err.contains("switch prefixes differ"), "{err}");
+    }
+
+    #[test]
+    fn disjoint_policies_produce_no_findings() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let b = p("pktstream\n.filter(udp.exist)\n.groupby(channel)\n\
+                   .reduce(size, [f_min])\n.collect(pkt)");
+        let analysis = analyze_sharing(&[("a", &a), ("b", &b)], &cfg);
+        assert_eq!(analysis.shared_prefixes(), 0);
+        assert!(analysis.report.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn map_chains_sit_after_the_switch_boundary() {
+        let cfg = ValueConfig::default();
+        // Same switch prefix, different map chains: still shareable.
+        let bytes = "pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)";
+        let times = "pktstream\n.groupby(host)\n.map(ipt, tstamp, f_ipt)\n\
+                     .reduce(ipt, [f_mean])\n.collect(host)";
+        let a = prefix_form(&p(bytes), &cfg);
+        let b = prefix_form(&p(times), &cfg);
+        assert_eq!(a.switch_prefix, b.switch_prefix);
+        assert!(certify_prefix(&p(bytes), &p(times), &cfg).is_ok());
+        let d = first_divergence(&a, &b).unwrap();
+        assert!(matches!(d.stage, Stage::Map | Stage::Reduce), "{d}");
+    }
+}

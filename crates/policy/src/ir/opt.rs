@@ -28,9 +28,13 @@
 //!
 //! A fourth, cross-policy transformation lives in [`fuse`]: merging N
 //! admitted tenant policies into one shared extraction plan, certified by
-//! the SF07xx equivalence analysis.
+//! the SF07xx equivalence analysis. A fifth lives in [`share`]: sub-policy
+//! common-subexpression elimination — one switch partition per certified
+//! shared stage prefix, with per-tenant NIC tails — certified by the
+//! SF08xx shared-prefix analysis.
 
 pub mod fuse;
+pub mod share;
 
 use std::fmt;
 

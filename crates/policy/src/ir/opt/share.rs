@@ -1,0 +1,139 @@
+//! Lowering the SF08xx shared-prefix analysis into executable plans.
+//!
+//! [`share`] turns N admitted tenant policies into a [`SharedPrefixPlan`]:
+//! the SF08xx analysis ([`crate::analyze::share`]) partitions the policies
+//! into value-certified prefix classes, and each class becomes one
+//! [`PrefixGroup`] — a single switch partition (parse + groupby chain +
+//! filter conjunct set, i.e. the MGPV cache pipeline) executing the class
+//! representative's switch program, feeding per-member map/reduce tails on
+//! the NIC. This is sub-policy common-subexpression elimination, one level
+//! below the whole-plan fusion of [`super::fuse`]: members agree on the
+//! switch prefix but keep their own NIC programs and their own feature
+//! layouts.
+//!
+//! Soundness rests on the certification rule of
+//! [`crate::analyze::share::certify_prefix`]: the MGPV cache's event
+//! stream — record content *and* eviction timing — is fully determined by
+//! the switch prefix, so every member observes exactly the event stream
+//! its solo partition would have produced, and per-tenant tails stay
+//! bitwise identical to solo runs.
+
+use crate::analyze::share::{analyze_sharing, ShareAnalysis};
+use crate::analyze::values::ValueConfig;
+use crate::ast::Policy;
+
+/// One executable prefix group: a class of policies whose switch prefixes
+/// are provably interchangeable, served by one switch partition.
+#[derive(Clone, Debug)]
+pub struct PrefixGroup {
+    /// Index (into the input policy list) of the representative whose
+    /// compiled switch program the shared partition runs.
+    pub representative: usize,
+    /// All member indices, in input order (the representative is first).
+    pub members: Vec<usize>,
+    /// The shared switch-prefix hash.
+    pub prefix: u64,
+    /// Renderings of the shared ops, in lattice order.
+    pub ops: Vec<String>,
+}
+
+/// A shared-prefix multi-tenant plan.
+#[derive(Clone, Debug)]
+pub struct SharedPrefixPlan {
+    /// Prefix groups in order of first appearance; every input policy is a
+    /// member of exactly one group (singletons included).
+    pub groups: Vec<PrefixGroup>,
+    /// The SF08xx legality analysis the plan was derived from.
+    pub analysis: ShareAnalysis,
+}
+
+impl SharedPrefixPlan {
+    /// The group index the `i`-th input policy's switch prefix runs on.
+    pub fn group_of(&self, i: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.members.contains(&i))
+    }
+
+    /// Number of duplicate switch partitions sharing eliminated.
+    pub fn partitions_saved(&self) -> usize {
+        self.analysis.partitions_saved()
+    }
+
+    /// Whether sharing found nothing (one partition per policy).
+    pub fn is_trivial(&self) -> bool {
+        self.partitions_saved() == 0
+    }
+
+    /// One-line summary: `"4 policies → 2 switch partitions (2 saved)"`.
+    pub fn summary(&self) -> String {
+        let members: usize = self.groups.iter().map(|g| g.members.len()).sum();
+        format!(
+            "{} policies → {} switch partition{} ({} saved)",
+            members,
+            self.groups.len(),
+            if self.groups.len() == 1 { "" } else { "s" },
+            self.partitions_saved()
+        )
+    }
+}
+
+/// Lowers `named` policies into a shared-prefix plan under deployment
+/// `cfg`.
+///
+/// Every class certified by [`analyze_sharing`] — switch-prefix hash
+/// equality plus the SF05xx value certificate against the representative —
+/// becomes one [`PrefixGroup`]. Policies sharing with nothing run as
+/// singleton groups, so the plan is always total.
+pub fn share(named: &[(&str, &Policy)], cfg: &ValueConfig) -> SharedPrefixPlan {
+    let analysis = analyze_sharing(named, cfg);
+    let groups = analysis
+        .classes
+        .iter()
+        .map(|c| PrefixGroup {
+            representative: c.members[0],
+            members: c.members.clone(),
+            prefix: c.prefix,
+            ops: c.ops.clone(),
+        })
+        .collect();
+    SharedPrefixPlan { groups, analysis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+
+    fn p(src: &str) -> Policy {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn shared_prefixes_group_with_per_tenant_tails() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                   .reduce(size, [f_sum])\n.collect(flow)");
+        let b = p("pktstream\n.filter(tcp.exist)\n.groupby(flow)\n\
+                   .reduce(size, [f_max])\n.collect(flow)");
+        let c = p("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let plan = share(&[("a", &a), ("b", &b), ("c", &c)], &cfg);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.groups[0].members, vec![0, 1]);
+        assert_eq!(plan.group_of(1), Some(0));
+        assert_eq!(plan.group_of(2), Some(1));
+        assert_eq!(plan.partitions_saved(), 1);
+        assert!(!plan.is_trivial());
+        assert_eq!(plan.summary(), "3 policies → 2 switch partitions (1 saved)");
+    }
+
+    #[test]
+    fn distinct_prefixes_share_trivially() {
+        let cfg = ValueConfig::default();
+        let a = p("pktstream\n.filter(size > 100)\n.groupby(flow)\n\
+                   .reduce(size, [f_sum])\n.collect(flow)");
+        let b = p("pktstream\n.filter(size > 200)\n.groupby(flow)\n\
+                   .reduce(size, [f_sum])\n.collect(flow)");
+        let plan = share(&[("a", &a), ("b", &b)], &cfg);
+        assert_eq!(plan.groups.len(), 2);
+        assert!(plan.is_trivial());
+    }
+}

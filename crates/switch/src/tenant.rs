@@ -25,7 +25,7 @@
 //! partition into the event stream so no in-flight records are lost.
 
 use superfe_net::PacketRecord;
-use superfe_policy::SwitchProgram;
+use superfe_policy::{MetaField, SwitchProgram};
 
 use crate::mgpv::{MgpvConfig, MgpvStats};
 use crate::pipeline::{CacheMode, FeSwitch, SwitchStats};
@@ -64,6 +64,22 @@ pub struct SharedSwitchStats {
     pub bytes_in: u64,
     /// Packet × tenant matches (one packet can count several times).
     pub tenant_matches: u64,
+}
+
+/// The union of several switch programs' metadata records, in canonical
+/// field order — deterministic regardless of member order, so re-attaching
+/// a group after membership changes produces the same record layout.
+pub fn union_metadata(programs: &[&SwitchProgram]) -> Vec<MetaField> {
+    const CANONICAL: [MetaField; 4] = [
+        MetaField::Size,
+        MetaField::TstampUs,
+        MetaField::DirFlags,
+        MetaField::FgIdx,
+    ];
+    CANONICAL
+        .into_iter()
+        .filter(|f| programs.iter().any(|p| p.metadata.contains(f)))
+        .collect()
 }
 
 /// One tenant's slot: the filter-table entry plus its cache partition.
@@ -147,6 +163,38 @@ impl SharedSwitch {
         };
         self.slots.push(TenantSlot { tenant, switch });
         true
+    }
+
+    /// Attaches one partition serving a whole shared-prefix group: the
+    /// filter and granularity chain come from the first member (the group
+    /// representative — the SF08xx certificate guarantees every member's
+    /// are interchangeable), while the metadata record is the **union** of
+    /// all members' records in canonical field order, so the partition
+    /// materializes every field any member's NIC tail reads.
+    ///
+    /// The MGPV cache's event stream — record content and eviction timing —
+    /// does not depend on the metadata layout (records materialize all
+    /// fields; the layout only drives wire-byte accounting), which is what
+    /// makes widening the record sound for every member.
+    ///
+    /// Returns `false` when `programs` is empty, the id is in use, or the
+    /// cache configuration is degenerate.
+    pub fn attach_shared(
+        &mut self,
+        tenant: TenantId,
+        programs: &[&SwitchProgram],
+        cfg: MgpvConfig,
+        mode: CacheMode,
+    ) -> bool {
+        let Some(rep) = programs.first() else {
+            return false;
+        };
+        let union = SwitchProgram {
+            filter: rep.filter.clone(),
+            levels: rep.levels.clone(),
+            metadata: union_metadata(programs),
+        };
+        self.attach(tenant, union, cfg, mode)
     }
 
     /// Detaches a tenant, draining its partition into `out` (tagged with
@@ -386,6 +434,55 @@ mod tests {
         let mut drained = Vec::new();
         assert!(sw.detach_into(TenantId(0), &mut drained));
         assert_eq!(snap, drained);
+    }
+
+    #[test]
+    fn shared_partition_event_stream_is_metadata_independent() {
+        // Two policies with the same switch prefix (no filter, groupby
+        // host) but different metadata demands: one reads sizes, the other
+        // inter-packet times. attach_shared builds one partition with the
+        // union record; its event stream must be bitwise identical to each
+        // member's own partition, because record content and eviction
+        // timing do not depend on the metadata layout.
+        let bytes = host_sum();
+        let times = program(
+            "pktstream\n.groupby(host)\n.map(ipt, tstamp, f_ipt)\n\
+             .reduce(ipt, [f_mean])\n.collect(host)",
+        );
+        assert_ne!(bytes.metadata, times.metadata);
+        let run = |program: SwitchProgram| {
+            let mut sw = SharedSwitch::new();
+            assert!(sw.attach_shared(
+                TenantId(0),
+                &[&program],
+                MgpvConfig::default(),
+                CacheMode::Mgpv
+            ));
+            let mut out = Vec::new();
+            for p in packets(500) {
+                sw.process_into(&p, &mut out);
+            }
+            sw.flush_into(&mut out);
+            out
+        };
+        let solo_bytes = run(bytes.clone());
+        let solo_times = run(times.clone());
+
+        let mut sw = SharedSwitch::new();
+        assert!(!sw.attach_shared(TenantId(0), &[], MgpvConfig::default(), CacheMode::Mgpv));
+        assert!(sw.attach_shared(
+            TenantId(0),
+            &[&bytes, &times],
+            MgpvConfig::default(),
+            CacheMode::Mgpv
+        ));
+        let mut shared = Vec::new();
+        for p in packets(500) {
+            sw.process_into(&p, &mut shared);
+        }
+        sw.flush_into(&mut shared);
+        assert_eq!(shared, solo_bytes);
+        assert_eq!(shared, solo_times);
     }
 
     #[test]

@@ -246,6 +246,161 @@ mod fusion_isolation {
     }
 }
 
+mod prefix_isolation {
+    use super::*;
+
+    /// A pool whose members all share the parse → filter(tcp.exist) →
+    /// groupby(flow) switch prefix but keep distinct reduce tails: none
+    /// are SF07xx-equivalent, so co-attached members engage SF08xx prefix
+    /// sharing (one switch partition, one execution unit each).
+    const PREFIX_POOL: [&str; 4] = [
+        "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_sum])\n.collect(flow)",
+        "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_mean])\n.collect(flow)",
+        "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_max])\n.collect(flow)",
+        "pktstream\n.filter(tcp.exist)\n.groupby(flow)\n.reduce(size, [f_min, f_max])\n\
+         .collect(flow)",
+    ];
+
+    fn prefix_spec(pool_index: usize) -> TenantSpec {
+        TenantSpec {
+            name: format!("prefix{pool_index}"),
+            policy: dsl::parse(PREFIX_POOL[pool_index]).expect("pool policy is valid"),
+            cfg: SuperFeConfig::default(),
+        }
+    }
+
+    fn prefix_solo_run(
+        l: &Lifecycle,
+        pkts: &[PacketRecord],
+        workers: usize,
+    ) -> (
+        Vec<superfe::nic::FeatureVector>,
+        Vec<superfe::nic::FeatureVector>,
+    ) {
+        let s = prefix_spec(l.pool_index);
+        let lo = l.attach_pct as usize * pkts.len() / 100;
+        let hi = l
+            .detach_pct
+            .map_or(pkts.len(), |d| d as usize * pkts.len() / 100);
+        let mut fe =
+            StreamingPipeline::with_config(&s.policy, s.cfg, workers).expect("policy deploys");
+        for p in &pkts[lo..hi] {
+            fe.push(p).expect("workers alive");
+        }
+        let out = fe.finish().expect("workers alive");
+        (out.group_vectors, out.packet_vectors)
+    }
+
+    /// Like [`assert_bitwise_solo`] but over the prefix pool, so
+    /// co-attached tenants land on one shared partition and mid-stream
+    /// detaches of shared-prefix members exercise the prefix-detach
+    /// handshake.
+    fn assert_prefix_bitwise_solo(
+        tenants: &[Lifecycle],
+        pkts: &[PacketRecord],
+    ) -> Result<(), proptest::test_runner::TestCaseError> {
+        for &workers in &WORKER_COUNTS {
+            let mut plane = CtrlPlane::new(workers, AnalyzeConfig::default());
+            let mut ids = vec![None; tenants.len()];
+            let mut outputs: Vec<Option<superfe::nic::StreamOutput>> =
+                (0..tenants.len()).map(|_| None).collect();
+            for (i, p) in pkts.iter().enumerate() {
+                for (ti, l) in tenants.iter().enumerate() {
+                    if l.attach_pct as usize * pkts.len() / 100 == i {
+                        let id = plane
+                            .attach(&prefix_spec(l.pool_index), None)
+                            .expect("pool subsets are admissible");
+                        ids[ti] = Some(id);
+                    }
+                    if l.detach_pct.map(|d| d as usize * pkts.len() / 100) == Some(i) {
+                        let id = ids[ti].expect("detach window follows attach");
+                        outputs[ti] = Some(plane.detach(id).expect("drain handshake"));
+                    }
+                }
+                plane.push(p).expect("workers alive");
+            }
+            // Co-attached distinct tails must actually share partitions.
+            prop_assert!(
+                plane.groups().len() <= plane.units().len(),
+                "groups cannot outnumber units"
+            );
+            for run in plane.finish().expect("workers alive") {
+                let ti = ids
+                    .iter()
+                    .position(|id| *id == Some(run.id))
+                    .expect("run belongs to a scheduled tenant");
+                outputs[ti] = Some(run.output);
+            }
+            for (ti, l) in tenants.iter().enumerate() {
+                let out = outputs[ti].as_ref().expect("every tenant ran");
+                let (solo_groups, solo_pkts) = prefix_solo_run(l, pkts, workers);
+                prop_assert_eq!(
+                    &out.group_vectors,
+                    &solo_groups,
+                    "tenant {} group vectors diverged at {} workers",
+                    ti,
+                    workers
+                );
+                prop_assert_eq!(
+                    &out.packet_vectors,
+                    &solo_pkts,
+                    "tenant {} packet vectors diverged at {} workers",
+                    ti,
+                    workers
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared-prefix lifecycles: distinct tails from the prefix pool with
+    /// attach points quantized to two sites, so co-attached tenants hash
+    /// to one partition; random detaches of shared-prefix members
+    /// exercise the partition-sparing prefix detach.
+    fn prefix_subset() -> impl Strategy<Value = Vec<Lifecycle>> {
+        proptest::collection::vec(
+            (
+                0usize..PREFIX_POOL.len(),
+                prop_oneof![Just(0u8), Just(30u8)],
+                proptest::bool::ANY,
+                55u8..100,
+            ),
+            2..5,
+        )
+        .prop_map(|picks| {
+            let mut out: Vec<Lifecycle> = Vec::new();
+            for (pool_index, attach_pct, detaches, detach_pct) in picks {
+                if out.iter().any(|l| l.pool_index == pool_index) {
+                    continue;
+                }
+                out.push(Lifecycle {
+                    pool_index,
+                    attach_pct,
+                    detach_pct: detaches.then_some(detach_pct),
+                });
+            }
+            out
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The same bitwise differential with SF08xx prefix sharing
+        /// actively engaged: distinct reduce tails ride one switch
+        /// partition and leave it mid-stream through prefix detaches —
+        /// every tenant must still match its solo run exactly, at every
+        /// worker count.
+        #[test]
+        fn prefix_shared_plane_is_bitwise_identical_to_solo(
+            tenants in prefix_subset(),
+            pkts in trace(),
+        ) {
+            assert_prefix_bitwise_solo(&tenants, &pkts)?;
+        }
+    }
+}
+
 mod alert_isolation {
     use superfe::ctrl::{CtrlPlane, TenantSpec};
     use superfe::detect::{MultiServing, ServeConfig, ServeReport};
