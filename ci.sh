@@ -28,6 +28,14 @@ fi
 step "cargo test (workspace)"
 cargo test -q --workspace
 
+step "ring stress (randomized SPSC producer/consumer)"
+# The frame ring under the executor's event path: randomized capacities,
+# doorbell batches, send flavors, and consumer stalls must preserve order
+# and lose nothing, and producer-drop must drain-then-terminate. Already
+# part of the workspace tests; run named here so a failure points straight
+# at the data path.
+cargo test -q -p superfe-net --test ring_stress
+
 step "superfe check (bundled policies + examples)"
 # Every bundled application policy and every example .sfe file must pass the
 # full static analyzer — structural lints, dataflow lints, the SF05xx
@@ -58,12 +66,20 @@ smoke=$(mktemp)
 detect_smoke=$(mktemp)
 trap 'rm -f "$smoke" "$detect_smoke"' EXIT
 cargo run -q --release -p superfe-bench --bin throughput -- \
-  --packets 5000 --workers 2 --out "$smoke" >/dev/null
+  --packets 5000 --workers 2 --warmup 1 --runs 2 --out "$smoke" >/dev/null
 schema() { grep -o '"[a-z_]*":' "$1" | sort -u; }
 if ! diff <(schema BENCH_pipeline.json) <(schema "$smoke"); then
   echo "ci: BENCH_pipeline.json schema drifted from the throughput runner"
   exit 1
 fi
+# The measurement-harness enrichment must be present: host flags, run-to-run
+# statistics, and the per-stage (queue/shard/sink) latency histograms the
+# ring data path records.
+for key in flat_expected warmup_runs elapsed_ms_stddev elapsed_ms_p99 \
+    stage_latency queue shard sink p99_ns; do
+  grep -q "\"$key\":" "$smoke" \
+    || { echo "ci: throughput smoke is missing harness field '$key'"; exit 1; }
+done
 
 step "online detection smoke (seeded train/calibrate/serve)"
 # A seeded end-to-end detect run must raise at least one alert inside the
@@ -72,7 +88,8 @@ step "online detection smoke (seeded train/calibrate/serve)"
 # must match the checked-in BENCH_detect.json schema.
 cargo build -q --release -p superfe-cli
 # Default configuration = the one that generated the checked-in artifact,
-# so the deterministic detection section is fully reproduced here (< 1 s).
+# so the deterministic detection section is fully reproduced here (the
+# harness's warmup + repeated measured runs keep this a few seconds).
 target/release/superfe detect --out "$detect_smoke" >/dev/null
 field() { grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
 on_attack=$(field "$detect_smoke" alerts_on_attack)
@@ -178,12 +195,29 @@ step "multi-tenant ctrl bench smoke"
 ctrl_smoke=$(mktemp)
 trap 'rm -f "$smoke" "$detect_smoke" "$ctrl_smoke"' EXIT
 cargo run -q --release -p superfe-bench --bin ctrl -- \
-  --packets 4000 --tenants 1,2 --out "$ctrl_smoke" >/dev/null
+  --packets 4000 --tenants 1,2 --warmup 1 --runs 2 --out "$ctrl_smoke" >/dev/null
 if ! diff <(schema BENCH_ctrl.json) <(schema "$ctrl_smoke"); then
   echo "ci: BENCH_ctrl.json schema drifted from the ctrl runner"
   exit 1
 fi
 grep -q '"cse_sweep"' BENCH_ctrl.json \
   || { echo "ci: BENCH_ctrl.json is missing the cse_sweep section"; exit 1; }
+
+step "ring vs sync_channel microbench (ring must not be slower)"
+# The Issue 8 data-path swap is justified by this number: per-frame transfer
+# through the doorbell-batched SPSC ring must be at least as fast as the
+# std sync_channel it replaced, on this host, or the swap has regressed.
+bench_out=$(cargo bench -q -p superfe-bench --bench ring 2>/dev/null)
+printf '%s\n' "$bench_out"
+rate() { grep -o "spsc_transfer/$1 .* \([0-9]*\) elem/s" <<<"$bench_out" \
+  | grep -o '[0-9]* elem/s' | grep -o '^[0-9]*'; }
+ring_rate=$(rate ring_doorbell_4)
+sync_rate=$(rate sync_channel)
+[[ -n "$ring_rate" && -n "$sync_rate" ]] \
+  || { echo "ci: could not parse ring microbench output"; exit 1; }
+if (( ring_rate < sync_rate )); then
+  echo "ci: ring transfer ($ring_rate elem/s) is slower than sync_channel ($sync_rate elem/s)"
+  exit 1
+fi
 
 printf '\nci: all checks passed\n'

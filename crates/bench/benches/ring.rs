@@ -1,0 +1,68 @@
+//! Per-frame transfer cost of the SPSC frame ring vs `sync_channel` — the
+//! microbenchmark behind the Issue 8 data-path swap.
+//!
+//! Each iteration moves a burst of frames from a producer to a consumer
+//! thread and joins: the consumer thread is spawned inside the timed
+//! routine for both contestants, so thread startup cancels out and the
+//! difference is queue machinery — doorbell-batched publication with
+//! spin-then-park on the ring vs per-send synchronization in
+//! `std::sync::mpsc::sync_channel`. Capacity is pinned to the executor's
+//! `CHANNEL_DEPTH`-sized regime (8 slots) for both.
+
+use std::sync::mpsc::sync_channel;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use superfe_net::ring;
+
+/// Frames per timed burst.
+const FRAMES: u64 = 4_096;
+
+/// Queue capacity, matching the executor's event-ring depth.
+const CAPACITY: usize = 8;
+
+fn ring_burst(doorbell_batch: usize) -> u64 {
+    let (mut tx, mut rx) = ring::channel::<u64>(CAPACITY, doorbell_batch);
+    let consumer = thread::spawn(move || {
+        let mut n = 0u64;
+        while let Ok(v) = rx.recv() {
+            n += black_box(v) & 1;
+        }
+        n
+    });
+    for i in 0..FRAMES {
+        tx.send(i).expect("consumer drains to disconnect");
+    }
+    drop(tx);
+    consumer.join().expect("consumer thread")
+}
+
+fn sync_channel_burst() -> u64 {
+    let (tx, rx) = sync_channel::<u64>(CAPACITY);
+    let consumer = thread::spawn(move || {
+        let mut n = 0u64;
+        while let Ok(v) = rx.recv() {
+            n += black_box(v) & 1;
+        }
+        n
+    });
+    for i in 0..FRAMES {
+        tx.send(i).expect("consumer drains to disconnect");
+    }
+    drop(tx);
+    consumer.join().expect("consumer thread")
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_transfer");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(FRAMES));
+    g.bench_function("ring_doorbell_4", |b| b.iter(|| ring_burst(4)));
+    g.bench_function("ring_doorbell_1", |b| b.iter(|| ring_burst(1)));
+    g.bench_function("sync_channel", |b| b.iter(sync_channel_burst));
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

@@ -1,19 +1,24 @@
 //! Multi-tenant control-plane runner: writes `BENCH_ctrl.json`.
 //!
 //! ```text
-//! ctrl [--packets N] [--tenants 1,2,4] [--workers N] [--seed S] [--out BENCH_ctrl.json]
+//! ctrl [--packets N] [--tenants 1,2,4] [--workers N] [--seed S]
+//!      [--warmup N] [--runs N] [--out BENCH_ctrl.json]
 //! ```
 //!
-//! Prints the JSON document to stdout and, with `--out`, also writes it to
-//! the given path (the checked-in artifact lives at the repo root).
+//! `--warmup`/`--runs` control the measurement harness (default 1 warmup,
+//! 3 measured runs). Prints the JSON document to stdout and, with `--out`,
+//! also writes it to the given path (the checked-in artifact lives at the
+//! repo root).
 
 use superfe_bench::experiments::ctrl;
+use superfe_bench::harness::HarnessConfig;
 
 fn main() {
     let mut packets = ctrl::PACKETS;
     let mut tenants: Vec<usize> = ctrl::TENANT_SWEEP.to_vec();
     let mut workers = ctrl::WORKERS;
     let mut seed = ctrl::DEFAULT_SEED;
+    let mut hcfg = HarnessConfig::default();
     let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +52,14 @@ fn main() {
                 seed = value(i).parse().expect("--seed: integer");
                 i += 2;
             }
+            "--warmup" => {
+                hcfg.warmup = value(i).parse().expect("--warmup: integer");
+                i += 2;
+            }
+            "--runs" => {
+                hcfg.runs = value(i).parse().expect("--runs: integer");
+                i += 2;
+            }
             "--out" => {
                 out_path = Some(value(i).to_string());
                 i += 2;
@@ -55,7 +68,7 @@ fn main() {
         }
     }
 
-    let json = ctrl::measure(packets, &tenants, workers, seed).to_json();
+    let json = ctrl::measure_with(packets, &tenants, workers, seed, &hcfg).to_json();
     if let Some(path) = out_path {
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[ctrl] wrote {path}");

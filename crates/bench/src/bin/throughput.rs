@@ -1,18 +1,23 @@
 //! Streaming-pipeline throughput runner: writes `BENCH_pipeline.json`.
 //!
 //! ```text
-//! throughput [--packets N] [--workers 1,2,4,8] [--seed S] [--out BENCH_pipeline.json]
+//! throughput [--packets N] [--workers 1,2,4,8] [--seed S]
+//!            [--warmup N] [--runs N] [--out BENCH_pipeline.json]
 //! ```
 //!
-//! Prints the JSON document to stdout and, with `--out`, also writes it to
-//! the given path (the checked-in artifact lives at the repo root).
+//! `--warmup`/`--runs` control the measurement harness (default 1 warmup,
+//! 3 measured runs). Prints the JSON document to stdout and, with `--out`,
+//! also writes it to the given path (the checked-in artifact lives at the
+//! repo root).
 
 use superfe_bench::experiments::throughput;
+use superfe_bench::harness::HarnessConfig;
 
 fn main() {
     let mut packets = throughput::PACKETS;
     let mut workers: Vec<usize> = throughput::WORKER_SWEEP.to_vec();
     let mut seed = throughput::DEFAULT_SEED;
+    let mut hcfg = HarnessConfig::default();
     let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +47,14 @@ fn main() {
                 seed = value(i).parse().expect("--seed: integer");
                 i += 2;
             }
+            "--warmup" => {
+                hcfg.warmup = value(i).parse().expect("--warmup: integer");
+                i += 2;
+            }
+            "--runs" => {
+                hcfg.runs = value(i).parse().expect("--runs: integer");
+                i += 2;
+            }
             "--out" => {
                 out_path = Some(value(i).to_string());
                 i += 2;
@@ -50,7 +63,7 @@ fn main() {
         }
     }
 
-    let json = throughput::measure(packets, &workers, seed).to_json();
+    let json = throughput::measure_with(packets, &workers, seed, &hcfg).to_json();
     if let Some(path) = out_path {
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[throughput] wrote {path}");

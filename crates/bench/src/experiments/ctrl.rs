@@ -16,14 +16,18 @@
 //!
 //! Each multi-tenant run also asserts every tenant's vector count equals
 //! its solo count, so the bench doubles as an isolation smoke.
-
-use std::time::Instant;
+//!
+//! All timings run through the [`crate::harness`] warmup-then-measure
+//! protocol; headline rows carry full run-to-run statistics and the
+//! comparison sweeps report mean wall-clock over the measured runs.
 
 use superfe_core::{StreamingPipeline, SuperFeConfig};
 use superfe_ctrl::{CtrlPlane, TenantSpec};
 use superfe_net::PacketRecord;
 use superfe_policy::dsl;
 use superfe_trafficgen::Workload;
+
+use crate::harness::{self, host_json, HarnessConfig, RunStats};
 
 /// Default packets in the measurement trace.
 pub const PACKETS: usize = 40_000;
@@ -76,10 +80,10 @@ pub fn fusion_policies() -> Vec<(&'static str, &'static str)> {
 pub struct SoloRun {
     /// Policy name.
     pub policy: String,
-    /// Solo throughput, packets/second.
+    /// Solo throughput, packets/second (from the mean run).
     pub pkts_per_sec: f64,
-    /// Solo wall-clock, milliseconds.
-    pub elapsed_ms: f64,
+    /// Solo wall-clock statistics, milliseconds.
+    pub elapsed_ms: RunStats,
     /// Feature vectors the solo run emitted.
     pub vectors: usize,
 }
@@ -89,10 +93,10 @@ pub struct SoloRun {
 pub struct TenantRunRow {
     /// Concurrent tenants (prefix of [`tenant_policies`]).
     pub tenants: usize,
-    /// Aggregate (= per-tenant) throughput, packets/second.
+    /// Aggregate (= per-tenant) throughput, packets/second (mean run).
     pub pkts_per_sec: f64,
-    /// Wall-clock, milliseconds.
-    pub elapsed_ms: f64,
+    /// Wall-clock statistics, milliseconds.
+    pub elapsed_ms: RunStats,
     /// Total vectors across tenants.
     pub aggregate_vectors: usize,
     /// Shared-plane wall-clock vs. the sum of the solo runs, percent
@@ -179,8 +183,8 @@ pub struct CtrlBench {
     pub packets: usize,
     /// NIC shards per deployment.
     pub workers: usize,
-    /// Cores the host actually exposes.
-    pub host_parallelism: usize,
+    /// Warmup/measured run protocol in force.
+    pub harness: HarnessConfig,
     /// Per-policy solo baselines.
     pub solo: Vec<SoloRun>,
     /// One row per swept tenant count (fusion off: the duplicated-work
@@ -193,8 +197,15 @@ pub struct CtrlBench {
     pub cse_sweep: Vec<CseRow>,
 }
 
-/// Runs the sweep on `packets` MAWI-like packets generated from `seed`.
-pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u64) -> CtrlBench {
+/// Runs the sweep on `packets` MAWI-like packets generated from `seed`,
+/// under the given warmup/runs protocol.
+pub fn measure_with(
+    packets: usize,
+    tenant_counts: &[usize],
+    workers: usize,
+    seed: u64,
+    hcfg: &HarnessConfig,
+) -> CtrlBench {
     let policies = tenant_policies();
     let max_tenants = tenant_counts.iter().copied().max().unwrap_or(0);
     assert!(
@@ -217,19 +228,21 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
     let solo: Vec<SoloRun> = specs
         .iter()
         .map(|spec| {
-            let mut fe = StreamingPipeline::with_config(&spec.policy, spec.cfg, workers)
-                .expect("policy deploys");
-            let start = Instant::now();
-            for p in records {
-                fe.push(p).expect("workers alive");
-            }
-            let out = fe.finish().expect("workers alive");
-            let secs = start.elapsed().as_secs_f64();
+            let mut vectors = 0usize;
+            let m = harness::measure(hcfg, |_| {
+                let mut fe = StreamingPipeline::with_config(&spec.policy, spec.cfg, workers)
+                    .expect("policy deploys");
+                for p in records {
+                    fe.push(p).expect("workers alive");
+                }
+                let out = fe.finish().expect("workers alive");
+                vectors = out.group_vectors.len() + out.packet_vectors.len();
+            });
             SoloRun {
                 policy: spec.name.clone(),
-                pkts_per_sec: records.len() as f64 / secs,
-                elapsed_ms: secs * 1e3,
-                vectors: out.group_vectors.len() + out.packet_vectors.len(),
+                pkts_per_sec: records.len() as f64 / m.mean_secs(),
+                elapsed_ms: m.elapsed_ms(),
+                vectors,
             }
         })
         .collect();
@@ -239,34 +252,35 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
         .map(|&n| {
             // Fusion off: this sweep measures the per-tenant duplicated-work
             // baseline (the AWF/DF duplicate must really run twice).
-            let mut plane =
-                CtrlPlane::without_fusion(workers, superfe_core::AnalyzeConfig::default());
-            for spec in &specs[..n] {
-                plane.attach(spec, None).expect("bench set is admissible");
-            }
-            let start = Instant::now();
-            for p in records {
-                plane.push(p).expect("workers alive");
-            }
-            let runs = plane.finish().expect("workers alive");
-            let secs = start.elapsed().as_secs_f64();
             let mut aggregate_vectors = 0;
-            for (i, run) in runs.iter().enumerate() {
-                let vectors = run.output.group_vectors.len() + run.output.packet_vectors.len();
-                assert_eq!(
-                    vectors, solo[i].vectors,
-                    "tenant {} diverged from its solo run",
-                    run.name
-                );
-                aggregate_vectors += vectors;
-            }
-            let solo_sum_ms: f64 = solo[..n].iter().map(|s| s.elapsed_ms).sum();
+            let m = harness::measure(hcfg, |_| {
+                let mut plane =
+                    CtrlPlane::without_fusion(workers, superfe_core::AnalyzeConfig::default());
+                for spec in &specs[..n] {
+                    plane.attach(spec, None).expect("bench set is admissible");
+                }
+                for p in records {
+                    plane.push(p).expect("workers alive");
+                }
+                let runs = plane.finish().expect("workers alive");
+                aggregate_vectors = 0;
+                for (i, run) in runs.iter().enumerate() {
+                    let vectors = run.output.group_vectors.len() + run.output.packet_vectors.len();
+                    assert_eq!(
+                        vectors, solo[i].vectors,
+                        "tenant {} diverged from its solo run",
+                        run.name
+                    );
+                    aggregate_vectors += vectors;
+                }
+            });
+            let solo_sum_ms: f64 = solo[..n].iter().map(|s| s.elapsed_ms.mean).sum();
             TenantRunRow {
                 tenants: n,
-                pkts_per_sec: records.len() as f64 / secs,
-                elapsed_ms: secs * 1e3,
+                pkts_per_sec: records.len() as f64 / m.mean_secs(),
+                elapsed_ms: m.elapsed_ms(),
                 aggregate_vectors,
-                overhead_vs_solo_pct: (secs * 1e3 / solo_sum_ms - 1.0) * 100.0,
+                overhead_vs_solo_pct: (m.mean_ms() / solo_sum_ms - 1.0) * 100.0,
             }
         })
         .collect();
@@ -295,22 +309,29 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
                 })
                 .collect();
             let run = |fuse: bool| {
-                let analyze = superfe_core::AnalyzeConfig::default();
-                let mut plane = if fuse {
-                    CtrlPlane::new(workers, analyze)
-                } else {
-                    CtrlPlane::without_fusion(workers, analyze)
-                };
-                for spec in &fspecs {
-                    plane.attach(spec, None).expect("bench set is admissible");
-                }
-                let units = plane.units().len();
-                let start = Instant::now();
-                for p in records {
-                    plane.push(p).expect("workers alive");
-                }
-                let runs = plane.finish().expect("workers alive");
-                (runs, start.elapsed().as_secs_f64(), units)
+                let mut out_runs = None;
+                let mut units = 0usize;
+                let m = harness::measure(hcfg, |_| {
+                    let analyze = superfe_core::AnalyzeConfig::default();
+                    let mut plane = if fuse {
+                        CtrlPlane::new(workers, analyze)
+                    } else {
+                        CtrlPlane::without_fusion(workers, analyze)
+                    };
+                    for spec in &fspecs {
+                        plane.attach(spec, None).expect("bench set is admissible");
+                    }
+                    units = plane.units().len();
+                    for p in records {
+                        plane.push(p).expect("workers alive");
+                    }
+                    out_runs = Some(plane.finish().expect("workers alive"));
+                });
+                (
+                    out_runs.expect("at least one measured run"),
+                    m.mean_secs(),
+                    units,
+                )
             };
             let (fused_runs, fused_secs, fused_units) = run(true);
             let (unfused_runs, unfused_secs, _) = run(false);
@@ -352,23 +373,32 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
                 })
                 .collect();
             let run = |share: bool| {
-                let analyze = superfe_core::AnalyzeConfig::default();
-                let mut plane = if share {
-                    CtrlPlane::new(workers, analyze)
-                } else {
-                    CtrlPlane::without_fusion(workers, analyze)
-                };
-                for spec in &cspecs {
-                    plane.attach(spec, None).expect("bench set is admissible");
-                }
-                let partitions = plane.groups().len();
-                let units = plane.units().len();
-                let start = Instant::now();
-                for p in records {
-                    plane.push(p).expect("workers alive");
-                }
-                let runs = plane.finish().expect("workers alive");
-                (runs, start.elapsed().as_secs_f64(), partitions, units)
+                let mut out_runs = None;
+                let mut partitions = 0usize;
+                let mut units = 0usize;
+                let m = harness::measure(hcfg, |_| {
+                    let analyze = superfe_core::AnalyzeConfig::default();
+                    let mut plane = if share {
+                        CtrlPlane::new(workers, analyze)
+                    } else {
+                        CtrlPlane::without_fusion(workers, analyze)
+                    };
+                    for spec in &cspecs {
+                        plane.attach(spec, None).expect("bench set is admissible");
+                    }
+                    partitions = plane.groups().len();
+                    units = plane.units().len();
+                    for p in records {
+                        plane.push(p).expect("workers alive");
+                    }
+                    out_runs = Some(plane.finish().expect("workers alive"));
+                });
+                (
+                    out_runs.expect("at least one measured run"),
+                    m.mean_secs(),
+                    partitions,
+                    units,
+                )
             };
             let (shared_runs, shared_secs, shared_partitions, shared_units) = run(true);
             let (unshared_runs, unshared_secs, _, _) = run(false);
@@ -404,12 +434,23 @@ pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u6
     CtrlBench {
         packets: records.len(),
         workers,
-        host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        harness: *hcfg,
         solo,
         tenant_sweep,
         fusion_sweep,
         cse_sweep,
     }
+}
+
+/// [`measure_with`] under the default harness protocol.
+pub fn measure(packets: usize, tenant_counts: &[usize], workers: usize, seed: u64) -> CtrlBench {
+    measure_with(
+        packets,
+        tenant_counts,
+        workers,
+        seed,
+        &HarnessConfig::default(),
+    )
 }
 
 impl CtrlBench {
@@ -420,16 +461,21 @@ impl CtrlBench {
         out.push_str("  \"workload\": \"mawi\",\n");
         out.push_str(&format!("  \"packets\": {},\n", self.packets));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  {},\n", host_json()));
         out.push_str(&format!(
-            "  \"host_parallelism\": {},\n",
-            self.host_parallelism
+            "  \"warmup_runs\": {}, \"measured_runs\": {},\n",
+            self.harness.warmup,
+            self.harness.runs.max(1)
         ));
         out.push_str("  \"solo\": [\n");
         for (i, s) in self.solo.iter().enumerate() {
             let sep = if i + 1 == self.solo.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{ \"policy\": \"{}\", \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"vectors\": {} }}{sep}\n",
-                s.policy, s.pkts_per_sec, s.elapsed_ms, s.vectors
+                "    {{ \"policy\": \"{}\", \"pkts_per_sec\": {:.0}, {}, \"vectors\": {} }}{sep}\n",
+                s.policy,
+                s.pkts_per_sec,
+                s.elapsed_ms.to_json_fields("elapsed_ms"),
+                s.vectors
             ));
         }
         out.push_str("  ],\n");
@@ -441,8 +487,12 @@ impl CtrlBench {
                 ","
             };
             out.push_str(&format!(
-                "    {{ \"tenants\": {}, \"pkts_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"aggregate_vectors\": {}, \"overhead_vs_solo_pct\": {:.1} }}{sep}\n",
-                r.tenants, r.pkts_per_sec, r.elapsed_ms, r.aggregate_vectors, r.overhead_vs_solo_pct
+                "    {{ \"tenants\": {}, \"pkts_per_sec\": {:.0}, {}, \"aggregate_vectors\": {}, \"overhead_vs_solo_pct\": {:.1} }}{sep}\n",
+                r.tenants,
+                r.pkts_per_sec,
+                r.elapsed_ms.to_json_fields("elapsed_ms"),
+                r.aggregate_vectors,
+                r.overhead_vs_solo_pct
             ));
         }
         out.push_str("  ],\n");
@@ -508,7 +558,16 @@ mod tests {
 
     #[test]
     fn small_sweep_produces_schema() {
-        let b = measure(2_000, &[1, 2], 2, DEFAULT_SEED);
+        // warmup 0 / runs 1 keeps the test's workload count identical to a
+        // plain single-run sweep; the multi-run machinery is covered by the
+        // throughput and harness tests.
+        let b = measure_with(
+            2_000,
+            &[1, 2],
+            2,
+            DEFAULT_SEED,
+            &HarnessConfig { warmup: 0, runs: 1 },
+        );
         assert_eq!(b.packets, 2_000);
         assert_eq!(b.solo.len(), 2);
         assert_eq!(b.tenant_sweep.len(), 2);
@@ -525,6 +584,12 @@ mod tests {
             "\"fused_units\"",
             "\"speedup_vs_unfused\"",
             "\"host_parallelism\"",
+            "\"flat_expected\"",
+            "\"warmup_runs\"",
+            "\"measured_runs\"",
+            "\"elapsed_ms_mean\"",
+            "\"elapsed_ms_stddev\"",
+            "\"elapsed_ms_p99\"",
             "\"cse_sweep\"",
             "\"shared_partitions\"",
             "\"speedup_vs_unshared\"",

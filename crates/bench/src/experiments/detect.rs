@@ -8,16 +8,19 @@
 //!   run-to-run, asserted in tests): calibrated threshold, alert counts
 //!   split by ground-truth label, precision/recall/F1/AUC;
 //! - **throughput** (timing-dependent): packets/second with and without
-//!   inference attached, and scoring-latency percentiles.
+//!   inference attached — measured through the [`crate::harness`]
+//!   warmup-then-measure protocol with run-to-run statistics — and
+//!   scoring-latency percentiles.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use superfe_core::{StreamingPipeline, SuperFe};
 use superfe_detect::{DetectPipeline, DetectorKind, ServeConfig};
 use superfe_ml::{auc, train_and_calibrate, CalibrationConfig, Confusion};
 use superfe_net::{Granularity, GroupKey};
 use superfe_trafficgen::intrusion::{self, IntrusionConfig, Scenario};
+
+use crate::harness::{self, host_json, HarnessConfig, RunStats};
 
 /// The policy under measurement: Kitsune's 115-dimensional per-packet
 /// feature vector over three granularities.
@@ -109,10 +112,14 @@ pub struct DetectionSummary {
 pub struct ThroughputSummary {
     /// Packets in the served trace.
     pub packets: usize,
-    /// Streaming extraction alone, packets/second.
+    /// Streaming extraction alone, packets/second (mean run).
     pub extract_pkts_per_sec: f64,
-    /// Extraction with inference attached, packets/second.
+    /// Extraction with inference attached, packets/second (mean run).
     pub detect_pkts_per_sec: f64,
+    /// Extraction-only wall-clock statistics, milliseconds.
+    pub extract_elapsed_ms: RunStats,
+    /// Extraction-plus-inference wall-clock statistics, milliseconds.
+    pub detect_elapsed_ms: RunStats,
     /// Relative slowdown of attaching inference, percent.
     pub inference_overhead_pct: f64,
     /// Median per-vector scoring latency, nanoseconds.
@@ -126,6 +133,8 @@ pub struct ThroughputSummary {
 pub struct DetectBench {
     /// The configuration measured.
     pub cfg: DetectConfig,
+    /// Warmup/measured run protocol in force.
+    pub harness: HarnessConfig,
     /// Deterministic detection results.
     pub detection: DetectionSummary,
     /// Timing results.
@@ -137,6 +146,15 @@ pub struct DetectBench {
 /// Returns an error string for degenerate configurations (for the CLI to
 /// surface) instead of panicking.
 pub fn measure(cfg: &DetectConfig) -> Result<DetectBench, String> {
+    measure_with(cfg, &HarnessConfig::default())
+}
+
+/// [`measure`] under an explicit warmup/runs protocol.
+///
+/// Only the throughput section depends on the protocol: the detection
+/// section is deterministic per seed, so repeating the serving run changes
+/// which (byte-identical) report is summarized, not its content.
+pub fn measure_with(cfg: &DetectConfig, hcfg: &HarnessConfig) -> Result<DetectBench, String> {
     // --- Train + calibrate on a benign trace (offline extraction). ---
     let train_set = intrusion::generate(&IntrusionConfig {
         scenario: cfg.scenario,
@@ -181,30 +199,40 @@ pub fn measure(cfg: &DetectConfig) -> Result<DetectBench, String> {
     });
     let packets = serve_set.labelled.len();
 
-    // Baseline: streaming extraction with no detector attached.
-    let mut fe = StreamingPipeline::from_dsl(POLICY, cfg.workers).map_err(|e| e.to_string())?;
-    let start = Instant::now();
-    for (p, _) in &serve_set.labelled {
-        fe.push(p).map_err(|e| e.to_string())?;
-    }
-    fe.finish().map_err(|e| e.to_string())?;
-    let extract_secs = start.elapsed().as_secs_f64();
+    // Baseline: streaming extraction with no detector attached. Deployment
+    // errors surface once from the pre-flight build; per-run rebuilds
+    // inside the harness then cannot fail differently (same inputs).
+    StreamingPipeline::from_dsl(POLICY, cfg.workers).map_err(|e| e.to_string())?;
+    let extract = harness::measure(hcfg, |_| {
+        let mut fe = StreamingPipeline::from_dsl(POLICY, cfg.workers).expect("pre-flight deployed");
+        for (p, _) in &serve_set.labelled {
+            fe.push(p).expect("workers alive");
+        }
+        fe.finish().expect("workers alive");
+    });
 
-    // Online serving with inference attached.
+    // Online serving with inference attached. The detection report is
+    // deterministic per seed, so summarizing the last measured run's report
+    // is summarizing every run's.
     let serve_cfg = ServeConfig {
         workers: cfg.workers,
         record_scores: true,
         scenario: cfg.scenario.name().to_string(),
         ..ServeConfig::default()
     };
-    let mut dp = DetectPipeline::from_dsl(POLICY, cfg.workers, &frozen, &serve_cfg)
+    DetectPipeline::from_dsl(POLICY, cfg.workers, &frozen, &serve_cfg)
         .map_err(|e| e.to_string())?;
-    let start = Instant::now();
-    for (p, _) in &serve_set.labelled {
-        dp.push(p).map_err(|e| e.to_string())?;
-    }
-    let (_, report) = dp.finish().map_err(|e| e.to_string())?;
-    let detect_secs = start.elapsed().as_secs_f64();
+    let mut last_report = None;
+    let detect = harness::measure(hcfg, |_| {
+        let mut dp = DetectPipeline::from_dsl(POLICY, cfg.workers, &frozen, &serve_cfg)
+            .expect("pre-flight deployed");
+        for (p, _) in &serve_set.labelled {
+            dp.push(p).expect("workers alive");
+        }
+        let (_, report) = dp.finish().expect("workers alive");
+        last_report = Some(report);
+    });
+    let report = last_report.expect("at least one measured run");
 
     // --- Match scores to ground truth by (socket key, occurrence). ---
     let mut occurrence: HashMap<GroupKey, usize> = HashMap::new();
@@ -238,10 +266,11 @@ pub fn measure(cfg: &DetectConfig) -> Result<DetectBench, String> {
     let conf = Confusion::from_pairs(scored_pairs.iter().map(|&(s, l)| (s > threshold, l)));
     let roc = auc(&scored_pairs);
 
-    let extract_pps = packets as f64 / extract_secs;
-    let detect_pps = packets as f64 / detect_secs;
+    let extract_pps = packets as f64 / extract.mean_secs();
+    let detect_pps = packets as f64 / detect.mean_secs();
     Ok(DetectBench {
         cfg: *cfg,
+        harness: *hcfg,
         detection: DetectionSummary {
             feature_dim: dim,
             train_vectors: refs.len() - calibration_vectors,
@@ -261,6 +290,8 @@ pub fn measure(cfg: &DetectConfig) -> Result<DetectBench, String> {
             packets,
             extract_pkts_per_sec: extract_pps,
             detect_pkts_per_sec: detect_pps,
+            extract_elapsed_ms: extract.elapsed_ms(),
+            detect_elapsed_ms: detect.elapsed_ms(),
             inference_overhead_pct: (extract_pps / detect_pps - 1.0) * 100.0,
             score_p50_ns: report.latency_hist.percentile(0.5).unwrap_or(0.0),
             score_p99_ns: report.latency_hist.percentile(0.99).unwrap_or(0.0),
@@ -316,9 +347,11 @@ impl DetectBench {
         ));
         out.push_str(&format!("  \"seed\": {},\n", self.cfg.seed));
         out.push_str(&format!("  \"workers\": {},\n", self.cfg.workers));
+        out.push_str(&format!("  {},\n", host_json()));
         out.push_str(&format!(
-            "  \"host_parallelism\": {},\n",
-            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            "  \"warmup_runs\": {}, \"measured_runs\": {},\n",
+            self.harness.warmup,
+            self.harness.runs.max(1)
         ));
         out.push_str(&self.detection_json());
         out.push_str(",\n");
@@ -335,6 +368,14 @@ impl DetectBench {
         out.push_str(&format!(
             "    \"inference_overhead_pct\": {:.1},\n",
             t.inference_overhead_pct
+        ));
+        out.push_str(&format!(
+            "    {},\n",
+            t.extract_elapsed_ms.to_json_fields("extract_elapsed_ms")
+        ));
+        out.push_str(&format!(
+            "    {},\n",
+            t.detect_elapsed_ms.to_json_fields("detect_elapsed_ms")
         ));
         out.push_str(&format!("    \"score_p50_ns\": {:.0},\n", t.score_p50_ns));
         out.push_str(&format!("    \"score_p99_ns\": {:.0}\n", t.score_p99_ns));
@@ -366,11 +407,17 @@ mod tests {
         }
     }
 
+    /// One run, no warmup: keeps each test's workload identical to the
+    /// pre-harness single-run bench.
+    fn fast() -> HarnessConfig {
+        HarnessConfig { warmup: 0, runs: 1 }
+    }
+
     #[test]
     fn detection_section_is_byte_identical_across_runs() {
         let cfg = small();
-        let a = measure(&cfg).unwrap();
-        let b = measure(&cfg).unwrap();
+        let a = measure_with(&cfg, &fast()).unwrap();
+        let b = measure_with(&cfg, &fast()).unwrap();
         assert_eq!(
             a.detection_json(),
             b.detection_json(),
@@ -380,11 +427,14 @@ mod tests {
 
     #[test]
     fn different_seed_changes_the_workload() {
-        let a = measure(&small()).unwrap();
-        let b = measure(&DetectConfig {
-            seed: 99,
-            ..small()
-        })
+        let a = measure_with(&small(), &fast()).unwrap();
+        let b = measure_with(
+            &DetectConfig {
+                seed: 99,
+                ..small()
+            },
+            &fast(),
+        )
         .unwrap();
         // The threshold is derived from seeded traffic: a different seed
         // must be visible in the deterministic section.
@@ -393,7 +443,7 @@ mod tests {
 
     #[test]
     fn json_has_expected_schema() {
-        let json = measure(&small()).unwrap().to_json();
+        let json = measure_with(&small(), &fast()).unwrap().to_json();
         for key in [
             "\"experiment\"",
             "\"scenario\"",
@@ -407,6 +457,12 @@ mod tests {
             "\"auc\"",
             "\"throughput\"",
             "\"inference_overhead_pct\"",
+            "\"host_parallelism\"",
+            "\"flat_expected\"",
+            "\"warmup_runs\"",
+            "\"measured_runs\"",
+            "\"extract_elapsed_ms_mean\"",
+            "\"detect_elapsed_ms_stddev\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

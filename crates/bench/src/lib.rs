@@ -21,4 +21,5 @@
 //! | [`experiments::fig17`] | Fig. 17 — incremental NIC optimizations |
 
 pub mod experiments;
+pub mod harness;
 pub mod util;

@@ -46,7 +46,7 @@ impl StreamingPipeline {
         cfg: SuperFeConfig,
         workers: usize,
     ) -> Result<Self, PolicyError> {
-        Self::build(policy, cfg, workers, None)
+        Self::build(policy, cfg, workers, None, None)
     }
 
     /// Deploys with one [`superfe_nic::VectorSink`] attached per NIC shard
@@ -60,7 +60,22 @@ impl StreamingPipeline {
         workers: usize,
         sinks: Vec<Box<dyn superfe_nic::VectorSink>>,
     ) -> Result<Self, PolicyError> {
-        Self::build(policy, cfg, workers, Some(sinks))
+        Self::build(policy, cfg, workers, Some(sinks), None)
+    }
+
+    /// Deploys with optional sinks *and* optional per-stage latency
+    /// instrumentation: with `metrics` attached, every frame's ring dwell,
+    /// shard processing time, and sink egress time are recorded into the
+    /// shared [`superfe_net::StageMetrics`] histograms (the bench harness's
+    /// producer→shard→sink breakdown).
+    pub fn with_options(
+        policy: &Policy,
+        cfg: SuperFeConfig,
+        workers: usize,
+        sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
+        metrics: Option<std::sync::Arc<superfe_net::StageMetrics>>,
+    ) -> Result<Self, PolicyError> {
+        Self::build(policy, cfg, workers, sinks, metrics)
     }
 
     fn build(
@@ -68,19 +83,16 @@ impl StreamingPipeline {
         cfg: SuperFeConfig,
         workers: usize,
         sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
+        metrics: Option<std::sync::Arc<superfe_net::StageMetrics>>,
     ) -> Result<Self, PolicyError> {
         let compiled = crate::deploy::gate(policy, &cfg)?;
         let switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())
             })?;
-        let nic = match sinks {
-            Some(sinks) => {
-                StreamingNic::with_sinks(&compiled, cfg.cache.fg_table_size, workers, sinks)
-            }
-            None => StreamingNic::new(&compiled, cfg.cache.fg_table_size, workers),
-        }
-        .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
+        let nic =
+            StreamingNic::with_options(&compiled, cfg.cache.fg_table_size, workers, sinks, metrics)
+                .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
         Ok(StreamingPipeline {
             compiled,
             switch,

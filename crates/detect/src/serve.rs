@@ -1,24 +1,29 @@
-//! The sharded serving executor: bounded-channel inference workers scoring
+//! The sharded serving executor: ring-fed inference workers scoring
 //! egressed feature vectors in batches.
 //!
 //! Mirrors the `StreamingNic` design one stage downstream: each NIC shard's
 //! [`VectorSink`] routes vectors to inference workers by group-key hash, in
-//! batches over bounded `sync_channel`s. A saturated inference worker
-//! blocks the NIC shard feeding it, which blocks the switch producer —
-//! backpressure end to end, never unbounded buffering.
+//! batches over bounded SPSC rings (`superfe_net::ring`). Because the ring
+//! is strictly single-producer/single-consumer, the executor builds one
+//! ring per (NIC shard, inference worker) pair; a worker's rings share one
+//! wake handle, so it polls them round-robin and parks once when all are
+//! empty. A saturated inference worker blocks the NIC shard feeding it,
+//! which blocks the switch producer — backpressure end to end, never
+//! unbounded buffering.
 //!
-//! Determinism: a group key hashes to one inference worker, each NIC shard
-//! preserves stream order, and `(shard, seq)` tags identify positions, so
-//! the canonically ordered score/alert streams (see
+//! Determinism: a group key lives on one NIC shard (CG-hash sharding) and
+//! hashes to one inference worker, so all of a key's vectors travel one
+//! ring, in stream order; `(shard, seq)` tags identify positions, so the
+//! canonically ordered score/alert streams (see
 //! [`crate::alert::canonicalize_alerts`]) are a pure function of the input
 //! trace — independent of thread scheduling and, per key, of the worker
 //! count.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use superfe_ml::FrozenDetector;
+use superfe_net::metrics::monotonic_ns;
+use superfe_net::ring;
 use superfe_nic::{EgressVector, VectorSink};
 use superfe_streaming::{Histogram, Reducer};
 
@@ -30,9 +35,10 @@ use crate::error::DetectError;
 pub struct ServeConfig {
     /// Number of inference worker threads.
     pub workers: usize,
-    /// Vectors per inference batch (one channel send per batch).
+    /// Vectors per inference batch (one ring send per batch).
     pub batch: usize,
-    /// Batches in flight per worker before the NIC shard blocks.
+    /// Batches in flight per (shard, worker) ring before the NIC shard
+    /// blocks.
     pub channel_depth: usize,
     /// Record every score (not just alerts) in the report — needed by the
     /// differential/accuracy tests; off by default to keep serving
@@ -124,7 +130,7 @@ fn latency_histogram() -> Histogram {
 ///
 /// Created with [`Serving::spawn`], which also returns the per-NIC-shard
 /// sinks to pass to `StreamingPipeline::with_sinks`. Dropping/flushing the
-/// sinks (the NIC shards finishing) closes the batch channels; then
+/// sinks (the NIC shards finishing) disconnects the batch rings; then
 /// [`Serving::finish`] joins the workers in order and merges their
 /// telemetry deterministically.
 pub struct Serving {
@@ -146,30 +152,49 @@ impl Serving {
         let workers = cfg.workers.max(1);
         let batch = cfg.batch.max(1);
         let depth = cfg.channel_depth.max(1);
-        let mut txs: Vec<SyncSender<Vec<EgressVector>>> = Vec::with_capacity(workers);
+        let shards = nic_shards.max(1);
+        // One SPSC ring per (shard, worker) pair. Batches are already
+        // send-amortized (`batch` vectors per send), so the rings publish
+        // on every send (doorbell batch 1): staging whole inference
+        // batches would idle the scoring threads for no amortization win.
+        // A worker's rings share one waiter so it parks once for all of
+        // them.
+        let mut worker_rxs: Vec<Vec<ring::Consumer<Vec<EgressVector>>>> =
+            (0..workers).map(|_| Vec::with_capacity(shards)).collect();
+        let mut shard_txs: Vec<Vec<ring::Producer<Vec<EgressVector>>>> =
+            (0..shards).map(|_| Vec::with_capacity(workers)).collect();
+        for (w, rxs) in worker_rxs.iter_mut().enumerate() {
+            let waiter = std::sync::Arc::new(ring::Waiter::default());
+            for txs in shard_txs.iter_mut() {
+                let (tx, rx) =
+                    ring::channel_with::<Vec<EgressVector>>(depth, 1, waiter.clone(), None);
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            let _ = w;
+        }
         let mut joins = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = sync_channel::<Vec<EgressVector>>(depth);
+        for rxs in worker_rxs {
             let det = det.clone();
             let scenario = cfg.scenario.clone();
             let record = cfg.record_scores;
             joins.push(std::thread::spawn(move || {
-                worker_loop(&rx, &det, &scenario, record)
+                worker_loop(rxs, &det, &scenario, record)
             }));
-            txs.push(tx);
         }
-        let sinks: Vec<Box<dyn VectorSink>> = (0..nic_shards.max(1))
-            .map(|_| {
+        let sinks: Vec<Box<dyn VectorSink>> = shard_txs
+            .into_iter()
+            .map(|txs| {
                 Box::new(ServeSink {
                     pending: txs.iter().map(|_| Vec::with_capacity(batch)).collect(),
-                    txs: txs.clone(),
+                    txs,
                     batch,
                 }) as Box<dyn VectorSink>
             })
             .collect();
-        // The spawned sinks hold the only senders: when every NIC shard
-        // drops its sink, the workers' receive loops end.
-        drop(txs);
+        // Each sink holds its shard's only producers: when every NIC shard
+        // drops its sink, the workers' rings all disconnect and their
+        // loops end.
         (
             Serving {
                 joins,
@@ -219,9 +244,11 @@ impl Serving {
     }
 }
 
-/// One inference worker: drain batches, score, alert, record telemetry.
+/// One inference worker: poll every feeding ring round-robin, score, alert,
+/// record telemetry; park on the shared waiter when all rings are empty,
+/// exit when all are disconnected.
 fn worker_loop(
-    rx: &Receiver<Vec<EgressVector>>,
+    mut rxs: Vec<ring::Consumer<Vec<EgressVector>>>,
     det: &FrozenDetector,
     scenario: &str,
     record: bool,
@@ -233,51 +260,124 @@ fn worker_loop(
         score_hist: score_histogram(),
         latency_hist: latency_histogram(),
     };
-    while let Ok(batch) = rx.recv() {
-        if batch.is_empty() {
-            continue;
-        }
-        out.counters.batches += 1;
-        let t0 = Instant::now();
-        for ev in &batch {
-            match det.score(ev.vector.values.as_slice()) {
-                Ok(score) => {
-                    out.counters.scored += 1;
-                    out.score_hist.update(score);
-                    if det.is_alert(score) {
-                        out.counters.alerts += 1;
-                        out.alerts.push(Alert {
-                            scenario: scenario.to_string(),
-                            key: ev.vector.key,
-                            score,
-                            threshold: det.threshold(),
-                            shard: ev.shard,
-                            seq: ev.seq,
-                        });
+    let waiter = rxs[0].waiter();
+    let mut open: Vec<bool> = rxs.iter().map(|_| true).collect();
+    let mut idle_rounds = 0u32;
+    loop {
+        let mut progressed = false;
+        for (i, rx) in rxs.iter_mut().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(batch) => {
+                        score_batch(&batch, det, scenario, record, &mut out);
+                        progressed = true;
                     }
-                    if record {
-                        out.scores.push(ScoredVector {
-                            key: ev.vector.key,
-                            shard: ev.shard,
-                            seq: ev.seq,
-                            score,
-                        });
+                    Err(ring::TryRecvError::Empty) => break,
+                    Err(ring::TryRecvError::Disconnected) => {
+                        open[i] = false;
+                        break;
                     }
                 }
-                Err(_) => out.counters.dim_errors += 1,
             }
         }
-        let per_vec = t0.elapsed().as_nanos() as f64 / batch.len() as f64;
-        out.latency_hist.update(per_vec);
+        if !open.iter().any(|o| *o) {
+            break;
+        }
+        if progressed {
+            idle_rounds = 0;
+            continue;
+        }
+        // Spin-then-park across all rings: brief yields, then register on
+        // the shared waiter, re-poll once (the registration/re-check order
+        // prevents lost wakeups), and park.
+        idle_rounds += 1;
+        if idle_rounds < 4 {
+            std::thread::yield_now();
+            continue;
+        }
+        waiter.register_current();
+        let mut woke = false;
+        for (i, rx) in rxs.iter_mut().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            match rx.try_recv() {
+                Ok(batch) => {
+                    score_batch(&batch, det, scenario, record, &mut out);
+                    woke = true;
+                    break;
+                }
+                Err(ring::TryRecvError::Empty) => {}
+                Err(ring::TryRecvError::Disconnected) => {
+                    open[i] = false;
+                    woke = true;
+                    break;
+                }
+            }
+        }
+        if woke {
+            waiter.cancel();
+        } else {
+            waiter.park();
+        }
+        idle_rounds = 0;
     }
     out
 }
 
+/// Scores one batch into the worker's accumulated output.
+fn score_batch(
+    batch: &[EgressVector],
+    det: &FrozenDetector,
+    scenario: &str,
+    record: bool,
+    out: &mut WorkerOut,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    out.counters.batches += 1;
+    let t0 = monotonic_ns();
+    for ev in batch {
+        match det.score(ev.vector.values.as_slice()) {
+            Ok(score) => {
+                out.counters.scored += 1;
+                out.score_hist.update(score);
+                if det.is_alert(score) {
+                    out.counters.alerts += 1;
+                    out.alerts.push(Alert {
+                        scenario: scenario.to_string(),
+                        key: ev.vector.key,
+                        score,
+                        threshold: det.threshold(),
+                        shard: ev.shard,
+                        seq: ev.seq,
+                    });
+                }
+                if record {
+                    out.scores.push(ScoredVector {
+                        key: ev.vector.key,
+                        shard: ev.shard,
+                        seq: ev.seq,
+                        score,
+                    });
+                }
+            }
+            Err(_) => out.counters.dim_errors += 1,
+        }
+    }
+    let per_vec = monotonic_ns().saturating_sub(t0) as f64 / batch.len() as f64;
+    out.latency_hist.update(per_vec);
+}
+
 /// The per-NIC-shard sink: batches vectors per inference worker and sends
-/// over the bounded channels (blocking when a worker is `channel_depth`
-/// batches behind — the backpressure edge).
+/// over this shard's bounded rings (blocking when a worker is
+/// `channel_depth` batches behind — the backpressure edge).
 struct ServeSink {
-    txs: Vec<SyncSender<Vec<EgressVector>>>,
+    txs: Vec<ring::Producer<Vec<EgressVector>>>,
     /// One partial batch per inference worker.
     pending: Vec<Vec<EgressVector>>,
     batch: usize,
@@ -405,5 +505,37 @@ mod tests {
         let report = serving.finish().unwrap();
         assert_eq!(report.totals.dim_errors, 1);
         assert_eq!(report.totals.scored, 1);
+    }
+
+    #[test]
+    fn many_shards_many_workers_loses_nothing() {
+        // 4 NIC shards × 3 inference workers = 12 rings; every emitted
+        // vector must be scored exactly once.
+        let det = frozen(2);
+        let cfg = ServeConfig {
+            workers: 3,
+            batch: 8,
+            record_scores: true,
+            ..ServeConfig::default()
+        };
+        let (serving, mut sinks) = Serving::spawn(&det, &cfg, 4);
+        let mut emitted = 0u64;
+        for i in 0..500u32 {
+            let shard = (i % 4) as usize;
+            sinks[shard].emit(EgressVector {
+                shard,
+                seq: u64::from(i / 4),
+                vector: vector(i % 17, &[1.0, 1.0 + f64::from(i % 5) * 0.01]),
+            });
+            emitted += 1;
+        }
+        for s in &mut sinks {
+            s.flush();
+        }
+        drop(sinks);
+        let report = serving.finish().unwrap();
+        assert_eq!(report.totals.scored, emitted);
+        assert_eq!(report.scores.as_ref().unwrap().len(), emitted as usize);
+        assert_eq!(report.per_worker.len(), 3);
     }
 }

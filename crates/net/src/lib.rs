@@ -17,14 +17,21 @@
 //!   and reused on the SmartNIC (the paper's first cycle optimization).
 //! - [`dir`]: ingress/egress direction inference from configurable internal
 //!   prefixes.
+//! - [`ring`]: the bounded SPSC frame ring with doorbell batching that the
+//!   streaming pipeline moves event frames over.
+//! - [`metrics`]: the process-wide monotonic clock and lock-free latency
+//!   histograms instrumenting that data path.
 
 pub mod dir;
 pub mod hash;
 pub mod key;
+pub mod metrics;
 pub mod packet;
+pub mod ring;
 pub mod wire;
 
 pub use dir::{Direction, DirectionResolver};
 pub use hash::{crc32, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use key::{ChannelKey, FiveTuple, Granularity, GroupKey, HostKey};
+pub use metrics::{monotonic_ns, AtomicHistogram, HistSummary, StageMetrics, StageSummaries};
 pub use packet::{PacketRecord, Protocol};

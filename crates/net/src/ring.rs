@@ -1,0 +1,584 @@
+//! A bounded single-producer/single-consumer ring buffer with doorbell
+//! batching — the hot data-path transport of the streaming pipeline.
+//!
+//! Modeled on SmartNIC descriptor rings: the producer writes slots and
+//! publishes them with a single atomic "doorbell" per batch instead of
+//! taking a lock and signalling a condvar per send (what
+//! `std::sync::mpsc::sync_channel` does). Design:
+//!
+//! - **Preallocated slots, atomic indices.** `capacity` slots are allocated
+//!   up front. `tail` counts published items, `head` consumed items (both
+//!   monotonic `u64`; slot index is `counter % capacity`). Head and tail
+//!   live on separate cache lines so producer and consumer do not false-
+//!   share.
+//! - **Safe-Rust slot protocol.** The workspace denies `unsafe_code`, so
+//!   slots are `Mutex<Option<T>>` rather than `UnsafeCell`: the SPSC
+//!   publication protocol guarantees each lock is uncontended (the producer
+//!   touches a slot only in `(tail, head+capacity]`, the consumer only in
+//!   `(head, tail]`), making each slot access two uncontended atomic RMWs —
+//!   no syscalls, no waiting. The `Release` store of `tail` after the slot
+//!   write and the consumer's `Acquire` load form the happens-before edge
+//!   that makes the payload visible; head works symmetrically for slot
+//!   reuse.
+//! - **Doorbell batching.** `send` stages items locally and stores the
+//!   shared `tail` (plus a possible consumer wakeup) only once per
+//!   `doorbell_batch` items, on [`Producer::doorbell`], before blocking,
+//!   and on drop. One synchronization point amortizes a whole batch.
+//! - **Spin-then-park waiting.** An empty consumer (or full producer)
+//!   spins briefly, then registers itself in a [`Waiter`] and parks. The
+//!   waker checks a `parked` flag — a single load in the common (running)
+//!   case. The waiter re-checks the ring *after* registering and before
+//!   parking, and `Thread::unpark` carries a token, so wakeups cannot be
+//!   lost.
+//! - **Bounded, with backpressure or drop.** [`Producer::send`] blocks when
+//!   the ring is full (after ringing the doorbell so the consumer can
+//!   drain); [`Producer::try_send`] returns the item instead — the recycle
+//!   paths use it to drop frames rather than block.
+//!
+//! Optional instrumentation: a ring built with a dwell histogram
+//! timestamps every item at send and records `recv − send` nanoseconds at
+//! the consumer (see [`crate::metrics`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::Thread;
+
+use crate::metrics::{monotonic_ns, AtomicHistogram};
+
+/// Spin iterations (CPU `pause`) before yielding while waiting.
+const SPINS: u32 = 64;
+
+/// `yield_now` rounds after spinning before parking. Kept small: on a
+/// single-core host the peer cannot run while we spin, so parking early is
+/// cheaper than burning the core.
+const YIELDS: u32 = 4;
+
+/// Error returned by [`Producer::send`] when the consumer is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Producer::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The ring is full; the item is handed back.
+    Full(T),
+    /// The consumer is gone; the item is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Consumer::recv`] when the producer is gone and the
+/// ring is drained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Consumer::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No published item right now.
+    Empty,
+    /// The producer is gone and everything published has been drained.
+    Disconnected,
+}
+
+/// Pads a value to its own cache line to prevent false sharing between the
+/// producer-owned and consumer-owned indices.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One side's park/wake handle.
+///
+/// Protocol: the waiting side calls [`Waiter::register_current`], re-checks
+/// the condition it is waiting on, and only then parks; the waking side
+/// calls [`Waiter::notify`] after publishing. `notify` clears the `parked`
+/// flag with a swap, so at most one unpark is issued per registration, and
+/// the re-check plus `unpark`'s token guarantee a registration between
+/// publish and park still wakes.
+#[derive(Debug, Default)]
+pub struct Waiter {
+    parked: AtomicBool,
+    thread: Mutex<Option<Thread>>,
+}
+
+impl Waiter {
+    /// Registers the calling thread as the parked waiter. The caller MUST
+    /// re-check its wait condition after this call and before parking.
+    pub fn register_current(&self) {
+        *lock(&self.thread) = Some(std::thread::current());
+        self.parked.store(true, Ordering::Release);
+    }
+
+    /// Withdraws a registration (the condition turned true before parking).
+    pub fn cancel(&self) {
+        self.parked.store(false, Ordering::Release);
+    }
+
+    /// Parks the calling thread until notified (or spuriously woken — the
+    /// caller loops on its condition either way).
+    pub fn park(&self) {
+        std::thread::park();
+    }
+
+    /// Wakes the registered waiter, if one is parked. A single relaxed-ish
+    /// flag load in the common nobody-parked case.
+    pub fn notify(&self) {
+        if self.parked.load(Ordering::Acquire) && self.parked.swap(false, Ordering::AcqRel) {
+            if let Some(t) = lock(&self.thread).clone() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// Uncontended-by-protocol slot lock; a poisoned mutex (peer panicked) just
+/// yields the data — the disconnect flags handle the failure.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Slot<T> {
+    /// Payload plus its send timestamp (0 when uninstrumented).
+    item: Mutex<Option<(T, u64)>>,
+}
+
+struct Shared<T> {
+    slots: Box<[Slot<T>]>,
+    /// Consumed count (owned by the consumer, read by the producer).
+    head: CachePadded<AtomicU64>,
+    /// Published count (owned by the producer, read by the consumer).
+    tail: CachePadded<AtomicU64>,
+    producer_open: AtomicBool,
+    consumer_open: AtomicBool,
+    /// Consumer-side wake handle; `Arc` so several rings feeding one
+    /// consumer thread can share it (see [`channel_with`]).
+    consumer_waiter: Arc<Waiter>,
+    producer_waiter: Waiter,
+    dwell: Option<Arc<AtomicHistogram>>,
+}
+
+impl<T> Shared<T> {
+    fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+}
+
+/// The sending half of a ring. Not cloneable: strictly single-producer.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Local item count including staged (not yet published) items.
+    tail: u64,
+    /// Value last stored to the shared tail.
+    published: u64,
+    /// Last observed consumer head (refreshed on demand).
+    cached_head: u64,
+    batch: u64,
+}
+
+/// The receiving half of a ring. Not cloneable: strictly single-consumer.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    head: u64,
+    cached_tail: u64,
+}
+
+/// Creates a bounded SPSC ring of `capacity` slots whose doorbell fires
+/// every `doorbell_batch` sends (both clamped to ≥ 1; the batch is also
+/// clamped to the capacity).
+pub fn channel<T: Send>(capacity: usize, doorbell_batch: usize) -> (Producer<T>, Consumer<T>) {
+    channel_with(capacity, doorbell_batch, Arc::new(Waiter::default()), None)
+}
+
+/// Like [`channel`], with an explicit consumer [`Waiter`] (shareable by a
+/// thread consuming several rings) and optional dwell instrumentation.
+pub fn channel_with<T: Send>(
+    capacity: usize,
+    doorbell_batch: usize,
+    consumer_waiter: Arc<Waiter>,
+    dwell: Option<Arc<AtomicHistogram>>,
+) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        slots: (0..capacity)
+            .map(|_| Slot {
+                item: Mutex::new(None),
+            })
+            .collect(),
+        head: CachePadded(AtomicU64::new(0)),
+        tail: CachePadded(AtomicU64::new(0)),
+        producer_open: AtomicBool::new(true),
+        consumer_open: AtomicBool::new(true),
+        consumer_waiter,
+        producer_waiter: Waiter::default(),
+        dwell,
+    });
+    (
+        Producer {
+            shared: shared.clone(),
+            tail: 0,
+            published: 0,
+            cached_head: 0,
+            batch: (doorbell_batch.max(1) as u64).min(capacity as u64),
+        },
+        Consumer {
+            shared,
+            head: 0,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Publishes all staged items (stores the shared tail) and wakes the
+    /// consumer if it is parked. A no-op when nothing is staged.
+    ///
+    /// Callers that are about to *wait* for the consumer (an ack handshake,
+    /// a join) must ring the doorbell first; [`Producer::send`] does so
+    /// itself before blocking on a full ring, and drop does too.
+    pub fn doorbell(&mut self) {
+        if self.published != self.tail {
+            self.shared.tail.0.store(self.tail, Ordering::Release);
+            self.published = self.tail;
+            self.shared.consumer_waiter.notify();
+        }
+    }
+
+    /// Items staged but not yet published.
+    pub fn staged(&self) -> u64 {
+        self.tail - self.published
+    }
+
+    /// Sends one item, blocking while the ring is full (backpressure).
+    /// Fails only when the consumer is gone, handing the item back.
+    pub fn send(&mut self, item: T) -> Result<(), SendError<T>> {
+        if self.wait_for_slot().is_err() {
+            return Err(SendError(item));
+        }
+        self.write(item);
+        if self.staged() >= self.batch {
+            self.doorbell();
+        }
+        Ok(())
+    }
+
+    /// Sends and immediately rings the doorbell — for control markers that
+    /// must be visible to the consumer before the caller blocks on a
+    /// response.
+    pub fn send_now(&mut self, item: T) -> Result<(), SendError<T>> {
+        self.send(item)?;
+        self.doorbell();
+        Ok(())
+    }
+
+    /// Non-blocking send: hands the item back instead of waiting when the
+    /// ring is full. Always publishes immediately on success (the drop-able
+    /// recycle paths want published-or-gone, never staged).
+    pub fn try_send(&mut self, item: T) -> Result<(), TrySendError<T>> {
+        if !self.shared.consumer_open.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(item));
+        }
+        if self.tail - self.cached_head >= self.shared.capacity() {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.tail - self.cached_head >= self.shared.capacity() {
+                return Err(TrySendError::Full(item));
+            }
+        }
+        self.write(item);
+        self.doorbell();
+        Ok(())
+    }
+
+    fn write(&mut self, item: T) {
+        let idx = (self.tail % self.shared.capacity()) as usize;
+        let ts = if self.shared.dwell.is_some() {
+            monotonic_ns()
+        } else {
+            0
+        };
+        *lock(&self.shared.slots[idx].item) = Some((item, ts));
+        self.tail += 1;
+    }
+
+    /// Blocks until a slot is free. Err when the consumer disconnected.
+    fn wait_for_slot(&mut self) -> Result<(), ()> {
+        if self.tail - self.cached_head < self.shared.capacity() {
+            // Fast path: known-free slot, one branch, no shared access.
+            return if self.shared.consumer_open.load(Ordering::Acquire) {
+                Ok(())
+            } else {
+                Err(())
+            };
+        }
+        self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+        if self.tail - self.cached_head >= self.shared.capacity() {
+            // Genuinely full: everything staged must become visible or the
+            // consumer can never drain us.
+            self.doorbell();
+        }
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        loop {
+            if !self.shared.consumer_open.load(Ordering::Acquire) {
+                return Err(());
+            }
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.tail - self.cached_head < self.shared.capacity() {
+                return Ok(());
+            }
+            if spins < SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if yields < YIELDS {
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                self.shared.producer_waiter.register_current();
+                self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+                if self.tail - self.cached_head < self.shared.capacity()
+                    || !self.shared.consumer_open.load(Ordering::Acquire)
+                {
+                    self.shared.producer_waiter.cancel();
+                    continue;
+                }
+                self.shared.producer_waiter.park();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.doorbell();
+        self.shared.producer_open.store(false, Ordering::Release);
+        self.shared.consumer_waiter.notify();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// The consumer-side wake handle (shared when several rings feed one
+    /// thread: register on it, re-poll every ring, then park).
+    pub fn waiter(&self) -> Arc<Waiter> {
+        self.shared.consumer_waiter.clone()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                if self.shared.producer_open.load(Ordering::Acquire) {
+                    return Err(TryRecvError::Empty);
+                }
+                // The producer rings the doorbell before closing; re-read
+                // the tail after observing the close so that final batch is
+                // never missed.
+                self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+                if self.head == self.cached_tail {
+                    return Err(TryRecvError::Disconnected);
+                }
+            }
+        }
+        let idx = (self.head % self.shared.capacity()) as usize;
+        let (item, ts) = lock(&self.shared.slots[idx].item)
+            .take()
+            .expect("SPSC protocol: published slot is filled");
+        self.head += 1;
+        self.shared.head.0.store(self.head, Ordering::Release);
+        self.shared.producer_waiter.notify();
+        if let Some(h) = &self.shared.dwell {
+            if ts != 0 {
+                h.record(monotonic_ns().saturating_sub(ts));
+            }
+        }
+        Ok(item)
+    }
+
+    /// Blocking receive: spins briefly, then parks until the producer's
+    /// doorbell. Err when the producer is gone and the ring is drained.
+    pub fn recv(&mut self) -> Result<T, RecvError> {
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        loop {
+            match self.try_recv() {
+                Ok(item) => return Ok(item),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {}
+            }
+            if spins < SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if yields < YIELDS {
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                let waiter = self.shared.consumer_waiter.clone();
+                waiter.register_current();
+                match self.try_recv() {
+                    Ok(item) => {
+                        waiter.cancel();
+                        return Ok(item);
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        waiter.cancel();
+                        return Err(RecvError);
+                    }
+                    Err(TryRecvError::Empty) => waiter.park(),
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_open.store(false, Ordering::Release);
+        self.shared.producer_waiter.notify();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_in_order_with_wraparound() {
+        let (mut tx, mut rx) = channel::<u64>(4, 1);
+        for round in 0..8u64 {
+            for i in 0..4u64 {
+                tx.send(round * 4 + i).unwrap();
+            }
+            for i in 0..4u64 {
+                assert_eq!(rx.recv().unwrap(), round * 4 + i);
+            }
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn doorbell_batches_publication() {
+        let (mut tx, mut rx) = channel::<u32>(8, 3);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Two staged, batch of three: not yet visible.
+        assert_eq!(tx.staged(), 2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        // Third send crosses the threshold: all three publish at once.
+        tx.send(3).unwrap();
+        assert_eq!(tx.staged(), 0);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        // Explicit doorbell publishes a partial batch.
+        tx.send(4).unwrap();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.doorbell();
+        assert_eq!(rx.try_recv(), Ok(4));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_drops_nothing_silently() {
+        let (mut tx, mut rx) = channel::<u32>(2, 1);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(4).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(4));
+    }
+
+    #[test]
+    fn producer_drop_flushes_staged_then_disconnects() {
+        let (mut tx, mut rx) = channel::<u32>(8, 8);
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx); // staged items must survive the drop
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn consumer_drop_fails_sends() {
+        let (mut tx, rx) = channel::<u32>(2, 1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure_across_threads() {
+        let (mut tx, mut rx) = channel::<u64>(2, 1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut next = 0u64;
+        while let Ok(v) = rx.recv() {
+            assert_eq!(v, next);
+            next += 1;
+        }
+        assert_eq!(next, 10_000);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_late_producer() {
+        let (mut tx, mut rx) = channel::<u32>(4, 1);
+        let consumer = std::thread::spawn(move || rx.recv());
+        // Give the consumer time to spin out and park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn dwell_instrumentation_records_per_item() {
+        let hist = Arc::new(AtomicHistogram::default());
+        let (mut tx, mut rx) =
+            channel_with::<u32>(4, 1, Arc::new(Waiter::default()), Some(hist.clone()));
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(hist.count(), 4);
+    }
+
+    #[test]
+    fn shared_waiter_serves_multiple_rings() {
+        let waiter = Arc::new(Waiter::default());
+        let (mut tx_a, mut rx_a) = channel_with::<u32>(4, 1, waiter.clone(), None);
+        let (mut tx_b, mut rx_b) = channel_with::<u32>(4, 1, waiter.clone(), None);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut open = 2;
+            while open > 0 {
+                let mut progressed = false;
+                for rx in [&mut rx_a, &mut rx_b] {
+                    match rx.try_recv() {
+                        Ok(v) => {
+                            got.push(v);
+                            progressed = true;
+                        }
+                        Err(TryRecvError::Empty) => {}
+                        Err(TryRecvError::Disconnected) => {}
+                    }
+                }
+                open = usize::from(rx_a.try_recv() != Err(TryRecvError::Disconnected))
+                    + usize::from(rx_b.try_recv() != Err(TryRecvError::Disconnected));
+                if !progressed && open > 0 {
+                    std::thread::yield_now();
+                }
+            }
+            got
+        });
+        tx_a.send(1).unwrap();
+        tx_b.send(2).unwrap();
+        drop(tx_a);
+        drop(tx_b);
+        let got = consumer.join().unwrap();
+        assert!(got.contains(&1) && got.contains(&2));
+    }
+}

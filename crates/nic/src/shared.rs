@@ -24,8 +24,10 @@
 //!   never crosses unit boundaries.
 //! - **Epoch-based reconfiguration**: [`SharedStreamingNic::attach`],
 //!   [`SharedStreamingNic::join`] and the detach handshakes travel
-//!   *in-band* as control markers through the same bounded channels as
-//!   event frames, so every worker applies them at the same point of the
+//!   *in-band* as control markers through the same bounded SPSC rings as
+//!   event frames (markers ring the doorbell immediately, so a handshake
+//!   is never parked behind a half-staged frame batch), so every worker
+//!   applies them at the same point of the
 //!   event stream — the epoch boundary. Detaching a unit's last member is
 //!   a drain-and-flush handshake ([`SharedStreamingNic::detach`]);
 //!   detaching a member of a still-populated unit is a **snapshot**
@@ -35,9 +37,10 @@
 //!   departing member gets exactly the output a destructive detach would
 //!   have produced while the survivors' live state is never touched.
 
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 
+use superfe_net::ring;
 use superfe_net::Granularity;
 use superfe_policy::CompiledPolicy;
 use superfe_switch::tenant::{TaggedEvent, TenantId};
@@ -45,7 +48,10 @@ use superfe_switch::SwitchEvent;
 
 use crate::engine::{FeNic, FeatureVector, NicStats};
 use crate::error::NicError;
-use crate::stream::{EgressVector, StreamOutput, VectorSink, CHANNEL_DEPTH, FRAME_SIZE};
+use crate::stream::{
+    EgressVector, StreamOutput, VectorSink, CHANNEL_DEPTH, DOORBELL_FRAMES, FRAME_SIZE,
+    RECYCLE_DEPTH,
+};
 
 /// What travels to a worker: an event frame or an epoch control marker.
 enum ShardMsg {
@@ -260,7 +266,9 @@ impl UnitEngine {
 }
 
 struct SharedWorker {
-    tx: SyncSender<ShardMsg>,
+    tx: ring::Producer<ShardMsg>,
+    /// Consumer end of this worker's bounded frame recycle ring.
+    recycle: ring::Consumer<Vec<TaggedEvent>>,
     join: JoinHandle<Vec<TenantPiece>>,
     pending: Vec<TaggedEvent>,
 }
@@ -286,8 +294,8 @@ struct UnitEntry {
 /// [`SharedStreamingNic::snapshot_detach`], while the event stream flows.
 pub struct SharedStreamingNic {
     workers: Vec<SharedWorker>,
-    recycle_tx: Sender<Vec<TaggedEvent>>,
-    recycle_rx: Receiver<Vec<TaggedEvent>>,
+    /// Locally stashed recycled frames ready for reuse (bounded: refilled
+    /// only from the fixed-capacity recycle rings).
     spare: Vec<Vec<TaggedEvent>>,
     /// Attached members in attach order.
     members: Vec<MemberEntry>,
@@ -302,11 +310,12 @@ impl SharedStreamingNic {
     /// Spawns `workers` shard threads (clamped to ≥ 1) with no tenants.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (recycle_tx, recycle_rx) = channel();
         let workers = (0..workers)
             .map(|shard| {
-                let (tx, rx) = sync_channel::<ShardMsg>(CHANNEL_DEPTH);
-                let recycle = recycle_tx.clone();
+                let (tx, mut rx) = ring::channel::<ShardMsg>(CHANNEL_DEPTH, DOORBELL_FRAMES);
+                // Recycle ring: the worker produces drained frames, the
+                // routing thread consumes them. try_send drops on full.
+                let (mut recycle, recycle_rx) = ring::channel::<Vec<TaggedEvent>>(RECYCLE_DEPTH, 1);
                 let join = std::thread::spawn(move || {
                     let mut engines: Vec<UnitEngine> = Vec::new();
                     while let Ok(msg) = rx.recv() {
@@ -325,7 +334,9 @@ impl SharedStreamingNic {
                                     u.drain_packets();
                                 }
                                 frame.clear();
-                                let _ = recycle.send(frame);
+                                // Bounded recycling: hand the frame back if
+                                // the ring has room, otherwise drop it.
+                                let _ = recycle.try_send(frame);
                             }
                             ShardMsg::Attach {
                                 unit,
@@ -395,6 +406,7 @@ impl SharedStreamingNic {
                 });
                 SharedWorker {
                     tx,
+                    recycle: recycle_rx,
                     join,
                     pending: Vec::with_capacity(FRAME_SIZE),
                 }
@@ -402,8 +414,6 @@ impl SharedStreamingNic {
             .collect();
         SharedStreamingNic {
             workers,
-            recycle_tx,
-            recycle_rx,
             spare: Vec::new(),
             members: Vec::new(),
             units: Vec::new(),
@@ -539,9 +549,11 @@ impl SharedStreamingNic {
         self.flush_all()?;
         for (w, engine) in engines.into_iter().enumerate() {
             let sink = sinks[w].take();
+            // Control markers publish immediately (send_now): an epoch cut
+            // must not sit staged behind the doorbell batch.
             self.workers[w]
                 .tx
-                .send(ShardMsg::Attach {
+                .send_now(ShardMsg::Attach {
                     unit: tenant,
                     group,
                     engine,
@@ -590,11 +602,11 @@ impl SharedStreamingNic {
         }
         let mut sinks = self.split_sinks(sinks)?;
         self.flush_all()?;
-        for (w, worker) in self.workers.iter().enumerate() {
+        for (w, worker) in self.workers.iter_mut().enumerate() {
             let sink = sinks[w].take();
             worker
                 .tx
-                .send(ShardMsg::Join { unit, member, sink })
+                .send_now(ShardMsg::Join { unit, member, sink })
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
         self.members.push(MemberEntry { member, unit });
@@ -748,6 +760,10 @@ impl SharedStreamingNic {
 
     /// Sends one marker per shard (built by `msg`, in shard order) and
     /// blocks for one ack per shard, returned sorted by shard.
+    ///
+    /// Markers go out with `send_now` (publish + doorbell immediately):
+    /// this call blocks on the acks, so a marker left staged behind the
+    /// doorbell batch would deadlock the handshake.
     fn collect_acks(
         &mut self,
         mut msg: impl FnMut(Sender<(usize, TenantPiece)>) -> ShardMsg,
@@ -756,7 +772,7 @@ impl SharedStreamingNic {
         for w in 0..self.workers.len() {
             self.workers[w]
                 .tx
-                .send(msg(ack_tx.clone()))
+                .send_now(msg(ack_tx.clone()))
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
         drop(ack_tx);
@@ -833,8 +849,10 @@ impl SharedStreamingNic {
     }
 
     fn take_spare(&mut self) -> Vec<TaggedEvent> {
-        while let Ok(f) = self.recycle_rx.try_recv() {
-            self.spare.push(f);
+        for w in &mut self.workers {
+            while let Ok(f) = w.recycle.try_recv() {
+                self.spare.push(f);
+            }
         }
         self.spare
             .pop()
@@ -845,11 +863,12 @@ impl SharedStreamingNic {
     /// remaining member's merged output in attach order.
     pub fn finish(mut self) -> Result<Vec<(TenantId, StreamOutput)>, NicError> {
         self.flush_all()?;
-        drop(self.recycle_tx);
         let order: Vec<TenantId> = self.members.iter().map(|m| m.member).collect();
         let mut merged: Vec<(TenantId, StreamOutput)> =
             order.iter().map(|&t| (t, empty_output())).collect();
         for (i, worker) in self.workers.into_iter().enumerate() {
+            // Dropping the producer publishes any staged frames, closes the
+            // ring, and wakes the worker; its loop drains and exits.
             drop(worker.tx);
             let pieces = worker
                 .join

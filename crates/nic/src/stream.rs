@@ -1,5 +1,5 @@
 //! Streaming multi-core NIC executor: CG-key-sharded workers fed over
-//! bounded channels.
+//! bounded SPSC frame rings.
 //!
 //! The NFP's ingress NBI distributes packets to cores on a per-IP basis so
 //! cores never contend on group state (§6.2). This module is the software
@@ -20,20 +20,27 @@
 //!   them. Each worker therefore sees an ordered subsequence of the original
 //!   stream containing all FG updates plus its own Mgpv shard, which
 //!   preserves the switch's FgUpdate-before-reference ordering per worker.
-//! - **Bounded channels**: each worker is fed over a
-//!   [`std::sync::mpsc::sync_channel`] holding at most [`CHANNEL_DEPTH`]
+//! - **Bounded rings**: each worker is fed over a
+//!   [`superfe_net::ring`] SPSC ring holding at most [`CHANNEL_DEPTH`]
 //!   frames. A producer outrunning a worker blocks on `send` (backpressure)
-//!   instead of buffering unboundedly.
-//! - **Frame batching & recycling**: events travel in [`FRAME_SIZE`]-event
-//!   frames to amortize synchronization; drained frames return to the
-//!   producer over a recycle channel, so steady state runs allocation-free.
+//!   instead of buffering unboundedly. The ring's doorbell publishes
+//!   [`DOORBELL_FRAMES`] frames per wakeup, so a worker is signalled once
+//!   per ~thousand events, not once per frame.
+//! - **Frame batching & bounded recycling**: events travel in
+//!   [`FRAME_SIZE`]-event frames to amortize synchronization; drained
+//!   frames return to the producer over a *bounded* per-worker recycle ring
+//!   ([`RECYCLE_DEPTH`] slots) with drop-on-full semantics, so steady-state
+//!   frame inventory is provably capped at
+//!   `workers × (CHANNEL_DEPTH + RECYCLE_DEPTH + 2)` frames.
 //! - **Deterministic merge**: workers are joined and their outputs
 //!   concatenated in shard order, making results independent of thread
 //!   scheduling.
 
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use superfe_net::metrics::{monotonic_ns, StageMetrics};
+use superfe_net::ring;
 use superfe_net::Granularity;
 use superfe_policy::CompiledPolicy;
 use superfe_switch::SwitchEvent;
@@ -46,6 +53,17 @@ pub const FRAME_SIZE: usize = 256;
 
 /// Frames in flight per worker before the producer blocks.
 pub const CHANNEL_DEPTH: usize = 8;
+
+/// Frames published per doorbell ring on the event path: the producer
+/// stages up to this many frames locally and wakes the worker once for the
+/// batch. Must stay below [`CHANNEL_DEPTH`] so a full ring still has
+/// published frames for the worker to drain.
+pub const DOORBELL_FRAMES: usize = 4;
+
+/// Capacity of each worker's frame recycle ring. When a worker drains
+/// frames faster than the producer re-takes them the ring fills and excess
+/// frames are dropped (freed), never blocked on.
+pub const RECYCLE_DEPTH: usize = CHANNEL_DEPTH + 2;
 
 /// A feature vector egressing a worker shard, tagged with its stream
 /// position: the shard index and a per-shard monotonic sequence number.
@@ -105,7 +123,9 @@ pub struct StreamOutput {
 }
 
 struct Worker {
-    tx: SyncSender<Vec<SwitchEvent>>,
+    tx: ring::Producer<Vec<SwitchEvent>>,
+    /// Consumer end of this worker's bounded frame recycle ring.
+    recycle: ring::Consumer<Vec<SwitchEvent>>,
     join: JoinHandle<ShardOutput>,
     /// Frame currently being filled for this worker.
     pending: Vec<SwitchEvent>,
@@ -118,9 +138,8 @@ struct Worker {
 /// [`StreamingNic::finish`] flushes, joins, and merges deterministically.
 pub struct StreamingNic {
     workers: Vec<Worker>,
-    recycle_tx: Sender<Vec<SwitchEvent>>,
-    recycle_rx: Receiver<Vec<SwitchEvent>>,
-    /// Locally stashed recycled frames ready for reuse.
+    /// Locally stashed recycled frames ready for reuse (bounded: refilled
+    /// only from the fixed-capacity recycle rings).
     spare: Vec<Vec<SwitchEvent>>,
 }
 
@@ -134,7 +153,7 @@ impl StreamingNic {
         fg_table_size: usize,
         workers: usize,
     ) -> Result<Self, NicError> {
-        Self::build(compiled, fg_table_size, workers, None)
+        Self::build(compiled, fg_table_size, workers, None, None)
     }
 
     /// Like [`StreamingNic::new`], but attaches one [`VectorSink`] per
@@ -154,14 +173,31 @@ impl StreamingNic {
         workers: usize,
         sinks: Vec<Box<dyn VectorSink>>,
     ) -> Result<Self, NicError> {
-        if sinks.len() != workers.max(1) {
-            return Err(NicError::Engine(format!(
-                "sink count {} does not match worker count {}",
-                sinks.len(),
-                workers.max(1)
-            )));
+        Self::with_options(compiled, fg_table_size, workers, Some(sinks), None)
+    }
+
+    /// Fully-general constructor: optional per-shard sinks and optional
+    /// per-stage latency instrumentation. With `metrics` attached, every
+    /// frame's ring dwell (producer send → worker receive), per-frame shard
+    /// processing time, and per-frame sink egress time are recorded into
+    /// the shared [`StageMetrics`] histograms.
+    pub fn with_options(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+        sinks: Option<Vec<Box<dyn VectorSink>>>,
+        metrics: Option<Arc<StageMetrics>>,
+    ) -> Result<Self, NicError> {
+        if let Some(sinks) = &sinks {
+            if sinks.len() != workers.max(1) {
+                return Err(NicError::Engine(format!(
+                    "sink count {} does not match worker count {}",
+                    sinks.len(),
+                    workers.max(1)
+                )));
+            }
         }
-        Self::build(compiled, fg_table_size, workers, Some(sinks))
+        Self::build(compiled, fg_table_size, workers, sinks, metrics)
     }
 
     fn build(
@@ -169,6 +205,7 @@ impl StreamingNic {
         fg_table_size: usize,
         workers: usize,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
+        metrics: Option<Arc<StageMetrics>>,
     ) -> Result<Self, NicError> {
         let workers = workers.max(1);
         let mut engines = Vec::with_capacity(workers);
@@ -181,32 +218,48 @@ impl StreamingNic {
             Some(s) => s.into_iter().map(Some).collect(),
             None => (0..workers).map(|_| None).collect(),
         };
-        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel();
         let workers = engines
             .into_iter()
             .enumerate()
             .map(|(shard, mut nic)| {
-                let (tx, rx) = sync_channel::<Vec<SwitchEvent>>(CHANNEL_DEPTH);
-                let recycle = recycle_tx.clone();
+                let (tx, mut rx) = ring::channel_with::<Vec<SwitchEvent>>(
+                    CHANNEL_DEPTH,
+                    DOORBELL_FRAMES,
+                    Arc::default(),
+                    metrics.as_ref().map(|m| m.queue.clone()),
+                );
+                // Recycle ring: the worker produces drained frames, the
+                // routing thread consumes them. try_send drops on full.
+                let (mut recycle_tx, recycle_rx) =
+                    ring::channel::<Vec<SwitchEvent>>(RECYCLE_DEPTH, 1);
                 let mut sink = sinks[shard].take();
+                let metrics = metrics.clone();
                 let join = std::thread::spawn(move || {
                     let mut seq: u64 = 0;
                     while let Ok(mut frame) = rx.recv() {
+                        let t0 = metrics.as_ref().map(|_| monotonic_ns());
                         for e in &frame {
                             nic.handle(e);
+                        }
+                        if let (Some(m), Some(t0)) = (&metrics, t0) {
+                            m.shard.record(monotonic_ns().saturating_sub(t0));
                         }
                         if let Some(sink) = sink.as_mut() {
                             // Divert this frame's per-packet vectors to the
                             // sink in arrival order.
+                            let t1 = metrics.as_ref().map(|_| monotonic_ns());
                             for vector in nic.take_packet_vectors() {
                                 sink.emit(EgressVector { shard, seq, vector });
                                 seq += 1;
                             }
+                            if let (Some(m), Some(t1)) = (&metrics, t1) {
+                                m.sink.record(monotonic_ns().saturating_sub(t1));
+                            }
                         }
                         frame.clear();
-                        // The producer may already be gone; recycling is
-                        // best-effort.
-                        let _ = recycle.send(frame);
+                        // Bounded recycling: hand the frame back if the
+                        // recycle ring has room, otherwise drop (free) it.
+                        let _ = recycle_tx.try_send(frame);
                     }
                     let groups = nic.finish();
                     let pkts = nic.take_packet_vectors();
@@ -228,6 +281,7 @@ impl StreamingNic {
                 });
                 Worker {
                     tx,
+                    recycle: recycle_rx,
                     join,
                     pending: Vec::with_capacity(FRAME_SIZE),
                 }
@@ -235,8 +289,6 @@ impl StreamingNic {
             .collect();
         Ok(StreamingNic {
             workers,
-            recycle_tx,
-            recycle_rx,
             spare: Vec::new(),
         })
     }
@@ -287,6 +339,10 @@ impl StreamingNic {
     }
 
     /// Sends worker `w`'s pending frame, replacing it with a recycled one.
+    ///
+    /// The ring doorbell batches publication: the worker is woken once per
+    /// [`DOORBELL_FRAMES`] frames (or when the producer blocks on a full
+    /// ring, or at [`StreamingNic::finish`]), not once per frame.
     fn flush_worker(&mut self, w: usize) -> Result<(), NicError> {
         if self.workers[w].pending.is_empty() {
             return Ok(());
@@ -301,21 +357,22 @@ impl StreamingNic {
 
     /// A recycled frame if one is available, else a fresh allocation.
     fn take_spare(&mut self) -> Vec<SwitchEvent> {
-        while let Ok(f) = self.recycle_rx.try_recv() {
-            self.spare.push(f);
+        for w in &mut self.workers {
+            while let Ok(f) = w.recycle.try_recv() {
+                self.spare.push(f);
+            }
         }
         self.spare
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(FRAME_SIZE))
     }
 
-    /// Flushes remaining frames, closes the channels, joins every worker in
+    /// Flushes remaining frames, closes the rings, joins every worker in
     /// shard order, and merges their outputs deterministically.
     pub fn finish(mut self) -> Result<StreamOutput, NicError> {
         for w in 0..self.workers.len() {
             self.flush_worker(w)?;
         }
-        drop(self.recycle_tx);
         let mut out = StreamOutput {
             group_vectors: Vec::new(),
             packet_vectors: Vec::new(),
@@ -323,7 +380,9 @@ impl StreamingNic {
             groups_per_level: Vec::new(),
         };
         for (i, worker) in self.workers.into_iter().enumerate() {
-            drop(worker.tx); // closes the channel; the worker loop exits
+            // Dropping the producer publishes any staged frames, closes the
+            // ring, and wakes the worker; its loop drains and exits.
+            drop(worker.tx);
             let shard = worker
                 .join
                 .join()
@@ -416,6 +475,34 @@ mod tests {
         assert_eq!(out.stats.records, 20_000);
         let total: f64 = out.group_vectors.iter().map(|g| g.values[0]).sum();
         assert!((total - 20_000.0 * 100.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn stage_metrics_observe_the_run() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
+        let metrics = Arc::new(StageMetrics::default());
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic =
+            StreamingNic::with_options(&c, 16_384, 2, None, Some(metrics.clone())).unwrap();
+        let mut frame = Vec::new();
+        for i in 0..5000u32 {
+            let p = PacketRecord::tcp(u64::from(i) * 100, 100, i % 31 + 1, 1000, 2, 80);
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        let out = nic.finish().unwrap();
+        assert_eq!(out.stats.records, 5000);
+        let s = metrics.summaries();
+        // Every delivered frame contributes one queue-dwell and one shard
+        // sample; no sink is attached so the sink histogram stays empty.
+        assert!(s.queue.count > 0);
+        assert_eq!(s.queue.count, s.shard.count);
+        assert_eq!(s.sink.count, 0);
+        assert!(s.shard.p99_ns >= s.shard.p50_ns);
     }
 
     /// Collects egressed vectors into a shared buffer for inspection.
