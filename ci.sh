@@ -203,6 +203,53 @@ fi
 grep -q '"cse_sweep"' BENCH_ctrl.json \
   || { echo "ci: BENCH_ctrl.json is missing the cse_sweep section"; exit 1; }
 
+step "corpus-scale state smoke (100k flows under a DRAM budget, bounded RSS)"
+# 100k flows through the bounded switch+NIC pair, every eviction policy,
+# plus the unbounded accuracy baseline. Schema-diffed against the
+# checked-in BENCH_scale.json, and peak RSS must stay bounded — the DRAM
+# budget is what makes corpus-scale cardinality safe, so a blow-up here
+# means the cap stopped biting.
+scale_smoke=$(mktemp)
+trap 'rm -f "$smoke" "$detect_smoke" "$ctrl_smoke" "$scale_smoke"' EXIT
+cargo run -q --release -p superfe-bench --bin scale -- \
+  --flows 100000 --runs 1 --out "$scale_smoke" >/dev/null
+if ! diff <(schema BENCH_scale.json) <(schema "$scale_smoke"); then
+  echo "ci: BENCH_scale.json schema drifted from the scale runner"
+  exit 1
+fi
+max_rss=$(grep -o '"peak_rss_kb": *[0-9]*' "$scale_smoke" \
+  | grep -o '[0-9]*$' | sort -n | tail -1)
+[[ -n "$max_rss" ]] || { echo "ci: scale smoke has no peak_rss_kb fields"; exit 1; }
+if (( max_rss > 1000000 )); then
+  echo "ci: scale smoke peaked at ${max_rss} kB RSS (cap 1000000 kB)"
+  exit 1
+fi
+grep -q '"accuracy": {' "$scale_smoke" \
+  || { echo "ci: scale smoke lost the unbounded accuracy baseline"; exit 1; }
+
+step "snapshot/restore smoke (digest-certified resume)"
+# A mid-stream snapshot, then a fresh process restoring from it: the
+# per-tenant output digests of the resumed run must be identical to the
+# uninterrupted run's — the CLI face of tests/plane_snapshot.rs.
+snap_file=$(mktemp)
+trap 'rm -f "$smoke" "$detect_smoke" "$ctrl_smoke" "$scale_smoke" "$snap_file"' EXIT
+full_out=$(target/release/superfe serve cumul npod --packets 4000 --workers 2 \
+  --snapshot "$snap_file" --snapshot-at 2000) \
+  || { echo "ci: snapshot serve smoke failed"; exit 1; }
+grep -q "snapshot: wrote" <<<"$full_out" \
+  || { echo "ci: serve did not write the mid-stream snapshot"; exit 1; }
+resumed_out=$(target/release/superfe serve cumul npod --packets 4000 --workers 2 \
+  --restore "$snap_file") || { echo "ci: restore serve smoke failed"; exit 1; }
+grep -q "restored 2 tenants" <<<"$resumed_out" \
+  || { echo "ci: restore did not rebuild the 2-tenant topology"; exit 1; }
+grep -q "tenant t0 cumul state:" <<<"$resumed_out" \
+  || { echo "ci: restore lost the per-tenant state occupancy lines"; exit 1; }
+digest_lines() { grep -o 'digest=[0-9a-f]*' <<<"$1"; }
+if ! diff <(digest_lines "$full_out") <(digest_lines "$resumed_out"); then
+  echo "ci: restored run's output digests diverged from the uninterrupted run"
+  exit 1
+fi
+
 step "ring vs sync_channel microbench (ring must not be slower)"
 # The Issue 8 data-path swap is justified by this number: per-frame transfer
 # through the doorbell-batched SPSC ring must be at least as fast as the

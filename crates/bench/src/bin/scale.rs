@@ -1,0 +1,64 @@
+//! Corpus-scale state-management sweep: writes `BENCH_scale.json`.
+//!
+//! ```text
+//! scale [--flows 10000,100000,1000000] [--seed S]
+//!       [--warmup N] [--runs N] [--out BENCH_scale.json]
+//! ```
+//!
+//! Each cell streams the corpus workload through one switch+NIC pair under
+//! a fixed DRAM eviction budget and records throughput, peak RSS,
+//! eviction counters, and the accuracy delta vs the unbounded baseline.
+//! Prints the JSON document to stdout and, with `--out`, also writes it to
+//! the given path (the checked-in artifact lives at the repo root).
+
+use superfe_bench::experiments::scale;
+use superfe_bench::harness::HarnessConfig;
+
+fn main() {
+    let mut flows: Vec<usize> = scale::FLOW_SWEEP.to_vec();
+    let mut seed = scale::DEFAULT_SEED;
+    let mut hcfg = HarnessConfig::default();
+    let mut out_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--flows" => {
+                flows = value(i)
+                    .split(',')
+                    .map(|f| f.trim().parse().expect("--flows: comma-separated integers"))
+                    .collect();
+                i += 2;
+            }
+            "--seed" => {
+                seed = value(i).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--warmup" => {
+                hcfg.warmup = value(i).parse().expect("--warmup: integer");
+                i += 2;
+            }
+            "--runs" => {
+                hcfg.runs = value(i).parse().expect("--runs: integer");
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(value(i).to_string());
+                i += 2;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let json = scale::measure_with(&flows, seed, &hcfg).to_json();
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[scale] wrote {path}");
+    }
+    print!("{json}");
+}

@@ -83,9 +83,12 @@ pub fn table_width_ablation() -> Vec<(usize, f64)> {
         .map(|width| {
             let buckets = 16_384 / width; // constant total entries
             let mut table: GroupTable<u64> = GroupTable::new(buckets, width).expect("valid dims");
+            let mut evicted = Vec::new();
             for p in &trace.records {
                 let k: GroupKey = Granularity::Socket.key_of(p);
-                *table.get_or_insert_with(k, k.hash32(), || 0) += 1;
+                *table
+                    .get_or_insert_with(k, k.hash32(), || 0, &mut evicted)
+                    .expect("default budget never refuses") += 1;
             }
             (width, table.stats().collision_rate())
         })

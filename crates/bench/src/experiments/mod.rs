@@ -12,6 +12,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod scale;
 pub mod tab02;
 pub mod tab03;
 pub mod tab04;

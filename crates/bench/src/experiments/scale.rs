@@ -1,0 +1,457 @@
+//! Corpus-scale state management: the `BENCH_scale.json` artifact.
+//!
+//! Sweeps flow count × NIC DRAM eviction policy over the streamed
+//! [`superfe_trafficgen::ScaleWorkload`] (diurnal curve, flash crowd,
+//! mid-stream attack burst — never materialized) and measures, per cell:
+//! throughput, peak RSS (`VmHWM`, reset per cell where the platform
+//! allows), eviction/overflow counters, and — for the flow counts where an
+//! unbounded baseline is affordable — the accuracy impact of eviction
+//! (fraction of baseline groups whose final feature vector survives
+//! intact, i.e. emitted exactly once and bitwise-equal).
+//!
+//! The extractor runs single-threaded (one `FeSwitch` + one `FeNic`) so
+//! the bounded-state behavior, not shard scheduling, is what's measured.
+//! Evicted groups are drained incrementally ([`superfe_nic::FeNic::
+//! take_evicted`]) — at 1M flows letting them accumulate would itself be
+//! the unbounded growth the budget exists to prevent.
+
+use std::collections::HashMap;
+
+use superfe_core::{gate, SuperFeConfig};
+use superfe_net::GroupKey;
+use superfe_nic::{EvictionPolicy, FeNic, NicStats, TableBudget};
+use superfe_policy::dsl;
+use superfe_switch::FeSwitch;
+use superfe_trafficgen::ScaleWorkload;
+
+use crate::harness::{self, host_json, HarnessConfig, Measurement};
+
+/// Default flow-count sweep (the corpus regimes named by the roadmap).
+pub const FLOW_SWEEP: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Default workload seed (`--seed` overrides it).
+pub const DEFAULT_SEED: u64 = 11;
+
+/// DRAM overflow budget (entries per group-table level) under measurement.
+/// The NIC fast table absorbs ~64k groups before anything spills, so with
+/// this cap the 10k corpus never spills, the 100k corpus spills past the
+/// cap and must evict, and the 1M corpus churns hard — the sweep shows the
+/// whole gradient.
+pub const MAX_DRAM_ENTRIES: usize = 1 << 14;
+
+/// Largest flow count for which the unbounded accuracy baseline is
+/// computed (holding every group's final vector in a map); above this the
+/// accuracy column is reported as `null` to keep the bench itself bounded.
+pub const ACCURACY_BASELINE_MAX_FLOWS: usize = 200_000;
+
+/// Flow-granularity measurement policy: one group per flow, mergeable
+/// (`f_sum`) and non-mergeable-looking (`f_max`) reductions.
+pub const POLICY: &str = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum, f_max])\n.collect(flow)";
+
+/// Packets between incremental eviction drains.
+const DRAIN_EVERY: u64 = 4096;
+
+/// The swept eviction policies, with their JSON labels.
+pub fn policy_sweep() -> Vec<(&'static str, EvictionPolicy)> {
+    vec![
+        ("drop_new", EvictionPolicy::DropNew),
+        ("evict_oldest", EvictionPolicy::EvictOldest),
+        ("random_way", EvictionPolicy::RandomWay { seed: 7 }),
+    ]
+}
+
+/// FNV-1a over a byte slice, continuing `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Folds one emitted vector into a run digest (key bytes, then value bits).
+fn digest_vector(h: &mut u64, key: &GroupKey, values: &[f64]) {
+    let mut buf = [0u8; GroupKey::MAX_KEY_BYTES];
+    let len = key.write_bytes(&mut buf);
+    fnv1a(h, &buf[..len]);
+    for v in values {
+        fnv1a(h, &v.to_bits().to_le_bytes());
+    }
+}
+
+/// Everything one pass over the stream produced (digest + counters).
+#[derive(Clone, Debug, Default)]
+struct PassOutput {
+    packets: u64,
+    digest: u64,
+    /// Vectors emitted by eviction (typed partials) and at finish.
+    evicted_vectors: u64,
+    final_vectors: u64,
+    nic: NicStats,
+    /// Per-key emitted vectors, kept only when an accuracy comparison
+    /// against this pass (or of this pass) is requested.
+    per_key: Option<HashMap<GroupKey, Vec<Vec<f64>>>>,
+}
+
+/// Streams the workload through one switch+NIC pair under `budget`.
+fn run_pass(flows: usize, seed: u64, budget: TableBudget, keep_per_key: bool) -> PassOutput {
+    let policy = dsl::parse(POLICY).expect("bundled policy parses");
+    let cfg = SuperFeConfig::default();
+    let compiled = gate(&policy, &cfg).expect("policy deploys");
+    let mut switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
+        .expect("default cache config");
+    let mut nic = FeNic::with_budget(&compiled, cfg.cache.fg_table_size, budget)
+        .expect("default table geometry");
+
+    let mut out = PassOutput {
+        per_key: keep_per_key.then(HashMap::new),
+        ..PassOutput::default()
+    };
+    let mut frame = Vec::new();
+    let fold = |out: &mut PassOutput, vectors: Vec<superfe_nic::FeatureVector>, evicted: bool| {
+        for v in vectors {
+            digest_vector(&mut out.digest, &v.key, v.values.as_slice());
+            if evicted {
+                out.evicted_vectors += 1;
+            } else {
+                out.final_vectors += 1;
+            }
+            if let Some(map) = out.per_key.as_mut() {
+                map.entry(v.key)
+                    .or_default()
+                    .push(v.values.as_slice().to_vec());
+            }
+        }
+    };
+    for p in ScaleWorkload::flows(flows).seed(seed).stream() {
+        frame.clear();
+        switch.process_into(&p, &mut frame);
+        for e in &frame {
+            nic.handle(e);
+        }
+        out.packets += 1;
+        if out.packets.is_multiple_of(DRAIN_EVERY) {
+            let ev: Vec<_> = nic.take_evicted().into_iter().map(|e| e.vector).collect();
+            fold(&mut out, ev, true);
+        }
+    }
+    let ev: Vec<_> = nic.take_evicted().into_iter().map(|e| e.vector).collect();
+    fold(&mut out, ev, true);
+    let fin = nic.finish();
+    fold(&mut out, fin, false);
+    out.nic = *nic.stats();
+    out
+}
+
+/// Accuracy of a bounded pass against the unbounded baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Accuracy {
+    /// Groups the unbounded run finished with.
+    pub baseline_groups: u64,
+    /// Baseline groups whose bounded output is a single bitwise-equal
+    /// vector (never split by eviction, never dropped).
+    pub intact_groups: u64,
+}
+
+impl Accuracy {
+    /// Fraction of baseline groups degraded by the budget.
+    pub fn delta(&self) -> f64 {
+        if self.baseline_groups == 0 {
+            return 0.0;
+        }
+        1.0 - self.intact_groups as f64 / self.baseline_groups as f64
+    }
+}
+
+fn compare(baseline: &HashMap<GroupKey, Vec<Vec<f64>>>, bounded: &PassOutput) -> Accuracy {
+    let per_key = bounded
+        .per_key
+        .as_ref()
+        .expect("bounded pass kept per-key vectors");
+    let mut intact = 0u64;
+    for (key, base_vecs) in baseline {
+        let [base] = base_vecs.as_slice() else {
+            continue; // baseline itself split (cannot happen unbounded)
+        };
+        if let Some([one]) = per_key.get(key).map(Vec::as_slice) {
+            if one.len() == base.len()
+                && one
+                    .iter()
+                    .zip(base)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            {
+                intact += 1;
+            }
+        }
+    }
+    Accuracy {
+        baseline_groups: baseline.len() as u64,
+        intact_groups: intact,
+    }
+}
+
+/// One measured (flows × policy) cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Background flows in the workload.
+    pub flows: usize,
+    /// JSON label of the eviction policy.
+    pub policy: &'static str,
+    /// Packets the stream emitted.
+    pub packets: u64,
+    /// The harnessed wall-clock measurement.
+    pub measurement: Measurement,
+    /// End-to-end throughput in packets/second (from the mean run).
+    pub pkts_per_sec: f64,
+    /// Peak RSS in kiB over this cell's runs (`VmHWM`; cumulative
+    /// upper bound where the watermark reset is unsupported).
+    pub peak_rss_kb: u64,
+    /// FNV-1a digest over every emitted vector (evicted + final).
+    pub digest: u64,
+    /// Vectors emitted early by DRAM eviction.
+    pub evicted_vectors: u64,
+    /// Groups alive at finish.
+    pub final_vectors: u64,
+    /// NIC engine counters of one pass.
+    pub nic: NicStats,
+    /// Accuracy vs the unbounded baseline; `None` above
+    /// [`ACCURACY_BASELINE_MAX_FLOWS`].
+    pub accuracy: Option<Accuracy>,
+}
+
+/// The full sweep.
+#[derive(Clone, Debug)]
+pub struct ScaleBench {
+    /// Workload seed in force.
+    pub seed: u64,
+    /// Warmup/measured run protocol in force.
+    pub harness: HarnessConfig,
+    /// One row per (flows × policy) cell.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the sweep: for each flow count, an unbounded baseline (when
+/// affordable) then every eviction policy under the fixed DRAM budget.
+pub fn measure_with(flow_counts: &[usize], seed: u64, cfg: &HarnessConfig) -> ScaleBench {
+    let mut cells = Vec::new();
+    for &flows in flow_counts {
+        let with_accuracy = flows <= ACCURACY_BASELINE_MAX_FLOWS;
+        let baseline = with_accuracy.then(|| {
+            run_pass(flows, seed, TableBudget::default(), true)
+                .per_key
+                .expect("baseline keeps per-key vectors")
+        });
+        for (label, policy) in policy_sweep() {
+            let budget = TableBudget {
+                max_dram_entries: MAX_DRAM_ENTRIES,
+                policy,
+            };
+            harness::reset_peak_rss();
+            let mut last: Option<PassOutput> = None;
+            let measurement = harness::measure(cfg, |_| {
+                last = Some(run_pass(flows, seed, budget, with_accuracy));
+            });
+            let peak_rss_kb = harness::peak_rss_kb();
+            let out = last.expect("at least one measured run");
+            let accuracy = baseline.as_ref().map(|b| compare(b, &out));
+            cells.push(Cell {
+                flows,
+                policy: label,
+                packets: out.packets,
+                pkts_per_sec: out.packets as f64 / measurement.mean_secs(),
+                measurement,
+                peak_rss_kb,
+                digest: out.digest,
+                evicted_vectors: out.evicted_vectors,
+                final_vectors: out.final_vectors,
+                nic: out.nic,
+                accuracy,
+            });
+        }
+    }
+    ScaleBench {
+        seed,
+        harness: *cfg,
+        cells,
+    }
+}
+
+/// [`measure_with`] over the default sweep and harness protocol.
+pub fn measure(flow_counts: &[usize], seed: u64) -> ScaleBench {
+    measure_with(flow_counts, seed, &HarnessConfig::default())
+}
+
+impl ScaleBench {
+    /// Renders the measurement as the `BENCH_scale.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"scale_state_management\",\n");
+        out.push_str("  \"workload\": \"corpus_scale\",\n");
+        out.push_str("  \"policy\": \"flow_sum_max\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  {},\n", host_json()));
+        out.push_str(&format!(
+            "  \"warmup_runs\": {}, \"measured_runs\": {},\n",
+            self.harness.warmup,
+            self.harness.runs.max(1)
+        ));
+        out.push_str(&format!(
+            "  \"budget\": {{ \"max_dram_entries\": {MAX_DRAM_ENTRIES} }},\n"
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            let accuracy = match &c.accuracy {
+                Some(a) => format!(
+                    "{{ \"baseline_groups\": {}, \"intact_groups\": {}, \"delta\": {:.6} }}",
+                    a.baseline_groups,
+                    a.intact_groups,
+                    a.delta()
+                ),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "    {{ \"flows\": {}, \"policy\": \"{}\", \"packets\": {}, \
+                 \"pkts_per_sec\": {:.0}, {},\n      \"peak_rss_kb\": {}, \
+                 \"evicted_vectors\": {}, \"final_vectors\": {}, \
+                 \"evicted_groups\": {}, \"overflow_drops\": {}, \
+                 \"digest\": \"{:016x}\", \"accuracy\": {} }}{sep}\n",
+                c.flows,
+                c.policy,
+                c.packets,
+                c.pkts_per_sec,
+                c.measurement.elapsed_ms().to_json_fields("elapsed_ms"),
+                c.peak_rss_kb,
+                c.evicted_vectors,
+                c.final_vectors,
+                c.nic.evicted_groups,
+                c.nic.overflow_drops,
+                c.digest,
+                accuracy
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the default sweep and returns the JSON document.
+pub fn run() -> String {
+    measure(&FLOW_SWEEP, DEFAULT_SEED).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_schema_and_deterministic_digests() {
+        let cfg = HarnessConfig { warmup: 0, runs: 2 };
+        let b = measure_with(&[2_000], 3, &cfg);
+        assert_eq!(b.cells.len(), 3);
+        for c in &b.cells {
+            assert!(c.packets > 0);
+            assert!(c.pkts_per_sec > 0.0);
+            assert!(c.final_vectors + c.evicted_vectors > 0, "no vectors out");
+            let a = c.accuracy.expect("small sweep has a baseline");
+            assert!(a.baseline_groups > 0);
+            assert!(a.intact_groups <= a.baseline_groups);
+        }
+        // At 2k flows nothing spills past the DRAM budget: every policy
+        // behaves identically and matches the unbounded baseline exactly.
+        assert!(b.cells.iter().all(|c| c.nic.evicted_groups == 0));
+        assert!(b.cells.iter().all(|c| c.accuracy.unwrap().delta() == 0.0));
+        let d0 = b.cells[0].digest;
+        assert!(b.cells.iter().all(|c| c.digest == d0));
+        // Same seed, same digest on a re-run.
+        let again = measure_with(&[2_000], 3, &HarnessConfig { warmup: 0, runs: 1 });
+        assert_eq!(again.cells[0].digest, d0);
+        let json = b.to_json();
+        for key in [
+            "\"experiment\"",
+            "\"scale_state_management\"",
+            "\"host_parallelism\"",
+            "\"budget\"",
+            "\"max_dram_entries\"",
+            "\"cells\"",
+            "\"flows\"",
+            "\"pkts_per_sec\"",
+            "\"peak_rss_kb\"",
+            "\"evicted_groups\"",
+            "\"overflow_drops\"",
+            "\"digest\"",
+            "\"accuracy\"",
+            "\"elapsed_ms_mean\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn compare_counts_split_and_dropped_groups() {
+        let key = |h: u32| GroupKey::Host(h);
+        let mut baseline: HashMap<GroupKey, Vec<Vec<f64>>> = HashMap::new();
+        baseline.insert(key(1), vec![vec![10.0, 2.0]]);
+        baseline.insert(key(2), vec![vec![7.0, 7.0]]);
+        baseline.insert(key(3), vec![vec![1.0, 1.0]]);
+        baseline.insert(key(4), vec![vec![5.0, 5.0]]);
+        let mut per_key: HashMap<GroupKey, Vec<Vec<f64>>> = HashMap::new();
+        per_key.insert(key(1), vec![vec![10.0, 2.0]]); // intact
+        per_key.insert(key(2), vec![vec![4.0, 4.0], vec![3.0, 7.0]]); // split
+        per_key.insert(key(4), vec![vec![5.0, -5.0]]); // diverged
+                                                       // key(3) dropped entirely (DropNew at the cap).
+        let bounded = PassOutput {
+            per_key: Some(per_key),
+            ..PassOutput::default()
+        };
+        let acc = compare(&baseline, &bounded);
+        assert_eq!(acc.baseline_groups, 4);
+        assert_eq!(acc.intact_groups, 1);
+        assert!((acc.delta() - 0.75).abs() < 1e-12);
+    }
+
+    /// The full gradient needs enough groups to overflow the NIC fast
+    /// table (~64k entries) — expensive in debug builds, so opt-in:
+    /// `cargo test --release -p superfe-bench -- --ignored scale`.
+    #[test]
+    #[ignore = "needs ~90k flows to spill past the fast table; run in release"]
+    fn tight_budget_evicts_and_accuracy_degrades() {
+        let seed = 5;
+        let flows = 90_000;
+        let baseline = run_pass(flows, seed, TableBudget::default(), true);
+        let tight = TableBudget {
+            max_dram_entries: MAX_DRAM_ENTRIES,
+            policy: EvictionPolicy::EvictOldest,
+        };
+        let bounded = run_pass(flows, seed, tight, true);
+        assert!(bounded.nic.evicted_groups > 0, "cap must bite");
+        assert_eq!(bounded.packets, baseline.packets);
+        let acc = compare(baseline.per_key.as_ref().unwrap(), &bounded);
+        // Insertion-order eviction mostly reaps *finished* short flows, so
+        // its accuracy cost is small — but every evicted group still
+        // surfaced as a typed vector, nothing silently lost.
+        assert!(acc.intact_groups > 0, "resident groups survive intact");
+        assert!(
+            bounded.evicted_vectors > 0,
+            "evicted groups surface as typed vectors, nothing silently lost"
+        );
+        // DropNew refuses new groups instead: drops counted, no evictions,
+        // and the refused groups are the measurable accuracy loss.
+        let drop = run_pass(
+            flows,
+            seed,
+            TableBudget {
+                max_dram_entries: MAX_DRAM_ENTRIES,
+                policy: EvictionPolicy::DropNew,
+            },
+            true,
+        );
+        assert!(drop.nic.overflow_drops > 0);
+        assert_eq!(drop.nic.evicted_groups, 0);
+        let drop_acc = compare(baseline.per_key.as_ref().unwrap(), &drop);
+        assert!(
+            drop_acc.delta() > acc.delta(),
+            "refusing new groups costs more accuracy than reaping old ones"
+        );
+        assert!(drop_acc.delta() > 0.0, "dropped groups are missing");
+    }
+}

@@ -197,6 +197,29 @@ pub fn stage_summaries_json(s: &StageSummaries) -> String {
     )
 }
 
+/// Peak resident set size of this process in kiB (Linux `VmHWM`), or 0
+/// when the platform doesn't expose `/proc/self/status`.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Resets the process peak-RSS watermark (`VmHWM`) so a following
+/// [`peak_rss_kb`] reflects only the work since the reset. Best effort:
+/// writing `"5"` to `/proc/self/clear_refs` is Linux-specific and may be
+/// refused — callers get a cumulative high-water mark in that case, which
+/// is still an upper bound.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Cores the host exposes (the upper bound on real parallel speedup).
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)

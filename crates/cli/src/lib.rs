@@ -164,6 +164,27 @@ pub enum Command {
         fuse: bool,
         /// SF08xx cross-tenant prefix sharing (disable with --no-cse).
         cse: bool,
+        /// Write a live plane snapshot to this path mid-stream.
+        snapshot: Option<String>,
+        /// Packet index at which the snapshot is taken (with `--snapshot`;
+        /// defaults to the middle of the trace).
+        snapshot_at: Option<usize>,
+        /// Restore the plane from a snapshot file and serve the remainder
+        /// of the trace (resumes at the saved packet position).
+        restore: Option<String>,
+    },
+    /// Corpus-scale state-management sweep (the `BENCH_scale.json` smoke).
+    BenchScale {
+        /// Flow counts to sweep.
+        flows: Vec<usize>,
+        /// Workload RNG seed.
+        seed: u64,
+        /// Warmup runs per cell.
+        warmup: usize,
+        /// Measured runs per cell.
+        runs: usize,
+        /// Also write the JSON document to this path.
+        out: Option<String>,
     },
     /// Print usage.
     Help,
@@ -253,6 +274,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut verify_solo = false;
             let mut fuse = true;
             let mut cse = true;
+            let mut snapshot = None;
+            let mut snapshot_at = None;
+            let mut restore = None;
             let parse_epoch = |flag: &str, v: &str| -> Result<(usize, usize), CliError> {
                 let bad = || err(format!("{flag} expects TENANT:VALUE, got '{v}'"));
                 let (idx, pkt) = v.split_once(':').ok_or_else(bad)?;
@@ -314,6 +338,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         cse = false;
                     }
                     "--no-cse" => cse = false,
+                    "--snapshot" => snapshot = Some(value()?),
+                    "--snapshot-at" => {
+                        snapshot_at = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| err("--snapshot-at expects an integer"))?,
+                        );
+                    }
+                    "--restore" => restore = Some(value()?),
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
@@ -324,6 +357,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         policies.len()
                     )));
                 }
+            }
+            if snapshot_at.is_some() && snapshot.is_none() {
+                return Err(err("--snapshot-at needs --snapshot PATH"));
+            }
+            if restore.is_some() && snapshot.is_some() {
+                return Err(err("--restore and --snapshot are mutually exclusive"));
+            }
+            if restore.is_some() && !(attach_at.is_empty() && detach_at.is_empty()) {
+                return Err(err("--restore resumes the snapshotted topology; \
+                     --attach-at/--detach-at schedules don't apply"));
             }
             Ok(Command::Serve {
                 policies,
@@ -337,6 +380,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 verify_solo,
                 fuse,
                 cse,
+                snapshot,
+                snapshot_at,
+                restore,
             })
         }
         "show" | "compile" => {
@@ -507,6 +553,61 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "bench" => {
+            let rest: Vec<String> = it.clone().cloned().collect();
+            if rest.first().map(String::as_str) == Some("scale") {
+                let mut flows = vec![10_000usize, 50_000];
+                let mut seed = superfe_bench::experiments::scale::DEFAULT_SEED;
+                let mut warmup = 0usize;
+                let mut runs = 1usize;
+                let mut out = None;
+                let mut it = rest[1..].iter();
+                while let Some(flag) = it.next() {
+                    let mut value = || {
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| err(format!("{flag} needs a value")))
+                    };
+                    match flag.as_str() {
+                        "--flows" => {
+                            flows = value()?
+                                .split(',')
+                                .map(|f| f.trim().parse::<usize>())
+                                .collect::<Result<_, _>>()
+                                .map_err(|_| err("--flows expects comma-separated integers"))?;
+                            if flows.is_empty() {
+                                return Err(err("--flows expects at least one count"));
+                            }
+                        }
+                        "--seed" => {
+                            seed = value()?
+                                .parse()
+                                .map_err(|_| err("--seed expects an integer"))?;
+                        }
+                        "--warmup" => {
+                            warmup = value()?
+                                .parse()
+                                .map_err(|_| err("--warmup expects an integer"))?;
+                        }
+                        "--runs" => {
+                            runs = value()?
+                                .parse()
+                                .map_err(|_| err("--runs expects an integer"))?;
+                            if runs == 0 {
+                                return Err(err("--runs expects a positive count"));
+                            }
+                        }
+                        "--out" => out = Some(value()?),
+                        other => return Err(err(format!("unknown option '{other}'"))),
+                    }
+                }
+                return Ok(Command::BenchScale {
+                    flows,
+                    seed,
+                    warmup,
+                    runs,
+                    out,
+                });
+            }
             let mut packets = 10_000usize;
             let mut workers = vec![1usize, 2];
             let mut seed = superfe_bench::experiments::throughput::DEFAULT_SEED;
@@ -686,6 +787,8 @@ pub fn usage() -> String {
      \x20 superfe serve <p1> [<p2> ...]      serve N policies concurrently on one\n\
      \x20                                    shared switch/NIC (multi-tenant)\n\
      \x20 superfe bench [options]            streaming-pipeline throughput smoke\n\
+     \x20 superfe bench scale [options]      corpus-scale state-management sweep\n\
+     \x20                                    (flows x eviction policy)\n\
      \x20 superfe detect [options]           train, calibrate, and serve a detector\n\
      \x20                                    online over a labelled intrusion trace\n\
      \n\
@@ -728,11 +831,24 @@ pub fn usage() -> String {
      \x20                                    (equivalent tenants still fuse)\n\
      \x20 --verify-solo                      fail unless every tenant's output is\n\
      \x20                                    bitwise identical to a solo run\n\
+     \x20 --snapshot PATH                    write a live plane snapshot mid-stream\n\
+     \x20 --snapshot-at N                    packet to snapshot at [packets/2]\n\
+     \x20 --restore PATH                     resume from a snapshot: topology,\n\
+     \x20                                    workers, and packet position come from\n\
+     \x20                                    the file; per-tenant digests match the\n\
+     \x20                                    uninterrupted run bitwise\n\
      \n\
      bench options:\n\
      \x20 --packets N                        trace size            [10000]\n\
      \x20 --workers A,B,...                  worker counts to sweep [1,2]\n\
      \x20 --seed S                           workload RNG seed     [4]\n\
+     \x20 --out PATH                         also write the JSON document\n\
+     \n\
+     bench scale options:\n\
+     \x20 --flows A,B,...                    flow counts to sweep  [10000,50000]\n\
+     \x20 --seed S                           workload RNG seed     [11]\n\
+     \x20 --warmup N                         warmup runs per cell  [0]\n\
+     \x20 --runs N                           measured runs per cell [1]\n\
      \x20 --out PATH                         also write the JSON document\n\
      \n\
      detect options:\n\
@@ -1055,6 +1171,44 @@ fn explain(
     Ok(out)
 }
 
+/// FNV-1a digest over a tenant's complete output (group then packet
+/// vectors: key bytes, then value bits) — the fingerprint `--snapshot` /
+/// `--restore` smokes diff to certify bitwise-identical output.
+fn output_digest(out: &superfe_nic::StreamOutput) -> u64 {
+    use superfe_net::GroupKey;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for v in out.group_vectors.iter().chain(&out.packet_vectors) {
+        let mut buf = [0u8; GroupKey::MAX_KEY_BYTES];
+        let len = v.key.write_bytes(&mut buf);
+        fold(&buf[..len]);
+        for x in v.values.as_slice() {
+            fold(&x.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Renders one tenant's live state occupancy as a report line.
+fn occupancy_line(occ: &superfe_ctrl::TenantOccupancy) -> String {
+    let mut line = format!("tenant {} {} state:", occ.tenant, occ.name);
+    for (g, n) in &occ.groups_per_level {
+        write!(line, " {}={n}", format!("{g:?}").to_lowercase()).expect("write");
+    }
+    write!(
+        line,
+        " evicted_groups={} overflow_drops={}",
+        occ.evicted_groups, occ.overflow_drops
+    )
+    .expect("write");
+    line
+}
+
 /// The `superfe serve` command: N tenants on one shared switch/NIC with
 /// admission control and epoch-based hot attach/detach.
 #[allow(clippy::too_many_arguments)]
@@ -1070,6 +1224,8 @@ fn serve(
     verify_solo: bool,
     fuse: bool,
     cse: bool,
+    snapshot: Option<(&str, usize)>,
+    restore: Option<&str>,
 ) -> Result<String, CliError> {
     use superfe_core::{StreamingPipeline, SuperFeConfig};
     use superfe_ctrl::{CtrlPlane, TenantSpec};
@@ -1134,6 +1290,55 @@ fn serve(
         .packets(packets)
         .seed(seed)
         .generate();
+
+    if let Some(path) = restore {
+        // Resume from a snapshot: topology, worker count, and resume
+        // position all come from the file; the trace is regenerated
+        // deterministically and replayed from the saved packet position.
+        let bytes =
+            std::fs::read(path).map_err(|e| err(format!("reading snapshot {path}: {e}")))?;
+        let mut plane = CtrlPlane::restore(AnalyzeConfig::default(), &specs, &bytes, |_| None)
+            .map_err(|e| err(e.to_string()))?;
+        let resume = usize::try_from(plane.pushed()).unwrap_or(usize::MAX);
+        if resume > t.records.len() {
+            return Err(err(format!(
+                "snapshot was taken at packet {resume}, past this trace's {} packets \
+                 (regenerate with the original --trace/--packets/--seed)",
+                t.records.len()
+            )));
+        }
+        let mut text = String::new();
+        writeln!(
+            text,
+            "restored {} tenants from {path} at packet {resume} ({} workers, epoch {})",
+            plane.tenants().len(),
+            plane.workers(),
+            plane.epoch()
+        )
+        .expect("write");
+        for rec in &t.records[resume..] {
+            plane.push(rec).map_err(|e| err(e.to_string()))?;
+        }
+        for occ in plane.state_occupancy().map_err(|e| err(e.to_string()))? {
+            writeln!(text, "{}", occupancy_line(&occ)).expect("write");
+        }
+        for run in plane.finish().map_err(|e| err(e.to_string()))? {
+            writeln!(
+                text,
+                "tenant {} {}: group_vectors={} packet_vectors={} records={} digest={:016x}",
+                run.id,
+                run.name,
+                run.output.group_vectors.len(),
+                run.output.packet_vectors.len(),
+                run.output.stats.records,
+                output_digest(&run.output)
+            )
+            .expect("write");
+        }
+        return Ok(text);
+    }
+
+    let snapshot = snapshot.map(|(path, at)| (path, at.min(t.records.len())));
     let mut plane = match (fuse, cse) {
         (true, true) => CtrlPlane::new(workers, AnalyzeConfig::default()),
         (true, false) => CtrlPlane::without_cse(workers, AnalyzeConfig::default()),
@@ -1142,8 +1347,27 @@ fn serve(
     let mut ids: Vec<Option<TenantId>> = vec![None; specs.len()];
     let mut outputs: Vec<Option<StreamOutput>> = (0..specs.len()).map(|_| None).collect();
     let mut text = String::new();
+    let take_snapshot = |plane: &mut CtrlPlane, text: &mut String| -> Result<(), CliError> {
+        let Some((path, _)) = snapshot else {
+            return Ok(());
+        };
+        let bytes = plane.snapshot().map_err(|e| err(e.to_string()))?;
+        std::fs::write(path, &bytes).map_err(|e| err(format!("writing snapshot {path}: {e}")))?;
+        writeln!(
+            text,
+            "snapshot: wrote {} bytes to {path} at packet {} (epoch {})",
+            bytes.len(),
+            plane.pushed(),
+            plane.epoch()
+        )
+        .expect("write");
+        Ok(())
+    };
 
     for (i, rec) in t.records.iter().enumerate() {
+        if snapshot.map(|(_, at)| at) == Some(i) {
+            take_snapshot(&mut plane, &mut text)?;
+        }
         for ti in 0..specs.len() {
             if attach_pkt[ti] == i {
                 let units_before = plane.units().len();
@@ -1183,9 +1407,13 @@ fn serve(
         }
         plane.push(rec).map_err(|e| err(e.to_string()))?;
     }
+    if snapshot.map(|(_, at)| at) == Some(t.records.len()) {
+        take_snapshot(&mut plane, &mut text)?;
+    }
     let epochs = plane.epoch();
     let live_units = plane.units().len();
     let live_groups = plane.groups().len();
+    let occupancy = plane.state_occupancy().map_err(|e| err(e.to_string()))?;
     for run in plane.finish().map_err(|e| err(e.to_string()))? {
         let ti = ids
             .iter()
@@ -1215,16 +1443,20 @@ fn serve(
         if cse { "enabled" } else { "disabled" }
     )
     .expect("write");
+    for occ in &occupancy {
+        writeln!(text, "{}", occupancy_line(occ)).expect("write");
+    }
     for (ti, spec) in specs.iter().enumerate() {
         let out = outputs[ti].as_ref().expect("every tenant ran");
         writeln!(
             text,
-            "tenant {} {}: group_vectors={} packet_vectors={} records={}",
+            "tenant {} {}: group_vectors={} packet_vectors={} records={} digest={:016x}",
             ids[ti].expect("attached"),
             spec.name,
             out.group_vectors.len(),
             out.packet_vectors.len(),
-            out.stats.records
+            out.stats.records,
+            output_digest(out)
         )
         .expect("write");
     }
@@ -1307,6 +1539,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             verify_solo,
             fuse,
             cse,
+            snapshot,
+            snapshot_at,
+            restore,
         } => serve(
             &policies,
             trace,
@@ -1319,6 +1554,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             verify_solo,
             fuse,
             cse,
+            snapshot
+                .as_deref()
+                .map(|p| (p, snapshot_at.unwrap_or(packets / 2))),
+            restore.as_deref(),
         ),
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
@@ -1609,6 +1848,24 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(json)
         }
+        Command::BenchScale {
+            flows,
+            seed,
+            warmup,
+            runs,
+            out,
+        } => {
+            let bench = superfe_bench::experiments::scale::measure_with(
+                &flows,
+                seed,
+                &superfe_bench::harness::HarnessConfig { warmup, runs },
+            );
+            let json = bench.to_json();
+            if let Some(path) = out {
+                std::fs::write(&path, &json).map_err(|e| err(format!("writing {path}: {e}")))?;
+            }
+            Ok(json)
+        }
         Command::Detect { cfg, out } => {
             let bench = superfe_bench::experiments::detect::measure(&cfg).map_err(err)?;
             let json = bench.to_json();
@@ -1837,6 +2094,9 @@ mod tests {
                 verify_solo: true,
                 fuse: false,
                 cse: false,
+                snapshot: None,
+                snapshot_at: None,
+                restore: None,
             }
         );
         // --no-cse disables only prefix sharing; --no-fuse disables both.
@@ -1856,6 +2116,95 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_snapshot_and_restore_flags() {
+        match parse_args(&args("serve cumul --snapshot /tmp/s.bin --snapshot-at 42")).unwrap() {
+            Command::Serve {
+                snapshot,
+                snapshot_at,
+                restore,
+                ..
+            } => {
+                assert_eq!(snapshot.as_deref(), Some("/tmp/s.bin"));
+                assert_eq!(snapshot_at, Some(42));
+                assert!(restore.is_none());
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // --snapshot-at is meaningless without a snapshot path; a restore
+        // already carries its own topology and schedule.
+        assert!(parse_args(&args("serve cumul --snapshot-at 42")).is_err());
+        assert!(parse_args(&args("serve cumul --restore a --snapshot b")).is_err());
+        assert!(parse_args(&args("serve cumul --restore a --attach-at 0:10")).is_err());
+        assert!(parse_args(&args("serve cumul --restore a --detach-at 0:10")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_scale_options() {
+        match parse_args(&args(
+            "bench scale --flows 1000,2000 --seed 9 --runs 2 --out b.json",
+        ))
+        .unwrap()
+        {
+            Command::BenchScale {
+                flows,
+                seed,
+                warmup,
+                runs,
+                out,
+            } => {
+                assert_eq!(flows, vec![1_000, 2_000]);
+                assert_eq!(seed, 9);
+                assert_eq!(warmup, 0);
+                assert_eq!(runs, 2);
+                assert_eq!(out.as_deref(), Some("b.json"));
+            }
+            other => panic!("expected BenchScale, got {other:?}"),
+        }
+        assert!(parse_args(&args("bench scale --runs 0")).is_err());
+        assert!(parse_args(&args("bench scale --flows nope")).is_err());
+    }
+
+    #[test]
+    fn serve_snapshot_then_restore_replays_bitwise() {
+        let dir = std::env::temp_dir().join("superfe_cli_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("plane.sfsn").to_str().unwrap().to_string();
+        let serve = |snapshot: Option<String>, restore: Option<String>| {
+            execute(Command::Serve {
+                policies: vec!["cumul".into(), "npod".into()],
+                trace: WorkloadPreset::Campus,
+                packets: 2_000,
+                seed: 9,
+                workers: 2,
+                attach_at: vec![],
+                detach_at: vec![],
+                cache_slots: vec![],
+                verify_solo: false,
+                fuse: true,
+                cse: true,
+                snapshot_at: snapshot.is_some().then_some(1_000),
+                snapshot,
+                restore,
+            })
+            .unwrap()
+        };
+        let digests = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter_map(|l| l.split("digest=").nth(1).map(str::to_string))
+                .collect()
+        };
+        let full = serve(Some(snap.clone()), None);
+        assert!(full.contains("snapshot: wrote"), "{full}");
+        let restored = serve(None, Some(snap));
+        assert!(restored.contains("restored 2 tenants"), "{restored}");
+        // The restored run resumes mid-trace yet finishes with per-tenant
+        // output digests bitwise-equal to the uninterrupted run.
+        let (a, b) = (digests(&full), digests(&restored));
+        assert_eq!(a.len(), 2, "{full}");
+        assert_eq!(a, b, "full:\n{full}\nrestored:\n{restored}");
+    }
+
+    #[test]
     fn serve_runs_tenants_solo_identical() {
         let out = execute(Command::Serve {
             policies: vec!["cumul".into(), "npod".into()],
@@ -1869,6 +2218,9 @@ mod tests {
             verify_solo: true,
             fuse: true,
             cse: true,
+            snapshot: None,
+            snapshot_at: None,
+            restore: None,
         })
         .unwrap();
         assert!(out.contains("served 2 tenants"), "{out}");
@@ -1898,6 +2250,9 @@ mod tests {
             verify_solo: false,
             fuse: false,
             cse: false,
+            snapshot: None,
+            snapshot_at: None,
+            restore: None,
         })
         .unwrap_err();
         assert!(e.message.contains("admission rejected"), "{e}");
@@ -1919,6 +2274,9 @@ mod tests {
                 verify_solo: false,
                 fuse: true,
                 cse: true,
+                snapshot: None,
+                snapshot_at: None,
+                restore: None,
             })
         };
         assert!(
@@ -2330,6 +2688,9 @@ mod tests {
                 verify_solo: true,
                 fuse: true,
                 cse,
+                snapshot: None,
+                snapshot_at: None,
+                restore: None,
             })
             .unwrap()
         };
@@ -2432,6 +2793,9 @@ mod tests {
             verify_solo: true,
             fuse: true,
             cse: true,
+            snapshot: None,
+            snapshot_at: None,
+            restore: None,
         })
         .unwrap();
         assert!(out.contains("fused into a shared execution unit"), "{out}");
@@ -2465,6 +2829,9 @@ mod tests {
             verify_solo: false,
             fuse: true,
             cse: true,
+            snapshot: None,
+            snapshot_at: None,
+            restore: None,
         })
         .unwrap();
         assert!(out.contains("served 12 tenants"), "{out}");
@@ -2490,6 +2857,9 @@ mod tests {
             verify_solo: false,
             fuse: true,
             cse: true,
+            snapshot: None,
+            snapshot_at: None,
+            restore: None,
         })
         .unwrap_err();
         assert!(e.message.contains("SF0303"), "{e}");

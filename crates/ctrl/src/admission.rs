@@ -48,6 +48,34 @@ impl TenantDemand {
     }
 }
 
+/// Live per-unit group populations observed on the NIC data path, fed back
+/// into admission in place of the static `cfg.groups` estimate.
+///
+/// `per_unit[i]` holds the observed per-level group count for the `i`-th
+/// NIC program offered to [`admit_composed_observed`]; a missing or empty
+/// entry — or a level observed at zero population — falls back to the
+/// static estimate, so a freshly attached (or not-yet-loaded) tenant is
+/// still sized for its worst case. The control plane builds this from
+/// [`SharedStreamingNic::state_pressure`](superfe_nic::SharedStreamingNic::state_pressure).
+#[derive(Clone, Debug, Default)]
+pub struct StatePressure {
+    /// Observed per-level group populations, aligned with the NIC program
+    /// slice under admission.
+    pub per_unit: Vec<Vec<usize>>,
+}
+
+impl StatePressure {
+    /// The effective population estimate for level `level` of NIC program
+    /// `unit`: the live observation when one exists and is non-zero, the
+    /// static `fallback` otherwise.
+    pub fn effective(&self, unit: usize, level: usize, fallback: usize) -> usize {
+        match self.per_unit.get(unit).and_then(|u| u.get(level)).copied() {
+            Some(observed) if observed > 0 => observed,
+            _ => fallback,
+        }
+    }
+}
+
 /// What admission concluded about an (accepted) tenant set.
 #[derive(Clone, Debug)]
 pub struct AdmissionReport {
@@ -81,6 +109,20 @@ pub fn admit_composed(
     cfg: &AnalyzeConfig,
     switch: &[SwitchResources],
     nics: &[&superfe_policy::NicProgram],
+) -> Result<AdmissionReport, AdmissionError> {
+    admit_composed_observed(cfg, switch, nics, &StatePressure::default())
+}
+
+/// [`admit_composed`] with live population feedback: where the data path
+/// has observed a unit's actual per-level group population, NIC capacity is
+/// modeled against that observation instead of the static `cfg.groups`
+/// estimate. Units the pressure summary does not cover (notably the
+/// candidate itself) keep the static worst-case estimate.
+pub fn admit_composed_observed(
+    cfg: &AnalyzeConfig,
+    switch: &[SwitchResources],
+    nics: &[&superfe_policy::NicProgram],
+    pressure: &StatePressure,
 ) -> Result<AdmissionReport, AdmissionError> {
     let mut warnings = Vec::new();
 
@@ -121,7 +163,12 @@ pub fn admit_composed(
     // SF04xx capacity pass.
     let groups: Vec<Vec<usize>> = nics
         .iter()
-        .map(|n| vec![cfg.groups; n.levels.len()])
+        .enumerate()
+        .map(|(unit, n)| {
+            (0..n.levels.len())
+                .map(|level| pressure.effective(unit, level, cfg.groups))
+                .collect()
+        })
         .collect();
     let inputs: Vec<(&superfe_policy::NicProgram, &[usize])> = nics
         .iter()
@@ -329,6 +376,45 @@ mod tests {
             }
             other => panic!("expected NicCapacity rejection, got {other:?}"),
         }
+    }
+
+    /// Population feedback: a big-array pair that spills to DRAM under the
+    /// static 50k-group estimate fits on-chip once the data path reports
+    /// the real (tiny) population; zero/missing observations fall back to
+    /// the static estimate bit-for-bit.
+    #[test]
+    fn observed_population_replaces_static_estimate() {
+        let (a, b) = (big_array(), big_array());
+        let cfg = AnalyzeConfig {
+            groups: 50_000,
+            ..AnalyzeConfig::default()
+        };
+        let usages = [a.switch, b.switch];
+        let nics = [&a.compiled.nic, &b.compiled.nic];
+        let static_rep = admit_composed(&cfg, &usages, &nics).unwrap();
+        assert!(static_rep.nic.dram_bytes > 0, "static estimate must spill");
+        let live = admit_composed_observed(
+            &cfg,
+            &usages,
+            &nics,
+            &StatePressure {
+                per_unit: vec![vec![10], vec![10]],
+            },
+        )
+        .unwrap();
+        assert!(live.nic.used_bytes < static_rep.nic.used_bytes);
+        assert_eq!(live.nic.dram_bytes, 0, "10 observed groups fit on-chip");
+        let fallback = admit_composed_observed(
+            &cfg,
+            &usages,
+            &nics,
+            &StatePressure {
+                per_unit: vec![vec![0], Vec::new()],
+            },
+        )
+        .unwrap();
+        assert_eq!(fallback.nic.used_bytes, static_rep.nic.used_bytes);
+        assert_eq!(fallback.nic.dram_bytes, static_rep.nic.dram_bytes);
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub enum CtrlError {
     /// The shared switch refused the data-path attach (degenerate cache
     /// configuration slipping past analysis).
     Switch(String),
+    /// A plane snapshot could not be taken or restored (corrupt or
+    /// version-mismatched bytes, or specs that do not match the saved
+    /// topology).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for CtrlError {
@@ -100,6 +104,7 @@ impl std::fmt::Display for CtrlError {
             CtrlError::Nic(e) => write!(f, "shared NIC error: {e}"),
             CtrlError::UnknownTenant(t) => write!(f, "tenant {t} is not attached"),
             CtrlError::Switch(msg) => write!(f, "shared switch error: {msg}"),
+            CtrlError::Snapshot(msg) => write!(f, "plane snapshot error: {msg}"),
         }
     }
 }

@@ -23,7 +23,11 @@
 pub mod admission;
 pub mod error;
 pub mod plane;
+pub mod snapshot;
 
-pub use admission::{admit, admit_composed, AdmissionReport, TenantDemand};
+pub use admission::{
+    admit, admit_composed, admit_composed_observed, AdmissionReport, StatePressure, TenantDemand,
+};
 pub use error::{AdmissionError, CtrlError, Resource};
-pub use plane::{CtrlPlane, TenantRun, TenantSpec};
+pub use plane::{CtrlPlane, TenantOccupancy, TenantRun, TenantSpec};
+pub use snapshot::SNAPSHOT_VERSION;

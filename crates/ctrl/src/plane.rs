@@ -52,7 +52,7 @@
 
 use superfe_core::pipeline::SuperFeConfig;
 use superfe_net::{Granularity, PacketRecord};
-use superfe_nic::{SharedStreamingNic, StreamOutput, VectorSink};
+use superfe_nic::{SharedStreamingNic, StreamOutput, UnitPressure, VectorSink};
 use superfe_policy::analyze::{codes, equiv, share as pshare, Diagnostic};
 use superfe_policy::{NicProgram, Policy, SwitchProgram};
 use superfe_switch::resources::{compose, model, SwitchResources};
@@ -61,7 +61,9 @@ use superfe_switch::tenant::{
 };
 use superfe_switch::{MgpvStats, SwitchStats};
 
-use crate::admission::{admit_composed, AdmissionReport, TenantDemand};
+use crate::admission::{
+    admit_composed, admit_composed_observed, AdmissionReport, StatePressure, TenantDemand,
+};
 use crate::error::{AdmissionError, CtrlError};
 
 /// A policy a tenant asks to deploy.
@@ -76,56 +78,56 @@ pub struct TenantSpec {
 }
 
 /// One live tenant and the execution unit serving it.
-struct Slot {
-    id: TenantId,
-    name: String,
-    unit: TenantId,
+pub(crate) struct Slot {
+    pub(crate) id: TenantId,
+    pub(crate) name: String,
+    pub(crate) unit: TenantId,
 }
 
 /// One deployed execution unit: a NIC engine set that one or more
 /// SF07xx-equivalent tenants share, fed by the switch partition of the
 /// group it belongs to.
-struct Unit {
-    id: TenantId,
-    hash: u64,
-    policy: Policy,
-    cfg: SuperFeConfig,
-    demand: TenantDemand,
-    members: Vec<TenantId>,
+pub(crate) struct Unit {
+    pub(crate) id: TenantId,
+    pub(crate) hash: u64,
+    pub(crate) policy: Policy,
+    pub(crate) cfg: SuperFeConfig,
+    pub(crate) demand: TenantDemand,
+    pub(crate) members: Vec<TenantId>,
     /// The prefix group (switch partition) whose event stream feeds this
     /// unit; equals `id` unless the unit joined via an SF08xx prefix
     /// share.
-    group: TenantId,
+    pub(crate) group: TenantId,
     /// Stream position (packets pushed) when the unit attached; a
     /// candidate may only fuse while the plane is still at this position,
     /// otherwise the shared plan would owe the late member history.
-    attach_pos: u64,
+    pub(crate) attach_pos: u64,
 }
 
 /// One deployed switch partition and the units subscribed to its event
 /// stream. A group with more than one unit is an SF08xx prefix share: one
 /// parse → groupby → filter pipeline and one MGPV cache serving several
 /// per-tenant map/reduce tails.
-struct Group {
-    id: TenantId,
+pub(crate) struct Group {
+    pub(crate) id: TenantId,
     /// The certified switch-prefix hash
     /// ([`pshare::PrefixForm::switch_prefix`]) every member agrees on.
-    prefix: u64,
+    pub(crate) prefix: u64,
     /// The founding representative's policy — the certification anchor
     /// later candidates are checked against.
-    policy: Policy,
-    cfg: SuperFeConfig,
+    pub(crate) policy: Policy,
+    pub(crate) cfg: SuperFeConfig,
     /// Modeled demand of the partition under its current (union) record
     /// layout; recomputed when a join widens the layout.
-    switch: SwitchResources,
+    pub(crate) switch: SwitchResources,
     /// The granularity chain, compared structurally at join time as a
     /// belt-and-braces check behind the prefix hash.
-    levels: Vec<Granularity>,
+    pub(crate) levels: Vec<Granularity>,
     /// Stream position when the partition attached; prefix joins are
     /// gated on the plane still being at this position, which also
     /// guarantees the partition is empty when its layout is widened.
-    attach_pos: u64,
-    units: Vec<TenantId>,
+    pub(crate) attach_pos: u64,
+    pub(crate) units: Vec<TenantId>,
 }
 
 /// One tenant's final output at plane shutdown.
@@ -139,20 +141,39 @@ pub struct TenantRun {
     pub output: StreamOutput,
 }
 
+/// One live tenant's observed NIC state occupancy (see
+/// [`CtrlPlane::state_occupancy`]).
+#[derive(Clone, Debug)]
+pub struct TenantOccupancy {
+    /// The tenant id.
+    pub tenant: TenantId,
+    /// The tenant's display name.
+    pub name: String,
+    /// Live group population per granularity level of the tenant's
+    /// execution unit (summed across NIC shards; fused members report
+    /// their shared unit's population).
+    pub groups_per_level: Vec<(Granularity, usize)>,
+    /// Group inserts refused because the unit's DRAM overflow table was at
+    /// its budget.
+    pub overflow_drops: u64,
+    /// Groups evicted by the unit's table budget policy.
+    pub evicted_groups: u64,
+}
+
 /// The multi-tenant control plane over one shared switch + NIC.
 pub struct CtrlPlane {
-    analyze: superfe_core::analyze::AnalyzeConfig,
-    switch: SharedSwitch,
-    nic: SharedStreamingNic,
-    slots: Vec<Slot>,
-    units: Vec<Unit>,
-    groups: Vec<Group>,
-    fusion: bool,
-    cse: bool,
-    next_id: u16,
-    frame: Vec<TaggedEvent>,
-    epoch: u64,
-    pushed: u64,
+    pub(crate) analyze: superfe_core::analyze::AnalyzeConfig,
+    pub(crate) switch: SharedSwitch,
+    pub(crate) nic: SharedStreamingNic,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) units: Vec<Unit>,
+    pub(crate) groups: Vec<Group>,
+    pub(crate) fusion: bool,
+    pub(crate) cse: bool,
+    pub(crate) next_id: u16,
+    pub(crate) frame: Vec<TaggedEvent>,
+    pub(crate) epoch: u64,
+    pub(crate) pushed: u64,
 }
 
 impl CtrlPlane {
@@ -179,7 +200,7 @@ impl CtrlPlane {
         Self::build(workers, analyze, true, false)
     }
 
-    fn build(
+    pub(crate) fn build(
         workers: usize,
         analyze: superfe_core::analyze::AnalyzeConfig,
         fusion: bool,
@@ -221,6 +242,13 @@ impl CtrlPlane {
         self.epoch
     }
 
+    /// Packets pushed through the plane so far. A plane restored from a
+    /// snapshot resumes at the saved count, so a caller replaying a
+    /// deterministic trace knows exactly where to pick up.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
     /// Live tenants in attach order.
     pub fn tenants(&self) -> Vec<(TenantId, &str)> {
         self.slots.iter().map(|s| (s.id, s.name.as_str())).collect()
@@ -253,6 +281,47 @@ impl CtrlPlane {
     /// Per-tenant cache counters (the shared partition's, when shared).
     pub fn tenant_cache_stats(&self, tenant: TenantId) -> Option<MgpvStats> {
         self.switch.tenant_cache_stats(self.group_of(tenant)?)
+    }
+
+    /// The live state-pressure summary for admission: observed per-level
+    /// group populations in plane unit order (the order admission sees NIC
+    /// programs in). Synchronizes with every shard, so the observation is
+    /// not stale.
+    fn live_pressure(&mut self) -> Result<StatePressure, CtrlError> {
+        let raw = self.nic.state_pressure()?;
+        let per_unit = self
+            .units
+            .iter()
+            .map(|u| {
+                raw.iter()
+                    .find(|p| p.unit == u.id)
+                    .map(|p| p.groups_per_level.iter().map(|&(_, n)| n).collect())
+                    .unwrap_or_default()
+            })
+            .collect();
+        Ok(StatePressure { per_unit })
+    }
+
+    /// Observed NIC state occupancy per live tenant, in attach order.
+    /// Fused members report their shared unit's population; the counters
+    /// also surface overflow drops and budget evictions so operators can
+    /// see when a tenant is running into its memory budget.
+    pub fn state_occupancy(&mut self) -> Result<Vec<TenantOccupancy>, CtrlError> {
+        let raw: Vec<UnitPressure> = self.nic.state_pressure()?;
+        Ok(self
+            .slots
+            .iter()
+            .map(|s| {
+                let p = raw.iter().find(|p| p.unit == s.unit);
+                TenantOccupancy {
+                    tenant: s.id,
+                    name: s.name.clone(),
+                    groups_per_level: p.map(|p| p.groups_per_level.clone()).unwrap_or_default(),
+                    overflow_drops: p.map_or(0, |p| p.overflow_drops),
+                    evicted_groups: p.map_or(0, |p| p.evicted_groups),
+                }
+            })
+            .collect())
     }
 
     /// The execution unit serving `tenant`.
@@ -450,12 +519,16 @@ impl CtrlPlane {
         if let Some(gpos) = self.prefix_target(spec, &demand, prefix) {
             return self.attach_to_group(spec, demand, hash, gpos, sinks);
         }
+        // Admission with population feedback: already-loaded units are
+        // modeled at their observed group population, the candidate at the
+        // static worst-case estimate.
+        let pressure = self.live_pressure()?;
         let mut switch: Vec<SwitchResources> = self.groups.iter().map(|g| g.switch).collect();
         switch.push(demand.switch);
         let mut nics: Vec<&NicProgram> =
             self.units.iter().map(|u| &u.demand.compiled.nic).collect();
         nics.push(&demand.compiled.nic);
-        admit_composed(&self.analyze, &switch, &nics)?;
+        admit_composed_observed(&self.analyze, &switch, &nics, &pressure)?;
         let id = TenantId(self.next_id);
         self.next_id = self.next_id.checked_add(1).expect("tenant id space");
         if !self.switch.attach(
@@ -521,14 +594,16 @@ impl CtrlPlane {
         let gid = self.groups[gpos].id;
         // Admission: the candidate's marginal demand is its NIC engine
         // set plus whatever the widened record layout costs the shared
-        // partition.
+        // partition. Existing units are modeled at their observed group
+        // population.
+        let pressure = self.live_pressure()?;
         let widened = self.widened_usage(gpos, &demand);
         let mut switch: Vec<SwitchResources> = self.groups.iter().map(|g| g.switch).collect();
         switch[gpos] = widened;
         let mut nics: Vec<&NicProgram> =
             self.units.iter().map(|u| &u.demand.compiled.nic).collect();
         nics.push(&demand.compiled.nic);
-        admit_composed(&self.analyze, &switch, &nics)?;
+        admit_composed_observed(&self.analyze, &switch, &nics, &pressure)?;
         let id = TenantId(self.next_id);
         // NIC first — it is the fallible half; the switch re-attach below
         // cannot fail for a configuration the group already validated.
@@ -678,7 +753,7 @@ impl CtrlPlane {
     }
 
     /// Runs the per-policy deployment gate and models the demand.
-    fn gate(&self, spec: &TenantSpec) -> Result<TenantDemand, AdmissionError> {
+    pub(crate) fn gate(&self, spec: &TenantSpec) -> Result<TenantDemand, AdmissionError> {
         let compiled = superfe_core::deploy::gate(&spec.policy, &spec.cfg).map_err(|e| {
             AdmissionError::Policy {
                 tenant: spec.name.clone(),

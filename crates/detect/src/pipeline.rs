@@ -69,7 +69,12 @@ impl DetectPipeline {
         // per-shard sinks and thereby closes the inference channels…
         let extraction = self.inner.finish()?;
         // …so the serving join cannot deadlock.
-        let report = self.serving.finish()?;
+        let mut report = self.serving.finish()?;
+        report.occupancy = extraction
+            .groups_per_level
+            .iter()
+            .map(|&(g, n)| (format!("{g:?}").to_lowercase(), n))
+            .collect();
         Ok((extraction, report))
     }
 }
@@ -145,6 +150,9 @@ mod tests {
             .alerts
             .iter()
             .any(|a| format!("{:?}", a.key).contains("57005"))); // 0xDEAD
+                                                                 // State occupancy is stamped from the extractor: one host level,
+                                                                 // 13 steady hosts + the blaster.
+        assert_eq!(report.occupancy, vec![("host".to_string(), 14)]);
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct ServeReport {
     /// Per-vector scoring latency distribution in nanoseconds (geometric
     /// bins; batch latency divided by batch size).
     pub latency_hist: Histogram,
+    /// Live-group state occupancy of the extractor feeding this tenant at
+    /// finish time, as `(granularity label, live groups)` per level.
+    /// Stamped by the layer that owns the group tables (the pipeline or
+    /// the control plane) — empty when the caller didn't provide it.
+    pub occupancy: Vec<(String, usize)>,
 }
 
 /// Score histogram: geometric bins from 1e-6 up (scores are nonnegative).
@@ -222,6 +227,7 @@ impl Serving {
             scores: self.record_scores.then(Vec::new),
             score_hist: score_histogram(),
             latency_hist: latency_histogram(),
+            occupancy: Vec::new(),
         };
         for (i, join) in self.joins.into_iter().enumerate() {
             let out = join

@@ -28,6 +28,7 @@ pub mod key;
 pub mod metrics;
 pub mod packet;
 pub mod ring;
+pub mod snap;
 pub mod wire;
 
 pub use dir::{Direction, DirectionResolver};
@@ -35,3 +36,4 @@ pub use hash::{crc32, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use key::{ChannelKey, FiveTuple, Granularity, GroupKey, HostKey};
 pub use metrics::{monotonic_ns, AtomicHistogram, HistSummary, StageMetrics, StageSummaries};
 pub use packet::{PacketRecord, Protocol};
+pub use snap::{StateReader, StateWriter};

@@ -6,6 +6,7 @@
 //! program per group, and emits feature vectors per the policy's `collect`
 //! units.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::{Granularity, GroupKey};
 use superfe_policy::ast::CollectUnit;
 use superfe_policy::exec::{GroupExec, RecordView};
@@ -13,7 +14,7 @@ use superfe_policy::{CompiledPolicy, LevelProgram};
 use superfe_streaming::FeatureValues;
 use superfe_switch::{MgpvMessage, SwitchEvent};
 
-use crate::table::{GroupTable, TableStats};
+use crate::table::{GroupTable, TableBudget, TableStats};
 
 /// One emitted feature vector.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,6 +33,39 @@ impl FeatureVector {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Serializes the vector (key + feature block).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.key.save_state(w);
+        w.put_u16(self.values.len() as u16);
+        for v in self.values.iter() {
+            w.put_f64(*v);
+        }
+    }
+
+    /// Reads a vector written by [`FeatureVector::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let key = GroupKey::load_state(r)?;
+        let n = r.get_u16()? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(r.get_f64()?);
+        }
+        Some(FeatureVector {
+            key,
+            values: values.as_slice().into(),
+        })
+    }
+}
+
+/// A group finalized early because the DRAM budget evicted it — the typed
+/// record the pipeline surfaces instead of silently losing state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvictedVector {
+    /// The level the group lived at.
+    pub level: Granularity,
+    /// The group's features at eviction time.
+    pub vector: FeatureVector,
 }
 
 /// Engine counters.
@@ -51,6 +85,11 @@ pub struct NicStats {
     pub hashes_reused: u64,
     /// Group-key hashes computed locally.
     pub hashes_computed: u64,
+    /// Groups finalized early by DRAM budget eviction.
+    pub evicted_groups: u64,
+    /// Record-level updates dropped because a new group was refused at the
+    /// DRAM cap ([`crate::table::EvictionPolicy::DropNew`]).
+    pub overflow_drops: u64,
 }
 
 impl NicStats {
@@ -63,6 +102,40 @@ impl NicStats {
         self.vectors += other.vectors;
         self.hashes_reused += other.hashes_reused;
         self.hashes_computed += other.hashes_computed;
+        self.evicted_groups += other.evicted_groups;
+        self.overflow_drops += other.overflow_drops;
+    }
+
+    /// Serializes the counters.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for c in [
+            self.msgs,
+            self.records,
+            self.fg_updates,
+            self.unresolved_fg,
+            self.vectors,
+            self.hashes_reused,
+            self.hashes_computed,
+            self.evicted_groups,
+            self.overflow_drops,
+        ] {
+            w.put_u64(c);
+        }
+    }
+
+    /// Reads counters written by [`NicStats::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(NicStats {
+            msgs: r.get_u64()?,
+            records: r.get_u64()?,
+            fg_updates: r.get_u64()?,
+            unresolved_fg: r.get_u64()?,
+            vectors: r.get_u64()?,
+            hashes_reused: r.get_u64()?,
+            hashes_computed: r.get_u64()?,
+            evicted_groups: r.get_u64()?,
+            overflow_drops: r.get_u64()?,
+        })
     }
 }
 
@@ -86,6 +159,10 @@ pub struct FeNic {
     pkt_vectors: Vec<FeatureVector>,
     /// Reused per-record feature scratch for the `collect(pkt)` path.
     pkt_scratch: Vec<f64>,
+    /// Groups evicted by the DRAM budget, finalized and awaiting drain.
+    evicted: Vec<EvictedVector>,
+    /// Reused scratch receiving raw evictions from the group tables.
+    evict_scratch: Vec<(GroupKey, GroupExec)>,
     stats: NicStats,
 }
 
@@ -95,18 +172,30 @@ const TABLE_BUCKETS: usize = 16_384;
 const TABLE_WIDTH: usize = 4;
 
 impl FeNic {
-    /// Instantiates the engine for a compiled policy.
+    /// Instantiates the engine for a compiled policy with the default
+    /// (effectively unbounded for test workloads) DRAM budget.
     ///
     /// `fg_table_size` must match the switch's FG table configuration.
     pub fn new(compiled: &CompiledPolicy, fg_table_size: usize) -> Option<Self> {
+        Self::with_budget(compiled, fg_table_size, TableBudget::default())
+    }
+
+    /// Instantiates the engine with an explicit per-level DRAM budget.
+    pub fn with_budget(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        budget: TableBudget,
+    ) -> Option<Self> {
         let levels = compiled
             .nic
             .levels
             .iter()
             .map(|lp| {
-                GroupTable::new(TABLE_BUCKETS, TABLE_WIDTH).map(|table| LevelState {
-                    program: lp.clone(),
-                    table,
+                GroupTable::with_budget(TABLE_BUCKETS, TABLE_WIDTH, budget).map(|table| {
+                    LevelState {
+                        program: lp.clone(),
+                        table,
+                    }
                 })
             })
             .collect::<Option<Vec<_>>>()?;
@@ -129,6 +218,8 @@ impl FeNic {
             per_pkt,
             pkt_vectors: Vec::new(),
             pkt_scratch: Vec::new(),
+            evicted: Vec::new(),
+            evict_scratch: Vec::new(),
             stats: NicStats::default(),
         })
     }
@@ -229,13 +320,38 @@ impl FeNic {
                     }
                 };
                 let program = &level.program;
-                let exec = level
-                    .table
-                    .get_or_insert_with(key, hash, || GroupExec::new(program));
-                exec.update(&view, hash);
-                if self.per_pkt {
-                    exec.finalize_into(&mut pkt_values);
-                    pkt_key.get_or_insert(key);
+                match level.table.get_or_insert_with(
+                    key,
+                    hash,
+                    || GroupExec::new(program),
+                    &mut self.evict_scratch,
+                ) {
+                    Some(exec) => {
+                        exec.update(&view, hash);
+                        if self.per_pkt {
+                            exec.finalize_into(&mut pkt_values);
+                            pkt_key.get_or_insert(key);
+                        }
+                    }
+                    None => {
+                        // Budget refused the new group: the update is
+                        // dropped (counted) and no per-packet vector is
+                        // emitted for this record.
+                        self.stats.overflow_drops += 1;
+                        emit_pkt_vector = false;
+                    }
+                }
+                for (ekey, eexec) in self.evict_scratch.drain(..) {
+                    self.stats.evicted_groups += 1;
+                    let mut vals = Vec::new();
+                    eexec.finalize_into(&mut vals);
+                    self.evicted.push(EvictedVector {
+                        level: g,
+                        vector: FeatureVector {
+                            key: ekey,
+                            values: vals.as_slice().into(),
+                        },
+                    });
                 }
             }
 
@@ -257,6 +373,11 @@ impl FeNic {
         std::mem::take(&mut self.pkt_vectors)
     }
 
+    /// Drains the budget-evicted group vectors accumulated so far.
+    pub fn take_evicted(&mut self) -> Vec<EvictedVector> {
+        std::mem::take(&mut self.evicted)
+    }
+
     /// Emits per-group feature vectors for every level that collects per
     /// group, in policy order.
     pub fn finish(&mut self) -> Vec<FeatureVector> {
@@ -276,6 +397,81 @@ impl FeNic {
         }
         self.stats.vectors += out.len() as u64;
         out
+    }
+
+    /// Serializes the engine's dynamic state (group tables, FG mirror,
+    /// pending vectors, counters). Structure — the compiled policy and
+    /// table geometry — is *not* stored; [`FeNic::load_state`] validates it
+    /// against a freshly constructed engine instead.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.cg.save_state(w);
+        w.put_u16(self.levels.len() as u16);
+        for level in &self.levels {
+            level.program.granularity.save_state(w);
+            w.put_section(|w| level.table.save_state(w, GroupExec::save_state));
+        }
+        w.put_u32(self.fg_mirror.len() as u32);
+        for slot in &self.fg_mirror {
+            match slot {
+                Some(k) => {
+                    w.put_bool(true);
+                    k.save_state(w);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u32(self.pkt_vectors.len() as u32);
+        for v in &self.pkt_vectors {
+            v.save_state(w);
+        }
+        w.put_u32(self.evicted.len() as u32);
+        for e in &self.evicted {
+            e.level.save_state(w);
+            e.vector.save_state(w);
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores dynamic state saved by [`FeNic::save_state`] into this
+    /// freshly constructed engine. Returns `None` when the snapshot was
+    /// taken against a different policy structure or is corrupt.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        if Granularity::load_state(r)? != self.cg || r.get_u16()? as usize != self.levels.len() {
+            return None;
+        }
+        for level in &mut self.levels {
+            if Granularity::load_state(r)? != level.program.granularity {
+                return None;
+            }
+            let program = &level.program;
+            let table = &mut level.table;
+            r.get_section(|r| table.load_state(r, |r| GroupExec::load_state(program, r)))?;
+        }
+        if r.get_u32()? as usize != self.fg_mirror.len() {
+            return None;
+        }
+        for slot in &mut self.fg_mirror {
+            *slot = if r.get_bool()? {
+                Some(GroupKey::load_state(r)?)
+            } else {
+                None
+            };
+        }
+        let n = r.get_u32()? as usize;
+        self.pkt_vectors = (0..n)
+            .map(|_| FeatureVector::load_state(r))
+            .collect::<Option<Vec<_>>>()?;
+        let n = r.get_u32()? as usize;
+        self.evicted = (0..n)
+            .map(|_| {
+                Some(EvictedVector {
+                    level: Granularity::load_state(r)?,
+                    vector: FeatureVector::load_state(r)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        self.stats = NicStats::load_state(r)?;
+        Some(())
     }
 }
 

@@ -43,13 +43,13 @@ pub mod stream;
 pub mod table;
 
 pub use arch::{MemLevel, NfpModel};
-pub use engine::{FeNic, FeatureVector, NicStats};
+pub use engine::{EvictedVector, FeNic, FeatureVector, NicStats};
 pub use error::NicError;
 pub use feasibility::{check_capacity, check_nic};
 pub use parallel::{ParallelNic, ParallelOutput};
 pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};
 pub use resources::{model_many, NicResources};
-pub use shared::SharedStreamingNic;
+pub use shared::{ShardUnitState, SharedStreamingNic, UnitPressure, UnitStateDump};
 pub use stream::{EgressVector, StreamOutput, StreamingNic, VectorSink};
-pub use table::GroupTable;
+pub use table::{EvictionPolicy, GroupTable, TableBudget, TableStats};

@@ -53,6 +53,9 @@ use crate::stream::{
     RECYCLE_DEPTH,
 };
 
+/// One shard's dump payload: `(unit, group, state)` per resident unit.
+type ShardDump = Vec<(TenantId, TenantId, ShardUnitState)>;
+
 /// What travels to a worker: an event frame or an epoch control marker.
 enum ShardMsg {
     /// A batch of tagged events in stream order.
@@ -100,6 +103,64 @@ enum ShardMsg {
         events: Vec<SwitchEvent>,
         ack: Sender<(usize, TenantPiece)>,
     },
+    /// Dump marker: non-destructively capture every unit's engine state on
+    /// this shard (clones — live processing state is untouched). One ack
+    /// per shard carrying all of its units.
+    Dump { ack: Sender<(usize, ShardDump)> },
+    /// Restore marker: overwrite one unit's dynamic state (engine, member
+    /// egress sequence counters, accumulated per-packet vectors) with a
+    /// previously dumped shard state. The unit must already exist with the
+    /// same member roster; acks `false` otherwise.
+    Restore {
+        unit: TenantId,
+        engine: Box<FeNic>,
+        seqs: Vec<(TenantId, u64)>,
+        pkts_accum: Vec<FeatureVector>,
+        ack: Sender<(usize, bool)>,
+    },
+    /// Pressure marker: report every unit's live state occupancy on this
+    /// shard (resident groups per level plus eviction/overflow counters).
+    Pressure {
+        ack: Sender<(usize, Vec<UnitPressure>)>,
+    },
+}
+
+/// One unit's dumped state on one shard (see
+/// [`SharedStreamingNic::dump_state`]).
+pub struct ShardUnitState {
+    /// The shard this state came from (and must return to).
+    pub shard: usize,
+    /// A clone of the unit's engine at the dump's stream cut.
+    pub engine: Box<FeNic>,
+    /// Per-member `(member, next egress seq)` counters, in join order.
+    pub member_seqs: Vec<(TenantId, u64)>,
+    /// Per-packet vectors accumulated for sinkless members.
+    pub pkts_accum: Vec<FeatureVector>,
+}
+
+/// One execution unit's dumped state across every shard, in shard order.
+pub struct UnitStateDump {
+    /// The unit id.
+    pub unit: TenantId,
+    /// The shared-prefix group (switch partition) feeding the unit.
+    pub group: TenantId,
+    /// Per-shard state, sorted by shard index.
+    pub shards: Vec<ShardUnitState>,
+}
+
+/// One unit's live state occupancy, merged across shards (see
+/// [`SharedStreamingNic::state_pressure`]). This is the population feedback
+/// the control plane's admission uses in place of static estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitPressure {
+    /// The unit id.
+    pub unit: TenantId,
+    /// Resident groups per granularity level, summed across shards.
+    pub groups_per_level: Vec<(Granularity, usize)>,
+    /// Group-table overflow drops (DropNew budget refusals), summed.
+    pub overflow_drops: u64,
+    /// Groups evicted by the table budget, summed.
+    pub evicted_groups: u64,
 }
 
 /// One member's finished output on one shard.
@@ -398,6 +459,66 @@ impl SharedStreamingNic {
                                         let _ = ack.send((shard, piece));
                                     }
                                 }
+                            }
+                            ShardMsg::Dump { ack } => {
+                                let states = engines
+                                    .iter()
+                                    .map(|u| {
+                                        (
+                                            u.unit,
+                                            u.group,
+                                            ShardUnitState {
+                                                shard,
+                                                engine: u.nic.clone(),
+                                                member_seqs: u
+                                                    .members
+                                                    .iter()
+                                                    .map(|m| (m.member, m.seq))
+                                                    .collect(),
+                                                pkts_accum: u.pkts_accum.clone(),
+                                            },
+                                        )
+                                    })
+                                    .collect();
+                                let _ = ack.send((shard, states));
+                            }
+                            ShardMsg::Restore {
+                                unit,
+                                engine,
+                                seqs,
+                                pkts_accum,
+                                ack,
+                            } => {
+                                let ok = match engines.iter_mut().find(|u| u.unit == unit) {
+                                    Some(u)
+                                        if u.members.len() == seqs.len()
+                                            && u.members
+                                                .iter()
+                                                .zip(&seqs)
+                                                .all(|(m, (id, _))| m.member == *id) =>
+                                    {
+                                        u.nic = engine;
+                                        for (m, (_, s)) in u.members.iter_mut().zip(&seqs) {
+                                            m.seq = *s;
+                                        }
+                                        u.pkts_accum = pkts_accum;
+                                        true
+                                    }
+                                    _ => false,
+                                };
+                                let _ = ack.send((shard, ok));
+                            }
+                            ShardMsg::Pressure { ack } => {
+                                let pressures = engines
+                                    .iter()
+                                    .map(|u| UnitPressure {
+                                        unit: u.unit,
+                                        groups_per_level: u.nic.groups_per_level(),
+                                        overflow_drops: u.nic.stats().overflow_drops,
+                                        evicted_groups: u.nic.stats().evicted_groups,
+                                    })
+                                    .collect();
+                                let _ = ack.send((shard, pressures));
                             }
                         }
                     }
@@ -758,16 +879,156 @@ impl SharedStreamingNic {
         per_shard
     }
 
+    /// Non-destructively captures every unit's engine state on every shard
+    /// at the current stream cut — the NIC half of a plane snapshot. The
+    /// live engines keep processing afterwards; pending frames are flushed
+    /// first so the dump lands on a clean epoch boundary. Units are
+    /// returned in creation order, shards sorted within each unit.
+    pub fn dump_state(&mut self) -> Result<Vec<UnitStateDump>, NicError> {
+        self.flush_all()?;
+        let acks = self.collect_acks(|ack| ShardMsg::Dump { ack })?;
+        let mut units: Vec<UnitStateDump> = self
+            .units
+            .iter()
+            .map(|u| UnitStateDump {
+                unit: u.unit,
+                group: u.group,
+                shards: Vec::with_capacity(self.workers.len()),
+            })
+            .collect();
+        for (_, pieces) in acks {
+            for (unit, _, state) in pieces {
+                if let Some(u) = units.iter_mut().find(|x| x.unit == unit) {
+                    u.shards.push(state);
+                }
+            }
+        }
+        Ok(units)
+    }
+
+    /// Overwrites one attached unit's dynamic state with a previously
+    /// dumped per-shard state (see [`SharedStreamingNic::dump_state`]).
+    ///
+    /// The unit must already be attached — structurally rebuilt by
+    /// replaying its attach/join history — with the same member roster and
+    /// at the same worker count; `shards` must hold exactly one state per
+    /// shard. Fails without touching the unit otherwise.
+    pub fn restore_unit(
+        &mut self,
+        unit: TenantId,
+        shards: Vec<ShardUnitState>,
+    ) -> Result<(), NicError> {
+        let n = self.workers.len();
+        if shards.len() != n {
+            return Err(NicError::Engine(format!(
+                "restore of unit {unit} carries {} shard states for {n} workers",
+                shards.len()
+            )));
+        }
+        let mut by_shard: Vec<Option<ShardUnitState>> = (0..n).map(|_| None).collect();
+        for s in shards {
+            let idx = s.shard;
+            if idx >= n || by_shard[idx].is_some() {
+                return Err(NicError::Engine(format!(
+                    "restore of unit {unit} has a missing or duplicate shard index"
+                )));
+            }
+            by_shard[idx] = Some(s);
+        }
+        self.flush_all()?;
+        let (ack_tx, ack_rx) = channel();
+        for (w, slot) in by_shard.into_iter().enumerate() {
+            let s = slot.expect("all shard slots filled");
+            self.workers[w]
+                .tx
+                .send_now(ShardMsg::Restore {
+                    unit,
+                    engine: s.engine,
+                    seqs: s.member_seqs,
+                    pkts_accum: s.pkts_accum,
+                    ack: ack_tx.clone(),
+                })
+                .map_err(|_| NicError::WorkerLost { worker: w })?;
+        }
+        drop(ack_tx);
+        for i in 0..n {
+            let (shard, ok) = ack_rx
+                .recv()
+                .map_err(|_| NicError::WorkerLost { worker: i })?;
+            if !ok {
+                return Err(NicError::Engine(format!(
+                    "shard {shard} rejected the restore of unit {unit}:                      engine geometry or member roster mismatch"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports every unit's live state occupancy — resident groups per
+    /// level plus budget-eviction counters, merged across shards in unit
+    /// creation order. This is the population feedback the control plane's
+    /// admission consumes in place of its static per-tenant estimates.
+    pub fn state_pressure(&mut self) -> Result<Vec<UnitPressure>, NicError> {
+        self.flush_all()?;
+        let acks = self.collect_acks(|ack| ShardMsg::Pressure { ack })?;
+        let mut merged: Vec<UnitPressure> = self
+            .units
+            .iter()
+            .map(|u| UnitPressure {
+                unit: u.unit,
+                groups_per_level: Vec::new(),
+                overflow_drops: 0,
+                evicted_groups: 0,
+            })
+            .collect();
+        for (_, pieces) in acks {
+            for p in pieces {
+                if let Some(m) = merged.iter_mut().find(|m| m.unit == p.unit) {
+                    if m.groups_per_level.is_empty() {
+                        m.groups_per_level = p.groups_per_level;
+                    } else {
+                        for (acc, (_, nn)) in m.groups_per_level.iter_mut().zip(p.groups_per_level)
+                        {
+                            acc.1 += nn;
+                        }
+                    }
+                    m.overflow_drops += p.overflow_drops;
+                    m.evicted_groups += p.evicted_groups;
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The shared-prefix groups' events-routed counters, in creation order
+    /// — the stream positions a plane snapshot must persist, because they
+    /// gate late joins and prefix shares.
+    pub fn group_positions(&self) -> Vec<(TenantId, u64)> {
+        self.groups.clone()
+    }
+
+    /// Overwrites one group's events-routed counter (plane restore).
+    /// Returns `false` for an unknown group.
+    pub fn set_group_position(&mut self, group: TenantId, routed: u64) -> bool {
+        match self.groups.iter_mut().find(|(g, _)| *g == group) {
+            Some(entry) => {
+                entry.1 = routed;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Sends one marker per shard (built by `msg`, in shard order) and
     /// blocks for one ack per shard, returned sorted by shard.
     ///
     /// Markers go out with `send_now` (publish + doorbell immediately):
     /// this call blocks on the acks, so a marker left staged behind the
     /// doorbell batch would deadlock the handshake.
-    fn collect_acks(
+    fn collect_acks<T>(
         &mut self,
-        mut msg: impl FnMut(Sender<(usize, TenantPiece)>) -> ShardMsg,
-    ) -> Result<Vec<(usize, TenantPiece)>, NicError> {
+        mut msg: impl FnMut(Sender<(usize, T)>) -> ShardMsg,
+    ) -> Result<Vec<(usize, T)>, NicError> {
         let (ack_tx, ack_rx) = channel();
         for w in 0..self.workers.len() {
             self.workers[w]
@@ -776,7 +1037,7 @@ impl SharedStreamingNic {
                 .map_err(|_| NicError::WorkerLost { worker: w })?;
         }
         drop(ack_tx);
-        let mut pieces: Vec<(usize, TenantPiece)> = Vec::with_capacity(self.workers.len());
+        let mut pieces: Vec<(usize, T)> = Vec::with_capacity(self.workers.len());
         for i in 0..self.workers.len() {
             pieces.push(
                 ack_rx
@@ -890,6 +1151,7 @@ fn empty_output() -> StreamOutput {
         packet_vectors: Vec::new(),
         stats: NicStats::default(),
         groups_per_level: Vec::new(),
+        evicted_vectors: Vec::new(),
     }
 }
 
@@ -1301,6 +1563,147 @@ mod tests {
             .is_err());
         assert!(nic.detach(TenantId(9)).is_err());
         assert!(nic.join(TenantId(7), TenantId(7), None).is_err());
+        nic.finish().unwrap();
+    }
+
+    #[test]
+    fn dump_restore_resumes_bitwise_identically() {
+        // Run half the stream, dump every unit, rebuild a fresh executor
+        // (replayed attach), restore the dumped state, run the rest: every
+        // member's output must be bitwise what the uninterrupted run made.
+        for workers in [1usize, 4] {
+            let a = host_sum();
+            let b = flow_tcp();
+            let drive = |nic: &mut SharedStreamingNic,
+                         sw: &mut SharedSwitch,
+                         range: std::ops::Range<u64>,
+                         flush: bool| {
+                let mut frame = Vec::new();
+                for p in packets(1000)
+                    .skip(range.start as usize)
+                    .take((range.end - range.start) as usize)
+                {
+                    frame.clear();
+                    sw.process_into(&p, &mut frame);
+                    nic.push_all(frame.drain(..)).unwrap();
+                }
+                if flush {
+                    frame.clear();
+                    sw.flush_into(&mut frame);
+                    nic.push_all(frame.drain(..)).unwrap();
+                }
+            };
+            let attach_both = |sw: &mut SharedSwitch, nic: &mut SharedStreamingNic| {
+                sw.attach(
+                    TenantId(0),
+                    a.switch.clone(),
+                    MgpvConfig::default(),
+                    CacheMode::Mgpv,
+                );
+                sw.attach(
+                    TenantId(1),
+                    b.switch.clone(),
+                    MgpvConfig::default(),
+                    CacheMode::Mgpv,
+                );
+                nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+                nic.attach(TenantId(1), &b, 16_384, None).unwrap();
+            };
+            // Uninterrupted reference.
+            let mut sw = SharedSwitch::new();
+            let mut nic = SharedStreamingNic::new(workers);
+            attach_both(&mut sw, &mut nic);
+            drive(&mut nic, &mut sw, 0..1000, true);
+            let full = nic.finish().unwrap();
+            // Interrupted run: dump at the half-way cut...
+            let mut sw1 = SharedSwitch::new();
+            let mut nic1 = SharedStreamingNic::new(workers);
+            attach_both(&mut sw1, &mut nic1);
+            drive(&mut nic1, &mut sw1, 0..500, false);
+            let dumps = nic1.dump_state().unwrap();
+            let positions = nic1.group_positions();
+            assert_eq!(dumps.len(), 2);
+            assert!(dumps.iter().all(|d| d.shards.len() == workers));
+            drop(nic1.finish().unwrap());
+            // ...then rebuild structurally and refill the dumped state.
+            // The switch side keeps running (sw1 still holds its state).
+            let mut nic2 = SharedStreamingNic::new(workers);
+            nic2.attach(TenantId(0), &a, 16_384, None).unwrap();
+            nic2.attach(TenantId(1), &b, 16_384, None).unwrap();
+            for d in dumps {
+                nic2.restore_unit(d.unit, d.shards).unwrap();
+            }
+            for (g, n) in positions {
+                assert!(nic2.set_group_position(g, n));
+            }
+            drive(&mut nic2, &mut sw1, 500..1000, true);
+            let resumed = nic2.finish().unwrap();
+            assert_eq!(full.len(), resumed.len());
+            for ((t1, o1), (t2, o2)) in full.iter().zip(&resumed) {
+                assert_eq!(t1, t2);
+                assert_eq!(
+                    o1.group_vectors, o2.group_vectors,
+                    "tenant {t1} diverged at {workers} workers"
+                );
+                assert_eq!(o1.packet_vectors, o2.packet_vectors);
+                assert_eq!(o1.stats.records, o2.stats.records);
+                assert_eq!(o1.stats.vectors, o2.stats.vectors);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_guards_roster_and_shard_count() {
+        let a = host_sum();
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        let dumps = nic.dump_state().unwrap();
+        let shards = dumps.into_iter().next().unwrap().shards;
+        // Wrong unit id: the roster check rejects it.
+        assert!(nic.restore_unit(TenantId(9), shards).is_err());
+        // Wrong shard count.
+        let dumps = nic.dump_state().unwrap();
+        let mut shards = dumps.into_iter().next().unwrap().shards;
+        shards.pop();
+        assert!(nic.restore_unit(TenantId(0), shards).is_err());
+        nic.finish().unwrap();
+    }
+
+    #[test]
+    fn state_pressure_reports_populations() {
+        let a = host_sum();
+        let b = flow_tcp();
+        let mut sw = SharedSwitch::new();
+        sw.attach(
+            TenantId(0),
+            a.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        sw.attach(
+            TenantId(1),
+            b.switch.clone(),
+            MgpvConfig::default(),
+            CacheMode::Mgpv,
+        );
+        let mut nic = SharedStreamingNic::new(2);
+        nic.attach(TenantId(0), &a, 16_384, None).unwrap();
+        nic.attach(TenantId(1), &b, 16_384, None).unwrap();
+        let mut frame = Vec::new();
+        for p in packets(600) {
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        let pressure = nic.state_pressure().unwrap();
+        assert_eq!(pressure.len(), 2);
+        for p in &pressure {
+            let total: usize = p.groups_per_level.iter().map(|(_, n)| n).sum();
+            assert!(total > 0, "unit {} reports no resident groups", p.unit);
+            // Default budgets are far above this workload: no evictions.
+            assert_eq!(p.overflow_drops, 0);
+            assert_eq!(p.evicted_groups, 0);
+        }
         nic.finish().unwrap();
     }
 

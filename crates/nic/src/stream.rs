@@ -45,8 +45,9 @@ use superfe_net::Granularity;
 use superfe_policy::CompiledPolicy;
 use superfe_switch::SwitchEvent;
 
-use crate::engine::{FeNic, FeatureVector, NicStats};
+use crate::engine::{EvictedVector, FeNic, FeatureVector, NicStats};
 use crate::error::NicError;
+use crate::table::TableBudget;
 
 /// Events per channel frame (amortizes one synchronization over the frame).
 pub const FRAME_SIZE: usize = 256;
@@ -102,6 +103,7 @@ pub trait VectorSink: Send {
 struct ShardOutput {
     groups: Vec<FeatureVector>,
     pkts: Vec<FeatureVector>,
+    evicted: Vec<EvictedVector>,
     stats: NicStats,
     groups_per_level: Vec<(Granularity, usize)>,
 }
@@ -120,6 +122,9 @@ pub struct StreamOutput {
     /// Live groups per granularity level, summed across shards (groups
     /// never span shards, so the sum is exact).
     pub groups_per_level: Vec<(Granularity, usize)>,
+    /// Groups finalized early by DRAM budget eviction, concatenated in
+    /// shard order. Empty under the default budget.
+    pub evicted_vectors: Vec<EvictedVector>,
 }
 
 struct Worker {
@@ -153,7 +158,26 @@ impl StreamingNic {
         fg_table_size: usize,
         workers: usize,
     ) -> Result<Self, NicError> {
-        Self::build(compiled, fg_table_size, workers, None, None)
+        Self::build(
+            compiled,
+            fg_table_size,
+            workers,
+            None,
+            None,
+            TableBudget::default(),
+        )
+    }
+
+    /// Like [`StreamingNic::new`], but with an explicit per-level DRAM
+    /// budget on every shard engine. Evicted groups surface in
+    /// [`StreamOutput::evicted_vectors`].
+    pub fn with_budget(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+        budget: TableBudget,
+    ) -> Result<Self, NicError> {
+        Self::build(compiled, fg_table_size, workers, None, None, budget)
     }
 
     /// Like [`StreamingNic::new`], but attaches one [`VectorSink`] per
@@ -197,7 +221,14 @@ impl StreamingNic {
                 )));
             }
         }
-        Self::build(compiled, fg_table_size, workers, sinks, metrics)
+        Self::build(
+            compiled,
+            fg_table_size,
+            workers,
+            sinks,
+            metrics,
+            TableBudget::default(),
+        )
     }
 
     fn build(
@@ -206,13 +237,16 @@ impl StreamingNic {
         workers: usize,
         sinks: Option<Vec<Box<dyn VectorSink>>>,
         metrics: Option<Arc<StageMetrics>>,
+        budget: TableBudget,
     ) -> Result<Self, NicError> {
         let workers = workers.max(1);
         let mut engines = Vec::with_capacity(workers);
         for _ in 0..workers {
-            engines.push(FeNic::new(compiled, fg_table_size).ok_or_else(|| {
-                NicError::Engine("degenerate NIC group-table configuration".into())
-            })?);
+            engines.push(
+                FeNic::with_budget(compiled, fg_table_size, budget).ok_or_else(|| {
+                    NicError::Engine("degenerate NIC group-table configuration".into())
+                })?,
+            );
         }
         let mut sinks: Vec<Option<Box<dyn VectorSink>>> = match sinks {
             Some(s) => s.into_iter().map(Some).collect(),
@@ -275,6 +309,7 @@ impl StreamingNic {
                     ShardOutput {
                         groups,
                         pkts,
+                        evicted: nic.take_evicted(),
                         stats: *nic.stats(),
                         groups_per_level: nic.groups_per_level(),
                     }
@@ -378,6 +413,7 @@ impl StreamingNic {
             packet_vectors: Vec::new(),
             stats: NicStats::default(),
             groups_per_level: Vec::new(),
+            evicted_vectors: Vec::new(),
         };
         for (i, worker) in self.workers.into_iter().enumerate() {
             // Dropping the producer publishes any staged frames, closes the
@@ -389,6 +425,7 @@ impl StreamingNic {
                 .map_err(|_| NicError::WorkerLost { worker: i })?;
             out.group_vectors.extend(shard.groups);
             out.packet_vectors.extend(shard.pkts);
+            out.evicted_vectors.extend(shard.evicted);
             out.stats.absorb(&shard.stats);
             if out.groups_per_level.is_empty() {
                 out.groups_per_level = shard.groups_per_level;

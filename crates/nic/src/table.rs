@@ -1,15 +1,77 @@
 //! The NIC group table: fixed-length chaining over 64-byte buckets with
-//! DRAM overflow (§6.2 "group table implementation").
+//! size-capped DRAM overflow (§6.2 "group table implementation").
 //!
 //! The 512-bit data bus loads a whole bucket in one access, so a bucket
 //! holds `width` entries and a lookup scans them in registers. Entries that
 //! do not fit their bucket spill into external DRAM — slower, but harmless
 //! while the collision rate stays low, which the paper (and our tests)
 //! verify.
+//!
+//! The DRAM spill is **bounded**: a [`TableBudget`] caps the number of
+//! spilled entries under the memory the admission controller granted, and a
+//! pluggable [`EvictionPolicy`] decides what happens at the cap. Evicted
+//! groups are returned to the caller as typed `(key, value)` records — the
+//! engine finalizes them into explicit `Evicted` feature vectors instead of
+//! silently growing (the pre-budget behavior) or silently dropping state.
+
+use std::collections::VecDeque;
 
 use superfe_net::{FxHashMap, GroupKey};
 
-/// Lookup/insert statistics, used to validate the low-collision-rate claim.
+/// Default DRAM overflow cap (entries). Large enough that the bundled
+/// test workloads (≤ 60k packets) never evict — bounded-state defaults must
+/// keep the keystone differentials bitwise — while still making adversarial
+/// key cardinality a hard bound instead of an OOM.
+pub const DEFAULT_DRAM_CAP: usize = 1 << 22;
+
+/// What to do when a new group arrives and the DRAM overflow is at its cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Refuse the new group (its updates are dropped and counted). The
+    /// resident working set is preserved — right when early flows matter
+    /// more than late ones (e.g. under a flood of spoofed sources).
+    DropNew,
+    /// Evict the oldest spilled group (insertion order — an LRU
+    /// approximation without per-access bookkeeping) to admit the new one.
+    EvictOldest,
+    /// Evict a uniformly random spilled group (seeded, deterministic) —
+    /// the hardware-cheap policy: no order maintenance at all.
+    RandomWay {
+        /// Seed of the deterministic victim sequence.
+        seed: u64,
+    },
+}
+
+/// Memory budget of one group table's DRAM overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableBudget {
+    /// Maximum spilled entries resident at once.
+    pub max_dram_entries: usize,
+    /// Policy applied when a new group arrives at the cap.
+    pub policy: EvictionPolicy,
+}
+
+impl Default for TableBudget {
+    fn default() -> Self {
+        TableBudget {
+            max_dram_entries: DEFAULT_DRAM_CAP,
+            policy: EvictionPolicy::DropNew,
+        }
+    }
+}
+
+impl TableBudget {
+    /// A budget capping DRAM at `entries` with the given policy.
+    pub fn capped(entries: usize, policy: EvictionPolicy) -> Self {
+        TableBudget {
+            max_dram_entries: entries.max(1),
+            policy,
+        }
+    }
+}
+
+/// Lookup/insert statistics, used to validate the low-collision-rate claim
+/// and to observe budget pressure.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TableStats {
     /// Total lookups.
@@ -20,6 +82,11 @@ pub struct TableStats {
     pub dram_lookups: u64,
     /// Entries currently spilled to DRAM.
     pub dram_entries: usize,
+    /// New groups refused at the cap ([`EvictionPolicy::DropNew`]); counted
+    /// once per refused update.
+    pub overflow_drops: u64,
+    /// Resident groups evicted at the cap (the other policies).
+    pub overflow_evictions: u64,
 }
 
 impl TableStats {
@@ -31,34 +98,69 @@ impl TableStats {
             self.dram_lookups as f64 / self.lookups as f64
         }
     }
+
+    /// Folds another table's counters into this one.
+    pub fn absorb(&mut self, other: &TableStats) {
+        self.lookups += other.lookups;
+        self.fast_hits += other.fast_hits;
+        self.dram_lookups += other.dram_lookups;
+        self.dram_entries += other.dram_entries;
+        self.overflow_drops += other.overflow_drops;
+        self.overflow_evictions += other.overflow_evictions;
+    }
 }
 
-/// A hash table with fixed-length chains and DRAM overflow.
+/// A hash table with fixed-length chains and size-capped DRAM overflow.
 #[derive(Clone, Debug)]
 pub struct GroupTable<V> {
     buckets: Vec<Vec<(GroupKey, V)>>,
     width: usize,
-    /// DRAM spill. Keyed with the vendored Fx hasher: the std SipHash
-    /// default is DoS-hardened but several times slower, and the keys
-    /// reaching this map are already CRC-dispersed by the switch.
+    /// DRAM spill values. Keyed with the vendored Fx hasher: the std
+    /// SipHash default is DoS-hardened but several times slower, and the
+    /// keys reaching this map are already CRC-dispersed by the switch.
     overflow: FxHashMap<GroupKey, V>,
+    /// Insertion order of the spilled keys — the iteration order (so
+    /// output is deterministic and serializable) and the eviction order
+    /// for [`EvictionPolicy::EvictOldest`].
+    order: VecDeque<GroupKey>,
+    budget: TableBudget,
+    /// splitmix64 state for [`EvictionPolicy::RandomWay`] victims.
+    rng: u64,
     stats: TableStats,
 }
 
 impl<V> GroupTable<V> {
-    /// Creates a table with `buckets` buckets of `width` entries each.
+    /// Creates a table with `buckets` buckets of `width` entries each and
+    /// the default (effectively unbounded for test workloads) budget.
     ///
     /// Returns `None` when either dimension is zero.
     pub fn new(buckets: usize, width: usize) -> Option<Self> {
+        Self::with_budget(buckets, width, TableBudget::default())
+    }
+
+    /// Creates a table with an explicit DRAM overflow budget.
+    pub fn with_budget(buckets: usize, width: usize, budget: TableBudget) -> Option<Self> {
         if buckets == 0 || width == 0 {
             return None;
         }
+        let rng = match budget.policy {
+            EvictionPolicy::RandomWay { seed } => seed,
+            _ => 0,
+        };
         Some(GroupTable {
             buckets: (0..buckets).map(|_| Vec::with_capacity(width)).collect(),
             width,
             overflow: FxHashMap::default(),
+            order: VecDeque::new(),
+            budget,
+            rng,
             stats: TableStats::default(),
         })
+    }
+
+    /// The table's DRAM budget.
+    pub fn budget(&self) -> TableBudget {
+        self.budget
     }
 
     /// Number of resident groups (bucket array + overflow).
@@ -81,45 +183,158 @@ impl<V> GroupTable<V> {
 
     /// Returns the group's value, inserting `default()` on first sight.
     ///
-    /// `hash` is the (possibly switch-provided) 32-bit key hash.
+    /// `hash` is the (possibly switch-provided) 32-bit key hash. A group
+    /// evicted to make room is pushed onto `evicted` for the caller to
+    /// finalize. Returns `None` when the budget refused the new group
+    /// ([`EvictionPolicy::DropNew`] at the cap) — the caller drops the
+    /// update and the refusal is counted in [`TableStats::overflow_drops`].
     pub fn get_or_insert_with(
         &mut self,
         key: GroupKey,
         hash: u32,
         default: impl FnOnce() -> V,
-    ) -> &mut V {
+        evicted: &mut Vec<(GroupKey, V)>,
+    ) -> Option<&mut V> {
         self.stats.lookups += 1;
         let b = (hash as usize) % self.buckets.len();
         // Fixed-length chain scan (one bus access on hardware).
         if let Some(pos) = self.buckets[b].iter().position(|(k, _)| *k == key) {
             self.stats.fast_hits += 1;
-            return &mut self.buckets[b][pos].1;
+            return Some(&mut self.buckets[b][pos].1);
         }
         if self.buckets[b].len() < self.width && !self.overflow.contains_key(&key) {
             self.stats.fast_hits += 1;
             self.buckets[b].push((key, default()));
             let last = self.buckets[b].len() - 1;
-            return &mut self.buckets[b][last].1;
+            return Some(&mut self.buckets[b][last].1);
         }
         // Collision: go to DRAM.
         self.stats.dram_lookups += 1;
-        self.overflow.entry(key).or_insert_with(default)
+        if !self.overflow.contains_key(&key) {
+            if self.overflow.len() >= self.budget.max_dram_entries && !self.make_room(evicted) {
+                self.stats.overflow_drops += 1;
+                return None;
+            }
+            self.order.push_back(key);
+            self.overflow.insert(key, default());
+        }
+        self.overflow.get_mut(&key)
     }
 
-    /// Iterates all `(key, value)` pairs (bucket array first, then DRAM).
+    /// Applies the eviction policy once; returns `false` when the policy
+    /// refuses to evict (`DropNew`).
+    fn make_room(&mut self, evicted: &mut Vec<(GroupKey, V)>) -> bool {
+        let victim = match self.budget.policy {
+            EvictionPolicy::DropNew => return false,
+            EvictionPolicy::EvictOldest => self.order.pop_front(),
+            EvictionPolicy::RandomWay { .. } => {
+                // splitmix64 step — deterministic victim sequence per seed.
+                self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let idx = (z % self.order.len().max(1) as u64) as usize;
+                self.order.swap_remove_back(idx)
+            }
+        };
+        let Some(k) = victim else { return false };
+        if let Some(v) = self.overflow.remove(&k) {
+            self.stats.overflow_evictions += 1;
+            evicted.push((k, v));
+        }
+        true
+    }
+
+    /// Iterates all `(key, value)` pairs: bucket array first, then DRAM in
+    /// insertion order (deterministic, matching the serialized layout).
     pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &V)> {
         self.buckets
             .iter()
             .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
-            .chain(self.overflow.iter())
+            .chain(self.order.iter().map(|k| {
+                let v = self.overflow.get(k).expect("order tracks overflow");
+                (k, v)
+            }))
     }
 
-    /// Removes every group, keeping the structure.
+    /// Removes every group, keeping the structure and budget.
     pub fn clear(&mut self) {
         for b in &mut self.buckets {
             b.clear();
         }
         self.overflow.clear();
+        self.order.clear();
+    }
+
+    /// Serializes the table's dynamic contents (chain and spill order
+    /// preserved) with `save_v` writing each value.
+    pub fn save_state(
+        &self,
+        w: &mut superfe_net::snap::StateWriter,
+        mut save_v: impl FnMut(&V, &mut superfe_net::snap::StateWriter),
+    ) {
+        w.put_u32(self.buckets.len() as u32);
+        w.put_u32(self.width as u32);
+        for b in &self.buckets {
+            w.put_u16(b.len() as u16);
+            for (k, v) in b {
+                k.save_state(w);
+                save_v(v, w);
+            }
+        }
+        w.put_u32(self.overflow.len() as u32);
+        for k in &self.order {
+            k.save_state(w);
+            save_v(&self.overflow[k], w);
+        }
+        w.put_u64(self.rng);
+        let s = self.stats;
+        for c in [
+            s.lookups,
+            s.fast_hits,
+            s.dram_lookups,
+            s.overflow_drops,
+            s.overflow_evictions,
+        ] {
+            w.put_u64(c);
+        }
+    }
+
+    /// Restores dynamic contents saved by [`GroupTable::save_state`] into
+    /// this (freshly constructed, same-geometry) table. Returns `None` on a
+    /// geometry mismatch or truncated input.
+    pub fn load_state(
+        &mut self,
+        r: &mut superfe_net::snap::StateReader<'_>,
+        mut load_v: impl FnMut(&mut superfe_net::snap::StateReader<'_>) -> Option<V>,
+    ) -> Option<()> {
+        if r.get_u32()? as usize != self.buckets.len() || r.get_u32()? as usize != self.width {
+            return None;
+        }
+        self.clear();
+        for b in 0..self.buckets.len() {
+            let n = r.get_u16()? as usize;
+            for _ in 0..n {
+                let k = GroupKey::load_state(r)?;
+                let v = load_v(r)?;
+                self.buckets[b].push((k, v));
+            }
+        }
+        let spilled = r.get_u32()? as usize;
+        for _ in 0..spilled {
+            let k = GroupKey::load_state(r)?;
+            let v = load_v(r)?;
+            self.order.push_back(k);
+            self.overflow.insert(k, v);
+        }
+        self.rng = r.get_u64()?;
+        self.stats.lookups = r.get_u64()?;
+        self.stats.fast_hits = r.get_u64()?;
+        self.stats.dram_lookups = r.get_u64()?;
+        self.stats.overflow_drops = r.get_u64()?;
+        self.stats.overflow_evictions = r.get_u64()?;
+        Some(())
     }
 }
 
@@ -131,6 +346,11 @@ mod tests {
         GroupKey::Host(i)
     }
 
+    fn put(t: &mut GroupTable<u32>, i: u32, h: u32) -> Option<u32> {
+        let mut ev = Vec::new();
+        t.get_or_insert_with(key(i), h, || i, &mut ev).copied()
+    }
+
     #[test]
     fn rejects_zero_dimensions() {
         assert!(GroupTable::<u32>::new(0, 4).is_none());
@@ -140,10 +360,12 @@ mod tests {
     #[test]
     fn insert_and_update() {
         let mut t = GroupTable::<u64>::new(16, 4).unwrap();
-        *t.get_or_insert_with(key(1), 1, || 0) += 5;
-        *t.get_or_insert_with(key(1), 1, || 0) += 5;
-        assert_eq!(*t.get_or_insert_with(key(1), 1, || 0), 10);
+        let mut ev = Vec::new();
+        *t.get_or_insert_with(key(1), 1, || 0, &mut ev).unwrap() += 5;
+        *t.get_or_insert_with(key(1), 1, || 0, &mut ev).unwrap() += 5;
+        assert_eq!(*t.get_or_insert_with(key(1), 1, || 0, &mut ev).unwrap(), 10);
         assert_eq!(t.len(), 1);
+        assert!(ev.is_empty());
     }
 
     #[test]
@@ -151,25 +373,23 @@ mod tests {
         let mut t = GroupTable::<u32>::new(1, 2).unwrap();
         // All keys land in bucket 0 (1 bucket); width 2 -> 3rd key spills.
         for i in 0..3 {
-            t.get_or_insert_with(key(i), 0, || i);
+            put(&mut t, i, 0);
         }
         let s = t.stats();
         assert_eq!(t.len(), 3);
         assert_eq!(s.dram_entries, 1);
         assert!(s.dram_lookups >= 1);
         // The spilled key stays reachable and distinct.
-        assert_eq!(*t.get_or_insert_with(key(2), 0, || 99), 2);
+        assert_eq!(put(&mut t, 2, 0), Some(2));
     }
 
     #[test]
     fn spilled_key_never_duplicates_into_bucket() {
         let mut t = GroupTable::<u32>::new(1, 1).unwrap();
-        t.get_or_insert_with(key(1), 0, || 1);
-        t.get_or_insert_with(key(2), 0, || 2); // spills
-                                               // key(1) evicted scenario does not exist (no eviction); but key(2)
-                                               // must not re-enter the bucket even if the bucket had space later.
+        put(&mut t, 1, 0);
+        put(&mut t, 2, 0); // spills
         assert_eq!(t.len(), 2);
-        t.get_or_insert_with(key(2), 0, || 99);
+        put(&mut t, 2, 0);
         assert_eq!(t.len(), 2);
     }
 
@@ -178,7 +398,7 @@ mod tests {
         let mut t = GroupTable::<u32>::new(1024, 4).unwrap();
         for i in 0..1000u32 {
             let k = key(i);
-            t.get_or_insert_with(k, k.hash32(), || 0);
+            put(&mut t, i, k.hash32());
         }
         assert!(
             t.stats().collision_rate() < 0.05,
@@ -191,7 +411,7 @@ mod tests {
     fn iter_visits_everything_once() {
         let mut t = GroupTable::<u32>::new(2, 1).unwrap();
         for i in 0..6 {
-            t.get_or_insert_with(key(i), i, || i);
+            put(&mut t, i, i);
         }
         let mut seen: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
         seen.sort();
@@ -199,12 +419,101 @@ mod tests {
     }
 
     #[test]
+    fn iter_spill_order_is_insertion_order() {
+        let mut t = GroupTable::<u32>::new(1, 1).unwrap();
+        for i in 0..5 {
+            put(&mut t, i, 0);
+        }
+        // Key 0 sits in the bucket; 1..5 spilled in order.
+        let seen: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn clear_empties_table() {
         let mut t = GroupTable::<u32>::new(4, 1).unwrap();
         for i in 0..8 {
-            t.get_or_insert_with(key(i), i, || i);
+            put(&mut t, i, i);
         }
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drop_new_refuses_at_cap() {
+        let budget = TableBudget::capped(2, EvictionPolicy::DropNew);
+        let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut ev = Vec::new();
+        for i in 0..5 {
+            t.get_or_insert_with(key(i), 0, || i, &mut ev);
+        }
+        // Bucket holds key 0; keys 1, 2 spilled; 3, 4 refused.
+        assert_eq!(t.len(), 3);
+        assert!(ev.is_empty());
+        let s = t.stats();
+        assert_eq!(s.overflow_drops, 2);
+        assert_eq!(s.overflow_evictions, 0);
+        // A refused key returns None; resident keys still resolve.
+        assert!(t.get_or_insert_with(key(4), 0, || 4, &mut ev).is_none());
+        assert_eq!(put(&mut t, 1, 0), Some(1));
+    }
+
+    #[test]
+    fn evict_oldest_rotates_fifo() {
+        let budget = TableBudget::capped(2, EvictionPolicy::EvictOldest);
+        let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut ev = Vec::new();
+        for i in 0..5 {
+            assert!(t.get_or_insert_with(key(i), 0, || i, &mut ev).is_some());
+        }
+        // Spill order: 1,2 -> evict 1 for 3 -> evict 2 for 4.
+        assert_eq!(t.len(), 3);
+        let evicted: Vec<u32> = ev.iter().map(|(_, v)| *v).collect();
+        assert_eq!(evicted, vec![1, 2]);
+        assert_eq!(t.stats().overflow_evictions, 2);
+        // An evicted key re-inserts as a fresh group (evicting in turn).
+        let before = ev.len();
+        assert!(t.get_or_insert_with(key(1), 0, || 99, &mut ev).is_some());
+        assert_eq!(ev.len(), before + 1);
+    }
+
+    #[test]
+    fn random_way_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let budget = TableBudget::capped(4, EvictionPolicy::RandomWay { seed });
+            let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+            let mut ev = Vec::new();
+            for i in 0..64 {
+                t.get_or_insert_with(key(i), 0, || i, &mut ev);
+            }
+            assert_eq!(t.stats().dram_entries, 4);
+            ev.into_iter().map(|(_, v)| v).collect::<Vec<u32>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+        assert_eq!(run(1).len(), 64 - 1 - 4);
+    }
+
+    #[test]
+    fn save_load_round_trips_contents_and_order() {
+        let budget = TableBudget::capped(8, EvictionPolicy::EvictOldest);
+        let mut t = GroupTable::<u32>::with_budget(4, 2, budget).unwrap();
+        let mut ev = Vec::new();
+        for i in 0..20 {
+            t.get_or_insert_with(key(i), i % 4, || i * 3, &mut ev);
+        }
+        let mut w = superfe_net::snap::StateWriter::new();
+        t.save_state(&mut w, |v, w| w.put_u32(*v));
+        let bytes = w.into_bytes();
+
+        let mut u = GroupTable::<u32>::with_budget(4, 2, budget).unwrap();
+        let mut r = superfe_net::snap::StateReader::new(&bytes);
+        #[allow(clippy::redundant_closure_for_method_calls)]
+        u.load_state(&mut r, |r| r.get_u32()).unwrap();
+        assert!(r.is_empty());
+        let a: Vec<(GroupKey, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(GroupKey, u32)> = u.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+        assert_eq!(t.stats().dram_lookups, u.stats().dram_lookups);
     }
 }

@@ -7,6 +7,7 @@
 //! A [`GroupExec`] holds the per-group mapper and reducer state of one
 //! [`LevelProgram`] group and is driven with one [`RecordView`] per packet.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_streaming::{
     markers, normalize, sample_evenly, DampedPair, DampedStat, Histogram, HyperLogLog, MinMax,
     Moments, Reducer, SeqArray, Sum, Welford,
@@ -233,6 +234,61 @@ impl ReducerInstance {
             },
         }
     }
+
+    /// Variant discriminant used to validate snapshots against the policy.
+    fn tag(&self) -> u8 {
+        match self {
+            ReducerInstance::Sum(_) => 0,
+            ReducerInstance::Welford(..) => 1,
+            ReducerInstance::MinMax(..) => 2,
+            ReducerInstance::Moments(..) => 3,
+            ReducerInstance::Card(_) => 4,
+            ReducerInstance::Array(_) => 5,
+            ReducerInstance::Hist(..) => 6,
+            ReducerInstance::Damped(_) => 7,
+            ReducerInstance::Bidir(..) => 8,
+        }
+    }
+
+    /// Serializes the accumulator state. Output selectors (which Welford
+    /// output, which quantile, …) are structural — rebuilt from the policy
+    /// on load — so only the variant tag and the estimator state are stored.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8(self.tag());
+        match self {
+            ReducerInstance::Sum(s) => s.save_state(w),
+            ReducerInstance::Welford(s, _) => s.save_state(w),
+            ReducerInstance::MinMax(s, _) => s.save_state(w),
+            ReducerInstance::Moments(s, _) => s.save_state(w),
+            ReducerInstance::Card(s) => s.save_state(w),
+            ReducerInstance::Array(s) => s.save_state(w),
+            ReducerInstance::Hist(s, _) => s.save_state(w),
+            ReducerInstance::Damped(s) => s.save_state(w),
+            ReducerInstance::Bidir(s, _) => s.save_state(w),
+        }
+    }
+
+    /// Restores accumulator state written by [`ReducerInstance::save_state`]
+    /// into this (freshly instantiated) reducer, keeping its selector.
+    /// Returns `None` on a variant mismatch (snapshot from a different
+    /// policy) or corrupt input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        if r.get_u8()? != self.tag() {
+            return None;
+        }
+        match self {
+            ReducerInstance::Sum(s) => *s = Sum::load_state(r)?,
+            ReducerInstance::Welford(s, _) => *s = Welford::load_state(r)?,
+            ReducerInstance::MinMax(s, _) => *s = MinMax::load_state(r)?,
+            ReducerInstance::Moments(s, _) => *s = Moments::load_state(r)?,
+            ReducerInstance::Card(s) => *s = HyperLogLog::load_state(r)?,
+            ReducerInstance::Array(s) => *s = SeqArray::load_state(r)?,
+            ReducerInstance::Hist(s, _) => *s = Histogram::load_state(r)?,
+            ReducerInstance::Damped(s) => *s = DampedStat::load_state(r)?,
+            ReducerInstance::Bidir(s, _) => *s = DampedPair::load_state(r)?,
+        }
+        Some(())
+    }
 }
 
 /// Per-group state of one `map` operation.
@@ -275,6 +331,33 @@ impl MapState {
                 Some(self.burst_id as f64)
             }
         }
+    }
+
+    /// Serializes the mapper state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match self.last_ts_ns {
+            Some(ts) => {
+                w.put_bool(true);
+                w.put_u64(ts);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_i64(self.last_dir);
+        w.put_u64(self.burst_id);
+    }
+
+    /// Reads state written by [`MapState::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let last_ts_ns = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        Some(MapState {
+            last_ts_ns,
+            last_dir: r.get_i64()?,
+            burst_id: r.get_u64()?,
+        })
     }
 }
 
@@ -452,6 +535,50 @@ impl GroupExec {
     /// Expected feature length (stable across groups of the level).
     pub fn feature_len(&self) -> usize {
         self.reduces.iter().map(|(op, _)| op.feature_len()).sum()
+    }
+
+    /// Serializes the group's dynamic state (mapper state + reducer
+    /// accumulators). Program structure and bound sources are rebuilt from
+    /// the level program on load; `map_out` is per-record scratch and is
+    /// skipped.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.maps.len() as u16);
+        for (_, state) in &self.maps {
+            state.save_state(w);
+        }
+        w.put_u16(self.reduces.len() as u16);
+        for (_, instances) in &self.reduces {
+            w.put_u16(instances.len() as u16);
+            for inst in instances {
+                inst.save_state(w);
+            }
+        }
+    }
+
+    /// Reconstructs a group from `level` and restores the dynamic state
+    /// written by [`GroupExec::save_state`]. Returns `None` when the
+    /// snapshot's shape does not match the program (different policy) or
+    /// the input is corrupt.
+    pub fn load_state(level: &LevelProgram, r: &mut StateReader<'_>) -> Option<Self> {
+        let mut g = GroupExec::new(level);
+        if r.get_u16()? as usize != g.maps.len() {
+            return None;
+        }
+        for (_, state) in &mut g.maps {
+            *state = MapState::load_state(r)?;
+        }
+        if r.get_u16()? as usize != g.reduces.len() {
+            return None;
+        }
+        for (_, instances) in &mut g.reduces {
+            if r.get_u16()? as usize != instances.len() {
+                return None;
+            }
+            for inst in instances {
+                inst.load_state(r)?;
+            }
+        }
+        Some(g)
     }
 }
 

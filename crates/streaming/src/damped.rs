@@ -8,6 +8,8 @@
 //! bidirectional features `f_mag`, `f_radius`, `f_cov`, and `f_pcc`
 //! (Table 5).
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// Nanoseconds per second, the timestamp unit used across SuperFE.
@@ -118,6 +120,27 @@ impl DampedStat {
     /// The Kitsune 1-D feature triple `(weight, mean, std)`.
     pub fn triple(&self) -> [f64; 3] {
         [self.w, self.mean(), self.std_dev()]
+    }
+
+    /// Serializes the damped state (λ included, for self-contained loads).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for v in [self.lambda, self.w, self.ls, self.ss] {
+            w.put_f64(v);
+        }
+        w.put_u64(self.last_ts);
+        w.put_bool(self.seen);
+    }
+
+    /// Reads state written by [`DampedStat::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(DampedStat {
+            lambda: r.get_f64()?,
+            w: r.get_f64()?,
+            ls: r.get_f64()?,
+            ss: r.get_f64()?,
+            last_ts: r.get_u64()?,
+            seen: r.get_bool()?,
+        })
     }
 }
 
@@ -247,6 +270,31 @@ impl DampedPair {
             self.covariance(),
             self.pcc(),
         ]
+    }
+
+    /// Serializes both streams and the joint residual state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.a.save_state(w);
+        self.b.save_state(w);
+        for v in [self.sr, self.w3, self.last_res_a, self.last_res_b] {
+            w.put_f64(v);
+        }
+        w.put_u64(self.last_ts);
+        w.put_bool(self.seen);
+    }
+
+    /// Reads state written by [`DampedPair::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(DampedPair {
+            a: DampedStat::load_state(r)?,
+            b: DampedStat::load_state(r)?,
+            sr: r.get_f64()?,
+            w3: r.get_f64()?,
+            last_res_a: r.get_f64()?,
+            last_res_b: r.get_f64()?,
+            last_ts: r.get_u64()?,
+            seen: r.get_bool()?,
+        })
     }
 }
 

@@ -7,6 +7,8 @@
 //! Variable (geometric) bin widths are supported to improve accuracy for
 //! long-tailed data (§6.1, after D'Agostino & Stephens).
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// Bin-edge layout of a [`Histogram`].
@@ -188,6 +190,53 @@ impl Histogram {
         }
         self.total += other.total;
         true
+    }
+
+    /// Serializes the histogram (binning layout + counts).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match self.binning {
+            Binning::Fixed { width } => {
+                w.put_u8(0);
+                w.put_f64(width);
+            }
+            Binning::Geometric { unit, base } => {
+                w.put_u8(1);
+                w.put_f64(unit);
+                w.put_f64(base);
+            }
+        }
+        w.put_u32(self.counts.len() as u32);
+        for c in &self.counts {
+            w.put_u64(*c);
+        }
+        w.put_u64(self.total);
+    }
+
+    /// Reads a histogram written by [`Histogram::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let binning = match r.get_u8()? {
+            0 => Binning::Fixed {
+                width: r.get_f64()?,
+            },
+            1 => Binning::Geometric {
+                unit: r.get_f64()?,
+                base: r.get_f64()?,
+            },
+            _ => return None,
+        };
+        let bins = r.get_u32()? as usize;
+        if bins == 0 {
+            return None;
+        }
+        let mut counts = Vec::with_capacity(bins);
+        for _ in 0..bins {
+            counts.push(r.get_u64()?);
+        }
+        Some(Histogram {
+            binning,
+            counts,
+            total: r.get_u64()?,
+        })
     }
 }
 

@@ -7,6 +7,8 @@
 //! (Flajolet et al.), with the standard small-range (linear counting) and
 //! 32-bit large-range corrections.
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// A HyperLogLog sketch with `2^k` one-byte registers.
@@ -108,6 +110,27 @@ impl HyperLogLog {
         }
         self.updates += other.updates;
         true
+    }
+
+    /// Serializes the sketch (size + registers).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u8(self.k);
+        w.put_bytes(&self.registers);
+        w.put_u64(self.updates);
+    }
+
+    /// Reads a sketch written by [`HyperLogLog::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let k = r.get_u8()?;
+        let registers = r.get_bytes()?.to_vec();
+        if !(4..=16).contains(&k) || registers.len() != 1 << k {
+            return None;
+        }
+        Some(HyperLogLog {
+            k,
+            registers,
+            updates: r.get_u64()?,
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! One-pass higher central moments for `f_skew` and `f_kur`.
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// Streaming estimator of mean, variance, skewness, and kurtosis.
@@ -61,6 +63,25 @@ impl Moments {
         }
         let n = self.n as f64;
         n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Serializes the estimator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.n);
+        for v in [self.mean, self.m2, self.m3, self.m4] {
+            w.put_f64(v);
+        }
+    }
+
+    /// Reads an estimator written by [`Moments::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(Moments {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            m3: r.get_f64()?,
+            m4: r.get_f64()?,
+        })
     }
 }
 

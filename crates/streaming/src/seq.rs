@@ -6,6 +6,8 @@
 //! direction-change markers. These are "pack and post-process" operations
 //! rather than statistics, so they live apart from the numeric estimators.
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// `f_array`: packs samples into a bounded, fixed-length array.
@@ -51,6 +53,34 @@ impl SeqArray {
     /// The raw (unpadded) sequence.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Serializes the sequence and its capacity.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.cap as u32);
+        w.put_u32(self.data.len() as u32);
+        for v in &self.data {
+            w.put_f64(*v);
+        }
+        w.put_u64(self.dropped);
+    }
+
+    /// Reads a sequence written by [`SeqArray::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let cap = r.get_u32()? as usize;
+        let n = r.get_u32()? as usize;
+        if cap == 0 || n > cap {
+            return None;
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.get_f64()?);
+        }
+        Some(SeqArray {
+            data,
+            cap,
+            dropped: r.get_u64()?,
+        })
     }
 }
 
@@ -118,6 +148,36 @@ impl BurstTracker {
     /// Burst lengths recorded so far, *excluding* the still-open burst.
     pub fn closed_bursts(&self) -> &[f64] {
         &self.bursts
+    }
+
+    /// Serializes the tracker (closed bursts + open-run state).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.max_bursts as u32);
+        w.put_u32(self.bursts.len() as u32);
+        for v in &self.bursts {
+            w.put_f64(*v);
+        }
+        w.put_u8(self.current_sign as u8);
+        w.put_u64(self.current_len);
+    }
+
+    /// Reads a tracker written by [`BurstTracker::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let max_bursts = r.get_u32()? as usize;
+        let n = r.get_u32()? as usize;
+        if max_bursts == 0 || n > max_bursts {
+            return None;
+        }
+        let mut bursts = Vec::with_capacity(n);
+        for _ in 0..n {
+            bursts.push(r.get_f64()?);
+        }
+        Some(BurstTracker {
+            bursts,
+            max_bursts,
+            current_sign: r.get_u8()? as i8,
+            current_len: r.get_u64()?,
+        })
     }
 }
 

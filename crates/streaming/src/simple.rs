@@ -3,6 +3,8 @@
 //! The paper notes these need no streaming machinery — one state word and one
 //! add/compare per record (§6.1).
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// Running sum (`f_sum`).
@@ -26,6 +28,20 @@ impl Sum {
     /// Number of samples folded in.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Serializes the accumulator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.sum);
+        w.put_u64(self.n);
+    }
+
+    /// Reads an accumulator written by [`Sum::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(Sum {
+            sum: r.get_f64()?,
+            n: r.get_u64()?,
+        })
     }
 }
 
@@ -132,6 +148,22 @@ impl MinMax {
         } else {
             self.max
         }
+    }
+
+    /// Serializes the accumulator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        w.put_u64(self.n);
+    }
+
+    /// Reads an accumulator written by [`MinMax::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(MinMax {
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+            n: r.get_u64()?,
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! Welford's online mean/variance (the paper's Eq. 1–2).
 
+use superfe_net::snap::{StateReader, StateWriter};
+
 use crate::reducer::Reducer;
 
 /// One-pass mean and variance via Welford's algorithm.
@@ -73,6 +75,22 @@ impl Welford {
         self.mean += delta * other.n as f64 / n;
         self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
         self.n += other.n;
+    }
+
+    /// Serializes the estimator.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+    }
+
+    /// Reads an estimator written by [`Welford::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(Welford {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! bandwidth therefore grow linearly with `k`, which is exactly the Fig. 13
 //! comparison against MGPV's constant footprint.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::{Granularity, PacketRecord};
 
 use crate::mgpv::{MgpvCache, MgpvConfig, MgpvStats};
@@ -98,6 +99,30 @@ impl GpvBank {
         }
         agg
     }
+
+    /// Serializes every per-granularity cache for state snapshots.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.caches.len() as u16);
+        for (g, cache) in &self.caches {
+            g.save_state(w);
+            cache.save_state(w);
+        }
+    }
+
+    /// Restores state written by [`GpvBank::save_state`] into a bank built
+    /// from the same granularities and configuration.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        if r.get_u16()? as usize != self.caches.len() {
+            return None;
+        }
+        for (g, cache) in &mut self.caches {
+            if Granularity::load_state(r)? != *g {
+                return None;
+            }
+            cache.load_state(r)?;
+        }
+        Some(())
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +140,7 @@ mod tests {
             probes_per_packet: 0,
             probe_rate_hz: 0.0,
             activity_window_ns: 1_000_000,
+            policy: crate::mgpv::CgEvictPolicy::DirectMapped,
         }
     }
 

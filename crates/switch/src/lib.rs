@@ -35,7 +35,7 @@ pub mod tenant;
 pub use balance::NicLoadBalancer;
 pub use feasibility::{check_switch, check_switch_resources};
 pub use gpv::GpvBank;
-pub use mgpv::{MgpvCache, MgpvConfig, MgpvStats};
+pub use mgpv::{CgEvictPolicy, MgpvCache, MgpvConfig, MgpvStats};
 pub use pipeline::{CacheMode, FeSwitch, SwitchStats};
 pub use record::{EvictionCause, FgUpdate, MgpvMessage, MgpvRecord, SwitchEvent};
 pub use resources::{compose, SwitchResources, TofinoBudget};

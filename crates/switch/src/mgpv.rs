@@ -13,14 +13,36 @@
 //! *before* any message whose records reference them, preserving the paper's
 //! order-preserving property.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::{GroupKey, PacketRecord};
 
-use crate::record::{EvictionCause, FgUpdate, MgpvMessage, MgpvRecord, SwitchEvent};
+use crate::record::{EvictionCause, FgUpdate, MgpvMessage, MgpvRecord, SwitchEvent, TS_HORIZON_NS};
 
 /// Bytes one metadata record occupies in switch SRAM (full layout).
 pub const SWITCH_RECORD_BYTES: usize = 9;
 /// Per-entry bookkeeping bytes in switch SRAM (timestamp, pointer, flags).
 pub const ENTRY_OVERHEAD_BYTES: usize = 8;
+
+/// How the CG slot array resolves hash collisions.
+///
+/// The paper's prototype is direct-mapped (one slot per hash, LRU-like
+/// evict-on-collision, §5.2); the set-associative variant trades a wider
+/// lookup for fewer forced evictions under corpus-scale flow counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CgEvictPolicy {
+    /// One slot per hash; a colliding key always evicts the resident group.
+    #[default]
+    DirectMapped,
+    /// `ways`-way set-associative slots: a colliding key takes a free way if
+    /// one exists, else evicts a pseudo-random way (seeded, deterministic
+    /// for a given packet stream).
+    RandomWay {
+        /// Ways per set (clamped to at least 1).
+        ways: u16,
+        /// Seed for the deterministic victim sequence.
+        seed: u64,
+    },
+}
 
 /// Configuration of an MGPV cache instance.
 ///
@@ -48,6 +70,8 @@ pub struct MgpvConfig {
     pub probe_rate_hz: f64,
     /// Window for the "active flow" definition in buffer-efficiency stats.
     pub activity_window_ns: u64,
+    /// CG slot collision-resolution policy.
+    pub policy: CgEvictPolicy,
 }
 
 impl Default for MgpvConfig {
@@ -64,6 +88,7 @@ impl Default for MgpvConfig {
             probes_per_packet: 2,
             probe_rate_hz: 1_000_000.0, // one 16k-entry scan every ~16 ms
             activity_window_ns: 100_000_000, // 100 ms
+            policy: CgEvictPolicy::DirectMapped,
         }
     }
 }
@@ -86,6 +111,39 @@ impl MgpvConfig {
         };
         short + long + fg
     }
+
+    /// Derives a configuration fitting an explicit SRAM budget.
+    ///
+    /// The default table shapes (buffer sizes, aging, probe rate) are kept;
+    /// only the three counts — CG slots, long buffers, FG slots — are scaled
+    /// down proportionally until [`MgpvConfig::memory_bytes`] with the given
+    /// CG key width fits `budget_bytes`. Budgets below the one-slot minimum
+    /// yield the smallest valid cache (which may still exceed the budget).
+    pub fn with_memory_budget(budget_bytes: usize, cg_key_bytes: usize) -> Self {
+        let base = MgpvConfig::default();
+        let mut scale = budget_bytes as f64 / base.memory_bytes(cg_key_bytes) as f64;
+        loop {
+            let cfg = MgpvConfig {
+                short_count: ((base.short_count as f64 * scale) as usize).max(1),
+                long_count: (base.long_count as f64 * scale) as usize,
+                fg_table_size: (base.fg_table_size as f64 * scale) as usize,
+                ..base
+            };
+            let at_floor = cfg.short_count == 1 && cfg.long_count == 0 && cfg.fg_table_size == 0;
+            if cfg.memory_bytes(cg_key_bytes) <= budget_bytes || at_floor {
+                return cfg;
+            }
+            scale *= 0.9;
+        }
+    }
+}
+
+/// One step of the splitmix64 sequence (victim-way selection).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Counters exported by the cache.
@@ -144,6 +202,42 @@ impl MgpvStats {
         } else {
             self.active_samples as f64 / self.occupied_samples as f64
         }
+    }
+
+    /// Serializes every counter for state snapshots.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.packets);
+        w.put_u64(self.resident_records);
+        for e in self.evictions {
+            w.put_u64(e);
+        }
+        w.put_u64(self.evicted_records);
+        w.put_u64(self.fg_updates);
+        w.put_u64(self.occupied_samples);
+        w.put_u64(self.active_samples);
+        w.put_u64(self.delay_sum_ns);
+        w.put_u64(self.delay_max_ns);
+        w.put_u64(self.delay_samples);
+    }
+
+    /// Reads counters written by [`MgpvStats::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        let mut s = MgpvStats {
+            packets: r.get_u64()?,
+            resident_records: r.get_u64()?,
+            ..MgpvStats::default()
+        };
+        for e in &mut s.evictions {
+            *e = r.get_u64()?;
+        }
+        s.evicted_records = r.get_u64()?;
+        s.fg_updates = r.get_u64()?;
+        s.occupied_samples = r.get_u64()?;
+        s.active_samples = r.get_u64()?;
+        s.delay_sum_ns = r.get_u64()?;
+        s.delay_max_ns = r.get_u64()?;
+        s.delay_samples = r.get_u64()?;
+        Some(s)
     }
 }
 
@@ -242,6 +336,12 @@ impl MgpvCache {
         events: &mut Vec<SwitchEvent>,
     ) {
         let now = p.ts_ns;
+        assert!(
+            now < TS_HORIZON_NS,
+            "packet timestamp {now} ns is at or past the 32-bit microsecond tstamp horizon \
+             ({TS_HORIZON_NS} ns): MgpvRecord::tstamp_us would wrap and the aging probes would \
+             mis-order evictions — rebase timestamps per capture epoch"
+        );
         self.stats.packets += 1;
 
         // --- FG table maintenance (before anything references the slot). ---
@@ -282,16 +382,9 @@ impl MgpvCache {
 
         let rec = MgpvRecord::from_packet(p, fg_idx);
         let hash = cg_key.hash32();
-        let bucket = (hash as usize) % self.cfg.short_count;
 
-        // --- CG slot handling. ---
-        let matches = match &self.entries[bucket] {
-            Some(e) => e.key == cg_key,
-            None => false,
-        };
-        if self.entries[bucket].is_some() && !matches {
-            self.evict_bucket(bucket, EvictionCause::CgCollision, Some(now), events);
-        }
+        // --- CG slot handling (policy-dependent). ---
+        let bucket = self.cg_bucket(cg_key, hash, now, events);
         if self.entries[bucket].is_none() {
             self.entries[bucket] = Some(CgEntry {
                 key: cg_key,
@@ -404,6 +497,50 @@ impl MgpvCache {
         }
     }
 
+    /// Picks the CG slot for `key` under the configured policy, evicting a
+    /// resident group first if the policy demands it. On return the slot is
+    /// either empty or already owned by `key`.
+    fn cg_bucket(
+        &mut self,
+        key: GroupKey,
+        hash: u32,
+        now: u64,
+        events: &mut Vec<SwitchEvent>,
+    ) -> usize {
+        match self.cfg.policy {
+            CgEvictPolicy::DirectMapped => {
+                let bucket = (hash as usize) % self.cfg.short_count;
+                let owned = matches!(&self.entries[bucket], Some(e) if e.key == key);
+                if self.entries[bucket].is_some() && !owned {
+                    self.evict_bucket(bucket, EvictionCause::CgCollision, Some(now), events);
+                }
+                bucket
+            }
+            CgEvictPolicy::RandomWay { ways, seed } => {
+                let w = usize::from(ways).max(1);
+                let sets = (self.cfg.short_count / w).max(1);
+                let base = ((hash as usize) % sets) * w;
+                let end = (base + w).min(self.cfg.short_count);
+                for b in base..end {
+                    if matches!(&self.entries[b], Some(e) if e.key == key) {
+                        return b;
+                    }
+                }
+                for b in base..end {
+                    if self.entries[b].is_none() {
+                        return b;
+                    }
+                }
+                // Set full: evict a deterministic pseudo-random way. The
+                // packet counter (already incremented for this packet) keys
+                // the sequence, so replays pick identical victims.
+                let victim = base + (splitmix64(seed ^ self.stats.packets) as usize) % (end - base);
+                self.evict_bucket(victim, EvictionCause::CgCollision, Some(now), events);
+                victim
+            }
+        }
+    }
+
     fn evict_bucket(
         &mut self,
         bucket: usize,
@@ -458,6 +595,190 @@ impl MgpvCache {
             cause,
         }));
     }
+
+    /// Serializes the full cache state — resident buffers, FG table,
+    /// reverse references, probe cursor, and counters — for snapshots.
+    ///
+    /// The configuration itself is *not* stored (the restoring side
+    /// re-creates the cache from the deployed policy); the buffer geometry
+    /// is written as a validation header so a mismatched load fails cleanly.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.cfg.short_count as u32);
+        w.put_u32(self.cfg.short_size as u32);
+        w.put_u32(self.cfg.long_count as u32);
+        w.put_u32(self.cfg.long_size as u32);
+        w.put_u32(self.cfg.fg_table_size as u32);
+        for slot in &self.entries {
+            w.put_bool(slot.is_some());
+            if let Some(e) = slot {
+                e.key.save_state(w);
+                w.put_u32(e.hash);
+                w.put_u64(e.last_access_ns);
+                w.put_u16(e.short.len() as u16);
+                for rec in &e.short {
+                    rec.save_state(w);
+                }
+                w.put_bool(e.long_ptr.is_some());
+                w.put_u16(e.long_ptr.unwrap_or(0));
+            }
+        }
+        for buf in &self.long {
+            w.put_u16(buf.len() as u16);
+            for rec in buf {
+                rec.save_state(w);
+            }
+        }
+        w.put_u32(self.free_longs.len() as u32);
+        for lp in &self.free_longs {
+            w.put_u16(*lp);
+        }
+        for slot in &self.fg_table {
+            w.put_bool(slot.is_some());
+            if let Some(k) = slot {
+                k.save_state(w);
+            }
+        }
+        // fg_refs are serialized (not rebuilt): their per-slot vec order
+        // decides the eviction order of an FG-slot reassignment, which must
+        // survive a restore bit-for-bit.
+        for refs in &self.fg_refs {
+            w.put_u32(refs.len() as u32);
+            for b in refs {
+                w.put_u32(*b as u32);
+            }
+        }
+        w.put_u64(self.probe_cursor as u64);
+        w.put_u64(self.last_probe_ns);
+        w.put_u32(self.sample_countdown);
+        self.stats.save_state(w);
+    }
+
+    /// Restores state written by [`MgpvCache::save_state`] into a cache
+    /// created with the *same* configuration. Returns `None` (leaving the
+    /// cache untouched) on geometry mismatch or truncated input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        let geometry = [
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+        ];
+        if geometry
+            != [
+                self.cfg.short_count,
+                self.cfg.short_size,
+                self.cfg.long_count,
+                self.cfg.long_size,
+                self.cfg.fg_table_size,
+            ]
+        {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(self.cfg.short_count);
+        for _ in 0..self.cfg.short_count {
+            if !r.get_bool()? {
+                entries.push(None);
+                continue;
+            }
+            let key = GroupKey::load_state(r)?;
+            let hash = r.get_u32()?;
+            let last_access_ns = r.get_u64()?;
+            let n = r.get_u16()? as usize;
+            if n > self.cfg.short_size {
+                return None;
+            }
+            let mut short = Vec::with_capacity(self.cfg.short_size);
+            for _ in 0..n {
+                short.push(MgpvRecord::load_state(r)?);
+            }
+            let has_long = r.get_bool()?;
+            let lp = r.get_u16()?;
+            let long_ptr = if has_long {
+                if (lp as usize) >= self.cfg.long_count {
+                    return None;
+                }
+                Some(lp)
+            } else {
+                None
+            };
+            entries.push(Some(CgEntry {
+                key,
+                hash,
+                last_access_ns,
+                short,
+                long_ptr,
+            }));
+        }
+        let mut long = Vec::with_capacity(self.cfg.long_count);
+        for _ in 0..self.cfg.long_count {
+            let n = r.get_u16()? as usize;
+            if n > self.cfg.long_size {
+                return None;
+            }
+            let mut buf = Vec::with_capacity(n);
+            for _ in 0..n {
+                buf.push(MgpvRecord::load_state(r)?);
+            }
+            long.push(buf);
+        }
+        let n_free = r.get_u32()? as usize;
+        if n_free > self.cfg.long_count {
+            return None;
+        }
+        let mut free_longs = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let lp = r.get_u16()?;
+            if (lp as usize) >= self.cfg.long_count {
+                return None;
+            }
+            free_longs.push(lp);
+        }
+        let mut fg_table = Vec::with_capacity(self.cfg.fg_table_size);
+        for _ in 0..self.cfg.fg_table_size {
+            fg_table.push(if r.get_bool()? {
+                Some(GroupKey::load_state(r)?)
+            } else {
+                None
+            });
+        }
+        let mut fg_refs = Vec::with_capacity(self.cfg.fg_table_size);
+        for _ in 0..self.cfg.fg_table_size {
+            let n = r.get_u32()? as usize;
+            if n > self.cfg.short_count {
+                return None;
+            }
+            let mut refs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = r.get_u32()? as usize;
+                if b >= self.cfg.short_count {
+                    return None;
+                }
+                refs.push(b);
+            }
+            fg_refs.push(refs);
+        }
+        let probe_cursor = r.get_u64()? as usize;
+        if probe_cursor >= self.cfg.short_count {
+            return None;
+        }
+        let last_probe_ns = r.get_u64()?;
+        let sample_countdown = r.get_u32()?;
+        if sample_countdown == 0 || sample_countdown > SAMPLE_EVERY {
+            return None;
+        }
+        let stats = MgpvStats::load_state(r)?;
+        self.entries = entries;
+        self.long = long;
+        self.free_longs = free_longs;
+        self.fg_table = fg_table;
+        self.fg_refs = fg_refs;
+        self.probe_cursor = probe_cursor;
+        self.last_probe_ns = last_probe_ns;
+        self.sample_countdown = sample_countdown;
+        self.stats = stats;
+        Some(())
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +797,7 @@ mod tests {
             probes_per_packet: 0,
             probe_rate_hz: 0.0,
             activity_window_ns: 1_000_000,
+            policy: CgEvictPolicy::DirectMapped,
         }
     }
 
@@ -730,6 +1052,7 @@ mod tests {
             probes_per_packet: 4,
             probe_rate_hz: 0.0,
             activity_window_ns: 10_000_000,
+            policy: CgEvictPolicy::DirectMapped,
         };
         let mut cache = MgpvCache::new(cfg).unwrap();
         // Steady stream: many hosts, each sending sporadically, plus a
@@ -762,6 +1085,186 @@ mod tests {
         cache.insert(&p, cg, fg);
         cache.flush();
         assert_eq!(cache.stats().delay_samples, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tstamp horizon")]
+    fn timestamp_past_horizon_panics() {
+        let mut cache = MgpvCache::new(cfg_small()).unwrap();
+        let p = PacketRecord::tcp(TS_HORIZON_NS, 100, 1, 1000, 2, 80);
+        let (cg, fg) = keys(&p);
+        cache.insert(&p, cg, fg);
+    }
+
+    #[test]
+    fn timestamp_just_below_horizon_is_accepted() {
+        let mut cfg = cfg_small();
+        cfg.aging_t_ns = None; // don't age everything else out
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let p = PacketRecord::tcp(TS_HORIZON_NS - 1_000, 100, 1, 1000, 2, 80);
+        let (cg, fg) = keys(&p);
+        cache.insert(&p, cg, fg);
+        assert_eq!(cache.stats().resident_records, 1);
+    }
+
+    #[test]
+    fn random_way_absorbs_colliding_groups() {
+        // One 4-way set: four distinct hosts coexist where direct mapping
+        // with the same total slot count would thrash.
+        let mut cfg = cfg_small();
+        cfg.short_count = 4;
+        cfg.fg_table_size = 0;
+        cfg.policy = CgEvictPolicy::RandomWay { ways: 4, seed: 7 };
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        for host in 1..=4u32 {
+            let p = pkt(host, 99, 1000, u64::from(host) * 10);
+            let ev = cache.insert(&p, Granularity::Host.key_of(&p), None);
+            assert!(mgpv_events(&ev).is_empty(), "host {host} evicted something");
+        }
+        assert_eq!(cache.occupied(), 4);
+        // A fifth host must evict exactly one resident group.
+        let p = pkt(5, 99, 1000, 50);
+        let ev = cache.insert(&p, Granularity::Host.key_of(&p), None);
+        let msgs = mgpv_events(&ev);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].cause, EvictionCause::CgCollision);
+        assert_eq!(cache.occupied(), 4);
+    }
+
+    #[test]
+    fn random_way_eviction_is_deterministic() {
+        let run = |seed: u64| -> Vec<GroupKey> {
+            let mut cfg = cfg_small();
+            cfg.short_count = 4;
+            cfg.fg_table_size = 0;
+            cfg.policy = CgEvictPolicy::RandomWay { ways: 2, seed };
+            let mut cache = MgpvCache::new(cfg).unwrap();
+            let mut evicted = Vec::new();
+            for i in 0..200u32 {
+                let p = pkt(i % 17 + 1, 99, 1000, u64::from(i) * 100);
+                for e in cache.insert(&p, Granularity::Host.key_of(&p), None) {
+                    if let SwitchEvent::Mgpv(m) = e {
+                        evicted.push(m.cg_key);
+                    }
+                }
+            }
+            evicted
+        };
+        assert_eq!(run(1), run(1));
+        assert!(!run(1).is_empty());
+    }
+
+    #[test]
+    fn random_way_conserves_records() {
+        let mut cfg = cfg_small();
+        cfg.policy = CgEvictPolicy::RandomWay { ways: 4, seed: 3 };
+        let mut cache = MgpvCache::new(cfg).unwrap();
+        let mut evicted = 0usize;
+        let n = 500u32;
+        for i in 0..n {
+            let p = pkt(
+                i % 23 + 1,
+                200,
+                (i % 7 + 1) as u16 * 100,
+                u64::from(i) * 100,
+            );
+            let (cg, fg) = keys(&p);
+            for e in cache.insert(&p, cg, fg) {
+                if let SwitchEvent::Mgpv(m) = e {
+                    evicted += m.records.len();
+                }
+            }
+        }
+        for e in cache.flush() {
+            if let SwitchEvent::Mgpv(m) = e {
+                evicted += m.records.len();
+            }
+        }
+        assert_eq!(evicted, n as usize);
+    }
+
+    #[test]
+    fn memory_budget_fits_and_scales() {
+        for budget in [1usize << 18, 1 << 20, 1 << 22] {
+            let cfg = MgpvConfig::with_memory_budget(budget, 4);
+            assert!(
+                cfg.memory_bytes(4) <= budget,
+                "budget {budget}: {} bytes",
+                cfg.memory_bytes(4)
+            );
+            assert!(cfg.short_count >= 1);
+            assert!(MgpvCache::new(cfg).is_some());
+        }
+        let small = MgpvConfig::with_memory_budget(1 << 18, 4);
+        let big = MgpvConfig::with_memory_budget(1 << 22, 4);
+        assert!(big.short_count > small.short_count);
+    }
+
+    #[test]
+    fn save_load_resumes_bitwise_identically() {
+        use superfe_net::snap::{StateReader, StateWriter};
+        let stream = |i: u32| {
+            pkt(
+                i % 11 + 1,
+                200,
+                (i % 5 + 1) as u16 * 100,
+                u64::from(i) * 500,
+            )
+        };
+        let mut cfg = cfg_small();
+        cfg.aging_t_ns = Some(5_000);
+        cfg.probes_per_packet = 2;
+        // Uninterrupted run.
+        let mut full = MgpvCache::new(cfg).unwrap();
+        let mut full_events = Vec::new();
+        for i in 0..400u32 {
+            let p = stream(i);
+            let (cg, fg) = keys(&p);
+            full.insert_into(&p, cg, fg, &mut full_events);
+        }
+        full.flush_into(&mut full_events);
+        // Run half, snapshot, restore into a fresh cache, run the rest.
+        let mut first = MgpvCache::new(cfg).unwrap();
+        let mut events = Vec::new();
+        for i in 0..200u32 {
+            let p = stream(i);
+            let (cg, fg) = keys(&p);
+            first.insert_into(&p, cg, fg, &mut events);
+        }
+        let mut w = StateWriter::new();
+        first.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut second = MgpvCache::new(cfg).unwrap();
+        let mut r = StateReader::new(&bytes);
+        second.load_state(&mut r).expect("state loads");
+        assert!(r.is_empty(), "trailing bytes after load");
+        for i in 200..400u32 {
+            let p = stream(i);
+            let (cg, fg) = keys(&p);
+            second.insert_into(&p, cg, fg, &mut events);
+        }
+        second.flush_into(&mut events);
+        assert_eq!(events, full_events);
+        assert_eq!(second.stats().packets, full.stats().packets);
+        assert_eq!(second.stats().evicted_records, full.stats().evicted_records);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_geometry() {
+        use superfe_net::snap::{StateReader, StateWriter};
+        let cache = MgpvCache::new(cfg_small()).unwrap();
+        let mut w = StateWriter::new();
+        cache.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other_cfg = cfg_small();
+        other_cfg.short_count = 16; // different geometry
+        let mut other = MgpvCache::new(other_cfg).unwrap();
+        assert!(other.load_state(&mut StateReader::new(&bytes)).is_none());
+        // Truncated input also fails.
+        let mut same = MgpvCache::new(cfg_small()).unwrap();
+        assert!(same
+            .load_state(&mut StateReader::new(&bytes[..bytes.len() - 1]))
+            .is_none());
     }
 
     #[test]

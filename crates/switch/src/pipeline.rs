@@ -1,5 +1,6 @@
 //! The FE-Switch per-packet pipeline: parse → filter → group & batch.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::wire::{parse_frame, ParseError};
 use superfe_net::{Direction, PacketRecord};
 use superfe_policy::ast::{Field, Predicate};
@@ -57,6 +58,30 @@ impl SwitchStats {
             return 0.0;
         }
         self.msgs_out as f64 / self.pkts_in as f64
+    }
+
+    /// Serializes the link counters for state snapshots.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.pkts_in);
+        w.put_u64(self.bytes_in);
+        w.put_u64(self.pkts_matched);
+        w.put_u64(self.msgs_out);
+        w.put_u64(self.bytes_out);
+        w.put_u64(self.fg_msgs_out);
+        w.put_u64(self.fg_bytes_out);
+    }
+
+    /// Reads counters written by [`SwitchStats::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(SwitchStats {
+            pkts_in: r.get_u64()?,
+            bytes_in: r.get_u64()?,
+            pkts_matched: r.get_u64()?,
+            msgs_out: r.get_u64()?,
+            bytes_out: r.get_u64()?,
+            fg_msgs_out: r.get_u64()?,
+            fg_bytes_out: r.get_u64()?,
+        })
     }
 }
 
@@ -201,6 +226,37 @@ impl FeSwitch {
     /// Accounts the events appended at or after `start`.
     fn account_tail(&mut self, events: &[SwitchEvent], start: usize) {
         self.account(&events[start..]);
+    }
+
+    /// Serializes the pipeline's dynamic state (cache contents + counters)
+    /// for snapshots. The program is not stored — the restoring side
+    /// redeploys it and [`FeSwitch::load_state`] only refills state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match &self.cache {
+            CacheImpl::Mgpv(c) => {
+                w.put_u8(0);
+                c.save_state(w);
+            }
+            CacheImpl::Gpv(b) => {
+                w.put_u8(1);
+                b.save_state(w);
+            }
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores state written by [`FeSwitch::save_state`] into a switch
+    /// deployed with the same program and cache configuration. Returns
+    /// `None` on cache-mode or geometry mismatch.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        let tag = r.get_u8()?;
+        match (&mut self.cache, tag) {
+            (CacheImpl::Mgpv(c), 0) => c.load_state(r)?,
+            (CacheImpl::Gpv(b), 1) => b.load_state(r)?,
+            _ => return None,
+        }
+        self.stats = SwitchStats::load_state(r)?;
+        Some(())
     }
 
     fn account(&mut self, events: &[SwitchEvent]) {

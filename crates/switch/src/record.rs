@@ -1,10 +1,20 @@
 //! Switch → SmartNIC message formats.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::{Direction, GroupKey, PacketRecord};
 use superfe_policy::MetaField;
 
 /// Direction bit inside [`MgpvRecord::dir_flags`].
 pub const DIR_BIT: u8 = 0x80;
+
+/// Exclusive upper bound on packet timestamps the switch can cache.
+///
+/// [`MgpvRecord::tstamp_us`] truncates `ts_ns` to 32-bit microseconds, so a
+/// timestamp at or past `u32::MAX` µs (~71.6 minutes) would silently wrap,
+/// corrupting aging decisions and every inter-arrival feature downstream.
+/// The MGPV cache asserts against the horizon at insert time; callers
+/// replaying longer captures must rebase timestamps per epoch.
+pub const TS_HORIZON_NS: u64 = (u32::MAX as u64) * 1_000;
 
 /// One packet's feature metadata as cached in MGPV and shipped to the NIC.
 ///
@@ -56,6 +66,24 @@ impl MgpvRecord {
     /// Timestamp in nanoseconds (microsecond resolution).
     pub fn ts_ns(&self) -> u64 {
         u64::from(self.tstamp_us) * 1_000
+    }
+
+    /// Serializes the record (9 bytes) for state snapshots.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.size);
+        w.put_u32(self.tstamp_us);
+        w.put_u8(self.dir_flags);
+        w.put_u16(self.fg_idx);
+    }
+
+    /// Reads a record written by [`MgpvRecord::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Option<Self> {
+        Some(MgpvRecord {
+            size: r.get_u16()?,
+            tstamp_us: r.get_u32()?,
+            dir_flags: r.get_u8()?,
+            fg_idx: r.get_u16()?,
+        })
     }
 }
 

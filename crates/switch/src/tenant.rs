@@ -24,6 +24,7 @@
 //! partition, [`SharedSwitch::detach_into`] drains the departing tenant's
 //! partition into the event stream so no in-flight records are lost.
 
+use superfe_net::snap::{StateReader, StateWriter};
 use superfe_net::PacketRecord;
 use superfe_policy::{MetaField, SwitchProgram};
 
@@ -258,6 +259,41 @@ impl SharedSwitch {
         for slot in &mut self.slots {
             Self::tag_tail(slot, out, super::pipeline::FeSwitch::flush_into);
         }
+    }
+
+    /// Serializes one tenant partition's dynamic state (cache + counters).
+    /// Returns `false` (writing nothing) for an unknown tenant.
+    pub fn save_tenant_state(&self, tenant: TenantId, w: &mut StateWriter) -> bool {
+        match self.slot(tenant) {
+            Some(s) => {
+                s.switch.save_state(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restores one tenant partition's state written by
+    /// [`SharedSwitch::save_tenant_state`]. The tenant must already be
+    /// attached with the same program and cache configuration.
+    pub fn load_tenant_state(&mut self, tenant: TenantId, r: &mut StateReader<'_>) -> Option<()> {
+        let slot = self.slots.iter_mut().find(|s| s.tenant == tenant)?;
+        slot.switch.load_state(r)
+    }
+
+    /// Serializes the link-level totals.
+    pub fn save_stats(&self, w: &mut StateWriter) {
+        w.put_u64(self.stats.pkts_in);
+        w.put_u64(self.stats.bytes_in);
+        w.put_u64(self.stats.tenant_matches);
+    }
+
+    /// Restores link-level totals written by [`SharedSwitch::save_stats`].
+    pub fn load_stats(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        self.stats.pkts_in = r.get_u64()?;
+        self.stats.bytes_in = r.get_u64()?;
+        self.stats.tenant_matches = r.get_u64()?;
+        Some(())
     }
 
     /// Runs `f` on the slot's switch with a scratch frame and appends the

@@ -29,7 +29,9 @@ pub mod dist;
 pub mod intrusion;
 pub mod io;
 pub mod replay;
+pub mod scale;
 pub mod wf;
 pub mod workload;
 
+pub use scale::{AttackBurst, Diurnal, FlashCrowd, ScaleConfig, ScaleStream, ScaleWorkload};
 pub use workload::{Trace, TraceStats, Workload, WorkloadPreset};

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use superfe::net::{Granularity, GroupKey, PacketRecord};
-use superfe::switch::{MgpvCache, MgpvConfig, SwitchEvent};
+use superfe::switch::{CgEvictPolicy, MgpvCache, MgpvConfig, SwitchEvent};
 
 #[derive(Clone, Debug)]
 struct PktSpec {
@@ -36,9 +36,10 @@ fn cache_strategy() -> impl Strategy<Value = MgpvConfig> {
         2usize..12,
         1usize..32,
         0u8..3,
+        0u8..3,
     )
         .prop_map(
-            |(short_count, short_size, long_count, long_size, fg_size, aging)| MgpvConfig {
+            |(short_count, short_size, long_count, long_size, fg_size, aging, policy)| MgpvConfig {
                 short_count,
                 short_size,
                 long_count,
@@ -52,6 +53,11 @@ fn cache_strategy() -> impl Strategy<Value = MgpvConfig> {
                 probes_per_packet: 2,
                 probe_rate_hz: 100_000.0,
                 activity_window_ns: 10_000_000,
+                policy: match policy {
+                    0 => CgEvictPolicy::DirectMapped,
+                    1 => CgEvictPolicy::RandomWay { ways: 2, seed: 7 },
+                    _ => CgEvictPolicy::RandomWay { ways: 4, seed: 11 },
+                },
             },
         )
 }
