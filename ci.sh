@@ -81,16 +81,17 @@ for key in flat_expected warmup_runs elapsed_ms_stddev elapsed_ms_p99 \
     || { echo "ci: throughput smoke is missing harness field '$key'"; exit 1; }
 done
 
-step "online detection smoke (seeded train/calibrate/serve)"
+step "online detection smoke (seeded train/calibrate/serve, in-pipeline)"
 # A seeded end-to-end detect run must raise at least one alert inside the
 # attack window and stay quiet on the benign warm-up (the calibrated
 # threshold guarantees the latter by construction), and the fresh document
 # must match the checked-in BENCH_detect.json schema.
 cargo build -q --release -p superfe-cli
-# Default configuration = the one that generated the checked-in artifact,
-# so the deterministic detection section is fully reproduced here (the
-# harness's warmup + repeated measured runs keep this a few seconds).
-target/release/superfe detect --out "$detect_smoke" >/dev/null
+# Default configuration (+ --in-pipeline) = the one that generated the
+# checked-in artifact, so the deterministic detection section is fully
+# reproduced here (the harness's warmup + repeated measured runs keep this
+# a few seconds).
+target/release/superfe detect --in-pipeline --out "$detect_smoke" >/dev/null
 field() { grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
 on_attack=$(field "$detect_smoke" alerts_on_attack)
 on_benign=$(field "$detect_smoke" alerts_on_benign)
@@ -104,6 +105,30 @@ if [[ "$on_benign" -ne 0 ]]; then
 fi
 if ! diff <(schema BENCH_detect.json) <(schema "$detect_smoke"); then
   echo "ci: BENCH_detect.json schema drifted from the detect runner"
+  exit 1
+fi
+# The SF09xx-certified quantized model ran inside the NIC shards: it must
+# alert on the attack window, stay quiet on benign traffic, and the
+# measured |float - quantized| score delta must sit under the certified
+# SF0901 bound (delta_within_bound is computed by the runner).
+inpipe=$(sed -n '/"in_pipeline": {/,/^  }/p' "$detect_smoke")
+[[ -n "$inpipe" ]] \
+  || { echo "ci: detect smoke is missing the in_pipeline section"; exit 1; }
+grep -q '"supported": true' <<<"$inpipe" \
+  || { echo "ci: in-pipeline lowering unsupported for the default detector"; exit 1; }
+grep -q '"certified": true' <<<"$inpipe" \
+  || { echo "ci: in-pipeline lowering lost its SF0901 certificate"; exit 1; }
+grep -q '"delta_within_bound": true' <<<"$inpipe" \
+  || { echo "ci: measured float-vs-quantized delta exceeded the SF0901 bound"; exit 1; }
+ip_field() { grep -o "\"$1\": [0-9]*" <<<"$inpipe" | head -1 | grep -o '[0-9]*$'; }
+ip_attack=$(ip_field alerts_on_attack)
+ip_benign=$(ip_field alerts_on_benign)
+if [[ "$ip_attack" -lt 1 ]]; then
+  echo "ci: in-pipeline quantized model raised no alerts in the attack window"
+  exit 1
+fi
+if [[ "$ip_benign" -ne 0 ]]; then
+  echo "ci: in-pipeline quantized model raised $ip_benign benign alerts"
   exit 1
 fi
 

@@ -1,7 +1,7 @@
 //! Corpus-scale state-management sweep: writes `BENCH_scale.json`.
 //!
 //! ```text
-//! scale [--flows 10000,100000,1000000] [--seed S]
+//! scale [--flows 10000,100000,1000000] [--seed S] [--evict-seed S]
 //!       [--warmup N] [--runs N] [--out BENCH_scale.json]
 //! ```
 //!
@@ -17,6 +17,7 @@ use superfe_bench::harness::HarnessConfig;
 fn main() {
     let mut flows: Vec<usize> = scale::FLOW_SWEEP.to_vec();
     let mut seed = scale::DEFAULT_SEED;
+    let mut evict_seed = scale::DEFAULT_EVICT_SEED;
     let mut hcfg = HarnessConfig::default();
     let mut out_path: Option<String> = None;
 
@@ -39,6 +40,10 @@ fn main() {
                 seed = value(i).parse().expect("--seed: integer");
                 i += 2;
             }
+            "--evict-seed" => {
+                evict_seed = value(i).parse().expect("--evict-seed: integer");
+                i += 2;
+            }
             "--warmup" => {
                 hcfg.warmup = value(i).parse().expect("--warmup: integer");
                 i += 2;
@@ -55,7 +60,7 @@ fn main() {
         }
     }
 
-    let json = scale::measure_with(&flows, seed, &hcfg).to_json();
+    let json = scale::measure_with(&flows, seed, evict_seed, &hcfg).to_json();
     if let Some(path) = out_path {
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[scale] wrote {path}");

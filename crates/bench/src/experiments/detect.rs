@@ -13,11 +13,16 @@
 //!   scoring-latency percentiles.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use superfe_core::{StreamingPipeline, SuperFe};
-use superfe_detect::{DetectPipeline, DetectorKind, ServeConfig};
-use superfe_ml::{auc, train_and_calibrate, CalibrationConfig, Confusion};
+use superfe_core::{StreamingPipeline, SuperFe, SuperFeConfig};
+use superfe_detect::{
+    max_score_delta, score_offline_quantized, DetectPipeline, DetectorKind, QuantizedSection,
+    ServeConfig,
+};
+use superfe_ml::{auc, train_and_calibrate, CalibrationConfig, Confusion, FrozenDetector};
 use superfe_net::{Granularity, GroupKey};
+use superfe_policy::analyze::quant::{certify, QuantCheckConfig};
 use superfe_trafficgen::intrusion::{self, IntrusionConfig, Scenario};
 
 use crate::harness::{self, host_json, HarnessConfig, RunStats};
@@ -48,6 +53,11 @@ pub struct DetectConfig {
     pub quantile: f64,
     /// Calibration margin (see [`CalibrationConfig`]).
     pub margin: f64,
+    /// Also measure the in-pipeline quantized path: certify the detector's
+    /// fixed-point lowering (SF09xx), serve the same trace through
+    /// [`StreamingPipeline::with_inference`], and report the in-pipeline
+    /// cost next to the host-inference tax.
+    pub in_pipeline: bool,
 }
 
 impl Default for DetectConfig {
@@ -63,6 +73,7 @@ impl Default for DetectConfig {
             workers: 2,
             quantile: cal.quantile,
             margin: cal.margin,
+            in_pipeline: false,
         }
     }
 }
@@ -128,6 +139,37 @@ pub struct ThroughputSummary {
     pub score_p99_ns: f64,
 }
 
+/// The in-pipeline half of the measurement: the SF09xx certificate, the
+/// fixed-point stage's alert stream, and its cost next to extraction-only.
+#[derive(Clone, Debug)]
+pub enum InPipelineSummary {
+    /// The detector has no fixed-point lowering (e.g. `knn`); the reason is
+    /// the SF0902 culprit.
+    Unsupported {
+        /// Blocking layer reported by the SF09xx pass.
+        reason: String,
+    },
+    /// The quantized stage ran in-pipeline.
+    Measured {
+        /// Certificate-derived report section (format, bound, measured
+        /// delta, inline alert counts).
+        section: QuantizedSection,
+        /// In-pipeline serving throughput, packets/second (mean run).
+        pkts_per_sec: f64,
+        /// In-pipeline wall-clock statistics, milliseconds.
+        elapsed_ms: RunStats,
+        /// In-pipeline throughput relative to extraction-only (the
+        /// acceptance floor is 0.85).
+        vs_extract_ratio: f64,
+        /// Quantized-scored vectors matched to a ground-truth label.
+        matched: usize,
+        /// Inline alerts on attack-labelled vectors.
+        alerts_on_attack: usize,
+        /// Inline alerts on benign-labelled vectors.
+        alerts_on_benign: usize,
+    },
+}
+
 /// The full `BENCH_detect.json` measurement.
 #[derive(Clone, Debug)]
 pub struct DetectBench {
@@ -139,6 +181,8 @@ pub struct DetectBench {
     pub detection: DetectionSummary,
     /// Timing results.
     pub throughput: ThroughputSummary,
+    /// In-pipeline quantized results (when `cfg.in_pipeline`).
+    pub in_pipeline: Option<InPipelineSummary>,
 }
 
 /// Runs the benchmark: train + calibrate offline, serve online, score.
@@ -268,6 +312,18 @@ pub fn measure_with(cfg: &DetectConfig, hcfg: &HarnessConfig) -> Result<DetectBe
 
     let extract_pps = packets as f64 / extract.mean_secs();
     let detect_pps = packets as f64 / detect.mean_secs();
+    let in_pipeline = if cfg.in_pipeline {
+        Some(measure_in_pipeline(
+            cfg,
+            hcfg,
+            &frozen,
+            &serve_set.labelled,
+            &label_of,
+            extract_pps,
+        )?)
+    } else {
+        None
+    };
     Ok(DetectBench {
         cfg: *cfg,
         harness: *hcfg,
@@ -296,6 +352,109 @@ pub fn measure_with(cfg: &DetectConfig, hcfg: &HarnessConfig) -> Result<DetectBe
             score_p50_ns: report.latency_hist.percentile(0.5).unwrap_or(0.0),
             score_p99_ns: report.latency_hist.percentile(0.99).unwrap_or(0.0),
         },
+        in_pipeline,
+    })
+}
+
+/// Certifies the fixed-point lowering, serves the trace through the
+/// in-pipeline stage under the harness protocol, and assembles the
+/// in-pipeline section.
+fn measure_in_pipeline(
+    cfg: &DetectConfig,
+    hcfg: &HarnessConfig,
+    frozen: &FrozenDetector,
+    labelled: &[(superfe_net::PacketRecord, bool)],
+    label_of: &HashMap<(GroupKey, usize), bool>,
+    extract_pps: f64,
+) -> Result<InPipelineSummary, String> {
+    let policy = superfe_policy::dsl::parse(POLICY).map_err(|e| e.to_string())?;
+    let cert = certify(&policy, frozen, &QuantCheckConfig::default());
+    let Some(model) = cert.detector else {
+        return Ok(InPipelineSummary::Unsupported {
+            reason: cert.culprit.unwrap_or_else(|| "lowering".into()),
+        });
+    };
+    let model = Arc::new(model);
+
+    // Pre-flight once (deployment errors surface here), then measure.
+    StreamingPipeline::with_inference(
+        &policy,
+        SuperFeConfig::default(),
+        cfg.workers,
+        model.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut last = None;
+    let run = harness::measure(hcfg, |_| {
+        let mut fe = StreamingPipeline::with_inference(
+            &policy,
+            SuperFeConfig::default(),
+            cfg.workers,
+            model.clone(),
+        )
+        .expect("pre-flight deployed");
+        for (p, _) in labelled {
+            fe.push(p).expect("workers alive");
+        }
+        last = Some(fe.finish().expect("workers alive"));
+    });
+    let ex = last.expect("at least one measured run");
+    let stats = ex.inline_stats.unwrap_or_default();
+
+    // Reference-score the extraction's own vectors with the same quantized
+    // model to split inline alerts by ground-truth label, and measure the
+    // float-vs-quantized divergence the SF0901 bound must dominate.
+    let off = score_offline_quantized(
+        &model,
+        &ex.packet_vectors,
+        &ex.group_vectors,
+        cfg.scenario.name(),
+    );
+    let mut occ: HashMap<GroupKey, usize> = HashMap::new();
+    let mut matched = 0usize;
+    let mut alerts_on_attack = 0usize;
+    let mut alerts_on_benign = 0usize;
+    for s in &off.scores {
+        let n = occ.entry(s.key).or_insert(0);
+        let key = (s.key, *n);
+        *n += 1;
+        if let Some(&label) = label_of.get(&key) {
+            matched += 1;
+            if model.is_alert(s.score) {
+                if label {
+                    alerts_on_attack += 1;
+                } else {
+                    alerts_on_benign += 1;
+                }
+            }
+        }
+    }
+    let delta = max_score_delta(
+        frozen,
+        &model,
+        ex.packet_vectors.iter().chain(&ex.group_vectors),
+    );
+
+    let pps = labelled.len() as f64 / run.mean_secs();
+    Ok(InPipelineSummary::Measured {
+        section: QuantizedSection {
+            format: model.format(),
+            certified: cert.certified,
+            bound: cert.bound,
+            culprit: cert.culprit,
+            alu_ops: cert.alu_ops,
+            threshold: model.threshold(),
+            scored: stats.scored,
+            alerts: stats.alerts,
+            dim_errors: stats.dim_errors,
+            score_delta_max: delta,
+        },
+        pkts_per_sec: pps,
+        elapsed_ms: run.elapsed_ms(),
+        vs_extract_ratio: pps / extract_pps,
+        matched,
+        alerts_on_attack,
+        alerts_on_benign,
     })
 }
 
@@ -379,16 +538,87 @@ impl DetectBench {
         ));
         out.push_str(&format!("    \"score_p50_ns\": {:.0},\n", t.score_p50_ns));
         out.push_str(&format!("    \"score_p99_ns\": {:.0}\n", t.score_p99_ns));
-        out.push_str("  }\n}\n");
+        out.push_str("  }");
+        if let Some(ip) = &self.in_pipeline {
+            out.push_str(",\n");
+            out.push_str(&Self::in_pipeline_json(ip));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the `"in_pipeline"` section: the SF09xx certificate next to
+    /// the measured in-pipeline cost and score fidelity.
+    fn in_pipeline_json(ip: &InPipelineSummary) -> String {
+        let mut out = String::from("  \"in_pipeline\": {\n");
+        match ip {
+            InPipelineSummary::Unsupported { reason } => {
+                out.push_str("    \"supported\": false,\n");
+                out.push_str(&format!("    \"reason\": \"{reason}\"\n"));
+            }
+            InPipelineSummary::Measured {
+                section,
+                pkts_per_sec,
+                elapsed_ms,
+                vs_extract_ratio,
+                matched,
+                alerts_on_attack,
+                alerts_on_benign,
+            } => {
+                out.push_str("    \"supported\": true,\n");
+                out.push_str(&format!("    \"format\": \"{}\",\n", section.format));
+                out.push_str(&format!("    \"certified\": {},\n", section.certified));
+                if section.bound.is_finite() {
+                    out.push_str(&format!("    \"bound\": {:.9e},\n", section.bound));
+                } else {
+                    out.push_str("    \"bound\": null,\n");
+                }
+                match &section.culprit {
+                    Some(c) => out.push_str(&format!("    \"culprit\": \"{c}\",\n")),
+                    None => out.push_str("    \"culprit\": null,\n"),
+                }
+                out.push_str(&format!("    \"alu_ops\": {},\n", section.alu_ops));
+                out.push_str(&format!("    \"threshold\": {:.9e},\n", section.threshold));
+                out.push_str(&format!("    \"scored\": {},\n", section.scored));
+                out.push_str(&format!("    \"alerts\": {},\n", section.alerts));
+                out.push_str(&format!("    \"dim_errors\": {},\n", section.dim_errors));
+                out.push_str(&format!("    \"matched\": {matched},\n"));
+                out.push_str(&format!("    \"alerts_on_attack\": {alerts_on_attack},\n"));
+                out.push_str(&format!("    \"alerts_on_benign\": {alerts_on_benign},\n"));
+                out.push_str(&format!(
+                    "    \"score_delta_max\": {:.9e},\n",
+                    section.score_delta_max
+                ));
+                out.push_str(&format!(
+                    "    \"delta_within_bound\": {},\n",
+                    section.delta_within_bound()
+                ));
+                out.push_str(&format!(
+                    "    \"inpipeline_pkts_per_sec\": {pkts_per_sec:.0},\n"
+                ));
+                out.push_str(&format!(
+                    "    \"vs_extract_ratio\": {vs_extract_ratio:.3},\n"
+                ));
+                out.push_str(&format!(
+                    "    {}\n",
+                    elapsed_ms.to_json_fields("inpipeline_elapsed_ms")
+                ));
+            }
+        }
+        out.push_str("  }");
         out
     }
 }
 
-/// Runs the default configuration and returns the JSON document.
+/// Runs the default configuration (with the in-pipeline row enabled) and
+/// returns the JSON document.
 pub fn run() -> String {
-    measure(&DetectConfig::default())
-        .map(|b| b.to_json())
-        .unwrap_or_else(|e| format!("{{ \"error\": \"{e}\" }}\n"))
+    measure(&DetectConfig {
+        in_pipeline: true,
+        ..DetectConfig::default()
+    })
+    .map(|b| b.to_json())
+    .unwrap_or_else(|e| format!("{{ \"error\": \"{e}\" }}\n"))
 }
 
 #[cfg(test)]
@@ -466,6 +696,71 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn in_pipeline_section_measures_the_quantized_path() {
+        // A tighter margin than the default 1.1 so the small centroid
+        // config actually crosses the threshold on attack traffic.
+        let cfg = DetectConfig {
+            in_pipeline: true,
+            quantile: 0.99,
+            margin: 1.0,
+            ..small()
+        };
+        let bench = measure_with(&cfg, &fast()).unwrap();
+        let Some(InPipelineSummary::Measured {
+            section,
+            matched,
+            alerts_on_attack,
+            vs_extract_ratio,
+            ..
+        }) = &bench.in_pipeline
+        else {
+            panic!("centroid must lower to a measured in-pipeline section");
+        };
+        assert!(section.scored > 0, "inline stage scored nothing");
+        assert_eq!(section.dim_errors, 0);
+        assert!(*matched > 0, "no quantized scores matched a label");
+        assert!(
+            section.delta_within_bound(),
+            "measured delta {} exceeds certified bound {}",
+            section.score_delta_max,
+            section.bound
+        );
+        // The attack must still be visible through the fixed-point path.
+        assert!(*alerts_on_attack > 0, "quantized path missed the attack");
+        assert!(*vs_extract_ratio > 0.0);
+        let json = bench.to_json();
+        for key in [
+            "\"in_pipeline\"",
+            "\"supported\": true",
+            "\"format\"",
+            "\"certified\"",
+            "\"score_delta_max\"",
+            "\"delta_within_bound\"",
+            "\"vs_extract_ratio\"",
+            "\"inpipeline_pkts_per_sec\"",
+            "\"inpipeline_elapsed_ms_mean\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn unquantizable_detector_reports_unsupported() {
+        let cfg = DetectConfig {
+            detector: DetectorKind::Knn,
+            in_pipeline: true,
+            ..small()
+        };
+        let bench = measure_with(&cfg, &fast()).unwrap();
+        let Some(InPipelineSummary::Unsupported { reason }) = &bench.in_pipeline else {
+            panic!("knn has no fixed-point lowering");
+        };
+        assert!(!reason.is_empty());
+        let json = bench.to_json();
+        assert!(json.contains("\"supported\": false"));
     }
 
     #[test]

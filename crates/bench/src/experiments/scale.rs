@@ -32,6 +32,9 @@ pub const FLOW_SWEEP: [usize; 3] = [10_000, 100_000, 1_000_000];
 /// Default workload seed (`--seed` overrides it).
 pub const DEFAULT_SEED: u64 = 11;
 
+/// Default `RandomWay` victim seed (`--evict-seed` overrides it).
+pub const DEFAULT_EVICT_SEED: u64 = 7;
+
 /// DRAM overflow budget (entries per group-table level) under measurement.
 /// The NIC fast table absorbs ~64k groups before anything spills, so with
 /// this cap the 10k corpus never spills, the 100k corpus spills past the
@@ -51,12 +54,16 @@ pub const POLICY: &str = "pktstream\n.groupby(flow)\n.reduce(size, [f_sum, f_max
 /// Packets between incremental eviction drains.
 const DRAIN_EVERY: u64 = 4096;
 
-/// The swept eviction policies, with their JSON labels.
-pub fn policy_sweep() -> Vec<(&'static str, EvictionPolicy)> {
+/// The swept eviction policies, with their JSON labels. `evict_seed`
+/// drives the `RandomWay` victim sequence; the `lru` row sits next to
+/// `evict_oldest` so the bench shows what true access-ordering buys over
+/// the insertion-order approximation.
+pub fn policy_sweep(evict_seed: u64) -> Vec<(&'static str, EvictionPolicy)> {
     vec![
         ("drop_new", EvictionPolicy::DropNew),
         ("evict_oldest", EvictionPolicy::EvictOldest),
-        ("random_way", EvictionPolicy::RandomWay { seed: 7 }),
+        ("lru", EvictionPolicy::Lru),
+        ("random_way", EvictionPolicy::RandomWay { seed: evict_seed }),
     ]
 }
 
@@ -231,7 +238,12 @@ pub struct ScaleBench {
 
 /// Runs the sweep: for each flow count, an unbounded baseline (when
 /// affordable) then every eviction policy under the fixed DRAM budget.
-pub fn measure_with(flow_counts: &[usize], seed: u64, cfg: &HarnessConfig) -> ScaleBench {
+pub fn measure_with(
+    flow_counts: &[usize],
+    seed: u64,
+    evict_seed: u64,
+    cfg: &HarnessConfig,
+) -> ScaleBench {
     let mut cells = Vec::new();
     for &flows in flow_counts {
         let with_accuracy = flows <= ACCURACY_BASELINE_MAX_FLOWS;
@@ -240,7 +252,7 @@ pub fn measure_with(flow_counts: &[usize], seed: u64, cfg: &HarnessConfig) -> Sc
                 .per_key
                 .expect("baseline keeps per-key vectors")
         });
-        for (label, policy) in policy_sweep() {
+        for (label, policy) in policy_sweep(evict_seed) {
             let budget = TableBudget {
                 max_dram_entries: MAX_DRAM_ENTRIES,
                 policy,
@@ -277,7 +289,12 @@ pub fn measure_with(flow_counts: &[usize], seed: u64, cfg: &HarnessConfig) -> Sc
 
 /// [`measure_with`] over the default sweep and harness protocol.
 pub fn measure(flow_counts: &[usize], seed: u64) -> ScaleBench {
-    measure_with(flow_counts, seed, &HarnessConfig::default())
+    measure_with(
+        flow_counts,
+        seed,
+        DEFAULT_EVICT_SEED,
+        &HarnessConfig::default(),
+    )
 }
 
 impl ScaleBench {
@@ -346,8 +363,8 @@ mod tests {
     #[test]
     fn small_sweep_produces_schema_and_deterministic_digests() {
         let cfg = HarnessConfig { warmup: 0, runs: 2 };
-        let b = measure_with(&[2_000], 3, &cfg);
-        assert_eq!(b.cells.len(), 3);
+        let b = measure_with(&[2_000], 3, DEFAULT_EVICT_SEED, &cfg);
+        assert_eq!(b.cells.len(), 4);
         for c in &b.cells {
             assert!(c.packets > 0);
             assert!(c.pkts_per_sec > 0.0);
@@ -363,7 +380,12 @@ mod tests {
         let d0 = b.cells[0].digest;
         assert!(b.cells.iter().all(|c| c.digest == d0));
         // Same seed, same digest on a re-run.
-        let again = measure_with(&[2_000], 3, &HarnessConfig { warmup: 0, runs: 1 });
+        let again = measure_with(
+            &[2_000],
+            3,
+            DEFAULT_EVICT_SEED,
+            &HarnessConfig { warmup: 0, runs: 1 },
+        );
         assert_eq!(again.cells[0].digest, d0);
         let json = b.to_json();
         for key in [

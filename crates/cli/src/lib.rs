@@ -172,6 +172,9 @@ pub enum Command {
         /// Restore the plane from a snapshot file and serve the remainder
         /// of the trace (resumes at the saved packet position).
         restore: Option<String>,
+        /// Pin group-table eviction to `RandomWay` with this seed so
+        /// eviction sequences are reproducible run to run.
+        evict_seed: Option<u64>,
     },
     /// Corpus-scale state-management sweep (the `BENCH_scale.json` smoke).
     BenchScale {
@@ -179,6 +182,8 @@ pub enum Command {
         flows: Vec<usize>,
         /// Workload RNG seed.
         seed: u64,
+        /// `RandomWay` eviction-victim seed (reproducible eviction runs).
+        evict_seed: u64,
         /// Warmup runs per cell.
         warmup: usize,
         /// Measured runs per cell.
@@ -277,6 +282,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut snapshot = None;
             let mut snapshot_at = None;
             let mut restore = None;
+            let mut evict_seed = None;
             let parse_epoch = |flag: &str, v: &str| -> Result<(usize, usize), CliError> {
                 let bad = || err(format!("{flag} expects TENANT:VALUE, got '{v}'"));
                 let (idx, pkt) = v.split_once(':').ok_or_else(bad)?;
@@ -347,6 +353,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         );
                     }
                     "--restore" => restore = Some(value()?),
+                    "--evict-seed" => {
+                        evict_seed = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| err("--evict-seed expects an integer"))?,
+                        );
+                    }
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
             }
@@ -368,6 +381,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(err("--restore resumes the snapshotted topology; \
                      --attach-at/--detach-at schedules don't apply"));
             }
+            if restore.is_some() && evict_seed.is_some() {
+                return Err(err(
+                    "--restore resumes the snapshotted eviction state; --evict-seed doesn't apply",
+                ));
+            }
             Ok(Command::Serve {
                 policies,
                 trace,
@@ -383,6 +401,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 snapshot,
                 snapshot_at,
                 restore,
+                evict_seed,
             })
         }
         "show" | "compile" => {
@@ -557,6 +576,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if rest.first().map(String::as_str) == Some("scale") {
                 let mut flows = vec![10_000usize, 50_000];
                 let mut seed = superfe_bench::experiments::scale::DEFAULT_SEED;
+                let mut evict_seed = superfe_bench::experiments::scale::DEFAULT_EVICT_SEED;
                 let mut warmup = 0usize;
                 let mut runs = 1usize;
                 let mut out = None;
@@ -583,6 +603,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .parse()
                                 .map_err(|_| err("--seed expects an integer"))?;
                         }
+                        "--evict-seed" => {
+                            evict_seed = value()?
+                                .parse()
+                                .map_err(|_| err("--evict-seed expects an integer"))?;
+                        }
                         "--warmup" => {
                             warmup = value()?
                                 .parse()
@@ -603,6 +628,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Ok(Command::BenchScale {
                     flows,
                     seed,
+                    evict_seed,
                     warmup,
                     runs,
                     out,
@@ -723,6 +749,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             return Err(err("--margin expects a positive value"));
                         }
                     }
+                    "--in-pipeline" => cfg.in_pipeline = true,
                     "--out" => out = Some(value()?),
                     other => return Err(err(format!("unknown option '{other}'"))),
                 }
@@ -837,6 +864,8 @@ pub fn usage() -> String {
      \x20                                    workers, and packet position come from\n\
      \x20                                    the file; per-tenant digests match the\n\
      \x20                                    uninterrupted run bitwise\n\
+     \x20 --evict-seed S                     pin group-table eviction to seeded\n\
+     \x20                                    RandomWay for reproducible runs\n\
      \n\
      bench options:\n\
      \x20 --packets N                        trace size            [10000]\n\
@@ -847,6 +876,7 @@ pub fn usage() -> String {
      bench scale options:\n\
      \x20 --flows A,B,...                    flow counts to sweep  [10000,50000]\n\
      \x20 --seed S                           workload RNG seed     [11]\n\
+     \x20 --evict-seed S                     random_way victim seed [7]\n\
      \x20 --warmup N                         warmup runs per cell  [0]\n\
      \x20 --runs N                           measured runs per cell [1]\n\
      \x20 --out PATH                         also write the JSON document\n\
@@ -862,6 +892,9 @@ pub fn usage() -> String {
      \x20 --workers N                        NIC shards = inference workers [2]\n\
      \x20 --quantile Q                       calibration quantile  [1.0]\n\
      \x20 --margin M                         calibration margin    [1.1]\n\
+     \x20 --in-pipeline                      also run the SF09xx-certified\n\
+     \x20                                    fixed-point model inside the NIC\n\
+     \x20                                    shards and report its cost\n\
      \x20 --out PATH                         also write the JSON document\n"
         .to_string()
 }
@@ -1226,6 +1259,7 @@ fn serve(
     cse: bool,
     snapshot: Option<(&str, usize)>,
     restore: Option<&str>,
+    evict_seed: Option<u64>,
 ) -> Result<String, CliError> {
     use superfe_core::{StreamingPipeline, SuperFeConfig};
     use superfe_ctrl::{CtrlPlane, TenantSpec};
@@ -1344,6 +1378,16 @@ fn serve(
         (true, false) => CtrlPlane::without_cse(workers, AnalyzeConfig::default()),
         (false, _) => CtrlPlane::without_fusion(workers, AnalyzeConfig::default()),
     };
+    // An explicit eviction seed pins every tenant attached below to the
+    // seeded `RandomWay` policy, making eviction sequences reproducible
+    // from the CLI. Restores keep the snapshotted state instead (rejected
+    // at parse time).
+    if let Some(seed) = evict_seed {
+        plane.set_table_budget(superfe_nic::TableBudget {
+            policy: superfe_nic::EvictionPolicy::RandomWay { seed },
+            ..superfe_nic::TableBudget::default()
+        });
+    }
     let mut ids: Vec<Option<TenantId>> = vec![None; specs.len()];
     let mut outputs: Vec<Option<StreamOutput>> = (0..specs.len()).map(|_| None).collect();
     let mut text = String::new();
@@ -1542,6 +1586,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             snapshot,
             snapshot_at,
             restore,
+            evict_seed,
         } => serve(
             &policies,
             trace,
@@ -1558,6 +1603,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 .as_deref()
                 .map(|p| (p, snapshot_at.unwrap_or(packets / 2))),
             restore.as_deref(),
+            evict_seed,
         ),
         Command::Show { policy } => {
             let (src, _) = resolve_policy(&policy)?;
@@ -1851,6 +1897,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::BenchScale {
             flows,
             seed,
+            evict_seed,
             warmup,
             runs,
             out,
@@ -1858,6 +1905,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let bench = superfe_bench::experiments::scale::measure_with(
                 &flows,
                 seed,
+                evict_seed,
                 &superfe_bench::harness::HarnessConfig { warmup, runs },
             );
             let json = bench.to_json();
@@ -1890,6 +1938,40 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 t.detect_pkts_per_sec,
                 t.inference_overhead_pct,
             ));
+            use superfe_bench::experiments::detect::InPipelineSummary;
+            match &bench.in_pipeline {
+                Some(InPipelineSummary::Measured {
+                    section,
+                    pkts_per_sec,
+                    vs_extract_ratio,
+                    alerts_on_attack,
+                    alerts_on_benign,
+                    ..
+                }) => {
+                    text.push_str(&format!(
+                        "in-pipeline ({}): {:.0} pkts/s ({:.2}x extract), {} alerts \
+                         (attack={}, benign={}), |float-quant| max {:.3e}{}\n",
+                        section.format,
+                        pkts_per_sec,
+                        vs_extract_ratio,
+                        section.alerts,
+                        alerts_on_attack,
+                        alerts_on_benign,
+                        section.score_delta_max,
+                        if section.certified {
+                            format!(" <= SF0901 bound {:.3e}", section.bound)
+                        } else {
+                            " (uncertified: SF0902)".to_string()
+                        },
+                    ));
+                }
+                Some(InPipelineSummary::Unsupported { reason }) => {
+                    text.push_str(&format!(
+                        "in-pipeline: detector has no fixed-point lowering ({reason})\n"
+                    ));
+                }
+                None => {}
+            }
             Ok(text)
         }
     }
@@ -1975,7 +2057,7 @@ mod tests {
         let c = parse_args(&args(
             "detect --scenario syn_dos --detector centroid --benign 900 \
              --serve-benign 400 --attack 200 --seed 5 --workers 4 \
-             --quantile 0.99 --margin 1.2 --out d.json",
+             --quantile 0.99 --margin 1.2 --in-pipeline --out d.json",
         ))
         .unwrap();
         assert_eq!(
@@ -1991,6 +2073,7 @@ mod tests {
                     workers: 4,
                     quantile: 0.99,
                     margin: 1.2,
+                    in_pipeline: true,
                 },
                 out: Some("d.json".into()),
             }
@@ -2023,6 +2106,7 @@ mod tests {
                 benign_packets: 1_200,
                 serve_benign: 600,
                 attack_packets: 300,
+                in_pipeline: true,
                 ..DetectConfig::default()
             },
             out: None,
@@ -2034,7 +2118,10 @@ mod tests {
             "\"alerts_on_attack\"",
             "\"alerts_on_benign\"",
             "\"throughput\"",
+            "\"in_pipeline\"",
+            "\"score_delta_max\"",
             "alerts_on_attack=",
+            "in-pipeline (Q",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
@@ -2097,6 +2184,7 @@ mod tests {
                 snapshot: None,
                 snapshot_at: None,
                 restore: None,
+                evict_seed: None,
             }
         );
         // --no-cse disables only prefix sharing; --no-fuse disables both.
@@ -2113,6 +2201,11 @@ mod tests {
         assert!(parse_args(&args("serve cumul --workers 0")).is_err());
         assert!(parse_args(&args("serve cumul --cache-slots 0:0")).is_err());
         assert!(parse_args(&args("serve cumul --cache-slots 5:100")).is_err());
+        match parse_args(&args("serve cumul --evict-seed 5")).unwrap() {
+            Command::Serve { evict_seed, .. } => assert_eq!(evict_seed, Some(5)),
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        assert!(parse_args(&args("serve cumul --evict-seed nope")).is_err());
     }
 
     #[test]
@@ -2136,24 +2229,28 @@ mod tests {
         assert!(parse_args(&args("serve cumul --restore a --snapshot b")).is_err());
         assert!(parse_args(&args("serve cumul --restore a --attach-at 0:10")).is_err());
         assert!(parse_args(&args("serve cumul --restore a --detach-at 0:10")).is_err());
+        // A restore resumes the snapshotted eviction state wholesale.
+        assert!(parse_args(&args("serve cumul --restore a --evict-seed 1")).is_err());
     }
 
     #[test]
     fn parses_bench_scale_options() {
         match parse_args(&args(
-            "bench scale --flows 1000,2000 --seed 9 --runs 2 --out b.json",
+            "bench scale --flows 1000,2000 --seed 9 --evict-seed 3 --runs 2 --out b.json",
         ))
         .unwrap()
         {
             Command::BenchScale {
                 flows,
                 seed,
+                evict_seed,
                 warmup,
                 runs,
                 out,
             } => {
                 assert_eq!(flows, vec![1_000, 2_000]);
                 assert_eq!(seed, 9);
+                assert_eq!(evict_seed, 3);
                 assert_eq!(warmup, 0);
                 assert_eq!(runs, 2);
                 assert_eq!(out.as_deref(), Some("b.json"));
@@ -2161,6 +2258,7 @@ mod tests {
             other => panic!("expected BenchScale, got {other:?}"),
         }
         assert!(parse_args(&args("bench scale --runs 0")).is_err());
+        assert!(parse_args(&args("bench scale --evict-seed nope")).is_err());
         assert!(parse_args(&args("bench scale --flows nope")).is_err());
     }
 
@@ -2185,6 +2283,7 @@ mod tests {
                 snapshot_at: snapshot.is_some().then_some(1_000),
                 snapshot,
                 restore,
+                evict_seed: None,
             })
             .unwrap()
         };
@@ -2221,6 +2320,7 @@ mod tests {
             snapshot: None,
             snapshot_at: None,
             restore: None,
+            evict_seed: None,
         })
         .unwrap();
         assert!(out.contains("served 2 tenants"), "{out}");
@@ -2253,6 +2353,7 @@ mod tests {
             snapshot: None,
             snapshot_at: None,
             restore: None,
+            evict_seed: None,
         })
         .unwrap_err();
         assert!(e.message.contains("admission rejected"), "{e}");
@@ -2277,6 +2378,7 @@ mod tests {
                 snapshot: None,
                 snapshot_at: None,
                 restore: None,
+                evict_seed: None,
             })
         };
         assert!(
@@ -2691,6 +2793,7 @@ mod tests {
                 snapshot: None,
                 snapshot_at: None,
                 restore: None,
+                evict_seed: None,
             })
             .unwrap()
         };
@@ -2796,6 +2899,7 @@ mod tests {
             snapshot: None,
             snapshot_at: None,
             restore: None,
+            evict_seed: None,
         })
         .unwrap();
         assert!(out.contains("fused into a shared execution unit"), "{out}");
@@ -2832,6 +2936,7 @@ mod tests {
             snapshot: None,
             snapshot_at: None,
             restore: None,
+            evict_seed: None,
         })
         .unwrap();
         assert!(out.contains("served 12 tenants"), "{out}");
@@ -2860,6 +2965,7 @@ mod tests {
             snapshot: None,
             snapshot_at: None,
             restore: None,
+            evict_seed: None,
         })
         .unwrap_err();
         assert!(e.message.contains("SF0303"), "{e}");

@@ -46,6 +46,13 @@ pub struct Extraction {
     pub nic_stats: NicStats,
     /// Live groups per granularity level at the end of the run.
     pub groups_per_level: Vec<(superfe_net::Granularity, usize)>,
+    /// Alerts raised by the in-pipeline quantized inference stage, in shard
+    /// order. Empty unless the pipeline was built with
+    /// [`crate::StreamingPipeline::with_inference`].
+    pub inline_alerts: Vec<superfe_nic::InlineAlert>,
+    /// Counters of the in-pipeline inference stage; `None` when no
+    /// quantized model was attached.
+    pub inline_stats: Option<superfe_nic::InlineStats>,
 }
 
 /// A deployed SuperFE instance (one switch + NIC pair).
@@ -146,6 +153,8 @@ impl SuperFe {
             cache_stats: self.switch.cache_stats(),
             nic_stats: *self.nic.stats(),
             groups_per_level: self.nic.groups_per_level(),
+            inline_alerts: Vec::new(),
+            inline_stats: None,
         }
     }
 }

@@ -46,7 +46,21 @@ impl StreamingPipeline {
         cfg: SuperFeConfig,
         workers: usize,
     ) -> Result<Self, PolicyError> {
-        Self::build(policy, cfg, workers, None, None)
+        Self::build(policy, cfg, workers, None, None, None)
+    }
+
+    /// Deploys with an in-pipeline quantized inference stage: every
+    /// finalized feature vector is scored *inside its NIC worker shard*
+    /// before egress ([`superfe_nic::StreamingNic::with_inference`]), and
+    /// alerts come back in [`Extraction::inline_alerts`]. The model should
+    /// first be certified against the policy by the SF09xx analysis pass.
+    pub fn with_inference(
+        policy: &Policy,
+        cfg: SuperFeConfig,
+        workers: usize,
+        model: std::sync::Arc<superfe_ml::QuantizedDetector>,
+    ) -> Result<Self, PolicyError> {
+        Self::build(policy, cfg, workers, None, None, Some(model))
     }
 
     /// Deploys with one [`superfe_nic::VectorSink`] attached per NIC shard
@@ -60,7 +74,7 @@ impl StreamingPipeline {
         workers: usize,
         sinks: Vec<Box<dyn superfe_nic::VectorSink>>,
     ) -> Result<Self, PolicyError> {
-        Self::build(policy, cfg, workers, Some(sinks), None)
+        Self::build(policy, cfg, workers, Some(sinks), None, None)
     }
 
     /// Deploys with optional sinks *and* optional per-stage latency
@@ -75,7 +89,7 @@ impl StreamingPipeline {
         sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
         metrics: Option<std::sync::Arc<superfe_net::StageMetrics>>,
     ) -> Result<Self, PolicyError> {
-        Self::build(policy, cfg, workers, sinks, metrics)
+        Self::build(policy, cfg, workers, sinks, metrics, None)
     }
 
     fn build(
@@ -84,15 +98,26 @@ impl StreamingPipeline {
         workers: usize,
         sinks: Option<Vec<Box<dyn superfe_nic::VectorSink>>>,
         metrics: Option<std::sync::Arc<superfe_net::StageMetrics>>,
+        inference: Option<std::sync::Arc<superfe_ml::QuantizedDetector>>,
     ) -> Result<Self, PolicyError> {
         let compiled = crate::deploy::gate(policy, &cfg)?;
         let switch = FeSwitch::with_config(compiled.switch.clone(), cfg.cache, cfg.mode)
             .ok_or_else(|| {
                 PolicyError::BadParameters("degenerate switch cache configuration".into())
             })?;
-        let nic =
-            StreamingNic::with_options(&compiled, cfg.cache.fg_table_size, workers, sinks, metrics)
-                .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
+        let nic = match inference {
+            Some(model) => {
+                StreamingNic::with_inference(&compiled, cfg.cache.fg_table_size, workers, model)
+            }
+            None => StreamingNic::with_options(
+                &compiled,
+                cfg.cache.fg_table_size,
+                workers,
+                sinks,
+                metrics,
+            ),
+        }
+        .map_err(|e| PolicyError::BadParameters(e.to_string()))?;
         Ok(StreamingPipeline {
             compiled,
             switch,
@@ -153,6 +178,8 @@ impl StreamingPipeline {
             cache_stats,
             nic_stats: out.stats,
             groups_per_level: out.groups_per_level,
+            inline_alerts: out.inline_alerts,
+            inline_stats: out.inline_stats,
         })
     }
 }

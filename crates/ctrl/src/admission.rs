@@ -17,7 +17,8 @@
 
 use superfe_core::analyze::AnalyzeConfig;
 use superfe_nic::resources::{model_many, NicResources};
-use superfe_nic::MemLevel;
+use superfe_nic::{cycles_from_cost, MemLevel, NfpModel, OptFlags};
+use superfe_policy::analyze::cost::{LevelCost, PolicyCost};
 use superfe_policy::analyze::{codes, Diagnostic, Severity};
 use superfe_policy::CompiledPolicy;
 use superfe_switch::resources::{compose, model, SwitchResources};
@@ -34,6 +35,9 @@ pub struct TenantDemand {
     pub cache: MgpvConfig,
     /// Modeled switch usage under that quota.
     pub switch: SwitchResources,
+    /// In-pipeline quantized-inference demand declared by the tenant, if
+    /// any. Admission prices it into NIC cycles as an `SF0903` note.
+    pub inference: Option<InferenceDemand>,
 }
 
 impl TenantDemand {
@@ -44,8 +48,54 @@ impl TenantDemand {
             compiled,
             cache,
             switch,
+            inference: None,
         }
     }
+
+    /// Declares an in-pipeline quantized model for this tenant (from an
+    /// SF09xx `QuantCertificate`).
+    pub fn with_inference(mut self, inference: InferenceDemand) -> Self {
+        self.inference = Some(inference);
+        self
+    }
+}
+
+/// The in-pipeline inference load a tenant declares at admission time —
+/// the admission-facing digest of an SF09xx
+/// [`QuantCertificate`](superfe_policy::analyze::quant::QuantCertificate).
+#[derive(Clone, Debug)]
+pub struct InferenceDemand {
+    /// Detector model name (e.g. `"kitnet"`).
+    pub detector: String,
+    /// Fixed-point format of the lowering (e.g. `"Q39.24"`).
+    pub format: String,
+    /// Integer ALU ops the quantized model executes per emitted feature
+    /// vector.
+    pub alu_ops: u64,
+    /// Whether the SF0901 error-bound certification held for this
+    /// policy × detector pair.
+    pub certified: bool,
+}
+
+/// Prices a quantized model's per-vector ALU work through the same
+/// `cycles_from_cost` lower-bound model `superfe explain` uses for
+/// extraction: one synthetic level carrying the model's integer ops and a
+/// single state access (the finalized vector read), no divisions.
+fn inference_cycles(alu_ops: u64, nfp: &NfpModel) -> f64 {
+    let cost = PolicyCost {
+        filter_entries: 0,
+        levels: vec![LevelCost {
+            granularity: superfe_net::Granularity::Flow,
+            maps: 0,
+            reduce_funcs: 1,
+            alu_ops: alu_ops as usize,
+            divisions: 0,
+            touched_bytes: 0,
+            resident_bytes: 0,
+            feature_dim: 0,
+        }],
+    };
+    cycles_from_cost(&cost, nfp, OptFlags::all_on()).cycles_per_record
 }
 
 /// Live per-unit group populations observed on the NIC data path, fed back
@@ -97,7 +147,29 @@ pub fn admit(
 ) -> Result<AdmissionReport, AdmissionError> {
     let usages: Vec<SwitchResources> = tenants.iter().map(|t| t.switch).collect();
     let nics: Vec<&superfe_policy::NicProgram> = tenants.iter().map(|t| &t.compiled.nic).collect();
-    admit_composed(cfg, &usages, &nics)
+    let mut report = admit_composed(cfg, &usages, &nics)?;
+    // Price declared in-pipeline inference into NIC cycles (SF0903). The
+    // load is per emitted *vector*, not per packet, so it rides as a note
+    // alongside the capacity verdict rather than inside it.
+    for (i, t) in tenants.iter().enumerate() {
+        if let Some(inf) = &t.inference {
+            let cycles = inference_cycles(inf.alu_ops, &cfg.nfp);
+            let certainty = if inf.certified {
+                "SF0901-certified"
+            } else {
+                "UNCERTIFIED (SF0902)"
+            };
+            report.warnings.push(Diagnostic::note(
+                codes::QUANT_CYCLE_COST,
+                format!(
+                    "tenant {i}: in-pipeline {} inference ({}) adds {} integer ALU ops \
+                     ≈ {:.0} NIC cycles per emitted feature vector [{certainty}]",
+                    inf.detector, inf.format, inf.alu_ops, cycles
+                ),
+            ));
+        }
+    }
+    Ok(report)
 }
 
 /// The composed admission core: `switch` holds one usage entry per *switch
@@ -242,6 +314,48 @@ mod tests {
         let report = admit(&AnalyzeConfig::default(), &[&a, &b]).unwrap();
         assert!(report.switch.salus > a.switch.salus);
         assert!(report.nic.used_bytes > 0);
+    }
+
+    #[test]
+    fn declared_inference_is_priced_as_an_sf0903_note() {
+        let a = host_sum();
+        let b = kitsune_like().with_inference(InferenceDemand {
+            detector: "kitnet".into(),
+            format: "Q39.24".into(),
+            alu_ops: 120_000,
+            certified: true,
+        });
+        let cfg = AnalyzeConfig::default();
+        let baseline = admit(&cfg, &[&a]).unwrap();
+        let report = admit(&cfg, &[&a, &b]).unwrap();
+        let notes: Vec<_> = report
+            .warnings
+            .iter()
+            .filter(|d| d.code == codes::QUANT_CYCLE_COST)
+            .collect();
+        assert!(baseline
+            .warnings
+            .iter()
+            .all(|d| d.code != codes::QUANT_CYCLE_COST));
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].severity, Severity::Note);
+        assert!(notes[0].message.contains("tenant 1"));
+        assert!(notes[0].message.contains("Q39.24"));
+        assert!(notes[0].message.contains("SF0901-certified"));
+        // The priced cycle figure includes the ALU ops themselves, so it
+        // must exceed them.
+        assert!(inference_cycles(120_000, &cfg.nfp) > 120_000.0);
+        // An uncertified lowering is priced but flagged.
+        let c = host_sum().with_inference(InferenceDemand {
+            detector: "centroid".into(),
+            format: "Q39.24".into(),
+            alu_ops: 64,
+            certified: false,
+        });
+        let report = admit(&cfg, &[&c]).unwrap();
+        assert!(report.warnings.iter().any(
+            |d| d.code == codes::QUANT_CYCLE_COST && d.message.contains("UNCERTIFIED (SF0902)")
+        ));
     }
 
     /// The off-by-one boundary matrix: for each switch resource, a budget

@@ -227,6 +227,14 @@ impl CtrlPlane {
         self.nic.workers()
     }
 
+    /// Sets the group-table budget (DRAM cap + eviction policy) applied to
+    /// every tenant attached after this call — how the CLI pins
+    /// `RandomWay` to an explicit `--evict-seed` so eviction sequences are
+    /// reproducible run to run.
+    pub fn set_table_budget(&mut self, budget: superfe_nic::TableBudget) {
+        self.nic.set_table_budget(budget);
+    }
+
     /// Whether analysis-certified cross-policy fusion is enabled.
     pub fn fusion_enabled(&self) -> bool {
         self.fusion

@@ -14,6 +14,9 @@
 //!   inference workers wired together behind one `push`/`finish` API.
 //! - [`offline`]: batch scoring with identical canonical semantics, the
 //!   reference the online path is differentially tested against.
+//! - [`quantized`]: the in-pipeline fixed-point path — offline quantized
+//!   reference scoring, inline-alert lifting, measured float-vs-quantized
+//!   score deltas, and the report section for `detect --in-pipeline`.
 //! - [`alert`]: the [`Alert`] type and the canonical (key, per-key
 //!   position) ordering that makes alert streams deterministic across
 //!   worker counts.
@@ -28,6 +31,7 @@ pub mod error;
 pub mod multi;
 pub mod offline;
 pub mod pipeline;
+pub mod quantized;
 pub mod serve;
 
 pub use alert::{canonicalize_alerts, canonicalize_scores, score_fingerprint, Alert, ScoredVector};
@@ -35,6 +39,7 @@ pub use error::DetectError;
 pub use multi::MultiServing;
 pub use offline::{score_offline, OfflineScores};
 pub use pipeline::DetectPipeline;
+pub use quantized::{inline_to_alerts, max_score_delta, score_offline_quantized, QuantizedSection};
 pub use serve::{ServeConfig, ServeReport, Serving, StageCounters};
 
 use superfe_ml::{CartDetector, CentroidDetector, Detector, KitNetDetector, KnnNovelty, MlError};

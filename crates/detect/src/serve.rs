@@ -119,6 +119,11 @@ pub struct ServeReport {
     /// Stamped by the layer that owns the group tables (the pipeline or
     /// the control plane) — empty when the caller didn't provide it.
     pub occupancy: Vec<(String, usize)>,
+    /// The in-pipeline quantized inference section, when the run also
+    /// executed a fixed-point model inside the NIC shards (`superfe detect
+    /// --in-pipeline`). Stamped by the caller that owns both paths; `None`
+    /// for a plain host-side serve.
+    pub quantized: Option<crate::quantized::QuantizedSection>,
 }
 
 /// Score histogram: geometric bins from 1e-6 up (scores are nonnegative).
@@ -228,6 +233,7 @@ impl Serving {
             score_hist: score_histogram(),
             latency_hist: latency_histogram(),
             occupancy: Vec::new(),
+            quantized: None,
         };
         for (i, join) in self.joins.into_iter().enumerate() {
             let out = join

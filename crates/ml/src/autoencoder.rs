@@ -56,6 +56,17 @@ impl Autoencoder {
         self.d
     }
 
+    /// Hidden dimension.
+    pub(crate) fn hidden_dim(&self) -> usize {
+        self.h
+    }
+
+    /// The trained weights `(w1, b1, w2, b2)` — encoder `h × d` row-major,
+    /// decoder `d × h` row-major.
+    pub(crate) fn weights(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (&self.w1, &self.b1, &self.w2, &self.b2)
+    }
+
     fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let mut hid = vec![0.0; self.h];
         for (i, h) in hid.iter_mut().enumerate() {

@@ -39,6 +39,12 @@ impl NearestCentroid {
         self.sums.len()
     }
 
+    /// The centroid of `label` (`None` when not enrolled).
+    pub(crate) fn centroid(&self, label: usize) -> Option<Vec<f64>> {
+        let (sum, n) = self.sums.get(&label)?;
+        Some(sum.iter().map(|s| s / *n as f64).collect())
+    }
+
     /// Cosine similarity of `x` to the centroid of `label`.
     ///
     /// Returns `None` when the class is not enrolled.

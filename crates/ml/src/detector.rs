@@ -23,6 +23,7 @@
 //!   a *held-out benign slice*, and [`Lifecycle::begin_serving`] freezes the
 //!   model into an immutable, shareable [`FrozenDetector`].
 
+use std::any::Any;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -134,6 +135,10 @@ pub trait Detector: Send + Sync {
     /// Scores a vector without mutating the model (pure; safe to share
     /// across serving threads once training ended).
     fn score(&self, x: &[f64]) -> Result<f64, MlError>;
+
+    /// The concrete model behind the trait object, for compilation passes
+    /// (e.g. the fixed-point quantizer) that need structural access.
+    fn as_any(&self) -> &dyn Any;
 }
 
 fn check_dim(expected: usize, x: &[f64]) -> Result<(), MlError> {
@@ -231,6 +236,17 @@ impl Detector for KitNetDetector {
         let model = self.model.as_ref().ok_or(MlError::Untrained)?;
         Ok(model.score(x))
     }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl KitNetDetector {
+    /// The trained ensemble (`None` before `end_training`).
+    pub(crate) fn model(&self) -> Option<&KitNet> {
+        self.model.as_ref()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -320,6 +336,10 @@ impl Detector for KnnNovelty {
         let k = self.k.min(dists.len());
         Ok(dists[..k].iter().sum::<f64>() / k as f64)
     }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +407,22 @@ impl Detector for CentroidDetector {
         }
         let sim = self.model.similarity(x, 0).ok_or(MlError::Untrained)?;
         Ok(1.0 - sim)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl CentroidDetector {
+    /// The underlying classifier.
+    pub(crate) fn model(&self) -> &NearestCentroid {
+        &self.model
+    }
+
+    /// Whether enrollment has been frozen.
+    pub(crate) fn is_frozen(&self) -> bool {
+        self.frozen
     }
 }
 
@@ -500,6 +536,17 @@ impl Detector for CartDetector {
         check_dim(self.dim, x)?;
         let tree = self.tree.as_ref().ok_or(MlError::Untrained)?;
         tree.predict_score(x).ok_or(MlError::Untrained)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl CartDetector {
+    /// The fitted tree (`None` before `end_training`).
+    pub(crate) fn tree(&self) -> Option<&DecisionTree> {
+        self.tree.as_ref()
     }
 }
 
@@ -642,6 +689,11 @@ impl FrozenDetector {
     /// Whether a score crosses the calibrated threshold.
     pub fn is_alert(&self, score: f64) -> bool {
         score > self.threshold
+    }
+
+    /// The frozen model, for structural passes such as the quantizer.
+    pub fn detector(&self) -> &dyn Detector {
+        self.det.as_ref()
     }
 }
 

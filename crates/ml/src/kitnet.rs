@@ -86,6 +86,36 @@ impl KitNet {
         self.clusters.len()
     }
 
+    /// Feature-index clusters (structural access for the quantizer).
+    pub(crate) fn feature_clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// The per-cluster autoencoders.
+    pub(crate) fn ensemble(&self) -> &[Autoencoder] {
+        &self.ensemble
+    }
+
+    /// The output autoencoder (`None` before feature mapping).
+    pub(crate) fn output_layer(&self) -> Option<&Autoencoder> {
+        self.output.as_ref()
+    }
+
+    /// The input min–max normalizer.
+    pub(crate) fn input_norm(&self) -> &MinMaxNorm {
+        &self.norm
+    }
+
+    /// The RMSE-vector min–max normalizer feeding the output layer.
+    pub(crate) fn output_norm(&self) -> &MinMaxNorm {
+        &self.out_norm
+    }
+
+    /// Input feature dimension.
+    pub(crate) fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Processes one feature vector, returning its anomaly score.
     ///
     /// Scores are 0 during the feature-mapping and training phases (the

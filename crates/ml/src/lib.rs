@@ -16,6 +16,9 @@
 //! - [`detector`]: the unified online [`Detector`] contract over all four
 //!   models, with the `Training → Calibrating → Serving` lifecycle and
 //!   held-out-slice threshold calibration used by `superfe-detect`.
+//! - [`quant`]: fixed-point (Qm.n) lowering of frozen detectors for
+//!   in-pipeline NIC inference, with analytically certified float-vs-
+//!   quantized score error bounds (the basis of the SF09xx pass).
 
 pub mod autoencoder;
 pub mod centroid;
@@ -24,6 +27,7 @@ pub mod kitnet;
 pub mod knn;
 pub mod metrics;
 pub mod norm;
+pub mod quant;
 pub mod tree;
 
 pub use autoencoder::Autoencoder;
@@ -36,4 +40,5 @@ pub use kitnet::KitNet;
 pub use knn::Knn;
 pub use metrics::{accuracy, auc, f1_score, precision_recall, Confusion};
 pub use norm::MinMaxNorm;
+pub use quant::{quantize, ErrorBound, LayerBound, QuantConfig, QuantError, QuantizedDetector};
 pub use tree::DecisionTree;

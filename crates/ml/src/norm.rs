@@ -21,6 +21,12 @@ impl MinMaxNorm {
         self.mins.len()
     }
 
+    /// The learned `(mins, maxs)` ranges (structural access for the
+    /// quantizer, which folds them into fixed-point scale/zero-point pairs).
+    pub(crate) fn ranges(&self) -> (&[f64], &[f64]) {
+        (&self.mins, &self.maxs)
+    }
+
     /// Widens the ranges with one sample.
     pub fn observe(&mut self, x: &[f64]) {
         if self.mins.is_empty() {

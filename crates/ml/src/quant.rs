@@ -1,0 +1,1285 @@
+//! Fixed-point quantization of frozen detectors for in-pipeline inference.
+//!
+//! The NIC cycle model executes integer ALU ops; running a detector *inside*
+//! the extraction pipeline therefore needs the frozen float model lowered to
+//! a pure-integer program. This module compiles a [`FrozenDetector`] into a
+//! [`QuantizedDetector`] of Qm.n fixed-point ops:
+//!
+//! - **KitNET**: the input min–max normalizer folds into a per-feature
+//!   affine scale/zero-point pair producing activations at `FA` fraction
+//!   bits; each autoencoder becomes an integer matvec (weights at `FW`
+//!   bits, `i128` accumulators, shift-round back to `FA`) with the sigmoid
+//!   replaced by a 512-segment piecewise second-order Taylor table; RMSEs
+//!   and the output normalizer stay integer end to end (integer square
+//!   root, reciprocal-by-multiplication).
+//! - **Nearest centroid**: one global power-of-two input grid, integer dot
+//!   product and norms, one rounded division for the cosine.
+//! - **CART**: thresholds snap to a power-of-two grid (`floor(t·2^s)`), so
+//!   routing is *exact* whenever inputs land on the grid; leaves carry the
+//!   positive fraction at `FA` bits.
+//!
+//! Every lowering records enough metadata ([`QuantizedDetector::error_bound`])
+//! to compute a worst-case |float − quantized| score bound analytically —
+//! the basis of the SF09xx certification pass in `superfe-policy`. Scoring
+//! is pure integer after the initial (exact, power-of-two) float-to-grid
+//! conversion, hence bitwise deterministic across threads and worker
+//! counts.
+
+use crate::detector::{CartDetector, CentroidDetector, FrozenDetector, KitNetDetector, MlError};
+use crate::kitnet::KitNet;
+use crate::tree::FlatNode;
+
+/// Quantization parameters: the Qm.n format split.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantConfig {
+    /// Fraction bits of activations and scores (`FA`).
+    pub frac_bits: u32,
+    /// Fraction bits of weights (`FW`).
+    pub weight_bits: u32,
+    /// Upper bound on |feature value| used to size the input grids of the
+    /// centroid and CART lowerings (KitNET's affine input layer clamps and
+    /// needs no hint). The SF09xx pass derives this from the policy's
+    /// SF05xx interval hull; the default covers modest feature magnitudes.
+    pub max_abs_input: f64,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig {
+            frac_bits: 24,
+            weight_bits: 24,
+            max_abs_input: (1u64 << 20) as f64,
+        }
+    }
+}
+
+/// Why a detector could not be quantized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuantError {
+    /// The model family has no fixed-point lowering (e.g. k-NN, whose
+    /// score needs the full training set at runtime).
+    Unsupported(&'static str),
+    /// The detector never finished training.
+    Untrained,
+    /// The model or config is degenerate for the chosen Q-format.
+    Degenerate(String),
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Unsupported(name) => {
+                write!(f, "detector '{name}' has no fixed-point lowering")
+            }
+            QuantError::Untrained => write!(f, "detector has not finished training"),
+            QuantError::Degenerate(msg) => write!(f, "quantization is degenerate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// One layer's contribution to the certified score error.
+#[derive(Clone, Debug)]
+pub struct LayerBound {
+    /// Layer name (e.g. `"ensemble-autoencoders"`, `"output-norm"`).
+    pub layer: String,
+    /// The error this layer *adds* to the bound (absolute score units).
+    pub bound: f64,
+}
+
+/// An analytically certified worst-case |float − quantized| score bound.
+#[derive(Clone, Debug)]
+pub struct ErrorBound {
+    /// Total worst-case score error; `f64::INFINITY` when no finite bound
+    /// is provable for the given input domain (see [`ErrorBound::culprit`]).
+    pub bound: f64,
+    /// Per-layer additive contributions, in evaluation order.
+    pub per_layer: Vec<LayerBound>,
+    /// The layer blocking certification (infinite bound) or contributing
+    /// the most error (finite bound).
+    pub culprit: Option<String>,
+    /// CART only: the bound holds only for inputs that land exactly on the
+    /// quantization grid (integer-valued features when the grid exponent is
+    /// ≥ 1). Off-grid inputs can flip a split, so no general bound exists.
+    pub grid_exact_only: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point primitives
+// ---------------------------------------------------------------------------
+
+/// Arithmetic right shift with round-half-away-from-zero.
+fn rshift_round(v: i128, s: u32) -> i128 {
+    if s == 0 {
+        return v;
+    }
+    let half = 1i128 << (s - 1);
+    if v >= 0 {
+        (v + half) >> s
+    } else {
+        -((-v + half) >> s)
+    }
+}
+
+/// Rounded signed division (`d > 0`).
+fn div_round(n: i128, d: i128) -> i128 {
+    let half = d / 2;
+    if n >= 0 {
+        (n + half) / d
+    } else {
+        -((-n + half) / d)
+    }
+}
+
+/// Floor integer square root.
+fn isqrt_u128(v: u128) -> u128 {
+    if v == 0 {
+        return 0;
+    }
+    // Newton's method from an overestimate converges to floor(sqrt(v)).
+    let bits = 128 - v.leading_zeros();
+    let mut x = 1u128 << bits.div_ceil(2);
+    loop {
+        let y = (x + v / x) / 2;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+fn pow2(e: i32) -> f64 {
+    (2f64).powi(e)
+}
+
+/// Saturating float → fixed-point grid conversion. The scale is a power of
+/// two, so the multiplication is exact in f64 and the only error is the
+/// final round (≤ half a grid step).
+fn to_grid(v: f64, scale: f64, cap: i64) -> i64 {
+    let q = (v * scale).round();
+    let capf = cap as f64;
+    if q.is_nan() {
+        0
+    } else if q >= capf {
+        cap
+    } else if q <= -capf {
+        -cap
+    } else {
+        q as i64
+    }
+}
+
+/// Saturation cap for grid-quantized inputs (leaves i128 headroom for
+/// dot products over hundreds of dimensions).
+const GRID_CAP: i64 = 1 << 41;
+
+// ---------------------------------------------------------------------------
+// Piecewise-Taylor sigmoid
+// ---------------------------------------------------------------------------
+
+/// Segments of the sigmoid table.
+const SIG_SEGMENTS: usize = 512;
+/// Half-width of the approximated domain `[-16, 16)`; `Δ = 32/512 = 2⁻⁴`.
+const SIG_HALF_RANGE: f64 = 16.0;
+
+/// σ(x) as 512 second-order Taylor segments over `[-16, 16)`, evaluated in
+/// pure integer arithmetic at `frac_bits` fraction bits.
+#[derive(Clone, Debug)]
+struct QSigmoid {
+    frac_bits: u32,
+    /// `-16 · 2^frac_bits`.
+    lo_q: i64,
+    /// `log2(Δ · 2^frac_bits)` — the segment-index shift.
+    seg_shift: u32,
+    /// σ(c) per segment center, at `frac_bits`.
+    c0: Vec<i64>,
+    /// σ′(c) per segment center, at `frac_bits`.
+    c1: Vec<i64>,
+    /// σ″(c)/2 per segment center, at `frac_bits`.
+    c2: Vec<i64>,
+}
+
+fn sigmoid_f(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl QSigmoid {
+    fn build(frac_bits: u32) -> Self {
+        let scale = pow2(frac_bits as i32);
+        let delta = 2.0 * SIG_HALF_RANGE / SIG_SEGMENTS as f64;
+        let mut c0 = Vec::with_capacity(SIG_SEGMENTS);
+        let mut c1 = Vec::with_capacity(SIG_SEGMENTS);
+        let mut c2 = Vec::with_capacity(SIG_SEGMENTS);
+        for k in 0..SIG_SEGMENTS {
+            let c = -SIG_HALF_RANGE + (k as f64 + 0.5) * delta;
+            let s = sigmoid_f(c);
+            let d1 = s * (1.0 - s);
+            let d2_half = d1 * (1.0 - 2.0 * s) / 2.0;
+            c0.push((s * scale).round() as i64);
+            c1.push((d1 * scale).round() as i64);
+            c2.push((d2_half * scale).round() as i64);
+        }
+        QSigmoid {
+            frac_bits,
+            lo_q: -((SIG_HALF_RANGE * scale) as i64),
+            // Δ = 2⁻⁴, so a segment spans 2^(frac_bits − 4) grid units.
+            seg_shift: frac_bits - 4,
+            c0,
+            c1,
+            c2,
+        }
+    }
+
+    /// σ(z/2^frac_bits) at `frac_bits` fraction bits, clamped to `[0, 1]`.
+    fn eval(&self, z: i64) -> i64 {
+        let one = 1i64 << self.frac_bits;
+        if z <= self.lo_q {
+            return 0;
+        }
+        if z >= -self.lo_q {
+            return one;
+        }
+        let k = ((z - self.lo_q) >> self.seg_shift) as usize;
+        let center = self.lo_q + ((2 * k as i64 + 1) << (self.seg_shift - 1));
+        let u = z - center;
+        let fa = self.frac_bits;
+        let t1 = rshift_round(i128::from(self.c1[k]) * i128::from(u), fa);
+        let u2 = rshift_round(i128::from(u) * i128::from(u), fa);
+        let t2 = rshift_round(i128::from(self.c2[k]) * u2, fa);
+        (i128::from(self.c0[k]) + t1 + t2).clamp(0, i128::from(one)) as i64
+    }
+
+    /// Certified |table − σ| bound: Taylor remainder + tail clamp +
+    /// coefficient and evaluation rounding.
+    fn approx_error(frac_bits: u32) -> f64 {
+        let half_step = SIG_HALF_RANGE / SIG_SEGMENTS as f64; // Δ/2
+        let taylor = 0.25 / 6.0 * half_step.powi(3); // |σ‴| ≤ 1/4
+        let tail = sigmoid_f(-SIG_HALF_RANGE);
+        let rounding = 4.0 * pow2(-(frac_bits as i32 + 1));
+        taylor + tail + rounding
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized KitNET
+// ---------------------------------------------------------------------------
+
+/// Per-feature affine input quantization (the min–max normalizer folded
+/// into fixed point): `x_q = round(clamp((x − min)/range, 0, 1) · 2^FA)`,
+/// flat ranges pinned to exactly ½.
+#[derive(Clone, Debug)]
+struct QAffine {
+    mins: Vec<f64>,
+    /// `≤ 0` marks a flat (constant) dimension.
+    ranges: Vec<f64>,
+}
+
+impl QAffine {
+    fn eval_into(&self, x: &[f64], frac_bits: u32, out: &mut Vec<i64>) {
+        let one = 1i64 << frac_bits;
+        let scale = pow2(frac_bits as i32);
+        out.clear();
+        for (i, (&min, &range)) in self.mins.iter().zip(&self.ranges).enumerate() {
+            if range <= 0.0 {
+                out.push(one / 2);
+            } else {
+                // Same f64 expression as MinMaxNorm::transform, then an
+                // exact power-of-two scale and one round.
+                let v = x.get(i).copied().unwrap_or(0.0);
+                let n = ((v - min) / range).clamp(0.0, 1.0);
+                out.push((n * scale).round() as i64);
+            }
+        }
+    }
+}
+
+/// One out-normalizer dimension in fixed point.
+#[derive(Clone, Debug)]
+enum QNormEntry {
+    /// Flat training range → exactly ½.
+    Flat,
+    /// `clamp((r_q − min_q) · m / 2^t, 0, 2^FA)` with `m/2^t ≈ 1/range`.
+    Affine {
+        min_q: i64,
+        m: i64,
+        t: u32,
+        /// The float range, kept for the error bound.
+        range: f64,
+    },
+}
+
+impl QNormEntry {
+    fn eval(&self, r_q: i64, frac_bits: u32) -> i64 {
+        let one = 1i64 << frac_bits;
+        match self {
+            QNormEntry::Flat => one / 2,
+            QNormEntry::Affine { min_q, m, t, .. } => {
+                let v = rshift_round(i128::from(r_q - min_q) * i128::from(*m), *t);
+                v.clamp(0, i128::from(one)) as i64
+            }
+        }
+    }
+}
+
+/// Builds the `(m, t)` reciprocal pair with ≥ 25 significant bits:
+/// `m/2^t ≈ 1/range`.
+fn recip(range: f64) -> Option<(i64, u32)> {
+    if !(range.is_finite() && range > 0.0) {
+        return None;
+    }
+    let l = range.log2().floor() as i32;
+    let t = (l + 26).max(0);
+    let m = (pow2(t) / range).round();
+    if !(m.is_finite() && m >= 1.0 && m < pow2(62)) {
+        return None;
+    }
+    Some((m as i64, t as u32))
+}
+
+/// One autoencoder in fixed point: weights at `FW` bits, biases at
+/// `FA + FW` bits so the accumulated pre-activation sits at `FA + FW`.
+#[derive(Clone, Debug)]
+struct QAutoencoder {
+    d: usize,
+    h: usize,
+    w1: Vec<i64>,
+    b1: Vec<i64>,
+    w2: Vec<i64>,
+    b2: Vec<i64>,
+    /// Max row L1 norm of the *quantized* encoder weights (real units).
+    w1_row_l1: f64,
+    /// Max row L1 norm of the *quantized* decoder weights (real units).
+    w2_row_l1: f64,
+}
+
+impl QAutoencoder {
+    fn build(ae: &crate::autoencoder::Autoencoder, frac_bits: u32, weight_bits: u32) -> Self {
+        let d = ae.input_dim();
+        let h = ae.hidden_dim();
+        let (w1, b1, w2, b2) = ae.weights();
+        let ws = pow2(weight_bits as i32);
+        let bs = pow2((frac_bits + weight_bits) as i32);
+        let qw = |w: &[f64]| -> Vec<i64> { w.iter().map(|&v| (v * ws).round() as i64).collect() };
+        let qb = |b: &[f64]| -> Vec<i64> { b.iter().map(|&v| (v * bs).round() as i64).collect() };
+        let w1q = qw(w1);
+        let w2q = qw(w2);
+        let row_l1 = |w: &[i64], rows: usize, cols: usize| -> f64 {
+            (0..rows)
+                .map(|i| {
+                    w[i * cols..(i + 1) * cols]
+                        .iter()
+                        .map(|&v| v.abs() as f64)
+                        .sum::<f64>()
+                        / ws
+                })
+                .fold(0.0, f64::max)
+        };
+        let w1_row_l1 = row_l1(&w1q, h, d);
+        let w2_row_l1 = row_l1(&w2q, d, h);
+        QAutoencoder {
+            d,
+            h,
+            w1: w1q,
+            b1: qb(b1),
+            w2: qw(w2),
+            b2: qb(b2),
+            w1_row_l1,
+            w2_row_l1,
+        }
+    }
+
+    fn layer(
+        w: &[i64],
+        b: &[i64],
+        (rows, cols): (usize, usize),
+        x: &[i64],
+        sig: &QSigmoid,
+        weight_bits: u32,
+        out: &mut Vec<i64>,
+    ) {
+        out.clear();
+        for i in 0..rows {
+            let mut acc = i128::from(b[i]);
+            for j in 0..cols {
+                acc += i128::from(w[i * cols + j]) * i128::from(x[j]);
+            }
+            let z = rshift_round(acc, weight_bits) as i64;
+            out.push(sig.eval(z));
+        }
+    }
+
+    /// Integer reconstruction RMSE at `frac_bits` fraction bits.
+    fn rmse_q(&self, x: &[i64], sig: &QSigmoid, weight_bits: u32) -> i64 {
+        let mut hid = Vec::with_capacity(self.h);
+        let mut out = Vec::with_capacity(self.d);
+        Self::layer(
+            &self.w1,
+            &self.b1,
+            (self.h, self.d),
+            x,
+            sig,
+            weight_bits,
+            &mut hid,
+        );
+        Self::layer(
+            &self.w2,
+            &self.b2,
+            (self.d, self.h),
+            &hid,
+            sig,
+            weight_bits,
+            &mut out,
+        );
+        let mut sum: u128 = 0;
+        for (&a, &b) in x.iter().zip(&out) {
+            let d = i128::from(a - b);
+            sum += (d * d) as u128;
+        }
+        let n = self.d as u128;
+        let mean = (sum + n / 2) / n;
+        isqrt_u128(mean) as i64
+    }
+
+    /// Propagates an input L∞ error through this autoencoder to an output
+    /// L∞ error (inputs assumed in `[0, 1]` up to `eps_in`).
+    fn propagate_error(&self, eps_in: f64, eps_sig: f64, fa: i32, fw: i32) -> f64 {
+        let shift_round = pow2(-(fa + 1));
+        let bias_round = pow2(-(fa + fw + 1));
+        let w_round = pow2(-(fw + 1));
+        let eps_z1 = self.w1_row_l1 * eps_in + self.d as f64 * w_round + shift_round + bias_round;
+        let eps_hid = eps_sig + eps_z1 / 4.0;
+        let eps_z2 = self.w2_row_l1 * eps_hid + self.h as f64 * w_round + shift_round + bias_round;
+        eps_sig + eps_z2 / 4.0
+    }
+
+    /// ALU ops of one forward pass + RMSE.
+    fn alu_ops(&self) -> u64 {
+        const SIG_OPS: u64 = 8;
+        const ISQRT_OPS: u64 = 40;
+        let (d, h) = (self.d as u64, self.h as u64);
+        h * (2 * d + 2 + SIG_OPS) + d * (2 * h + 2 + SIG_OPS) + 3 * d + ISQRT_OPS
+    }
+}
+
+#[derive(Clone, Debug)]
+struct QKitNet {
+    input: QAffine,
+    clusters: Vec<Vec<usize>>,
+    ensemble: Vec<QAutoencoder>,
+    out_norm: Vec<QNormEntry>,
+    output: QAutoencoder,
+    sigmoid: QSigmoid,
+}
+
+impl QKitNet {
+    fn build(k: &KitNet, cfg: &QuantConfig) -> Result<Self, QuantError> {
+        let (mins, maxs) = k.input_norm().ranges();
+        if mins.len() != k.dim() {
+            return Err(QuantError::Degenerate(
+                "input normalizer dimension mismatch".into(),
+            ));
+        }
+        let input = QAffine {
+            mins: mins.to_vec(),
+            ranges: mins.iter().zip(maxs).map(|(lo, hi)| hi - lo).collect(),
+        };
+        if input.mins.iter().any(|v| !v.is_finite()) || input.ranges.iter().any(|v| !v.is_finite())
+        {
+            return Err(QuantError::Degenerate("non-finite normalizer range".into()));
+        }
+        let output_ae = k.output_layer().ok_or(QuantError::Untrained)?;
+        let ensemble: Vec<QAutoencoder> = k
+            .ensemble()
+            .iter()
+            .map(|ae| QAutoencoder::build(ae, cfg.frac_bits, cfg.weight_bits))
+            .collect();
+        let (omins, omaxs) = k.output_norm().ranges();
+        if omins.len() != ensemble.len() {
+            return Err(QuantError::Degenerate(
+                "output normalizer dimension mismatch".into(),
+            ));
+        }
+        let scale = pow2(cfg.frac_bits as i32);
+        let mut out_norm = Vec::with_capacity(omins.len());
+        for (&lo, &hi) in omins.iter().zip(omaxs) {
+            let range = hi - lo;
+            if range <= 0.0 {
+                out_norm.push(QNormEntry::Flat);
+            } else {
+                let (m, t) = recip(range).ok_or_else(|| {
+                    QuantError::Degenerate(format!("output-norm range {range} not representable"))
+                })?;
+                out_norm.push(QNormEntry::Affine {
+                    min_q: (lo * scale).round() as i64,
+                    m,
+                    t,
+                    range,
+                });
+            }
+        }
+        Ok(QKitNet {
+            input,
+            clusters: k.feature_clusters().to_vec(),
+            ensemble,
+            out_norm,
+            output: QAutoencoder::build(output_ae, cfg.frac_bits, cfg.weight_bits),
+            sigmoid: QSigmoid::build(cfg.frac_bits),
+        })
+    }
+
+    fn score_q(&self, x: &[f64], frac_bits: u32, weight_bits: u32) -> i64 {
+        let mut xn = Vec::with_capacity(self.input.mins.len());
+        self.input.eval_into(x, frac_bits, &mut xn);
+        let mut sub = Vec::new();
+        let mut rn = Vec::with_capacity(self.ensemble.len());
+        for (c, ae) in self.clusters.iter().zip(&self.ensemble) {
+            sub.clear();
+            sub.extend(c.iter().map(|&i| xn[i]));
+            let r = ae.rmse_q(&sub, &self.sigmoid, weight_bits);
+            rn.push(self.out_norm[rn.len()].eval(r, frac_bits));
+        }
+        self.output.rmse_q(&rn, &self.sigmoid, weight_bits)
+    }
+
+    fn error_bound(&self, frac_bits: u32, weight_bits: u32) -> ErrorBound {
+        let fa = frac_bits as i32;
+        let fw = weight_bits as i32;
+        let eps_sig = QSigmoid::approx_error(frac_bits);
+        let rmse_round = pow2(-(fa - 1));
+        // Input affine layer: an exact power-of-two scale, one round.
+        let eps_xn = pow2(-(fa + 1));
+        // Ensemble: worst autoencoder, plus the integer-RMSE rounding.
+        let eps_r = self
+            .ensemble
+            .iter()
+            .map(|ae| ae.propagate_error(eps_xn, eps_sig, fa, fw).max(eps_xn) + rmse_round)
+            .fold(0.0, f64::max);
+        // Output normalizer: (eps_r + min rounding)/range, reciprocal
+        // relative error, shift rounding. Clamping is 1-Lipschitz, so the
+        // unclamped bound transfers.
+        let eps_rn = self
+            .out_norm
+            .iter()
+            .map(|e| match e {
+                QNormEntry::Flat => 0.0,
+                QNormEntry::Affine { range, .. } => {
+                    (eps_r + 2.0 * pow2(-(fa + 1))) / range + 2.0 * pow2(-25) + pow2(-fa)
+                }
+            })
+            .fold(0.0, f64::max);
+        // Output autoencoder + final integer RMSE.
+        let bound = self
+            .output
+            .propagate_error(eps_rn, eps_sig, fa, fw)
+            .max(eps_rn)
+            + rmse_round;
+        let per_layer = vec![
+            LayerBound {
+                layer: "input-quantization".into(),
+                bound: eps_xn,
+            },
+            LayerBound {
+                layer: "ensemble-autoencoders".into(),
+                bound: (eps_r - eps_xn).max(0.0),
+            },
+            LayerBound {
+                layer: "output-norm".into(),
+                bound: (eps_rn - eps_r).max(0.0),
+            },
+            LayerBound {
+                layer: "output-autoencoder".into(),
+                bound: (bound - eps_rn).max(0.0),
+            },
+        ];
+        let culprit = per_layer
+            .iter()
+            .max_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite layer bounds"))
+            .map(|l| l.layer.clone());
+        ErrorBound {
+            bound,
+            per_layer,
+            culprit,
+            grid_exact_only: false,
+        }
+    }
+
+    fn alu_ops(&self, dim: usize) -> u64 {
+        let input = 3 * dim as u64;
+        let ensemble: u64 = self.ensemble.iter().map(QAutoencoder::alu_ops).sum();
+        let norm = 4 * self.out_norm.len() as u64;
+        input + ensemble + norm + self.output.alu_ops()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized nearest centroid
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct QCentroid {
+    /// Grid exponent: `x_q = round(x · 2^in_shift)` (may be negative —
+    /// a coarser-than-integer grid for large feature magnitudes).
+    in_shift: i32,
+    c_q: Vec<i64>,
+    /// `isqrt(Σ c_q²)` precomputed.
+    c_norm_q: i64,
+    /// Float centroid L2 norm, for the error bound.
+    c_norm_f: f64,
+}
+
+impl QCentroid {
+    fn build(centroid: &[f64], cfg: &QuantConfig) -> Result<Self, QuantError> {
+        let in_shift = grid_shift(cfg.max_abs_input, 40)?;
+        let scale = pow2(in_shift);
+        let mut c_q = Vec::with_capacity(centroid.len());
+        for &v in centroid {
+            let q = (v * scale).round();
+            if !(q.is_finite() && q.abs() <= GRID_CAP as f64) {
+                return Err(QuantError::Degenerate(format!(
+                    "centroid coordinate {v} exceeds the Q-format input range"
+                )));
+            }
+            c_q.push(q as i64);
+        }
+        let n2: u128 = c_q
+            .iter()
+            .map(|&v| (i128::from(v) * i128::from(v)) as u128)
+            .sum();
+        let c_norm_f = centroid.iter().map(|v| v * v).sum::<f64>().sqrt();
+        Ok(QCentroid {
+            in_shift,
+            c_q,
+            c_norm_q: isqrt_u128(n2) as i64,
+            c_norm_f,
+        })
+    }
+
+    /// `1 − cos(x, c)` at `frac_bits` fraction bits. A zero-norm side
+    /// yields cosine 0 (score exactly 1), mirroring the float model.
+    fn score_q(&self, x: &[f64], frac_bits: u32) -> i64 {
+        let scale = pow2(self.in_shift);
+        let one = 1i128 << frac_bits;
+        let mut dot: i128 = 0;
+        let mut nx2: u128 = 0;
+        for (i, &c) in self.c_q.iter().enumerate() {
+            let xq = to_grid(x.get(i).copied().unwrap_or(0.0), scale, GRID_CAP);
+            dot += i128::from(xq) * i128::from(c);
+            nx2 += (i128::from(xq) * i128::from(xq)) as u128;
+        }
+        let na = isqrt_u128(nx2) as i128;
+        let nb = i128::from(self.c_norm_q);
+        if na == 0 || nb == 0 {
+            return one as i64;
+        }
+        let cos = div_round(dot.saturating_mul(one), na * nb).clamp(-one, one);
+        (one - cos) as i64
+    }
+
+    fn error_bound(&self, domain: &[(f64, f64)], frac_bits: u32) -> ErrorBound {
+        let unprovable = |layer: &str| ErrorBound {
+            bound: f64::INFINITY,
+            per_layer: Vec::new(),
+            culprit: Some(layer.to_string()),
+            grid_exact_only: false,
+        };
+        if domain
+            .iter()
+            .any(|(lo, hi)| !(lo.is_finite() && hi.is_finite()))
+        {
+            return unprovable("input-interval");
+        }
+        // Hull must fit the grid without saturation.
+        let max_abs = domain
+            .iter()
+            .map(|(lo, hi)| lo.abs().max(hi.abs()))
+            .fold(0.0, f64::max);
+        if max_abs * pow2(self.in_shift) > GRID_CAP as f64 {
+            return unprovable("input-scale");
+        }
+        // Cosine needs a positive lower bound on ‖x‖ over the domain.
+        let l2: f64 = domain
+            .iter()
+            .map(|(lo, hi)| {
+                if *lo <= 0.0 && *hi >= 0.0 {
+                    0.0
+                } else {
+                    lo.abs().min(hi.abs()).powi(2)
+                }
+            })
+            .sum();
+        let l = l2.sqrt();
+        if l <= 0.0 {
+            return unprovable("input-norm");
+        }
+        if self.c_norm_f <= 0.0 {
+            return unprovable("centroid-norm");
+        }
+        let d = self.c_q.len() as f64;
+        let eps_grid = pow2(-(self.in_shift + 1));
+        let input = 2.0 * d.sqrt() * eps_grid / l;
+        let centroid = 2.0 * d.sqrt() * eps_grid / self.c_norm_f;
+        let cosine = 2.0 / (l * pow2(self.in_shift))
+            + 2.0 / (self.c_norm_f * pow2(self.in_shift))
+            + pow2(-(frac_bits as i32 - 1));
+        let per_layer = vec![
+            LayerBound {
+                layer: "input-quantization".into(),
+                bound: input,
+            },
+            LayerBound {
+                layer: "centroid-quantization".into(),
+                bound: centroid,
+            },
+            LayerBound {
+                layer: "integer-cosine".into(),
+                bound: cosine,
+            },
+        ];
+        let culprit = per_layer
+            .iter()
+            .max_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite layer bounds"))
+            .map(|lb| lb.layer.clone());
+        ErrorBound {
+            bound: input + centroid + cosine,
+            per_layer,
+            culprit,
+            grid_exact_only: false,
+        }
+    }
+
+    fn alu_ops(&self) -> u64 {
+        const ISQRT_OPS: u64 = 40;
+        6 * self.c_q.len() as u64 + 2 * ISQRT_OPS + 8
+    }
+}
+
+/// Largest grid exponent keeping `max_abs · 2^s ≤ 2^cap_bits`.
+fn grid_shift(max_abs: f64, cap_bits: i32) -> Result<i32, QuantError> {
+    if !(max_abs.is_finite() && max_abs > 0.0) {
+        return Err(QuantError::Degenerate(format!(
+            "input magnitude hint {max_abs} is not a positive finite value"
+        )));
+    }
+    let s = (f64::from(cap_bits) - max_abs.log2()).floor() as i32;
+    if s < -60 {
+        return Err(QuantError::Degenerate(format!(
+            "input magnitude hint {max_abs} exceeds any representable grid"
+        )));
+    }
+    Ok(s.min(40))
+}
+
+// ---------------------------------------------------------------------------
+// Quantized CART
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum QCartNode {
+    Leaf {
+        p_pos_q: i64,
+    },
+    Split {
+        feature: u32,
+        thr_q: i64,
+        left: u32,
+        right: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct QCart {
+    nodes: Vec<QCartNode>,
+    in_shift: i32,
+    depth: u32,
+}
+
+impl QCart {
+    fn build(flat: &[FlatNode], cfg: &QuantConfig) -> Result<Self, QuantError> {
+        // CART thresholds must stay exactly representable after scaling, so
+        // cap the grid at frac_bits even when the hull would allow finer.
+        let in_shift = grid_shift(cfg.max_abs_input, 40)?.min(cfg.frac_bits as i32);
+        let scale = pow2(in_shift);
+        let pscale = pow2(cfg.frac_bits as i32);
+        let mut nodes = Vec::with_capacity(flat.len());
+        for n in flat {
+            match n {
+                FlatNode::Leaf { p_pos } => nodes.push(QCartNode::Leaf {
+                    p_pos_q: (p_pos * pscale).round() as i64,
+                }),
+                FlatNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    // floor(t · 2^s): with x on the grid, `x ≤ t` ⟺
+                    // `x_q ≤ thr_q` — routing is exact.
+                    let t = (threshold * scale).floor();
+                    if !(t.is_finite() && t.abs() < pow2(50)) {
+                        return Err(QuantError::Degenerate(format!(
+                            "split threshold {threshold} exceeds the Q-format grid"
+                        )));
+                    }
+                    nodes.push(QCartNode::Split {
+                        feature: *feature as u32,
+                        thr_q: t as i64,
+                        left: *left as u32,
+                        right: *right as u32,
+                    });
+                }
+            }
+        }
+        let depth = Self::depth_of(&nodes, 0, 0);
+        Ok(QCart {
+            nodes,
+            in_shift,
+            depth,
+        })
+    }
+
+    fn depth_of(nodes: &[QCartNode], at: usize, acc: u32) -> u32 {
+        match nodes[at] {
+            QCartNode::Leaf { .. } => acc + 1,
+            QCartNode::Split { left, right, .. } => Self::depth_of(nodes, left as usize, acc + 1)
+                .max(Self::depth_of(nodes, right as usize, acc + 1)),
+        }
+    }
+
+    fn score_q(&self, x: &[f64]) -> i64 {
+        let scale = pow2(self.in_shift);
+        let mut at = 0usize;
+        loop {
+            match self.nodes[at] {
+                QCartNode::Leaf { p_pos_q } => return p_pos_q,
+                QCartNode::Split {
+                    feature,
+                    thr_q,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(feature as usize).copied().unwrap_or(0.0);
+                    let xq = to_grid(v, scale, GRID_CAP);
+                    at = if xq <= thr_q { left } else { right } as usize;
+                }
+            }
+        }
+    }
+
+    fn error_bound(&self, domain: &[(f64, f64)], frac_bits: u32) -> ErrorBound {
+        let unprovable = |layer: &str| ErrorBound {
+            bound: f64::INFINITY,
+            per_layer: Vec::new(),
+            culprit: Some(layer.to_string()),
+            grid_exact_only: true,
+        };
+        if domain
+            .iter()
+            .any(|(lo, hi)| !(lo.is_finite() && hi.is_finite()))
+        {
+            return unprovable("input-interval");
+        }
+        let max_abs = domain
+            .iter()
+            .map(|(lo, hi)| lo.abs().max(hi.abs()))
+            .fold(0.0, f64::max);
+        if max_abs * pow2(self.in_shift) > GRID_CAP as f64 {
+            return unprovable("input-scale");
+        }
+        if self.in_shift < 1 {
+            // Integer features need at least a half-integer grid to place
+            // midpoint thresholds exactly.
+            return unprovable("split-grid");
+        }
+        let leaf = pow2(-(frac_bits as i32 + 1));
+        ErrorBound {
+            bound: leaf,
+            per_layer: vec![
+                LayerBound {
+                    layer: "split-grid".into(),
+                    bound: 0.0,
+                },
+                LayerBound {
+                    layer: "leaf-probability".into(),
+                    bound: leaf,
+                },
+            ],
+            culprit: Some("leaf-probability".into()),
+            grid_exact_only: true,
+        }
+    }
+
+    fn alu_ops(&self) -> u64 {
+        4 * u64::from(self.depth) + 2
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The quantized detector
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum QuantModel {
+    KitNet(Box<QKitNet>),
+    Centroid(QCentroid),
+    Cart(QCart),
+}
+
+/// A frozen detector lowered to Qm.n fixed-point integer arithmetic.
+///
+/// Scores are pure integer after an exact power-of-two grid conversion of
+/// the inputs, hence bitwise deterministic everywhere; the returned float
+/// score `score_q / 2^FA` is exactly representable.
+#[derive(Clone, Debug)]
+pub struct QuantizedDetector {
+    model: QuantModel,
+    name: &'static str,
+    dim: usize,
+    frac_bits: u32,
+    weight_bits: u32,
+    threshold_q: i64,
+}
+
+/// Lowers a frozen detector into fixed point.
+///
+/// Supports KitNET, nearest-centroid, and CART; k-NN has no bounded-state
+/// lowering and returns [`QuantError::Unsupported`].
+pub fn quantize(
+    frozen: &FrozenDetector,
+    cfg: &QuantConfig,
+) -> Result<QuantizedDetector, QuantError> {
+    if !(8..=30).contains(&cfg.frac_bits) || !(8..=30).contains(&cfg.weight_bits) {
+        return Err(QuantError::Degenerate(format!(
+            "frac_bits {} / weight_bits {} outside the supported 8..=30 range",
+            cfg.frac_bits, cfg.weight_bits
+        )));
+    }
+    let threshold = frozen.threshold();
+    if !(threshold.is_finite() && threshold.abs() * pow2(cfg.frac_bits as i32) < pow2(60)) {
+        return Err(QuantError::Degenerate(format!(
+            "calibrated threshold {threshold} not representable at Q{}",
+            cfg.frac_bits
+        )));
+    }
+    let det = frozen.detector();
+    let any = det.as_any();
+    let model = if let Some(k) = any.downcast_ref::<KitNetDetector>() {
+        QuantModel::KitNet(Box::new(QKitNet::build(
+            k.model().ok_or(QuantError::Untrained)?,
+            cfg,
+        )?))
+    } else if let Some(c) = any.downcast_ref::<CentroidDetector>() {
+        if !c.is_frozen() {
+            return Err(QuantError::Untrained);
+        }
+        let centroid = c.model().centroid(0).ok_or(QuantError::Untrained)?;
+        QuantModel::Centroid(QCentroid::build(&centroid, cfg)?)
+    } else if let Some(t) = any.downcast_ref::<CartDetector>() {
+        let tree = t.tree().ok_or(QuantError::Untrained)?;
+        let flat = tree.flatten().ok_or(QuantError::Untrained)?;
+        QuantModel::Cart(QCart::build(&flat, cfg)?)
+    } else {
+        return Err(QuantError::Unsupported(det.name()));
+    };
+    Ok(QuantizedDetector {
+        model,
+        name: det.name(),
+        dim: det.feature_dim(),
+        frac_bits: cfg.frac_bits,
+        weight_bits: cfg.weight_bits,
+        threshold_q: (threshold * pow2(cfg.frac_bits as i32)).round() as i64,
+    })
+}
+
+impl QuantizedDetector {
+    /// Model name of the underlying detector.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Expected feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fraction bits of activations and scores.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Fraction bits of weights.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Human-readable Q-format, e.g. `"Q39.24"`.
+    pub fn format(&self) -> String {
+        format!("Q{}.{}", 63 - self.frac_bits, self.frac_bits)
+    }
+
+    /// The alert threshold snapped to the score grid (`thr_q / 2^FA`),
+    /// exactly representable in f64.
+    pub fn threshold(&self) -> f64 {
+        self.threshold_q as f64 / pow2(self.frac_bits as i32)
+    }
+
+    /// Integer score at `FA` fraction bits.
+    pub fn score_q(&self, x: &[f64]) -> Result<i64, MlError> {
+        if x.len() != self.dim {
+            return Err(MlError::DimMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
+        }
+        Ok(match &self.model {
+            QuantModel::KitNet(k) => k.score_q(x, self.frac_bits, self.weight_bits),
+            QuantModel::Centroid(c) => c.score_q(x, self.frac_bits),
+            QuantModel::Cart(t) => t.score_q(x),
+        })
+    }
+
+    /// Score as a float: `score_q / 2^FA` — exactly representable, so
+    /// float comparison against [`QuantizedDetector::threshold`] is
+    /// equivalent to the integer compare the pipeline performs.
+    pub fn score(&self, x: &[f64]) -> Result<f64, MlError> {
+        Ok(self.score_q(x)? as f64 / pow2(self.frac_bits as i32))
+    }
+
+    /// Whether a score crosses the grid-snapped threshold (strictly above,
+    /// matching [`FrozenDetector::is_alert`]).
+    pub fn is_alert(&self, score: f64) -> bool {
+        score > self.threshold()
+    }
+
+    /// Integer ALU operations of one score evaluation — the quantity
+    /// `cycles_from_cost` prices into NIC cycles.
+    pub fn alu_ops(&self) -> u64 {
+        match &self.model {
+            QuantModel::KitNet(k) => k.alu_ops(self.dim),
+            QuantModel::Centroid(c) => c.alu_ops(),
+            QuantModel::Cart(t) => t.alu_ops(),
+        }
+    }
+
+    /// Certifies a worst-case |float − quantized| score bound over the
+    /// per-feature input intervals `domain` (one `(lo, hi)` pair per
+    /// feature). KitNET's bound is domain-independent (the affine input
+    /// layer clamps); centroid and CART use the domain to prove the grid
+    /// does not saturate (and, for centroid, that ‖x‖ is bounded away
+    /// from zero). An infinite bound names the blocking layer.
+    pub fn error_bound(&self, domain: &[(f64, f64)]) -> Result<ErrorBound, QuantError> {
+        if domain.len() != self.dim {
+            return Err(QuantError::Degenerate(format!(
+                "domain has {} intervals, detector expects {}",
+                domain.len(),
+                self.dim
+            )));
+        }
+        Ok(match &self.model {
+            QuantModel::KitNet(k) => k.error_bound(self.frac_bits, self.weight_bits),
+            QuantModel::Centroid(c) => c.error_bound(domain, self.frac_bits),
+            QuantModel::Cart(t) => t.error_bound(domain, self.frac_bits),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{train_and_calibrate, CalibrationConfig, Detector, KnnNovelty};
+
+    fn benign(dim: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| 1.0 + 0.01 * ((i * 7 + d * 3) % 13) as f64 + 0.0005 * i as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn freeze(det: Box<dyn Detector>, dim: usize, n: usize) -> FrozenDetector {
+        let data = benign(dim, n);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        train_and_calibrate(det, &refs, 0.2, CalibrationConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sigmoid_table_tracks_float_within_certified_error() {
+        let sig = QSigmoid::build(24);
+        let eps = QSigmoid::approx_error(24);
+        let scale = pow2(24);
+        let mut worst: f64 = 0.0;
+        let mut z = -20.0;
+        while z < 20.0 {
+            let zq = (z * scale).round() as i64;
+            let got = sig.eval(zq) as f64 / scale;
+            // Compare at the grid point the table actually saw.
+            let want = sigmoid_f(zq as f64 / scale);
+            worst = worst.max((got - want).abs());
+            z += 0.00371;
+        }
+        assert!(worst <= eps, "sigmoid error {worst} above certified {eps}");
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        for v in [0u128, 1, 2, 3, 4, 15, 16, 17, 1 << 40, (1 << 40) + 12345] {
+            let r = isqrt_u128(v);
+            assert!(r * r <= v, "{v}");
+            assert!((r + 1) * (r + 1) > v, "{v}");
+        }
+    }
+
+    #[test]
+    fn kitnet_quantized_score_stays_within_certified_bound() {
+        let frozen = freeze(Box::new(crate::KitNetDetector::new(5, 7).unwrap()), 5, 150);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        let domain = vec![(0.0, 3.0); 5];
+        let eb = q.error_bound(&domain).unwrap();
+        assert!(eb.bound.is_finite() && eb.bound > 0.0);
+        let mut probes = benign(5, 40);
+        probes.push(vec![80.0, -40.0, 900.0, 3.0, -7.0]);
+        probes.push(vec![0.0; 5]);
+        for x in &probes {
+            let f = frozen.score(x).unwrap();
+            let g = q.score(x).unwrap();
+            assert!(
+                (f - g).abs() <= eb.bound,
+                "|{f} - {g}| = {} above bound {}",
+                (f - g).abs(),
+                eb.bound
+            );
+        }
+    }
+
+    #[test]
+    fn centroid_quantized_score_stays_within_certified_bound() {
+        let frozen = freeze(Box::new(crate::CentroidDetector::new(4).unwrap()), 4, 100);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        // Domain bounded away from zero in every coordinate → ‖x‖ ≥ L > 0.
+        let domain = vec![(0.5, 4.0); 4];
+        let eb = q.error_bound(&domain).unwrap();
+        assert!(eb.bound.is_finite(), "culprit {:?}", eb.culprit);
+        for x in [
+            vec![1.0, 1.1, 1.2, 1.3],
+            vec![4.0, 0.5, 4.0, 0.5],
+            vec![0.5, 0.5, 0.5, 0.5],
+        ] {
+            let f = frozen.score(&x).unwrap();
+            let g = q.score(&x).unwrap();
+            assert!(
+                (f - g).abs() <= eb.bound,
+                "|{f} - {g}| = {} above bound {}",
+                (f - g).abs(),
+                eb.bound
+            );
+        }
+    }
+
+    #[test]
+    fn centroid_domain_through_zero_is_unprovable_with_culprit() {
+        let frozen = freeze(Box::new(crate::CentroidDetector::new(3).unwrap()), 3, 60);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        let eb = q
+            .error_bound(&[(-1.0, 1.0), (-1.0, 1.0), (-1.0, 1.0)])
+            .unwrap();
+        assert!(eb.bound.is_infinite());
+        assert_eq!(eb.culprit.as_deref(), Some("input-norm"));
+    }
+
+    #[test]
+    fn cart_routes_exactly_on_the_integer_grid() {
+        // Integer-valued training data → half-integer midpoints → exact
+        // fixed-point routing; scores differ only by leaf rounding.
+        let mut det = crate::CartDetector::new(2, 11).unwrap();
+        for i in 0..64 {
+            det.train(&[f64::from(i % 8), f64::from(i / 8)]).unwrap();
+        }
+        let data: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![f64::from(i % 8), f64::from(i / 8)])
+            .collect();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let frozen = train_and_calibrate(
+            Box::new(crate::CartDetector::new(2, 11).unwrap()),
+            &refs,
+            0.2,
+            CalibrationConfig::default(),
+        )
+        .unwrap();
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        let eb = q.error_bound(&[(0.0, 8.0), (0.0, 8.0)]).unwrap();
+        assert!(eb.grid_exact_only);
+        assert!(eb.bound <= pow2(-24), "bound {}", eb.bound);
+        for a in 0..12 {
+            for b in 0..12 {
+                let x = [f64::from(a), f64::from(b)];
+                let f = frozen.score(&x).unwrap();
+                let g = q.score(&x).unwrap();
+                assert!((f - g).abs() <= eb.bound, "({a},{b}): |{f} - {g}|");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_has_no_lowering() {
+        let frozen = freeze(Box::new(KnnNovelty::new(3, 3).unwrap()), 3, 60);
+        assert_eq!(
+            quantize(&frozen, &QuantConfig::default()).unwrap_err(),
+            QuantError::Unsupported("knn")
+        );
+    }
+
+    #[test]
+    fn scores_are_bitwise_deterministic_and_grid_exact() {
+        let frozen = freeze(Box::new(crate::KitNetDetector::new(4, 3).unwrap()), 4, 120);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        let x = [1.0, 2.0, 0.5, 1.5];
+        let a = q.score(&x).unwrap();
+        let b = q.score(&x).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // score · 2^FA is integral (the score is exactly on the grid).
+        let scaled = a * pow2(24);
+        assert_eq!(scaled, scaled.round());
+        assert_eq!(scaled, q.score_q(&x).unwrap() as f64);
+    }
+
+    #[test]
+    fn dim_mismatch_is_typed() {
+        let frozen = freeze(Box::new(crate::CentroidDetector::new(3).unwrap()), 3, 60);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        assert_eq!(
+            q.score(&[1.0]).unwrap_err(),
+            MlError::DimMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+        assert!(q.error_bound(&[(0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn alu_ops_are_positive_and_model_dependent() {
+        let kit = quantize(
+            &freeze(Box::new(crate::KitNetDetector::new(6, 1).unwrap()), 6, 150),
+            &QuantConfig::default(),
+        )
+        .unwrap();
+        let cen = quantize(
+            &freeze(Box::new(crate::CentroidDetector::new(6).unwrap()), 6, 60),
+            &QuantConfig::default(),
+        )
+        .unwrap();
+        assert!(kit.alu_ops() > cen.alu_ops());
+        assert!(cen.alu_ops() > 0);
+    }
+
+    #[test]
+    fn threshold_snaps_to_grid() {
+        let frozen = freeze(Box::new(crate::CentroidDetector::new(2).unwrap()), 2, 60);
+        let q = quantize(&frozen, &QuantConfig::default()).unwrap();
+        let t = q.threshold();
+        assert!((t - frozen.threshold()).abs() <= pow2(-25));
+        assert_eq!(t * pow2(24), (t * pow2(24)).round());
+    }
+}

@@ -17,6 +17,28 @@ enum Node {
     },
 }
 
+/// A flattened tree node (children are vector indices), the quantizer's
+/// view of a fitted tree.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FlatNode {
+    /// A leaf with its positive-class training fraction.
+    Leaf {
+        /// Fraction of training samples at this leaf with label 1.
+        p_pos: f64,
+    },
+    /// An internal binary split.
+    Split {
+        /// Feature index compared at this node.
+        feature: usize,
+        /// Split threshold (`x[feature] <= threshold` goes left).
+        threshold: f64,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+}
+
 /// A binary-split decision tree trained by recursive Gini minimization.
 #[derive(Clone, Debug)]
 pub struct DecisionTree {
@@ -100,6 +122,42 @@ impl DecisionTree {
             }
         }
         self.root.as_ref().map(d).unwrap_or(0)
+    }
+
+    /// Flattens the tree into an array representation for fixed-point
+    /// compilation: children are indices into the returned vector, with the
+    /// root at index 0. `None` when untrained.
+    pub(crate) fn flatten(&self) -> Option<Vec<FlatNode>> {
+        fn push(n: &Node, out: &mut Vec<FlatNode>) -> usize {
+            let at = out.len();
+            match n {
+                Node::Leaf { p_pos, .. } => out.push(FlatNode::Leaf { p_pos: *p_pos }),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push(FlatNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: 0,
+                        right: 0,
+                    });
+                    let l = push(left, out);
+                    let r = push(right, out);
+                    if let FlatNode::Split { left, right, .. } = &mut out[at] {
+                        *left = l;
+                        *right = r;
+                    }
+                }
+            }
+            at
+        }
+        let root = self.root.as_ref()?;
+        let mut out = Vec::new();
+        push(root, &mut out);
+        Some(out)
     }
 
     fn leaf(data: &[(Vec<f64>, usize)], idx: &[usize]) -> Node {

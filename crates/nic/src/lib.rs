@@ -21,6 +21,10 @@
 //! - [`stream`]: the streaming multi-core executor — CG-key-sharded worker
 //!   threads fed over bounded channels with backpressure, the software
 //!   analogue of the NBI packet distribution.
+//! - [`inference`]: the in-pipeline quantized inference stage — a
+//!   fixed-point detector compiled by the SF09xx pass, executed on each
+//!   finalized vector inside the worker shard so only alerts leave the
+//!   pipeline.
 //! - [`shared`]: the multi-tenant variant of [`stream`] — one shard pool
 //!   serving N per-tenant engines, with epoch-based in-band attach/detach
 //!   driven by the `superfe-ctrl` control plane.
@@ -34,6 +38,7 @@ pub mod arch;
 pub mod engine;
 pub mod error;
 pub mod feasibility;
+pub mod inference;
 pub mod parallel;
 pub mod perf;
 pub mod placement;
@@ -46,6 +51,9 @@ pub use arch::{MemLevel, NfpModel};
 pub use engine::{EvictedVector, FeNic, FeatureVector, NicStats};
 pub use error::NicError;
 pub use feasibility::{check_capacity, check_nic};
+pub use inference::{
+    canonicalize_inline_alerts, inline_alert_fingerprint, InlineAlert, InlineInference, InlineStats,
+};
 pub use parallel::{ParallelNic, ParallelOutput};
 pub use perf::{cycles_from_cost, CycleModel, OptFlags, PerfEstimate};
 pub use placement::{solve_placement, Placement};

@@ -52,6 +52,7 @@ use crate::stream::{
     EgressVector, StreamOutput, VectorSink, CHANNEL_DEPTH, DOORBELL_FRAMES, FRAME_SIZE,
     RECYCLE_DEPTH,
 };
+use crate::table::TableBudget;
 
 /// One shard's dump payload: `(unit, group, state)` per resident unit.
 type ShardDump = Vec<(TenantId, TenantId, ShardUnitState)>;
@@ -365,6 +366,8 @@ pub struct SharedStreamingNic {
     /// Shared-prefix groups (switch partitions) in creation order, with
     /// events-routed counters; a solo unit is a group of one.
     groups: Vec<(TenantId, u64)>,
+    /// Group-table budget applied to every subsequently attached unit.
+    budget: TableBudget,
 }
 
 impl SharedStreamingNic {
@@ -539,7 +542,16 @@ impl SharedStreamingNic {
             members: Vec::new(),
             units: Vec::new(),
             groups: Vec::new(),
+            budget: TableBudget::default(),
         }
+    }
+
+    /// Sets the group-table budget (DRAM cap + eviction policy) used by
+    /// every unit attached *after* this call; already-attached units keep
+    /// theirs. Lets operators pin `RandomWay` to an explicit seed
+    /// (CLI `--evict-seed`) so evictions replay deterministically.
+    pub fn set_table_budget(&mut self, budget: TableBudget) {
+        self.budget = budget;
     }
 
     /// Number of shards.
@@ -661,9 +673,11 @@ impl SharedStreamingNic {
         let mut sinks = self.split_sinks(sinks)?;
         let mut engines = Vec::with_capacity(n);
         for _ in 0..n {
-            engines.push(Box::new(FeNic::new(compiled, fg_table_size).ok_or_else(
-                || NicError::Engine("degenerate NIC group-table configuration".into()),
-            )?));
+            engines.push(Box::new(
+                FeNic::with_budget(compiled, fg_table_size, self.budget).ok_or_else(|| {
+                    NicError::Engine("degenerate NIC group-table configuration".into())
+                })?,
+            ));
         }
         // Everything already queued belongs to the previous epoch: flush it
         // ahead of the markers so the attach point is a clean stream cut.
@@ -1152,6 +1166,8 @@ fn empty_output() -> StreamOutput {
         stats: NicStats::default(),
         groups_per_level: Vec::new(),
         evicted_vectors: Vec::new(),
+        inline_alerts: Vec::new(),
+        inline_stats: None,
     }
 }
 

@@ -39,6 +39,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use superfe_ml::QuantizedDetector;
 use superfe_net::metrics::{monotonic_ns, StageMetrics};
 use superfe_net::ring;
 use superfe_net::Granularity;
@@ -47,6 +48,7 @@ use superfe_switch::SwitchEvent;
 
 use crate::engine::{EvictedVector, FeNic, FeatureVector, NicStats};
 use crate::error::NicError;
+use crate::inference::{InlineAlert, InlineInference, InlineStats};
 use crate::table::TableBudget;
 
 /// Events per channel frame (amortizes one synchronization over the frame).
@@ -106,6 +108,9 @@ struct ShardOutput {
     evicted: Vec<EvictedVector>,
     stats: NicStats,
     groups_per_level: Vec<(Granularity, usize)>,
+    /// Alerts and counters of the in-pipeline inference stage, when one
+    /// was attached.
+    inline: Option<(Vec<InlineAlert>, InlineStats)>,
 }
 
 /// Merged output of a streaming run.
@@ -125,6 +130,15 @@ pub struct StreamOutput {
     /// Groups finalized early by DRAM budget eviction, concatenated in
     /// shard order. Empty under the default budget.
     pub evicted_vectors: Vec<EvictedVector>,
+    /// Alerts raised by the in-pipeline inference stage, concatenated in
+    /// shard order. Empty unless the executor was built with
+    /// [`StreamingNic::with_inference`]. Use
+    /// [`canonicalize_inline_alerts`](crate::inference::canonicalize_inline_alerts)
+    /// for a worker-count-independent order.
+    pub inline_alerts: Vec<InlineAlert>,
+    /// Merged counters of the in-pipeline inference stage; `None` when no
+    /// quantized model was attached.
+    pub inline_stats: Option<InlineStats>,
 }
 
 struct Worker {
@@ -165,6 +179,7 @@ impl StreamingNic {
             None,
             None,
             TableBudget::default(),
+            None,
         )
     }
 
@@ -177,7 +192,32 @@ impl StreamingNic {
         workers: usize,
         budget: TableBudget,
     ) -> Result<Self, NicError> {
-        Self::build(compiled, fg_table_size, workers, None, None, budget)
+        Self::build(compiled, fg_table_size, workers, None, None, budget, None)
+    }
+
+    /// Like [`StreamingNic::new`], but compiles a quantized detector into
+    /// the pipeline: every finalized feature vector (per-packet and
+    /// per-group) is scored *inside its worker shard* before egress, and
+    /// alerts surface in [`StreamOutput::inline_alerts`].
+    ///
+    /// The model is shared read-only across shards — scoring is pure
+    /// integer arithmetic ([`QuantizedDetector::score_q`]), so the alert
+    /// stream per group key is bitwise identical at every worker count.
+    pub fn with_inference(
+        compiled: &CompiledPolicy,
+        fg_table_size: usize,
+        workers: usize,
+        model: Arc<QuantizedDetector>,
+    ) -> Result<Self, NicError> {
+        Self::build(
+            compiled,
+            fg_table_size,
+            workers,
+            None,
+            None,
+            TableBudget::default(),
+            Some(model),
+        )
     }
 
     /// Like [`StreamingNic::new`], but attaches one [`VectorSink`] per
@@ -228,6 +268,7 @@ impl StreamingNic {
             sinks,
             metrics,
             TableBudget::default(),
+            None,
         )
     }
 
@@ -238,6 +279,7 @@ impl StreamingNic {
         sinks: Option<Vec<Box<dyn VectorSink>>>,
         metrics: Option<Arc<StageMetrics>>,
         budget: TableBudget,
+        inference: Option<Arc<QuantizedDetector>>,
     ) -> Result<Self, NicError> {
         let workers = workers.max(1);
         let mut engines = Vec::with_capacity(workers);
@@ -267,9 +309,14 @@ impl StreamingNic {
                 let (mut recycle_tx, recycle_rx) =
                     ring::channel::<Vec<SwitchEvent>>(RECYCLE_DEPTH, 1);
                 let mut sink = sinks[shard].take();
+                let mut infer = inference.clone().map(InlineInference::new);
                 let metrics = metrics.clone();
                 let join = std::thread::spawn(move || {
                     let mut seq: u64 = 0;
+                    // Per-packet vectors scored in-pipeline without a sink
+                    // attached are buffered here instead of inside the
+                    // engine (they are drained per frame for scoring).
+                    let mut local_pkts: Vec<FeatureVector> = Vec::new();
                     while let Ok(mut frame) = rx.recv() {
                         let t0 = metrics.as_ref().map(|_| monotonic_ns());
                         for e in &frame {
@@ -278,12 +325,21 @@ impl StreamingNic {
                         if let (Some(m), Some(t0)) = (&metrics, t0) {
                             m.shard.record(monotonic_ns().saturating_sub(t0));
                         }
-                        if let Some(sink) = sink.as_mut() {
-                            // Divert this frame's per-packet vectors to the
-                            // sink in arrival order.
-                            let t1 = metrics.as_ref().map(|_| monotonic_ns());
+                        if sink.is_some() || infer.is_some() {
+                            // Drain this frame's per-packet vectors in
+                            // arrival order: score in-pipeline, then divert
+                            // to the sink (or buffer locally without one).
+                            let t1 = sink.as_ref().and(metrics.as_ref()).map(|_| monotonic_ns());
                             for vector in nic.take_packet_vectors() {
-                                sink.emit(EgressVector { shard, seq, vector });
+                                if let Some(inf) = infer.as_mut() {
+                                    inf.score(shard, seq, &vector);
+                                }
+                                match sink.as_mut() {
+                                    Some(sink) => {
+                                        sink.emit(EgressVector { shard, seq, vector });
+                                    }
+                                    None => local_pkts.push(vector),
+                                }
                                 seq += 1;
                             }
                             if let (Some(m), Some(t1)) = (&metrics, t1) {
@@ -296,12 +352,32 @@ impl StreamingNic {
                         let _ = recycle_tx.try_send(frame);
                     }
                     let groups = nic.finish();
-                    let pkts = nic.take_packet_vectors();
-                    if let Some(mut sink) = sink.take() {
-                        for vector in groups.iter().cloned() {
-                            sink.emit(EgressVector { shard, seq, vector });
+                    let mut pkts = local_pkts;
+                    let stragglers = nic.take_packet_vectors();
+                    if let Some(inf) = infer.as_mut() {
+                        for vector in &stragglers {
+                            inf.score(shard, seq, vector);
                             seq += 1;
                         }
+                    }
+                    pkts.extend(stragglers);
+                    // Per-group vectors at end of stream: one seq counter
+                    // covers both the inference tags and the sink tags, so
+                    // the two streams agree on positions.
+                    for vector in &groups {
+                        if let Some(inf) = infer.as_mut() {
+                            inf.score(shard, seq, vector);
+                        }
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit(EgressVector {
+                                shard,
+                                seq,
+                                vector: vector.clone(),
+                            });
+                        }
+                        seq += 1;
+                    }
+                    if let Some(mut sink) = sink.take() {
                         sink.flush();
                         // Dropping the sink here (before the join) closes
                         // any downstream channels it holds.
@@ -312,6 +388,7 @@ impl StreamingNic {
                         evicted: nic.take_evicted(),
                         stats: *nic.stats(),
                         groups_per_level: nic.groups_per_level(),
+                        inline: infer.map(InlineInference::into_parts),
                     }
                 });
                 Worker {
@@ -414,6 +491,8 @@ impl StreamingNic {
             stats: NicStats::default(),
             groups_per_level: Vec::new(),
             evicted_vectors: Vec::new(),
+            inline_alerts: Vec::new(),
+            inline_stats: None,
         };
         for (i, worker) in self.workers.into_iter().enumerate() {
             // Dropping the producer publishes any staged frames, closes the
@@ -427,6 +506,12 @@ impl StreamingNic {
             out.packet_vectors.extend(shard.pkts);
             out.evicted_vectors.extend(shard.evicted);
             out.stats.absorb(&shard.stats);
+            if let Some((alerts, stats)) = shard.inline {
+                out.inline_alerts.extend(alerts);
+                out.inline_stats
+                    .get_or_insert_with(InlineStats::default)
+                    .absorb(&stats);
+            }
             if out.groups_per_level.is_empty() {
                 out.groups_per_level = shard.groups_per_level;
             } else {
@@ -631,6 +716,106 @@ mod tests {
         let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(host)");
         let err = StreamingNic::with_sinks(&c, 16_384, 2, Vec::new());
         assert!(matches!(err, Err(NicError::Engine(_))));
+    }
+
+    fn quant_model(train: &[Vec<f64>]) -> Arc<QuantizedDetector> {
+        use superfe_ml::{
+            quantize, train_and_calibrate, CalibrationConfig, CentroidDetector, Detector,
+            QuantConfig,
+        };
+        let refs: Vec<&[f64]> = train.iter().map(Vec::as_slice).collect();
+        let frozen = train_and_calibrate(
+            Box::new(CentroidDetector::new(train[0].len()).unwrap()) as Box<dyn Detector>,
+            &refs,
+            0.05,
+            CalibrationConfig::default(),
+        )
+        .unwrap();
+        Arc::new(quantize(&frozen, &QuantConfig::default()).unwrap())
+    }
+
+    fn run_with_inference(
+        c: &CompiledPolicy,
+        n: u32,
+        workers: usize,
+        model: Arc<QuantizedDetector>,
+    ) -> StreamOutput {
+        let mut sw = FeSwitch::new(c.switch.clone()).unwrap();
+        let mut nic = StreamingNic::with_inference(c, 16_384, workers, model).unwrap();
+        let mut frame = Vec::new();
+        for i in 0..n {
+            let p = PacketRecord::tcp(u64::from(i) * 100, 100, i % 31 + 1, 1000, 2, 80);
+            frame.clear();
+            sw.process_into(&p, &mut frame);
+            nic.push_all(frame.drain(..)).unwrap();
+        }
+        frame.clear();
+        sw.flush_into(&mut frame);
+        nic.push_all(frame.drain(..)).unwrap();
+        nic.finish().unwrap()
+    }
+
+    #[test]
+    fn inline_inference_raises_alerts_on_group_vectors() {
+        let c =
+            compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum, f_max])\n.collect(host)");
+        // Train far away (second axis dominant) from what the pipeline
+        // emits ([~6400, 100], first axis dominant): every host alerts.
+        let train: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![1.0 + f64::from(i % 5) * 0.1, 500.0 + f64::from(i % 7)])
+            .collect();
+        let out = run_with_inference(&c, 2000, 2, quant_model(&train));
+        let stats = out.inline_stats.expect("inference was attached");
+        assert_eq!(stats.scored, out.group_vectors.len() as u64);
+        assert_eq!(stats.dim_errors, 0);
+        assert_eq!(stats.alerts, out.group_vectors.len() as u64);
+        assert_eq!(out.inline_alerts.len(), out.group_vectors.len());
+        for a in &out.inline_alerts {
+            assert!(a.score > a.threshold);
+        }
+        // Without inference the same run reports no inline stage at all.
+        let plain = run_streaming(&c, 2000, 2);
+        assert!(plain.inline_stats.is_none());
+        assert!(plain.inline_alerts.is_empty());
+        // And the vector outputs themselves are unchanged by scoring.
+        assert_eq!(sorted(plain.group_vectors), sorted(out.group_vectors));
+    }
+
+    #[test]
+    fn inline_alert_stream_is_worker_count_independent() {
+        let c =
+            compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum, f_max])\n.collect(host)");
+        let train: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![1.0 + f64::from(i % 5) * 0.1, 500.0 + f64::from(i % 7)])
+            .collect();
+        let model = quant_model(&train);
+        let mut fingerprints = Vec::new();
+        for workers in [1, 2, 4, 8] {
+            let out = run_with_inference(&c, 2000, workers, model.clone());
+            let mut alerts = out.inline_alerts;
+            crate::inference::canonicalize_inline_alerts(&mut alerts);
+            fingerprints.push(crate::inference::inline_alert_fingerprint(&alerts));
+        }
+        assert!(!fingerprints[0].is_empty());
+        for fp in &fingerprints[1..] {
+            assert_eq!(&fingerprints[0], fp, "alert stream depends on worker count");
+        }
+    }
+
+    #[test]
+    fn inline_inference_scores_packet_vectors_without_diverting_them() {
+        let c = compiled("pktstream\n.groupby(host)\n.reduce(size, [f_sum])\n.collect(pkt)");
+        let train: Vec<Vec<f64>> = (0..64).map(|i| vec![100.0 + f64::from(i % 5)]).collect();
+        let out = run_with_inference(&c, 2000, 2, quant_model(&train));
+        // No sink attached: scored per-packet vectors are still returned.
+        let plain = run_streaming(&c, 2000, 2);
+        assert_eq!(out.packet_vectors.len(), plain.packet_vectors.len());
+        let stats = out.inline_stats.expect("inference was attached");
+        assert_eq!(
+            stats.scored,
+            (plain.packet_vectors.len() + plain.group_vectors.len()) as u64
+        );
+        assert_eq!(sorted(out.packet_vectors), sorted(plain.packet_vectors));
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub enum EvictionPolicy {
         /// Seed of the deterministic victim sequence.
         seed: u64,
     },
+    /// True access-ordered LRU: every DRAM hit refreshes the group's
+    /// recency, and the least-recently-*used* (not least-recently-inserted)
+    /// group is evicted. Costs a per-access tick plus a lazily compacted
+    /// recency queue — the upper bound `EvictOldest` approximates.
+    Lru,
 }
 
 /// Memory budget of one group table's DRAM overflow.
@@ -119,10 +124,18 @@ pub struct GroupTable<V> {
     /// SipHash default is DoS-hardened but several times slower, and the
     /// keys reaching this map are already CRC-dispersed by the switch.
     overflow: FxHashMap<GroupKey, V>,
-    /// Insertion order of the spilled keys — the iteration order (so
-    /// output is deterministic and serializable) and the eviction order
-    /// for [`EvictionPolicy::EvictOldest`].
-    order: VecDeque<GroupKey>,
+    /// Order of the spilled keys — the iteration order (so output is
+    /// deterministic and serializable) and the eviction order for
+    /// [`EvictionPolicy::EvictOldest`] and [`EvictionPolicy::Lru`]. Each
+    /// entry carries the tick it was pushed at; under `Lru` a key is
+    /// re-pushed on every DRAM access and only the entry matching
+    /// `ticks[key]` is live (lazy invalidation — no mid-queue removal).
+    /// Under every other policy entries are unique and always live.
+    order: VecDeque<(GroupKey, u64)>,
+    /// Latest access tick per resident spilled key (`Lru` only).
+    ticks: FxHashMap<GroupKey, u64>,
+    /// Monotonic access counter feeding `order`/`ticks`.
+    clock: u64,
     budget: TableBudget,
     /// splitmix64 state for [`EvictionPolicy::RandomWay`] victims.
     rng: u64,
@@ -152,6 +165,8 @@ impl<V> GroupTable<V> {
             width,
             overflow: FxHashMap::default(),
             order: VecDeque::new(),
+            ticks: FxHashMap::default(),
+            clock: 0,
             budget,
             rng,
             stats: TableStats::default(),
@@ -210,15 +225,48 @@ impl<V> GroupTable<V> {
         }
         // Collision: go to DRAM.
         self.stats.dram_lookups += 1;
-        if !self.overflow.contains_key(&key) {
+        if self.overflow.contains_key(&key) {
+            self.note_access(key);
+        } else {
             if self.overflow.len() >= self.budget.max_dram_entries && !self.make_room(evicted) {
                 self.stats.overflow_drops += 1;
                 return None;
             }
-            self.order.push_back(key);
+            self.note_insert(key);
             self.overflow.insert(key, default());
         }
         self.overflow.get_mut(&key)
+    }
+
+    /// Records a first-sight spill: one live `order` entry for the key.
+    fn note_insert(&mut self, key: GroupKey) {
+        self.clock += 1;
+        if self.budget.policy == EvictionPolicy::Lru {
+            self.ticks.insert(key, self.clock);
+        }
+        self.order.push_back((key, self.clock));
+    }
+
+    /// Refreshes a spilled key's recency on a DRAM hit (`Lru` only): the
+    /// old `order` entry goes stale and a fresh one is appended. The queue
+    /// is compacted once stale entries dominate, keeping the amortized cost
+    /// O(1) per access.
+    fn note_access(&mut self, key: GroupKey) {
+        if self.budget.policy != EvictionPolicy::Lru {
+            return;
+        }
+        self.clock += 1;
+        self.ticks.insert(key, self.clock);
+        self.order.push_back((key, self.clock));
+        if self.order.len() > 2 * self.overflow.len() + 64 {
+            let ticks = &self.ticks;
+            self.order.retain(|(k, t)| ticks.get(k) == Some(t));
+        }
+    }
+
+    /// Whether an `order` entry is live (non-`Lru` entries always are).
+    fn is_fresh(&self, key: &GroupKey, tick: u64) -> bool {
+        self.budget.policy != EvictionPolicy::Lru || self.ticks.get(key) == Some(&tick)
     }
 
     /// Applies the eviction policy once; returns `false` when the policy
@@ -226,7 +274,7 @@ impl<V> GroupTable<V> {
     fn make_room(&mut self, evicted: &mut Vec<(GroupKey, V)>) -> bool {
         let victim = match self.budget.policy {
             EvictionPolicy::DropNew => return false,
-            EvictionPolicy::EvictOldest => self.order.pop_front(),
+            EvictionPolicy::EvictOldest => self.order.pop_front().map(|(k, _)| k),
             EvictionPolicy::RandomWay { .. } => {
                 // splitmix64 step — deterministic victim sequence per seed.
                 self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -235,7 +283,23 @@ impl<V> GroupTable<V> {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^= z >> 31;
                 let idx = (z % self.order.len().max(1) as u64) as usize;
-                self.order.swap_remove_back(idx)
+                self.order.swap_remove_back(idx).map(|(k, _)| k)
+            }
+            EvictionPolicy::Lru => {
+                // Pop stale entries until the front is live: the live entry
+                // with the smallest tick belongs to the key whose *latest*
+                // access is oldest — the true LRU victim.
+                let mut victim = None;
+                while let Some((k, t)) = self.order.pop_front() {
+                    if self.ticks.get(&k) == Some(&t) {
+                        victim = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = victim {
+                    self.ticks.remove(&k);
+                }
+                victim
             }
         };
         let Some(k) = victim else { return false };
@@ -247,14 +311,18 @@ impl<V> GroupTable<V> {
     }
 
     /// Iterates all `(key, value)` pairs: bucket array first, then DRAM in
-    /// insertion order (deterministic, matching the serialized layout).
+    /// insertion order (recency order under [`EvictionPolicy::Lru`]) —
+    /// deterministic, matching the serialized layout.
     pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &V)> {
         self.buckets
             .iter()
             .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
-            .chain(self.order.iter().map(|k| {
-                let v = self.overflow.get(k).expect("order tracks overflow");
-                (k, v)
+            .chain(self.order.iter().filter_map(|(k, t)| {
+                if !self.is_fresh(k, *t) {
+                    return None;
+                }
+                let v = self.overflow.get(k).expect("live order entry is resident");
+                Some((k, v))
             }))
     }
 
@@ -265,6 +333,7 @@ impl<V> GroupTable<V> {
         }
         self.overflow.clear();
         self.order.clear();
+        self.ticks.clear();
     }
 
     /// Serializes the table's dynamic contents (chain and spill order
@@ -284,7 +353,10 @@ impl<V> GroupTable<V> {
             }
         }
         w.put_u32(self.overflow.len() as u32);
-        for k in &self.order {
+        for (k, t) in &self.order {
+            if !self.is_fresh(k, *t) {
+                continue;
+            }
             k.save_state(w);
             save_v(&self.overflow[k], w);
         }
@@ -325,7 +397,9 @@ impl<V> GroupTable<V> {
         for _ in 0..spilled {
             let k = GroupKey::load_state(r)?;
             let v = load_v(r)?;
-            self.order.push_back(k);
+            // Spill entries were saved in live order, so re-ticking them in
+            // sequence reproduces the relative recency exactly.
+            self.note_insert(k);
             self.overflow.insert(k, v);
         }
         self.rng = r.get_u64()?;
@@ -478,6 +552,82 @@ mod tests {
     }
 
     #[test]
+    fn lru_evicts_by_access_not_insertion() {
+        let budget = TableBudget::capped(2, EvictionPolicy::Lru);
+        let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut ev = Vec::new();
+        // key 0 fills the single bucket; 1 and 2 spill to DRAM (cap 2).
+        for i in 0..3 {
+            assert!(t.get_or_insert_with(key(i), 0, || i, &mut ev).is_some());
+        }
+        // Touch 1 (the older spill): under EvictOldest, 1 would be the
+        // next victim; under true LRU it is now the most recent.
+        assert!(t.get_or_insert_with(key(1), 0, || 99, &mut ev).is_some());
+        assert!(t.get_or_insert_with(key(3), 0, || 3, &mut ev).is_some());
+        let evicted: Vec<u32> = ev.iter().map(|(_, v)| *v).collect();
+        assert_eq!(evicted, vec![2], "LRU must evict the untouched key 2");
+        // Iteration visits each resident spill exactly once, in recency
+        // order (1 was touched after 3's insertion replaced 2... 1 then 3).
+        let spilled: Vec<u32> = t
+            .iter()
+            .filter(|(k, _)| **k != key(0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(spilled, vec![1, 3]);
+    }
+
+    #[test]
+    fn lru_recency_queue_compacts_and_stays_exact() {
+        let budget = TableBudget::capped(4, EvictionPolicy::Lru);
+        let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut ev = Vec::new();
+        for i in 0..5 {
+            assert!(t.get_or_insert_with(key(i), 0, || i, &mut ev).is_some());
+        }
+        // Hammer one spilled key far past the compaction threshold.
+        for _ in 0..10_000 {
+            assert!(t.get_or_insert_with(key(2), 0, || 0, &mut ev).is_some());
+        }
+        assert!(
+            t.order.len() <= 2 * t.overflow.len() + 65,
+            "queue unbounded"
+        );
+        // Evictions still pick true LRU victims in order: 1, 3, 4, then 2.
+        for i in 10..14 {
+            assert!(t.get_or_insert_with(key(i), 0, || i, &mut ev).is_some());
+        }
+        let evicted: Vec<u32> = ev.iter().map(|(_, v)| *v).collect();
+        assert_eq!(evicted, vec![1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn lru_state_survives_snapshot_roundtrip() {
+        let budget = TableBudget::capped(3, EvictionPolicy::Lru);
+        let mut t = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut ev = Vec::new();
+        for i in 0..4 {
+            t.get_or_insert_with(key(i), 0, || i, &mut ev).unwrap();
+        }
+        t.get_or_insert_with(key(1), 0, || 0, &mut ev).unwrap(); // refresh 1
+        let mut w = superfe_net::snap::StateWriter::new();
+        t.save_state(&mut w, |v, w| w.put_u32(*v));
+        let bytes = w.into_bytes();
+        let mut u = GroupTable::<u32>::with_budget(1, 1, budget).unwrap();
+        let mut r = superfe_net::snap::StateReader::new(&bytes);
+        #[allow(clippy::redundant_closure_for_method_calls)]
+        u.load_state(&mut r, |r| r.get_u32()).unwrap();
+        // Same residents, and the restored recency keeps 2 as the victim.
+        let mut ev_t = Vec::new();
+        let mut ev_u = Vec::new();
+        t.get_or_insert_with(key(9), 0, || 9, &mut ev_t).unwrap();
+        u.get_or_insert_with(key(9), 0, || 9, &mut ev_u).unwrap();
+        let vt: Vec<u32> = ev_t.iter().map(|(_, v)| *v).collect();
+        let vu: Vec<u32> = ev_u.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vt, vu, "restored table must evict the same victim");
+        assert_eq!(vt, vec![2]);
+    }
+
+    #[test]
     fn random_way_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let budget = TableBudget::capped(4, EvictionPolicy::RandomWay { seed });
@@ -508,6 +658,7 @@ mod tests {
 
         let mut u = GroupTable::<u32>::with_budget(4, 2, budget).unwrap();
         let mut r = superfe_net::snap::StateReader::new(&bytes);
+        #[allow(clippy::redundant_closure_for_method_calls)]
         #[allow(clippy::redundant_closure_for_method_calls)]
         u.load_state(&mut r, |r| r.get_u32()).unwrap();
         assert!(r.is_empty());

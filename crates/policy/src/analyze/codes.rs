@@ -13,6 +13,7 @@
 //! | `SF06xx` | static cost model                       | `analyze::cost`       |
 //! | `SF07xx` | cross-policy equivalence / fusion       | `analyze::equiv`      |
 //! | `SF08xx` | shared-prefix analysis / cross-tenant CSE | `analyze::share`    |
+//! | `SF09xx` | quantized-inference certification       | `analyze::quant`      |
 
 // --- SF01xx: structural -------------------------------------------------
 
@@ -136,6 +137,22 @@ pub const SHARE_NEAR_MISS: &str = "SF0802";
 /// the SF06xx cost model.
 pub const SHARE_SAVING: &str = "SF0803";
 
+// --- SF09xx: quantized-inference certification (emitted by analyze::quant
+// and the admission controller) ----------------------------------------------
+
+/// The fixed-point lowering of a detector is certified against this policy:
+/// the worst-case |float − quantized| score error is provably within the
+/// alert-threshold tolerance over the policy's SF05xx feature hull.
+pub const QUANT_CERTIFIED: &str = "SF0901";
+/// The fixed-point lowering cannot be certified — the provable error bound
+/// exceeds the tolerance or no finite bound exists; the message names the
+/// culprit layer.
+pub const QUANT_BOUND_EXCEEDED: &str = "SF0902";
+/// Cycle-cost note for in-pipeline inference: the integer ALU ops the
+/// quantized model adds per emitted feature vector, alongside the policy's
+/// own per-packet cost (priced into NIC cycles by the admission controller).
+pub const QUANT_CYCLE_COST: &str = "SF0903";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -182,6 +199,9 @@ mod tests {
             super::SHARE_PREFIX,
             super::SHARE_NEAR_MISS,
             super::SHARE_SAVING,
+            super::QUANT_CERTIFIED,
+            super::QUANT_BOUND_EXCEEDED,
+            super::QUANT_CYCLE_COST,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("SF") && a.len() == 6, "{a}");

@@ -28,6 +28,10 @@
 //! - `SF08xx` — shared-prefix analysis ([`share`]): sub-policy CSE on the
 //!   stage-prefix lattice, value-certified, behind cross-tenant sharing of
 //!   one switch partition with per-tenant NIC tails.
+//! - `SF09xx` — quantized-inference certification ([`quant`]): layers on the
+//!   SF05xx interval facts to derive per-feature output hulls, lowers a
+//!   frozen detector to fixed point, and certifies a worst-case
+//!   float-vs-quantized score error bound against the alert threshold.
 //!
 //! The hardware passes live downstream (the switch and NIC crates depend on
 //! this one), sharing [`Diagnostic`] so one report renders all layers.
@@ -36,6 +40,7 @@ pub mod codes;
 pub mod cost;
 pub mod dataflow;
 pub mod equiv;
+pub mod quant;
 pub mod share;
 pub mod structural;
 pub mod values;

@@ -6,12 +6,17 @@
 //! worker count — the executable form of the per-key ordering argument in
 //! DESIGN.md ("Online detection").
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use superfe::detect::{score_fingerprint, DetectPipeline, ServeConfig};
-use superfe::ml::{train_and_calibrate, CalibrationConfig, CentroidDetector, KnnNovelty};
+use superfe::ml::{
+    quantize, train_and_calibrate, CalibrationConfig, CentroidDetector, KnnNovelty, QuantConfig,
+    QuantizedDetector,
+};
 use superfe::net::{Direction, PacketRecord};
-use superfe::SuperFe;
+use superfe::{StreamingPipeline, SuperFe, SuperFeConfig};
 
 /// Worker counts every property must hold for (NIC shards = inference
 /// workers).
@@ -152,6 +157,48 @@ fn serve_online(
     report
 }
 
+/// Quantizes a frozen detector with an input grid sized from the vectors
+/// it will actually score, so no in-range input saturates.
+fn quantize_for(
+    det: &superfe::ml::FrozenDetector,
+    vectors: &[superfe::nic::FeatureVector],
+) -> Option<QuantizedDetector> {
+    let max_abs = vectors
+        .iter()
+        .flat_map(|v| v.values.as_slice())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    quantize(
+        det,
+        &QuantConfig {
+            max_abs_input: (max_abs * 2.0).max(1.0),
+            ..QuantConfig::default()
+        },
+    )
+    .ok()
+}
+
+/// Serves the trace through the in-pipeline quantized stage and returns the
+/// extraction (inline alerts + stats included).
+fn serve_in_pipeline(
+    src: &str,
+    pkts: &[PacketRecord],
+    model: &Arc<QuantizedDetector>,
+    workers: usize,
+) -> superfe::Extraction {
+    let policy = superfe::policy::dsl::parse(src).expect("valid policy");
+    let mut fe = StreamingPipeline::with_inference(
+        &policy,
+        SuperFeConfig::default(),
+        workers,
+        model.clone(),
+    )
+    .expect("valid policy");
+    for p in pkts {
+        fe.push(p).expect("pipeline alive");
+    }
+    fe.finish().expect("pipeline alive")
+}
+
 /// Alert stream in its worker-count-independent comparison form: canonical
 /// order with bitwise scores and thresholds.
 fn alert_fingerprint(alerts: &[superfe::detect::Alert]) -> Vec<(String, u64, u64)> {
@@ -202,6 +249,52 @@ proptest! {
                 src
             );
             prop_assert_eq!(report.totals.dim_errors, offline.dim_errors);
+        }
+    }
+
+    /// The in-pipeline quantized stage is the fixed-point analogue of the
+    /// property above: for every worker count, its inline alert stream must
+    /// be bitwise-identical to offline batch scoring with the same
+    /// quantized model ([`superfe::detect::score_offline_quantized`]).
+    #[test]
+    fn in_pipeline_quantized_alerts_match_offline_at_every_worker_count(
+        src in policy_source(),
+        pkts in trace(),
+    ) {
+        // Only centroid has both a float and a fixed-point lowering here;
+        // the float differential already covers knn.
+        let Some((det, pkt_vecs, group_vecs)) = freeze(&src, &pkts, Kind::Centroid) else {
+            return Ok(());
+        };
+        let all: Vec<superfe::nic::FeatureVector> =
+            pkt_vecs.iter().chain(&group_vecs).cloned().collect();
+        let Some(model) = quantize_for(&det, &all) else {
+            return Ok(());
+        };
+        let model = Arc::new(model);
+        let offline = superfe::detect::score_offline_quantized(
+            &model, &pkt_vecs, &group_vecs, "diff",
+        );
+        let offline_alerts = alert_fingerprint(&offline.alerts);
+        let total = (pkt_vecs.len() + group_vecs.len()) as u64;
+
+        for workers in WORKER_COUNTS {
+            let ex = serve_in_pipeline(&src, &pkts, &model, workers);
+            let stats = ex.inline_stats.expect("inference was attached");
+            prop_assert_eq!(
+                stats.scored + stats.dim_errors,
+                total,
+                "inline stage must see every emitted vector at workers={}",
+                workers
+            );
+            prop_assert_eq!(stats.dim_errors, offline.dim_errors);
+            let inline = superfe::detect::inline_to_alerts(&ex.inline_alerts, "diff");
+            prop_assert!(
+                alert_fingerprint(&inline) == offline_alerts,
+                "quantized alert stream diverged from offline at workers={} for:\n{}",
+                workers,
+                src
+            );
         }
     }
 }
